@@ -1,0 +1,103 @@
+// Figure 2 — "Annotations based on primitive actions."
+//
+// Shows the md/mv/del/add/cp annotation shorthand on touched nodes and
+// measures the space/time overhead of maintaining the annotation map as
+// the number of applied transformations grows — the cost of keeping the
+// representation "augmented" (APDG/ADAG).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "pivot/core/session.h"
+#include "pivot/ir/parser.h"
+#include "pivot/ir/random_program.h"
+#include "pivot/support/table.h"
+#include "pivot/transform/catalog.h"
+
+namespace pivot {
+namespace {
+
+void PrintAnnotationShorthand() {
+  Session s(Parse("c = 1\nx = c + 2\nx2 = x\ndead = 0\ndead = 1\n"
+                  "do i = 1, 4\n  a(i) = a(i) + x\nenddo\n"
+                  "write x2\nwrite dead\nwrite a(2)\nwrite c"));
+  TextTable table({"t", "transformation", "annotations after applying"});
+  for (TransformKind kind :
+       {TransformKind::kCtp, TransformKind::kCfo, TransformKind::kCpp,
+        TransformKind::kDce, TransformKind::kLur}) {
+    const auto stamp = s.ApplyFirst(kind);
+    if (!stamp) continue;
+    table.AddRow({"t" + std::to_string(*stamp), TransformKindName(kind),
+                  std::to_string(s.journal().annotations().TotalCount()) +
+                      " annotation(s) live"});
+  }
+  std::cout << "== Figure 2: annotation growth per transformation ==\n"
+            << table.Render() << '\n';
+  std::cout << "== full annotation map ==\n"
+            << s.AnnotationsToString() << '\n';
+}
+
+// Applies as many transformations as the budget allows on a random
+// program, measuring annotation count and apply throughput.
+void BM_AnnotationGrowth(benchmark::State& state) {
+  const int budget = static_cast<int>(state.range(0));
+  std::size_t annotations = 0;
+  std::size_t applied = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    RandomProgramOptions gen;
+    gen.seed = 99;
+    gen.target_stmts = 60;
+    Session s(GenerateRandomProgram(gen));
+    state.ResumeTiming();
+    int done = 0;
+    for (int round = 0; round < budget && done < budget; ++round) {
+      for (TransformKind kind : AllTransformKinds()) {
+        if (done >= budget) break;
+        if (s.ApplyFirst(kind).has_value()) ++done;
+      }
+    }
+    annotations = s.journal().annotations().TotalCount();
+    applied += static_cast<std::size_t>(done);
+  }
+  state.counters["annotations"] = static_cast<double>(annotations);
+  state.counters["applied_per_iter"] =
+      static_cast<double>(applied) / static_cast<double>(state.iterations());
+  state.SetLabel("budget=" + std::to_string(budget));
+}
+BENCHMARK(BM_AnnotationGrowth)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AnnotationLookup(benchmark::State& state) {
+  Session s(Parse("c = 1\nx = c + 2\nwrite x\nwrite c"));
+  s.ApplyFirst(TransformKind::kCtp);
+  s.ApplyFirst(TransformKind::kCfo);
+  const Expr* folded = s.program().top()[1]->rhs.get();
+  const AnnotationMap& annos = s.journal().annotations();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(annos.TopOfExpr(folded->id));
+  }
+}
+BENCHMARK(BM_AnnotationLookup);
+
+void BM_AnnotationRender(benchmark::State& state) {
+  RandomProgramOptions gen;
+  gen.seed = 5;
+  gen.target_stmts = 50;
+  Session s(GenerateRandomProgram(gen));
+  for (TransformKind kind : AllTransformKinds()) s.ApplyFirst(kind);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.AnnotationsToString());
+  }
+}
+BENCHMARK(BM_AnnotationRender);
+
+}  // namespace
+}  // namespace pivot
+
+int main(int argc, char** argv) {
+  pivot::PrintAnnotationShorthand();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,258 @@
+// Figure 4 — the UNDO algorithm: the "experimental studies" the paper
+// defers to future work (§6).
+//
+// Workload: K independent clusters, each enabling a CTP -> CFO -> DCE
+// chain (3K transformations total, applied phase by phase so undoing an
+// early transformation has a long suffix of later ones). Three strategies
+// remove the first cluster's CTP:
+//
+//   independent     — the paper's Figure-4 UNDO: recursive affecting /
+//                     affected analysis; only the victim's own chain (3
+//                     transformations) is unwound;
+//   reverse-suffix  — the prior-work baseline [5]: undo in reverse
+//                     application order until the victim is gone (all 3K
+//                     transformations unwound);
+//   redo-all        — the incremental-reoptimization strawman: rebuild
+//                     from the original source, re-applying everything
+//                     except the victim's chain.
+//
+// Ablation: the reverse-destroy heuristic (published Table 4 vs. the
+// conservative all-'x' table) and the event-driven regional analysis
+// (on/off), reported as candidate/safety-check counts.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <sstream>
+
+#include "pivot/core/session.h"
+#include "pivot/ir/parser.h"
+#include "pivot/support/table.h"
+
+namespace pivot {
+namespace {
+
+std::string ClusterSource(int clusters) {
+  std::ostringstream os;
+  for (int k = 0; k < clusters; ++k) {
+    os << "c" << k << " = 1\n";
+    os << "x" << k << " = c" << k << " + 2\n";
+  }
+  for (int k = 0; k < clusters; ++k) {
+    os << "write x" << k << "\n";
+  }
+  return os.str();
+}
+
+struct Applied {
+  std::vector<OrderStamp> ctps, cfos, dces;
+};
+
+Applied ApplyChains(Session& s, int clusters) {
+  Applied applied;
+  for (int k = 0; k < clusters; ++k) {
+    applied.ctps.push_back(*s.ApplyFirst(TransformKind::kCtp));
+  }
+  for (int k = 0; k < clusters; ++k) {
+    applied.cfos.push_back(*s.ApplyFirst(TransformKind::kCfo));
+  }
+  for (int k = 0; k < clusters; ++k) {
+    applied.dces.push_back(*s.ApplyFirst(TransformKind::kDce));
+  }
+  return applied;
+}
+
+int LiveCount(Session& s) {
+  return static_cast<int>(s.history().Live().size());
+}
+
+void PrintScalingTable() {
+  TextTable table({"clusters", "applied", "independent: undone",
+                   "independent: safety checks",
+                   "independent: analysis rebuilds",
+                   "reverse-suffix: undone", "redo-all: re-applied"});
+  for (int clusters : {4, 8, 16, 32}) {
+    const std::string src = ClusterSource(clusters);
+
+    // Independent order (the paper's algorithm).
+    int indep_undone = 0, indep_safety = 0, indep_rebuilds = 0;
+    {
+      Session s(Parse(src));
+      const Applied applied = ApplyChains(s, clusters);
+      const int before = LiveCount(s);
+      const UndoStats stats = s.Undo(applied.ctps[0]);
+      indep_undone = before - LiveCount(s);
+      indep_safety = stats.safety_checks;
+      indep_rebuilds = stats.analysis_rebuilds;  // Figure 4 line 13 cost
+    }
+
+    // Reverse application order until the victim is gone.
+    int reverse_undone = 0;
+    {
+      Session s(Parse(src));
+      const Applied applied = ApplyChains(s, clusters);
+      while (!s.history().FindByStamp(applied.ctps[0])->undone) {
+        s.UndoLast();
+        ++reverse_undone;
+      }
+    }
+
+    // Redo everything except the victim's chain from scratch.
+    int redo_applied = 0;
+    {
+      Session s(Parse(src));
+      // Skip cluster 0 entirely: apply the other clusters' chains.
+      for (TransformKind kind :
+           {TransformKind::kCtp, TransformKind::kCfo, TransformKind::kDce}) {
+        const auto ops = s.FindOpportunities(kind);
+        (void)ops;
+        for (int k = 1; k < clusters; ++k) {
+          const auto fresh = s.FindOpportunities(kind);
+          // Applying any opportunity not belonging to cluster 0.
+          for (const auto& op : fresh) {
+            if (op.Describe(s.program()).find("c0") == std::string::npos &&
+                op.Describe(s.program()).find("x0") == std::string::npos) {
+              s.Apply(op);
+              ++redo_applied;
+              break;
+            }
+          }
+        }
+      }
+    }
+
+    table.AddRow({std::to_string(clusters), std::to_string(3 * clusters),
+                  std::to_string(indep_undone), std::to_string(indep_safety),
+                  std::to_string(indep_rebuilds),
+                  std::to_string(reverse_undone),
+                  std::to_string(redo_applied)});
+  }
+  std::cout << "== Figure 4 experiment: undoing the first CTP out of 3K "
+               "transformations ==\n"
+            << table.Render() << '\n';
+}
+
+void PrintAblationTable() {
+  TextTable table({"heuristic", "regional", "candidates", "in region",
+                   "marked (Table 4)", "safety checks", "undone"});
+  for (bool conservative : {false, true}) {
+    for (bool regional : {true, false}) {
+      UndoOptions options;
+      options.heuristic = conservative
+                              ? UndoOptions::Heuristic::kConservative
+                              : UndoOptions::Heuristic::kPublished;
+      options.regional = regional;
+      Session s(Parse(ClusterSource(16)), options);
+      const Applied applied = ApplyChains(s, 16);
+      const UndoStats stats = s.Undo(applied.ctps[0]);
+      table.AddRow({conservative ? "conservative" : "published (Table 4)",
+                    regional ? "on" : "off",
+                    std::to_string(stats.candidates_total),
+                    std::to_string(stats.candidates_in_region),
+                    std::to_string(stats.candidates_marked),
+                    std::to_string(stats.safety_checks),
+                    std::to_string(stats.transforms_undone)});
+    }
+  }
+  std::cout << "== ablation: reverse-destroy heuristic x regional "
+               "analysis (16 clusters) ==\n"
+            << table.Render() << '\n';
+}
+
+void BM_IndependentUndo(benchmark::State& state) {
+  const int clusters = static_cast<int>(state.range(0));
+  const std::string src = ClusterSource(clusters);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Session s(Parse(src));
+    const Applied applied = ApplyChains(s, clusters);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(s.Undo(applied.ctps[0]));
+  }
+  state.SetLabel("3K=" + std::to_string(3 * clusters));
+}
+BENCHMARK(BM_IndependentUndo)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+    ->Iterations(5)->Unit(benchmark::kMicrosecond);
+
+void BM_ReverseSuffixUndo(benchmark::State& state) {
+  const int clusters = static_cast<int>(state.range(0));
+  const std::string src = ClusterSource(clusters);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Session s(Parse(src));
+    const Applied applied = ApplyChains(s, clusters);
+    state.ResumeTiming();
+    while (!s.history().FindByStamp(applied.ctps[0])->undone) {
+      s.UndoLast();
+    }
+  }
+  state.SetLabel("3K=" + std::to_string(3 * clusters));
+}
+BENCHMARK(BM_ReverseSuffixUndo)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+    ->Iterations(5)->Unit(benchmark::kMicrosecond);
+
+void BM_RedoAllFromScratch(benchmark::State& state) {
+  const int clusters = static_cast<int>(state.range(0));
+  const std::string src = ClusterSource(clusters);
+  for (auto _ : state) {
+    // The strawman pays parsing + full re-application.
+    Session s(Parse(src));
+    for (TransformKind kind :
+         {TransformKind::kCtp, TransformKind::kCfo, TransformKind::kDce}) {
+      for (int k = 1; k < clusters; ++k) {
+        const auto ops = s.FindOpportunities(kind);
+        bool applied_one = false;
+        for (const auto& op : ops) {
+          const std::string what = op.Describe(s.program());
+          if (what.find("c0") == std::string::npos &&
+              what.find("x0") == std::string::npos) {
+            s.Apply(op);
+            applied_one = true;
+            break;
+          }
+        }
+        if (!applied_one) break;
+      }
+    }
+    benchmark::DoNotOptimize(s.history().records().size());
+  }
+  state.SetLabel("3K=" + std::to_string(3 * clusters));
+}
+BENCHMARK(BM_RedoAllFromScratch)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+    ->Iterations(5)->Unit(benchmark::kMicrosecond);
+
+// The regional / heuristic ablation as timed benchmarks.
+void BM_UndoAblation(benchmark::State& state) {
+  const bool conservative = state.range(0) != 0;
+  const bool regional = state.range(1) != 0;
+  const int clusters = 16;
+  const std::string src = ClusterSource(clusters);
+  UndoOptions options;
+  options.heuristic = conservative ? UndoOptions::Heuristic::kConservative
+                                   : UndoOptions::Heuristic::kPublished;
+  options.regional = regional;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Session s(Parse(src), options);
+    const Applied applied = ApplyChains(s, clusters);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(s.Undo(applied.ctps[0]));
+  }
+  std::ostringstream label;
+  label << (conservative ? "conservative" : "published") << "/"
+        << (regional ? "regional" : "global");
+  state.SetLabel(label.str());
+}
+BENCHMARK(BM_UndoAblation)
+    ->Args({0, 1})->Args({0, 0})->Args({1, 1})->Args({1, 0})
+    ->Iterations(5)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace pivot
+
+int main(int argc, char** argv) {
+  pivot::PrintScalingTable();
+  pivot::PrintAblationTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,163 @@
+// Table 2 — "Information to be stored."
+//
+// Regenerates the pre_pattern / primitive-action / post_pattern schema for
+// all ten transformations, then instantiates the patterns by actually
+// applying each transformation on a probe program and printing the
+// recorded history entry. Benchmarks: the cost of recording a pattern
+// (apply with full history) and of validating a post_pattern
+// (CheckReversibility).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <optional>
+
+#include "pivot/core/session.h"
+#include "pivot/ir/parser.h"
+#include "pivot/support/table.h"
+#include "pivot/transform/catalog.h"
+#include "pivot/transform/patterns.h"
+
+namespace pivot {
+namespace {
+
+// One probe program containing an opportunity for every transformation.
+const char* kProbe = R"(
+read u
+c = 2
+d = e + f
+r = e + f
+t = c + 3
+t2 = t
+dead = 1
+dead = 2
+do i = 1, 5
+  a(i) = u + i
+enddo
+do i = 1, 5
+  b(i) = a(i) * 2
+enddo
+do k = 1, 3
+  do l = 1, 5
+    m(k, l) = k - l
+  enddo
+enddo
+do z = 1, 8
+  g(z) = z
+enddo
+do w = 1, 4
+  h(w) = h(w) + 1
+enddo
+do v = 1, 3
+  inv = u + 1
+  p(v) = inv + v
+enddo
+write r
+write t2
+write dead
+write a(2)
+write b(3)
+write m(2, 4)
+write g(5)
+write h(2)
+write p(1)
+write inv
+write d
+write c
+)";
+
+void PrintSchema() {
+  TextTable table(
+      {"Transformation", "Pre_pattern", "Primitive Actions", "Post_pattern"});
+  for (int i = 0; i < kNumTransformKinds; ++i) {
+    const PatternRow row = DescribePatterns(TransformKindFromIndex(i));
+    table.AddRow({row.transform, row.pre_pattern, row.primitive_actions,
+                  row.post_pattern});
+  }
+  std::cout << "== Table 2: information to be stored (schema) ==\n"
+            << table.Render() << '\n';
+}
+
+void PrintInstantiated() {
+  Session s(Parse(kProbe));
+  TextTable table({"t", "Transformation", "Recorded actions"});
+  for (TransformKind kind : AllTransformKinds()) {
+    const std::optional<OrderStamp> stamp = s.ApplyFirst(kind);
+    if (!stamp) {
+      table.AddRow({"-", TransformKindName(kind), "(no opportunity)"});
+      continue;
+    }
+    const TransformRecord* rec = s.history().FindByStamp(*stamp);
+    const PatternRow row = DescribeRecord(s.program(), s.journal(), *rec);
+    table.AddRow({"t" + std::to_string(*stamp), row.transform,
+                  row.primitive_actions});
+  }
+  std::cout << "== Table 2 instantiated on the probe program ==\n"
+            << table.Render() << '\n';
+}
+
+void BM_RecordPattern(benchmark::State& state) {
+  const TransformKind kind = TransformKindFromIndex(
+      static_cast<int>(state.range(0)));
+  std::size_t applied = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Session s(Parse(kProbe));
+    const auto ops = s.FindOpportunities(kind);
+    state.ResumeTiming();
+    if (!ops.empty()) {
+      s.Apply(ops.front());
+      ++applied;
+    }
+  }
+  state.counters["applied"] = static_cast<double>(applied);
+  state.SetLabel(TransformKindName(kind));
+}
+BENCHMARK(BM_RecordPattern)->DenseRange(0, kNumTransformKinds - 1);
+
+void BM_ValidatePostPattern(benchmark::State& state) {
+  const TransformKind kind = TransformKindFromIndex(
+      static_cast<int>(state.range(0)));
+  Session s(Parse(kProbe));
+  const auto stamp = s.ApplyFirst(kind);
+  if (!stamp) {
+    state.SkipWithError("no opportunity");
+    return;
+  }
+  const TransformRecord* rec = s.history().FindByStamp(*stamp);
+  const Transformation& t = GetTransformation(kind);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        t.CheckReversibility(s.analyses(), s.journal(), *rec));
+  }
+  state.SetLabel(TransformKindName(kind));
+}
+BENCHMARK(BM_ValidatePostPattern)->DenseRange(0, kNumTransformKinds - 1);
+
+void BM_CheckSafety(benchmark::State& state) {
+  const TransformKind kind = TransformKindFromIndex(
+      static_cast<int>(state.range(0)));
+  Session s(Parse(kProbe));
+  const auto stamp = s.ApplyFirst(kind);
+  if (!stamp) {
+    state.SkipWithError("no opportunity");
+    return;
+  }
+  const TransformRecord* rec = s.history().FindByStamp(*stamp);
+  const Transformation& t = GetTransformation(kind);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.CheckSafety(s.analyses(), s.journal(), *rec));
+  }
+  state.SetLabel(TransformKindName(kind));
+}
+BENCHMARK(BM_CheckSafety)->DenseRange(0, kNumTransformKinds - 1);
+
+}  // namespace
+}  // namespace pivot
+
+int main(int argc, char** argv) {
+  pivot::PrintSchema();
+  pivot::PrintInstantiated();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,265 @@
+// pivot_repl — an interactive command-line front end over the Session
+// API, the closest thing in this repository to the PIVOT environment the
+// paper's undo facility was built for.
+//
+//   ./build/examples/pivot_repl [file.pf]      # or reads program from stdin
+//
+// Commands (also printed by `help`):
+//   show                     print the program
+//   ops [KIND]               list opportunities (all kinds or one)
+//   apply KIND [N]           apply the N-th opportunity of KIND (default 0)
+//   undo T                   independent-order undo of transformation T
+//   undolast                 reverse-order undo of the latest one
+//   canundo T                explain whether T can be undone
+//   history                  print the transformation history
+//   annos                    print the APDG/ADAG annotations
+//   pdg                      print the program dependence graph
+//   run [v1 v2 ...]          execute with the given input values
+//   edit-const LABEL VALUE   edit: replace rhs of labelled stmt by VALUE
+//   remove-unsafe            undo transformations made unsafe by edits
+//   quit
+#include <iostream>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "pivot/core/report.h"
+#include "pivot/core/session.h"
+#include "pivot/ir/parser.h"
+#include "pivot/transform/catalog.h"
+
+namespace {
+
+using namespace pivot;
+
+std::optional<TransformKind> KindByName(const std::string& name) {
+  for (TransformKind kind : AllTransformKinds()) {
+    std::string lower = TransformKindName(kind);
+    for (char& c : lower) c = static_cast<char>(std::tolower(c));
+    std::string wanted = name;
+    for (char& c : wanted) c = static_cast<char>(std::tolower(c));
+    if (lower == wanted) return kind;
+  }
+  return std::nullopt;
+}
+
+void PrintHelp() {
+  std::cout <<
+      "commands:\n"
+      "  show | ops [kind] | apply KIND [N] | undo T | undolast |\n"
+      "  canundo T | history | annos | pdg | run [inputs...] |\n"
+      "  trace on|off|show | report | health | preview T |\n"
+      "  edit-const LABEL VALUE | remove-unsafe |\n"
+      "  help | quit\n";
+}
+
+void ListOps(Session& session, std::optional<TransformKind> only) {
+  for (TransformKind kind : AllTransformKinds()) {
+    if (only && *only != kind) continue;
+    const auto ops = session.FindOpportunities(kind);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      std::cout << "  [" << i << "] " << ops[i].Describe(session.program())
+                << '\n';
+    }
+  }
+}
+
+int Repl(Session& session, std::istream& in, bool interactive) {
+  std::string line;
+  UndoTrace trace;
+  bool tracing = false;
+  if (interactive) std::cout << "pivot> " << std::flush;
+  while (std::getline(in, line)) {
+    std::istringstream cmd(line);
+    std::string verb;
+    cmd >> verb;
+    try {
+      if (verb.empty() || verb[0] == '#') {
+        // comment / blank
+      } else if (verb == "quit" || verb == "exit") {
+        break;
+      } else if (verb == "help") {
+        PrintHelp();
+      } else if (verb == "show") {
+        std::cout << session.Source();
+      } else if (verb == "ops") {
+        std::string kind_name;
+        cmd >> kind_name;
+        ListOps(session, kind_name.empty() ? std::nullopt
+                                           : KindByName(kind_name));
+      } else if (verb == "apply") {
+        std::string kind_name;
+        std::size_t index = 0;
+        cmd >> kind_name >> index;
+        const auto kind = KindByName(kind_name);
+        if (!kind) {
+          std::cout << "unknown transformation '" << kind_name << "'\n";
+        } else {
+          const auto ops = session.FindOpportunities(*kind);
+          if (index >= ops.size()) {
+            std::cout << "no opportunity #" << index << " for "
+                      << kind_name << '\n';
+          } else {
+            const OrderStamp t = session.Apply(ops[index]);
+            std::cout << "applied t" << t << ": "
+                      << ops[index].Describe(session.program()) << '\n';
+          }
+        }
+      } else if (verb == "undo") {
+        OrderStamp t = 0;
+        cmd >> t;
+        trace.Clear();
+        const UndoStats stats = session.Undo(t);
+        std::cout << "undone " << stats.transforms_undone
+                  << " transformation(s), " << stats.actions_inverted
+                  << " inverse action(s), " << stats.safety_checks
+                  << " safety check(s)\n";
+        if (tracing) std::cout << trace.Render();
+      } else if (verb == "trace") {
+        std::string mode;
+        cmd >> mode;
+        if (mode == "on") {
+          tracing = true;
+          session.engine().set_trace(&trace);
+          std::cout << "undo tracing enabled\n";
+        } else if (mode == "off") {
+          tracing = false;
+          session.engine().set_trace(nullptr);
+          std::cout << "undo tracing disabled\n";
+        } else {
+          std::cout << trace.Render();
+        }
+      } else if (verb == "undolast") {
+        const OrderStamp t = session.UndoLast();
+        if (t == kNoStamp) {
+          std::cout << "nothing to undo\n";
+        } else {
+          std::cout << "undone t" << t << '\n';
+        }
+      } else if (verb == "canundo") {
+        OrderStamp t = 0;
+        cmd >> t;
+        std::string reason;
+        if (session.CanUndo(t, &reason)) {
+          std::cout << "yes\n";
+        } else {
+          std::cout << "no: " << reason << '\n';
+        }
+      } else if (verb == "report") {
+        std::cout << RenderSessionReport(session);
+      } else if (verb == "health") {
+        std::cout << RenderHealthCheck(session);
+      } else if (verb == "preview") {
+        OrderStamp t = 0;
+        cmd >> t;
+        const auto preview = session.engine().Preview(t);
+        if (!preview.possible) {
+          std::cout << "cannot undo: " << preview.blocked_reason << '\n';
+        } else {
+          std::cout << "undoable";
+          if (!preview.affecting.empty()) {
+            std::cout << "; must first undo:";
+            for (OrderStamp a : preview.affecting) std::cout << " t" << a;
+          }
+          if (!preview.may_ripple.empty()) {
+            std::cout << "; may ripple:";
+            for (OrderStamp a : preview.may_ripple) std::cout << " t" << a;
+          }
+          std::cout << '\n';
+        }
+      } else if (verb == "history") {
+        std::cout << session.HistoryToString();
+      } else if (verb == "annos") {
+        std::cout << session.AnnotationsToString();
+      } else if (verb == "pdg") {
+        std::cout << session.analyses().pdg().ToString();
+      } else if (verb == "run") {
+        std::vector<double> input;
+        double v;
+        while (cmd >> v) input.push_back(v);
+        const InterpResult r = session.Execute(input);
+        if (!r.ok) {
+          std::cout << "execution error: " << r.error << '\n';
+        } else {
+          std::cout << "output:";
+          for (double out : r.output) std::cout << ' ' << out;
+          std::cout << " (" << r.steps << " steps)\n";
+        }
+      } else if (verb == "edit-const") {
+        int label = 0;
+        long value = 0;
+        cmd >> label >> value;
+        Stmt* stmt = session.program().FindByLabel(label);
+        if (stmt == nullptr || stmt->rhs == nullptr) {
+          std::cout << "no assignment labelled " << label << '\n';
+        } else {
+          const OrderStamp t =
+              session.editor().ReplaceExpr(*stmt->rhs, MakeIntConst(value));
+          std::cout << "edit recorded as t" << t << '\n';
+        }
+      } else if (verb == "remove-unsafe") {
+        std::vector<OrderStamp> blocked;
+        const auto undone = session.RemoveUnsafeTransforms(&blocked);
+        std::cout << "removed";
+        for (OrderStamp t : undone) std::cout << " t" << t;
+        if (undone.empty()) std::cout << " nothing";
+        if (!blocked.empty()) {
+          std::cout << "; blocked by edits:";
+          for (OrderStamp t : blocked) std::cout << " t" << t;
+        }
+        std::cout << '\n';
+      } else {
+        std::cout << "unknown command '" << verb << "' (try help)\n";
+      }
+    } catch (const std::exception& e) {
+      std::cout << "error: " << e.what() << '\n';
+    }
+    if (interactive) std::cout << "pivot> " << std::flush;
+  }
+  return 0;
+}
+
+const char* kDefaultProgram = R"(
+1: c = 1
+2: d = e + f
+3: r = e + f
+4: x = c + 2
+5: do i = 1, 100
+6:   do j = 1, 50
+7:     a(j) = b(j) + c
+8:     s(i, j) = e + f
+     enddo
+   enddo
+write r
+write x
+write a(5)
+write d
+write c
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string source = kDefaultProgram;
+  if (argc > 1) {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::cerr << "cannot open " << argv[1] << '\n';
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    source = buffer.str();
+  }
+  try {
+    Session session(Parse(source));
+    std::cout << "pivot-undo REPL — " << session.program().AttachedStmtCount()
+              << " statements loaded (help for commands)\n";
+    return Repl(session, std::cin, /*interactive=*/true);
+  } catch (const std::exception& e) {
+    std::cerr << "parse error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,60 @@
+#include "pivot/actions/action.h"
+
+#include <sstream>
+
+namespace pivot {
+
+const char* ActionKindToString(ActionKind kind) {
+  switch (kind) {
+    case ActionKind::kDelete: return "Delete";
+    case ActionKind::kCopy: return "Copy";
+    case ActionKind::kMove: return "Move";
+    case ActionKind::kAdd: return "Add";
+    case ActionKind::kModify: return "Modify";
+  }
+  return "?";
+}
+
+const char* ActionKindShorthand(ActionKind kind) {
+  switch (kind) {
+    case ActionKind::kDelete: return "del";
+    case ActionKind::kCopy: return "cp";
+    case ActionKind::kMove: return "mv";
+    case ActionKind::kAdd: return "add";
+    case ActionKind::kModify: return "md";
+  }
+  return "?";
+}
+
+std::string ActionRecord::ToString() const {
+  std::ostringstream os;
+  os << ActionKindShorthand(kind) << "_" << stamp << "(a" << id.value();
+  switch (kind) {
+    case ActionKind::kDelete:
+      os << ", s" << stmt.value() << " from " << LocationToString(orig_loc);
+      break;
+    case ActionKind::kCopy:
+      os << ", s" << stmt.value() << " -> s" << copy.value() << " at "
+         << LocationToString(dest_loc);
+      break;
+    case ActionKind::kMove:
+      os << ", s" << stmt.value() << " " << LocationToString(orig_loc)
+         << " -> " << LocationToString(dest_loc);
+      break;
+    case ActionKind::kAdd:
+      os << ", s" << stmt.value() << " at " << LocationToString(dest_loc);
+      break;
+    case ActionKind::kModify:
+      if (saved_header != nullptr) {
+        os << ", header of s" << stmt.value();
+      } else {
+        os << ", e" << old_expr.value() << " -> e" << new_expr.value()
+           << " in s" << expr_owner.value();
+      }
+      break;
+  }
+  os << (undone ? ", undone)" : ")");
+  return os.str();
+}
+
+}  // namespace pivot

@@ -1,0 +1,73 @@
+// The five primitive actions and their records (paper Table 1).
+//
+//   Action                          Inverse action
+//   Delete (a)                      Add (orig_location, -, a)
+//   Copy (a, location, c)           Delete (c)
+//   Move (a, location)              Move (a, orig_location)
+//   Add (location, description, a)  Delete (a)
+//   Modify (exp(a), new_exp)        Modify (new_exp(a), exp)
+//
+// Every applied action is recorded with the *order stamp* of the
+// transformation that issued it; the record owns whatever the inverse
+// action needs (the deleted subtree, the replaced expression, the original
+// location). Records are never discarded while undo remains possible.
+#ifndef PIVOT_ACTIONS_ACTION_H_
+#define PIVOT_ACTIONS_ACTION_H_
+
+#include <memory>
+#include <string>
+
+#include "pivot/actions/location.h"
+
+namespace pivot {
+
+enum class ActionKind { kDelete, kCopy, kMove, kAdd, kModify };
+
+const char* ActionKindToString(ActionKind kind);
+// The paper's Figure-2 shorthand: "del", "cp", "mv", "add", "md".
+const char* ActionKindShorthand(ActionKind kind);
+
+struct ActionRecord {
+  ActionId id;
+  ActionKind kind = ActionKind::kDelete;
+  OrderStamp stamp = kNoStamp;
+  bool undone = false;
+
+  // --- targets ---
+  StmtId stmt;       // Delete/Move/Add: the statement; Copy: the source
+  StmtId copy;       // Copy: the created clone
+  ExprId new_expr;   // Modify: root of the replacement subtree (in place)
+  ExprId old_expr;   // Modify: root of the replaced subtree (detached)
+  StmtId expr_owner; // Modify: statement owning the modified slot
+
+  Location orig_loc;  // Delete/Move: where the statement was
+  Location dest_loc;  // Copy/Move/Add: where it went
+
+  // --- owned payloads for inverses ---
+  StmtPtr detached;   // Delete: the removed subtree, awaiting restoration;
+                      // after an inverted Add/Copy: the discarded subtree
+  ExprPtr replaced;   // Modify: the original expression subtree
+
+  // Loop-header Modify variant (the paper's Modify(L1, L2), used by INX /
+  // LUR / SMI): the whole control part (var, lo, hi, step) is swapped as a
+  // unit. `saved_header` holds the pre-modification header while the
+  // action is live.
+  struct HeaderPayload {
+    std::string var;
+    ExprPtr lo;
+    ExprPtr hi;
+    ExprPtr step;
+  };
+  std::unique_ptr<HeaderPayload> saved_header;
+  bool IsHeaderModify() const {
+    return kind == ActionKind::kModify && saved_header != nullptr;
+  }
+
+  std::string description;  // Add's description operand (free-form)
+
+  std::string ToString() const;
+};
+
+}  // namespace pivot
+
+#endif  // PIVOT_ACTIONS_ACTION_H_

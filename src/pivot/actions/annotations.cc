@@ -1,0 +1,101 @@
+#include "pivot/actions/annotations.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "pivot/ir/printer.h"
+
+namespace pivot {
+
+std::string Annotation::ToString() const {
+  std::ostringstream os;
+  os << ActionKindShorthand(kind) << "_" << stamp;
+  return os.str();
+}
+
+void AnnotationMap::AddStmt(StmtId stmt, const Annotation& anno) {
+  stmt_annos_[stmt].push_back(anno);
+}
+
+void AnnotationMap::AddExpr(ExprId expr, const Annotation& anno) {
+  expr_annos_[expr].push_back(anno);
+}
+
+void AnnotationMap::RemoveAction(ActionId action) {
+  auto strip = [action](auto& map) {
+    for (auto it = map.begin(); it != map.end();) {
+      auto& annos = it->second;
+      annos.erase(std::remove_if(annos.begin(), annos.end(),
+                                 [action](const Annotation& a) {
+                                   return a.action == action;
+                                 }),
+                  annos.end());
+      it = annos.empty() ? map.erase(it) : std::next(it);
+    }
+  };
+  strip(stmt_annos_);
+  strip(expr_annos_);
+}
+
+const std::vector<Annotation>& AnnotationMap::OfStmt(StmtId stmt) const {
+  auto it = stmt_annos_.find(stmt);
+  return it == stmt_annos_.end() ? empty_ : it->second;
+}
+
+const std::vector<Annotation>& AnnotationMap::OfExpr(ExprId expr) const {
+  auto it = expr_annos_.find(expr);
+  return it == expr_annos_.end() ? empty_ : it->second;
+}
+
+const Annotation* AnnotationMap::TopOfExpr(ExprId expr) const {
+  const auto& annos = OfExpr(expr);
+  return annos.empty() ? nullptr : &annos.back();
+}
+
+const Annotation* AnnotationMap::TopOfStmt(StmtId stmt) const {
+  const auto& annos = OfStmt(stmt);
+  return annos.empty() ? nullptr : &annos.back();
+}
+
+std::size_t AnnotationMap::TotalCount() const {
+  std::size_t count = 0;
+  for (const auto& [id, annos] : stmt_annos_) count += annos.size();
+  for (const auto& [id, annos] : expr_annos_) count += annos.size();
+  return count;
+}
+
+std::string AnnotationMap::Render(const Program& program) const {
+  std::ostringstream os;
+  // Sorted by id for deterministic output.
+  std::vector<StmtId> stmt_ids;
+  for (const auto& [id, annos] : stmt_annos_) stmt_ids.push_back(id);
+  std::sort(stmt_ids.begin(), stmt_ids.end());
+  for (StmtId id : stmt_ids) {
+    os << "s" << id.value();
+    const Stmt* stmt = program.FindStmt(id);
+    if (stmt != nullptr) {
+      os << " (" << StmtHeadToString(*stmt)
+         << (stmt->attached ? "" : ", detached") << ")";
+    }
+    os << ":";
+    for (const Annotation& a : OfStmt(id)) os << ' ' << a.ToString();
+    os << '\n';
+  }
+  std::vector<ExprId> expr_ids;
+  for (const auto& [id, annos] : expr_annos_) expr_ids.push_back(id);
+  std::sort(expr_ids.begin(), expr_ids.end());
+  for (ExprId id : expr_ids) {
+    os << "e" << id.value();
+    const Expr* expr = program.FindExpr(id);
+    if (expr != nullptr) {
+      os << " (" << ExprToString(*expr)
+         << (expr->owner != nullptr ? "" : ", detached") << ")";
+    }
+    os << ":";
+    for (const Annotation& a : OfExpr(id)) os << ' ' << a.ToString();
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace pivot

@@ -1,0 +1,56 @@
+// Transformation-independent annotations on the program representation
+// (paper §4.1, Figure 2).
+//
+// Each node touched by a primitive action carries a small tag — "md_3",
+// "mv_4", "del_2" — naming the action kind and the order stamp of the
+// transformation that issued it. The annotated PDG/DAG pair is what the
+// paper calls the APDG and ADAG. Annotations are removed when the action
+// is inverted, so the map always reflects the set of *live* (not undone)
+// history.
+#ifndef PIVOT_ACTIONS_ANNOTATIONS_H_
+#define PIVOT_ACTIONS_ANNOTATIONS_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pivot/actions/action.h"
+
+namespace pivot {
+
+struct Annotation {
+  ActionKind kind = ActionKind::kModify;
+  OrderStamp stamp = kNoStamp;
+  ActionId action;
+
+  // "md_3" style rendering.
+  std::string ToString() const;
+};
+
+class AnnotationMap {
+ public:
+  void AddStmt(StmtId stmt, const Annotation& anno);
+  void AddExpr(ExprId expr, const Annotation& anno);
+  void RemoveAction(ActionId action);
+
+  const std::vector<Annotation>& OfStmt(StmtId stmt) const;
+  const std::vector<Annotation>& OfExpr(ExprId expr) const;
+
+  // The most recent (innermost) annotation, or null.
+  const Annotation* TopOfExpr(ExprId expr) const;
+  const Annotation* TopOfStmt(StmtId stmt) const;
+
+  std::size_t TotalCount() const;
+
+  // One line per annotated node, e.g. "s5: mv_4" / "e12: md_2, md_3".
+  std::string Render(const Program& program) const;
+
+ private:
+  std::unordered_map<StmtId, std::vector<Annotation>> stmt_annos_;
+  std::unordered_map<ExprId, std::vector<Annotation>> expr_annos_;
+  std::vector<Annotation> empty_;
+};
+
+}  // namespace pivot
+
+#endif  // PIVOT_ACTIONS_ANNOTATIONS_H_

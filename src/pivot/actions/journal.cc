@@ -1,0 +1,479 @@
+#include "pivot/actions/journal.h"
+
+#include <algorithm>
+
+#include "pivot/support/diagnostics.h"
+
+namespace pivot {
+
+ActionRecord& Journal::NewRecord(ActionKind kind, OrderStamp stamp) {
+  ActionRecord rec;
+  rec.id = ActionId(static_cast<std::uint32_t>(records_.size()) + 1);
+  rec.kind = kind;
+  rec.stamp = stamp;
+  records_.push_back(std::move(rec));
+  return records_.back();
+}
+
+void Journal::Annotate(ActionRecord& rec, StmtId stmt, ExprId expr) {
+  Annotation anno;
+  anno.kind = rec.kind;
+  anno.stamp = rec.stamp;
+  anno.action = rec.id;
+  if (stmt.valid()) annotations_.AddStmt(stmt, anno);
+  if (expr.valid()) annotations_.AddExpr(expr, anno);
+}
+
+ActionId Journal::Delete(Stmt& stmt, OrderStamp stamp) {
+  ActionRecord& rec = NewRecord(ActionKind::kDelete, stamp);
+  rec.stmt = stmt.id;
+  rec.orig_loc = CaptureLocationOf(program_, stmt);
+  rec.detached = program_.Detach(stmt);
+  Annotate(rec, rec.stmt, kNoExpr);
+  return rec.id;
+}
+
+ActionId Journal::Copy(Stmt& src, Stmt* dest_parent, BodyKind body,
+                       std::size_t index, OrderStamp stamp, Stmt** out_copy) {
+  PIVOT_CHECK(src.attached);
+  StmtPtr clone = CloneStmt(src);
+  ActionRecord& rec = NewRecord(ActionKind::kCopy, stamp);
+  rec.stmt = src.id;
+  rec.dest_loc = CaptureInsertionPoint(program_, dest_parent, body, index);
+  Stmt* raw = program_.InsertAt(dest_parent, body, index, std::move(clone));
+  rec.copy = raw->id;
+  // Both the source (its context is now duplicated) and the clone carry
+  // the cp annotation, per Figure 2.
+  Annotate(rec, rec.stmt, kNoExpr);
+  Annotate(rec, rec.copy, kNoExpr);
+  if (out_copy != nullptr) *out_copy = raw;
+  return rec.id;
+}
+
+ActionId Journal::Move(Stmt& stmt, Stmt* dest_parent, BodyKind body,
+                       std::size_t index, OrderStamp stamp) {
+  PIVOT_CHECK(stmt.attached);
+  ActionRecord& rec = NewRecord(ActionKind::kMove, stamp);
+  rec.stmt = stmt.id;
+  rec.orig_loc = CaptureLocationOf(program_, stmt);
+  StmtPtr owned = program_.Detach(stmt);
+  // `index` is interpreted in the destination list *after* the detach.
+  rec.dest_loc = CaptureInsertionPoint(program_, dest_parent, body, index);
+  program_.InsertAt(dest_parent, body, index, std::move(owned));
+  Annotate(rec, rec.stmt, kNoExpr);
+  return rec.id;
+}
+
+ActionId Journal::Add(StmtPtr stmt, Stmt* dest_parent, BodyKind body,
+                      std::size_t index, OrderStamp stamp,
+                      std::string description, Stmt** out) {
+  ActionRecord& rec = NewRecord(ActionKind::kAdd, stamp);
+  rec.description = std::move(description);
+  rec.dest_loc = CaptureInsertionPoint(program_, dest_parent, body, index);
+  Stmt* raw = program_.InsertAt(dest_parent, body, index, std::move(stmt));
+  rec.stmt = raw->id;
+  Annotate(rec, rec.stmt, kNoExpr);
+  if (out != nullptr) *out = raw;
+  return rec.id;
+}
+
+ActionId Journal::Modify(Expr& site, ExprPtr replacement, OrderStamp stamp,
+                         Expr** out_new) {
+  PIVOT_CHECK(replacement != nullptr);
+  PIVOT_CHECK_MSG(site.owner != nullptr,
+                  "Modify target must live on a statement");
+  ActionRecord& rec = NewRecord(ActionKind::kModify, stamp);
+  rec.expr_owner = site.owner->id;
+  rec.old_expr = site.id;  // valid once registered; site is registered
+  Expr* new_raw = replacement.get();
+  rec.replaced = program_.ReplaceExpr(site, std::move(replacement));
+  rec.old_expr = rec.replaced->id;
+  rec.new_expr = new_raw->id;
+  Annotate(rec, kNoStmt, rec.new_expr);
+  if (out_new != nullptr) *out_new = new_raw;
+  return rec.id;
+}
+
+ActionId Journal::ModifyHeader(Stmt& loop, std::string var, ExprPtr lo,
+                               ExprPtr hi, ExprPtr step, OrderStamp stamp) {
+  PIVOT_CHECK(loop.kind == StmtKind::kDo);
+  PIVOT_CHECK(lo != nullptr && hi != nullptr);
+  ActionRecord& rec = NewRecord(ActionKind::kModify, stamp);
+  rec.stmt = loop.id;
+  auto saved = std::make_unique<ActionRecord::HeaderPayload>();
+  saved->var = loop.loop_var;
+  saved->lo = program_.ReplaceSlotExpr(loop, ExprSlot::kLo, std::move(lo));
+  saved->hi = program_.ReplaceSlotExpr(loop, ExprSlot::kHi, std::move(hi));
+  saved->step =
+      program_.ReplaceSlotExpr(loop, ExprSlot::kStep, std::move(step));
+  program_.SetLoopVar(loop, std::move(var));
+  rec.saved_header = std::move(saved);
+  Annotate(rec, rec.stmt, kNoExpr);
+  return rec.id;
+}
+
+const ActionRecord* Journal::FindDetachedHolder(StmtId id) const {
+  const Stmt* target = program_.FindStmt(id);
+  if (target == nullptr) return nullptr;
+  for (const ActionRecord& rec : records_) {
+    if (rec.undone || rec.detached == nullptr) continue;
+    bool contains = false;
+    ForEachStmt(static_cast<const Stmt&>(*rec.detached),
+                [&](const Stmt& s) {
+                  if (s.id == id) contains = true;
+                });
+    if (contains) return &rec;
+  }
+  return nullptr;
+}
+
+bool Journal::IsEditStamp(OrderStamp stamp) const {
+  return std::find(edit_stamps_.begin(), edit_stamps_.end(), stamp) !=
+         edit_stamps_.end();
+}
+
+const ActionRecord& Journal::record(ActionId action) const {
+  PIVOT_CHECK(action.valid() &&
+              action.value() <= records_.size());
+  return records_[action.value() - 1];
+}
+
+std::vector<ActionId> Journal::LiveActionsOf(OrderStamp stamp) const {
+  std::vector<ActionId> result;
+  for (const ActionRecord& rec : records_) {
+    if (rec.stamp == stamp && !rec.undone) result.push_back(rec.id);
+  }
+  return result;
+}
+
+bool Journal::IsLaterLive(const ActionRecord& rec,
+                          const ActionRecord& other) const {
+  return other.id.value() > rec.id.value() && !other.undone &&
+         other.stamp != rec.stamp;
+}
+
+bool Journal::TargetsInside(const ActionRecord& other,
+                            const Stmt& root) const {
+  auto inside = [&](StmtId id) {
+    if (!id.valid()) return false;
+    const Stmt* stmt = program_.FindStmt(id);
+    return stmt != nullptr && IsAncestorOf(root, *stmt);
+  };
+  switch (other.kind) {
+    case ActionKind::kDelete:
+    case ActionKind::kMove:
+    case ActionKind::kAdd:
+      return inside(other.stmt);
+    case ActionKind::kCopy:
+      return inside(other.copy);
+    case ActionKind::kModify:
+      return inside(other.saved_header != nullptr ? other.stmt
+                                                  : other.expr_owner);
+  }
+  return false;
+}
+
+const ActionRecord* Journal::FindLaterTouch(const ActionRecord& rec,
+                                            const Stmt& root) const {
+  const ActionRecord* found = nullptr;
+  for (const ActionRecord& other : records_) {
+    if (!IsLaterLive(rec, other)) continue;
+    if (TargetsInside(other, root)) found = &other;  // keep the latest
+  }
+  return found;
+}
+
+const ActionRecord* Journal::FindLocationClobber(const ActionRecord& rec,
+                                                 const Location& loc) const {
+  if (!loc.parent.valid()) return nullptr;  // the top level always exists
+  const Stmt* parent = program_.FindStmt(loc.parent);
+  if (parent == nullptr) return nullptr;
+
+  const ActionRecord* found = nullptr;
+  for (const ActionRecord& other : records_) {
+    if (!IsLaterLive(rec, other)) continue;
+    switch (other.kind) {
+      case ActionKind::kDelete: {
+        // Did this deletion remove the location's context? The detached
+        // subtree is owned by the record; look for the parent inside it.
+        if (other.detached == nullptr) break;
+        bool contains = false;
+        ForEachStmt(static_cast<const Stmt&>(*other.detached),
+                    [&](const Stmt& s) {
+                      if (s.id == loc.parent) contains = true;
+                    });
+        if (contains) found = &other;
+        break;
+      }
+      case ActionKind::kCopy: {
+        // "Copy context of the location": the context was duplicated, so
+        // the original location is no longer uniquely determined at the
+        // source level (paper Table 3).
+        const Stmt* src = program_.FindStmt(other.stmt);
+        const Stmt* copy = program_.FindStmt(other.copy);
+        if ((src != nullptr && IsAncestorOf(*src, *parent)) ||
+            (copy != nullptr && IsAncestorOf(*copy, *parent))) {
+          found = &other;
+        }
+        break;
+      }
+      default:
+        break;  // moving the context keeps the location determined
+    }
+  }
+  return found;
+}
+
+InvertCheck Journal::CanInvert(ActionId action) const {
+  const ActionRecord& rec = record(action);
+  PIVOT_CHECK_MSG(!rec.undone, "action already undone");
+
+  auto find_live_detacher = [&](StmtId id) -> const ActionRecord* {
+    const ActionRecord* found = nullptr;
+    const Stmt* target = program_.FindStmt(id);
+    for (const ActionRecord& other : records_) {
+      if (!IsLaterLive(rec, other)) continue;
+      if (other.kind != ActionKind::kDelete || other.detached == nullptr) {
+        continue;
+      }
+      if (target != nullptr) {
+        bool contains = false;
+        ForEachStmt(static_cast<const Stmt&>(*other.detached),
+                    [&](const Stmt& s) {
+                      if (s.id == id) contains = true;
+                    });
+        if (contains) found = &other;
+      }
+    }
+    return found;
+  };
+
+  switch (rec.kind) {
+    case ActionKind::kDelete: {
+      // Inverse: Add(orig_location, -, a).
+      if (const ActionRecord* blocker =
+              FindLocationClobber(rec, rec.orig_loc)) {
+        return InvertCheck::Blocked(
+            blocker, "original location context was " +
+                         std::string(blocker->kind == ActionKind::kCopy
+                                         ? "copied"
+                                         : "deleted"));
+      }
+      if (!ResolveLocation(program_, rec.orig_loc)) {
+        // The context may be held detached by an action of the same
+        // transformation; reverse-order inversion restores it first.
+        const ActionRecord* holder = FindDetachedHolder(rec.orig_loc.parent);
+        if (holder != nullptr && holder->stamp == rec.stamp) {
+          return InvertCheck::Ok();
+        }
+        return InvertCheck::Blocked(holder,
+                                    "original location cannot be determined");
+      }
+      return InvertCheck::Ok();
+    }
+    case ActionKind::kCopy: {
+      // Inverse: Delete(c).
+      const Stmt* copy = program_.FindStmt(rec.copy);
+      if (copy == nullptr || !copy->attached) {
+        const ActionRecord* blocker = find_live_detacher(rec.copy);
+        return InvertCheck::Blocked(blocker, "the copy is no longer present");
+      }
+      if (const ActionRecord* blocker = FindLaterTouch(rec, *copy)) {
+        return InvertCheck::Blocked(
+            blocker, "a later transformation touched the copy");
+      }
+      return InvertCheck::Ok();
+    }
+    case ActionKind::kMove: {
+      const Stmt* stmt = program_.FindStmt(rec.stmt);
+      if (stmt == nullptr || !stmt->attached) {
+        const ActionRecord* blocker = find_live_detacher(rec.stmt);
+        return InvertCheck::Blocked(blocker,
+                                    "the moved statement was deleted");
+      }
+      // Relocated again, or duplicated, by a later transformation? Moving
+      // the original back while clones remain (e.g. LUR copied the fused
+      // body) would leave the copies inconsistent.
+      for (const ActionRecord& other : records_) {
+        if (!IsLaterLive(rec, other)) continue;
+        if (other.kind == ActionKind::kMove && other.stmt == rec.stmt) {
+          return InvertCheck::Blocked(&other,
+                                      "the statement was moved again");
+        }
+        if (other.kind == ActionKind::kCopy) {
+          const Stmt* src = program_.FindStmt(other.stmt);
+          if (src != nullptr && stmt != nullptr &&
+              IsAncestorOf(*src, *stmt)) {
+            return InvertCheck::Blocked(
+                &other, "the moved statement was copied");
+          }
+        }
+      }
+      if (const ActionRecord* blocker =
+              FindLocationClobber(rec, rec.orig_loc)) {
+        return InvertCheck::Blocked(
+            blocker, "original location context was disturbed");
+      }
+      if (!ResolveLocation(program_, rec.orig_loc)) {
+        const ActionRecord* holder = FindDetachedHolder(rec.orig_loc.parent);
+        if (holder != nullptr && holder->stamp == rec.stamp) {
+          return InvertCheck::Ok();
+        }
+        return InvertCheck::Blocked(holder,
+                                    "original location cannot be determined");
+      }
+      return InvertCheck::Ok();
+    }
+    case ActionKind::kAdd: {
+      const Stmt* stmt = program_.FindStmt(rec.stmt);
+      if (stmt == nullptr || !stmt->attached) {
+        const ActionRecord* blocker = find_live_detacher(rec.stmt);
+        return InvertCheck::Blocked(blocker,
+                                    "the added statement was deleted");
+      }
+      if (const ActionRecord* blocker = FindLaterTouch(rec, *stmt)) {
+        return InvertCheck::Blocked(
+            blocker, "a later transformation touched the added statement");
+      }
+      return InvertCheck::Ok();
+    }
+    case ActionKind::kModify: {
+      if (rec.saved_header != nullptr) {
+        // Loop-header variant.
+        const Stmt* loop = program_.FindStmt(rec.stmt);
+        PIVOT_CHECK(loop != nullptr);
+        if (!loop->attached) {
+          const ActionRecord* holder = FindDetachedHolder(rec.stmt);
+          if (holder == nullptr || holder->stamp != rec.stamp) {
+            return InvertCheck::Blocked(holder, "the loop was deleted");
+          }
+        }
+        for (const ActionRecord& other : records_) {
+          if (!IsLaterLive(rec, other)) continue;
+          if (other.kind == ActionKind::kModify &&
+              other.saved_header != nullptr && other.stmt == rec.stmt) {
+            return InvertCheck::Blocked(&other,
+                                        "the loop header was modified again");
+          }
+          if (other.kind == ActionKind::kCopy) {
+            const Stmt* src = program_.FindStmt(other.stmt);
+            if (src != nullptr && IsAncestorOf(*src, *loop)) {
+              return InvertCheck::Blocked(
+                  &other, "the loop's context was copied");
+            }
+          }
+        }
+        return InvertCheck::Ok();
+      }
+      const Expr* node = program_.FindExpr(rec.new_expr);
+      PIVOT_CHECK(node != nullptr);
+      if (node->owner == nullptr) {
+        // Our replacement subtree was itself replaced by a later Modify.
+        const ActionRecord* found = nullptr;
+        for (const ActionRecord& other : records_) {
+          if (!IsLaterLive(rec, other)) continue;
+          if (other.kind != ActionKind::kModify || other.replaced == nullptr) {
+            continue;
+          }
+          bool contains = false;
+          ForEachExpr(static_cast<const Expr&>(*other.replaced),
+                      [&](const Expr& e) {
+                        if (e.id == rec.new_expr) contains = true;
+                      });
+          if (contains) found = &other;
+        }
+        return InvertCheck::Blocked(found,
+                                    "the modified expression was replaced");
+      }
+      const Stmt* owner = node->owner;
+      if (!owner->attached) {
+        const ActionRecord* blocker = find_live_detacher(owner->id);
+        return InvertCheck::Blocked(
+            blocker, "the statement holding the modification was deleted");
+      }
+      // A later copy of the owning statement duplicated the modified code;
+      // inverting only the original would leave the clone transformed.
+      for (const ActionRecord& other : records_) {
+        if (!IsLaterLive(rec, other)) continue;
+        if (other.kind != ActionKind::kCopy) continue;
+        const Stmt* src = program_.FindStmt(other.stmt);
+        if (src != nullptr && IsAncestorOf(*src, *owner)) {
+          return InvertCheck::Blocked(
+              &other, "the modified statement's context was copied");
+        }
+      }
+      return InvertCheck::Ok();
+    }
+  }
+  PIVOT_UNREACHABLE("action kind");
+}
+
+void Journal::Invert(ActionId action) {
+  const InvertCheck check = CanInvert(action);
+  PIVOT_CHECK_MSG(check.ok, "inverse action not performable: " + check.reason);
+  ActionRecord& rec = records_[action.value() - 1];
+
+  switch (rec.kind) {
+    case ActionKind::kDelete: {
+      // Add(orig_location, -, a).
+      auto resolved = ResolveLocation(program_, rec.orig_loc, rec.stmt);
+      PIVOT_CHECK(resolved.has_value());
+      PIVOT_CHECK(rec.detached != nullptr);
+      program_.InsertAt(resolved->parent, resolved->body, resolved->index,
+                        std::move(rec.detached));
+      break;
+    }
+    case ActionKind::kCopy: {
+      // Delete(c); the clone is retired into the record so registry
+      // pointers (annotations, other records) stay valid.
+      Stmt& copy = program_.GetStmt(rec.copy);
+      rec.detached = program_.Detach(copy);
+      break;
+    }
+    case ActionKind::kMove: {
+      // Move(a, orig_location).
+      Stmt& stmt = program_.GetStmt(rec.stmt);
+      StmtPtr owned = program_.Detach(stmt);
+      auto resolved = ResolveLocation(program_, rec.orig_loc, rec.stmt);
+      PIVOT_CHECK(resolved.has_value());
+      program_.InsertAt(resolved->parent, resolved->body, resolved->index,
+                        std::move(owned));
+      break;
+    }
+    case ActionKind::kAdd: {
+      // Delete(a).
+      Stmt& stmt = program_.GetStmt(rec.stmt);
+      rec.detached = program_.Detach(stmt);
+      break;
+    }
+    case ActionKind::kModify: {
+      if (rec.saved_header != nullptr) {
+        // Modify(L1, saved header): swap the headers back.
+        Stmt& loop = program_.GetStmt(rec.stmt);
+        auto current = std::make_unique<ActionRecord::HeaderPayload>();
+        current->var = loop.loop_var;
+        ActionRecord::HeaderPayload& saved = *rec.saved_header;
+        current->lo = program_.ReplaceSlotExpr(loop, ExprSlot::kLo,
+                                               std::move(saved.lo));
+        current->hi = program_.ReplaceSlotExpr(loop, ExprSlot::kHi,
+                                               std::move(saved.hi));
+        current->step = program_.ReplaceSlotExpr(loop, ExprSlot::kStep,
+                                                 std::move(saved.step));
+        program_.SetLoopVar(loop, saved.var);
+        rec.saved_header = std::move(current);
+        break;
+      }
+      // Modify(new_exp(a), exp).
+      Expr& node = program_.GetExpr(rec.new_expr);
+      PIVOT_CHECK(rec.replaced != nullptr);
+      ExprPtr removed = program_.ReplaceExpr(node, std::move(rec.replaced));
+      rec.replaced = std::move(removed);  // retire the replacement subtree
+      break;
+    }
+  }
+
+  rec.undone = true;
+  annotations_.RemoveAction(action);
+}
+
+}  // namespace pivot

@@ -1,0 +1,140 @@
+// The order-stamped action journal.
+//
+// All program mutation performed by transformations goes through the
+// journal: it applies the five primitive actions (Table 1), records one
+// ActionRecord per action with the issuing transformation's order stamp,
+// and maintains the APDG/ADAG annotations (Figure 2).
+//
+// The journal also answers the *reversibility* question of §4.2(2): can an
+// action's inverse be performed right now, and if not, which later action
+// (hence which later transformation) is in the way? That answer drives
+// lines 7–9 of the paper's UNDO algorithm.
+#ifndef PIVOT_ACTIONS_JOURNAL_H_
+#define PIVOT_ACTIONS_JOURNAL_H_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "pivot/actions/action.h"
+#include "pivot/actions/annotations.h"
+
+namespace pivot {
+
+// Why an inverse action cannot be performed immediately. `blocker` is the
+// later, still-live action that invalidated the post-pattern; its stamp
+// identifies the affecting transformation.
+struct InvertCheck {
+  bool ok = false;
+  const ActionRecord* blocker = nullptr;
+  std::string reason;
+
+  static InvertCheck Ok() { return {true, nullptr, {}}; }
+  static InvertCheck Blocked(const ActionRecord* by, std::string why) {
+    return {false, by, std::move(why)};
+  }
+};
+
+class Journal {
+ public:
+  explicit Journal(Program& program) : program_(program) {}
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  Program& program() { return program_; }
+  const Program& program() const { return program_; }
+  AnnotationMap& annotations() { return annotations_; }
+  const AnnotationMap& annotations() const { return annotations_; }
+
+  // --- The five primitive actions ---
+  // Each applies the mutation, records it under `stamp`, annotates the
+  // touched nodes and returns the action id.
+
+  // Delete (a): detach `stmt`, remembering its location for restoration.
+  ActionId Delete(Stmt& stmt, OrderStamp stamp);
+
+  // Copy (a, location, c): clone `src` (deep) into the given slot. The
+  // clone is returned through `out_copy`.
+  ActionId Copy(Stmt& src, Stmt* dest_parent, BodyKind body,
+                std::size_t index, OrderStamp stamp,
+                Stmt** out_copy = nullptr);
+
+  // Move (a, location).
+  ActionId Move(Stmt& stmt, Stmt* dest_parent, BodyKind body,
+                std::size_t index, OrderStamp stamp);
+
+  // Add (location, description, a): attach the new statement `stmt`.
+  ActionId Add(StmtPtr stmt, Stmt* dest_parent, BodyKind body,
+               std::size_t index, OrderStamp stamp, std::string description,
+               Stmt** out = nullptr);
+
+  // Modify (exp(a), new_exp): replace the subtree at `site`. The new root
+  // is returned through `out_new` (it is the registered `replacement`).
+  ActionId Modify(Expr& site, ExprPtr replacement, OrderStamp stamp,
+                  Expr** out_new = nullptr);
+
+  // Modify (L1, new header): the loop-header variant of Modify used by the
+  // restructuring transformations (paper Table 2 writes INX as
+  // Copy(L1,Ltmp); Modify(L1,L2); Modify(L2,Ltmp) — the temporary lives in
+  // the action record here). `step` may be null (meaning 1).
+  ActionId ModifyHeader(Stmt& loop, std::string var, ExprPtr lo, ExprPtr hi,
+                        ExprPtr step, OrderStamp stamp);
+
+  // --- Reversal ---
+  // Is the inverse of `action` immediately performable? (§4.2(2))
+  InvertCheck CanInvert(ActionId action) const;
+
+  // Performs the inverse (Table 1, right column) and marks the record
+  // undone. PIVOT_CHECKs that CanInvert holds.
+  void Invert(ActionId action);
+
+  // --- Introspection ---
+  const ActionRecord& record(ActionId action) const;
+  // Deque: record addresses stay stable as the journal grows.
+  const std::deque<ActionRecord>& records() const { return records_; }
+
+  // Live (not yet undone) actions issued by transformation `stamp`, in
+  // application order.
+  std::vector<ActionId> LiveActionsOf(OrderStamp stamp) const;
+
+  // The live action, later than journal position of `rec`, from a
+  // different transformation, whose target lies inside the subtree rooted
+  // at `root` — the generic "someone touched what I need to undo" probe.
+  const ActionRecord* FindLaterTouch(const ActionRecord& rec,
+                                     const Stmt& root) const;
+
+  // The live later action that makes `loc` undeterminable: one that
+  // deleted the location's context, or copied it (paper Table 3,
+  // reversibility-disabling conditions of DCE). Actions of the *same*
+  // transformation are exempt: inverting a transformation's actions in
+  // reverse order restores intra-transformation context first.
+  const ActionRecord* FindLocationClobber(const ActionRecord& rec,
+                                          const Location& loc) const;
+
+  // The live Delete action whose detached subtree currently holds the
+  // statement `id`, or null.
+  const ActionRecord* FindDetachedHolder(StmtId id) const;
+
+  // Stamps issued to user edits (marked by the Editor). Safety checks need
+  // the distinction: a pre-pattern statement deleted by a *transformation*
+  // was legitimately consumed (performing a transformation never destroys
+  // an earlier one's safety, §4.2(1)); one deleted by an *edit* is gone.
+  void MarkEditStamp(OrderStamp stamp) { edit_stamps_.push_back(stamp); }
+  bool IsEditStamp(OrderStamp stamp) const;
+
+ private:
+  ActionRecord& NewRecord(ActionKind kind, OrderStamp stamp);
+  void Annotate(ActionRecord& rec, StmtId stmt, ExprId expr);
+  bool IsLaterLive(const ActionRecord& rec, const ActionRecord& other) const;
+  // Target statement inside subtree test (by current tree shape).
+  bool TargetsInside(const ActionRecord& other, const Stmt& root) const;
+
+  Program& program_;
+  std::deque<ActionRecord> records_;
+  AnnotationMap annotations_;
+  std::vector<OrderStamp> edit_stamps_;
+};
+
+}  // namespace pivot
+
+#endif  // PIVOT_ACTIONS_JOURNAL_H_

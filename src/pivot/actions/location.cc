@@ -1,0 +1,145 @@
+#include "pivot/actions/location.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "pivot/support/diagnostics.h"
+
+namespace pivot {
+
+namespace {
+
+Location Capture(Program& program, Stmt* parent, BodyKind body,
+                 std::size_t index, StmtId exclude) {
+  Location loc;
+  loc.parent = parent != nullptr ? parent->id : kNoStmt;
+  loc.body = body;
+  const std::vector<StmtPtr>& list = program.BodyListOf(parent, body);
+  index = std::min(index, list.size());
+  loc.index = static_cast<int>(index);
+  // All siblings before the slot, nearest first.
+  for (std::size_t i = index; i-- > 0;) {
+    loc.preceding.push_back(list[i]->id);
+  }
+  // All siblings after the slot, nearest first; when capturing the
+  // location *of* a statement (`exclude`), that statement occupies the
+  // slot itself and is skipped.
+  for (std::size_t i = index; i < list.size(); ++i) {
+    if (list[i]->id != exclude) loc.following.push_back(list[i]->id);
+  }
+  if (!loc.preceding.empty()) loc.before = loc.preceding.front();
+  if (!loc.following.empty()) loc.after = loc.following.front();
+  return loc;
+}
+
+}  // namespace
+
+Location CaptureLocationOf(Program& program, const Stmt& stmt) {
+  PIVOT_CHECK(stmt.attached);
+  const std::size_t index = program.IndexOf(stmt);
+  return Capture(program, stmt.parent, stmt.parent_body, index, stmt.id);
+}
+
+Location CaptureInsertionPoint(Program& program, Stmt* parent, BodyKind body,
+                               std::size_t index) {
+  return Capture(program, parent, body, index, kNoStmt);
+}
+
+std::optional<ResolvedLocation> ResolveLocation(Program& program,
+                                                const Location& loc,
+                                                StmtId self) {
+  Stmt* parent = nullptr;
+  if (loc.parent.valid()) {
+    parent = program.FindStmt(loc.parent);
+    if (parent == nullptr || !parent->attached) return std::nullopt;
+    if (parent->kind != StmtKind::kDo && parent->kind != StmtKind::kIf) {
+      return std::nullopt;
+    }
+  }
+  const std::vector<StmtPtr>& list = program.BodyListOf(parent, loc.body);
+
+  ResolvedLocation resolved;
+  resolved.parent = parent;
+  resolved.body = loc.body;
+
+  auto index_of = [&list](StmtId id) -> std::optional<std::size_t> {
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      if (list[i]->id == id) return i;
+    }
+    return std::nullopt;
+  };
+
+  // The nearest *surviving* sibling on each side bounds the slot; the
+  // uncertain window between them (siblings restored earlier, newcomers)
+  // is ordered by statement id, which reflects original textual order.
+  std::optional<std::size_t> pred_idx;
+  for (StmtId id : loc.preceding) {
+    if ((pred_idx = index_of(id))) break;
+  }
+  std::optional<std::size_t> foll_idx;
+  for (StmtId id : loc.following) {
+    if ((foll_idx = index_of(id))) break;
+  }
+
+  const std::size_t window_lo = pred_idx ? *pred_idx + 1 : 0;
+  const std::size_t window_hi = foll_idx ? *foll_idx : list.size();
+  if (window_lo > window_hi) {
+    // Anchors crossed (siblings were reordered around the slot): fall back
+    // to the predecessor side.
+    resolved.index = std::min(window_lo, list.size());
+    return resolved;
+  }
+  // Subtree proxies: an occupant that now *contains* one of the recorded
+  // preceding siblings (e.g. a strip-mining loop wrapped around it) stands
+  // in for that predecessor and must stay in front; one containing a
+  // recorded following sibling must stay behind.
+  auto contains_any = [&program](const Stmt& root,
+                                 const std::vector<StmtId>& ids) {
+    for (StmtId id : ids) {
+      const Stmt* stmt = program.FindStmt(id);
+      if (stmt != nullptr && stmt->attached && IsAncestorOf(root, *stmt)) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  std::size_t pos = window_lo;
+  while (pos < window_hi) {
+    const Stmt& occupant = *list[pos];
+    if (contains_any(occupant, loc.following)) break;
+    if (contains_any(occupant, loc.preceding)) {
+      ++pos;
+      continue;
+    }
+    if (self.valid() && occupant.id < self) {
+      ++pos;
+      continue;
+    }
+    break;
+  }
+  if (!pred_idx && !foll_idx && loc.preceding.empty() &&
+      loc.following.empty()) {
+    // The slot had no siblings at all: the raw index (clamped) is the only
+    // information available.
+    pos = std::min(static_cast<std::size_t>(std::max(loc.index, 0)),
+                   list.size());
+  }
+  resolved.index = pos;
+  return resolved;
+}
+
+std::string LocationToString(const Location& loc) {
+  std::ostringstream os;
+  os << "(parent=";
+  if (loc.parent.valid()) {
+    os << "s" << loc.parent.value();
+  } else {
+    os << "top";
+  }
+  os << (loc.body == BodyKind::kElse ? ",else" : "") << ", index="
+     << loc.index << ")";
+  return os.str();
+}
+
+}  // namespace pivot

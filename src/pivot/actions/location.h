@@ -1,0 +1,63 @@
+// Anchored statement locations.
+//
+// Primitive actions record where a statement used to live so that inverse
+// actions can put it back (Table 1: Delete's inverse is
+// Add(orig_location, -, a)). A Location captures the parent region, the
+// body, the index, and the neighbouring statement ids at capture time; when
+// resolving much later, surviving neighbours take precedence over the raw
+// index so that unrelated insertions/removals in the same body do not skew
+// the restoration point.
+#ifndef PIVOT_ACTIONS_LOCATION_H_
+#define PIVOT_ACTIONS_LOCATION_H_
+
+#include <optional>
+#include <string>
+
+#include "pivot/ir/program.h"
+
+namespace pivot {
+
+struct Location {
+  StmtId parent;           // kNoStmt = top level
+  BodyKind body = BodyKind::kMain;
+  int index = 0;           // position in the body list at capture time
+  StmtId before;           // statement just before the slot, if any
+  StmtId after;            // statement just after the slot, if any
+  // Full sibling context at capture time, nearest-first. When the
+  // immediate neighbours are themselves deleted (chains of DCEs), the
+  // nearest *surviving* sibling on each side still pins the slot.
+  std::vector<StmtId> preceding;
+  std::vector<StmtId> following;
+};
+
+// The current location of an attached statement (the slot it occupies).
+Location CaptureLocationOf(Program& program, const Stmt& stmt);
+
+// An arbitrary insertion point.
+Location CaptureInsertionPoint(Program& program, Stmt* parent, BodyKind body,
+                               std::size_t index);
+
+struct ResolvedLocation {
+  Stmt* parent = nullptr;  // null = top level
+  BodyKind body = BodyKind::kMain;
+  std::size_t index = 0;
+};
+
+// Resolves to a concrete insertion point in the current program, or
+// nullopt when the location's context no longer exists (its parent was
+// deleted). See journal.h for the policy-level "context copied" check.
+//
+// `self` is the statement being restored (when known): if both anchors
+// survive with other statements now between them — e.g. two adjacent
+// deletions restored in the opposite order — the gap is ordered by
+// statement id, which reflects original textual order, so siblings come
+// back in their original arrangement regardless of restore order.
+std::optional<ResolvedLocation> ResolveLocation(Program& program,
+                                                const Location& loc,
+                                                StmtId self = kNoStmt);
+
+std::string LocationToString(const Location& loc);
+
+}  // namespace pivot
+
+#endif  // PIVOT_ACTIONS_LOCATION_H_

@@ -1,0 +1,114 @@
+#include "pivot/analysis/analyses.h"
+
+namespace pivot {
+
+bool AnalysisCache::Stale() {
+  if (cached_epoch_ == program_.epoch()) return false;
+  Invalidate();
+  cached_epoch_ = program_.epoch();
+  ++rebuilds_;
+  return true;
+}
+
+void AnalysisCache::Invalidate() {
+  // Dependents first (they hold references into their prerequisites).
+  summaries_.reset();
+  pdg_.reset();
+  deps_.reset();
+  loops_.reset();
+  defuse_.reset();
+  avail_.reset();
+  liveness_.reset();
+  reaching_.reset();
+  facts_.reset();
+  doms_.reset();
+  cfg_.reset();
+  flat_.reset();
+  cached_epoch_ = 0;
+}
+
+const FlatProgram& AnalysisCache::flat() {
+  Stale();
+  if (!flat_) flat_.emplace(Flatten(program_));
+  return *flat_;
+}
+
+const Cfg& AnalysisCache::cfg() {
+  Stale();
+  if (!cfg_) cfg_.emplace(BuildCfg(program_));
+  return *cfg_;
+}
+
+const Dominators& AnalysisCache::doms() {
+  Stale();
+  if (!doms_) doms_.emplace(cfg());
+  return *doms_;
+}
+
+const ProgramFacts& AnalysisCache::facts() {
+  Stale();
+  if (!facts_) facts_.emplace(ComputeFacts(cfg()));
+  return *facts_;
+}
+
+const ReachingDefs& AnalysisCache::reaching() {
+  Stale();
+  if (!reaching_) {
+    const Cfg& c = cfg();
+    reaching_.emplace(c, facts());
+  }
+  return *reaching_;
+}
+
+const Liveness& AnalysisCache::liveness() {
+  Stale();
+  if (!liveness_) {
+    const Cfg& c = cfg();
+    liveness_.emplace(c, facts());
+  }
+  return *liveness_;
+}
+
+const AvailExprs& AnalysisCache::avail() {
+  Stale();
+  if (!avail_) {
+    const Cfg& c = cfg();
+    avail_.emplace(c, facts());
+  }
+  return *avail_;
+}
+
+const DefUseChains& AnalysisCache::defuse() {
+  Stale();
+  if (!defuse_) {
+    const Cfg& c = cfg();
+    defuse_.emplace(c, facts(), reaching());
+  }
+  return *defuse_;
+}
+
+const LoopTree& AnalysisCache::loops() {
+  Stale();
+  if (!loops_) loops_.emplace(program_);
+  return *loops_;
+}
+
+const std::vector<Dependence>& AnalysisCache::deps() {
+  Stale();
+  if (!deps_) deps_.emplace(ComputeDependences(program_, loops()));
+  return *deps_;
+}
+
+const Pdg& AnalysisCache::pdg() {
+  Stale();
+  if (!pdg_) pdg_.emplace(program_, deps());
+  return *pdg_;
+}
+
+const DependenceSummaries& AnalysisCache::summaries() {
+  Stale();
+  if (!summaries_) summaries_.emplace(pdg());
+  return *summaries_;
+}
+
+}  // namespace pivot

@@ -1,0 +1,76 @@
+// AnalysisCache: epoch-validated facade over all analyses.
+//
+// Transformations and the undo engine query analyses through this cache;
+// every Program mutation bumps the program epoch, and stale results are
+// rebuilt lazily on next access. The rebuild counters feed the paper's
+// event-driven-regional-undo benchmarks (how much re-analysis each undo
+// strategy triggers).
+#ifndef PIVOT_ANALYSIS_ANALYSES_H_
+#define PIVOT_ANALYSIS_ANALYSES_H_
+
+#include <memory>
+#include <optional>
+
+#include "pivot/analysis/cfg.h"
+#include "pivot/analysis/dataflow.h"
+#include "pivot/analysis/defuse.h"
+#include "pivot/analysis/depend.h"
+#include "pivot/analysis/dominators.h"
+#include "pivot/analysis/flatten.h"
+#include "pivot/analysis/loops.h"
+#include "pivot/analysis/pdg.h"
+#include "pivot/analysis/summary.h"
+
+namespace pivot {
+
+class AnalysisCache {
+ public:
+  explicit AnalysisCache(Program& program) : program_(program) {}
+
+  Program& program() { return program_; }
+
+  const FlatProgram& flat();
+  const Cfg& cfg();
+  const Dominators& doms();
+  const ProgramFacts& facts();
+  const ReachingDefs& reaching();
+  const Liveness& liveness();
+  const AvailExprs& avail();
+  const DefUseChains& defuse();
+  const LoopTree& loops();
+  const std::vector<Dependence>& deps();
+  const Pdg& pdg();
+  const DependenceSummaries& summaries();
+
+  // Drops every cached result regardless of epoch.
+  void Invalidate();
+
+  // Number of from-scratch rebuilds of each analysis family since
+  // construction — the re-analysis cost metric used by the benchmarks.
+  std::uint64_t rebuild_count() const { return rebuilds_; }
+
+ private:
+  // True (and refreshes bookkeeping) when the cached epoch is stale.
+  bool Stale();
+
+  Program& program_;
+  std::uint64_t cached_epoch_ = 0;
+  std::uint64_t rebuilds_ = 0;
+
+  std::optional<FlatProgram> flat_;
+  std::optional<Cfg> cfg_;
+  std::optional<Dominators> doms_;
+  std::optional<ProgramFacts> facts_;
+  std::optional<ReachingDefs> reaching_;
+  std::optional<Liveness> liveness_;
+  std::optional<AvailExprs> avail_;
+  std::optional<DefUseChains> defuse_;
+  std::optional<LoopTree> loops_;
+  std::optional<std::vector<Dependence>> deps_;
+  std::optional<Pdg> pdg_;
+  std::optional<DependenceSummaries> summaries_;
+};
+
+}  // namespace pivot
+
+#endif  // PIVOT_ANALYSIS_ANALYSES_H_

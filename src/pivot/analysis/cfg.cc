@@ -1,0 +1,133 @@
+#include "pivot/analysis/cfg.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "pivot/ir/printer.h"
+#include "pivot/support/diagnostics.h"
+
+namespace pivot {
+namespace {
+
+class Builder {
+ public:
+  explicit Builder(Program& program) : program_(program) {}
+
+  Cfg Build() {
+    cfg_.entry = NewNode(CfgNode::Kind::kEntry, nullptr);
+    cfg_.exit = NewNode(CfgNode::Kind::kExit, nullptr);
+    std::vector<int> dangling = BuildSeq(program_.top(), {cfg_.entry});
+    for (int from : dangling) AddEdge(from, cfg_.exit);
+    return std::move(cfg_);
+  }
+
+ private:
+  int NewNode(CfgNode::Kind kind, Stmt* stmt) {
+    CfgNode node;
+    node.kind = kind;
+    node.stmt = stmt;
+    cfg_.nodes.push_back(std::move(node));
+    const int index = static_cast<int>(cfg_.nodes.size()) - 1;
+    if (stmt != nullptr) cfg_.node_of[stmt->id] = index;
+    return index;
+  }
+
+  void AddEdge(int from, int to) {
+    cfg_.nodes[static_cast<std::size_t>(from)].succs.push_back(to);
+    cfg_.nodes[static_cast<std::size_t>(to)].preds.push_back(from);
+  }
+
+  // Wires `body` after the given incoming edges; returns the dangling
+  // exits that continue to whatever follows the body.
+  std::vector<int> BuildSeq(const std::vector<StmtPtr>& body,
+                            std::vector<int> incoming) {
+    for (const auto& stmt_ptr : body) {
+      Stmt& stmt = *stmt_ptr;
+      const int node = NewNode(CfgNode::Kind::kStmt, &stmt);
+      for (int from : incoming) AddEdge(from, node);
+      switch (stmt.kind) {
+        case StmtKind::kAssign:
+        case StmtKind::kRead:
+        case StmtKind::kWrite:
+          incoming = {node};
+          break;
+        case StmtKind::kDo: {
+          // node tests the bound: taken -> body, body end -> node (back
+          // edge), not taken -> fallthrough.
+          std::vector<int> body_out = BuildSeq(stmt.body, {node});
+          for (int from : body_out) AddEdge(from, node);
+          incoming = {node};
+          break;
+        }
+        case StmtKind::kIf: {
+          std::vector<int> then_out = BuildSeq(stmt.body, {node});
+          std::vector<int> out = std::move(then_out);
+          if (stmt.else_body.empty()) {
+            out.push_back(node);  // false edge falls through
+          } else {
+            std::vector<int> else_out = BuildSeq(stmt.else_body, {node});
+            out.insert(out.end(), else_out.begin(), else_out.end());
+          }
+          incoming = std::move(out);
+          break;
+        }
+      }
+    }
+    return incoming;
+  }
+
+  Program& program_;
+  Cfg cfg_;
+};
+
+void PostOrder(const Cfg& cfg, int node, std::vector<bool>& visited,
+               std::vector<int>& out) {
+  visited[static_cast<std::size_t>(node)] = true;
+  for (int succ : cfg.nodes[static_cast<std::size_t>(node)].succs) {
+    if (!visited[static_cast<std::size_t>(succ)]) {
+      PostOrder(cfg, succ, visited, out);
+    }
+  }
+  out.push_back(node);
+}
+
+}  // namespace
+
+int Cfg::NodeOf(const Stmt& stmt) const {
+  auto it = node_of.find(stmt.id);
+  PIVOT_CHECK_MSG(it != node_of.end(), "statement has no CFG node");
+  return it->second;
+}
+
+std::vector<int> Cfg::ReversePostOrder() const {
+  std::vector<bool> visited(nodes.size(), false);
+  std::vector<int> order;
+  order.reserve(nodes.size());
+  PostOrder(*this, entry, visited, order);
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+std::string Cfg::ToDot() const {
+  std::ostringstream os;
+  os << "digraph cfg {\n";
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const CfgNode& node = nodes[i];
+    os << "  n" << i << " [label=\"";
+    switch (node.kind) {
+      case CfgNode::Kind::kEntry: os << "ENTRY"; break;
+      case CfgNode::Kind::kExit: os << "EXIT"; break;
+      case CfgNode::Kind::kStmt: os << StmtHeadToString(*node.stmt); break;
+    }
+    os << "\"];\n";
+    for (int succ : node.succs) {
+      os << "  n" << i << " -> n" << succ << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+Cfg BuildCfg(Program& program) { return Builder(program).Build(); }
+
+}  // namespace pivot

@@ -1,0 +1,47 @@
+// Control-flow graph over statements.
+//
+// The CFG is built at statement granularity: every attached statement is a
+// node; `do` and `if` statements are their own (predicate) nodes with the
+// structured edges of the source. Data-flow analyses (dataflow.h) iterate
+// over this graph; the per-block DAG construction (dag.h) derives basic
+// blocks from it.
+#ifndef PIVOT_ANALYSIS_CFG_H_
+#define PIVOT_ANALYSIS_CFG_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pivot/ir/program.h"
+
+namespace pivot {
+
+struct CfgNode {
+  enum class Kind { kEntry, kExit, kStmt };
+  Kind kind = Kind::kStmt;
+  Stmt* stmt = nullptr;  // null for entry/exit
+  std::vector<int> succs;
+  std::vector<int> preds;
+};
+
+struct Cfg {
+  std::vector<CfgNode> nodes;
+  int entry = 0;
+  int exit = 0;
+  std::unordered_map<StmtId, int> node_of;
+
+  int NodeOf(const Stmt& stmt) const;
+  std::size_t size() const { return nodes.size(); }
+
+  // Reverse-post-order from entry (a good iteration order for forward
+  // data-flow problems).
+  std::vector<int> ReversePostOrder() const;
+
+  std::string ToDot() const;  // Graphviz dump for debugging
+};
+
+Cfg BuildCfg(Program& program);
+
+}  // namespace pivot
+
+#endif  // PIVOT_ANALYSIS_CFG_H_

@@ -1,0 +1,359 @@
+#include "pivot/analysis/dataflow.h"
+
+#include <algorithm>
+
+#include "pivot/support/diagnostics.h"
+
+namespace pivot {
+
+int NameTable::Intern(const std::string& name) {
+  auto [it, inserted] = index_.try_emplace(name, static_cast<int>(names_.size()));
+  if (inserted) names_.push_back(name);
+  return it->second;
+}
+
+int NameTable::Lookup(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? -1 : it->second;
+}
+
+const std::string& NameTable::NameOf(int index) const {
+  PIVOT_CHECK(index >= 0 && static_cast<std::size_t>(index) < names_.size());
+  return names_[static_cast<std::size_t>(index)];
+}
+
+ProgramFacts ComputeFacts(const Cfg& cfg) {
+  ProgramFacts facts;
+  facts.node_facts.resize(cfg.nodes.size());
+  for (std::size_t n = 0; n < cfg.nodes.size(); ++n) {
+    const CfgNode& node = cfg.nodes[n];
+    if (node.kind != CfgNode::Kind::kStmt) continue;
+    const Stmt& stmt = *node.stmt;
+    NodeFacts& nf = facts.node_facts[n];
+
+    std::vector<std::string> reads;
+    CollectReadNames(stmt, reads);
+    if (stmt.kind == StmtKind::kDo) {
+      nf.strong_def = facts.names.Intern(stmt.loop_var);
+    } else if ((stmt.kind == StmtKind::kAssign ||
+                stmt.kind == StmtKind::kRead) &&
+               stmt.lhs != nullptr) {
+      const int name = facts.names.Intern(stmt.lhs->name);
+      if (stmt.lhs->kind == ExprKind::kVarRef) {
+        nf.strong_def = name;
+      } else {
+        nf.weak_def = name;
+      }
+    }
+    for (const auto& r : reads) nf.uses.push_back(facts.names.Intern(r));
+    std::sort(nf.uses.begin(), nf.uses.end());
+    nf.uses.erase(std::unique(nf.uses.begin(), nf.uses.end()), nf.uses.end());
+  }
+  return facts;
+}
+
+// --- Reaching definitions ---
+
+ReachingDefs::ReachingDefs(const Cfg& cfg, const ProgramFacts& facts)
+    : cfg_(cfg), facts_(facts) {
+  // Enumerate definitions: one per defining CFG node.
+  std::vector<int> def_of_node(cfg.nodes.size(), -1);
+  for (std::size_t n = 0; n < cfg.nodes.size(); ++n) {
+    const NodeFacts& nf = facts.node_facts[n];
+    if (nf.strong_def == -1 && nf.weak_def == -1) continue;
+    Definition def;
+    def.stmt = cfg.nodes[n].stmt;
+    def.weak = nf.strong_def == -1;
+    def.name = def.weak ? nf.weak_def : nf.strong_def;
+    def_of_node[n] = static_cast<int>(defs_.size());
+    defs_.push_back(def);
+  }
+  // Entry pseudo-definitions: one per name, generated at the entry node
+  // and killed by any strong definition of the name.
+  std::vector<int> entry_defs;
+  for (int name = 0; name < static_cast<int>(facts.names.size()); ++name) {
+    Definition def;
+    def.name = name;
+    def.entry = true;
+    entry_defs.push_back(static_cast<int>(defs_.size()));
+    defs_.push_back(def);
+  }
+
+  const std::size_t num_defs = defs_.size();
+  std::vector<DenseBitset> gen(cfg.nodes.size(), DenseBitset(num_defs));
+  std::vector<DenseBitset> kill(cfg.nodes.size(), DenseBitset(num_defs));
+  std::vector<DenseBitset> out(cfg.nodes.size(), DenseBitset(num_defs));
+  in_.assign(cfg.nodes.size(), DenseBitset(num_defs));
+
+  for (int d : entry_defs) {
+    gen[static_cast<std::size_t>(cfg.entry)].Set(static_cast<std::size_t>(d));
+  }
+  for (std::size_t n = 0; n < cfg.nodes.size(); ++n) {
+    const int d = def_of_node[n];
+    if (d == -1) continue;
+    gen[n].Set(static_cast<std::size_t>(d));
+    if (!defs_[static_cast<std::size_t>(d)].weak) {
+      // A strong (scalar) definition kills every other definition of the
+      // same name (the entry pseudo-definition included).
+      for (std::size_t other = 0; other < num_defs; ++other) {
+        if (defs_[other].name == defs_[static_cast<std::size_t>(d)].name &&
+            static_cast<int>(other) != d) {
+          kill[n].Set(other);
+        }
+      }
+    }
+  }
+
+  const std::vector<int> rpo = cfg.ReversePostOrder();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int node : rpo) {
+      const std::size_t n = static_cast<std::size_t>(node);
+      DenseBitset new_in(num_defs);
+      for (int pred : cfg.nodes[n].preds) {
+        new_in.UnionWith(out[static_cast<std::size_t>(pred)]);
+      }
+      in_[n] = std::move(new_in);
+      if (DenseBitset::Transfer(in_[n], gen[n], kill[n], out[n])) {
+        changed = true;
+      }
+    }
+  }
+}
+
+std::vector<const Definition*> ReachingDefs::DefsReaching(
+    const Stmt& use_stmt, const std::string& name) const {
+  std::vector<const Definition*> result;
+  const int name_id = facts_.names.Lookup(name);
+  if (name_id == -1) return result;
+  const std::size_t n = static_cast<std::size_t>(cfg_.NodeOf(use_stmt));
+  for (std::size_t d : in_[n].ToIndices()) {
+    if (defs_[d].name == name_id) result.push_back(&defs_[d]);
+  }
+  return result;
+}
+
+bool ReachingDefs::OnlyReachingDef(const Stmt& def_stmt, const Stmt& use_stmt,
+                                   const std::string& name) const {
+  const std::vector<const Definition*> reaching =
+      DefsReaching(use_stmt, name);
+  return reaching.size() == 1 && reaching[0]->stmt == &def_stmt;
+}
+
+// --- Liveness ---
+
+Liveness::Liveness(const Cfg& cfg, const ProgramFacts& facts)
+    : cfg_(cfg), facts_(facts) {
+  const std::size_t num_names = facts.names.size();
+  std::vector<DenseBitset> use(cfg.nodes.size(), DenseBitset(num_names));
+  std::vector<DenseBitset> def(cfg.nodes.size(), DenseBitset(num_names));
+  live_in_.assign(cfg.nodes.size(), DenseBitset(num_names));
+  live_out_.assign(cfg.nodes.size(), DenseBitset(num_names));
+
+  for (std::size_t n = 0; n < cfg.nodes.size(); ++n) {
+    const NodeFacts& nf = facts.node_facts[n];
+    for (int u : nf.uses) use[n].Set(static_cast<std::size_t>(u));
+    // Only strong defs kill liveness; writing one array element leaves the
+    // rest of the array live.
+    if (nf.strong_def != -1) def[n].Set(static_cast<std::size_t>(nf.strong_def));
+  }
+
+  // Backward may-analysis: iterate in post-order-ish order (reverse RPO).
+  std::vector<int> order = cfg.ReversePostOrder();
+  std::reverse(order.begin(), order.end());
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int node : order) {
+      const std::size_t n = static_cast<std::size_t>(node);
+      DenseBitset new_out(num_names);
+      for (int succ : cfg.nodes[n].succs) {
+        new_out.UnionWith(live_in_[static_cast<std::size_t>(succ)]);
+      }
+      live_out_[n] = std::move(new_out);
+      if (DenseBitset::Transfer(live_out_[n], use[n], def[n], live_in_[n])) {
+        changed = true;
+      }
+    }
+  }
+}
+
+bool Liveness::LiveIn(const Stmt& stmt, const std::string& name) const {
+  const int id = facts_.names.Lookup(name);
+  if (id == -1) return false;
+  return live_in_[static_cast<std::size_t>(cfg_.NodeOf(stmt))].Test(
+      static_cast<std::size_t>(id));
+}
+
+bool Liveness::LiveOut(const Stmt& stmt, const std::string& name) const {
+  const int id = facts_.names.Lookup(name);
+  if (id == -1) return false;
+  return live_out_[static_cast<std::size_t>(cfg_.NodeOf(stmt))].Test(
+      static_cast<std::size_t>(id));
+}
+
+bool Liveness::IsDeadStore(const Stmt& stmt) const {
+  if (stmt.kind != StmtKind::kAssign || stmt.lhs == nullptr ||
+      stmt.lhs->kind != ExprKind::kVarRef) {
+    return false;
+  }
+  return !LiveOut(stmt, stmt.lhs->name);
+}
+
+// --- Available expressions ---
+
+namespace {
+
+// The paper's CSE pattern: a binary expression whose operands are scalar
+// variables or constants.
+bool IsCseCandidateExpr(const Expr& e) {
+  if (e.kind != ExprKind::kBinary) return false;
+  for (const auto& kid : e.kids) {
+    if (kid->kind != ExprKind::kVarRef && !IsConst(*kid)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+AvailExprs::AvailExprs(const Cfg& cfg, const ProgramFacts& facts)
+    : cfg_(cfg) {
+  // Universe: structurally distinct candidate RHS expressions.
+  for (const CfgNode& node : cfg.nodes) {
+    if (node.kind != CfgNode::Kind::kStmt) continue;
+    const Stmt& stmt = *node.stmt;
+    if (stmt.kind != StmtKind::kAssign || !IsCseCandidateExpr(*stmt.rhs)) {
+      continue;
+    }
+    if (ClassOf(*stmt.rhs) == -1) universe_.push_back(stmt.rhs.get());
+  }
+
+  const std::size_t num = universe_.size();
+  std::vector<DenseBitset> gen(cfg.nodes.size(), DenseBitset(num));
+  std::vector<DenseBitset> kill(cfg.nodes.size(), DenseBitset(num));
+  std::vector<DenseBitset> out(cfg.nodes.size(), DenseBitset(num));
+  in_.assign(cfg.nodes.size(), DenseBitset(num));
+
+  for (std::size_t n = 0; n < cfg.nodes.size(); ++n) {
+    const CfgNode& node = cfg.nodes[n];
+    const NodeFacts& nf = facts.node_facts[n];
+    if (nf.strong_def != -1) {
+      const std::string& killed = facts.names.NameOf(nf.strong_def);
+      for (std::size_t c = 0; c < num; ++c) {
+        if (ExprReadsName(*universe_[c], killed)) kill[n].Set(c);
+      }
+    }
+    if (node.kind == CfgNode::Kind::kStmt &&
+        node.stmt->kind == StmtKind::kAssign &&
+        IsCseCandidateExpr(*node.stmt->rhs)) {
+      const int cls = ClassOf(*node.stmt->rhs);
+      // The computation is generated unless the statement immediately kills
+      // its own value (target is one of the operands).
+      if (cls != -1 && !kill[n].Test(static_cast<std::size_t>(cls))) {
+        gen[n].Set(static_cast<std::size_t>(cls));
+      }
+    }
+    // Must-analysis initialization: everything available everywhere except
+    // entry, refined downward.
+    if (static_cast<int>(n) != cfg.entry) out[n].SetAll();
+  }
+
+  const std::vector<int> rpo = cfg.ReversePostOrder();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int node : rpo) {
+      const std::size_t n = static_cast<std::size_t>(node);
+      if (node == cfg.entry) continue;
+      DenseBitset new_in(num);
+      const auto& preds = cfg.nodes[n].preds;
+      if (!preds.empty()) {
+        new_in.SetAll();
+        for (int pred : preds) {
+          new_in.IntersectWith(out[static_cast<std::size_t>(pred)]);
+        }
+      }
+      in_[n] = std::move(new_in);
+      if (DenseBitset::Transfer(in_[n], gen[n], kill[n], out[n])) {
+        changed = true;
+      }
+    }
+  }
+}
+
+int AvailExprs::ClassOf(const Expr& e) const {
+  for (std::size_t c = 0; c < universe_.size(); ++c) {
+    if (ExprEquals(*universe_[c], e)) return static_cast<int>(c);
+  }
+  return -1;
+}
+
+const Expr& AvailExprs::Representative(int cls) const {
+  PIVOT_CHECK(cls >= 0 &&
+              static_cast<std::size_t>(cls) < universe_.size());
+  return *universe_[static_cast<std::size_t>(cls)];
+}
+
+bool AvailExprs::AvailableAt(const Stmt& stmt, int cls) const {
+  if (cls < 0) return false;
+  return in_[static_cast<std::size_t>(cfg_.NodeOf(stmt))].Test(
+      static_cast<std::size_t>(cls));
+}
+
+// --- ReachesIntact ---
+
+bool ReachesIntact(const Cfg& cfg, const ProgramFacts& facts,
+                   const Stmt& from, const Stmt& to,
+                   const std::vector<int>& watched) {
+  const int from_node = cfg.NodeOf(from);
+  const int to_node = cfg.NodeOf(to);
+  const std::size_t n = cfg.nodes.size();
+
+  auto kills = [&](std::size_t node) {
+    const int def = facts.node_facts[node].strong_def;
+    if (def == -1) return false;
+    return std::find(watched.begin(), watched.end(), def) != watched.end();
+  };
+
+  // Forward must-analysis over a single bit: "the value established at
+  // `from` is valid here". Initialize optimistically to true and refine.
+  std::vector<char> in(n, 1), out(n, 1);
+  in[static_cast<std::size_t>(cfg.entry)] = 0;
+  out[static_cast<std::size_t>(cfg.entry)] = 0;
+
+  const std::vector<int> rpo = cfg.ReversePostOrder();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int node : rpo) {
+      const std::size_t i = static_cast<std::size_t>(node);
+      char new_in = 1;
+      if (node == cfg.entry) {
+        new_in = 0;
+      } else {
+        for (int pred : cfg.nodes[i].preds) {
+          new_in = static_cast<char>(new_in &&
+                                     out[static_cast<std::size_t>(pred)]);
+        }
+        if (cfg.nodes[i].preds.empty()) new_in = 0;  // unreachable
+      }
+      char new_out;
+      if (node == from_node) {
+        new_out = 1;  // the establishing statement regenerates the value
+      } else if (kills(i)) {
+        new_out = 0;
+      } else {
+        new_out = new_in;
+      }
+      if (new_in != in[i] || new_out != out[i]) {
+        in[i] = new_in;
+        out[i] = new_out;
+        changed = true;
+      }
+    }
+  }
+  return in[static_cast<std::size_t>(to_node)] != 0;
+}
+
+}  // namespace pivot

@@ -1,0 +1,30 @@
+#include "pivot/analysis/defuse.h"
+
+namespace pivot {
+
+DefUseChains::DefUseChains(const Cfg& cfg, const ProgramFacts& facts,
+                           const ReachingDefs& reaching) {
+  for (const CfgNode& node : cfg.nodes) {
+    if (node.kind != CfgNode::Kind::kStmt) continue;
+    Stmt& use_stmt = *node.stmt;
+    const std::size_t n = static_cast<std::size_t>(cfg.NodeOf(use_stmt));
+    for (int name_id : facts.node_facts[n].uses) {
+      const std::string& name = facts.names.NameOf(name_id);
+      for (const Definition* def : reaching.DefsReaching(use_stmt, name)) {
+        if (def->entry) continue;  // uninitialized-storage pseudo-def
+        uses_of_[def->stmt->id].push_back(&use_stmt);
+      }
+    }
+  }
+}
+
+const std::vector<Stmt*>& DefUseChains::UsesOf(const Stmt& def_stmt) const {
+  auto it = uses_of_.find(def_stmt.id);
+  return it == uses_of_.end() ? empty_ : it->second;
+}
+
+bool DefUseChains::HasUses(const Stmt& def_stmt) const {
+  return !UsesOf(def_stmt).empty();
+}
+
+}  // namespace pivot

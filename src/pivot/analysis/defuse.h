@@ -1,0 +1,33 @@
+// Def-use chains derived from reaching definitions.
+//
+// The dead-code-elimination conditions of the paper's Table 3 are phrased
+// in terms of flow dependences "S_i δ S_l"; def-use chains give the
+// statement-level answer directly.
+#ifndef PIVOT_ANALYSIS_DEFUSE_H_
+#define PIVOT_ANALYSIS_DEFUSE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "pivot/analysis/dataflow.h"
+
+namespace pivot {
+
+class DefUseChains {
+ public:
+  DefUseChains(const Cfg& cfg, const ProgramFacts& facts,
+               const ReachingDefs& reaching);
+
+  // Statements whose uses are (possibly) fed by the definition made at
+  // `def_stmt`; empty for non-defining statements.
+  const std::vector<Stmt*>& UsesOf(const Stmt& def_stmt) const;
+  bool HasUses(const Stmt& def_stmt) const;
+
+ private:
+  std::unordered_map<StmtId, std::vector<Stmt*>> uses_of_;
+  std::vector<Stmt*> empty_;
+};
+
+}  // namespace pivot
+
+#endif  // PIVOT_ANALYSIS_DEFUSE_H_

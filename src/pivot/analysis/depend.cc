@@ -1,0 +1,549 @@
+#include "pivot/analysis/depend.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "pivot/analysis/flatten.h"
+#include "pivot/support/diagnostics.h"
+
+namespace pivot {
+
+const char* DepKindToString(DepKind kind) {
+  switch (kind) {
+    case DepKind::kFlow: return "flow";
+    case DepKind::kAnti: return "anti";
+    case DepKind::kOutput: return "output";
+  }
+  return "?";
+}
+
+const char* DepDirToString(DepDir dir) {
+  switch (dir) {
+    case DepDir::kLt: return "<";
+    case DepDir::kEq: return "=";
+    case DepDir::kGt: return ">";
+    case DepDir::kStar: return "*";
+  }
+  return "?";
+}
+
+std::string Dependence::ToString() const {
+  std::ostringstream os;
+  os << DepKindToString(kind) << " dep on '" << var << "' s"
+     << src->id.value() << " -> s" << dst->id.value() << " (";
+  for (std::size_t i = 0; i < dirs.size(); ++i) {
+    if (i != 0) os << ",";
+    os << DepDirToString(dirs[i]);
+  }
+  os << ")";
+  return os.str();
+}
+
+AffineForm ExtractAffine(const Expr& e) {
+  AffineForm form;
+  switch (e.kind) {
+    case ExprKind::kIntConst:
+      form.ok = true;
+      form.konst = e.ival;
+      return form;
+    case ExprKind::kVarRef:
+      form.ok = true;
+      form.coeff[e.name] = 1;
+      return form;
+    case ExprKind::kUnary: {
+      if (e.un != UnOp::kNeg) return form;
+      AffineForm inner = ExtractAffine(*e.kids[0]);
+      if (!inner.ok) return form;
+      form.ok = true;
+      form.konst = -inner.konst;
+      for (auto& [name, c] : inner.coeff) form.coeff[name] = -c;
+      return form;
+    }
+    case ExprKind::kBinary: {
+      const AffineForm a = ExtractAffine(*e.kids[0]);
+      const AffineForm b = ExtractAffine(*e.kids[1]);
+      if (e.bin == BinOp::kAdd || e.bin == BinOp::kSub) {
+        if (!a.ok || !b.ok) return form;
+        const long sign = e.bin == BinOp::kAdd ? 1 : -1;
+        form = a;
+        form.konst += sign * b.konst;
+        for (const auto& [name, c] : b.coeff) {
+          form.coeff[name] += sign * c;
+        }
+      } else if (e.bin == BinOp::kMul) {
+        // One side must be a pure constant.
+        if (a.ok && a.coeff.empty() && b.ok) {
+          form.ok = true;
+          form.konst = a.konst * b.konst;
+          for (const auto& [name, c] : b.coeff) {
+            form.coeff[name] = a.konst * c;
+          }
+        } else if (b.ok && b.coeff.empty() && a.ok) {
+          form.ok = true;
+          form.konst = a.konst * b.konst;
+          for (const auto& [name, c] : a.coeff) {
+            form.coeff[name] = b.konst * c;
+          }
+        } else {
+          return form;
+        }
+      } else {
+        return form;
+      }
+      // Drop zero coefficients so "i - i" looks constant.
+      for (auto it = form.coeff.begin(); it != form.coeff.end();) {
+        it = it->second == 0 ? form.coeff.erase(it) : std::next(it);
+      }
+      return form;
+    }
+    default:
+      return form;
+  }
+}
+
+namespace {
+
+struct Ref {
+  Stmt* stmt = nullptr;
+  std::string name;
+  bool is_write = false;
+  bool is_array = false;
+  std::vector<const Expr*> subs;  // array subscripts
+  int seq = 0;  // execution order key: 2*flat_pos + (is_write ? 1 : 0)
+};
+
+void CollectExprReads(Stmt* stmt, const Expr& root, std::vector<Ref>& refs) {
+  ForEachExpr(root, [stmt, &refs](const Expr& e) {
+    if (e.kind == ExprKind::kVarRef) {
+      Ref r;
+      r.stmt = stmt;
+      r.name = e.name;
+      refs.push_back(std::move(r));
+    } else if (e.kind == ExprKind::kArrayRef) {
+      Ref r;
+      r.stmt = stmt;
+      r.name = e.name;
+      r.is_array = true;
+      for (const auto& sub : e.kids) r.subs.push_back(sub.get());
+      refs.push_back(std::move(r));
+      // Subscript variable reads are picked up by the walk itself.
+    }
+  });
+}
+
+std::vector<Ref> CollectRefs(const std::vector<Stmt*>& stmts) {
+  std::vector<Ref> refs;
+  for (Stmt* stmt : stmts) {
+    const std::size_t reads_begin = refs.size();
+    switch (stmt->kind) {
+      case StmtKind::kAssign:
+        CollectExprReads(stmt, *stmt->rhs, refs);
+        for (const auto& sub : stmt->lhs->kids) {
+          CollectExprReads(stmt, *sub, refs);
+        }
+        break;
+      case StmtKind::kRead:
+        for (const auto& sub : stmt->lhs->kids) {
+          CollectExprReads(stmt, *sub, refs);
+        }
+        break;
+      case StmtKind::kWrite:
+        CollectExprReads(stmt, *stmt->rhs, refs);
+        break;
+      case StmtKind::kIf:
+        CollectExprReads(stmt, *stmt->cond, refs);
+        break;
+      case StmtKind::kDo:
+        for (const ExprPtr* slot : {&stmt->lo, &stmt->hi, &stmt->step}) {
+          if (*slot != nullptr) CollectExprReads(stmt, **slot, refs);
+        }
+        break;
+    }
+    (void)reads_begin;
+    // Writes come after reads in a statement's execution.
+    if ((stmt->kind == StmtKind::kAssign || stmt->kind == StmtKind::kRead) &&
+        stmt->lhs != nullptr) {
+      Ref w;
+      w.stmt = stmt;
+      w.name = stmt->lhs->name;
+      w.is_write = true;
+      w.is_array = stmt->lhs->kind == ExprKind::kArrayRef;
+      for (const auto& sub : stmt->lhs->kids) w.subs.push_back(sub.get());
+      refs.push_back(std::move(w));
+    }
+    if (stmt->kind == StmtKind::kDo) {
+      Ref w;
+      w.stmt = stmt;
+      w.name = stmt->loop_var;
+      w.is_write = true;
+      refs.push_back(std::move(w));
+    }
+  }
+  return refs;
+}
+
+// Result of testing one subscript dimension against one loop variable set.
+struct DimConstraint {
+  bool independent = false;   // provably never the same element
+  bool unknown = false;       // unanalyzable -> '*'
+  // Otherwise: per-loop-variable iteration deltas (sink - source); loops
+  // absent from the map are unconstrained by this dimension.
+  std::map<std::string, long> delta;
+};
+
+DimConstraint TestDim(const Expr& sub1, const Expr& sub2,
+                      const std::vector<Stmt*>& common_loops,
+                      const LoopTree& loop_tree) {
+  DimConstraint result;
+  const AffineForm f1 = ExtractAffine(sub1);
+  const AffineForm f2 = ExtractAffine(sub2);
+  if (!f1.ok || !f2.ok) {
+    result.unknown = true;
+    return result;
+  }
+
+  auto is_common_loop_var = [&](const std::string& name) {
+    for (const Stmt* loop : common_loops) {
+      if (loop->loop_var == name) return true;
+    }
+    return false;
+  };
+
+  // Any symbol that is not a common loop variable makes the dimension
+  // unanalyzable unless it appears with the same coefficient on both sides
+  // (same value at both accesses — it cancels).
+  std::map<std::string, long> diff_coeff;  // f1 - f2 per symbol
+  for (const auto& [name, c] : f1.coeff) diff_coeff[name] += c;
+  for (const auto& [name, c] : f2.coeff) diff_coeff[name] -= c;
+  for (const auto& [name, c] : diff_coeff) {
+    if (c != 0 && !is_common_loop_var(name)) {
+      result.unknown = true;
+      return result;
+    }
+  }
+
+  // Per common loop variable: strong SIV when coefficients match.
+  for (const Stmt* loop : common_loops) {
+    const auto it1 = f1.coeff.find(loop->loop_var);
+    const auto it2 = f2.coeff.find(loop->loop_var);
+    const long a1 = it1 == f1.coeff.end() ? 0 : it1->second;
+    const long a2 = it2 == f2.coeff.end() ? 0 : it2->second;
+    if (a1 == 0 && a2 == 0) continue;  // dimension ignores this loop
+    if (a1 != a2) {
+      result.unknown = true;  // weak SIV / MIV: give up
+      return result;
+    }
+  }
+
+  // With all varying coefficients equal, equality of the subscripts reduces
+  // to sum(a_v * (I2_v - I1_v)) = c1 - c2. Solvable exactly when a single
+  // loop variable varies; otherwise treat as unknown.
+  const long c_diff = f1.konst - f2.konst;
+  std::vector<const Stmt*> varying;
+  for (const Stmt* loop : common_loops) {
+    const auto it = f1.coeff.find(loop->loop_var);
+    if (it != f1.coeff.end() && it->second != 0) varying.push_back(loop);
+  }
+  if (varying.empty()) {
+    // ZIV: both sides constant w.r.t. the common loops.
+    if (c_diff != 0) result.independent = true;
+    return result;
+  }
+  if (varying.size() > 1) {
+    result.unknown = true;
+    return result;
+  }
+
+  const Stmt* loop = varying[0];
+  const long a = f1.coeff.at(loop->loop_var);
+  if (c_diff % a != 0) {
+    result.independent = true;
+    return result;
+  }
+  const long delta = c_diff / a;  // I2 - I1
+  const LoopInfo* info = loop_tree.InfoOf(*loop);
+  if (info != nullptr && info->TripCount() >= 0 &&
+      std::abs(delta) >= info->TripCount()) {
+    result.independent = true;
+    return result;
+  }
+  result.delta[loop->loop_var] = delta;
+  return result;
+}
+
+DepKind KindOf(bool src_write, bool dst_write) {
+  if (src_write && dst_write) return DepKind::kOutput;
+  if (src_write) return DepKind::kFlow;
+  return DepKind::kAnti;
+}
+
+// Tests one ordered reference pair; appends a dependence if one may exist.
+void TestPair(const Ref& r1, const Ref& r2,
+              const std::vector<Stmt*>& common_loops,
+              const LoopTree& loop_tree, std::vector<Dependence>& out) {
+  std::vector<DepDir> dirs(common_loops.size(), DepDir::kStar);
+  if (r1.is_array && r2.is_array) {
+    if (r1.subs.size() != r2.subs.size()) return;  // different shapes: be
+                                                   // silent, writer beware
+    std::map<std::string, long> combined;
+    bool unknown_any = false;
+    for (std::size_t d = 0; d < r1.subs.size(); ++d) {
+      const DimConstraint c =
+          TestDim(*r1.subs[d], *r2.subs[d], common_loops, loop_tree);
+      if (c.independent) return;  // provably distinct elements
+      if (c.unknown) {
+        unknown_any = true;
+        continue;
+      }
+      for (const auto& [var, delta] : c.delta) {
+        auto [it, inserted] = combined.try_emplace(var, delta);
+        if (!inserted && it->second != delta) return;  // contradictory dims
+      }
+    }
+    if (!unknown_any) {
+      for (std::size_t i = 0; i < common_loops.size(); ++i) {
+        auto it = combined.find(common_loops[i]->loop_var);
+        if (it == combined.end()) {
+          // Loop variable absent from every subscript: the same element is
+          // touched in every iteration of that loop.
+          dirs[i] = DepDir::kStar;
+        } else {
+          dirs[i] = it->second > 0   ? DepDir::kLt
+                    : it->second == 0 ? DepDir::kEq
+                                      : DepDir::kGt;
+        }
+      }
+    }
+  } else if (r1.is_array != r2.is_array) {
+    return;  // scalar vs array of the same name cannot alias in Pf
+  }
+  // Scalars keep the all-star default: the same cell in every iteration.
+
+  // Normalize: the source must execute first. Find the first non-'='
+  // direction; '>' there means the real source is r2's access in an
+  // earlier iteration.
+  bool swapped = false;
+  for (DepDir dir : dirs) {
+    if (dir == DepDir::kEq) continue;
+    if (dir == DepDir::kGt) swapped = true;
+    break;  // kLt and kStar keep the textual order (kStar conservatively)
+  }
+  if (!swapped && dirs.empty() == false) {
+    // All '=' handled below via loop_independent.
+  }
+
+  Dependence dep;
+  dep.var = r1.name;
+  dep.loops = common_loops;
+  if (swapped) {
+    dep.src = r2.stmt;
+    dep.dst = r1.stmt;
+    for (DepDir& dir : dirs) {
+      if (dir == DepDir::kLt) dir = DepDir::kGt;
+      else if (dir == DepDir::kGt) dir = DepDir::kLt;
+    }
+    dep.kind = KindOf(r2.is_write, r1.is_write);
+  } else {
+    dep.src = r1.stmt;
+    dep.dst = r2.stmt;
+    dep.kind = KindOf(r1.is_write, r2.is_write);
+  }
+  dep.dirs = std::move(dirs);
+  dep.loop_independent = true;
+  for (DepDir dir : dep.dirs) {
+    if (dir != DepDir::kEq) dep.loop_independent = false;
+  }
+  // A loop-independent "dependence" of a statement on itself is vacuous.
+  if (dep.loop_independent && dep.src == dep.dst) return;
+  out.push_back(std::move(dep));
+}
+
+std::vector<Dependence> ComputeAmong(const std::vector<Stmt*>& stmts,
+                                     const LoopTree& loop_tree,
+                                     const FlatProgram* flat) {
+  std::vector<Ref> refs = CollectRefs(stmts);
+  for (Ref& r : refs) {
+    const int pos = flat != nullptr ? flat->PositionOf(*r.stmt) : 0;
+    r.seq = 2 * pos + (r.is_write ? 1 : 0);
+  }
+
+  std::vector<Dependence> deps;
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    for (std::size_t j = 0; j < refs.size(); ++j) {
+      const Ref& r1 = refs[i];
+      const Ref& r2 = refs[j];
+      if (r1.name != r2.name) continue;
+      if (!r1.is_write && !r2.is_write) continue;
+      if (r1.seq > r2.seq) continue;
+      if (i == j) continue;
+      if (r1.seq == r2.seq && i > j) continue;  // avoid double-counting
+      const std::vector<Stmt*> common =
+          loop_tree.CommonLoops(*r1.stmt, *r2.stmt);
+      TestPair(r1, r2, common, loop_tree, deps);
+    }
+  }
+  return deps;
+}
+
+std::vector<Stmt*> StmtsUnder(const Stmt& root) {
+  std::vector<Stmt*> stmts;
+  ForEachStmt(const_cast<Stmt&>(root), [&stmts](Stmt& s) {
+    stmts.push_back(&s);
+  });
+  return stmts;
+}
+
+}  // namespace
+
+std::vector<Dependence> ComputeDependences(Program& program,
+                                           const LoopTree& loop_tree) {
+  FlatProgram flat = Flatten(program);
+  return ComputeAmong(flat.order, loop_tree, &flat);
+}
+
+bool InterchangePrevented(Program& program, const LoopTree& loop_tree,
+                          const Stmt& outer, const Stmt& inner) {
+  (void)program;
+  PIVOT_CHECK(IsTightlyNested(outer) && outer.body[0].get() == &inner);
+  // Dependences among the statements of the inner body; loop variables are
+  // written outside the set, so pure uses of them carry no dependence here.
+  std::vector<Stmt*> body_stmts;
+  for (const auto& kid : inner.body) {
+    const std::vector<Stmt*> sub = StmtsUnder(*kid);
+    body_stmts.insert(body_stmts.end(), sub.begin(), sub.end());
+  }
+  const std::vector<Dependence> deps =
+      ComputeAmong(body_stmts, loop_tree, nullptr);
+  for (const Dependence& dep : deps) {
+    // A scalar "dependence" on the control variable of a loop nested
+    // inside the body is iteration-private: the do node reinitializes it
+    // before every read, so interchanging the enclosing pair cannot
+    // violate it.
+    bool local_induction = false;
+    for (const Stmt* s : body_stmts) {
+      if (s->kind == StmtKind::kDo && s->loop_var == dep.var &&
+          IsAncestorOf(*s, *dep.src) && IsAncestorOf(*s, *dep.dst)) {
+        local_induction = true;
+        break;
+      }
+    }
+    if (local_induction) continue;
+    int outer_pos = -1, inner_pos = -1;
+    for (std::size_t i = 0; i < dep.loops.size(); ++i) {
+      if (dep.loops[i] == &outer) outer_pos = static_cast<int>(i);
+      if (dep.loops[i] == &inner) inner_pos = static_cast<int>(i);
+    }
+    if (outer_pos == -1 || inner_pos == -1) continue;
+    const DepDir od = dep.dirs[static_cast<std::size_t>(outer_pos)];
+    const DepDir id = dep.dirs[static_cast<std::size_t>(inner_pos)];
+    const bool outer_lt = od == DepDir::kLt || od == DepDir::kStar;
+    const bool inner_gt = id == DepDir::kGt || id == DepDir::kStar;
+    if (outer_lt && inner_gt) return true;  // (<, >) would be reversed
+  }
+  return false;
+}
+
+bool FusionPrevented(Program& program, const LoopTree& loop_tree,
+                     const Stmt& first, const Stmt& second) {
+  (void)program;
+  PIVOT_CHECK(first.kind == StmtKind::kDo && second.kind == StmtKind::kDo);
+  std::vector<Stmt*> body1, body2;
+  for (const auto& kid : first.body) {
+    const std::vector<Stmt*> sub = StmtsUnder(*kid);
+    body1.insert(body1.end(), sub.begin(), sub.end());
+  }
+  for (const auto& kid : second.body) {
+    const std::vector<Stmt*> sub = StmtsUnder(*kid);
+    body2.insert(body2.end(), sub.begin(), sub.end());
+  }
+  const LoopInfo* info1 = loop_tree.InfoOf(first);
+  const long trip = info1 != nullptr ? info1->TripCount() : -1;
+  return FusionPreventedSets(body1, body2, first.loop_var, second.loop_var,
+                             trip);
+}
+
+bool FusionPreventedSets(const std::vector<Stmt*>& body1,
+                         const std::vector<Stmt*>& body2,
+                         const std::string& var1, const std::string& var2,
+                         long trip) {
+  const std::vector<Ref> refs1 = CollectRefs(body1);
+  const std::vector<Ref> refs2 = CollectRefs(body2);
+
+  for (const Ref& r1 : refs1) {
+    for (const Ref& r2 : refs2) {
+      if (r1.name != r2.name) continue;
+      if (!r1.is_write && !r2.is_write) continue;
+      if (r1.is_array != r2.is_array) continue;
+      if (!r1.is_array) return true;  // scalar crossing the loops: be safe
+      if (r1.subs.size() != r2.subs.size()) return true;
+
+      // Per dimension: map the second loop's variable onto the first's and
+      // compute I1 - I2 for a shared element; fusion is illegal when the
+      // first loop's access would land in a *later* fused iteration.
+      bool independent = false;
+      bool unknown = false;
+      bool conflict = false;
+      long shared_delta = 0;  // I1 - I2
+      bool have_delta = false;
+      for (std::size_t d = 0; d < r1.subs.size() && !independent; ++d) {
+        AffineForm f1 = ExtractAffine(*r1.subs[d]);
+        AffineForm f2 = ExtractAffine(*r2.subs[d]);
+        if (!f1.ok || !f2.ok) {
+          unknown = true;
+          continue;
+        }
+        // Rename the second loop variable to the first's.
+        if (var2 != var1) {
+          auto it = f2.coeff.find(var2);
+          if (it != f2.coeff.end()) {
+            f2.coeff[var1] += it->second;
+            f2.coeff.erase(var2);
+          }
+        }
+        long a1 = 0, a2 = 0;
+        auto a1_it = f1.coeff.find(var1);
+        if (a1_it != f1.coeff.end()) a1 = a1_it->second;
+        auto a2_it = f2.coeff.find(var1);
+        if (a2_it != f2.coeff.end()) a2 = a2_it->second;
+        // Any other differing symbol: unanalyzable.
+        std::map<std::string, long> diff = f1.coeff;
+        for (const auto& [name, c] : f2.coeff) diff[name] -= c;
+        diff.erase(var1);
+        for (const auto& [name, c] : diff) {
+          (void)name;
+          if (c != 0) unknown = true;
+        }
+        if (unknown) continue;
+        if (a1 != a2) {
+          unknown = true;
+          continue;
+        }
+        const long c_diff = f1.konst - f2.konst;
+        if (a1 == 0) {
+          if (c_diff != 0) independent = true;
+          continue;  // same element every iteration: delta unconstrained
+        }
+        if (c_diff % a1 != 0) {
+          independent = true;
+          continue;
+        }
+        const long delta = -c_diff / a1;  // I1 - I2 = (c2 - c1) / a
+        if (trip >= 0 && std::abs(delta) >= trip) {
+          independent = true;
+          continue;
+        }
+        if (have_delta && delta != shared_delta) conflict = true;
+        shared_delta = delta;
+        have_delta = true;
+      }
+      if (independent || conflict) continue;
+      if (unknown) return true;
+      if (have_delta && shared_delta > 0) return true;
+      // delta <= 0 (or unconstrained '='): original order survives fusion.
+    }
+  }
+  return false;
+}
+
+}  // namespace pivot

@@ -1,0 +1,78 @@
+// Data-dependence analysis.
+//
+// Computes flow (true), anti and output dependences between statements,
+// with direction vectors over common enclosing loops. Array subscripts are
+// analyzed with ZIV and strong-SIV tests on affine forms (c0 + c1*i);
+// anything else is handled conservatively ('*' directions). On top of the
+// dependence set, the module exposes the two legality predicates the
+// parallelizing transformations need:
+//   * InterchangePrevented — a dependence with direction (<, >) over the
+//     (outer, inner) pair of a tight nest;
+//   * FusionPrevented     — a dependence from the first loop's body to the
+//     second's that fusion would reverse (fused distance < 0).
+#ifndef PIVOT_ANALYSIS_DEPEND_H_
+#define PIVOT_ANALYSIS_DEPEND_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pivot/analysis/loops.h"
+#include "pivot/ir/program.h"
+
+namespace pivot {
+
+enum class DepKind { kFlow, kAnti, kOutput };
+enum class DepDir { kLt, kEq, kGt, kStar };
+
+struct Dependence {
+  Stmt* src = nullptr;  // source executes first
+  Stmt* dst = nullptr;
+  DepKind kind = DepKind::kFlow;
+  std::string var;              // the memory name carrying the dependence
+  std::vector<Stmt*> loops;     // common enclosing loops, outermost first
+  std::vector<DepDir> dirs;     // one per common loop
+  bool loop_independent = true; // all directions '='
+
+  std::string ToString() const;
+};
+
+const char* DepKindToString(DepKind kind);
+const char* DepDirToString(DepDir dir);
+
+// Affine form of a subscript: konst + sum(coeff[v] * v).
+struct AffineForm {
+  bool ok = false;
+  long konst = 0;
+  std::map<std::string, long> coeff;  // zero coefficients omitted
+};
+AffineForm ExtractAffine(const Expr& e);
+
+// All pairwise dependences between attached statements. Quadratic in the
+// number of memory references; fine at interactive-program scale.
+std::vector<Dependence> ComputeDependences(Program& program,
+                                           const LoopTree& loop_tree);
+
+// Loop interchange of the tight nest (outer, inner) is illegal: a
+// dependence carried with directions (<, >) — or unanalyzable — exists.
+bool InterchangePrevented(Program& program, const LoopTree& loop_tree,
+                          const Stmt& outer, const Stmt& inner);
+
+// Fusing adjacent loops `first`/`second` (same constant bounds assumed
+// pre-checked) is illegal: some dependence from first's body to second's
+// body would be reversed by fusion.
+bool FusionPrevented(Program& program, const LoopTree& loop_tree,
+                     const Stmt& first, const Stmt& second);
+
+// The same test on explicit statement sets, with the loop variables named
+// directly. Used by the fusion safety re-check, where the two halves
+// already live in one fused loop. `trip` bounds dependence distances
+// (-1 = unknown).
+bool FusionPreventedSets(const std::vector<Stmt*>& body1,
+                         const std::vector<Stmt*>& body2,
+                         const std::string& var1, const std::string& var2,
+                         long trip);
+
+}  // namespace pivot
+
+#endif  // PIVOT_ANALYSIS_DEPEND_H_

@@ -1,0 +1,70 @@
+#include "pivot/analysis/dominators.h"
+
+#include "pivot/support/diagnostics.h"
+
+namespace pivot {
+
+Dominators::Dominators(const Cfg& cfg) : cfg_(cfg) {
+  const std::size_t n = cfg.nodes.size();
+  idom_.assign(n, -1);
+  rpo_index_.assign(n, -1);
+
+  const std::vector<int> rpo = cfg.ReversePostOrder();
+  for (std::size_t i = 0; i < rpo.size(); ++i) {
+    rpo_index_[static_cast<std::size_t>(rpo[i])] = static_cast<int>(i);
+  }
+
+  auto intersect = [this](int a, int b) {
+    while (a != b) {
+      while (rpo_index_[static_cast<std::size_t>(a)] >
+             rpo_index_[static_cast<std::size_t>(b)]) {
+        a = idom_[static_cast<std::size_t>(a)];
+      }
+      while (rpo_index_[static_cast<std::size_t>(b)] >
+             rpo_index_[static_cast<std::size_t>(a)]) {
+        b = idom_[static_cast<std::size_t>(b)];
+      }
+    }
+    return a;
+  };
+
+  idom_[static_cast<std::size_t>(cfg.entry)] = cfg.entry;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int node : rpo) {
+      if (node == cfg.entry) continue;
+      int new_idom = -1;
+      for (int pred : cfg.nodes[static_cast<std::size_t>(node)].preds) {
+        if (idom_[static_cast<std::size_t>(pred)] == -1) continue;
+        new_idom = new_idom == -1 ? pred : intersect(pred, new_idom);
+      }
+      if (new_idom != -1 && idom_[static_cast<std::size_t>(node)] != new_idom) {
+        idom_[static_cast<std::size_t>(node)] = new_idom;
+        changed = true;
+      }
+    }
+  }
+}
+
+int Dominators::Idom(int node) const {
+  const int idom = idom_[static_cast<std::size_t>(node)];
+  return node == cfg_.entry ? -1 : idom;
+}
+
+bool Dominators::Dominates(int a, int b) const {
+  int node = b;
+  while (true) {
+    if (node == a) return true;
+    if (node == cfg_.entry) return false;
+    const int up = idom_[static_cast<std::size_t>(node)];
+    if (up == -1 || up == node) return false;
+    node = up;
+  }
+}
+
+bool Dominators::Dominates(const Stmt& a, const Stmt& b) const {
+  return Dominates(cfg_.NodeOf(a), cfg_.NodeOf(b));
+}
+
+}  // namespace pivot

@@ -1,0 +1,36 @@
+// Dominator computation on the CFG.
+//
+// Used by CSE and the propagation passes: a source statement may feed a
+// use only if it executes on every path to the use. Implemented with the
+// Cooper–Harvey–Kennedy iterative algorithm over reverse post-order.
+#ifndef PIVOT_ANALYSIS_DOMINATORS_H_
+#define PIVOT_ANALYSIS_DOMINATORS_H_
+
+#include <vector>
+
+#include "pivot/analysis/cfg.h"
+
+namespace pivot {
+
+class Dominators {
+ public:
+  explicit Dominators(const Cfg& cfg);
+
+  // Immediate dominator node index, or -1 for the entry / unreachable.
+  int Idom(int node) const;
+
+  // True if `a` dominates `b` (reflexive).
+  bool Dominates(int a, int b) const;
+
+  // Statement-level convenience: does `a` dominate `b`?
+  bool Dominates(const Stmt& a, const Stmt& b) const;
+
+ private:
+  const Cfg& cfg_;
+  std::vector<int> idom_;
+  std::vector<int> rpo_index_;  // node -> position in reverse post-order
+};
+
+}  // namespace pivot
+
+#endif  // PIVOT_ANALYSIS_DOMINATORS_H_

@@ -1,0 +1,30 @@
+#include "pivot/analysis/flatten.h"
+
+#include "pivot/support/diagnostics.h"
+
+namespace pivot {
+
+int FlatProgram::PositionOf(const Stmt& stmt) const {
+  auto it = pos.find(stmt.id);
+  PIVOT_CHECK_MSG(it != pos.end(), "statement not in flat snapshot");
+  return it->second;
+}
+
+bool FlatProgram::Contains(const Stmt& stmt) const {
+  return pos.find(stmt.id) != pos.end();
+}
+
+bool FlatProgram::Precedes(const Stmt& a, const Stmt& b) const {
+  return PositionOf(a) < PositionOf(b);
+}
+
+FlatProgram Flatten(Program& program) {
+  FlatProgram flat;
+  program.ForEachAttached([&flat](Stmt& s) {
+    flat.pos[s.id] = static_cast<int>(flat.order.size());
+    flat.order.push_back(&s);
+  });
+  return flat;
+}
+
+}  // namespace pivot

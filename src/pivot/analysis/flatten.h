@@ -1,0 +1,30 @@
+// Linearization of the statement tree.
+//
+// Many analyses need "does statement A precede statement B in program
+// layout" and a stable enumeration of all attached statements; FlatProgram
+// provides both as a pre-order walk snapshot (valid for one program epoch).
+#ifndef PIVOT_ANALYSIS_FLATTEN_H_
+#define PIVOT_ANALYSIS_FLATTEN_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "pivot/ir/program.h"
+
+namespace pivot {
+
+struct FlatProgram {
+  std::vector<Stmt*> order;  // pre-order: a loop precedes its body
+  std::unordered_map<StmtId, int> pos;
+
+  int PositionOf(const Stmt& stmt) const;
+  bool Contains(const Stmt& stmt) const;
+  // True if `a` comes strictly before `b` in layout order.
+  bool Precedes(const Stmt& a, const Stmt& b) const;
+};
+
+FlatProgram Flatten(Program& program);
+
+}  // namespace pivot
+
+#endif  // PIVOT_ANALYSIS_FLATTEN_H_

@@ -1,0 +1,165 @@
+#include "pivot/analysis/loops.h"
+
+#include <algorithm>
+
+#include "pivot/support/diagnostics.h"
+
+namespace pivot {
+
+long LoopInfo::TripCount() const {
+  if (!const_bounds || step == 0) return -1;
+  const long span = step > 0 ? hi - lo : lo - hi;
+  const long mag = step > 0 ? step : -step;
+  if (span < 0) return 0;
+  return span / mag + 1;
+}
+
+LoopTree::LoopTree(Program& program) {
+  program.ForEachAttached([this](Stmt& s) {
+    if (s.kind != StmtKind::kDo) return;
+    LoopInfo info;
+    info.loop = &s;
+    for (Stmt* p = s.parent; p != nullptr; p = p->parent) {
+      if (p->kind == StmtKind::kDo) {
+        if (info.parent_loop == nullptr) info.parent_loop = p;
+        ++info.depth;
+      }
+    }
+    info.const_bounds = s.lo->kind == ExprKind::kIntConst &&
+                        s.hi->kind == ExprKind::kIntConst &&
+                        (s.step == nullptr ||
+                         s.step->kind == ExprKind::kIntConst);
+    if (info.const_bounds) {
+      info.lo = s.lo->ival;
+      info.hi = s.hi->ival;
+      info.step = s.step != nullptr ? s.step->ival : 1;
+    }
+    index_[s.id] = static_cast<int>(loops_.size());
+    loops_.push_back(info);
+  });
+}
+
+const LoopInfo* LoopTree::InfoOf(const Stmt& loop) const {
+  auto it = index_.find(loop.id);
+  return it == index_.end() ? nullptr
+                            : &loops_[static_cast<std::size_t>(it->second)];
+}
+
+std::vector<Stmt*> LoopTree::LoopsEnclosing(const Stmt& stmt) const {
+  std::vector<Stmt*> result;
+  for (Stmt* p = stmt.parent; p != nullptr; p = p->parent) {
+    if (p->kind == StmtKind::kDo) result.push_back(p);
+  }
+  std::reverse(result.begin(), result.end());
+  return result;
+}
+
+std::vector<Stmt*> LoopTree::CommonLoops(const Stmt& a, const Stmt& b) const {
+  const std::vector<Stmt*> la = LoopsEnclosing(a);
+  const std::vector<Stmt*> lb = LoopsEnclosing(b);
+  std::vector<Stmt*> common;
+  for (std::size_t i = 0; i < la.size() && i < lb.size(); ++i) {
+    if (la[i] != lb[i]) break;
+    common.push_back(la[i]);
+  }
+  return common;
+}
+
+bool IsTightlyNested(const Stmt& outer) {
+  return outer.kind == StmtKind::kDo && outer.body.size() == 1 &&
+         outer.body[0]->kind == StmtKind::kDo;
+}
+
+bool AreAdjacentLoops(Program& program, const Stmt& first,
+                      const Stmt& second) {
+  if (first.kind != StmtKind::kDo || second.kind != StmtKind::kDo) {
+    return false;
+  }
+  if (!first.attached || !second.attached) return false;
+  if (first.parent != second.parent ||
+      first.parent_body != second.parent_body) {
+    return false;
+  }
+  // Adjacency: `second` immediately follows `first` in the shared body.
+  const std::vector<StmtPtr>& list =
+      program.BodyListOf(first.parent, first.parent_body);
+  for (std::size_t i = 0; i + 1 < list.size(); ++i) {
+    if (list[i].get() == &first) return list[i + 1].get() == &second;
+  }
+  return false;
+}
+
+std::unordered_set<std::string> NamesDefinedIn(const Stmt& loop) {
+  std::unordered_set<std::string> defined;
+  PIVOT_CHECK(loop.kind == StmtKind::kDo);
+  for (const auto& kid : loop.body) {
+    ForEachStmt(static_cast<const Stmt&>(*kid), [&defined](const Stmt& s) {
+      const std::string name = DefinedName(s);
+      if (!name.empty()) defined.insert(name);
+      if (s.kind == StmtKind::kDo) defined.insert(s.loop_var);
+    });
+  }
+  return defined;
+}
+
+bool IsLoopInvariant(const Stmt& stmt, const Stmt& loop,
+                     const LoopInfo& info) {
+  if (stmt.kind != StmtKind::kAssign || stmt.lhs == nullptr) return false;
+  // Array-element targets qualify when the subscripts are invariant too
+  // (the paper's example hoists "A(j) = B(j) + 1" out of the i-loop); the
+  // whole array is then treated as the target name, conservatively.
+  if (stmt.lhs->kind == ExprKind::kArrayRef) {
+    const std::unordered_set<std::string> defined_in = NamesDefinedIn(loop);
+    for (const auto& sub : stmt.lhs->kids) {
+      std::vector<std::string> sub_reads;
+      CollectVarReads(*sub, sub_reads);
+      for (const auto& r : sub_reads) {
+        if (r == loop.loop_var || defined_in.count(r) != 0) return false;
+      }
+    }
+  }
+  // Directly in the loop body (not nested under an if or inner loop, where
+  // hoisting could change how often — or whether — it executes).
+  if (stmt.parent != &loop || stmt.parent_body != BodyKind::kMain) {
+    return false;
+  }
+  // Hoisting executes the statement exactly once; the loop must provably
+  // have executed it at least once for the final store to be equivalent.
+  if (!info.DefinitelyExecutes()) return false;
+
+  const std::unordered_set<std::string> defined = NamesDefinedIn(loop);
+  // RHS must not read anything the loop (or the loop variable) defines.
+  std::vector<std::string> reads;
+  CollectVarReads(*stmt.rhs, reads);
+  for (const auto& r : reads) {
+    if (r == loop.loop_var || defined.count(r) != 0) return false;
+  }
+
+  // The target: single definition in the loop (this statement), and no use
+  // of the target before `stmt` in the body — otherwise the first iteration
+  // would observe the hoisted value instead of the pre-loop one.
+  const std::string& target = stmt.lhs->name;
+  if (target == loop.loop_var) return false;
+  bool before = true;
+  bool ok = true;
+  for (const auto& kid : loop.body) {
+    ForEachStmt(static_cast<const Stmt&>(*kid), [&](const Stmt& s) {
+      if (&s == &stmt) {
+        before = false;
+        return;
+      }
+      if (DefinedName(s) == target) ok = false;
+      if (s.kind == StmtKind::kDo && s.loop_var == target) ok = false;
+      if (before) {
+        std::vector<std::string> uses;
+        CollectReadNames(s, uses);
+        for (const auto& u : uses) {
+          if (u == target) ok = false;
+        }
+      }
+    });
+  }
+  return ok;
+}
+
+}  // namespace pivot

@@ -1,0 +1,78 @@
+// Loop structure analysis.
+//
+// Collects every `do` statement with its nesting relationships, constant
+// bound/trip-count information, tight-nesting and adjacency predicates
+// (preconditions of loop interchange, strip mining, unrolling and fusion),
+// and the loop-invariance test behind invariant code motion.
+#ifndef PIVOT_ANALYSIS_LOOPS_H_
+#define PIVOT_ANALYSIS_LOOPS_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "pivot/ir/program.h"
+
+namespace pivot {
+
+struct LoopInfo {
+  Stmt* loop = nullptr;
+  Stmt* parent_loop = nullptr;  // innermost enclosing loop, or null
+  int depth = 1;                // 1 = outermost
+
+  bool const_bounds = false;  // lo/hi/(step) are integer constants
+  long lo = 0;
+  long hi = 0;
+  long step = 1;
+
+  // Trip count when const_bounds, else -1.
+  long TripCount() const;
+  // Provably executes at least one iteration.
+  bool DefinitelyExecutes() const { return TripCount() > 0; }
+};
+
+class LoopTree {
+ public:
+  explicit LoopTree(Program& program);
+
+  const std::vector<LoopInfo>& loops() const { return loops_; }
+  const LoopInfo* InfoOf(const Stmt& loop) const;  // null if not a loop
+
+  // Enclosing loops of `stmt`, outermost first (excluding `stmt` itself).
+  std::vector<Stmt*> LoopsEnclosing(const Stmt& stmt) const;
+
+  // Common enclosing loops of two statements, outermost first.
+  std::vector<Stmt*> CommonLoops(const Stmt& a, const Stmt& b) const;
+
+ private:
+  std::vector<LoopInfo> loops_;
+  std::unordered_map<StmtId, int> index_;
+};
+
+// `outer` is a loop whose body is exactly one statement, itself a loop:
+// the "Tight Loops (L1, L2)" pre-pattern of loop interchange.
+bool IsTightlyNested(const Stmt& outer);
+
+// Two loops that are consecutive siblings in the same body (fusion's
+// pre-pattern), in that order. `program` resolves the shared body list
+// (the loops may be at the top level).
+bool AreAdjacentLoops(Program& program, const Stmt& first,
+                      const Stmt& second);
+
+// Every name strongly or weakly defined anywhere inside the loop body,
+// including nested loop variables (but not `loop`'s own variable).
+std::unordered_set<std::string> NamesDefinedIn(const Stmt& loop);
+
+// The invariant-code-motion candidate test: `stmt` is a scalar assignment
+// directly in `loop`'s body whose RHS reads nothing defined in the loop
+// (including loop variables), whose target is defined exactly once in the
+// loop and never read in the loop body before `stmt`, and whose hoisting
+// cannot change the number of executions observably (the loop provably
+// executes, per `info`).
+bool IsLoopInvariant(const Stmt& stmt, const Stmt& loop,
+                     const LoopInfo& info);
+
+}  // namespace pivot
+
+#endif  // PIVOT_ANALYSIS_LOOPS_H_

@@ -1,0 +1,132 @@
+#include "pivot/analysis/pdg.h"
+
+#include <sstream>
+
+#include "pivot/ir/printer.h"
+#include "pivot/support/diagnostics.h"
+
+namespace pivot {
+
+Pdg::Pdg(Program& program, std::vector<Dependence> deps)
+    : deps_(std::move(deps)) {
+  PdgNode root;
+  root.kind = PdgNode::Kind::kRegion;
+  root.label = "R0";
+  root_ = AddNode(std::move(root));
+  BuildBody(program.top(), root_);
+}
+
+int Pdg::AddNode(PdgNode node) {
+  const int id = static_cast<int>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+void Pdg::BuildBody(const std::vector<StmtPtr>& body, int region) {
+  for (const auto& stmt_ptr : body) {
+    Stmt& stmt = *stmt_ptr;
+    PdgNode node;
+    node.kind = PdgNode::Kind::kStmt;
+    node.stmt = &stmt;
+    node.parent = region;
+    node.label = "s" + std::to_string(stmt.id.value()) + ": " +
+                 StmtHeadToString(stmt);
+    const int stmt_node = AddNode(std::move(node));
+    nodes_[static_cast<std::size_t>(region)].children.push_back(stmt_node);
+    stmt_node_[stmt.id] = stmt_node;
+
+    auto add_region = [&](BodyKind body_kind,
+                          const std::vector<StmtPtr>& kids) {
+      PdgNode region_node;
+      region_node.kind = PdgNode::Kind::kRegion;
+      region_node.stmt = &stmt;
+      region_node.body = body_kind;
+      region_node.parent = stmt_node;
+      region_node.label =
+          "R(s" + std::to_string(stmt.id.value()) +
+          (body_kind == BodyKind::kElse ? ",else)" : ")");
+      const int rid = AddNode(std::move(region_node));
+      nodes_[static_cast<std::size_t>(stmt_node)].children.push_back(rid);
+      region_node_[static_cast<std::uint64_t>(stmt.id.value()) * 2 +
+                   (body_kind == BodyKind::kElse ? 1 : 0)] = rid;
+      BuildBody(kids, rid);
+    };
+
+    if (stmt.kind == StmtKind::kDo) {
+      add_region(BodyKind::kMain, stmt.body);
+    } else if (stmt.kind == StmtKind::kIf) {
+      add_region(BodyKind::kMain, stmt.body);
+      add_region(BodyKind::kElse, stmt.else_body);
+    }
+  }
+}
+
+int Pdg::NodeOf(const Stmt& stmt) const {
+  auto it = stmt_node_.find(stmt.id);
+  PIVOT_CHECK_MSG(it != stmt_node_.end(), "statement has no PDG node");
+  return it->second;
+}
+
+int Pdg::RegionOf(const Stmt& stmt) const {
+  return nodes_[static_cast<std::size_t>(NodeOf(stmt))].parent;
+}
+
+int Pdg::RegionFor(const Stmt& owner, BodyKind body) const {
+  auto it = region_node_.find(static_cast<std::uint64_t>(owner.id.value()) *
+                                  2 +
+                              (body == BodyKind::kElse ? 1 : 0));
+  PIVOT_CHECK_MSG(it != region_node_.end(), "no region node for body");
+  return it->second;
+}
+
+int Pdg::Lcr(const Stmt& a, const Stmt& b) const {
+  // Collect a's region ancestors, then walk b's upward to the first hit.
+  std::vector<int> a_regions;
+  for (int node = RegionOf(a); node != -1;
+       node = nodes_[static_cast<std::size_t>(node)].parent) {
+    if (nodes_[static_cast<std::size_t>(node)].kind ==
+        PdgNode::Kind::kRegion) {
+      a_regions.push_back(node);
+    }
+  }
+  for (int node = RegionOf(b); node != -1;
+       node = nodes_[static_cast<std::size_t>(node)].parent) {
+    if (nodes_[static_cast<std::size_t>(node)].kind !=
+        PdgNode::Kind::kRegion) {
+      continue;
+    }
+    for (int candidate : a_regions) {
+      if (candidate == node) return node;
+    }
+  }
+  return root_;
+}
+
+bool Pdg::InSubtree(int region, int node) const {
+  for (int cur = node; cur != -1;
+       cur = nodes_[static_cast<std::size_t>(cur)].parent) {
+    if (cur == region) return true;
+  }
+  return false;
+}
+
+std::string Pdg::ToString() const {
+  std::ostringstream os;
+  std::function<void(int, int)> dump = [&](int node, int depth) {
+    os << std::string(static_cast<std::size_t>(depth) * 2, ' ')
+       << nodes_[static_cast<std::size_t>(node)].label << '\n';
+    for (int kid : nodes_[static_cast<std::size_t>(node)].children) {
+      dump(kid, depth + 1);
+    }
+  };
+  dump(root_, 0);
+  if (!deps_.empty()) {
+    os << "dependences:\n";
+    for (const Dependence& dep : deps_) {
+      os << "  " << dep.ToString() << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace pivot

@@ -1,0 +1,72 @@
+// Program Dependence Graph (high level of the two-level representation).
+//
+// Nodes are statements, predicates (do / if headers) and *region nodes*
+// grouping the statements control-dependent on the same condition: the
+// program root, each loop body, and each branch of an if. The control
+// dependence tree for structured Pf code is the nesting structure itself.
+// Data-dependence edges (depend.h) hang between statement nodes; the least
+// common region (LCR) of a dependence's endpoints is where summary.h
+// annotates it, exactly as the paper's Figure 3 prescribes.
+#ifndef PIVOT_ANALYSIS_PDG_H_
+#define PIVOT_ANALYSIS_PDG_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pivot/analysis/depend.h"
+#include "pivot/ir/program.h"
+
+namespace pivot {
+
+struct PdgNode {
+  enum class Kind { kRegion, kStmt };
+  Kind kind = Kind::kStmt;
+  Stmt* stmt = nullptr;      // the statement, or the region's owner (null
+                             // for the root region)
+  BodyKind body = BodyKind::kMain;  // which body a region represents
+  int parent = -1;           // control-dependence tree parent
+  std::vector<int> children;
+  std::string label;         // "R0", "s12: A(j) = ..." for dumps
+};
+
+class Pdg {
+ public:
+  Pdg(Program& program, std::vector<Dependence> deps);
+
+  const std::vector<PdgNode>& nodes() const { return nodes_; }
+  int root() const { return root_; }
+  const std::vector<Dependence>& deps() const { return deps_; }
+
+  // The node of a statement; the region node directly containing it.
+  int NodeOf(const Stmt& stmt) const;
+  int RegionOf(const Stmt& stmt) const;
+
+  // The region node for (`owner`,`body`), e.g. a loop's body region.
+  int RegionFor(const Stmt& owner, BodyKind body) const;
+
+  // Least common region: the nearest region node that is a control
+  // ancestor of both statements (paper §4.4).
+  int Lcr(const Stmt& a, const Stmt& b) const;
+
+  // True if `node` lies in the control-dependence subtree rooted at
+  // `region`.
+  bool InSubtree(int region, int node) const;
+
+  std::string ToString() const;
+
+ private:
+  int AddNode(PdgNode node);
+  void BuildBody(const std::vector<StmtPtr>& body, int region);
+
+  std::vector<PdgNode> nodes_;
+  int root_ = -1;
+  std::vector<Dependence> deps_;
+  std::unordered_map<StmtId, int> stmt_node_;
+  // Region of a (stmt,body) pair: key = stmt id * 2 + (body == kElse).
+  std::unordered_map<std::uint64_t, int> region_node_;
+};
+
+}  // namespace pivot
+
+#endif  // PIVOT_ANALYSIS_PDG_H_

@@ -1,0 +1,44 @@
+#include "pivot/analysis/summary.h"
+
+#include "pivot/support/diagnostics.h"
+
+namespace pivot {
+
+DependenceSummaries::DependenceSummaries(const Pdg& pdg) : pdg_(pdg) {
+  for (const Dependence& dep : pdg.deps()) {
+    const int lcr = pdg.Lcr(*dep.src, *dep.dst);
+    by_region_[lcr].push_back(&dep);
+    ++total_;
+  }
+}
+
+const std::vector<const Dependence*>& DependenceSummaries::AtRegion(
+    int region) const {
+  auto it = by_region_.find(region);
+  return it == by_region_.end() ? empty_ : it->second;
+}
+
+std::vector<const Dependence*> DependenceSummaries::Between(
+    const Stmt& a, const Stmt& b, bool either_direction,
+    std::size_t* inspected) const {
+  const int node_a = pdg_.NodeOf(a);
+  const int node_b = pdg_.NodeOf(b);
+  const int lcr = pdg_.Lcr(a, b);
+
+  std::vector<const Dependence*> result;
+  std::size_t count = 0;
+  for (const Dependence* dep : AtRegion(lcr)) {
+    ++count;
+    const int src_node = pdg_.NodeOf(*dep->src);
+    const int dst_node = pdg_.NodeOf(*dep->dst);
+    const bool forward = pdg_.InSubtree(node_a, src_node) &&
+                         pdg_.InSubtree(node_b, dst_node);
+    const bool backward = pdg_.InSubtree(node_b, src_node) &&
+                          pdg_.InSubtree(node_a, dst_node);
+    if (forward || (either_direction && backward)) result.push_back(dep);
+  }
+  if (inspected != nullptr) *inspected = count;
+  return result;
+}
+
+}  // namespace pivot

@@ -1,0 +1,94 @@
+#include "pivot/core/edits.h"
+
+#include <algorithm>
+
+#include "pivot/ir/printer.h"
+#include "pivot/support/diagnostics.h"
+#include "pivot/transform/catalog.h"
+
+namespace pivot {
+
+Editor::Editor(AnalysisCache& analyses, Journal& journal, History& history)
+    : analyses_(analyses), journal_(journal), history_(history) {}
+
+TransformRecord& Editor::NewEdit(std::string summary) {
+  TransformRecord rec;
+  rec.stamp = history_.NextStamp();
+  rec.is_edit = true;
+  rec.summary = std::move(summary);
+  journal_.MarkEditStamp(rec.stamp);
+  return history_.Add(std::move(rec));
+}
+
+OrderStamp Editor::AddStmt(StmtPtr stmt, Stmt* parent, BodyKind body,
+                           std::size_t index) {
+  TransformRecord& rec = NewEdit("edit: add " + StmtHeadToString(*stmt));
+  rec.actions.push_back(journal_.Add(std::move(stmt), parent, body, index,
+                                     rec.stamp, "user edit"));
+  return rec.stamp;
+}
+
+OrderStamp Editor::DeleteStmt(Stmt& stmt) {
+  TransformRecord& rec =
+      NewEdit("edit: delete " + StmtHeadToString(stmt));
+  rec.actions.push_back(journal_.Delete(stmt, rec.stamp));
+  return rec.stamp;
+}
+
+OrderStamp Editor::MoveStmt(Stmt& stmt, Stmt* parent, BodyKind body,
+                            std::size_t index) {
+  TransformRecord& rec = NewEdit("edit: move " + StmtHeadToString(stmt));
+  rec.actions.push_back(
+      journal_.Move(stmt, parent, body, index, rec.stamp));
+  return rec.stamp;
+}
+
+OrderStamp Editor::ReplaceExpr(Expr& site, ExprPtr replacement) {
+  TransformRecord& rec = NewEdit("edit: modify " + ExprToString(site) +
+                                 " -> " + ExprToString(*replacement));
+  rec.actions.push_back(
+      journal_.Modify(site, std::move(replacement), rec.stamp));
+  return rec.stamp;
+}
+
+std::vector<OrderStamp> RemoveUnsafeTransforms(
+    UndoEngine& engine, AnalysisCache& analyses, Journal& journal,
+    History& history, UndoStats* stats, std::vector<OrderStamp>* blocked) {
+  std::vector<OrderStamp> undone;
+  std::vector<OrderStamp> already_undone;
+  for (const TransformRecord& rec : history.records()) {
+    if (rec.undone) already_undone.push_back(rec.stamp);
+  }
+  bool changed = true;
+  // Undoing one unsafe transformation can (rarely) disturb earlier ones,
+  // which the engine's k > i scan does not revisit; iterate to a fixpoint.
+  while (changed) {
+    changed = false;
+    for (TransformRecord* rec : history.Live()) {
+      const Transformation& t = GetTransformation(rec->kind);
+      if (t.CheckSafety(analyses, journal, *rec)) continue;
+      if (!engine.CanUndo(rec->stamp)) {
+        if (blocked != nullptr &&
+            std::find(blocked->begin(), blocked->end(), rec->stamp) ==
+                blocked->end()) {
+          blocked->push_back(rec->stamp);
+        }
+        continue;
+      }
+      const UndoStats run = engine.Undo(rec->stamp);
+      if (stats != nullptr) *stats += run;
+      changed = true;
+    }
+  }
+  // Report everything that ended up undone by this call (ripples included).
+  for (const TransformRecord& rec : history.records()) {
+    if (rec.undone && !rec.is_edit &&
+        std::find(already_undone.begin(), already_undone.end(), rec.stamp) ==
+            already_undone.end()) {
+      undone.push_back(rec.stamp);
+    }
+  }
+  return undone;
+}
+
+}  // namespace pivot

@@ -1,0 +1,52 @@
+// User program edits and unsafe-transformation removal.
+//
+// When the user edits the program, the safety conditions of applied
+// transformations can be violated without the program semantics being at
+// fault — such transformations are *unsafe* and must be removed, while all
+// unaffected transformations stay in the code (the paper's motivation for
+// independent-order undo over redo-everything).
+//
+// Edits run through the same primitive-action journal as transformations,
+// recorded under pseudo history entries (is_edit): reversibility analysis
+// can then name an edit as the blocker of an undo, and the engine refuses
+// to unwind it.
+#ifndef PIVOT_CORE_EDITS_H_
+#define PIVOT_CORE_EDITS_H_
+
+#include "pivot/core/undo_engine.h"
+
+namespace pivot {
+
+class Editor {
+ public:
+  Editor(AnalysisCache& analyses, Journal& journal, History& history);
+
+  // Each edit returns the stamp of its pseudo history entry.
+  OrderStamp AddStmt(StmtPtr stmt, Stmt* parent, BodyKind body,
+                     std::size_t index);
+  OrderStamp DeleteStmt(Stmt& stmt);
+  OrderStamp MoveStmt(Stmt& stmt, Stmt* parent, BodyKind body,
+                      std::size_t index);
+  OrderStamp ReplaceExpr(Expr& site, ExprPtr replacement);
+
+ private:
+  TransformRecord& NewEdit(std::string summary);
+
+  AnalysisCache& analyses_;
+  Journal& journal_;
+  History& history_;
+};
+
+// Identifies every applied transformation whose safety an edit (or
+// anything else) has destroyed and undoes it through the engine,
+// independent-order style. Returns the stamps undone (including ripples).
+// Transformations whose undo is blocked by an edit are reported in
+// `blocked` (if provided) and left in place.
+std::vector<OrderStamp> RemoveUnsafeTransforms(
+    UndoEngine& engine, AnalysisCache& analyses, Journal& journal,
+    History& history, UndoStats* stats = nullptr,
+    std::vector<OrderStamp>* blocked = nullptr);
+
+}  // namespace pivot
+
+#endif  // PIVOT_CORE_EDITS_H_

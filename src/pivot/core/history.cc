@@ -1,0 +1,58 @@
+#include "pivot/core/history.h"
+
+#include <sstream>
+
+#include "pivot/support/diagnostics.h"
+
+namespace pivot {
+
+TransformRecord& History::Add(TransformRecord rec) {
+  PIVOT_CHECK_MSG(rec.stamp != kNoStamp, "record must carry a stamp");
+  records_.push_back(std::move(rec));
+  return records_.back();
+}
+
+TransformRecord* History::FindByStamp(OrderStamp stamp) {
+  for (TransformRecord& rec : records_) {
+    if (rec.stamp == stamp) return &rec;
+  }
+  return nullptr;
+}
+
+const TransformRecord* History::FindByStamp(OrderStamp stamp) const {
+  return const_cast<History*>(this)->FindByStamp(stamp);
+}
+
+std::vector<TransformRecord*> History::Live() {
+  std::vector<TransformRecord*> live;
+  for (TransformRecord& rec : records_) {
+    if (!rec.undone && !rec.is_edit) live.push_back(&rec);
+  }
+  return live;
+}
+
+TransformRecord* History::LastLive() {
+  for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+    if (!it->undone && !it->is_edit) return &*it;
+  }
+  return nullptr;
+}
+
+std::string History::ToString(const Program& program) const {
+  std::ostringstream os;
+  for (const TransformRecord& rec : records_) {
+    os << "t" << rec.stamp << " ";
+    if (rec.is_edit) {
+      os << "EDIT";
+    } else {
+      os << TransformKindName(rec.kind);
+    }
+    os << ": " << (rec.summary.empty() ? rec.site.Describe(program)
+                                       : rec.summary);
+    if (rec.undone) os << "  [undone]";
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace pivot

@@ -1,0 +1,45 @@
+// The transformation history: T = { t_1, t_2, ..., t_n }.
+//
+// Order stamps are issued here and never reused; user edits are recorded
+// as pseudo-entries (is_edit) so that reversibility analysis can identify
+// an edit as the blocker of an undo (edits are never undoable).
+#ifndef PIVOT_CORE_HISTORY_H_
+#define PIVOT_CORE_HISTORY_H_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "pivot/transform/transform.h"
+
+namespace pivot {
+
+class History {
+ public:
+  OrderStamp NextStamp() { return next_++; }
+
+  TransformRecord& Add(TransformRecord rec);
+
+  TransformRecord* FindByStamp(OrderStamp stamp);
+  const TransformRecord* FindByStamp(OrderStamp stamp) const;
+
+  const std::deque<TransformRecord>& records() const { return records_; }
+  std::deque<TransformRecord>& records() { return records_; }
+
+  // Applied-and-not-undone transformations (edits excluded), in order.
+  std::vector<TransformRecord*> Live();
+
+  // The latest live transformation, or null: the reverse-order undo
+  // baseline targets this.
+  TransformRecord* LastLive();
+
+  std::string ToString(const Program& program) const;
+
+ private:
+  std::deque<TransformRecord> records_;
+  OrderStamp next_ = 1;
+};
+
+}  // namespace pivot
+
+#endif  // PIVOT_CORE_HISTORY_H_

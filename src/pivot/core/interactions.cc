@@ -1,0 +1,284 @@
+#include "pivot/core/interactions.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "pivot/ir/parser.h"
+#include "pivot/ir/random_program.h"
+#include "pivot/support/diagnostics.h"
+#include "pivot/transform/catalog.h"
+
+namespace pivot {
+
+InteractionTable::InteractionTable() = default;
+
+bool InteractionTable::Enables(TransformKind row, TransformKind col) const {
+  return cells_[static_cast<std::size_t>(TransformKindIndex(row))]
+               [static_cast<std::size_t>(TransformKindIndex(col))];
+}
+
+void InteractionTable::Set(TransformKind row, TransformKind col, bool value) {
+  cells_[static_cast<std::size_t>(TransformKindIndex(row))]
+        [static_cast<std::size_t>(TransformKindIndex(col))] = value;
+}
+
+std::size_t InteractionTable::CountSet() const {
+  std::size_t count = 0;
+  for (const auto& row : cells_) {
+    count += static_cast<std::size_t>(
+        std::count(row.begin(), row.end(), true));
+  }
+  return count;
+}
+
+InteractionTable InteractionTable::Conservative() {
+  InteractionTable table;
+  for (auto& row : table.cells_) row.fill(true);
+  return table;
+}
+
+InteractionTable InteractionTable::Published() {
+  InteractionTable table;
+  // Paper Table 4, columns in order:
+  //           DCE CSE CTP CPP CFO ICM LUR SMI FUS INX
+  const struct {
+    TransformKind row;
+    bool cols[kNumTransformKinds];
+  } kRows[] = {
+      {TransformKind::kDce, {1, 1, 0, 1, 0, 1, 0, 0, 1, 1}},
+      {TransformKind::kCse, {0, 1, 0, 1, 0, 0, 0, 0, 1, 0}},
+      {TransformKind::kCtp, {1, 1, 0, 0, 1, 1, 0, 1, 1, 1}},
+      {TransformKind::kIcm, {0, 1, 0, 0, 0, 1, 0, 0, 1, 1}},
+      {TransformKind::kInx, {0, 0, 0, 0, 0, 1, 0, 0, 1, 1}},
+  };
+  // Rows the paper does not list are conservatively all-'x' so the pruning
+  // heuristic never drops a genuine interaction.
+  for (TransformKind row :
+       {TransformKind::kCpp, TransformKind::kCfo, TransformKind::kLur,
+        TransformKind::kSmi, TransformKind::kFus}) {
+    for (int col = 0; col < kNumTransformKinds; ++col) {
+      table.Set(row, TransformKindFromIndex(col), true);
+    }
+  }
+  for (const auto& spec : kRows) {
+    for (int col = 0; col < kNumTransformKinds; ++col) {
+      table.Set(spec.row, TransformKindFromIndex(col), spec.cols[col]);
+    }
+  }
+  return table;
+}
+
+std::string InteractionTable::Render(const std::string& title) const {
+  std::ostringstream os;
+  os << title << '\n';
+  os << "     ";
+  for (int col = 0; col < kNumTransformKinds; ++col) {
+    os << ' ' << TransformKindName(TransformKindFromIndex(col));
+  }
+  os << '\n';
+  for (int row = 0; row < kNumTransformKinds; ++row) {
+    os << ' ' << TransformKindName(TransformKindFromIndex(row)) << ' ';
+    for (int col = 0; col < kNumTransformKinds; ++col) {
+      os << "  "
+         << (cells_[static_cast<std::size_t>(row)]
+                   [static_cast<std::size_t>(col)]
+                 ? 'x'
+                 : '-')
+         << ' ';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+InteractionTable DeriveEmpirically(const EmpiricalDeriveOptions& opts) {
+  InteractionTable table;
+  constexpr int kSitesPerProgram = 4;  // distinct A-sites probed per trial
+  for (int trial = 0; trial < opts.trials; ++trial) {
+    for (int row = 0; row < kNumTransformKinds; ++row) {
+      const Transformation& a =
+          GetTransformation(TransformKindFromIndex(row));
+
+      RandomProgramOptions gen;
+      gen.seed = opts.seed + static_cast<std::uint64_t>(trial) * 1000 +
+                 static_cast<std::uint64_t>(row);
+      gen.target_stmts = opts.program_stmts;
+
+      for (int site = 0; site < kSitesPerProgram; ++site) {
+        // Fresh program per probed site: applying A elsewhere first would
+        // conflate the effects.
+        Program program = GenerateRandomProgram(gen);
+        AnalysisCache cache(program);
+        Journal journal(program);
+
+        const std::vector<Opportunity> a_ops = a.Find(cache);
+        if (static_cast<std::size_t>(site) >= a_ops.size()) break;
+
+        // Opportunity sets of every column transformation before A.
+        std::array<std::vector<Opportunity>, kNumTransformKinds> before;
+        for (int col = 0; col < kNumTransformKinds; ++col) {
+          before[static_cast<std::size_t>(col)] =
+              GetTransformation(TransformKindFromIndex(col)).Find(cache);
+        }
+
+        TransformRecord rec;
+        rec.stamp = 1;
+        rec.kind = a.kind();
+        rec.site = a_ops[static_cast<std::size_t>(site)];
+        a.Apply(cache, journal, rec.site, rec);
+
+        for (int col = 0; col < kNumTransformKinds; ++col) {
+          if (table.Enables(a.kind(), TransformKindFromIndex(col))) {
+            continue;
+          }
+          const std::vector<Opportunity> after =
+              GetTransformation(TransformKindFromIndex(col)).Find(cache);
+          for (const Opportunity& op : after) {
+            const auto& old = before[static_cast<std::size_t>(col)];
+            if (std::find(old.begin(), old.end(), op) == old.end()) {
+              table.Set(a.kind(), TransformKindFromIndex(col), true);
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+  return table;
+}
+
+const std::vector<DirectedProbe>& DirectedProbes() {
+  using K = TransformKind;
+  static const std::vector<DirectedProbe> probes = {
+      // --- DCE enables ... ---
+      // Deleting a dead store makes its (now unused) input's store dead.
+      {K::kDce, K::kDce, "a = b\nc = a\nwrite b"},
+      // Deleting the dead redefinition of the CSE target re-opens the pair.
+      {K::kDce, K::kCse,
+       "a = b + c\na2 = a\na = 0\nd = b + c\nwrite d\nwrite a2"},
+      // Deleting the dead redefinition of a copy's source re-opens CPP.
+      {K::kDce, K::kCpp, "x = y\ny = 0\nz = x\nwrite z"},
+      // Deleting the dead first store leaves a single-definition invariant.
+      {K::kDce, K::kIcm,
+       "do i = 1, 3\n  t = u + 1\n  t = u + 1\n  a(i) = t + i\nenddo\n"
+       "write a(2)"},
+      // Deleting the dead statement between the loops makes them adjacent.
+      {K::kDce, K::kFus,
+       "do i = 1, 4\n  a(i) = i\nenddo\nz = 1\ndo i = 1, 4\n  b(i) = i\n"
+       "enddo\nwrite a(1)\nwrite b(1)"},
+      // Deleting the dead statement between the headers tightens the nest.
+      {K::kDce, K::kInx,
+       "do i = 1, 3\n  z = 1\n  do j = 1, 4\n    m(i, j) = i + j\n  enddo\n"
+       "enddo\nwrite m(2, 2)"},
+
+      // --- CSE enables ... ---
+      // CSE rewrites S_j to "D = A": a copy, enabling copy propagation.
+      {K::kCse, K::kCpp,
+       "a = b + c\nd = b + c\nw = d\nwrite w\nwrite a"},
+
+      // --- CTP enables ... ---
+      // Propagating away the only use leaves the definition dead.
+      {K::kCtp, K::kDce, "c = 1\nx = c\nwrite x"},
+      // Propagation makes two right-hand sides structurally equal.
+      {K::kCtp, K::kCse, "k = 2\nd = e + k\nr = e + 2\nwrite d\nwrite r"},
+      // The textbook chain: propagation creates a constant expression.
+      {K::kCtp, K::kCfo, "c = 1\nx = c + 2\nwrite x\nwrite c"},
+      // A constant bound proves the loop executes: hoisting becomes legal.
+      {K::kCtp, K::kIcm,
+       "n = 3\ndo i = 1, n\n  t = u + 1\n  a(i) = t + i\nenddo\n"
+       "write a(1)\nwrite n"},
+      // A constant bound makes the trip count divisible by the strip size.
+      {K::kCtp, K::kSmi,
+       "n = 8\ndo i = 1, n\n  a(i) = i\nenddo\nwrite a(1)\nwrite n"},
+      // Propagation makes the two loop headers structurally equal.
+      {K::kCtp, K::kFus,
+       "n = 4\ndo i = 1, 4\n  a(i) = i\nenddo\ndo i = 1, n\n  b(i) = i\n"
+       "enddo\nwrite a(1)\nwrite b(1)\nwrite n"},
+      // A constant trip count prunes the blocking long-distance dependence.
+      {K::kCtp, K::kInx,
+       "n = 4\ndo i = 2, 3\n  do j = 1, n\n    m(i, j) = m(i - 1, j + 10)\n"
+       "  enddo\nenddo\nwrite m(3, 2)\nwrite n"},
+
+      // --- ICM enables ... ---
+      // Hoisting puts the computation on every path to the later use.
+      {K::kIcm, K::kCse,
+       "do i = 1, 3\n  a0 = b + c\n  q(i) = a0\nenddo\nd = b + c\n"
+       "write d\nwrite q(1)"},
+      // Hoisting out of the inner loop exposes hoisting out of the outer.
+      {K::kIcm, K::kIcm,
+       "do i = 1, 3\n  do j = 1, 3\n    t = u + 1\n    m(i, j) = t\n"
+       "  enddo\nenddo\nwrite m(2, 2)"},
+      // Hoisting the scalar out of the first loop removes the crossing
+      // dependence that prevented fusion.
+      {K::kIcm, K::kFus,
+       "do i = 1, 4\n  t = u + 1\n  a(i) = t\nenddo\ndo i = 1, 4\n"
+       "  b(i) = t + a(i)\nenddo\nwrite a(2)\nwrite b(2)"},
+      // Hoisting the statement out from between the headers tightens the
+      // nest (the inverse of the paper's §5.2 interaction).
+      {K::kIcm, K::kInx,
+       "do i = 1, 3\n  s = u + 1\n  do j = 1, 4\n    m(i, j) = s + j\n"
+       "  enddo\nenddo\nwrite m(2, 2)"},
+
+      // --- INX enables ... ---
+      // After the interchange the invariant store can leave the new inner
+      // loop — the paper's own Figure 1 sequence.
+      {K::kInx, K::kIcm,
+       "do i = 1, 3\n  do j = 1, 4\n    a(j) = b(j) + 1\n  enddo\nenddo\n"
+       "write a(1)"},
+      // Interchange gives the nest the same header as the adjacent loop.
+      {K::kInx, K::kFus,
+       "do i = 1, 3\n  do j = 1, 4\n    m(i, j) = i\n  enddo\nenddo\n"
+       "do j = 1, 4\n  q(j) = j\nenddo\nwrite m(2, 2)\nwrite q(1)"},
+      // Triple nest with a (=,<,>) dependence: the (j,k) pair is blocked;
+      // interchanging (i,j) first turns it into the legal (i,k) pair.
+      {K::kInx, K::kInx,
+       "do i = 1, 2\n  do j = 2, 3\n    do k = 1, 3\n"
+       "      w(i, j, k) = w(i, j - 1, k + 1)\n    enddo\n  enddo\nenddo\n"
+       "write w(1, 2, 2)"},
+  };
+  return probes;
+}
+
+std::vector<DirectedProbeResult> RunDirectedProbes() {
+  std::vector<DirectedProbeResult> results;
+  for (const DirectedProbe& probe : DirectedProbes()) {
+    DirectedProbeResult result;
+    result.row = probe.row;
+    result.col = probe.col;
+
+    const Transformation& a = GetTransformation(probe.row);
+    const Transformation& b = GetTransformation(probe.col);
+
+    // Count the A opportunities once, then probe each on a fresh program.
+    std::size_t num_sites = 0;
+    {
+      Program program = Parse(probe.source);
+      AnalysisCache cache(program);
+      num_sites = a.Find(cache).size();
+    }
+    for (std::size_t site = 0; site < num_sites && !result.reproduced;
+         ++site) {
+      Program program = Parse(probe.source);
+      AnalysisCache cache(program);
+      Journal journal(program);
+      const std::vector<Opportunity> before = b.Find(cache);
+      const std::vector<Opportunity> a_ops = a.Find(cache);
+      if (site >= a_ops.size()) break;
+      TransformRecord rec;
+      rec.stamp = 1;
+      rec.kind = a.kind();
+      rec.site = a_ops[site];
+      a.Apply(cache, journal, rec.site, rec);
+      for (const Opportunity& op : b.Find(cache)) {
+        if (std::find(before.begin(), before.end(), op) == before.end()) {
+          result.reproduced = true;
+          break;
+        }
+      }
+    }
+    results.push_back(result);
+  }
+  return results;
+}
+
+}  // namespace pivot

@@ -1,0 +1,82 @@
+// Transformation interaction tables (paper §4.3, Table 4).
+//
+// Enabling interactions are perform-create dependencies: an 'x' in row A,
+// column B means performing A can create conditions for B. The
+// reverse-destroy relation replicates it exactly, so the same table prunes
+// the possibly-affected set when undoing (Figure 4, line 20).
+//
+// Three tables are provided:
+//   * Published    — the paper's Table 4 rows (DCE, CSE, CTP, ICM, INX);
+//                    the five unpublished rows are conservatively all-'x'
+//                    so the heuristic never skips a real interaction;
+//   * Conservative — all-'x' (the no-heuristic baseline for ablation);
+//   * DeriveEmpirically — re-derives the matrix by actually applying each
+//                    row transformation on randomized probe programs and
+//                    diffing the column transformation's opportunity sets
+//                    (the bench_table4 experiment).
+#ifndef PIVOT_CORE_INTERACTIONS_H_
+#define PIVOT_CORE_INTERACTIONS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "pivot/transform/transform.h"
+
+namespace pivot {
+
+class InteractionTable {
+ public:
+  // All entries false.
+  InteractionTable();
+
+  static InteractionTable Published();
+  static InteractionTable Conservative();
+
+  bool Enables(TransformKind row, TransformKind col) const;
+  void Set(TransformKind row, TransformKind col, bool value);
+
+  // Row/column counts of set entries (matrix density; used in reports).
+  std::size_t CountSet() const;
+
+  // ASCII matrix in the paper's layout.
+  std::string Render(const std::string& title) const;
+
+ private:
+  std::array<std::array<bool, kNumTransformKinds>, kNumTransformKinds>
+      cells_{};
+};
+
+struct EmpiricalDeriveOptions {
+  std::uint64_t seed = 42;
+  int trials = 6;          // probe programs per (row, col) pair
+  int program_stmts = 36;  // probe program size
+};
+
+// Re-derives the enabling matrix experimentally. An entry (A, B) is set
+// when applying A on some probe program created a B-opportunity that did
+// not exist before.
+InteractionTable DeriveEmpirically(const EmpiricalDeriveOptions& opts = {});
+
+// Directed probes: one hand-constructed program per (row, col) pair that
+// demonstrates the enabling interaction. Random probes rarely contain the
+// precise enabling configuration; these are the witnesses. Entries the
+// library's transformation formulations cannot recreate (see the notes in
+// EXPERIMENTS.md) are omitted.
+struct DirectedProbe {
+  TransformKind row;
+  TransformKind col;
+  const char* source;
+};
+const std::vector<DirectedProbe>& DirectedProbes();
+
+struct DirectedProbeResult {
+  TransformKind row;
+  TransformKind col;
+  bool reproduced = false;  // applying `row` created a new `col` opportunity
+};
+std::vector<DirectedProbeResult> RunDirectedProbes();
+
+}  // namespace pivot
+
+#endif  // PIVOT_CORE_INTERACTIONS_H_

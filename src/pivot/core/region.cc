@@ -1,0 +1,164 @@
+#include "pivot/core/region.h"
+
+namespace pivot {
+namespace {
+
+void NamesOf(const Stmt& root, std::unordered_set<std::string>& names) {
+  ForEachStmt(root, [&names](const Stmt& s) {
+    const std::string def = DefinedName(s);
+    if (!def.empty()) names.insert(def);
+    if (s.kind == StmtKind::kDo) names.insert(s.loop_var);
+    std::vector<std::string> reads;
+    CollectReadNames(s, reads);
+    names.insert(reads.begin(), reads.end());
+  });
+}
+
+}  // namespace
+
+AffectedRegion AffectedRegion::WholeProgram() {
+  AffectedRegion region;
+  region.whole_program_ = true;
+  return region;
+}
+
+AffectedRegion AffectedRegion::FromInvertedActions(
+    AnalysisCache& a, const Journal& journal,
+    const std::vector<ActionId>& inverted) {
+  AffectedRegion region;
+  Program& program = a.program();
+
+  // Statements an inverse action touched directly.
+  std::vector<const Stmt*> touched;
+  auto add_touched = [&](StmtId id) {
+    if (!id.valid()) return;
+    const Stmt* stmt = program.FindStmt(id);
+    if (stmt != nullptr) touched.push_back(stmt);
+  };
+  auto add_location_parent = [&](const Location& loc) {
+    add_touched(loc.parent);
+  };
+
+  for (ActionId id : inverted) {
+    const ActionRecord& rec = journal.record(id);
+    switch (rec.kind) {
+      case ActionKind::kDelete:  // inverse re-added the statement
+        add_touched(rec.stmt);
+        add_location_parent(rec.orig_loc);
+        break;
+      case ActionKind::kCopy:  // inverse removed the clone
+        add_touched(rec.copy);
+        add_touched(rec.stmt);
+        add_location_parent(rec.dest_loc);
+        break;
+      case ActionKind::kMove:  // inverse moved it back
+        add_touched(rec.stmt);
+        add_location_parent(rec.orig_loc);
+        add_location_parent(rec.dest_loc);
+        break;
+      case ActionKind::kAdd:  // inverse removed it
+        add_touched(rec.stmt);
+        add_location_parent(rec.dest_loc);
+        break;
+      case ActionKind::kModify:
+        add_touched(rec.saved_header != nullptr ? rec.stmt : rec.expr_owner);
+        break;
+    }
+  }
+
+  // Touched names: data-flow and dependence changes involve one of these.
+  std::unordered_set<std::string> names;
+  for (const Stmt* stmt : touched) NamesOf(*stmt, names);
+  region.names_ = names;
+
+  // Seed the region with the touched statements, their subtrees and their
+  // ancestors (enclosing loops see their bodies change).
+  for (const Stmt* stmt : touched) {
+    ForEachStmt(const_cast<Stmt&>(*stmt), [&](Stmt& s) {
+      region.stmts_.insert(s.id);
+    });
+    for (const Stmt* up = stmt->parent; up != nullptr; up = up->parent) {
+      region.stmts_.insert(up->id);
+    }
+    // Siblings in the touched body list (code positions shifted).
+    if (stmt->attached) {
+      for (const auto& sib :
+           program.BodyListOf(stmt->parent, stmt->parent_body)) {
+        region.stmts_.insert(sib->id);
+      }
+    }
+  }
+
+  // Every statement sharing a name with the change.
+  program.ForEachAttached([&](const Stmt& s) {
+    if (region.stmts_.count(s.id) != 0) return;
+    const std::string def = DefinedName(s);
+    if (!def.empty() && names.count(def) != 0) {
+      region.stmts_.insert(s.id);
+      return;
+    }
+    if (s.kind == StmtKind::kDo && names.count(s.loop_var) != 0) {
+      region.stmts_.insert(s.id);
+      return;
+    }
+    std::vector<std::string> reads;
+    CollectReadNames(s, reads);
+    for (const auto& r : reads) {
+      if (names.count(r) != 0) {
+        region.stmts_.insert(s.id);
+        return;
+      }
+    }
+  });
+
+  return region;
+}
+
+bool AffectedRegion::ContainsStmt(const Stmt& stmt) const {
+  return whole_program_ || stmts_.count(stmt.id) != 0;
+}
+
+bool AffectedRegion::StmtMatches(const Stmt& stmt) const {
+  if (stmts_.count(stmt.id) != 0) return true;
+  // Detached statements (e.g. a DCE's deleted payload) are not in the
+  // attached-statement set; a shared name keeps their record in scope.
+  bool shares = false;
+  ForEachStmt(stmt, [&](const Stmt& s) {
+    const std::string def = DefinedName(s);
+    if (!def.empty() && names_.count(def) != 0) shares = true;
+    if (s.kind == StmtKind::kDo && names_.count(s.loop_var) != 0) {
+      shares = true;
+    }
+    std::vector<std::string> reads;
+    CollectReadNames(s, reads);
+    for (const auto& r : reads) {
+      if (names_.count(r) != 0) shares = true;
+    }
+  });
+  return shares;
+}
+
+bool AffectedRegion::ContainsRecord(const Program& program,
+                                    const Journal& journal,
+                                    const TransformRecord& rec) const {
+  if (whole_program_) return true;
+  auto check = [&](StmtId id) {
+    if (!id.valid()) return false;
+    const Stmt* stmt = program.FindStmt(id);
+    return stmt != nullptr && StmtMatches(*stmt);
+  };
+  if (check(rec.site.s1) || check(rec.site.s2)) return true;
+  for (StmtId id : rec.aux_stmts) {
+    if (check(id)) return true;
+  }
+  for (ActionId action_id : rec.actions) {
+    const ActionRecord& action = journal.record(action_id);
+    if (check(action.stmt) || check(action.copy) ||
+        check(action.expr_owner)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace pivot

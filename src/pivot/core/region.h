@@ -1,0 +1,61 @@
+// Affected-region computation for event-driven regional undo (paper §4.4).
+//
+// After the inverse actions of a transformation are performed, only the
+// program region their code / data-flow / dependence changes can reach
+// needs re-examination. The region is approximated soundly as:
+//   * every statement directly touched by an inverse action, plus its
+//     siblings in the touched body lists (code-change region),
+//   * every statement reading or writing a name that a touched statement
+//     reads or writes (data-flow / dependence change region),
+//   * all structural ancestors of touched statements (their enclosing
+//     loops, whose legality conditions reference the body content).
+// Any dependence or data-flow edge that changed necessarily involves one
+// of the touched names, so transformations outside the region cannot have
+// had their safety conditions disturbed.
+#ifndef PIVOT_CORE_REGION_H_
+#define PIVOT_CORE_REGION_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "pivot/actions/journal.h"
+#include "pivot/analysis/analyses.h"
+#include "pivot/transform/transform.h"
+
+namespace pivot {
+
+class AffectedRegion {
+ public:
+  // Everything is affected (the non-regional baseline).
+  static AffectedRegion WholeProgram();
+
+  // From the actions just inverted.
+  static AffectedRegion FromInvertedActions(
+      AnalysisCache& a, const Journal& journal,
+      const std::vector<ActionId>& inverted);
+
+  bool whole_program() const { return whole_program_; }
+
+  bool ContainsStmt(const Stmt& stmt) const;
+
+  // A transformation record lies in the region when any statement it
+  // references (site, post-pattern payload, action targets) is in the
+  // region — or, for statements currently detached (deleted payloads),
+  // when the statement touches one of the changed names.
+  bool ContainsRecord(const Program& program, const Journal& journal,
+                      const TransformRecord& rec) const;
+
+  std::size_t StmtCount() const { return stmts_.size(); }
+
+ private:
+  bool StmtMatches(const Stmt& stmt) const;
+
+  bool whole_program_ = false;
+  std::unordered_set<StmtId> stmts_;
+  std::unordered_set<std::string> names_;  // names touched by the change
+};
+
+}  // namespace pivot
+
+#endif  // PIVOT_CORE_REGION_H_

@@ -1,0 +1,84 @@
+#include "pivot/core/report.h"
+
+#include <sstream>
+
+#include "pivot/support/table.h"
+#include "pivot/transform/catalog.h"
+
+namespace pivot {
+namespace {
+
+std::string StampList(const std::vector<OrderStamp>& stamps) {
+  if (stamps.empty()) return "-";
+  std::ostringstream os;
+  for (std::size_t i = 0; i < stamps.size(); ++i) {
+    if (i != 0) os << " ";
+    os << "t" << stamps[i];
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string RenderSessionReport(Session& session, const ReportOptions& opts) {
+  std::ostringstream os;
+  os << "==== pivot session report ====\n";
+
+  if (opts.include_program) {
+    os << "\n-- program (" << session.program().AttachedStmtCount()
+       << " statements) --\n"
+       << session.Source();
+  }
+
+  if (opts.include_history) {
+    os << "\n-- history --\n" << session.HistoryToString();
+  }
+
+  if (opts.include_previews) {
+    TextTable table({"t", "kind", "undoable", "must undo first",
+                     "may ripple"});
+    for (const TransformRecord& rec : session.history().records()) {
+      if (rec.is_edit || rec.undone) continue;
+      const UndoEngine::UndoPreview preview =
+          session.engine().Preview(rec.stamp);
+      table.AddRow({"t" + std::to_string(rec.stamp),
+                    TransformKindName(rec.kind),
+                    preview.possible ? "yes" : preview.blocked_reason,
+                    StampList(preview.affecting),
+                    StampList(preview.may_ripple)});
+    }
+    os << "\n-- undo previews --\n" << table.Render();
+  }
+
+  if (opts.include_annotations) {
+    os << "\n-- APDG/ADAG annotations ("
+       << session.journal().annotations().TotalCount() << ") --\n"
+       << session.AnnotationsToString();
+  }
+
+  return os.str();
+}
+
+std::string RenderHealthCheck(Session& session) {
+  TextTable table({"t", "kind", "summary", "reversible", "safe"});
+  for (const TransformRecord& rec : session.history().records()) {
+    if (rec.is_edit || rec.undone) continue;
+    const Transformation& t = GetTransformation(rec.kind);
+    const Reversibility rev =
+        t.CheckReversibility(session.analyses(), session.journal(), rec);
+    const bool safe =
+        t.CheckSafety(session.analyses(), session.journal(), rec);
+    std::string reversible = "yes";
+    if (!rev.ok) {
+      reversible = rev.affecting != kNoStamp
+                       ? "after t" + std::to_string(rev.affecting)
+                       : "no (" + rev.condition + ")";
+    }
+    table.AddRow({"t" + std::to_string(rec.stamp),
+                  TransformKindName(rec.kind), rec.summary, reversible,
+                  safe ? "yes" : "NO"});
+  }
+  return table.Render();
+}
+
+}  // namespace pivot

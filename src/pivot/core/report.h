@@ -1,0 +1,33 @@
+// Session reports: a human-readable snapshot of everything the undo
+// machinery knows — the program, the history with per-transformation
+// status (live / undone / edit), reversibility and safety verdicts, undo
+// previews, and the APDG/ADAG annotations. The REPL's `report` command and
+// the examples print these; they are what a PIVOT-style GUI would render.
+#ifndef PIVOT_CORE_REPORT_H_
+#define PIVOT_CORE_REPORT_H_
+
+#include <string>
+
+#include "pivot/core/session.h"
+
+namespace pivot {
+
+struct ReportOptions {
+  bool include_program = true;
+  bool include_history = true;
+  bool include_annotations = true;
+  bool include_previews = true;  // per live transformation: undo preview
+};
+
+// Renders the report for the session's current state.
+std::string RenderSessionReport(Session& session,
+                                const ReportOptions& opts = {});
+
+// One line per live transformation: stamp, kind, reversibility and safety
+// verdicts — the health check an interactive environment shows after each
+// edit.
+std::string RenderHealthCheck(Session& session);
+
+}  // namespace pivot
+
+#endif  // PIVOT_CORE_REPORT_H_

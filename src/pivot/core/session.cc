@@ -1,0 +1,76 @@
+#include "pivot/core/session.h"
+
+#include "pivot/support/diagnostics.h"
+#include "pivot/transform/catalog.h"
+
+namespace pivot {
+
+Session::Session(Program program, UndoOptions options)
+    : program_(std::move(program)),
+      analyses_(program_),
+      journal_(program_),
+      engine_(analyses_, journal_, history_, std::move(options)),
+      editor_(analyses_, journal_, history_) {}
+
+std::vector<Opportunity> Session::FindOpportunities(TransformKind kind) {
+  return GetTransformation(kind).Find(analyses_);
+}
+
+OrderStamp Session::Apply(const Opportunity& op) {
+  const Transformation& t = GetTransformation(op.kind);
+  if (!t.Applicable(analyses_, op)) {
+    throw ProgramError(std::string(t.name()) +
+                       " pre-condition does not hold at " +
+                       op.Describe(program_));
+  }
+  TransformRecord rec;
+  rec.stamp = history_.NextStamp();
+  rec.kind = op.kind;
+  rec.site = op;
+  t.Apply(analyses_, journal_, op, rec);
+  history_.Add(std::move(rec));
+  return history_.records().back().stamp;
+}
+
+std::optional<OrderStamp> Session::ApplyFirst(TransformKind kind) {
+  const std::vector<Opportunity> ops = FindOpportunities(kind);
+  if (ops.empty()) return std::nullopt;
+  return Apply(ops.front());
+}
+
+int Session::ApplyEverywhere(TransformKind kind, int max_applications) {
+  int applied = 0;
+  while (applied < max_applications) {
+    const std::vector<Opportunity> ops = FindOpportunities(kind);
+    if (ops.empty()) break;
+    Apply(ops.front());
+    ++applied;
+  }
+  return applied;
+}
+
+std::vector<OrderStamp> Session::RemoveUnsafeTransforms(
+    std::vector<OrderStamp>* blocked) {
+  return pivot::RemoveUnsafeTransforms(engine_, analyses_, journal_,
+                                       history_, nullptr, blocked);
+}
+
+std::string Session::Source(const PrintOptions& opts) const {
+  return ToSource(program_, opts);
+}
+
+std::string Session::HistoryToString() const {
+  return history_.ToString(program_);
+}
+
+std::string Session::AnnotationsToString() const {
+  return journal_.annotations().Render(program_);
+}
+
+InterpResult Session::Execute(const std::vector<double>& input) const {
+  InterpOptions opts;
+  opts.input = input;
+  return Run(program_, opts);
+}
+
+}  // namespace pivot

@@ -1,0 +1,83 @@
+// Session: the library's top-level facade.
+//
+// A Session owns a program together with its analyses, action journal,
+// transformation history, undo engine and editor — the programmatic
+// equivalent of one PIVOT editing session. Typical use:
+//
+//   Session s(Parse(source));
+//   OrderStamp t1 = *s.ApplyFirst(TransformKind::kCse);
+//   OrderStamp t2 = *s.ApplyFirst(TransformKind::kInx);
+//   s.Undo(t1);                     // independent order: t2 stays
+//   std::cout << s.Source();
+#ifndef PIVOT_CORE_SESSION_H_
+#define PIVOT_CORE_SESSION_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "pivot/core/edits.h"
+#include "pivot/core/undo_engine.h"
+#include "pivot/ir/interp.h"
+#include "pivot/ir/printer.h"
+
+namespace pivot {
+
+class Session {
+ public:
+  explicit Session(Program program, UndoOptions options = {});
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  Program& program() { return program_; }
+  AnalysisCache& analyses() { return analyses_; }
+  Journal& journal() { return journal_; }
+  History& history() { return history_; }
+  UndoEngine& engine() { return engine_; }
+  Editor& editor() { return editor_; }
+
+  // --- applying transformations ---
+  std::vector<Opportunity> FindOpportunities(TransformKind kind);
+
+  // Applies at a specific site; throws ProgramError when the pre-condition
+  // does not hold. Returns the new transformation's stamp.
+  OrderStamp Apply(const Opportunity& op);
+
+  // Applies the first opportunity found, if any.
+  std::optional<OrderStamp> ApplyFirst(TransformKind kind);
+
+  // Applies opportunities of `kind` until none remain (bounded); returns
+  // the number applied.
+  int ApplyEverywhere(TransformKind kind, int max_applications = 1000);
+
+  // --- undoing ---
+  UndoStats Undo(OrderStamp stamp) { return engine_.Undo(stamp); }
+  OrderStamp UndoLast() { return engine_.UndoLast(); }
+  bool CanUndo(OrderStamp stamp, std::string* reason = nullptr) {
+    return engine_.CanUndo(stamp, reason);
+  }
+
+  // --- edits ---
+  std::vector<OrderStamp> RemoveUnsafeTransforms(
+      std::vector<OrderStamp>* blocked = nullptr);
+
+  // --- inspection ---
+  std::string Source(const PrintOptions& opts = {}) const;
+  std::string HistoryToString() const;
+  std::string AnnotationsToString() const;  // the APDG/ADAG annotations
+
+  // Executes the current program (the safety oracle used by tests).
+  InterpResult Execute(const std::vector<double>& input = {}) const;
+
+ private:
+  Program program_;
+  AnalysisCache analyses_;
+  Journal journal_;
+  History history_;
+  UndoEngine engine_;
+  Editor editor_;
+};
+
+}  // namespace pivot
+
+#endif  // PIVOT_CORE_SESSION_H_

@@ -1,0 +1,73 @@
+#include "pivot/core/trace.h"
+
+#include <sstream>
+
+namespace pivot {
+
+std::string UndoTraceEvent::ToString() const {
+  std::ostringstream os;
+  os << std::string(static_cast<std::size_t>(depth) * 2, ' ');
+  const std::string target_name =
+      "t" + std::to_string(target) + " (" +
+      TransformKindName(target_kind) + ")";
+  const std::string other_name =
+      "t" + std::to_string(other) + " (" + TransformKindName(other_kind) +
+      ")";
+  switch (kind) {
+    case Kind::kBegin:
+      os << "UNDO " << target_name;
+      break;
+    case Kind::kPostPatternOk:
+      os << "post-pattern of " << target_name << " validated";
+      break;
+    case Kind::kPostPatternBlocked:
+      os << "post-pattern of " << target_name << " invalidated ("
+         << detail << "); affecting transformation: " << other_name;
+      break;
+    case Kind::kInverseActions:
+      os << "performed " << count << " inverse action(s) of " << target_name;
+      break;
+    case Kind::kRegion:
+      if (count < 0) {
+        os << "affected region: whole program";
+      } else {
+        os << "affected region: " << count << " statement(s)";
+      }
+      break;
+    case Kind::kCandidateOutsideRegion:
+      os << other_name << " outside the affected region - skipped";
+      break;
+    case Kind::kCandidateUnmarked:
+      os << other_name << " not marked in reverse-destroy["
+         << TransformKindName(target_kind) << "] - skipped";
+      break;
+    case Kind::kCandidateSafe:
+      os << other_name << " safety conditions intact - kept";
+      break;
+    case Kind::kCandidateUnsafe:
+      os << other_name << " safety destroyed - rippling";
+      break;
+    case Kind::kDone:
+      os << "UNDO " << target_name << " complete";
+      break;
+  }
+  return os.str();
+}
+
+std::size_t UndoTrace::Count(UndoTraceEvent::Kind kind) const {
+  std::size_t count = 0;
+  for (const UndoTraceEvent& e : events_) {
+    if (e.kind == kind) ++count;
+  }
+  return count;
+}
+
+std::string UndoTrace::Render() const {
+  std::ostringstream os;
+  for (const UndoTraceEvent& e : events_) {
+    os << e.ToString() << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace pivot

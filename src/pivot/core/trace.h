@@ -1,0 +1,66 @@
+// UndoTrace: a structured record of the undo engine's decisions.
+//
+// The paper's system is a *visualization* environment; users need to see
+// why undoing one transformation dragged others along. The trace captures
+// every step of the Figure-4 algorithm — post-pattern outcomes, the
+// affecting transformation chosen, the inverse actions, the affected-region
+// size, every candidate's filtering fate and safety verdict — and renders
+// it as an indented narrative.
+#ifndef PIVOT_CORE_TRACE_H_
+#define PIVOT_CORE_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "pivot/transform/transform.h"
+
+namespace pivot {
+
+struct UndoTraceEvent {
+  enum class Kind {
+    kBegin,              // entering UNDO(t)
+    kPostPatternOk,      // post-pattern validated
+    kPostPatternBlocked, // invalidated; `other` names the affecting t_j
+    kInverseActions,     // performed `count` inverse actions
+    kRegion,             // affected region computed (`count` statements,
+                         // or whole program when count < 0)
+    kCandidateOutsideRegion,  // t_k skipped by the space coordinate
+    kCandidateUnmarked,       // t_k skipped by the reverse-destroy table
+    kCandidateSafe,           // safety re-checked and intact
+    kCandidateUnsafe,         // safety destroyed; ripple follows
+    kDone,               // leaving UNDO(t)
+  };
+
+  Kind kind = Kind::kBegin;
+  int depth = 0;             // recursion depth of the enclosing UNDO
+  OrderStamp target = kNoStamp;  // the transformation being undone
+  TransformKind target_kind = TransformKind::kDce;
+  OrderStamp other = kNoStamp;   // affecting / candidate stamp
+  TransformKind other_kind = TransformKind::kDce;
+  long count = 0;            // actions inverted / region size
+  std::string detail;        // disabling condition, etc.
+
+  std::string ToString() const;
+};
+
+class UndoTrace {
+ public:
+  void Add(UndoTraceEvent event) { events_.push_back(std::move(event)); }
+  void Clear() { events_.clear(); }
+
+  const std::vector<UndoTraceEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+  // Counts of events of one kind (used by tests and reports).
+  std::size_t Count(UndoTraceEvent::Kind kind) const;
+
+  // The indented narrative, one event per line.
+  std::string Render() const;
+
+ private:
+  std::vector<UndoTraceEvent> events_;
+};
+
+}  // namespace pivot
+
+#endif  // PIVOT_CORE_TRACE_H_

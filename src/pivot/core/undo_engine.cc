@@ -1,0 +1,313 @@
+#include "pivot/core/undo_engine.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "pivot/support/diagnostics.h"
+#include "pivot/transform/catalog.h"
+
+namespace pivot {
+
+UndoStats& UndoStats::operator+=(const UndoStats& other) {
+  transforms_undone += other.transforms_undone;
+  actions_inverted += other.actions_inverted;
+  candidates_total += other.candidates_total;
+  candidates_in_region += other.candidates_in_region;
+  candidates_marked += other.candidates_marked;
+  safety_checks += other.safety_checks;
+  reversibility_checks += other.reversibility_checks;
+  analysis_rebuilds += other.analysis_rebuilds;
+  return *this;
+}
+
+namespace {
+
+InteractionTable SelectTable(const UndoOptions& options) {
+  switch (options.heuristic) {
+    case UndoOptions::Heuristic::kConservative:
+      return InteractionTable::Conservative();
+    case UndoOptions::Heuristic::kPublished:
+      return InteractionTable::Published();
+    case UndoOptions::Heuristic::kCustom:
+      return options.custom;
+  }
+  PIVOT_UNREACHABLE("heuristic");
+}
+
+constexpr int kMaxDepth = 10000;  // undo chains are bounded by |history|
+
+}  // namespace
+
+UndoEngine::UndoEngine(AnalysisCache& analyses, Journal& journal,
+                       History& history, UndoOptions options)
+    : analyses_(analyses),
+      journal_(journal),
+      history_(history),
+      options_(std::move(options)),
+      table_(SelectTable(options_)) {}
+
+UndoStats UndoEngine::Undo(OrderStamp stamp) {
+  TransformRecord* rec = history_.FindByStamp(stamp);
+  PIVOT_CHECK_MSG(rec != nullptr, "unknown transformation stamp");
+  if (rec->is_edit) {
+    throw ProgramError("user edits cannot be undone by the transformation "
+                       "undo machinery");
+  }
+  if (rec->undone) return {};
+  UndoStats stats;
+  const std::uint64_t rebuilds_before = analyses_.rebuild_count();
+  UndoRec(*rec, stats, 0);
+  stats.analysis_rebuilds =
+      static_cast<int>(analyses_.rebuild_count() - rebuilds_before);
+  return stats;
+}
+
+OrderStamp UndoEngine::UndoLast(UndoStats* stats) {
+  TransformRecord* rec = history_.LastLive();
+  if (rec == nullptr) return kNoStamp;
+  UndoStats local;
+  UndoRec(*rec, local, 0);
+  if (stats != nullptr) *stats += local;
+  return rec->stamp;
+}
+
+bool UndoEngine::CanUndo(OrderStamp stamp, std::string* reason) {
+  TransformRecord* rec = history_.FindByStamp(stamp);
+  if (rec == nullptr || rec->is_edit || rec->undone) {
+    if (reason != nullptr) {
+      *reason = rec == nullptr    ? "unknown transformation"
+                : rec->is_edit    ? "edits are not undoable"
+                                  : "already undone";
+    }
+    return false;
+  }
+  // Walk the affecting chain without mutating anything: an undo is blocked
+  // exactly when the chain reaches an edit or an unidentifiable cause.
+  std::vector<OrderStamp> chain{stamp};
+  TransformRecord* cur = rec;
+  for (int guard = 0; guard < kMaxDepth; ++guard) {
+    const Transformation& t = GetTransformation(cur->kind);
+    const Reversibility rev =
+        t.CheckReversibility(analyses_, journal_, *cur);
+    if (rev.ok) return true;
+    if (rev.affecting == kNoStamp) {
+      if (reason != nullptr) {
+        *reason = "blocked: " + rev.condition +
+                  " (no affecting transformation identified)";
+      }
+      return false;
+    }
+    TransformRecord* next = history_.FindByStamp(rev.affecting);
+    if (next == nullptr || next->is_edit) {
+      if (reason != nullptr) {
+        *reason = "blocked by user edit (t" +
+                  std::to_string(rev.affecting) + "): " + rev.condition;
+      }
+      return false;
+    }
+    cur = next;
+  }
+  if (reason != nullptr) *reason = "affecting chain did not terminate";
+  return false;
+}
+
+namespace {
+
+UndoTraceEvent MakeEvent(UndoTraceEvent::Kind kind,
+                         const TransformRecord& rec, int depth) {
+  UndoTraceEvent event;
+  event.kind = kind;
+  event.depth = depth;
+  event.target = rec.stamp;
+  event.target_kind = rec.kind;
+  return event;
+}
+
+}  // namespace
+
+UndoEngine::UndoPreview UndoEngine::Preview(OrderStamp stamp) {
+  UndoPreview preview;
+  TransformRecord* rec = history_.FindByStamp(stamp);
+  if (rec == nullptr || rec->is_edit || rec->undone) {
+    preview.blocked_reason = rec == nullptr  ? "unknown transformation"
+                             : rec->is_edit  ? "edits are not undoable"
+                                             : "already undone";
+    return preview;
+  }
+  // Walk the affecting chain read-only. Each step names the transformation
+  // that must be undone first; in the real undo that unblocks the next
+  // check, which the preview approximates by following the chain head.
+  TransformRecord* cur = rec;
+  for (int guard = 0; guard < kMaxDepth; ++guard) {
+    const Transformation& t = GetTransformation(cur->kind);
+    const Reversibility rev =
+        t.CheckReversibility(analyses_, journal_, *cur);
+    if (rev.ok) break;
+    if (rev.affecting == kNoStamp) {
+      preview.blocked_reason = "blocked: " + rev.condition;
+      return preview;
+    }
+    TransformRecord* next = history_.FindByStamp(rev.affecting);
+    if (next == nullptr || next->is_edit) {
+      preview.blocked_reason =
+          "blocked by user edit t" + std::to_string(rev.affecting);
+      return preview;
+    }
+    preview.affecting.push_back(next->stamp);
+    cur = next;
+  }
+  preview.possible = true;
+  // The candidates the affected scan would examine: later live records
+  // marked in the reverse-destroy table. Regional pruning cannot be
+  // anticipated exactly (the region exists only after the inverse actions
+  // run), so the preview lists the table-marked superset.
+  for (TransformRecord& later : history_.records()) {
+    if (later.undone || later.is_edit || later.stamp <= rec->stamp) continue;
+    if (std::find(preview.affecting.begin(), preview.affecting.end(),
+                  later.stamp) != preview.affecting.end()) {
+      continue;
+    }
+    if (table_.Enables(rec->kind, later.kind)) {
+      preview.may_ripple.push_back(later.stamp);
+    }
+  }
+  return preview;
+}
+
+void UndoEngine::UndoRec(TransformRecord& rec, UndoStats& stats, int depth) {
+  PIVOT_CHECK_MSG(depth < kMaxDepth, "runaway undo recursion");
+  if (rec.undone) return;
+  const Transformation& transformation = GetTransformation(rec.kind);
+  Trace(MakeEvent(UndoTraceEvent::Kind::kBegin, rec, depth));
+
+  // Lines 4-11: undo affecting transformations until the post-pattern of
+  // t_i validates.
+  while (true) {
+    ++stats.reversibility_checks;
+    const Reversibility rev =
+        transformation.CheckReversibility(analyses_, journal_, rec);
+    if (rev.ok) {
+      Trace(MakeEvent(UndoTraceEvent::Kind::kPostPatternOk, rec, depth));
+      break;
+    }
+    if (rev.affecting != kNoStamp) {
+      UndoTraceEvent event =
+          MakeEvent(UndoTraceEvent::Kind::kPostPatternBlocked, rec, depth);
+      event.other = rev.affecting;
+      if (const TransformRecord* blocker =
+              history_.FindByStamp(rev.affecting)) {
+        event.other_kind = blocker->kind;
+      }
+      event.detail = rev.condition;
+      Trace(std::move(event));
+    }
+    if (rev.affecting == kNoStamp) {
+      throw ProgramError(
+          "cannot undo t" + std::to_string(rec.stamp) + " (" +
+          std::string(TransformKindName(rec.kind)) + "): " + rev.condition);
+    }
+    TransformRecord* affecting = history_.FindByStamp(rev.affecting);
+    PIVOT_CHECK_MSG(affecting != nullptr, "affecting stamp not in history");
+    if (affecting->is_edit) {
+      throw ProgramError("cannot undo t" + std::to_string(rec.stamp) +
+                         ": blocked by user edit t" +
+                         std::to_string(rev.affecting) + " (" +
+                         rev.condition + ")");
+    }
+    PIVOT_CHECK_MSG(!affecting->undone,
+                    "post-pattern blocked by an already-undone transform");
+    UndoRec(*affecting, stats, depth + 1);
+  }
+
+  // Line 12: perform the inverse actions (reverse application order).
+  const std::vector<ActionId> inverted = InvertActions(rec, stats);
+  rec.undone = true;
+  ++stats.transforms_undone;
+  {
+    UndoTraceEvent event =
+        MakeEvent(UndoTraceEvent::Kind::kInverseActions, rec, depth);
+    event.count = static_cast<long>(inverted.size());
+    Trace(std::move(event));
+  }
+
+  // Line 13: dependence and data-flow update — analyses are re-derived
+  // lazily from the bumped program epoch.
+
+  // Line 15: determine the affected region.
+  const AffectedRegion region =
+      options_.regional
+          ? AffectedRegion::FromInvertedActions(analyses_, journal_,
+                                                inverted)
+          : AffectedRegion::WholeProgram();
+  {
+    UndoTraceEvent event =
+        MakeEvent(UndoTraceEvent::Kind::kRegion, rec, depth);
+    event.count = region.whole_program()
+                      ? -1
+                      : static_cast<long>(region.StmtCount());
+    Trace(std::move(event));
+  }
+
+  // Lines 16-29: detect and undo affected transformations.
+  ScanAffected(rec, region, stats, depth);
+  Trace(MakeEvent(UndoTraceEvent::Kind::kDone, rec, depth));
+}
+
+std::vector<ActionId> UndoEngine::InvertActions(TransformRecord& rec,
+                                                UndoStats& stats) {
+  std::vector<ActionId> inverted;
+  for (auto it = rec.actions.rbegin(); it != rec.actions.rend(); ++it) {
+    if (journal_.record(*it).undone) continue;
+    journal_.Invert(*it);
+    inverted.push_back(*it);
+    ++stats.actions_inverted;
+  }
+  return inverted;
+}
+
+void UndoEngine::ScanAffected(TransformRecord& undone,
+                              const AffectedRegion& region, UndoStats& stats,
+                              int depth) {
+  // Snapshot the live later transformations first: recursive undos mutate
+  // the history flags but not the deque order.
+  std::vector<TransformRecord*> later;
+  for (TransformRecord& rec : history_.records()) {
+    if (rec.undone || rec.is_edit) continue;
+    if (rec.stamp > undone.stamp) later.push_back(&rec);  // line 18: k > i
+  }
+
+  for (TransformRecord* candidate : later) {
+    if (candidate->undone) continue;  // removed by a deeper recursion
+    ++stats.candidates_total;
+    UndoTraceEvent event =
+        MakeEvent(UndoTraceEvent::Kind::kCandidateSafe, undone, depth);
+    event.other = candidate->stamp;
+    event.other_kind = candidate->kind;
+    // The space coordinate: only transformations in the affected region.
+    if (!region.ContainsRecord(analyses_.program(), journal_, *candidate)) {
+      event.kind = UndoTraceEvent::Kind::kCandidateOutsideRegion;
+      Trace(std::move(event));
+      continue;
+    }
+    ++stats.candidates_in_region;
+    // Line 20: the reverse-destroy heuristic.
+    if (!table_.Enables(undone.kind, candidate->kind)) {
+      event.kind = UndoTraceEvent::Kind::kCandidateUnmarked;
+      Trace(std::move(event));
+      continue;
+    }
+    ++stats.candidates_marked;
+    // Lines 22-25: full safety re-evaluation; ripple when violated.
+    ++stats.safety_checks;
+    const Transformation& t = GetTransformation(candidate->kind);
+    if (!t.CheckSafety(analyses_, journal_, *candidate)) {
+      event.kind = UndoTraceEvent::Kind::kCandidateUnsafe;
+      Trace(std::move(event));
+      UndoRec(*candidate, stats, depth + 1);
+    } else {
+      Trace(std::move(event));
+    }
+  }
+}
+
+}  // namespace pivot

@@ -1,0 +1,115 @@
+// The independent-order UNDO algorithm (paper Figure 4).
+//
+//   UNDO(t_i):
+//     while post_pattern(t_i) is invalidated:            (lines 4-11)
+//       find the disabling condition, the action causing it, and the
+//       transformation t_j that issued the action; UNDO(t_j)
+//     perform inverse actions of t_i                      (line 12)
+//     update dependence and data-flow information         (line 13)
+//     determine the affected region                       (line 15)
+//     for every later transformation t_k in the region    (lines 16-29)
+//       marked in the reverse-destroy table for t_i:
+//         if !safety(t_k): UNDO(t_k)
+//
+// Options select the pruning machinery, which is exactly the ablation the
+// benchmarks run: the reverse-destroy heuristic table (published /
+// conservative / custom) and the event-driven regional analysis (on/off).
+#ifndef PIVOT_CORE_UNDO_ENGINE_H_
+#define PIVOT_CORE_UNDO_ENGINE_H_
+
+#include <string>
+
+#include "pivot/core/history.h"
+#include "pivot/core/interactions.h"
+#include "pivot/core/region.h"
+#include "pivot/core/trace.h"
+
+namespace pivot {
+
+struct UndoOptions {
+  enum class Heuristic {
+    kConservative,  // all-'x' table: every later transformation is a
+                    // candidate (no interaction pruning)
+    kPublished,     // the paper's Table 4 (unpublished rows conservative)
+    kCustom,        // caller-provided table
+  };
+  Heuristic heuristic = Heuristic::kPublished;
+  InteractionTable custom;  // used when heuristic == kCustom
+  bool regional = true;     // event-driven regional undo (§4.4) on/off
+};
+
+struct UndoStats {
+  int transforms_undone = 0;
+  int actions_inverted = 0;
+  // Work metrics of the affected-transformation scan (lines 16-29).
+  int candidates_total = 0;       // later live transformations seen
+  int candidates_in_region = 0;   // survived the regional filter
+  int candidates_marked = 0;      // survived the reverse-destroy filter
+  int safety_checks = 0;          // full safety-condition evaluations
+  int reversibility_checks = 0;   // post-pattern validations
+  // Figure 4 line 13: how many from-scratch analysis re-derivations the
+  // undo triggered (each inverse-action batch invalidates the caches).
+  int analysis_rebuilds = 0;
+
+  UndoStats& operator+=(const UndoStats& other);
+};
+
+class UndoEngine {
+ public:
+  UndoEngine(AnalysisCache& analyses, Journal& journal, History& history,
+             UndoOptions options = {});
+
+  // Figure 4: undo t_i (and whatever that forces) in independent order.
+  // Throws ProgramError when the undo is blocked by a user edit or the
+  // affecting transformation cannot be identified.
+  UndoStats Undo(OrderStamp stamp);
+
+  // The reverse-application-order baseline of [5]: undo the most recently
+  // applied live transformation. Returns its stamp (kNoStamp if none).
+  OrderStamp UndoLast(UndoStats* stats = nullptr);
+
+  // Would Undo(stamp) succeed without being blocked by an edit?
+  bool CanUndo(OrderStamp stamp, std::string* reason = nullptr);
+
+  // What Undo(stamp) would remove, without performing it. The *affecting*
+  // chain (post-pattern walk) is exact; the *affected* set is the
+  // candidates the scan would safety-check (region ∩ reverse-destroy), an
+  // over-approximation of the actual ripple since safety can only be
+  // evaluated against post-inverse state. Used by interactive front ends
+  // to warn before a destructive-feeling undo.
+  struct UndoPreview {
+    bool possible = false;
+    std::string blocked_reason;           // set when !possible
+    std::vector<OrderStamp> affecting;    // undone first, in order
+    std::vector<OrderStamp> may_ripple;   // candidates the scan will check
+  };
+  UndoPreview Preview(OrderStamp stamp);
+
+  const UndoOptions& options() const { return options_; }
+  const InteractionTable& table() const { return table_; }
+
+  // Optional decision trace; the engine appends one event per Figure-4
+  // step of every subsequent Undo. Pass null to stop tracing.
+  void set_trace(UndoTrace* trace) { trace_ = trace; }
+
+ private:
+  void Trace(UndoTraceEvent event) {
+    if (trace_ != nullptr) trace_->Add(std::move(event));
+  }
+  void UndoRec(TransformRecord& rec, UndoStats& stats, int depth);
+  std::vector<ActionId> InvertActions(TransformRecord& rec,
+                                      UndoStats& stats);
+  void ScanAffected(TransformRecord& undone, const AffectedRegion& region,
+                    UndoStats& stats, int depth);
+
+  AnalysisCache& analyses_;
+  Journal& journal_;
+  History& history_;
+  UndoOptions options_;
+  InteractionTable table_;
+  UndoTrace* trace_ = nullptr;
+};
+
+}  // namespace pivot
+
+#endif  // PIVOT_CORE_UNDO_ENGINE_H_

@@ -1,0 +1,68 @@
+#include "pivot/ir/builder.h"
+
+#include "pivot/support/diagnostics.h"
+
+namespace pivot {
+
+ProgramBuilder::ProgramBuilder() = default;
+
+Stmt* ProgramBuilder::Emit(StmtPtr stmt, int label) {
+  stmt->label = label;
+  if (scopes_.empty()) {
+    return program_.Append(std::move(stmt));
+  }
+  Scope& scope = scopes_.back();
+  std::vector<StmtPtr>& list =
+      program_.BodyListOf(scope.stmt, scope.body);
+  return program_.InsertAt(scope.stmt, scope.body, list.size(),
+                           std::move(stmt));
+}
+
+Stmt* ProgramBuilder::Assign(ExprPtr lhs, ExprPtr rhs, int label) {
+  return Emit(MakeAssign(std::move(lhs), std::move(rhs)), label);
+}
+
+Stmt* ProgramBuilder::Read(ExprPtr lhs, int label) {
+  return Emit(MakeRead(std::move(lhs)), label);
+}
+
+Stmt* ProgramBuilder::Write(ExprPtr rhs, int label) {
+  return Emit(MakeWrite(std::move(rhs)), label);
+}
+
+Stmt* ProgramBuilder::Do(std::string loop_var, ExprPtr lo, ExprPtr hi,
+                         ExprPtr step, int label) {
+  Stmt* loop = Emit(MakeDo(std::move(loop_var), std::move(lo), std::move(hi),
+                           std::move(step)),
+                    label);
+  scopes_.push_back({loop, BodyKind::kMain});
+  return loop;
+}
+
+Stmt* ProgramBuilder::If(ExprPtr cond, int label) {
+  Stmt* branch = Emit(MakeIf(std::move(cond)), label);
+  scopes_.push_back({branch, BodyKind::kMain});
+  return branch;
+}
+
+void ProgramBuilder::Else() {
+  PIVOT_CHECK_MSG(!scopes_.empty() &&
+                      scopes_.back().stmt->kind == StmtKind::kIf &&
+                      scopes_.back().body == BodyKind::kMain,
+                  "Else() outside an open if then-branch");
+  scopes_.back().body = BodyKind::kElse;
+}
+
+void ProgramBuilder::End() {
+  PIVOT_CHECK_MSG(!scopes_.empty(), "End() with no open scope");
+  scopes_.pop_back();
+}
+
+Program ProgramBuilder::Build() {
+  PIVOT_CHECK_MSG(scopes_.empty(), "Build() with unclosed scopes");
+  Program result = std::move(program_);
+  program_ = Program();
+  return result;
+}
+
+}  // namespace pivot

@@ -1,0 +1,107 @@
+// Fluent programmatic construction of Pf programs.
+//
+// Tests, examples and the random program generator build programs through
+// ProgramBuilder instead of parsing source strings; the `dsl` namespace
+// offers terse expression constructors:
+//
+//   ProgramBuilder b;
+//   using namespace pivot::dsl;
+//   b.Assign(V("D"), Add(V("E"), V("F")));
+//   b.Do("i", I(1), I(100));
+//     b.Assign(At("A", V("i")), Add(At("B", V("i")), V("C")));
+//   b.End();
+//   Program p = b.Build();
+#ifndef PIVOT_IR_BUILDER_H_
+#define PIVOT_IR_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "pivot/ir/program.h"
+
+namespace pivot {
+
+namespace dsl {
+
+inline ExprPtr I(long v) { return MakeIntConst(v); }
+inline ExprPtr R(double v) { return MakeRealConst(v); }
+inline ExprPtr V(std::string name) { return MakeVarRef(std::move(name)); }
+
+inline ExprPtr At(std::string name, ExprPtr i) {
+  std::vector<ExprPtr> subs;
+  subs.push_back(std::move(i));
+  return MakeArrayRef(std::move(name), std::move(subs));
+}
+
+inline ExprPtr At(std::string name, ExprPtr i, ExprPtr j) {
+  std::vector<ExprPtr> subs;
+  subs.push_back(std::move(i));
+  subs.push_back(std::move(j));
+  return MakeArrayRef(std::move(name), std::move(subs));
+}
+
+inline ExprPtr Add(ExprPtr a, ExprPtr b) {
+  return MakeBinary(BinOp::kAdd, std::move(a), std::move(b));
+}
+inline ExprPtr Sub(ExprPtr a, ExprPtr b) {
+  return MakeBinary(BinOp::kSub, std::move(a), std::move(b));
+}
+inline ExprPtr Mul(ExprPtr a, ExprPtr b) {
+  return MakeBinary(BinOp::kMul, std::move(a), std::move(b));
+}
+inline ExprPtr Div(ExprPtr a, ExprPtr b) {
+  return MakeBinary(BinOp::kDiv, std::move(a), std::move(b));
+}
+inline ExprPtr Lt(ExprPtr a, ExprPtr b) {
+  return MakeBinary(BinOp::kLt, std::move(a), std::move(b));
+}
+inline ExprPtr Le(ExprPtr a, ExprPtr b) {
+  return MakeBinary(BinOp::kLe, std::move(a), std::move(b));
+}
+inline ExprPtr Gt(ExprPtr a, ExprPtr b) {
+  return MakeBinary(BinOp::kGt, std::move(a), std::move(b));
+}
+inline ExprPtr Eq(ExprPtr a, ExprPtr b) {
+  return MakeBinary(BinOp::kEq, std::move(a), std::move(b));
+}
+inline ExprPtr Neg(ExprPtr a) { return MakeUnary(UnOp::kNeg, std::move(a)); }
+
+}  // namespace dsl
+
+class ProgramBuilder {
+ public:
+  ProgramBuilder();
+
+  // Simple statements. Each returns the created statement so callers can
+  // capture ids. `label` is the optional cosmetic source label.
+  Stmt* Assign(ExprPtr lhs, ExprPtr rhs, int label = 0);
+  Stmt* Read(ExprPtr lhs, int label = 0);
+  Stmt* Write(ExprPtr rhs, int label = 0);
+
+  // Structured statements open a scope that subsequent statements nest
+  // into; close with End(). If() opens the then-branch; Else() switches.
+  Stmt* Do(std::string loop_var, ExprPtr lo, ExprPtr hi,
+           ExprPtr step = nullptr, int label = 0);
+  Stmt* If(ExprPtr cond, int label = 0);
+  void Else();
+  void End();
+
+  // Finishes construction; all scopes must be closed. The builder is left
+  // empty and reusable.
+  Program Build();
+
+ private:
+  Stmt* Emit(StmtPtr stmt, int label);
+
+  Program program_;
+  // Open scopes: which statement and which body new statements go into.
+  struct Scope {
+    Stmt* stmt;
+    BodyKind body;
+  };
+  std::vector<Scope> scopes_;
+};
+
+}  // namespace pivot
+
+#endif  // PIVOT_IR_BUILDER_H_

@@ -1,0 +1,103 @@
+#include "pivot/ir/diff.h"
+
+#include <sstream>
+
+#include "pivot/ir/printer.h"
+
+namespace pivot {
+namespace {
+
+class Differ {
+ public:
+  explicit Differ(std::size_t max_entries) : max_entries_(max_entries) {}
+
+  std::vector<DiffEntry> Run(const Program& left, const Program& right) {
+    DiffBodies(left.top(), right.top(), "top");
+    return std::move(entries_);
+  }
+
+ private:
+  bool Full() const { return entries_.size() >= max_entries_; }
+
+  void Add(DiffEntry::Kind kind, const std::string& path,
+           const Stmt* left, const Stmt* right) {
+    if (Full()) return;
+    DiffEntry entry;
+    entry.kind = kind;
+    entry.path = path;
+    if (left != nullptr) entry.left = StmtHeadToString(*left);
+    if (right != nullptr) entry.right = StmtHeadToString(*right);
+    entries_.push_back(std::move(entry));
+  }
+
+  void DiffBodies(const std::vector<StmtPtr>& left,
+                  const std::vector<StmtPtr>& right,
+                  const std::string& path) {
+    const std::size_t common = std::min(left.size(), right.size());
+    for (std::size_t i = 0; i < common && !Full(); ++i) {
+      DiffStmt(*left[i], *right[i], path + "[" + std::to_string(i) + "]");
+    }
+    for (std::size_t i = common; i < left.size() && !Full(); ++i) {
+      Add(DiffEntry::Kind::kOnlyInLeft,
+          path + "[" + std::to_string(i) + "]", left[i].get(), nullptr);
+    }
+    for (std::size_t i = common; i < right.size() && !Full(); ++i) {
+      Add(DiffEntry::Kind::kOnlyInRight,
+          path + "[" + std::to_string(i) + "]", nullptr, right[i].get());
+    }
+  }
+
+  void DiffStmt(const Stmt& left, const Stmt& right,
+                const std::string& path) {
+    if (StmtHeadToString(left) != StmtHeadToString(right) ||
+        left.kind != right.kind) {
+      Add(DiffEntry::Kind::kChanged, path, &left, &right);
+      // Different heads: still descend when both are structured, so body
+      // differences show too.
+    }
+    if (left.kind == right.kind &&
+        (left.kind == StmtKind::kDo || left.kind == StmtKind::kIf)) {
+      DiffBodies(left.body, right.body, path + ".body");
+      DiffBodies(left.else_body, right.else_body, path + ".else");
+    }
+  }
+
+  std::size_t max_entries_;
+  std::vector<DiffEntry> entries_;
+};
+
+}  // namespace
+
+std::string DiffEntry::ToString() const {
+  std::ostringstream os;
+  os << path << ": ";
+  switch (kind) {
+    case Kind::kChanged:
+      os << "'" << left << "'  vs  '" << right << "'";
+      break;
+    case Kind::kOnlyInLeft:
+      os << "only in left: '" << left << "'";
+      break;
+    case Kind::kOnlyInRight:
+      os << "only in right: '" << right << "'";
+      break;
+  }
+  return os.str();
+}
+
+std::vector<DiffEntry> DiffPrograms(const Program& left,
+                                    const Program& right,
+                                    std::size_t max_entries) {
+  return Differ(max_entries).Run(left, right);
+}
+
+std::string DiffToString(const Program& left, const Program& right,
+                         std::size_t max_entries) {
+  std::ostringstream os;
+  for (const DiffEntry& entry : DiffPrograms(left, right, max_entries)) {
+    os << entry.ToString() << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace pivot

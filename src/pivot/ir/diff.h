@@ -1,0 +1,43 @@
+// Structural program diff.
+//
+// Undo correctness is often asserted as "the program is back to exactly
+// this state"; when that fails, a whole-source dump hides the one changed
+// statement. DiffPrograms walks two programs in parallel and reports the
+// first divergences as statement-level edit observations, which the tests
+// and the REPL use for readable failure output.
+#ifndef PIVOT_IR_DIFF_H_
+#define PIVOT_IR_DIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "pivot/ir/program.h"
+
+namespace pivot {
+
+struct DiffEntry {
+  enum class Kind {
+    kChanged,      // statement heads differ at the same position
+    kOnlyInLeft,   // extra statement in the left program
+    kOnlyInRight,  // extra statement in the right program
+  };
+  Kind kind = Kind::kChanged;
+  std::string path;   // e.g. "top[2].body[0]"
+  std::string left;   // statement head (empty for kOnlyInRight)
+  std::string right;  // statement head (empty for kOnlyInLeft)
+
+  std::string ToString() const;
+};
+
+// Statement-level differences, pre-order, capped at `max_entries`.
+std::vector<DiffEntry> DiffPrograms(const Program& left,
+                                    const Program& right,
+                                    std::size_t max_entries = 16);
+
+// Convenience: "" when equal, else one line per entry.
+std::string DiffToString(const Program& left, const Program& right,
+                         std::size_t max_entries = 16);
+
+}  // namespace pivot
+
+#endif  // PIVOT_IR_DIFF_H_

@@ -1,0 +1,278 @@
+#include "pivot/ir/expr.h"
+
+#include <sstream>
+
+#include "pivot/support/diagnostics.h"
+
+namespace pivot {
+
+ExprPtr MakeIntConst(long value) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kIntConst;
+  e->ival = value;
+  return e;
+}
+
+ExprPtr MakeRealConst(double value) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kRealConst;
+  e->rval = value;
+  return e;
+}
+
+ExprPtr MakeVarRef(std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kVarRef;
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr MakeArrayRef(std::string name, std::vector<ExprPtr> subscripts) {
+  PIVOT_CHECK(!subscripts.empty());
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kArrayRef;
+  e->name = std::move(name);
+  e->kids = std::move(subscripts);
+  for (auto& kid : e->kids) kid->parent = e.get();
+  return e;
+}
+
+ExprPtr MakeBinary(BinOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->bin = op;
+  e->kids.push_back(std::move(lhs));
+  e->kids.push_back(std::move(rhs));
+  for (auto& kid : e->kids) kid->parent = e.get();
+  return e;
+}
+
+ExprPtr MakeUnary(UnOp op, ExprPtr operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->un = op;
+  e->kids.push_back(std::move(operand));
+  e->kids[0]->parent = e.get();
+  return e;
+}
+
+ExprPtr CloneExpr(const Expr& expr) {
+  auto clone = std::make_unique<Expr>();
+  clone->kind = expr.kind;
+  clone->ival = expr.ival;
+  clone->rval = expr.rval;
+  clone->name = expr.name;
+  clone->bin = expr.bin;
+  clone->un = expr.un;
+  clone->kids.reserve(expr.kids.size());
+  for (const auto& kid : expr.kids) {
+    auto kid_clone = CloneExpr(*kid);
+    kid_clone->parent = clone.get();
+    clone->kids.push_back(std::move(kid_clone));
+  }
+  return clone;
+}
+
+bool ExprEquals(const Expr& a, const Expr& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case ExprKind::kIntConst:
+      if (a.ival != b.ival) return false;
+      break;
+    case ExprKind::kRealConst:
+      if (a.rval != b.rval) return false;
+      break;
+    case ExprKind::kVarRef:
+    case ExprKind::kArrayRef:
+      if (a.name != b.name) return false;
+      break;
+    case ExprKind::kBinary:
+      if (a.bin != b.bin) return false;
+      break;
+    case ExprKind::kUnary:
+      if (a.un != b.un) return false;
+      break;
+  }
+  if (a.kids.size() != b.kids.size()) return false;
+  for (std::size_t i = 0; i < a.kids.size(); ++i) {
+    if (!ExprEquals(*a.kids[i], *b.kids[i])) return false;
+  }
+  return true;
+}
+
+std::size_t ExprHash(const Expr& expr) {
+  std::size_t h = static_cast<std::size_t>(expr.kind) * 0x9e3779b9u;
+  switch (expr.kind) {
+    case ExprKind::kIntConst:
+      h ^= std::hash<long>{}(expr.ival);
+      break;
+    case ExprKind::kRealConst:
+      h ^= std::hash<double>{}(expr.rval);
+      break;
+    case ExprKind::kVarRef:
+    case ExprKind::kArrayRef:
+      h ^= std::hash<std::string>{}(expr.name);
+      break;
+    case ExprKind::kBinary:
+      h ^= static_cast<std::size_t>(expr.bin) << 8;
+      break;
+    case ExprKind::kUnary:
+      h ^= static_cast<std::size_t>(expr.un) << 8;
+      break;
+  }
+  for (const auto& kid : expr.kids) {
+    h = h * 1099511628211ULL + ExprHash(*kid);
+  }
+  return h;
+}
+
+namespace {
+
+int Precedence(BinOp op) {
+  switch (op) {
+    case BinOp::kOr: return 1;
+    case BinOp::kAnd: return 2;
+    case BinOp::kLt: case BinOp::kLe: case BinOp::kGt:
+    case BinOp::kGe: case BinOp::kEq: case BinOp::kNe: return 3;
+    case BinOp::kAdd: case BinOp::kSub: return 4;
+    case BinOp::kMul: case BinOp::kDiv: case BinOp::kMod: return 5;
+  }
+  return 0;
+}
+
+void Emit(const Expr& expr, std::ostringstream& os, int parent_prec) {
+  switch (expr.kind) {
+    case ExprKind::kIntConst:
+      if (expr.ival < 0) {
+        os << '(' << expr.ival << ')';
+      } else {
+        os << expr.ival;
+      }
+      break;
+    case ExprKind::kRealConst:
+      os << expr.rval;
+      break;
+    case ExprKind::kVarRef:
+      os << expr.name;
+      break;
+    case ExprKind::kArrayRef:
+      os << expr.name << '(';
+      for (std::size_t i = 0; i < expr.kids.size(); ++i) {
+        if (i != 0) os << ", ";
+        Emit(*expr.kids[i], os, 0);
+      }
+      os << ')';
+      break;
+    case ExprKind::kBinary: {
+      const int prec = Precedence(expr.bin);
+      const bool parens = prec < parent_prec;
+      if (parens) os << '(';
+      Emit(*expr.kids[0], os, prec);
+      os << ' ' << BinOpToString(expr.bin) << ' ';
+      // Right operand needs strictly higher precedence to omit parens since
+      // all operators are left associative.
+      Emit(*expr.kids[1], os, prec + 1);
+      if (parens) os << ')';
+      break;
+    }
+    case ExprKind::kUnary:
+      os << UnOpToString(expr.un);
+      Emit(*expr.kids[0], os, 6);
+      break;
+  }
+}
+
+}  // namespace
+
+std::string ExprToString(const Expr& expr) {
+  std::ostringstream os;
+  Emit(expr, os, 0);
+  return os.str();
+}
+
+bool IsConst(const Expr& expr) {
+  return expr.kind == ExprKind::kIntConst || expr.kind == ExprKind::kRealConst;
+}
+
+bool IsConstExpr(const Expr& expr) {
+  if (expr.kind == ExprKind::kVarRef || expr.kind == ExprKind::kArrayRef) {
+    return false;
+  }
+  for (const auto& kid : expr.kids) {
+    if (!IsConstExpr(*kid)) return false;
+  }
+  return true;
+}
+
+void ForEachExpr(Expr& root, const std::function<void(Expr&)>& fn) {
+  fn(root);
+  for (auto& kid : root.kids) ForEachExpr(*kid, fn);
+}
+
+void ForEachExpr(const Expr& root,
+                 const std::function<void(const Expr&)>& fn) {
+  fn(root);
+  for (const auto& kid : root.kids) {
+    ForEachExpr(static_cast<const Expr&>(*kid), fn);
+  }
+}
+
+void CollectVarReads(const Expr& root, std::vector<std::string>& out) {
+  ForEachExpr(root, [&out](const Expr& e) {
+    if (e.kind == ExprKind::kVarRef || e.kind == ExprKind::kArrayRef) {
+      out.push_back(e.name);
+    }
+  });
+}
+
+bool ExprReadsName(const Expr& root, const std::string& name) {
+  bool found = false;
+  ForEachExpr(root, [&](const Expr& e) {
+    if ((e.kind == ExprKind::kVarRef || e.kind == ExprKind::kArrayRef) &&
+        e.name == name) {
+      found = true;
+    }
+  });
+  return found;
+}
+
+Expr& SlotRoot(Expr& e) {
+  Expr* node = &e;
+  while (node->parent != nullptr) node = node->parent;
+  return *node;
+}
+
+const Expr& SlotRoot(const Expr& e) {
+  const Expr* node = &e;
+  while (node->parent != nullptr) node = node->parent;
+  return *node;
+}
+
+const char* BinOpToString(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kMod: return "%";
+    case BinOp::kLt: return "<";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGe: return ">=";
+    case BinOp::kEq: return "==";
+    case BinOp::kNe: return "/=";
+    case BinOp::kAnd: return ".and.";
+    case BinOp::kOr: return ".or.";
+  }
+  return "?";
+}
+
+const char* UnOpToString(UnOp op) {
+  switch (op) {
+    case UnOp::kNeg: return "-";
+    case UnOp::kNot: return ".not.";
+  }
+  return "?";
+}
+
+}  // namespace pivot

@@ -1,0 +1,121 @@
+// Expression trees of the Pf intermediate representation.
+//
+// Expressions are mutable trees with stable ExprIds: the Modify primitive
+// action replaces an expression subtree in place and must be able to refer
+// to the replaced/new nodes from the journal and from APDG/ADAG annotations
+// long after the fact. Every node carries backlinks (parent expression,
+// owning statement) so the actions layer can locate the owning slot of any
+// node in O(depth).
+#ifndef PIVOT_IR_EXPR_H_
+#define PIVOT_IR_EXPR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pivot/support/ids.h"
+
+namespace pivot {
+
+struct Stmt;
+
+enum class ExprKind {
+  kIntConst,   // 42
+  kRealConst,  // 3.5
+  kVarRef,     // x
+  kArrayRef,   // A(i, j)
+  kBinary,     // l op r
+  kUnary,      // op e
+};
+
+enum class BinOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kLt, kLe, kGt, kGe, kEq, kNe,
+  kAnd, kOr,
+};
+
+enum class UnOp { kNeg, kNot };
+
+// Which statement field an expression tree hangs off.
+enum class ExprSlot {
+  kNone,  // detached
+  kLhs,   // assign/read target
+  kRhs,   // assign source / write value
+  kLo, kHi, kStep,  // do-loop bounds
+  kCond,  // if condition
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExprId id;  // assigned when first registered with a Program
+  ExprKind kind = ExprKind::kIntConst;
+
+  long ival = 0;          // kIntConst
+  double rval = 0.0;      // kRealConst
+  std::string name;       // kVarRef / kArrayRef
+  BinOp bin = BinOp::kAdd;  // kBinary
+  UnOp un = UnOp::kNeg;     // kUnary
+
+  // kBinary: {lhs, rhs}; kUnary: {operand}; kArrayRef: subscripts.
+  std::vector<ExprPtr> kids;
+
+  // Backlinks, maintained by Program attach/detach walks.
+  Expr* parent = nullptr;  // enclosing expression, null at slot root
+  Stmt* owner = nullptr;   // statement owning the tree, null when detached
+  ExprSlot slot = ExprSlot::kNone;  // meaningful on the slot root
+};
+
+// --- Construction (ids are assigned on Program registration) ---
+ExprPtr MakeIntConst(long value);
+ExprPtr MakeRealConst(double value);
+ExprPtr MakeVarRef(std::string name);
+ExprPtr MakeArrayRef(std::string name, std::vector<ExprPtr> subscripts);
+ExprPtr MakeBinary(BinOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeUnary(UnOp op, ExprPtr operand);
+
+// Deep copy. The clone's ids are all invalid (zero) until registered; the
+// clone is fully detached (no parent/owner).
+ExprPtr CloneExpr(const Expr& expr);
+
+// Structural equality: same shape, kinds, names, operators and constants.
+// Ids, backlinks and annotations are ignored.
+bool ExprEquals(const Expr& a, const Expr& b);
+
+// Structural hash consistent with ExprEquals.
+std::size_t ExprHash(const Expr& expr);
+
+// Canonical source form, e.g. "B(j) + C * 2".
+std::string ExprToString(const Expr& expr);
+
+// True for kIntConst/kRealConst.
+bool IsConst(const Expr& expr);
+
+// True if the expression is a constant, possibly after folding (contains no
+// variable or array references).
+bool IsConstExpr(const Expr& expr);
+
+// Walks the tree pre-order (root first).
+void ForEachExpr(Expr& root, const std::function<void(Expr&)>& fn);
+void ForEachExpr(const Expr& root,
+                 const std::function<void(const Expr&)>& fn);
+
+// Variable names read by this expression (array names included; subscript
+// variables included).
+void CollectVarReads(const Expr& root, std::vector<std::string>& out);
+
+// True if any node of `root` reads scalar variable or array `name`.
+bool ExprReadsName(const Expr& root, const std::string& name);
+
+// The root of the slot tree containing `e` (follows parent links).
+Expr& SlotRoot(Expr& e);
+const Expr& SlotRoot(const Expr& e);
+
+const char* BinOpToString(BinOp op);
+const char* UnOpToString(UnOp op);
+
+}  // namespace pivot
+
+#endif  // PIVOT_IR_EXPR_H_

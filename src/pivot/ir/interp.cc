@@ -1,0 +1,185 @@
+#include "pivot/ir/interp.h"
+
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "pivot/support/diagnostics.h"
+
+namespace pivot {
+namespace {
+
+class Interpreter {
+ public:
+  Interpreter(const Program& program, const InterpOptions& opts)
+      : program_(program), opts_(opts) {}
+
+  InterpResult Run() {
+    try {
+      ExecBody(program_.top());
+      result_.ok = true;
+    } catch (const ProgramError& e) {
+      result_.ok = false;
+      result_.error = e.what();
+    }
+    return std::move(result_);
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& message) {
+    throw ProgramError(message);
+  }
+
+  void Step() {
+    if (++result_.steps > opts_.max_steps) {
+      Fail("execution step limit exceeded");
+    }
+  }
+
+  double ReadScalar(const std::string& name) {
+    auto it = scalars_.find(name);
+    return it == scalars_.end() ? 0.0 : it->second;
+  }
+
+  double Eval(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kIntConst:
+        return static_cast<double>(e.ival);
+      case ExprKind::kRealConst:
+        return e.rval;
+      case ExprKind::kVarRef:
+        return ReadScalar(e.name);
+      case ExprKind::kArrayRef: {
+        std::vector<long> key = EvalSubscripts(e);
+        const auto& arr = arrays_[e.name];
+        auto it = arr.find(key);
+        return it == arr.end() ? 0.0 : it->second;
+      }
+      case ExprKind::kUnary: {
+        const double v = Eval(*e.kids[0]);
+        return e.un == UnOp::kNeg ? -v : (v == 0.0 ? 1.0 : 0.0);
+      }
+      case ExprKind::kBinary: {
+        const double a = Eval(*e.kids[0]);
+        // Short-circuit logical operators.
+        if (e.bin == BinOp::kAnd) {
+          return (a != 0.0 && Eval(*e.kids[1]) != 0.0) ? 1.0 : 0.0;
+        }
+        if (e.bin == BinOp::kOr) {
+          return (a != 0.0 || Eval(*e.kids[1]) != 0.0) ? 1.0 : 0.0;
+        }
+        const double b = Eval(*e.kids[1]);
+        switch (e.bin) {
+          case BinOp::kAdd: return a + b;
+          case BinOp::kSub: return a - b;
+          case BinOp::kMul: return a * b;
+          case BinOp::kDiv:
+            if (b == 0.0) Fail("division by zero");
+            return a / b;
+          case BinOp::kMod:
+            if (b == 0.0) Fail("modulo by zero");
+            return std::fmod(a, b);
+          case BinOp::kLt: return a < b ? 1.0 : 0.0;
+          case BinOp::kLe: return a <= b ? 1.0 : 0.0;
+          case BinOp::kGt: return a > b ? 1.0 : 0.0;
+          case BinOp::kGe: return a >= b ? 1.0 : 0.0;
+          case BinOp::kEq: return a == b ? 1.0 : 0.0;
+          case BinOp::kNe: return a != b ? 1.0 : 0.0;
+          case BinOp::kAnd: case BinOp::kOr: break;  // handled above
+        }
+        PIVOT_UNREACHABLE("binary operator");
+      }
+    }
+    PIVOT_UNREACHABLE("expression kind");
+  }
+
+  std::vector<long> EvalSubscripts(const Expr& array_ref) {
+    std::vector<long> key;
+    key.reserve(array_ref.kids.size());
+    for (const auto& sub : array_ref.kids) {
+      key.push_back(std::lround(Eval(*sub)));
+    }
+    return key;
+  }
+
+  void Store(const Expr& lhs, double value) {
+    if (lhs.kind == ExprKind::kVarRef) {
+      scalars_[lhs.name] = value;
+    } else if (lhs.kind == ExprKind::kArrayRef) {
+      arrays_[lhs.name][EvalSubscripts(lhs)] = value;
+    } else {
+      Fail("assignment target is not an lvalue");
+    }
+  }
+
+  void ExecBody(const std::vector<StmtPtr>& body) {
+    for (const auto& stmt : body) Exec(*stmt);
+  }
+
+  void Exec(const Stmt& stmt) {
+    Step();
+    switch (stmt.kind) {
+      case StmtKind::kAssign:
+        Store(*stmt.lhs, Eval(*stmt.rhs));
+        break;
+      case StmtKind::kRead: {
+        double value = 0.0;
+        if (input_pos_ < opts_.input.size()) {
+          value = opts_.input[input_pos_++];
+        } else {
+          result_.input_underrun = true;
+        }
+        Store(*stmt.lhs, value);
+        break;
+      }
+      case StmtKind::kWrite:
+        result_.output.push_back(Eval(*stmt.rhs));
+        break;
+      case StmtKind::kIf:
+        if (Eval(*stmt.cond) != 0.0) {
+          ExecBody(stmt.body);
+        } else {
+          ExecBody(stmt.else_body);
+        }
+        break;
+      case StmtKind::kDo: {
+        const long lo = std::lround(Eval(*stmt.lo));
+        const long hi = std::lround(Eval(*stmt.hi));
+        const long step =
+            stmt.step != nullptr ? std::lround(Eval(*stmt.step)) : 1;
+        if (step == 0) Fail("do-loop step is zero");
+        for (long v = lo; step > 0 ? v <= hi : v >= hi; v += step) {
+          scalars_[stmt.loop_var] = static_cast<double>(v);
+          ExecBody(stmt.body);
+          Step();  // count iterations toward the limit, even empty bodies
+        }
+        break;
+      }
+    }
+  }
+
+  const Program& program_;
+  const InterpOptions& opts_;
+  InterpResult result_;
+  std::unordered_map<std::string, double> scalars_;
+  std::unordered_map<std::string, std::map<std::vector<long>, double>>
+      arrays_;
+  std::size_t input_pos_ = 0;
+};
+
+}  // namespace
+
+InterpResult Run(const Program& program, const InterpOptions& opts) {
+  return Interpreter(program, opts).Run();
+}
+
+bool SameBehavior(const Program& a, const Program& b,
+                  const std::vector<double>& input) {
+  InterpOptions opts;
+  opts.input = input;
+  const InterpResult ra = Run(a, opts);
+  const InterpResult rb = Run(b, opts);
+  return ra.ok && rb.ok && ra.output == rb.output;
+}
+
+}  // namespace pivot

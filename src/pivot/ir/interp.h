@@ -1,0 +1,51 @@
+// Reference interpreter for Pf programs.
+//
+// The paper defines a transformation to be *safe* when it preserves the
+// meaning of the source program (§4.2). The interpreter is the library's
+// ground truth for that definition: tests execute a program before a
+// transformation, after it, and after undo, and require identical output
+// streams for identical input streams.
+//
+// Semantics:
+//   * All values are doubles; loop control is evaluated in integers.
+//   * Variables and array elements read before being written yield 0.
+//   * `read x` consumes the next input value (0 when input is exhausted,
+//     with `input_underrun` flagged); `write e` appends to the output.
+//   * do-loops evaluate lo/hi/step once on entry (Fortran style); a zero
+//     step is an error.
+//   * Execution aborts with an error after `max_steps` statement
+//     executions, so runaway programs cannot hang tests.
+#ifndef PIVOT_IR_INTERP_H_
+#define PIVOT_IR_INTERP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pivot/ir/program.h"
+
+namespace pivot {
+
+struct InterpOptions {
+  std::vector<double> input;
+  std::uint64_t max_steps = 10'000'000;
+};
+
+struct InterpResult {
+  bool ok = false;
+  std::string error;           // set when !ok
+  std::vector<double> output;  // values written, in order
+  std::uint64_t steps = 0;     // statements executed
+  bool input_underrun = false;
+};
+
+InterpResult Run(const Program& program, const InterpOptions& opts = {});
+
+// Convenience for tests: true when both programs are semantically equal on
+// the given input (both succeed with identical output streams).
+bool SameBehavior(const Program& a, const Program& b,
+                  const std::vector<double>& input = {});
+
+}  // namespace pivot
+
+#endif  // PIVOT_IR_INTERP_H_

@@ -1,0 +1,193 @@
+#include "pivot/ir/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "pivot/support/diagnostics.h"
+
+namespace pivot {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+char ToLower(char c) {
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+
+}  // namespace
+
+std::vector<Token> Lex(std::string_view src) {
+  std::vector<Token> tokens;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+
+  auto push = [&](TokKind kind) {
+    Token t;
+    t.kind = kind;
+    t.line = line;
+    tokens.push_back(t);
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      // Collapse consecutive newlines.
+      if (!tokens.empty() && tokens.back().kind != TokKind::kNewline) {
+        push(TokKind::kNewline);
+      }
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    if (c == '!') {
+      while (i < n && src[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = i;
+      while (i < n && std::isdigit(static_cast<unsigned char>(src[i]))) ++i;
+      bool real = false;
+      // A '.' is part of the number only if followed by a digit; ".and."
+      // style operators must not be swallowed.
+      if (i + 1 < n && src[i] == '.' &&
+          std::isdigit(static_cast<unsigned char>(src[i + 1]))) {
+        real = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(src[i]))) ++i;
+      }
+      Token t;
+      t.line = line;
+      const std::string text(src.substr(start, i - start));
+      if (real) {
+        t.kind = TokKind::kReal;
+        t.rval = std::strtod(text.c_str(), nullptr);
+      } else {
+        t.kind = TokKind::kInt;
+        t.ival = std::strtol(text.c_str(), nullptr, 10);
+      }
+      tokens.push_back(t);
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      std::size_t start = i;
+      while (i < n && IsIdentChar(src[i])) ++i;
+      Token t;
+      t.kind = TokKind::kIdent;
+      t.line = line;
+      t.text.reserve(i - start);
+      for (std::size_t k = start; k < i; ++k) t.text.push_back(ToLower(src[k]));
+      tokens.push_back(t);
+      continue;
+    }
+    if (c == '.') {
+      // .and. / .or. / .not.
+      static const struct { const char* word; TokKind kind; } kWords[] = {
+          {".and.", TokKind::kAnd},
+          {".or.", TokKind::kOr},
+          {".not.", TokKind::kNot},
+      };
+      bool matched = false;
+      for (const auto& w : kWords) {
+        const std::size_t len = std::string_view(w.word).size();
+        if (src.substr(i, len).size() == len) {
+          std::string lowered;
+          for (char ch : src.substr(i, len)) lowered.push_back(ToLower(ch));
+          if (lowered == w.word) {
+            push(w.kind);
+            i += len;
+            matched = true;
+            break;
+          }
+        }
+      }
+      if (matched) continue;
+      throw ProgramError("unexpected '.'", line);
+    }
+
+    auto two = [&](char second) {
+      return i + 1 < n && src[i + 1] == second;
+    };
+    switch (c) {
+      case '(': push(TokKind::kLParen); ++i; break;
+      case ')': push(TokKind::kRParen); ++i; break;
+      case ',': push(TokKind::kComma); ++i; break;
+      case ':': push(TokKind::kColon); ++i; break;
+      case '+': push(TokKind::kPlus); ++i; break;
+      case '-': push(TokKind::kMinus); ++i; break;
+      case '*': push(TokKind::kStar); ++i; break;
+      case '/':
+        if (two('=')) { push(TokKind::kNe); i += 2; }  // Fortran-90 "/="
+        else { push(TokKind::kSlash); ++i; }
+        break;
+      case '%': push(TokKind::kPercent); ++i; break;
+      case '<':
+        if (two('=')) { push(TokKind::kLe); i += 2; }
+        else { push(TokKind::kLt); ++i; }
+        break;
+      case '>':
+        if (two('=')) { push(TokKind::kGe); i += 2; }
+        else { push(TokKind::kGt); ++i; }
+        break;
+      case '=':
+        if (two('=')) { push(TokKind::kEq); i += 2; }
+        else { push(TokKind::kAssign); ++i; }
+        break;
+      case '!':
+        PIVOT_UNREACHABLE("comment handled above");
+      case '\0':
+        throw ProgramError("embedded NUL in source", line);
+      default:
+        throw ProgramError(std::string("unexpected character '") + c + "'",
+                           line);
+    }
+  }
+
+  if (!tokens.empty() && tokens.back().kind != TokKind::kNewline) {
+    push(TokKind::kNewline);
+  }
+  push(TokKind::kEnd);
+  return tokens;
+}
+
+const char* TokKindToString(TokKind kind) {
+  switch (kind) {
+    case TokKind::kEnd: return "<end>";
+    case TokKind::kNewline: return "<newline>";
+    case TokKind::kIdent: return "identifier";
+    case TokKind::kInt: return "integer";
+    case TokKind::kReal: return "real";
+    case TokKind::kLParen: return "(";
+    case TokKind::kRParen: return ")";
+    case TokKind::kComma: return ",";
+    case TokKind::kColon: return ":";
+    case TokKind::kAssign: return "=";
+    case TokKind::kPlus: return "+";
+    case TokKind::kMinus: return "-";
+    case TokKind::kStar: return "*";
+    case TokKind::kSlash: return "/";
+    case TokKind::kPercent: return "%";
+    case TokKind::kLt: return "<";
+    case TokKind::kLe: return "<=";
+    case TokKind::kGt: return ">";
+    case TokKind::kGe: return ">=";
+    case TokKind::kEq: return "==";
+    case TokKind::kNe: return "/=";
+    case TokKind::kAnd: return ".and.";
+    case TokKind::kOr: return ".or.";
+    case TokKind::kNot: return ".not.";
+  }
+  return "?";
+}
+
+}  // namespace pivot

@@ -1,0 +1,43 @@
+// Tokenizer for the Pf mini-Fortran source language.
+//
+// Pf is line-oriented: a newline terminates a statement, `!` starts a
+// comment, keywords are case-insensitive. The grammar is given in
+// parser.h.
+#ifndef PIVOT_IR_LEXER_H_
+#define PIVOT_IR_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pivot {
+
+enum class TokKind {
+  kEnd,      // end of input
+  kNewline,  // statement separator
+  kIdent,    // identifiers and keywords (keywords resolved by the parser)
+  kInt,
+  kReal,
+  kLParen, kRParen, kComma, kColon, kAssign,
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kLt, kLe, kGt, kGe, kEq, kNe,
+  kAnd, kOr, kNot,  // .and. .or. .not.
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;   // identifier spelling (lower-cased for keywords check)
+  long ival = 0;      // kInt
+  double rval = 0.0;  // kReal
+  int line = 0;       // 1-based source line
+};
+
+// Tokenizes the whole input. Throws ProgramError on malformed input.
+// Consecutive newlines are collapsed; a trailing kEnd token is appended.
+std::vector<Token> Lex(std::string_view source);
+
+const char* TokKindToString(TokKind kind);
+
+}  // namespace pivot
+
+#endif  // PIVOT_IR_LEXER_H_

@@ -1,0 +1,241 @@
+#include "pivot/ir/parser.h"
+
+#include "pivot/ir/builder.h"
+#include "pivot/ir/lexer.h"
+#include "pivot/support/diagnostics.h"
+
+namespace pivot {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source) : tokens_(Lex(source)) {}
+
+  Program ParseProgram() {
+    ProgramBuilder builder;
+    int open_dos = 0;
+    int open_ifs = 0;
+    while (!At(TokKind::kEnd)) {
+      if (Accept(TokKind::kNewline)) continue;
+
+      int label = 0;
+      if (At(TokKind::kInt) && Peek(1).kind == TokKind::kColon) {
+        label = static_cast<int>(Cur().ival);
+        Advance();
+        Advance();
+      }
+
+      if (AtKeyword("do")) {
+        Advance();
+        const std::string var = ExpectIdent("loop variable");
+        Expect(TokKind::kAssign, "'=' after loop variable");
+        ExprPtr lo = ParseExpression();
+        Expect(TokKind::kComma, "',' between loop bounds");
+        ExprPtr hi = ParseExpression();
+        ExprPtr step;
+        if (Accept(TokKind::kComma)) step = ParseExpression();
+        builder.Do(var, std::move(lo), std::move(hi), std::move(step), label);
+        ++open_dos;
+      } else if (AtKeyword("enddo")) {
+        if (open_dos == 0) throw ProgramError("'enddo' without 'do'", Line());
+        Advance();
+        builder.End();
+        --open_dos;
+      } else if (AtKeyword("if")) {
+        Advance();
+        Expect(TokKind::kLParen, "'(' after if");
+        ExprPtr cond = ParseExpression();
+        Expect(TokKind::kRParen, "')' after if condition");
+        if (!AtKeyword("then")) throw ProgramError("expected 'then'", Line());
+        Advance();
+        builder.If(std::move(cond), label);
+        ++open_ifs;
+      } else if (AtKeyword("else")) {
+        if (open_ifs == 0) throw ProgramError("'else' without 'if'", Line());
+        Advance();
+        builder.Else();
+      } else if (AtKeyword("endif")) {
+        if (open_ifs == 0) throw ProgramError("'endif' without 'if'", Line());
+        Advance();
+        builder.End();
+        --open_ifs;
+      } else if (AtKeyword("read")) {
+        Advance();
+        builder.Read(ParseLvalue(), label);
+      } else if (AtKeyword("write")) {
+        Advance();
+        builder.Write(ParseExpression(), label);
+      } else if (At(TokKind::kIdent)) {
+        ExprPtr lhs = ParseLvalue();
+        Expect(TokKind::kAssign, "'=' in assignment");
+        ExprPtr rhs = ParseExpression();
+        builder.Assign(std::move(lhs), std::move(rhs), label);
+      } else {
+        throw ProgramError(std::string("unexpected token '") +
+                               TokKindToString(Cur().kind) + "'",
+                           Line());
+      }
+
+      if (!At(TokKind::kEnd)) {
+        Expect(TokKind::kNewline, "end of statement");
+      }
+    }
+    if (open_dos != 0) throw ProgramError("unterminated 'do'", Line());
+    if (open_ifs != 0) throw ProgramError("unterminated 'if'", Line());
+    return builder.Build();
+  }
+
+  ExprPtr ParseSingleExpression() {
+    ExprPtr e = ParseExpression();
+    Accept(TokKind::kNewline);
+    if (!At(TokKind::kEnd)) {
+      throw ProgramError("trailing tokens after expression", Line());
+    }
+    return e;
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  const Token& Peek(std::size_t ahead) const {
+    const std::size_t idx = pos_ + ahead;
+    return idx < tokens_.size() ? tokens_[idx] : tokens_.back();
+  }
+  int Line() const { return Cur().line; }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+  bool At(TokKind kind) const { return Cur().kind == kind; }
+  bool AtKeyword(std::string_view kw) const {
+    return Cur().kind == TokKind::kIdent && Cur().text == kw;
+  }
+  bool Accept(TokKind kind) {
+    if (!At(kind)) return false;
+    Advance();
+    return true;
+  }
+  void Expect(TokKind kind, const char* what) {
+    if (!At(kind)) {
+      throw ProgramError(std::string("expected ") + what + ", got '" +
+                             TokKindToString(Cur().kind) + "'",
+                         Line());
+    }
+    Advance();
+  }
+  std::string ExpectIdent(const char* what) {
+    if (!At(TokKind::kIdent)) {
+      throw ProgramError(std::string("expected ") + what, Line());
+    }
+    std::string name = Cur().text;
+    Advance();
+    return name;
+  }
+
+  ExprPtr ParseLvalue() {
+    std::string name = ExpectIdent("variable name");
+    if (Accept(TokKind::kLParen)) {
+      std::vector<ExprPtr> subs;
+      subs.push_back(ParseExpression());
+      while (Accept(TokKind::kComma)) subs.push_back(ParseExpression());
+      Expect(TokKind::kRParen, "')' after subscripts");
+      return MakeArrayRef(std::move(name), std::move(subs));
+    }
+    return MakeVarRef(std::move(name));
+  }
+
+  // Precedence climbing.
+  ExprPtr ParseExpression() { return ParseBinary(1); }
+
+  static int TokPrecedence(TokKind kind) {
+    switch (kind) {
+      case TokKind::kOr: return 1;
+      case TokKind::kAnd: return 2;
+      case TokKind::kLt: case TokKind::kLe: case TokKind::kGt:
+      case TokKind::kGe: case TokKind::kEq: case TokKind::kNe: return 3;
+      case TokKind::kPlus: case TokKind::kMinus: return 4;
+      case TokKind::kStar: case TokKind::kSlash: case TokKind::kPercent:
+        return 5;
+      default: return 0;
+    }
+  }
+
+  static BinOp TokBinOp(TokKind kind) {
+    switch (kind) {
+      case TokKind::kOr: return BinOp::kOr;
+      case TokKind::kAnd: return BinOp::kAnd;
+      case TokKind::kLt: return BinOp::kLt;
+      case TokKind::kLe: return BinOp::kLe;
+      case TokKind::kGt: return BinOp::kGt;
+      case TokKind::kGe: return BinOp::kGe;
+      case TokKind::kEq: return BinOp::kEq;
+      case TokKind::kNe: return BinOp::kNe;
+      case TokKind::kPlus: return BinOp::kAdd;
+      case TokKind::kMinus: return BinOp::kSub;
+      case TokKind::kStar: return BinOp::kMul;
+      case TokKind::kSlash: return BinOp::kDiv;
+      case TokKind::kPercent: return BinOp::kMod;
+      default: PIVOT_UNREACHABLE("not a binary operator token");
+    }
+  }
+
+  ExprPtr ParseBinary(int min_prec) {
+    ExprPtr lhs = ParseUnary();
+    while (true) {
+      const int prec = TokPrecedence(Cur().kind);
+      if (prec < min_prec || prec == 0) break;
+      const BinOp op = TokBinOp(Cur().kind);
+      Advance();
+      ExprPtr rhs = ParseBinary(prec + 1);  // all operators left-associative
+      lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseUnary() {
+    if (Accept(TokKind::kMinus)) {
+      return MakeUnary(UnOp::kNeg, ParseUnary());
+    }
+    if (Accept(TokKind::kNot)) {
+      return MakeUnary(UnOp::kNot, ParseUnary());
+    }
+    return ParsePrimary();
+  }
+
+  ExprPtr ParsePrimary() {
+    if (At(TokKind::kInt)) {
+      long v = Cur().ival;
+      Advance();
+      return MakeIntConst(v);
+    }
+    if (At(TokKind::kReal)) {
+      double v = Cur().rval;
+      Advance();
+      return MakeRealConst(v);
+    }
+    if (Accept(TokKind::kLParen)) {
+      ExprPtr e = ParseExpression();
+      Expect(TokKind::kRParen, "')'");
+      return e;
+    }
+    if (At(TokKind::kIdent)) {
+      return ParseLvalue();
+    }
+    throw ProgramError(std::string("expected expression, got '") +
+                           TokKindToString(Cur().kind) + "'",
+                       Line());
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Program Parse(std::string_view source) {
+  return Parser(source).ParseProgram();
+}
+
+ExprPtr ParseExpr(std::string_view source) {
+  return Parser(source).ParseSingleExpression();
+}
+
+}  // namespace pivot

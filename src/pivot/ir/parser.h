@@ -1,0 +1,39 @@
+// Recursive-descent parser for the Pf mini-Fortran language.
+//
+// Grammar (line-oriented; `!` comments; keywords case-insensitive):
+//
+//   program  := line*
+//   line     := [ INT ':' ] stmt NEWLINE
+//   stmt     := lvalue '=' expr
+//             | 'do' IDENT '=' expr ',' expr [ ',' expr ]
+//             | 'enddo'
+//             | 'if' '(' expr ')' 'then'
+//             | 'else'
+//             | 'endif'
+//             | 'read' lvalue
+//             | 'write' expr
+//   lvalue   := IDENT [ '(' expr { ',' expr } ')' ]
+//   expr     := or-expr with C-like precedence:
+//               .or. < .and. < comparisons < +,- < *,/,% < unary -,.not.
+//
+// The optional numeric label before ':' matches the statement numbers the
+// paper uses in its figures (e.g. "5: A(j) = B(j) + C").
+#ifndef PIVOT_IR_PARSER_H_
+#define PIVOT_IR_PARSER_H_
+
+#include <string_view>
+
+#include "pivot/ir/program.h"
+
+namespace pivot {
+
+// Parses a whole program. Throws ProgramError with a line number on
+// malformed input (including unbalanced do/enddo and if/endif).
+Program Parse(std::string_view source);
+
+// Parses a single expression (used by tests and the interactive example).
+ExprPtr ParseExpr(std::string_view source);
+
+}  // namespace pivot
+
+#endif  // PIVOT_IR_PARSER_H_

@@ -1,0 +1,82 @@
+#include "pivot/ir/printer.h"
+
+#include <sstream>
+
+#include "pivot/support/diagnostics.h"
+
+namespace pivot {
+namespace {
+
+void PrintStmt(const Stmt& stmt, const PrintOptions& opts, int indent,
+               std::ostringstream& os);
+
+void PrintBody(const std::vector<StmtPtr>& body, const PrintOptions& opts,
+               int indent, std::ostringstream& os) {
+  for (const auto& kid : body) PrintStmt(*kid, opts, indent, os);
+}
+
+void PrintStmt(const Stmt& stmt, const PrintOptions& opts, int indent,
+               std::ostringstream& os) {
+  std::string prefix(static_cast<std::size_t>(indent * opts.indent_width),
+                     ' ');
+  os << prefix;
+  if (opts.show_ids) os << "[s" << stmt.id.value() << "] ";
+  if (opts.show_labels && stmt.label != 0) os << stmt.label << ": ";
+  os << StmtHeadToString(stmt) << '\n';
+  switch (stmt.kind) {
+    case StmtKind::kDo:
+      PrintBody(stmt.body, opts, indent + 1, os);
+      os << prefix << "enddo\n";
+      break;
+    case StmtKind::kIf:
+      PrintBody(stmt.body, opts, indent + 1, os);
+      if (!stmt.else_body.empty()) {
+        os << prefix << "else\n";
+        PrintBody(stmt.else_body, opts, indent + 1, os);
+      }
+      os << prefix << "endif\n";
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+std::string ToSource(const Program& program, const PrintOptions& opts) {
+  std::ostringstream os;
+  PrintBody(program.top(), opts, 0, os);
+  return os.str();
+}
+
+std::string ToSource(const Stmt& stmt, const PrintOptions& opts, int indent) {
+  std::ostringstream os;
+  PrintStmt(stmt, opts, indent, os);
+  return os.str();
+}
+
+std::string StmtHeadToString(const Stmt& stmt) {
+  std::ostringstream os;
+  switch (stmt.kind) {
+    case StmtKind::kAssign:
+      os << ExprToString(*stmt.lhs) << " = " << ExprToString(*stmt.rhs);
+      break;
+    case StmtKind::kDo:
+      os << "do " << stmt.loop_var << " = " << ExprToString(*stmt.lo) << ", "
+         << ExprToString(*stmt.hi);
+      if (stmt.step != nullptr) os << ", " << ExprToString(*stmt.step);
+      break;
+    case StmtKind::kIf:
+      os << "if (" << ExprToString(*stmt.cond) << ") then";
+      break;
+    case StmtKind::kRead:
+      os << "read " << ExprToString(*stmt.lhs);
+      break;
+    case StmtKind::kWrite:
+      os << "write " << ExprToString(*stmt.rhs);
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace pivot

@@ -1,0 +1,31 @@
+// Source emission for Pf programs.
+//
+// The printed form round-trips through the parser (modulo whitespace), so
+// tests can compare transformed/undone programs as text and examples can
+// show the program the way the paper's figures do, with statement labels.
+#ifndef PIVOT_IR_PRINTER_H_
+#define PIVOT_IR_PRINTER_H_
+
+#include <string>
+
+#include "pivot/ir/program.h"
+
+namespace pivot {
+
+struct PrintOptions {
+  bool show_labels = true;  // "5: A(j) = B(j) + C"
+  bool show_ids = false;    // "[s12] A(j) = ..." — debugging aid
+  int indent_width = 2;
+};
+
+std::string ToSource(const Program& program, const PrintOptions& opts = {});
+std::string ToSource(const Stmt& stmt, const PrintOptions& opts = {},
+                     int indent = 0);
+
+// One-line rendering of a statement header (no body), e.g.
+// "do i = 1, 100" or "A(j) = B(j) + C". Used in traces and reports.
+std::string StmtHeadToString(const Stmt& stmt);
+
+}  // namespace pivot
+
+#endif  // PIVOT_IR_PRINTER_H_

@@ -1,0 +1,181 @@
+#include "pivot/ir/random_program.h"
+
+#include <string>
+#include <vector>
+
+#include "pivot/ir/builder.h"
+#include "pivot/support/diagnostics.h"
+
+namespace pivot {
+namespace {
+
+using namespace dsl;  // NOLINT — terse expression constructors
+
+class Generator {
+ public:
+  explicit Generator(const RandomProgramOptions& opts)
+      : opts_(opts), rng_(opts.seed) {
+    PIVOT_CHECK(opts.num_scalars >= 2);
+    PIVOT_CHECK(opts.num_arrays >= 1);
+    PIVOT_CHECK(opts.max_trip >= 1);
+    for (int i = 0; i < opts.num_scalars; ++i) {
+      scalars_.push_back("s" + std::to_string(i));
+    }
+    for (int i = 0; i < opts.num_arrays; ++i) {
+      arrays1_.push_back("a" + std::to_string(i));
+      arrays2_.push_back("m" + std::to_string(i));
+    }
+  }
+
+  Program Generate() {
+    // A couple of reads give the program input-dependent behaviour, so the
+    // interpreter oracle can distinguish genuinely different programs.
+    b_.Read(V(scalars_[0]));
+    if (scalars_.size() > 1) b_.Read(V(scalars_[1]));
+    emitted_ += 2;
+
+    while (emitted_ < opts_.target_stmts) {
+      if (rng_.Chance(opts_.opportunity_bias)) {
+        switch (rng_.UniformInt(0, 6)) {
+          case 0: FragConstDef(); break;
+          case 1: FragCommonSubexpr(); break;
+          case 2: FragInvariantLoop(); break;
+          case 3: FragDeadStore(); break;
+          case 4: FragFusablePair(); break;
+          case 5: FragTightNest(); break;
+          case 6: FragUnrollableLoop(); break;
+        }
+      } else {
+        FragPlainAssign();
+      }
+    }
+
+    // Make every scalar observable so nothing is trivially all-dead.
+    for (const auto& name : scalars_) b_.Write(V(name));
+    for (const auto& name : arrays1_) b_.Write(At(name, I(1)));
+    return b_.Build();
+  }
+
+ private:
+  const std::string& Scalar() { return scalars_[rng_.Index(scalars_.size())]; }
+  const std::string& Array1() { return arrays1_[rng_.Index(arrays1_.size())]; }
+  const std::string& Array2() { return arrays2_[rng_.Index(arrays2_.size())]; }
+
+  int Trip() { return rng_.UniformInt(1, opts_.max_trip); }
+
+  // Random expression over defined scalars / constants; loop variables in
+  // `loop_vars` may appear too.
+  ExprPtr RandExpr(int depth, const std::vector<std::string>& loop_vars) {
+    if (depth <= 0 || rng_.Chance(0.4)) {
+      switch (rng_.UniformInt(0, 2)) {
+        case 0: return I(rng_.UniformInt(1, 9));
+        case 1: return V(Scalar());
+        default:
+          if (!loop_vars.empty() && rng_.Chance(0.5)) {
+            return V(loop_vars[rng_.Index(loop_vars.size())]);
+          }
+          return V(Scalar());
+      }
+    }
+    const BinOp ops[] = {BinOp::kAdd, BinOp::kSub, BinOp::kMul};
+    const BinOp op = ops[rng_.Index(3)];
+    return MakeBinary(op, RandExpr(depth - 1, loop_vars),
+                      RandExpr(depth - 1, loop_vars));
+  }
+
+  void FragPlainAssign() {
+    b_.Assign(V(Scalar()), RandExpr(opts_.max_expr_depth, {}));
+    ++emitted_;
+  }
+
+  // s = <const>  followed by a use — constant propagation / folding fodder.
+  void FragConstDef() {
+    const std::string& c = Scalar();
+    b_.Assign(V(c), I(rng_.UniformInt(1, 5)));
+    b_.Assign(V(Scalar()), Add(V(c), I(rng_.UniformInt(1, 5))));
+    emitted_ += 2;
+  }
+
+  // Two statements computing the same subexpression — CSE fodder.
+  void FragCommonSubexpr() {
+    const std::string x = Scalar();
+    const std::string y = Scalar();
+    ExprPtr common = RandExpr(2, {});
+    b_.Assign(V(x), CloneExpr(*common));
+    b_.Assign(V(y), std::move(common));
+    emitted_ += 2;
+  }
+
+  // Loop with a loop-invariant scalar assignment inside — ICM fodder.
+  void FragInvariantLoop() {
+    const std::string inv = Scalar();
+    const std::string& arr = Array1();
+    b_.Do("i", I(1), I(Trip()));
+    b_.Assign(V(inv), RandExpr(2, {}));
+    b_.Assign(At(arr, V("i")), Add(V(inv), V("i")));
+    b_.End();
+    emitted_ += 3;
+  }
+
+  // A store to a scalar that is immediately overwritten — dead-code fodder.
+  void FragDeadStore() {
+    const std::string& v = Scalar();
+    b_.Assign(V(v), RandExpr(2, {}));
+    b_.Assign(V(v), RandExpr(2, {}));
+    emitted_ += 2;
+  }
+
+  // Two adjacent loops over the same range touching different arrays — FUS
+  // fodder.
+  void FragFusablePair() {
+    const int trip = Trip();
+    const std::string a = Array1();
+    std::string c = Array1();
+    if (arrays1_.size() > 1) {
+      while (c == a) c = Array1();
+    }
+    b_.Do("i", I(1), I(trip));
+    b_.Assign(At(a, V("i")), Add(V("i"), I(1)));
+    b_.End();
+    b_.Do("i", I(1), I(trip));
+    b_.Assign(At(c, V("i")), Mul(V("i"), I(2)));
+    b_.End();
+    emitted_ += 4;
+  }
+
+  // Tightly nested loop pair over a 2-D array — INX / SMI fodder.
+  void FragTightNest() {
+    const std::string& mat = Array2();
+    b_.Do("i", I(1), I(Trip()));
+    b_.Do("j", I(1), I(Trip()));
+    b_.Assign(At(mat, V("i"), V("j")), Add(V("i"), V("j")));
+    b_.End();
+    b_.End();
+    emitted_ += 3;
+  }
+
+  // Small constant-bound loop — LUR fodder.
+  void FragUnrollableLoop() {
+    const std::string& arr = Array1();
+    b_.Do("k", I(1), I(2)); // trip count 2 keeps unrolled copies small
+    b_.Assign(At(arr, V("k")), Add(At(arr, V("k")), I(1)));
+    b_.End();
+    emitted_ += 2;
+  }
+
+  const RandomProgramOptions& opts_;
+  Rng rng_;
+  ProgramBuilder b_;
+  std::vector<std::string> scalars_;
+  std::vector<std::string> arrays1_;
+  std::vector<std::string> arrays2_;
+  int emitted_ = 0;
+};
+
+}  // namespace
+
+Program GenerateRandomProgram(const RandomProgramOptions& opts) {
+  return Generator(opts).Generate();
+}
+
+}  // namespace pivot

@@ -1,0 +1,39 @@
+// Randomized Pf program generation.
+//
+// Property tests and the scaling benchmarks need programs that (a) run
+// quickly under the interpreter, and (b) contain plenty of genuine
+// opportunities for the ten transformations the library implements. The
+// generator composes small hand-shaped fragments (constant definitions,
+// repeated subexpressions, loop nests with invariant statements, adjacent
+// fusable loops, tightly nested interchangeable loops, dead stores) in a
+// random order, then writes out every live scalar so DCE cannot erase the
+// whole program.
+#ifndef PIVOT_IR_RANDOM_PROGRAM_H_
+#define PIVOT_IR_RANDOM_PROGRAM_H_
+
+#include <cstdint>
+
+#include "pivot/ir/program.h"
+#include "pivot/support/rng.h"
+
+namespace pivot {
+
+struct RandomProgramOptions {
+  std::uint64_t seed = 1;
+  // Rough number of statements to generate (fragments are emitted until the
+  // budget is exhausted; the result may exceed it by a fragment's size).
+  int target_stmts = 30;
+  int num_scalars = 6;  // pool of scalar names s0..s{n-1}
+  int num_arrays = 3;   // pool of 1-D array names a0.. and 2-D m0..
+  int max_trip = 4;     // loop trip counts are in [1, max_trip]
+  int max_expr_depth = 3;
+  // Fraction of fragments that are crafted transformation opportunities
+  // (vs. plain random assignments).
+  double opportunity_bias = 0.6;
+};
+
+Program GenerateRandomProgram(const RandomProgramOptions& opts);
+
+}  // namespace pivot
+
+#endif  // PIVOT_IR_RANDOM_PROGRAM_H_

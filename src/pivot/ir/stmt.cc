@@ -1,0 +1,227 @@
+#include "pivot/ir/stmt.h"
+
+#include "pivot/support/diagnostics.h"
+
+namespace pivot {
+
+Expr* Stmt::SlotExpr(ExprSlot slot) {
+  ExprPtr* owner = SlotOwner(slot);
+  return owner != nullptr ? owner->get() : nullptr;
+}
+
+const Expr* Stmt::SlotExpr(ExprSlot slot) const {
+  return const_cast<Stmt*>(this)->SlotExpr(slot);
+}
+
+ExprPtr* Stmt::SlotOwner(ExprSlot slot) {
+  switch (slot) {
+    case ExprSlot::kLhs: return &lhs;
+    case ExprSlot::kRhs: return &rhs;
+    case ExprSlot::kLo: return &lo;
+    case ExprSlot::kHi: return &hi;
+    case ExprSlot::kStep: return &step;
+    case ExprSlot::kCond: return &cond;
+    case ExprSlot::kNone: return nullptr;
+  }
+  return nullptr;
+}
+
+namespace {
+
+StmtPtr NewStmt(StmtKind kind) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = kind;
+  return s;
+}
+
+// Sets backlinks for one expression tree hanging off `stmt`.
+void LinkExprTree(Stmt* stmt, ExprSlot slot, Expr* root) {
+  if (root == nullptr) return;
+  root->slot = slot;
+  root->parent = nullptr;
+  ForEachExpr(*root, [stmt](Expr& e) { e.owner = stmt; });
+}
+
+}  // namespace
+
+StmtPtr MakeAssign(ExprPtr lhs, ExprPtr rhs) {
+  PIVOT_CHECK(lhs != nullptr && rhs != nullptr);
+  PIVOT_CHECK_MSG(lhs->kind == ExprKind::kVarRef ||
+                  lhs->kind == ExprKind::kArrayRef,
+                  "assignment target must be a variable or array element");
+  auto s = NewStmt(StmtKind::kAssign);
+  s->lhs = std::move(lhs);
+  s->rhs = std::move(rhs);
+  LinkExprTree(s.get(), ExprSlot::kLhs, s->lhs.get());
+  LinkExprTree(s.get(), ExprSlot::kRhs, s->rhs.get());
+  return s;
+}
+
+StmtPtr MakeDo(std::string loop_var, ExprPtr lo, ExprPtr hi, ExprPtr step) {
+  PIVOT_CHECK(lo != nullptr && hi != nullptr);
+  auto s = NewStmt(StmtKind::kDo);
+  s->loop_var = std::move(loop_var);
+  s->lo = std::move(lo);
+  s->hi = std::move(hi);
+  s->step = std::move(step);
+  LinkExprTree(s.get(), ExprSlot::kLo, s->lo.get());
+  LinkExprTree(s.get(), ExprSlot::kHi, s->hi.get());
+  LinkExprTree(s.get(), ExprSlot::kStep, s->step.get());
+  return s;
+}
+
+StmtPtr MakeIf(ExprPtr cond) {
+  PIVOT_CHECK(cond != nullptr);
+  auto s = NewStmt(StmtKind::kIf);
+  s->cond = std::move(cond);
+  LinkExprTree(s.get(), ExprSlot::kCond, s->cond.get());
+  return s;
+}
+
+StmtPtr MakeRead(ExprPtr lhs) {
+  PIVOT_CHECK(lhs != nullptr);
+  PIVOT_CHECK_MSG(lhs->kind == ExprKind::kVarRef ||
+                  lhs->kind == ExprKind::kArrayRef,
+                  "read target must be a variable or array element");
+  auto s = NewStmt(StmtKind::kRead);
+  s->lhs = std::move(lhs);
+  LinkExprTree(s.get(), ExprSlot::kLhs, s->lhs.get());
+  return s;
+}
+
+StmtPtr MakeWrite(ExprPtr rhs) {
+  PIVOT_CHECK(rhs != nullptr);
+  auto s = NewStmt(StmtKind::kWrite);
+  s->rhs = std::move(rhs);
+  LinkExprTree(s.get(), ExprSlot::kRhs, s->rhs.get());
+  return s;
+}
+
+StmtPtr CloneStmt(const Stmt& stmt) {
+  auto clone = std::make_unique<Stmt>();
+  clone->kind = stmt.kind;
+  clone->label = stmt.label;
+  clone->loop_var = stmt.loop_var;
+  auto clone_slot = [&](const ExprPtr& src, ExprPtr& dst, ExprSlot slot) {
+    if (src == nullptr) return;
+    dst = CloneExpr(*src);
+    LinkExprTree(clone.get(), slot, dst.get());
+  };
+  clone_slot(stmt.lhs, clone->lhs, ExprSlot::kLhs);
+  clone_slot(stmt.rhs, clone->rhs, ExprSlot::kRhs);
+  clone_slot(stmt.lo, clone->lo, ExprSlot::kLo);
+  clone_slot(stmt.hi, clone->hi, ExprSlot::kHi);
+  clone_slot(stmt.step, clone->step, ExprSlot::kStep);
+  clone_slot(stmt.cond, clone->cond, ExprSlot::kCond);
+  for (const auto& kid : stmt.body) {
+    auto kid_clone = CloneStmt(*kid);
+    kid_clone->parent = clone.get();
+    kid_clone->parent_body = BodyKind::kMain;
+    clone->body.push_back(std::move(kid_clone));
+  }
+  for (const auto& kid : stmt.else_body) {
+    auto kid_clone = CloneStmt(*kid);
+    kid_clone->parent = clone.get();
+    kid_clone->parent_body = BodyKind::kElse;
+    clone->else_body.push_back(std::move(kid_clone));
+  }
+  return clone;
+}
+
+bool StmtEquals(const Stmt& a, const Stmt& b) {
+  if (a.kind != b.kind) return false;
+  if (a.loop_var != b.loop_var) return false;
+  auto slots_equal = [](const ExprPtr& x, const ExprPtr& y) {
+    if ((x == nullptr) != (y == nullptr)) return false;
+    return x == nullptr || ExprEquals(*x, *y);
+  };
+  if (!slots_equal(a.lhs, b.lhs) || !slots_equal(a.rhs, b.rhs) ||
+      !slots_equal(a.lo, b.lo) || !slots_equal(a.hi, b.hi) ||
+      !slots_equal(a.step, b.step) || !slots_equal(a.cond, b.cond)) {
+    return false;
+  }
+  if (a.body.size() != b.body.size() ||
+      a.else_body.size() != b.else_body.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.body.size(); ++i) {
+    if (!StmtEquals(*a.body[i], *b.body[i])) return false;
+  }
+  for (std::size_t i = 0; i < a.else_body.size(); ++i) {
+    if (!StmtEquals(*a.else_body[i], *b.else_body[i])) return false;
+  }
+  return true;
+}
+
+void ForEachStmt(Stmt& root, const std::function<void(Stmt&)>& fn) {
+  fn(root);
+  for (auto& kid : root.body) ForEachStmt(*kid, fn);
+  for (auto& kid : root.else_body) ForEachStmt(*kid, fn);
+}
+
+void ForEachStmt(const Stmt& root,
+                 const std::function<void(const Stmt&)>& fn) {
+  fn(root);
+  for (const auto& kid : root.body) {
+    ForEachStmt(static_cast<const Stmt&>(*kid), fn);
+  }
+  for (const auto& kid : root.else_body) {
+    ForEachStmt(static_cast<const Stmt&>(*kid), fn);
+  }
+}
+
+void ForEachOwnExpr(Stmt& stmt, const std::function<void(Expr&)>& fn) {
+  for (ExprPtr* slot : {&stmt.lhs, &stmt.rhs, &stmt.lo, &stmt.hi, &stmt.step,
+                        &stmt.cond}) {
+    if (*slot != nullptr) ForEachExpr(**slot, fn);
+  }
+}
+
+void ForEachOwnExpr(const Stmt& stmt,
+                    const std::function<void(const Expr&)>& fn) {
+  ForEachOwnExpr(const_cast<Stmt&>(stmt),
+                 [&fn](Expr& e) { fn(static_cast<const Expr&>(e)); });
+}
+
+std::string DefinedName(const Stmt& stmt) {
+  if ((stmt.kind == StmtKind::kAssign || stmt.kind == StmtKind::kRead) &&
+      stmt.lhs != nullptr) {
+    return stmt.lhs->name;
+  }
+  return {};
+}
+
+void CollectReadNames(const Stmt& stmt, std::vector<std::string>& out) {
+  // The written target's subscripts are reads, the target itself is not.
+  if (stmt.lhs != nullptr) {
+    for (const auto& sub : stmt.lhs->kids) CollectVarReads(*sub, out);
+  }
+  for (const ExprPtr* slot : {&stmt.rhs, &stmt.lo, &stmt.hi, &stmt.step,
+                              &stmt.cond}) {
+    if (*slot != nullptr) CollectVarReads(**slot, out);
+  }
+}
+
+bool IsAncestorOf(const Stmt& maybe_ancestor, const Stmt& s) {
+  for (const Stmt* node = &s; node != nullptr; node = node->parent) {
+    if (node == &maybe_ancestor) return true;
+  }
+  return false;
+}
+
+bool HasSideEffects(const Stmt& stmt) {
+  return stmt.kind == StmtKind::kRead || stmt.kind == StmtKind::kWrite;
+}
+
+const char* StmtKindToString(StmtKind kind) {
+  switch (kind) {
+    case StmtKind::kAssign: return "assign";
+    case StmtKind::kDo: return "do";
+    case StmtKind::kIf: return "if";
+    case StmtKind::kRead: return "read";
+    case StmtKind::kWrite: return "write";
+  }
+  return "?";
+}
+
+}  // namespace pivot

@@ -1,0 +1,125 @@
+// Statement nodes of the Pf intermediate representation.
+//
+// Statements form a mutable, uniformly tagged tree: `do` loops and `if`
+// statements own bodies of child statements. All structural mutation goes
+// through Program (program.h) so that backlinks, the id registry and the
+// program epoch stay consistent — the primitive actions of the undo
+// machinery are built on exactly those Program operations.
+#ifndef PIVOT_IR_STMT_H_
+#define PIVOT_IR_STMT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pivot/ir/expr.h"
+#include "pivot/support/ids.h"
+
+namespace pivot {
+
+enum class StmtKind {
+  kAssign,  // lhs = rhs        (lhs: VarRef or ArrayRef)
+  kDo,      // do v = lo, hi [, step] ... enddo
+  kIf,      // if (cond) then ... [else ...] endif
+  kRead,    // read lhs         (consumes one input value)
+  kWrite,   // write rhs        (appends one output value)
+};
+
+// Which child list of a parent statement a child lives in.
+enum class BodyKind {
+  kMain,  // do-loop body; also used for the then-branch and the top level
+  kElse,  // if else-branch
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  StmtId id;  // assigned when first registered with a Program
+  StmtKind kind = StmtKind::kAssign;
+  int label = 0;  // optional numeric source label (cosmetic, preserved)
+
+  // kAssign: lhs/rhs. kRead: lhs. kWrite: rhs.
+  ExprPtr lhs;
+  ExprPtr rhs;
+
+  // kDo.
+  std::string loop_var;
+  ExprPtr lo;
+  ExprPtr hi;
+  ExprPtr step;  // null means 1
+
+  // kIf.
+  ExprPtr cond;
+
+  // kDo body / kIf then-branch.
+  std::vector<StmtPtr> body;
+  // kIf else-branch.
+  std::vector<StmtPtr> else_body;
+
+  // Backlinks, maintained by Program. parent == nullptr means either
+  // top-level (attached == true) or detached (attached == false).
+  Stmt* parent = nullptr;
+  BodyKind parent_body = BodyKind::kMain;
+  bool attached = false;
+
+  bool is_loop() const { return kind == StmtKind::kDo; }
+
+  // The expression hanging off `slot`, or null.
+  Expr* SlotExpr(ExprSlot slot);
+  const Expr* SlotExpr(ExprSlot slot) const;
+
+  // The owning pointer for `slot` (for replacement); never null for slots
+  // that exist on this statement kind, but the pointee may be null.
+  ExprPtr* SlotOwner(ExprSlot slot);
+};
+
+// --- Construction (detached; ids assigned on Program registration) ---
+StmtPtr MakeAssign(ExprPtr lhs, ExprPtr rhs);
+StmtPtr MakeDo(std::string loop_var, ExprPtr lo, ExprPtr hi,
+               ExprPtr step = nullptr);
+StmtPtr MakeIf(ExprPtr cond);
+StmtPtr MakeRead(ExprPtr lhs);
+StmtPtr MakeWrite(ExprPtr rhs);
+
+// Deep copy of the statement and (for kDo/kIf) its whole subtree. The clone
+// is detached and unregistered (ids invalid until registered).
+StmtPtr CloneStmt(const Stmt& stmt);
+
+// Structural equality of two statement subtrees (kinds, expressions, loop
+// variables, child lists). Ids, labels and backlinks are ignored.
+bool StmtEquals(const Stmt& a, const Stmt& b);
+
+// Pre-order walk of the statement subtree rooted at `root` (root included).
+void ForEachStmt(Stmt& root, const std::function<void(Stmt&)>& fn);
+void ForEachStmt(const Stmt& root, const std::function<void(const Stmt&)>& fn);
+
+// Pre-order walk of all expression trees hanging off `stmt` itself (not its
+// children's).
+void ForEachOwnExpr(Stmt& stmt, const std::function<void(Expr&)>& fn);
+void ForEachOwnExpr(const Stmt& stmt,
+                    const std::function<void(const Expr&)>& fn);
+
+// The scalar or array name defined (written) by this statement, or empty.
+// kAssign and kRead define their target; loops define their loop variable
+// implicitly (reported separately; see DefinesLoopVar).
+std::string DefinedName(const Stmt& stmt);
+
+// Names read by this statement's own expressions (rhs, subscripts of the
+// written array ref, loop bounds, condition). Loop variables read inside
+// subscripts are included.
+void CollectReadNames(const Stmt& stmt, std::vector<std::string>& out);
+
+// True if `maybe_ancestor` is `s` or a transitive parent of `s`.
+bool IsAncestorOf(const Stmt& maybe_ancestor, const Stmt& s);
+
+// True for statements with externally visible effects (read/write): the
+// data-flow layer must never treat them as dead.
+bool HasSideEffects(const Stmt& stmt);
+
+const char* StmtKindToString(StmtKind kind);
+
+}  // namespace pivot
+
+#endif  // PIVOT_IR_STMT_H_

@@ -1,0 +1,152 @@
+#include "pivot/ir/validate.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "pivot/support/diagnostics.h"
+
+namespace pivot {
+namespace {
+
+class Validator {
+ public:
+  explicit Validator(const Program& program) : program_(program) {}
+
+  std::vector<std::string> Check() {
+    const std::vector<StmtPtr>& top = program_.top();
+    for (std::size_t i = 0; i < top.size(); ++i) {
+      CheckStmt(*top[i], nullptr, BodyKind::kMain);
+    }
+    return std::move(problems_);
+  }
+
+ private:
+  template <typename... Parts>
+  void Problem(const Stmt& stmt, Parts&&... parts) {
+    std::ostringstream os;
+    os << "stmt s" << stmt.id.value() << ": ";
+    (os << ... << parts);
+    problems_.push_back(os.str());
+  }
+
+  void CheckStmt(const Stmt& stmt, const Stmt* parent, BodyKind body) {
+    if (!stmt.id.valid()) Problem(stmt, "unregistered (id 0)");
+    if (stmt.id.valid() && !seen_stmts_.insert(stmt.id).second) {
+      Problem(stmt, "duplicate id in attached tree");
+    }
+    if (program_.FindStmt(stmt.id) != &stmt) {
+      Problem(stmt, "registry does not point back at node");
+    }
+    if (!stmt.attached) Problem(stmt, "attached flag is false");
+    if (stmt.parent != parent) Problem(stmt, "parent backlink mismatch");
+    if (parent != nullptr && stmt.parent_body != body) {
+      Problem(stmt, "parent_body backlink mismatch");
+    }
+
+    CheckSlots(stmt);
+    CheckExprs(stmt);
+
+    for (const auto& kid : stmt.body) {
+      CheckStmt(*kid, &stmt, BodyKind::kMain);
+    }
+    for (const auto& kid : stmt.else_body) {
+      CheckStmt(*kid, &stmt, BodyKind::kElse);
+    }
+  }
+
+  void CheckSlots(const Stmt& stmt) {
+    auto require = [&](const ExprPtr& slot, const char* name, bool expected) {
+      if (expected && slot == nullptr) {
+        Problem(stmt, "missing required slot ", name);
+      }
+      if (!expected && slot != nullptr) {
+        Problem(stmt, "unexpected slot ", name);
+      }
+    };
+    const bool is_assign = stmt.kind == StmtKind::kAssign;
+    const bool is_do = stmt.kind == StmtKind::kDo;
+    const bool is_if = stmt.kind == StmtKind::kIf;
+    const bool is_read = stmt.kind == StmtKind::kRead;
+    const bool is_write = stmt.kind == StmtKind::kWrite;
+    require(stmt.lhs, "lhs", is_assign || is_read);
+    require(stmt.rhs, "rhs", is_assign || is_write);
+    require(stmt.lo, "lo", is_do);
+    require(stmt.hi, "hi", is_do);
+    require(stmt.cond, "cond", is_if);
+    if (is_do && stmt.loop_var.empty()) Problem(stmt, "empty loop variable");
+    if (!is_do && stmt.step != nullptr) Problem(stmt, "unexpected slot step");
+    if (!is_if && !stmt.else_body.empty()) {
+      Problem(stmt, "unexpected else body");
+    }
+    if (!is_if && !is_do && !stmt.body.empty()) {
+      Problem(stmt, "unexpected body");
+    }
+    if ((is_assign || is_read) && stmt.lhs != nullptr &&
+        stmt.lhs->kind != ExprKind::kVarRef &&
+        stmt.lhs->kind != ExprKind::kArrayRef) {
+      Problem(stmt, "lhs is not an lvalue");
+    }
+  }
+
+  void CheckExprs(const Stmt& stmt) {
+    struct SlotInfo { const ExprPtr* owner; ExprSlot slot; };
+    const SlotInfo slots[] = {
+        {&stmt.lhs, ExprSlot::kLhs}, {&stmt.rhs, ExprSlot::kRhs},
+        {&stmt.lo, ExprSlot::kLo},   {&stmt.hi, ExprSlot::kHi},
+        {&stmt.step, ExprSlot::kStep}, {&stmt.cond, ExprSlot::kCond},
+    };
+    for (const auto& info : slots) {
+      const Expr* root = info.owner->get();
+      if (root == nullptr) continue;
+      if (root->slot != info.slot) Problem(stmt, "slot root tag mismatch");
+      if (root->parent != nullptr) Problem(stmt, "slot root has a parent");
+      CheckExprTree(stmt, *root, nullptr);
+    }
+  }
+
+  void CheckExprTree(const Stmt& stmt, const Expr& e, const Expr* parent) {
+    if (!e.id.valid()) Problem(stmt, "unregistered expression (id 0)");
+    if (e.id.valid() && !seen_exprs_.insert(e.id).second) {
+      Problem(stmt, "duplicate expr id e", e.id.value());
+    }
+    if (program_.FindExpr(e.id) != &e) {
+      Problem(stmt, "expr registry does not point back at node e",
+              e.id.value());
+    }
+    if (e.owner != &stmt) Problem(stmt, "expr owner mismatch");
+    if (e.parent != parent) Problem(stmt, "expr parent mismatch");
+    const std::size_t arity =
+        e.kind == ExprKind::kBinary ? 2u
+        : e.kind == ExprKind::kUnary ? 1u
+        : e.kind == ExprKind::kArrayRef ? e.kids.size()
+        : 0u;
+    if (e.kind == ExprKind::kArrayRef && e.kids.empty()) {
+      Problem(stmt, "array reference with no subscripts");
+    }
+    if (e.kids.size() != arity) Problem(stmt, "expression arity mismatch");
+    for (const auto& kid : e.kids) CheckExprTree(stmt, *kid, &e);
+  }
+
+  const Program& program_;
+  std::vector<std::string> problems_;
+  std::unordered_set<StmtId> seen_stmts_;
+  std::unordered_set<ExprId> seen_exprs_;
+};
+
+}  // namespace
+
+std::vector<std::string> Validate(const Program& program) {
+  return Validator(program).Check();
+}
+
+void ExpectValid(const Program& program) {
+  const std::vector<std::string> problems = Validate(program);
+  if (!problems.empty()) {
+    std::ostringstream os;
+    os << problems.size() << " invariant violation(s):";
+    for (const auto& p : problems) os << "\n  " << p;
+    PIVOT_CHECK_MSG(false, os.str());
+  }
+}
+
+}  // namespace pivot

@@ -1,0 +1,32 @@
+// Structural invariant checking for Program trees.
+//
+// The undo machinery mutates the tree heavily (splice, resurrect, replace);
+// tests call Validate after every mutation step to catch broken backlinks
+// or registry drift immediately rather than as a mysterious failure later.
+#ifndef PIVOT_IR_VALIDATE_H_
+#define PIVOT_IR_VALIDATE_H_
+
+#include <string>
+#include <vector>
+
+#include "pivot/ir/program.h"
+
+namespace pivot {
+
+// Returns a list of human-readable invariant violations (empty when the
+// program is well-formed). Checked invariants:
+//   * every attached statement/expression is registered under its id and
+//     the registry points back at the node;
+//   * parent / parent_body / attached backlinks match the actual tree;
+//   * expression owner/parent/slot backlinks match;
+//   * statement kinds carry exactly the slots they should (assign has
+//     lhs+rhs, do has lo+hi and a loop variable, ...);
+//   * ids are unique across the attached tree.
+std::vector<std::string> Validate(const Program& program);
+
+// PIVOT_CHECKs that Validate() returns no violations; used in tests.
+void ExpectValid(const Program& program);
+
+}  // namespace pivot
+
+#endif  // PIVOT_IR_VALIDATE_H_

@@ -1,0 +1,118 @@
+#include "pivot/support/bitset.h"
+
+#include <bit>
+#include <sstream>
+
+#include "pivot/support/diagnostics.h"
+
+namespace pivot {
+
+DenseBitset::DenseBitset(std::size_t size) { Resize(size); }
+
+void DenseBitset::Resize(std::size_t size) {
+  size_ = size;
+  words_.assign((size + kBits - 1) / kBits, 0);
+}
+
+bool DenseBitset::Test(std::size_t i) const {
+  PIVOT_CHECK(i < size_);
+  return (words_[i / kBits] >> (i % kBits)) & 1u;
+}
+
+void DenseBitset::Set(std::size_t i) {
+  PIVOT_CHECK(i < size_);
+  words_[i / kBits] |= std::uint64_t{1} << (i % kBits);
+}
+
+void DenseBitset::Reset(std::size_t i) {
+  PIVOT_CHECK(i < size_);
+  words_[i / kBits] &= ~(std::uint64_t{1} << (i % kBits));
+}
+
+void DenseBitset::ClearAll() {
+  for (auto& word : words_) word = 0;
+}
+
+void DenseBitset::SetAll() {
+  for (auto& word : words_) word = ~std::uint64_t{0};
+  // Clear bits past the logical end so Count()/Any() stay exact.
+  if (size_ % kBits != 0 && !words_.empty()) {
+    words_.back() &= (std::uint64_t{1} << (size_ % kBits)) - 1;
+  }
+}
+
+void DenseBitset::UnionWith(const DenseBitset& other) {
+  PIVOT_CHECK(size_ == other.size_);
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+}
+
+void DenseBitset::IntersectWith(const DenseBitset& other) {
+  PIVOT_CHECK(size_ == other.size_);
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= other.words_[w];
+}
+
+void DenseBitset::SubtractWith(const DenseBitset& other) {
+  PIVOT_CHECK(size_ == other.size_);
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= ~other.words_[w];
+}
+
+bool DenseBitset::Transfer(const DenseBitset& in, const DenseBitset& gen,
+                           const DenseBitset& kill, DenseBitset& out) {
+  PIVOT_CHECK(in.size_ == gen.size_ && in.size_ == kill.size_ &&
+              in.size_ == out.size_);
+  bool changed = false;
+  for (std::size_t w = 0; w < out.words_.size(); ++w) {
+    const std::uint64_t next =
+        (in.words_[w] & ~kill.words_[w]) | gen.words_[w];
+    if (next != out.words_[w]) {
+      out.words_[w] = next;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+bool DenseBitset::Any() const {
+  for (auto word : words_) {
+    if (word != 0) return true;
+  }
+  return false;
+}
+
+std::size_t DenseBitset::Count() const {
+  std::size_t total = 0;
+  for (auto word : words_) total += static_cast<std::size_t>(std::popcount(word));
+  return total;
+}
+
+std::vector<std::size_t> DenseBitset::ToIndices() const {
+  std::vector<std::size_t> indices;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    std::uint64_t word = words_[w];
+    while (word != 0) {
+      const int bit = std::countr_zero(word);
+      indices.push_back(w * kBits + static_cast<std::size_t>(bit));
+      word &= word - 1;
+    }
+  }
+  return indices;
+}
+
+std::string DenseBitset::ToString() const {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for (std::size_t i : ToIndices()) {
+    if (!first) os << ", ";
+    first = false;
+    os << i;
+  }
+  os << '}';
+  return os.str();
+}
+
+bool operator==(const DenseBitset& a, const DenseBitset& b) {
+  return a.size_ == b.size_ && a.words_ == b.words_;
+}
+
+}  // namespace pivot

@@ -1,0 +1,62 @@
+// Dense fixed-width bit vector used by the iterative data-flow solvers.
+//
+// Reaching definitions, liveness and available expressions all operate on
+// sets of definition/expression indices; DenseBitset provides the usual
+// union/intersection/difference kernel with word-at-a-time operations.
+#ifndef PIVOT_SUPPORT_BITSET_H_
+#define PIVOT_SUPPORT_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pivot {
+
+class DenseBitset {
+ public:
+  DenseBitset() = default;
+  explicit DenseBitset(std::size_t size);
+
+  std::size_t size() const { return size_; }
+
+  void Resize(std::size_t size);
+
+  bool Test(std::size_t i) const;
+  void Set(std::size_t i);
+  void Reset(std::size_t i);
+  void ClearAll();
+  void SetAll();
+
+  // this |= other. Sizes must match.
+  void UnionWith(const DenseBitset& other);
+  // this &= other.
+  void IntersectWith(const DenseBitset& other);
+  // this &= ~other.
+  void SubtractWith(const DenseBitset& other);
+
+  // out = (in - kill) | gen, returning whether `out` changed. The standard
+  // data-flow transfer step, fused to avoid temporaries in the solver loop.
+  static bool Transfer(const DenseBitset& in, const DenseBitset& gen,
+                       const DenseBitset& kill, DenseBitset& out);
+
+  bool Any() const;
+  std::size_t Count() const;
+
+  // Indices of set bits in increasing order.
+  std::vector<std::size_t> ToIndices() const;
+
+  // e.g. "{1, 4, 7}" — used in tests and debug dumps.
+  std::string ToString() const;
+
+  friend bool operator==(const DenseBitset& a, const DenseBitset& b);
+
+ private:
+  static constexpr std::size_t kBits = 64;
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace pivot
+
+#endif  // PIVOT_SUPPORT_BITSET_H_

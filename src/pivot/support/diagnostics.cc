@@ -1,0 +1,25 @@
+#include "pivot/support/diagnostics.h"
+
+#include <sstream>
+
+namespace pivot {
+
+std::string ProgramError::Format(const std::string& message, int line) {
+  if (line <= 0) return message;
+  std::ostringstream os;
+  os << "line " << line << ": " << message;
+  return os.str();
+}
+
+namespace detail {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& message) {
+  std::ostringstream os;
+  os << "PIVOT_CHECK failed at " << file << ":" << line << ": " << expr;
+  if (!message.empty()) os << " — " << message;
+  throw InternalError(os.str());
+}
+
+}  // namespace detail
+}  // namespace pivot

@@ -1,0 +1,63 @@
+// Internal-error checking and user-facing diagnostics.
+//
+// PIVOT_CHECK is used for invariants of the library itself (a failure is a
+// bug in pivot, not in the user's program); parse and semantic errors in
+// user programs are reported through pivot::Error values instead.
+#ifndef PIVOT_SUPPORT_DIAGNOSTICS_H_
+#define PIVOT_SUPPORT_DIAGNOSTICS_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pivot {
+
+// Thrown when a library invariant is violated.
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+// Thrown for malformed user programs (parse errors, unknown names, ...).
+class ProgramError : public std::runtime_error {
+ public:
+  ProgramError(std::string message, int line = 0)
+      : std::runtime_error(Format(message, line)), line_(line) {}
+
+  int line() const { return line_; }
+
+ private:
+  static std::string Format(const std::string& message, int line);
+  int line_;
+};
+
+namespace detail {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+}  // namespace detail
+
+}  // namespace pivot
+
+// Always-on invariant check (these guard correctness of undo, which is the
+// whole point of the library; the cost is negligible next to analysis).
+#define PIVOT_CHECK(expr)                                                  \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::pivot::detail::CheckFailed(__FILE__, __LINE__, #expr, "");         \
+    }                                                                      \
+  } while (0)
+
+#define PIVOT_CHECK_MSG(expr, msg)                                         \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream pivot_check_os_;                                  \
+      pivot_check_os_ << msg;                                              \
+      ::pivot::detail::CheckFailed(__FILE__, __LINE__, #expr,              \
+                                   pivot_check_os_.str());                 \
+    }                                                                      \
+  } while (0)
+
+#define PIVOT_UNREACHABLE(msg)                                             \
+  ::pivot::detail::CheckFailed(__FILE__, __LINE__, "unreachable", msg)
+
+#endif  // PIVOT_SUPPORT_DIAGNOSTICS_H_

@@ -1,0 +1,69 @@
+// Strongly typed identifiers used across the library.
+//
+// Statement and expression nodes carry stable IDs that are never reused for
+// the lifetime of a Program: the action journal, the transformation history
+// and the APDG/ADAG annotations all refer to nodes by ID, and those
+// references must survive arbitrary tree mutation (moves, deletions and
+// later resurrections of the same node).
+#ifndef PIVOT_SUPPORT_IDS_H_
+#define PIVOT_SUPPORT_IDS_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace pivot {
+
+// Tag-parameterized integer ID. Distinct tags produce incompatible types so
+// a StmtId cannot silently be passed where an ExprId is expected.
+template <typename Tag>
+class Id {
+ public:
+  constexpr Id() : value_(0) {}
+  constexpr explicit Id(std::uint32_t value) : value_(value) {}
+
+  constexpr std::uint32_t value() const { return value_; }
+  constexpr bool valid() const { return value_ != 0; }
+  constexpr explicit operator bool() const { return valid(); }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value_ < b.value_; }
+
+ private:
+  std::uint32_t value_;
+};
+
+struct StmtTag {};
+struct ExprTag {};
+struct ActionTag {};
+struct TransformTag {};
+
+// A statement node in the IR tree.
+using StmtId = Id<StmtTag>;
+// An expression node within a statement.
+using ExprId = Id<ExprTag>;
+// A primitive action recorded in the journal.
+using ActionId = Id<ActionTag>;
+
+// The order stamp of an applied transformation: its 1-based position in the
+// application sequence T = {t_1, ..., t_n} (paper Section 4.1). Stamps are
+// assigned once and never reused, even after the transformation is undone.
+using OrderStamp = std::uint32_t;
+inline constexpr OrderStamp kNoStamp = 0;
+
+inline constexpr StmtId kNoStmt{};
+inline constexpr ExprId kNoExpr{};
+inline constexpr ActionId kNoAction{};
+
+}  // namespace pivot
+
+namespace std {
+template <typename Tag>
+struct hash<pivot::Id<Tag>> {
+  size_t operator()(pivot::Id<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};
+}  // namespace std
+
+#endif  // PIVOT_SUPPORT_IDS_H_

@@ -1,0 +1,52 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomized components (the random program generator, property tests,
+// benchmark workloads) draw from an explicit Rng instance so that every
+// run is reproducible from a seed. The generator is xoshiro256**, seeded
+// via splitmix64.
+#ifndef PIVOT_SUPPORT_RNG_H_
+#define PIVOT_SUPPORT_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace pivot {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Uniform over the full 64-bit range.
+  std::uint64_t Next();
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int UniformInt(int lo, int hi);
+
+  // Uniform double in [0, 1).
+  double UniformReal();
+
+  // True with probability p (clamped to [0,1]).
+  bool Chance(double p);
+
+  // Picks a uniformly random element index for a container of `size`
+  // elements. Requires size > 0.
+  std::size_t Index(std::size_t size);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    if (items.size() < 2) return;
+    for (std::size_t i = items.size() - 1; i > 0; --i) {
+      std::size_t j = static_cast<std::size_t>(Next() % (i + 1));
+      using std::swap;
+      swap(items[i], items[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace pivot
+
+#endif  // PIVOT_SUPPORT_RNG_H_

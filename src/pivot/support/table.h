@@ -1,0 +1,33 @@
+// Plain-text table rendering for benchmark reports.
+//
+// The benchmark binaries regenerate the paper's tables (see EXPERIMENTS.md);
+// TextTable renders aligned ASCII tables comparable side-by-side with the
+// published ones.
+#ifndef PIVOT_SUPPORT_TABLE_H_
+#define PIVOT_SUPPORT_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace pivot {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders with a header rule, e.g.
+  //   Name  | Value
+  //   ------+------
+  //   DCE   | x
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pivot
+
+#endif  // PIVOT_SUPPORT_TABLE_H_

@@ -1,0 +1,22 @@
+// Internal: per-kind singleton accessors, implemented one per .cc file.
+#ifndef PIVOT_TRANSFORM_ALL_TRANSFORMS_H_
+#define PIVOT_TRANSFORM_ALL_TRANSFORMS_H_
+
+#include "pivot/transform/transform.h"
+
+namespace pivot {
+
+const Transformation& DceTransformation();
+const Transformation& CseTransformation();
+const Transformation& CtpTransformation();
+const Transformation& CppTransformation();
+const Transformation& CfoTransformation();
+const Transformation& IcmTransformation();
+const Transformation& LurTransformation();
+const Transformation& SmiTransformation();
+const Transformation& FusTransformation();
+const Transformation& InxTransformation();
+
+}  // namespace pivot
+
+#endif  // PIVOT_TRANSFORM_ALL_TRANSFORMS_H_

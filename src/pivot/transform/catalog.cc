@@ -1,0 +1,35 @@
+#include "pivot/transform/catalog.h"
+
+#include "pivot/support/diagnostics.h"
+#include "pivot/transform/all_transforms.h"
+
+namespace pivot {
+
+const Transformation& GetTransformation(TransformKind kind) {
+  switch (kind) {
+    case TransformKind::kDce: return DceTransformation();
+    case TransformKind::kCse: return CseTransformation();
+    case TransformKind::kCtp: return CtpTransformation();
+    case TransformKind::kCpp: return CppTransformation();
+    case TransformKind::kCfo: return CfoTransformation();
+    case TransformKind::kIcm: return IcmTransformation();
+    case TransformKind::kLur: return LurTransformation();
+    case TransformKind::kSmi: return SmiTransformation();
+    case TransformKind::kFus: return FusTransformation();
+    case TransformKind::kInx: return InxTransformation();
+  }
+  PIVOT_UNREACHABLE("transform kind");
+}
+
+const std::vector<TransformKind>& AllTransformKinds() {
+  static const std::vector<TransformKind> kinds = [] {
+    std::vector<TransformKind> all;
+    for (int i = 0; i < kNumTransformKinds; ++i) {
+      all.push_back(TransformKindFromIndex(i));
+    }
+    return all;
+  }();
+  return kinds;
+}
+
+}  // namespace pivot

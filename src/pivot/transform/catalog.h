@@ -1,0 +1,18 @@
+// The transformation catalog: one singleton strategy per TransformKind.
+#ifndef PIVOT_TRANSFORM_CATALOG_H_
+#define PIVOT_TRANSFORM_CATALOG_H_
+
+#include <vector>
+
+#include "pivot/transform/transform.h"
+
+namespace pivot {
+
+const Transformation& GetTransformation(TransformKind kind);
+
+// All ten kinds in Table-4 order.
+const std::vector<TransformKind>& AllTransformKinds();
+
+}  // namespace pivot
+
+#endif  // PIVOT_TRANSFORM_CATALOG_H_

@@ -1,0 +1,90 @@
+// Constant folding.
+//
+// pre_pattern   a maximal non-trivial constant subexpression (no variable
+//               or array reads), e.g. "1 + 2" after constant propagation
+// actions       Modify(exp, <folded constant>)
+// post_pattern  the folded literal in place of the expression
+//
+// Folding uses the interpreter's arithmetic, so the replacement is exactly
+// the value execution would have produced.
+#include "pivot/ir/printer.h"
+#include "pivot/support/diagnostics.h"
+#include "pivot/transform/all_transforms.h"
+
+namespace pivot {
+namespace {
+
+class Cfo final : public Transformation {
+ public:
+  TransformKind kind() const override { return TransformKind::kCfo; }
+
+  std::vector<Opportunity> Find(AnalysisCache& a) const override {
+    std::vector<Opportunity> ops;
+    a.program().ForEachAttached([&](Stmt& s) {
+      auto visit_maximal = [&](Expr& root, auto&& self) -> void {
+        if (CanFoldSafely(root)) {
+          Opportunity op;
+          op.kind = kind();
+          op.s1 = s.id;
+          op.expr = root.id;
+          ops.push_back(op);
+          return;  // maximal: do not also report the children
+        }
+        for (auto& kid : root.kids) self(*kid, self);
+      };
+      // Read positions only; the lhs target itself is not an expression to
+      // fold, but its subscripts are.
+      if (s.lhs != nullptr) {
+        for (auto& sub : s.lhs->kids) visit_maximal(*sub, visit_maximal);
+      }
+      for (ExprPtr* slot : {&s.rhs, &s.lo, &s.hi, &s.step, &s.cond}) {
+        if (*slot != nullptr) visit_maximal(**slot, visit_maximal);
+      }
+    });
+    return ops;
+  }
+
+  bool Applicable(AnalysisCache& a, const Opportunity& op) const override {
+    Program& p = a.program();
+    Stmt* s = p.FindStmt(op.s1);
+    Expr* e = p.FindExpr(op.expr);
+    return s != nullptr && s->attached && e != nullptr && e->owner == s &&
+           CanFoldSafely(*e);
+  }
+
+  void Apply(AnalysisCache& a, Journal& journal, const Opportunity& op,
+             TransformRecord& rec) const override {
+    Program& p = a.program();
+    Expr& site = p.GetExpr(op.expr);
+    const double value = EvalConstExpr(site);
+    rec.summary =
+        "CFO: fold " + ExprToString(site) + " -> " +
+        ExprToString(*MakeConstForValue(value));
+    rec.actions.push_back(
+        journal.Modify(site, MakeConstForValue(value), rec.stamp));
+  }
+
+  bool CheckSafety(AnalysisCache& a, const Journal& journal,
+                   const TransformRecord& rec) const override {
+    (void)a;
+    // The original expression (owned by the live Modify action) must still
+    // fold to the constant that replaced it. When an inner transformation
+    // (e.g. the CTP that made the operand constant) is undone first, the
+    // original regains a variable and the fold becomes unsafe.
+    const ActionRecord& modify = journal.record(rec.actions.at(0));
+    if (modify.replaced == nullptr) return false;
+    if (!CanFoldSafely(*modify.replaced)) return false;
+    const Expr* folded = journal.program().FindExpr(modify.new_expr);
+    if (folded == nullptr || !IsConst(*folded)) return false;
+    return EvalConstExpr(*modify.replaced) == ConstValue(*folded);
+  }
+};
+
+}  // namespace
+
+const Transformation& CfoTransformation() {
+  static const Cfo instance;
+  return instance;
+}
+
+}  // namespace pivot

@@ -1,0 +1,121 @@
+// Copy propagation.
+//
+// pre_pattern   S_i: x = y   (both scalars)
+//               S_j: ... x ...   (a read of x)
+// actions       Modify(use of x at S_j, y)
+// Legality core: S_i is the only definition of x reaching S_j, and on
+// every path from S_i to S_j neither x nor y is redefined (ReachesIntact).
+#include "pivot/ir/printer.h"
+#include "pivot/support/diagnostics.h"
+#include "pivot/transform/all_transforms.h"
+
+namespace pivot {
+namespace {
+
+bool IsCopyDef(const Stmt& s) {
+  return s.kind == StmtKind::kAssign && s.lhs->kind == ExprKind::kVarRef &&
+         s.rhs->kind == ExprKind::kVarRef && s.lhs->name != s.rhs->name;
+}
+
+class Cpp final : public Transformation {
+ public:
+  TransformKind kind() const override { return TransformKind::kCpp; }
+
+  std::vector<Opportunity> Find(AnalysisCache& a) const override {
+    std::vector<Opportunity> ops;
+    std::vector<Stmt*> copies;
+    a.program().ForEachAttached([&](Stmt& s) {
+      if (IsCopyDef(s)) copies.push_back(&s);
+    });
+    if (copies.empty()) return ops;
+
+    a.program().ForEachAttached([&](Stmt& use_stmt) {
+      for (Expr* site : ScalarReadSites(use_stmt)) {
+        for (Stmt* def : copies) {
+          if (def == &use_stmt) continue;
+          if (site->name != def->lhs->name) continue;
+          if (!LegalAt(a, *def, use_stmt)) continue;
+          Opportunity op;
+          op.kind = kind();
+          op.s1 = def->id;
+          op.s2 = use_stmt.id;
+          op.expr = site->id;
+          op.var = site->name;
+          ops.push_back(op);
+          break;
+        }
+      }
+    });
+    return ops;
+  }
+
+  bool Applicable(AnalysisCache& a, const Opportunity& op) const override {
+    Program& p = a.program();
+    Stmt* def = p.FindStmt(op.s1);
+    Stmt* use = p.FindStmt(op.s2);
+    Expr* site = p.FindExpr(op.expr);
+    if (def == nullptr || use == nullptr || site == nullptr) return false;
+    if (!def->attached || !use->attached) return false;
+    if (!IsCopyDef(*def) || def->lhs->name != op.var) return false;
+    if (site->owner != use || site->kind != ExprKind::kVarRef ||
+        site->name != op.var) {
+      return false;
+    }
+    return LegalAt(a, *def, *use);
+  }
+
+  void Apply(AnalysisCache& a, Journal& journal, const Opportunity& op,
+             TransformRecord& rec) const override {
+    Program& p = a.program();
+    Stmt& def = p.GetStmt(op.s1);
+    Expr& site = p.GetExpr(op.expr);
+    rec.summary = "CPP: " + op.var + " := " + def.rhs->name + " in " +
+                  StmtHeadToString(p.GetStmt(op.s2));
+    rec.actions.push_back(
+        journal.Modify(site, MakeVarRef(def.rhs->name), rec.stamp));
+  }
+
+  bool CheckSafety(AnalysisCache& a, const Journal& journal,
+                   const TransformRecord& rec) const override {
+    Program& p = a.program();
+    Stmt* def = p.FindStmt(rec.site.s1);
+    Stmt* use = p.FindStmt(rec.site.s2);
+    if (def == nullptr || use == nullptr) return false;
+    if (!def->attached || !use->attached) {
+      // Consumed by a later live transformation — not a violation.
+      return (def->attached || ConsumedByLiveTransformation(journal, *def)) &&
+             (use->attached || ConsumedByLiveTransformation(journal, *use));
+    }
+    if (!IsCopyDef(*def) || def->lhs->name != rec.site.var) return false;
+    // The substituted name must still be the copy's source.
+    const ActionRecord& modify = journal.record(rec.actions.at(0));
+    const Expr* substituted = p.FindExpr(modify.new_expr);
+    if (substituted == nullptr || substituted->kind != ExprKind::kVarRef ||
+        substituted->name != def->rhs->name) {
+      return false;
+    }
+    return LegalAt(a, *def, *use);
+  }
+
+ private:
+  static bool LegalAt(AnalysisCache& a, const Stmt& def, const Stmt& use) {
+    const std::string& x = def.lhs->name;
+    const std::string& y = def.rhs->name;
+    if (!a.reaching().OnlyReachingDef(def, use, x)) return false;
+    std::vector<int> watched;
+    const int xid = a.facts().names.Lookup(x);
+    const int yid = a.facts().names.Lookup(y);
+    if (xid != -1) watched.push_back(xid);
+    if (yid != -1) watched.push_back(yid);
+    return ReachesIntact(a.cfg(), a.facts(), def, use, watched);
+  }
+};
+
+}  // namespace
+
+const Transformation& CppTransformation() {
+  static const Cpp instance;
+  return instance;
+}
+
+}  // namespace pivot

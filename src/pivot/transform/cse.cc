@@ -1,0 +1,143 @@
+// Common subexpression elimination.
+//
+// Table 2:  pre_pattern   S_i: A = B op C;  S_j: D = B op C
+//           actions       Modify(exp(S_j, B op C), A)
+//           post_pattern  S_j: D = A
+// Legality core: every path to S_j passes S_i with A, B and C intact
+// afterwards (ReachesIntact subsumes the dominance requirement).
+#include "pivot/ir/printer.h"
+#include "pivot/support/diagnostics.h"
+#include "pivot/transform/all_transforms.h"
+
+namespace pivot {
+namespace {
+
+// S_i shape: scalar target, binary RHS over scalar variables / constants,
+// target not among the operands.
+bool IsCseSource(const Stmt& s) {
+  if (s.kind != StmtKind::kAssign || s.lhs->kind != ExprKind::kVarRef) {
+    return false;
+  }
+  if (s.rhs->kind != ExprKind::kBinary) return false;
+  for (const auto& kid : s.rhs->kids) {
+    if (kid->kind != ExprKind::kVarRef && !IsConst(*kid)) return false;
+    if (kid->kind == ExprKind::kVarRef && kid->name == s.lhs->name) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<int> WatchedNames(AnalysisCache& a, const Stmt& source) {
+  std::vector<int> watched;
+  auto add = [&](const std::string& name) {
+    const int id = a.facts().names.Lookup(name);
+    if (id != -1) watched.push_back(id);
+  };
+  add(source.lhs->name);
+  for (const auto& kid : source.rhs->kids) {
+    if (kid->kind == ExprKind::kVarRef) add(kid->name);
+  }
+  return watched;
+}
+
+class Cse final : public Transformation {
+ public:
+  TransformKind kind() const override { return TransformKind::kCse; }
+
+  std::vector<Opportunity> Find(AnalysisCache& a) const override {
+    std::vector<Opportunity> ops;
+    std::vector<Stmt*> sources;
+    a.program().ForEachAttached([&](Stmt& s) {
+      if (IsCseSource(s)) sources.push_back(&s);
+    });
+    if (sources.empty()) return ops;
+
+    a.program().ForEachAttached([&](Stmt& target) {
+      if (target.kind != StmtKind::kAssign) return;
+      if (target.rhs->kind != ExprKind::kBinary) return;
+      for (Stmt* source : sources) {
+        if (source == &target) continue;
+        if (!ExprEquals(*source->rhs, *target.rhs)) continue;
+        if (!ReachesIntact(a.cfg(), a.facts(), *source, target,
+                           WatchedNames(a, *source))) {
+          continue;
+        }
+        Opportunity op;
+        op.kind = kind();
+        op.s1 = source->id;
+        op.s2 = target.id;
+        op.expr = target.rhs->id;
+        op.var = source->lhs->name;
+        ops.push_back(op);
+        break;
+      }
+    });
+    return ops;
+  }
+
+  bool Applicable(AnalysisCache& a, const Opportunity& op) const override {
+    Program& p = a.program();
+    Stmt* source = p.FindStmt(op.s1);
+    Stmt* target = p.FindStmt(op.s2);
+    if (source == nullptr || target == nullptr || !source->attached ||
+        !target->attached) {
+      return false;
+    }
+    if (!IsCseSource(*source) || source->lhs->name != op.var) return false;
+    if (target->kind != StmtKind::kAssign ||
+        !ExprEquals(*source->rhs, *target->rhs)) {
+      return false;
+    }
+    return ReachesIntact(a.cfg(), a.facts(), *source, *target,
+                         WatchedNames(a, *source));
+  }
+
+  void Apply(AnalysisCache& a, Journal& journal, const Opportunity& op,
+             TransformRecord& rec) const override {
+    Program& p = a.program();
+    Stmt& source = p.GetStmt(op.s1);
+    Stmt& target = p.GetStmt(op.s2);
+    rec.summary = "CSE: " + StmtHeadToString(target) + " := " + op.var +
+                  " (was " + ExprToString(*target.rhs) + ")";
+    rec.actions.push_back(
+        journal.Modify(*target.rhs, MakeVarRef(source.lhs->name),
+                       rec.stamp));
+  }
+
+  bool CheckSafety(AnalysisCache& a, const Journal& journal,
+                   const TransformRecord& rec) const override {
+    Program& p = a.program();
+    Stmt* source = p.FindStmt(rec.site.s1);
+    Stmt* target = p.FindStmt(rec.site.s2);
+    if (source == nullptr || target == nullptr) return false;
+    if (!source->attached || !target->attached) {
+      // Consumed by a later live transformation — not a violation.
+      return (source->attached ||
+              ConsumedByLiveTransformation(journal, *source)) &&
+             (target->attached ||
+              ConsumedByLiveTransformation(journal, *target));
+    }
+    if (!IsCseSource(*source) || source->lhs->name != rec.site.var) {
+      return false;
+    }
+    // The source must still compute the very expression that was replaced
+    // (owned by the live Modify action).
+    const ActionRecord& modify = journal.record(rec.actions.at(0));
+    if (modify.replaced == nullptr ||
+        !ExprEquals(*source->rhs, *modify.replaced)) {
+      return false;
+    }
+    return ReachesIntact(a.cfg(), a.facts(), *source, *target,
+                         WatchedNames(a, *source));
+  }
+};
+
+}  // namespace
+
+const Transformation& CseTransformation() {
+  static const Cse instance;
+  return instance;
+}
+
+}  // namespace pivot

@@ -1,0 +1,117 @@
+// Constant propagation.
+//
+// Table 2:  pre_pattern   S_i: type(opr_2) == const;
+//                         S_j: opr(pos) == S_i.opr_2
+//           actions       Modify(opr(S_j, pos), S_i.opr_2)
+//           post_pattern  S_j: opr(pos) = S_i.opr_2
+// Legality core: the only definition of the variable reaching the use is
+// the constant assignment S_i.
+#include "pivot/ir/printer.h"
+#include "pivot/support/diagnostics.h"
+#include "pivot/transform/all_transforms.h"
+
+namespace pivot {
+namespace {
+
+bool IsConstDef(const Stmt& s) {
+  return s.kind == StmtKind::kAssign && s.lhs->kind == ExprKind::kVarRef &&
+         IsConst(*s.rhs);
+}
+
+class Ctp final : public Transformation {
+ public:
+  TransformKind kind() const override { return TransformKind::kCtp; }
+
+  std::vector<Opportunity> Find(AnalysisCache& a) const override {
+    std::vector<Opportunity> ops;
+    // Constant definitions first.
+    std::vector<Stmt*> const_defs;
+    a.program().ForEachAttached([&](Stmt& s) {
+      if (IsConstDef(s)) const_defs.push_back(&s);
+    });
+    if (const_defs.empty()) return ops;
+
+    const ReachingDefs& reaching = a.reaching();
+    a.program().ForEachAttached([&](Stmt& use_stmt) {
+      for (Expr* site : ScalarReadSites(use_stmt)) {
+        for (Stmt* def : const_defs) {
+          if (def == &use_stmt) continue;
+          if (site->name != def->lhs->name) continue;
+          if (!reaching.OnlyReachingDef(*def, use_stmt, site->name)) continue;
+          Opportunity op;
+          op.kind = kind();
+          op.s1 = def->id;
+          op.s2 = use_stmt.id;
+          op.expr = site->id;
+          op.var = site->name;
+          ops.push_back(op);
+          break;  // one defining statement suffices per use site
+        }
+      }
+    });
+    return ops;
+  }
+
+  bool Applicable(AnalysisCache& a, const Opportunity& op) const override {
+    Program& p = a.program();
+    Stmt* def = p.FindStmt(op.s1);
+    Stmt* use = p.FindStmt(op.s2);
+    Expr* site = p.FindExpr(op.expr);
+    if (def == nullptr || use == nullptr || site == nullptr) return false;
+    if (!def->attached || !use->attached) return false;
+    if (!IsConstDef(*def) || def->lhs->name != op.var) return false;
+    if (site->owner != use || site->kind != ExprKind::kVarRef ||
+        site->name != op.var) {
+      return false;
+    }
+    // The read site must be in read position (not the assignment target).
+    if (site->parent == nullptr && site->slot == ExprSlot::kLhs) return false;
+    return a.reaching().OnlyReachingDef(*def, *use, op.var);
+  }
+
+  void Apply(AnalysisCache& a, Journal& journal, const Opportunity& op,
+             TransformRecord& rec) const override {
+    Program& p = a.program();
+    Stmt& def = p.GetStmt(op.s1);
+    Expr& site = p.GetExpr(op.expr);
+    rec.summary = "CTP: " + op.var + " := " + ExprToString(*def.rhs) +
+                  " in " + StmtHeadToString(p.GetStmt(op.s2));
+    rec.actions.push_back(
+        journal.Modify(site, CloneExpr(*def.rhs), rec.stamp));
+  }
+
+  bool CheckSafety(AnalysisCache& a, const Journal& journal,
+                   const TransformRecord& rec) const override {
+    Program& p = a.program();
+    Stmt* def = p.FindStmt(rec.site.s1);
+    Stmt* use = p.FindStmt(rec.site.s2);
+    if (def == nullptr || use == nullptr) return false;
+    if (!def->attached || !use->attached) {
+      // A later live transformation may have legitimately consumed the
+      // pattern (e.g. DCE deleting the now-dead constant definition).
+      return (def->attached || ConsumedByLiveTransformation(journal, *def)) &&
+             (use->attached || ConsumedByLiveTransformation(journal, *use));
+    }
+    if (!IsConstDef(*def) || def->lhs->name != rec.site.var) return false;
+    // The propagated constant must still be what S_i assigns.
+    const ActionRecord& modify = journal.record(rec.actions.at(0));
+    const Expr* propagated = p.FindExpr(modify.new_expr);
+    if (propagated == nullptr || !IsConst(*propagated) ||
+        ConstValue(*propagated) != ConstValue(*def->rhs)) {
+      return false;
+    }
+    // And S_i must still be the only definition reaching S_j. (The use
+    // site itself now holds the constant, which does not perturb reaching
+    // definitions of the variable.)
+    return a.reaching().OnlyReachingDef(*def, *use, rec.site.var);
+  }
+};
+
+}  // namespace
+
+const Transformation& CtpTransformation() {
+  static const Ctp instance;
+  return instance;
+}
+
+}  // namespace pivot

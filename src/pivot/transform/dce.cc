@@ -1,0 +1,70 @@
+// Dead code elimination.
+//
+// Table 2:  pre_pattern   Stmt S_i  /* dead code */
+//           actions       Delete(S_i)
+//           post_pattern  Del_stmt S_i; ptr orig_loc
+// Table 3:  safety is disabled by the (re)appearance of a use S_l with
+//           S_i δ S_l at the original location; reversibility is disabled
+//           when the original location's context is deleted or copied
+//           (checked by the journal's location machinery).
+#include "pivot/ir/printer.h"
+#include "pivot/support/diagnostics.h"
+#include "pivot/transform/all_transforms.h"
+
+namespace pivot {
+namespace {
+
+class Dce final : public Transformation {
+ public:
+  TransformKind kind() const override { return TransformKind::kDce; }
+
+  std::vector<Opportunity> Find(AnalysisCache& a) const override {
+    std::vector<Opportunity> ops;
+    const Liveness& live = a.liveness();
+    a.program().ForEachAttached([&](Stmt& s) {
+      if (live.IsDeadStore(s)) {
+        Opportunity op;
+        op.kind = kind();
+        op.s1 = s.id;
+        op.var = s.lhs->name;
+        ops.push_back(op);
+      }
+    });
+    return ops;
+  }
+
+  bool Applicable(AnalysisCache& a, const Opportunity& op) const override {
+    Stmt* s = a.program().FindStmt(op.s1);
+    return s != nullptr && s->attached && a.liveness().IsDeadStore(*s);
+  }
+
+  void Apply(AnalysisCache& a, Journal& journal, const Opportunity& op,
+             TransformRecord& rec) const override {
+    Stmt& s = a.program().GetStmt(op.s1);
+    rec.summary = "DCE: delete " + StmtHeadToString(s);
+    rec.actions.push_back(journal.Delete(s, rec.stamp));
+  }
+
+  bool CheckSafety(AnalysisCache& a, const Journal& journal,
+                   const TransformRecord& rec) const override {
+    // The deleted statement stays removable exactly while its target is
+    // dead at the original location (no use S_l with S_i δ S_l appeared).
+    const ActionRecord& del = journal.record(rec.actions.at(0));
+    auto resolved = ResolveLocation(a.program(), del.orig_loc, del.stmt);
+    if (!resolved.has_value()) {
+      // Location context gone: the safety question is unanswerable here;
+      // reversibility analysis owns this case.
+      return true;
+    }
+    return !LiveAtLocation(a, *resolved, rec.site.var);
+  }
+};
+
+}  // namespace
+
+const Transformation& DceTransformation() {
+  static const Dce instance;
+  return instance;
+}
+
+}  // namespace pivot

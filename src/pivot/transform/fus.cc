@@ -1,0 +1,124 @@
+// Loop fusion.
+//
+// pre_pattern   adjacent sibling loops L_1, L_2 with the same control
+//               (same variable and structurally equal bounds) and no
+//               fusion-preventing dependence
+// actions       Move(s, L_1.body.end) for each s in L_2.body; Delete(L_2)
+// post_pattern  L_1 holding both bodies; Del_stmt L_2
+//
+// Undoing in reverse action order restores L_2 first (Delete's inverse),
+// then moves its statements back.
+#include <algorithm>
+
+#include "pivot/ir/printer.h"
+#include "pivot/support/diagnostics.h"
+#include "pivot/transform/all_transforms.h"
+
+namespace pivot {
+namespace {
+
+bool SameControl(const Stmt& a, const Stmt& b) {
+  if (a.loop_var != b.loop_var) return false;
+  auto eq = [](const ExprPtr& x, const ExprPtr& y) {
+    if ((x == nullptr) != (y == nullptr)) return false;
+    return x == nullptr || ExprEquals(*x, *y);
+  };
+  return eq(a.lo, b.lo) && eq(a.hi, b.hi) && eq(a.step, b.step);
+}
+
+class Fus final : public Transformation {
+ public:
+  TransformKind kind() const override { return TransformKind::kFus; }
+
+  std::vector<Opportunity> Find(AnalysisCache& a) const override {
+    std::vector<Opportunity> ops;
+    Program& p = a.program();
+    std::vector<Stmt*> loops;
+    p.ForEachAttached([&](Stmt& s) {
+      if (s.kind == StmtKind::kDo) loops.push_back(&s);
+    });
+    for (Stmt* first : loops) {
+      // The statement right after `first` in its body list.
+      const std::vector<StmtPtr>& list =
+          p.BodyListOf(first->parent, first->parent_body);
+      const std::size_t idx = p.IndexOf(*first);
+      if (idx + 1 >= list.size()) continue;
+      Stmt* second = list[idx + 1].get();
+      if (second->kind != StmtKind::kDo) continue;
+      if (!SameControl(*first, *second)) continue;
+      if (FusionPrevented(p, a.loops(), *first, *second)) continue;
+      Opportunity op;
+      op.kind = kind();
+      op.s1 = first->id;
+      op.s2 = second->id;
+      ops.push_back(op);
+    }
+    return ops;
+  }
+
+  bool Applicable(AnalysisCache& a, const Opportunity& op) const override {
+    Program& p = a.program();
+    Stmt* first = p.FindStmt(op.s1);
+    Stmt* second = p.FindStmt(op.s2);
+    if (first == nullptr || second == nullptr || !first->attached ||
+        !second->attached) {
+      return false;
+    }
+    if (!AreAdjacentLoops(p, *first, *second)) return false;
+    if (!SameControl(*first, *second)) return false;
+    return !FusionPrevented(p, a.loops(), *first, *second);
+  }
+
+  void Apply(AnalysisCache& a, Journal& journal, const Opportunity& op,
+             TransformRecord& rec) const override {
+    Program& p = a.program();
+    Stmt& first = p.GetStmt(op.s1);
+    Stmt& second = p.GetStmt(op.s2);
+    rec.summary = "FUS: fuse (" + StmtHeadToString(first) + ") + (" +
+                  StmtHeadToString(second) + ")";
+    rec.aux_longs.push_back(static_cast<long>(first.body.size()));
+    while (!second.body.empty()) {
+      Stmt& moved = *second.body.front();
+      rec.aux_stmts.push_back(moved.id);
+      rec.actions.push_back(journal.Move(moved, &first, BodyKind::kMain,
+                                         first.body.size(), rec.stamp));
+    }
+    rec.actions.push_back(journal.Delete(second, rec.stamp));
+  }
+
+  bool CheckSafety(AnalysisCache& a, const Journal& journal,
+                   const TransformRecord& rec) const override {
+    Program& p = a.program();
+    Stmt* fused = p.FindStmt(rec.site.s1);
+    if (fused == nullptr) return false;
+    const std::vector<StmtId> sites{rec.site.s1};
+    if (!fused->attached || fused->kind != StmtKind::kDo) {
+      return LaterLiveTransformTouched(journal, rec, sites);
+    }
+    // Split the fused body into the original halves: the moved statements
+    // (recorded ids) form the second half.
+    std::vector<Stmt*> half1, half2;
+    for (const auto& kid : fused->body) {
+      const bool moved =
+          std::find(rec.aux_stmts.begin(), rec.aux_stmts.end(), kid->id) !=
+          rec.aux_stmts.end();
+      std::vector<Stmt*> sub;
+      ForEachStmt(*kid, [&sub](Stmt& s) { sub.push_back(&s); });
+      auto& half = moved ? half2 : half1;
+      half.insert(half.end(), sub.begin(), sub.end());
+    }
+    const LoopInfo* info = a.loops().InfoOf(*fused);
+    const long trip = info != nullptr ? info->TripCount() : -1;
+    return !FusionPreventedSets(half1, half2, fused->loop_var,
+                                fused->loop_var, trip);
+  }
+};
+
+}  // namespace
+
+const Transformation& FusTransformation() {
+  static const Fus instance;
+  return instance;
+}
+
+}  // namespace pivot

@@ -1,0 +1,169 @@
+// Invariant code motion.
+//
+// Table 2:  pre_pattern   Loop L_1; Stmt S_i   (S_i loop-invariant)
+//           actions       Move(S_i, L_1.prev)
+//           post_pattern  Stmt S_i; ptr orig_location
+//
+// The hoisted statement sits immediately before the loop; safety re-checks
+// verify it would still be invariant if put back (nothing it reads or
+// writes is touched between its new position and the loop, nothing in the
+// loop redefines its inputs, and the loop provably executes).
+#include <algorithm>
+#include <unordered_set>
+
+#include "pivot/ir/printer.h"
+#include "pivot/support/diagnostics.h"
+#include "pivot/transform/all_transforms.h"
+
+namespace pivot {
+namespace {
+
+class Icm final : public Transformation {
+ public:
+  TransformKind kind() const override { return TransformKind::kIcm; }
+
+  std::vector<Opportunity> Find(AnalysisCache& a) const override {
+    std::vector<Opportunity> ops;
+    for (const LoopInfo& info : a.loops().loops()) {
+      for (const auto& kid : info.loop->body) {
+        if (IsLoopInvariant(*kid, *info.loop, info)) {
+          Opportunity op;
+          op.kind = kind();
+          op.s1 = kid->id;
+          op.s2 = info.loop->id;
+          op.var = kid->lhs->name;
+          ops.push_back(op);
+        }
+      }
+    }
+    return ops;
+  }
+
+  bool Applicable(AnalysisCache& a, const Opportunity& op) const override {
+    Program& p = a.program();
+    Stmt* stmt = p.FindStmt(op.s1);
+    Stmt* loop = p.FindStmt(op.s2);
+    if (stmt == nullptr || loop == nullptr || !stmt->attached ||
+        !loop->attached || loop->kind != StmtKind::kDo) {
+      return false;
+    }
+    const LoopInfo* info = a.loops().InfoOf(*loop);
+    return info != nullptr && IsLoopInvariant(*stmt, *loop, *info);
+  }
+
+  void Apply(AnalysisCache& a, Journal& journal, const Opportunity& op,
+             TransformRecord& rec) const override {
+    Program& p = a.program();
+    Stmt& stmt = p.GetStmt(op.s1);
+    Stmt& loop = p.GetStmt(op.s2);
+    rec.summary = "ICM: hoist " + StmtHeadToString(stmt) + " out of " +
+                  StmtHeadToString(loop);
+    // Move(S_i, L_1.prev): detaching S_i (inside the loop body) does not
+    // shift the loop's own index in its parent body.
+    const std::size_t loop_index = p.IndexOf(loop);
+    rec.actions.push_back(journal.Move(stmt, loop.parent, loop.parent_body,
+                                       loop_index, rec.stamp));
+  }
+
+  bool CheckSafety(AnalysisCache& a, const Journal& journal,
+                   const TransformRecord& rec) const override {
+    Program& p = a.program();
+    Stmt* stmt = p.FindStmt(rec.site.s1);
+    Stmt* loop = p.FindStmt(rec.site.s2);
+    if (stmt == nullptr || loop == nullptr) return false;
+    if (!stmt->attached || !loop->attached) {
+      // Consumed by a later live transformation (e.g. the hoisted store
+      // became dead and DCE removed it) — not a violation.
+      return (stmt->attached ||
+              ConsumedByLiveTransformation(journal, *stmt)) &&
+             (loop->attached ||
+              ConsumedByLiveTransformation(journal, *loop));
+    }
+    if (loop->kind != StmtKind::kDo) return false;
+    if (stmt->kind != StmtKind::kAssign || stmt->lhs == nullptr ||
+        stmt->lhs->name != rec.site.var) {
+      return false;
+    }
+    // Still directly before the loop, in the same body.
+    if (stmt->parent != loop->parent ||
+        stmt->parent_body != loop->parent_body) {
+      return false;
+    }
+    const std::size_t stmt_index = p.IndexOf(*stmt);
+    const std::size_t loop_index = p.IndexOf(*loop);
+    if (stmt_index >= loop_index) return false;
+
+    const LoopInfo* info = a.loops().InfoOf(*loop);
+    if (info == nullptr || !info->DefinitelyExecutes()) return false;
+
+    const std::string& target = stmt->lhs->name;
+    std::vector<std::string> reads;
+    CollectVarReads(*stmt->rhs, reads);
+    // Array-element targets: the subscripts are inputs too.
+    for (const auto& sub : stmt->lhs->kids) CollectVarReads(*sub, reads);
+
+    // Nothing the statement reads or writes may be defined in the loop.
+    const std::unordered_set<std::string> defined = NamesDefinedIn(*loop);
+    if (defined.count(target) != 0 || target == loop->loop_var) return false;
+    for (const auto& r : reads) {
+      if (r == loop->loop_var || defined.count(r) != 0) return false;
+    }
+
+    // Nothing between the hoisted statement and the loop may read or
+    // define the target or redefine the inputs.
+    const std::vector<StmtPtr>& list =
+        p.BodyListOf(loop->parent, loop->parent_body);
+    for (std::size_t i = stmt_index + 1; i < loop_index; ++i) {
+      bool bad = false;
+      ForEachStmt(static_cast<const Stmt&>(*list[i]), [&](const Stmt& s) {
+        const std::string def = DefinedName(s);
+        if (def == target) bad = true;
+        for (const auto& r : reads) {
+          if (def == r) bad = true;
+        }
+        if (s.kind == StmtKind::kDo &&
+            (s.loop_var == target ||
+             std::find(reads.begin(), reads.end(), s.loop_var) !=
+                 reads.end())) {
+          bad = true;
+        }
+        std::vector<std::string> uses;
+        CollectReadNames(s, uses);
+        for (const auto& u : uses) {
+          if (u == target) bad = true;
+        }
+      });
+      if (bad) return false;
+    }
+
+    // The target may only be read inside the loop at or after the
+    // statement's original position (earlier reads would now observe the
+    // hoisted value on the first iteration).
+    const ActionRecord& move = journal.record(rec.actions.at(0));
+    auto resolved = ResolveLocation(p, move.orig_loc, move.stmt);
+    if (!resolved.has_value() || resolved->parent != loop) return false;
+    const std::vector<StmtPtr>& body = loop->body;
+    for (std::size_t i = 0; i < std::min(resolved->index, body.size());
+         ++i) {
+      bool reads_target = false;
+      ForEachStmt(static_cast<const Stmt&>(*body[i]), [&](const Stmt& s) {
+        std::vector<std::string> uses;
+        CollectReadNames(s, uses);
+        for (const auto& u : uses) {
+          if (u == target) reads_target = true;
+        }
+      });
+      if (reads_target) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+const Transformation& IcmTransformation() {
+  static const Icm instance;
+  return instance;
+}
+
+}  // namespace pivot

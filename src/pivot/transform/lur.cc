@@ -1,0 +1,188 @@
+// Loop unrolling (factor 2).
+//
+// pre_pattern   do v = lo, hi (constant bounds, step 1, even trip count)
+// actions       Copy(s, body.end) for each body statement;
+//               Modify(each v in a copy, v + 1);
+//               Modify(L.header, step := 2)
+// post_pattern  the doubled body and the stepped header
+//
+// Undo restores the original body by deleting the copies and resetting the
+// header — all through the generic inverse actions.
+#include <algorithm>
+
+#include "pivot/ir/printer.h"
+#include "pivot/support/diagnostics.h"
+#include "pivot/transform/all_transforms.h"
+
+namespace pivot {
+namespace {
+
+constexpr long kFactor = 2;
+constexpr long kMaxTrip = 16;
+
+// All VarRef read sites of `name` within one statement subtree (including
+// nested statements), pre-order.
+std::vector<Expr*> VarSitesIn(Stmt& root, const std::string& name) {
+  std::vector<Expr*> sites;
+  ForEachStmt(root, [&](Stmt& s) {
+    for (Expr* site : ScalarReadSites(s)) {
+      if (site->name == name) sites.push_back(site);
+    }
+  });
+  return sites;
+}
+
+// Does the subtree redefine `name` (assignment target or nested loop var)?
+bool Redefines(const Stmt& root, const std::string& name) {
+  bool redefines = false;
+  ForEachStmt(root, [&](const Stmt& s) {
+    if (DefinedName(s) == name) redefines = true;
+    if (s.kind == StmtKind::kDo && s.loop_var == name) redefines = true;
+  });
+  return redefines;
+}
+
+bool LoopApplicable(const LoopInfo& info) {
+  const Stmt& loop = *info.loop;
+  if (!info.const_bounds || info.step != 1) return false;
+  const long trip = info.TripCount();
+  if (trip < kFactor || trip > kMaxTrip || trip % kFactor != 0) return false;
+  if (loop.body.empty()) return false;
+  for (const auto& kid : loop.body) {
+    if (Redefines(*kid, loop.loop_var)) return false;
+  }
+  return true;
+}
+
+class Lur final : public Transformation {
+ public:
+  TransformKind kind() const override { return TransformKind::kLur; }
+
+  std::vector<Opportunity> Find(AnalysisCache& a) const override {
+    std::vector<Opportunity> ops;
+    for (const LoopInfo& info : a.loops().loops()) {
+      if (!LoopApplicable(info)) continue;
+      Opportunity op;
+      op.kind = kind();
+      op.s1 = info.loop->id;
+      op.value = kFactor;
+      ops.push_back(op);
+    }
+    return ops;
+  }
+
+  bool Applicable(AnalysisCache& a, const Opportunity& op) const override {
+    Stmt* loop = a.program().FindStmt(op.s1);
+    if (loop == nullptr || !loop->attached || loop->kind != StmtKind::kDo) {
+      return false;
+    }
+    const LoopInfo* info = a.loops().InfoOf(*loop);
+    return info != nullptr && LoopApplicable(*info);
+  }
+
+  void Apply(AnalysisCache& a, Journal& journal, const Opportunity& op,
+             TransformRecord& rec) const override {
+    Program& p = a.program();
+    Stmt& loop = p.GetStmt(op.s1);
+    rec.summary = "LUR: unroll " + StmtHeadToString(loop) + " by " +
+                  std::to_string(kFactor);
+    const std::size_t n = loop.body.size();
+    rec.aux_longs.push_back(kFactor);
+    // Copy the body (in order) to the end; record (original, copy) pairs.
+    for (std::size_t k = 0; k < n; ++k) {
+      Stmt* copy = nullptr;
+      rec.actions.push_back(journal.Copy(*loop.body[k], &loop,
+                                         BodyKind::kMain, n + k, rec.stamp,
+                                         &copy));
+      rec.aux_stmts.push_back(loop.body[k]->id);
+      rec.aux_stmts.push_back(copy->id);
+    }
+    // In each copy, v -> v + 1.
+    for (std::size_t k = 0; k < n; ++k) {
+      Stmt& copy = *loop.body[n + k];
+      for (Expr* site : VarSitesIn(copy, loop.loop_var)) {
+        rec.actions.push_back(journal.Modify(
+            *site,
+            MakeBinary(BinOp::kAdd, MakeVarRef(loop.loop_var),
+                       MakeIntConst(1)),
+            rec.stamp));
+      }
+    }
+    // Header: step := 2.
+    auto clone_slot = [](const ExprPtr& e) {
+      return e == nullptr ? nullptr : CloneExpr(*e);
+    };
+    rec.actions.push_back(journal.ModifyHeader(
+        loop, loop.loop_var, clone_slot(loop.lo), clone_slot(loop.hi),
+        MakeIntConst(kFactor), rec.stamp));
+  }
+
+  bool CheckSafety(AnalysisCache& a, const Journal& journal,
+                   const TransformRecord& rec) const override {
+    Program& p = a.program();
+    Stmt* loop = p.FindStmt(rec.site.s1);
+    if (loop == nullptr) return false;
+    const std::vector<StmtId> sites{rec.site.s1};
+    if (!loop->attached || loop->kind != StmtKind::kDo) {
+      return LaterLiveTransformTouched(journal, rec, sites);
+    }
+    const LoopInfo* info = a.loops().InfoOf(*loop);
+    if (info == nullptr || !info->const_bounds || info->step != kFactor) {
+      // Header rebuilt by a later live transformation (e.g. interchange)
+      // defers to it; otherwise the unroll lost its stride.
+      return LaterLiveTransformTouched(journal, rec, sites);
+    }
+    // Every copy must still equal its original shifted by one iteration:
+    // edits to one half of the unrolled body break the equivalence.
+    for (std::size_t k = 0; k + 1 < rec.aux_stmts.size(); k += 2) {
+      Stmt* orig = p.FindStmt(rec.aux_stmts[k]);
+      Stmt* copy = p.FindStmt(rec.aux_stmts[k + 1]);
+      if (orig == nullptr || copy == nullptr || !orig->attached ||
+          !copy->attached || orig->parent != loop || copy->parent != loop) {
+        return LaterLiveTransformTouched(journal, rec, sites);
+      }
+      StmtPtr shifted = CloneStmt(*orig);
+      for (Expr* site : VarSitesIn(*shifted, loop->loop_var)) {
+        // Replace in the detached clone directly (no journal involved).
+        ExprPtr replacement = MakeBinary(
+            BinOp::kAdd, MakeVarRef(loop->loop_var), MakeIntConst(1));
+        Expr* parent = site->parent;
+        if (parent == nullptr) {
+          ExprPtr* slot = site->owner->SlotOwner(site->slot);
+          replacement->slot = site->slot;
+          Stmt* owner = site->owner;
+          ForEachExpr(*replacement,
+                      [owner](Expr& e) { e.owner = owner; });
+          *slot = std::move(replacement);
+        } else {
+          for (auto& kid : parent->kids) {
+            if (kid.get() == site) {
+              replacement->parent = parent;
+              Stmt* owner = parent->owner;
+              ForEachExpr(*replacement,
+                          [owner](Expr& e) { e.owner = owner; });
+              kid = std::move(replacement);
+              break;
+            }
+          }
+        }
+      }
+      if (!StmtEquals(*shifted, *copy)) {
+        // A later live transformation rewriting one half (e.g. a CTP into
+        // a single copy) carries its own legality; an edit to one half
+        // genuinely breaks the unroll equivalence.
+        return LaterLiveTransformTouched(journal, rec, sites);
+      }
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+const Transformation& LurTransformation() {
+  static const Lur instance;
+  return instance;
+}
+
+}  // namespace pivot

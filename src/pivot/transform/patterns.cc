@@ -1,0 +1,89 @@
+#include "pivot/transform/patterns.h"
+
+#include <sstream>
+
+#include "pivot/ir/printer.h"
+
+namespace pivot {
+
+PatternRow DescribePatterns(TransformKind kind) {
+  PatternRow row;
+  row.transform = TransformKindName(kind);
+  switch (kind) {
+    case TransformKind::kDce:
+      row.pre_pattern = "Stmt S_i /* dead code */";
+      row.primitive_actions = "Delete(S_i)";
+      row.post_pattern = "Del_stmt S_i; ptr orig_loc";
+      break;
+    case TransformKind::kCse:
+      row.pre_pattern = "S_i: A = B op C;  S_j: D = B op C";
+      row.primitive_actions = "Modify(exp(S_j, B op C), A)";
+      row.post_pattern = "S_j: D = A";
+      break;
+    case TransformKind::kCtp:
+      row.pre_pattern = "S_i: type(opr_2) == const;  S_j: opr(pos) == S_i.opr_2";
+      row.primitive_actions = "Modify(opr(S_j, pos), S_i.opr_2)";
+      row.post_pattern = "S_j: opr(pos) = S_i.opr_2";
+      break;
+    case TransformKind::kCpp:
+      row.pre_pattern = "S_i: x = y;  S_j: ... x ...";
+      row.primitive_actions = "Modify(opr(S_j, pos), y)";
+      row.post_pattern = "S_j: ... y ...";
+      break;
+    case TransformKind::kCfo:
+      row.pre_pattern = "exp: const op const";
+      row.primitive_actions = "Modify(exp, fold(exp))";
+      row.post_pattern = "the folded constant";
+      break;
+    case TransformKind::kIcm:
+      row.pre_pattern = "Loop L_1; Stmt S_i /* invariant */";
+      row.primitive_actions = "Move(S_i, L_1.prev)";
+      row.post_pattern = "Stmt S_i; ptr orig_location";
+      break;
+    case TransformKind::kLur:
+      row.pre_pattern = "Loop L_1 (const bounds, even trip)";
+      row.primitive_actions =
+          "Copy(s_k, body.end)*; Modify(v, v+1)*; Modify(L_1.step, 2)";
+      row.post_pattern = "doubled body, step 2";
+      break;
+    case TransformKind::kSmi:
+      row.pre_pattern = "Loop L_1 (const bounds, trip % S == 0)";
+      row.primitive_actions =
+          "Add(L_s, L_1.prev); Move(L_1, L_s); Modify(L_1.header, strip)";
+      row.post_pattern = "Loops (L_s, L_1)";
+      break;
+    case TransformKind::kFus:
+      row.pre_pattern = "Adjacent Loops (L_1, L_2), same control";
+      row.primitive_actions = "Move(s, L_1.body.end)*; Delete(L_2)";
+      row.post_pattern = "L_1 with both bodies; Del_stmt L_2";
+      break;
+    case TransformKind::kInx:
+      row.pre_pattern = "Tight Loops (L_1, L_2)";
+      row.primitive_actions =
+          "Copy(L_1, L_tmp); Modify(L_1, L_2); Modify(L_2, L_tmp)";
+      row.post_pattern = "Tight Loops (L_2, L_1)";
+      break;
+  }
+  return row;
+}
+
+PatternRow DescribeRecord(const Program& program, const Journal& journal,
+                          const TransformRecord& rec) {
+  PatternRow row;
+  row.transform = TransformKindName(rec.kind);
+  row.pre_pattern = rec.site.Describe(program);
+
+  std::ostringstream actions;
+  for (std::size_t i = 0; i < rec.actions.size(); ++i) {
+    if (i != 0) actions << "; ";
+    actions << journal.record(rec.actions[i]).ToString();
+  }
+  row.primitive_actions = actions.str();
+
+  std::ostringstream post;
+  post << (rec.undone ? "(undone)" : rec.summary);
+  row.post_pattern = post.str();
+  return row;
+}
+
+}  // namespace pivot

@@ -1,0 +1,33 @@
+// Table-2 pattern descriptions.
+//
+// The paper stores, per transformation, a pre_pattern, the primitive
+// action sequence and a post_pattern. DescribePatterns renders the generic
+// schema row (the literal content of Table 2); DescribeRecord instantiates
+// it for one applied transformation from its journal actions, which is what
+// the bench_table2 binary regenerates.
+#ifndef PIVOT_TRANSFORM_PATTERNS_H_
+#define PIVOT_TRANSFORM_PATTERNS_H_
+
+#include <string>
+
+#include "pivot/transform/transform.h"
+
+namespace pivot {
+
+struct PatternRow {
+  std::string transform;
+  std::string pre_pattern;
+  std::string primitive_actions;
+  std::string post_pattern;
+};
+
+// The schema for a transformation kind (Table 2 generalized to all ten).
+PatternRow DescribePatterns(TransformKind kind);
+
+// The concrete patterns of one applied transformation.
+PatternRow DescribeRecord(const Program& program, const Journal& journal,
+                          const TransformRecord& rec);
+
+}  // namespace pivot
+
+#endif  // PIVOT_TRANSFORM_PATTERNS_H_

@@ -1,0 +1,162 @@
+// Strip mining (strip size 2).
+//
+// pre_pattern   do v = lo, hi (constant bounds, step 1, trip divisible by
+//               the strip size), with a fresh name v_s available
+// actions       Add(do v_s = lo, hi, S  — empty — at L.prev);
+//               Move(L, into the new loop);
+//               Modify(L.header, v = v_s, v_s + (S-1), 1)
+// post_pattern  the two-deep strip nest
+//
+// Strip mining is pure iteration re-bracketing: the same iterations run in
+// the same order, so it is semantics-preserving whenever the structure
+// matches.
+#include "pivot/ir/printer.h"
+#include "pivot/support/diagnostics.h"
+#include "pivot/transform/all_transforms.h"
+
+namespace pivot {
+namespace {
+
+constexpr long kStrip = 2;
+
+std::string StripVarFor(const Stmt& loop) { return loop.loop_var + "_s"; }
+
+bool NameUsedAnywhere(Program& p, const std::string& name) {
+  bool used = false;
+  p.ForEachAttached([&](const Stmt& s) {
+    if (DefinedName(s) == name) used = true;
+    if (s.kind == StmtKind::kDo && s.loop_var == name) used = true;
+    std::vector<std::string> reads;
+    CollectReadNames(s, reads);
+    for (const auto& r : reads) {
+      if (r == name) used = true;
+    }
+  });
+  return used;
+}
+
+bool LoopApplicable(Program& p, const LoopInfo& info) {
+  if (!info.const_bounds || info.step != 1) return false;
+  const long trip = info.TripCount();
+  if (trip < 2 * kStrip || trip % kStrip != 0) return false;
+  return !NameUsedAnywhere(p, StripVarFor(*info.loop));
+}
+
+class Smi final : public Transformation {
+ public:
+  TransformKind kind() const override { return TransformKind::kSmi; }
+
+  std::vector<Opportunity> Find(AnalysisCache& a) const override {
+    std::vector<Opportunity> ops;
+    for (const LoopInfo& info : a.loops().loops()) {
+      if (!LoopApplicable(a.program(), info)) continue;
+      Opportunity op;
+      op.kind = kind();
+      op.s1 = info.loop->id;
+      op.value = kStrip;
+      ops.push_back(op);
+    }
+    return ops;
+  }
+
+  bool Applicable(AnalysisCache& a, const Opportunity& op) const override {
+    Stmt* loop = a.program().FindStmt(op.s1);
+    if (loop == nullptr || !loop->attached || loop->kind != StmtKind::kDo) {
+      return false;
+    }
+    const LoopInfo* info = a.loops().InfoOf(*loop);
+    return info != nullptr && LoopApplicable(a.program(), *info);
+  }
+
+  void Apply(AnalysisCache& a, Journal& journal, const Opportunity& op,
+             TransformRecord& rec) const override {
+    Program& p = a.program();
+    Stmt& loop = p.GetStmt(op.s1);
+    const std::string vs = StripVarFor(loop);
+    rec.summary = "SMI: strip-mine " + StmtHeadToString(loop) + " by " +
+                  std::to_string(kStrip);
+    rec.aux_longs.push_back(kStrip);
+
+    // Add the empty strip loop just before L.
+    Stmt* strip_loop = nullptr;
+    rec.actions.push_back(journal.Add(
+        MakeDo(vs, CloneExpr(*loop.lo), CloneExpr(*loop.hi),
+               MakeIntConst(kStrip)),
+        loop.parent, loop.parent_body, p.IndexOf(loop), rec.stamp,
+        "strip-mining outer loop", &strip_loop));
+    rec.aux_stmts.push_back(strip_loop->id);
+
+    // Move L inside it.
+    rec.actions.push_back(
+        journal.Move(loop, strip_loop, BodyKind::kMain, 0, rec.stamp));
+
+    // Rewrite L's header: v runs over the strip.
+    rec.actions.push_back(journal.ModifyHeader(
+        loop, loop.loop_var, MakeVarRef(vs),
+        MakeBinary(BinOp::kAdd, MakeVarRef(vs), MakeIntConst(kStrip - 1)),
+        nullptr, rec.stamp));
+  }
+
+  bool CheckSafety(AnalysisCache& a, const Journal& journal,
+                   const TransformRecord& rec) const override {
+    Program& p = a.program();
+    Stmt* inner = p.FindStmt(rec.site.s1);
+    Stmt* outer = p.FindStmt(rec.aux_stmts.at(0));
+    if (inner == nullptr || outer == nullptr) return false;
+    const std::vector<StmtId> sites{rec.site.s1, rec.aux_stmts.at(0)};
+    // Structure: outer strip loop directly containing only the inner loop,
+    // whose bounds still cover exactly the strip. A later live
+    // transformation rebuilding the nest defers the question to it.
+    if (!inner->attached || !outer->attached ||
+        outer->kind != StmtKind::kDo || inner->kind != StmtKind::kDo ||
+        inner->parent != outer || outer->body.size() != 1) {
+      return LaterLiveTransformTouched(journal, rec, sites);
+    }
+    // Header shape: a mismatch rebuilt by a later live transformation
+    // (e.g. a further interchange of the strip pair) defers to it; a
+    // mismatch from an edit or a reversal is a genuine violation.
+    const LoopInfo* outer_info = a.loops().InfoOf(*outer);
+    bool headers_ok = outer_info != nullptr && outer_info->const_bounds &&
+                      outer_info->step == kStrip;
+    if (headers_ok) {
+      const long span = outer_info->hi - outer_info->lo + 1;
+      headers_ok = span % kStrip == 0 &&
+                   inner->lo->kind == ExprKind::kVarRef &&
+                   inner->lo->name == outer->loop_var;
+    }
+    if (headers_ok) {
+      const AffineForm hi = ExtractAffine(*inner->hi);
+      headers_ok = hi.ok && hi.konst == kStrip - 1 &&
+                   hi.coeff ==
+                       std::map<std::string, long>{{outer->loop_var, 1}};
+    }
+    if (headers_ok && inner->step != nullptr) {
+      headers_ok = inner->step->kind == ExprKind::kIntConst &&
+                   inner->step->ival == 1;
+    }
+    if (!headers_ok) return LaterLiveTransformTouched(journal, rec, sites);
+    // The strip variable must not be touched by anything else — except by
+    // statements a later live transformation created (a LUR clone of the
+    // strip nest re-binds the variable legitimately).
+    bool clean = true;
+    p.ForEachAttached([&](const Stmt& s) {
+      if (!clean || &s == outer) return;
+      const bool touches =
+          DefinedName(s) == outer->loop_var ||
+          (s.kind == StmtKind::kDo && s.loop_var == outer->loop_var);
+      if (touches && !CreatedByLaterLiveTransform(journal, rec, s)) {
+        clean = false;
+      }
+    });
+    return clean;
+  }
+};
+
+}  // namespace
+
+const Transformation& SmiTransformation() {
+  static const Smi instance;
+  return instance;
+}
+
+}  // namespace pivot

@@ -1,0 +1,207 @@
+#include "pivot/transform/spec.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "pivot/support/diagnostics.h"
+
+namespace pivot {
+namespace {
+
+ActionStep One(ActionKind kind, bool header = false) {
+  return {kind, ActionStep::Arity::kOne, header};
+}
+ActionStep Some(ActionKind kind, bool header = false) {
+  return {kind, ActionStep::Arity::kOneOrMore, header};
+}
+ActionStep Any(ActionKind kind, bool header = false) {
+  return {kind, ActionStep::Arity::kZeroOrMore, header};
+}
+
+TransformSpec MakeSpec(TransformKind transform,
+                       std::vector<ActionStep> steps) {
+  TransformSpec spec;
+  spec.transform = transform;
+  spec.steps = std::move(steps);
+  spec.reversibility_disablers = GenericDisablers(spec.steps);
+  return spec;
+}
+
+}  // namespace
+
+std::vector<ActionKind> GenericDisablers(
+    const std::vector<ActionStep>& steps) {
+  std::vector<ActionKind> disablers;
+  auto add = [&disablers](std::initializer_list<ActionKind> kinds) {
+    for (ActionKind k : kinds) {
+      if (std::find(disablers.begin(), disablers.end(), k) ==
+          disablers.end()) {
+        disablers.push_back(k);
+      }
+    }
+  };
+  for (const ActionStep& step : steps) {
+    switch (step.kind) {
+      case ActionKind::kDelete:
+        // Inverse is Add(orig_location): disabled when the location's
+        // context is deleted or duplicated (Table 3's DCE row).
+        add({ActionKind::kDelete, ActionKind::kCopy});
+        break;
+      case ActionKind::kMove:
+        // Inverse Move(orig_location): also disabled by a later re-move.
+        add({ActionKind::kDelete, ActionKind::kCopy, ActionKind::kMove});
+        break;
+      case ActionKind::kCopy:
+      case ActionKind::kAdd:
+        // Inverse Delete(created stmt): disabled by anything that touches
+        // or removes the created statement.
+        add({ActionKind::kDelete, ActionKind::kCopy, ActionKind::kMove,
+             ActionKind::kAdd, ActionKind::kModify});
+        break;
+      case ActionKind::kModify:
+        // Inverse Modify(back): disabled when the node is replaced again,
+        // its statement deleted, or its context duplicated.
+        add({ActionKind::kModify, ActionKind::kDelete, ActionKind::kCopy});
+        break;
+    }
+  }
+  std::sort(disablers.begin(), disablers.end(),
+            [](ActionKind a, ActionKind b) {
+              return static_cast<int>(a) < static_cast<int>(b);
+            });
+  return disablers;
+}
+
+const TransformSpec& SpecOf(TransformKind kind) {
+  static const std::vector<TransformSpec> specs = [] {
+    using AK = ActionKind;
+    std::vector<TransformSpec> all(kNumTransformKinds);
+    all[TransformKindIndex(TransformKind::kDce)] =
+        MakeSpec(TransformKind::kDce, {One(AK::kDelete)});
+    all[TransformKindIndex(TransformKind::kCse)] =
+        MakeSpec(TransformKind::kCse, {One(AK::kModify)});
+    all[TransformKindIndex(TransformKind::kCtp)] =
+        MakeSpec(TransformKind::kCtp, {One(AK::kModify)});
+    all[TransformKindIndex(TransformKind::kCpp)] =
+        MakeSpec(TransformKind::kCpp, {One(AK::kModify)});
+    all[TransformKindIndex(TransformKind::kCfo)] =
+        MakeSpec(TransformKind::kCfo, {One(AK::kModify)});
+    all[TransformKindIndex(TransformKind::kIcm)] =
+        MakeSpec(TransformKind::kIcm, {One(AK::kMove)});
+    // LUR: copy every body statement, rewrite the induction uses in the
+    // copies, step the header.
+    all[TransformKindIndex(TransformKind::kLur)] =
+        MakeSpec(TransformKind::kLur,
+                 {Some(AK::kCopy), Any(AK::kModify),
+                  One(AK::kModify, /*header=*/true)});
+    // SMI: add the strip loop, move the original inside, rewrite its
+    // header over the strip.
+    all[TransformKindIndex(TransformKind::kSmi)] =
+        MakeSpec(TransformKind::kSmi,
+                 {One(AK::kAdd), One(AK::kMove),
+                  One(AK::kModify, /*header=*/true)});
+    // FUS: move the second body over, delete the empty loop.
+    all[TransformKindIndex(TransformKind::kFus)] =
+        MakeSpec(TransformKind::kFus,
+                 {Some(AK::kMove), One(AK::kDelete)});
+    // INX: the paper's Copy(L1, Ltmp); Modify(L1, L2); Modify(L2, Ltmp) —
+    // the temporary lives inside the first header-Modify's record here,
+    // leaving the two header swaps.
+    all[TransformKindIndex(TransformKind::kInx)] =
+        MakeSpec(TransformKind::kInx,
+                 {One(AK::kModify, true), One(AK::kModify, true)});
+    return all;
+  }();
+  return specs[static_cast<std::size_t>(TransformKindIndex(kind))];
+}
+
+std::string TransformSpec::ToString() const {
+  std::ostringstream os;
+  os << TransformKindName(transform) << ": ";
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    if (i != 0) os << "; ";
+    os << ActionKindToString(steps[i].kind);
+    if (steps[i].header) os << "(header)";
+    switch (steps[i].arity) {
+      case ActionStep::Arity::kOne: break;
+      case ActionStep::Arity::kZeroOrMore: os << "*"; break;
+      case ActionStep::Arity::kOneOrMore: os << "+"; break;
+    }
+  }
+  os << "  [disabled by:";
+  for (ActionKind k : reversibility_disablers) {
+    os << ' ' << ActionKindShorthand(k);
+  }
+  os << "]";
+  return os.str();
+}
+
+namespace {
+
+bool StepMatches(const ActionStep& step, const ActionRecord& action) {
+  if (action.kind != step.kind) return false;
+  if (action.kind == ActionKind::kModify) {
+    return action.IsHeaderModify() == step.header;
+  }
+  return true;
+}
+
+// Backtracking matcher of the recorded action kinds against the skeleton.
+bool Match(const std::vector<const ActionRecord*>& actions,
+           const std::vector<ActionStep>& steps, std::size_t ai,
+           std::size_t si) {
+  if (si == steps.size()) return ai == actions.size();
+  const ActionStep& step = steps[si];
+  switch (step.arity) {
+    case ActionStep::Arity::kOne:
+      return ai < actions.size() && StepMatches(step, *actions[ai]) &&
+             Match(actions, steps, ai + 1, si + 1);
+    case ActionStep::Arity::kZeroOrMore: {
+      // Try consuming as many as possible, backtracking down to zero.
+      std::size_t end = ai;
+      while (end < actions.size() && StepMatches(step, *actions[end])) {
+        ++end;
+      }
+      for (std::size_t stop = end + 1; stop-- > ai;) {
+        if (Match(actions, steps, stop, si + 1)) return true;
+      }
+      return false;
+    }
+    case ActionStep::Arity::kOneOrMore: {
+      std::size_t end = ai;
+      while (end < actions.size() && StepMatches(step, *actions[end])) {
+        ++end;
+      }
+      for (std::size_t stop = end + 1; stop-- > ai + 1;) {
+        if (Match(actions, steps, stop, si + 1)) return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string ValidateRecord(const Journal& journal,
+                           const TransformRecord& rec) {
+  if (rec.is_edit) return "";  // edits have no skeleton
+  const TransformSpec& spec = SpecOf(rec.kind);
+  std::vector<const ActionRecord*> actions;
+  actions.reserve(rec.actions.size());
+  for (ActionId id : rec.actions) actions.push_back(&journal.record(id));
+  if (Match(actions, spec.steps, 0, 0)) return "";
+
+  std::ostringstream os;
+  os << "recorded actions of t" << rec.stamp << " (";
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << ActionKindToString(actions[i]->kind);
+    if (actions[i]->IsHeaderModify()) os << "(header)";
+  }
+  os << ") do not match the " << TransformKindName(rec.kind)
+     << " specification: " << spec.ToString();
+  return os.str();
+}
+
+}  // namespace pivot

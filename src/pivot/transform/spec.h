@@ -1,0 +1,68 @@
+// Transformation specifications (the paper's §6 future-work direction).
+//
+// The paper proposes "to automatically generate code for the detection of
+// the disabling actions of the safety and reversibility conditions of
+// transformations from the transformation specifications" — the approach
+// of Whitfield & Soffa's transformation generator [21]. This module is
+// that direction realized for the action level:
+//
+//   * each transformation declares a *specification*: the shape of its
+//     primitive-action sequence (which action kinds, in what multiplicity)
+//     and which action kinds can disable its reversibility;
+//   * `ValidateRecord` checks an applied transformation's journal entry
+//     against its spec (the generator's well-formedness obligation);
+//   * `GenericDisablers` derives, from the spec alone, the set of action
+//     kinds whose later application may invalidate the post-pattern —
+//     matching the hand-written Table-3 analysis, which the tests verify
+//     per transformation.
+#ifndef PIVOT_TRANSFORM_SPEC_H_
+#define PIVOT_TRANSFORM_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "pivot/actions/journal.h"
+#include "pivot/transform/transform.h"
+
+namespace pivot {
+
+// One step of a transformation's action skeleton.
+struct ActionStep {
+  ActionKind kind = ActionKind::kDelete;
+  // How often the step may occur in an application.
+  enum class Arity { kOne, kZeroOrMore, kOneOrMore };
+  Arity arity = Arity::kOne;
+  // For kModify: whether the step is the loop-header variant.
+  bool header = false;
+};
+
+struct TransformSpec {
+  TransformKind transform = TransformKind::kDce;
+  // The action skeleton, in application order.
+  std::vector<ActionStep> steps;
+  // Action kinds that, performed later by another transformation, can
+  // disable this transformation's reversibility (derived mechanically:
+  // Delete/Move need their location context — disabled by Delete/Copy of
+  // context; Modify needs its node — disabled by Modify/Delete/Copy; ...).
+  std::vector<ActionKind> reversibility_disablers;
+
+  std::string ToString() const;
+};
+
+// The specification of each of the ten transformations.
+const TransformSpec& SpecOf(TransformKind kind);
+
+// Derives the reversibility-disabling action kinds from the skeleton
+// alone. SpecOf()'s stored `reversibility_disablers` equal this (checked
+// by tests): the hand analysis of Table 3 is reproduced mechanically.
+std::vector<ActionKind> GenericDisablers(
+    const std::vector<ActionStep>& steps);
+
+// Does the record's recorded action sequence match its spec's skeleton?
+// Returns an empty string on success, else a diagnostic.
+std::string ValidateRecord(const Journal& journal,
+                           const TransformRecord& rec);
+
+}  // namespace pivot
+
+#endif  // PIVOT_TRANSFORM_SPEC_H_

@@ -1,0 +1,263 @@
+#include "pivot/transform/transform.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "pivot/ir/printer.h"
+#include "pivot/support/diagnostics.h"
+
+namespace pivot {
+
+const char* TransformKindName(TransformKind kind) {
+  switch (kind) {
+    case TransformKind::kDce: return "DCE";
+    case TransformKind::kCse: return "CSE";
+    case TransformKind::kCtp: return "CTP";
+    case TransformKind::kCpp: return "CPP";
+    case TransformKind::kCfo: return "CFO";
+    case TransformKind::kIcm: return "ICM";
+    case TransformKind::kLur: return "LUR";
+    case TransformKind::kSmi: return "SMI";
+    case TransformKind::kFus: return "FUS";
+    case TransformKind::kInx: return "INX";
+  }
+  return "?";
+}
+
+TransformKind TransformKindFromIndex(int index) {
+  PIVOT_CHECK(index >= 0 && index < kNumTransformKinds);
+  return static_cast<TransformKind>(index);
+}
+
+int TransformKindIndex(TransformKind kind) {
+  return static_cast<int>(kind);
+}
+
+std::string Opportunity::Describe(const Program& program) const {
+  std::ostringstream os;
+  os << TransformKindName(kind);
+  auto stmt_text = [&program](StmtId id) -> std::string {
+    const Stmt* stmt = program.FindStmt(id);
+    return stmt == nullptr ? "?" : StmtHeadToString(*stmt);
+  };
+  switch (kind) {
+    case TransformKind::kDce:
+      os << " [" << stmt_text(s1) << "]";
+      break;
+    case TransformKind::kCse:
+    case TransformKind::kCtp:
+    case TransformKind::kCpp:
+      os << " [" << stmt_text(s1) << "  ->  " << stmt_text(s2) << "]";
+      break;
+    case TransformKind::kCfo: {
+      const Expr* e = program.FindExpr(expr);
+      os << " [" << (e != nullptr ? ExprToString(*e) : "?") << "]";
+      break;
+    }
+    case TransformKind::kIcm:
+      os << " [" << stmt_text(s1) << " out of " << stmt_text(s2) << "]";
+      break;
+    case TransformKind::kLur:
+      os << " [" << stmt_text(s1) << " by " << value << "]";
+      break;
+    case TransformKind::kSmi:
+      os << " [" << stmt_text(s1) << " strip " << value << "]";
+      break;
+    case TransformKind::kFus:
+      os << " [" << stmt_text(s1) << " + " << stmt_text(s2) << "]";
+      break;
+    case TransformKind::kInx:
+      os << " [" << stmt_text(s1) << " x " << stmt_text(s2) << "]";
+      break;
+  }
+  return os.str();
+}
+
+bool operator==(const Opportunity& a, const Opportunity& b) {
+  return a.kind == b.kind && a.s1 == b.s1 && a.s2 == b.s2 &&
+         a.expr == b.expr && a.var == b.var && a.value == b.value;
+}
+
+Reversibility Transformation::ActionsReversible(
+    const Journal& journal, const TransformRecord& rec) const {
+  // Inversion proceeds in reverse order; each live action must be
+  // immediately invertible with respect to *other* transformations
+  // (same-stamp interference is resolved by the reverse order itself).
+  for (auto it = rec.actions.rbegin(); it != rec.actions.rend(); ++it) {
+    const ActionRecord& action = journal.record(*it);
+    if (action.undone) continue;
+    const InvertCheck check = journal.CanInvert(*it);
+    if (!check.ok) {
+      const OrderStamp affecting =
+          check.blocker != nullptr ? check.blocker->stamp : kNoStamp;
+      return Reversibility::BlockedBy(affecting, check.reason);
+    }
+  }
+  return Reversibility::Yes();
+}
+
+Reversibility Transformation::CheckReversibility(
+    AnalysisCache& a, const Journal& journal,
+    const TransformRecord& rec) const {
+  (void)a;
+  return ActionsReversible(journal, rec);
+}
+
+std::vector<Expr*> ScalarReadSites(Stmt& stmt) {
+  std::vector<Expr*> sites;
+  auto scan = [&sites](Expr& root) {
+    ForEachExpr(root, [&sites](Expr& e) {
+      if (e.kind == ExprKind::kVarRef) sites.push_back(&e);
+    });
+  };
+  if (stmt.lhs != nullptr) {
+    for (auto& sub : stmt.lhs->kids) scan(*sub);
+  }
+  for (ExprPtr* slot : {&stmt.rhs, &stmt.lo, &stmt.hi, &stmt.step,
+                        &stmt.cond}) {
+    if (*slot != nullptr) scan(**slot);
+  }
+  return sites;
+}
+
+double EvalConstExpr(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kIntConst:
+      return static_cast<double>(e.ival);
+    case ExprKind::kRealConst:
+      return e.rval;
+    case ExprKind::kUnary: {
+      const double v = EvalConstExpr(*e.kids[0]);
+      return e.un == UnOp::kNeg ? -v : (v == 0.0 ? 1.0 : 0.0);
+    }
+    case ExprKind::kBinary: {
+      const double a = EvalConstExpr(*e.kids[0]);
+      const double b = EvalConstExpr(*e.kids[1]);
+      switch (e.bin) {
+        case BinOp::kAdd: return a + b;
+        case BinOp::kSub: return a - b;
+        case BinOp::kMul: return a * b;
+        case BinOp::kDiv:
+          PIVOT_CHECK_MSG(b != 0.0, "constant division by zero");
+          return a / b;
+        case BinOp::kMod:
+          PIVOT_CHECK_MSG(b != 0.0, "constant modulo by zero");
+          return std::fmod(a, b);
+        case BinOp::kLt: return a < b ? 1.0 : 0.0;
+        case BinOp::kLe: return a <= b ? 1.0 : 0.0;
+        case BinOp::kGt: return a > b ? 1.0 : 0.0;
+        case BinOp::kGe: return a >= b ? 1.0 : 0.0;
+        case BinOp::kEq: return a == b ? 1.0 : 0.0;
+        case BinOp::kNe: return a != b ? 1.0 : 0.0;
+        case BinOp::kAnd: return (a != 0.0 && b != 0.0) ? 1.0 : 0.0;
+        case BinOp::kOr: return (a != 0.0 || b != 0.0) ? 1.0 : 0.0;
+      }
+      PIVOT_UNREACHABLE("binary operator");
+    }
+    default:
+      PIVOT_UNREACHABLE("not a constant expression");
+  }
+}
+
+ExprPtr MakeConstForValue(double value) {
+  if (value == std::floor(value) && std::abs(value) < 1e15) {
+    return MakeIntConst(static_cast<long>(value));
+  }
+  return MakeRealConst(value);
+}
+
+double ConstValue(const Expr& e) {
+  PIVOT_CHECK(IsConst(e));
+  return e.kind == ExprKind::kIntConst ? static_cast<double>(e.ival) : e.rval;
+}
+
+bool LiveAtLocation(AnalysisCache& a, const ResolvedLocation& loc,
+                    const std::string& name) {
+  Program& program = a.program();
+  const std::vector<StmtPtr>& list =
+      program.BodyListOf(loc.parent, loc.body);
+  if (loc.index < list.size()) {
+    return a.liveness().LiveIn(*list[loc.index], name);
+  }
+  if (loc.parent == nullptr) return false;  // end of the program
+  if (loc.parent->kind == StmtKind::kDo) {
+    // End of a loop body: control flows back to the do node.
+    return a.liveness().LiveIn(*loc.parent, name);
+  }
+  // End of an if branch: whatever is live after the if.
+  return a.liveness().LiveOut(*loc.parent, name);
+}
+
+bool ConsumedByLiveTransformation(const Journal& journal, const Stmt& stmt) {
+  if (stmt.attached) return false;
+  const ActionRecord* holder = journal.FindDetachedHolder(stmt.id);
+  return holder != nullptr && !journal.IsEditStamp(holder->stamp);
+}
+
+bool LaterLiveTransformTouched(const Journal& journal,
+                               const TransformRecord& rec,
+                               const std::vector<StmtId>& sites) {
+  const Program& program = journal.program();
+  std::vector<const Stmt*> site_stmts;
+  for (StmtId id : sites) {
+    const Stmt* stmt = program.FindStmt(id);
+    if (stmt != nullptr) site_stmts.push_back(stmt);
+  }
+  for (const ActionRecord& action : journal.records()) {
+    if (action.undone || action.stamp <= rec.stamp) continue;
+    if (journal.IsEditStamp(action.stamp)) continue;
+    const StmtId target_id =
+        action.kind == ActionKind::kCopy ? action.copy
+        : action.kind == ActionKind::kModify && action.saved_header == nullptr
+            ? action.expr_owner
+            : action.stmt;
+    const Stmt* target = program.FindStmt(target_id);
+    if (target == nullptr) continue;
+    for (const Stmt* site : site_stmts) {
+      if (IsAncestorOf(*site, *target) || IsAncestorOf(*target, *site)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool CreatedByLaterLiveTransform(const Journal& journal,
+                                 const TransformRecord& rec,
+                                 const Stmt& stmt) {
+  for (const ActionRecord& action : journal.records()) {
+    if (action.undone || action.stamp <= rec.stamp) continue;
+    if (journal.IsEditStamp(action.stamp)) continue;
+    StmtId created;
+    if (action.kind == ActionKind::kCopy) {
+      created = action.copy;
+    } else if (action.kind == ActionKind::kAdd) {
+      created = action.stmt;
+    } else {
+      continue;
+    }
+    const Stmt* root = journal.program().FindStmt(created);
+    if (root != nullptr && root->attached && IsAncestorOf(*root, stmt)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CanFoldSafely(const Expr& e) {
+  if (!IsConstExpr(e) || IsConst(e)) return false;
+  // Reject divisions/modulos whose divisor folds to zero anywhere inside.
+  bool safe = true;
+  ForEachExpr(e, [&safe](const Expr& node) {
+    if (node.kind == ExprKind::kBinary &&
+        (node.bin == BinOp::kDiv || node.bin == BinOp::kMod)) {
+      if (!IsConstExpr(*node.kids[1]) ||
+          EvalConstExpr(*node.kids[1]) == 0.0) {
+        safe = false;
+      }
+    }
+  });
+  return safe;
+}
+
+}  // namespace pivot

@@ -1,0 +1,181 @@
+// Transformation framework: opportunities, records, pre/post conditions.
+//
+// Each of the ten transformations (Table 4) is a stateless strategy object
+// implementing:
+//   * Find        — scan for pre_pattern matches (pre-conditions, Table 2);
+//   * Applicable  — re-check the pre-condition at one site (this doubles as
+//                   the *safety* condition of §4.2(1): a transformation
+//                   stays safe exactly while its pre-condition, evaluated
+//                   against the current program, still holds);
+//   * Apply       — perform the transformation through the journal's
+//                   primitive actions under the transformation's stamp;
+//   * CheckReversibility — validate the post_pattern (§4.2(2)); when it is
+//                   invalidated, name the affecting transformation;
+//   * CheckSafety — decide whether the *applied* transformation still
+//                   preserves program semantics.
+#ifndef PIVOT_TRANSFORM_TRANSFORM_H_
+#define PIVOT_TRANSFORM_TRANSFORM_H_
+
+#include <string>
+#include <vector>
+
+#include "pivot/actions/journal.h"
+#include "pivot/analysis/analyses.h"
+
+namespace pivot {
+
+// Order matches the rows/columns of the paper's Table 4.
+enum class TransformKind {
+  kDce,  // dead code elimination
+  kCse,  // common subexpression elimination
+  kCtp,  // constant propagation
+  kCpp,  // copy propagation
+  kCfo,  // constant folding
+  kIcm,  // invariant code motion
+  kLur,  // loop unrolling
+  kSmi,  // strip mining
+  kFus,  // loop fusion
+  kInx,  // loop interchange
+};
+inline constexpr int kNumTransformKinds = 10;
+
+const char* TransformKindName(TransformKind kind);  // "DCE", "CSE", ...
+TransformKind TransformKindFromIndex(int index);
+int TransformKindIndex(TransformKind kind);
+
+// A matched pre_pattern: where a transformation can be (or was) applied.
+struct Opportunity {
+  TransformKind kind = TransformKind::kDce;
+  StmtId s1;          // primary statement (DCE: dead stmt; CSE/CTP/CPP:
+                      // source S_i; ICM: invariant stmt; loops: the loop)
+  StmtId s2;          // secondary (CSE/CTP/CPP: target S_j; ICM: the loop;
+                      // FUS: second loop; INX: inner loop)
+  ExprId expr;        // target expression site (CTP/CPP use; CSE rhs; CFO)
+  std::string var;    // variable involved (CTP/CPP/ICM target)
+  long value = 0;     // LUR factor / SMI strip size
+
+  std::string Describe(const Program& program) const;
+  friend bool operator==(const Opportunity& a, const Opportunity& b);
+};
+
+// One applied transformation: the paper's history entry.
+struct TransformRecord {
+  OrderStamp stamp = kNoStamp;
+  TransformKind kind = TransformKind::kDce;
+  bool undone = false;
+  bool is_edit = false;  // pseudo-record for user edits (never undoable)
+
+  Opportunity site;               // the matched pre_pattern
+  std::vector<ActionId> actions;  // primitive actions, application order
+
+  // Post-pattern payload captured at apply time (kind-specific).
+  std::vector<StmtId> aux_stmts;
+  std::vector<long> aux_longs;
+
+  std::string summary;  // "CSE: s6.rhs := D (was E + F)" — for traces
+};
+
+// Outcome of the post-pattern check.
+struct Reversibility {
+  bool ok = false;
+  OrderStamp affecting = kNoStamp;  // transformation to undo first
+  std::string condition;            // which disabling condition fired
+
+  static Reversibility Yes() { return {true, kNoStamp, {}}; }
+  static Reversibility BlockedBy(OrderStamp stamp, std::string condition) {
+    return {false, stamp, std::move(condition)};
+  }
+};
+
+class Transformation {
+ public:
+  virtual ~Transformation() = default;
+
+  virtual TransformKind kind() const = 0;
+  const char* name() const { return TransformKindName(kind()); }
+
+  // All pre_pattern matches in the current program, deterministic order.
+  virtual std::vector<Opportunity> Find(AnalysisCache& a) const = 0;
+
+  // Pre-condition holds at this specific site right now.
+  virtual bool Applicable(AnalysisCache& a, const Opportunity& op) const = 0;
+
+  // Applies at `op` (caller guarantees Applicable) issuing primitive
+  // actions stamped `rec.stamp`; fills the record's actions/post-pattern.
+  virtual void Apply(AnalysisCache& a, Journal& journal,
+                     const Opportunity& op, TransformRecord& rec) const = 0;
+
+  // Post-pattern validation (§4.2(2)). The default asks the journal
+  // whether every live action of the record is invertible; subclasses add
+  // structural post-pattern checks (e.g. INX's "Tight Loops (L2, L1)").
+  virtual Reversibility CheckReversibility(AnalysisCache& a,
+                                           const Journal& journal,
+                                           const TransformRecord& rec) const;
+
+  // Safety (§4.2(1)): with the transformation applied, does it still
+  // preserve the meaning of the program?
+  virtual bool CheckSafety(AnalysisCache& a, const Journal& journal,
+                           const TransformRecord& rec) const = 0;
+
+ protected:
+  // Shared default: reversibility of all live actions, latest blocker wins.
+  Reversibility ActionsReversible(const Journal& journal,
+                                  const TransformRecord& rec) const;
+};
+
+// --- shared helpers used by several transformations ---
+
+// All scalar-variable read sites (VarRef nodes in read position) of `stmt`,
+// pre-order. Read positions: rhs, lhs subscripts, loop bounds, condition.
+std::vector<Expr*> ScalarReadSites(Stmt& stmt);
+
+// Evaluates a constant expression with the interpreter's arithmetic.
+// Requires IsConstExpr(e) and no division/modulo by zero (checked).
+double EvalConstExpr(const Expr& e);
+
+// Builds the most precise constant literal for `value` (IntConst when the
+// value is integral, RealConst otherwise).
+ExprPtr MakeConstForValue(double value);
+
+// The numeric value of a constant literal.
+double ConstValue(const Expr& e);
+
+// Is `name` live at the program point described by `loc` (the point a
+// deleted statement would be restored to)? Drives the DCE safety check:
+// dead code stays removable exactly while its target is dead there.
+bool LiveAtLocation(AnalysisCache& a, const ResolvedLocation& loc,
+                    const std::string& name);
+
+// True when `e` is a non-trivial constant expression that folds without
+// hitting a division/modulo by zero.
+bool CanFoldSafely(const Expr& e);
+
+// A pre-pattern statement that is detached was either *consumed* by a
+// later live transformation (e.g. DCE deleting a constant definition all
+// of whose uses were propagated away — legitimate, since performing a
+// transformation never destroys an earlier one's safety) or removed by a
+// user edit / lost entirely (a genuine safety violation). Returns true in
+// the consumed case.
+bool ConsumedByLiveTransformation(const Journal& journal, const Stmt& stmt);
+
+// The structural analogue: a restructuring transformation's site (its
+// loops) no longer matches its post-shape because a *later live
+// transformation* legitimately rebuilt it (SMI wrapped the loop, LUR
+// duplicated the body, ...). True when some live, later, non-edit action
+// targets a statement inside — or containing — one of `sites`; the safety
+// question is then owned by that later transformation's own conditions.
+bool LaterLiveTransformTouched(const Journal& journal,
+                               const TransformRecord& rec,
+                               const std::vector<StmtId>& sites);
+
+// True when `stmt` lives inside a subtree *created* (copied or added) by a
+// later live, non-edit transformation — e.g. LUR's clone of a strip-mined
+// nest. Such statements are that transformation's responsibility and do
+// not violate earlier uniqueness conditions.
+bool CreatedByLaterLiveTransform(const Journal& journal,
+                                 const TransformRecord& rec,
+                                 const Stmt& stmt);
+
+}  // namespace pivot
+
+#endif  // PIVOT_TRANSFORM_TRANSFORM_H_

@@ -1,0 +1,346 @@
+#include <gtest/gtest.h>
+
+#include "pivot/actions/journal.h"
+#include "pivot/ir/parser.h"
+#include "pivot/ir/printer.h"
+#include "pivot/ir/validate.h"
+
+namespace pivot {
+namespace {
+
+// --- locations ---
+
+TEST(Location, CaptureAndResolveStable) {
+  Program p = Parse("a = 1\nb = 2\nc = 3");
+  const Location loc = CaptureLocationOf(p, *p.top()[1]);
+  auto resolved = ResolveLocation(p, loc);
+  ASSERT_TRUE(resolved.has_value());
+  EXPECT_EQ(resolved->parent, nullptr);
+  EXPECT_EQ(resolved->index, 1u);
+}
+
+TEST(Location, AnchorSurvivesUnrelatedRemoval) {
+  Program p = Parse("a = 1\nb = 2\nc = 3\nd = 4");
+  Stmt* c = p.top()[2].get();
+  const Location loc = CaptureLocationOf(p, *c);  // before=b, after=d
+  p.Detach(*c);
+  // Remove 'a': raw indices shift, but the 'before' anchor (b) holds.
+  p.Detach(*p.top()[0]);
+  auto resolved = ResolveLocation(p, loc);
+  ASSERT_TRUE(resolved.has_value());
+  EXPECT_EQ(resolved->index, 1u);  // right after b
+}
+
+TEST(Location, FallsBackToAfterAnchor) {
+  Program p = Parse("a = 1\nb = 2\nc = 3");
+  Stmt* a = p.top()[0].get();
+  const Location loc = CaptureLocationOf(p, *a);  // before=none, after=b
+  p.Detach(*a);
+  auto resolved = ResolveLocation(p, loc);
+  ASSERT_TRUE(resolved.has_value());
+  EXPECT_EQ(resolved->index, 0u);
+}
+
+TEST(Location, UnresolvableWhenParentDetached) {
+  Program p = Parse("do i = 1, 2\n  x = i\nenddo");
+  Stmt* loop = p.top()[0].get();
+  Stmt* body = loop->body[0].get();
+  const Location loc = CaptureLocationOf(p, *body);
+  p.Detach(*loop);
+  EXPECT_FALSE(ResolveLocation(p, loc).has_value());
+}
+
+// --- primitive action round trips (Table 1) ---
+
+class JournalFixture : public ::testing::Test {
+ protected:
+  void Init(const std::string& src) {
+    program_ = Parse(src);
+    journal_ = std::make_unique<Journal>(program_);
+    original_ = ToSource(program_);
+  }
+  void ExpectRestored() {
+    EXPECT_EQ(ToSource(program_), original_);
+    ExpectValid(program_);
+  }
+
+  Program program_;
+  std::unique_ptr<Journal> journal_;
+  std::string original_;
+};
+
+TEST_F(JournalFixture, DeleteThenInverseRestores) {
+  Init("a = 1\nb = 2\nc = 3");
+  Stmt* b = program_.top()[1].get();
+  const ActionId id = journal_->Delete(*b, 1);
+  EXPECT_EQ(program_.top().size(), 2u);
+  EXPECT_FALSE(b->attached);
+  EXPECT_TRUE(journal_->CanInvert(id).ok);
+  journal_->Invert(id);
+  EXPECT_TRUE(b->attached);
+  ExpectRestored();
+  EXPECT_TRUE(journal_->record(id).undone);
+}
+
+TEST_F(JournalFixture, CopyThenInverseRemovesClone) {
+  Init("a = 1\nb = 2");
+  Stmt* a = program_.top()[0].get();
+  Stmt* copy = nullptr;
+  const ActionId id =
+      journal_->Copy(*a, nullptr, BodyKind::kMain, 2, 1, &copy);
+  ASSERT_NE(copy, nullptr);
+  EXPECT_EQ(program_.top().size(), 3u);
+  EXPECT_TRUE(StmtEquals(*a, *copy));
+  EXPECT_NE(copy->id, a->id);
+  journal_->Invert(id);
+  ExpectRestored();
+}
+
+TEST_F(JournalFixture, MoveThenInverseRestores) {
+  Init("a = 1\ndo i = 1, 2\n  b = i\nenddo");
+  Stmt* a = program_.top()[0].get();
+  Stmt* loop = program_.top()[1].get();
+  const ActionId id = journal_->Move(*a, loop, BodyKind::kMain, 1, 1);
+  EXPECT_EQ(loop->body.size(), 2u);
+  EXPECT_EQ(a->parent, loop);
+  journal_->Invert(id);
+  EXPECT_EQ(a->parent, nullptr);
+  ExpectRestored();
+}
+
+TEST_F(JournalFixture, AddThenInverseRemoves) {
+  Init("a = 1");
+  Stmt* added = nullptr;
+  const ActionId id =
+      journal_->Add(MakeAssign(MakeVarRef("q"), MakeIntConst(9)), nullptr,
+                    BodyKind::kMain, 0, 1, "test add", &added);
+  ASSERT_NE(added, nullptr);
+  EXPECT_EQ(program_.top().size(), 2u);
+  journal_->Invert(id);
+  ExpectRestored();
+}
+
+TEST_F(JournalFixture, ModifyThenInverseRestores) {
+  Init("x = a + b");
+  Stmt* s = program_.top()[0].get();
+  Expr* new_root = nullptr;
+  const ActionId id =
+      journal_->Modify(*s->rhs, ParseExpr("c * 2"), 1, &new_root);
+  EXPECT_EQ(ExprToString(*s->rhs), "c * 2");
+  EXPECT_EQ(s->rhs.get(), new_root);
+  journal_->Invert(id);
+  ExpectRestored();
+}
+
+TEST_F(JournalFixture, ModifyHeaderThenInverseRestores) {
+  Init("do i = 1, 10\n  x = i\nenddo");
+  Stmt* loop = program_.top()[0].get();
+  const ActionId id = journal_->ModifyHeader(
+      *loop, "j", ParseExpr("2"), ParseExpr("20"), ParseExpr("2"), 1);
+  EXPECT_EQ(loop->loop_var, "j");
+  EXPECT_EQ(loop->lo->ival, 2);
+  ASSERT_NE(loop->step, nullptr);
+  journal_->Invert(id);
+  EXPECT_EQ(loop->loop_var, "i");
+  EXPECT_EQ(loop->step, nullptr);
+  ExpectRestored();
+}
+
+// --- annotations (Figure 2) ---
+
+TEST_F(JournalFixture, AnnotationsAddedAndRemoved) {
+  Init("a = 1\nb = a");
+  Stmt* a = program_.top()[0].get();
+  const ActionId id = journal_->Delete(*a, 3);
+  const auto& annos = journal_->annotations().OfStmt(a->id);
+  ASSERT_EQ(annos.size(), 1u);
+  EXPECT_EQ(annos[0].kind, ActionKind::kDelete);
+  EXPECT_EQ(annos[0].stamp, 3u);
+  EXPECT_EQ(annos[0].ToString(), "del_3");
+  journal_->Invert(id);
+  EXPECT_TRUE(journal_->annotations().OfStmt(a->id).empty());
+}
+
+TEST_F(JournalFixture, AnnotationsStack) {
+  Init("x = a + b");
+  Stmt* s = program_.top()[0].get();
+  Expr* first = nullptr;
+  journal_->Modify(*s->rhs->kids[0], ParseExpr("7"), 1, &first);
+  Expr* second = nullptr;
+  journal_->Modify(*s->rhs, ParseExpr("9"), 2, &second);
+  EXPECT_EQ(journal_->annotations().TopOfExpr(second->id)->stamp, 2u);
+  const std::string render =
+      journal_->annotations().Render(program_);
+  EXPECT_NE(render.find("md_1"), std::string::npos);
+  EXPECT_NE(render.find("md_2"), std::string::npos);
+}
+
+// --- reversibility blockers (§4.2(2)) ---
+
+TEST_F(JournalFixture, DeleteBlockedWhenContextDeleted) {
+  Init("do i = 1, 2\n  x = i\n  y = 2\nenddo");
+  Stmt* loop = program_.top()[0].get();
+  Stmt* x = loop->body[0].get();
+  const ActionId del_x = journal_->Delete(*x, 1);
+  const ActionId del_loop = journal_->Delete(*loop, 2);
+  const InvertCheck check = journal_->CanInvert(del_x);
+  EXPECT_FALSE(check.ok);
+  ASSERT_NE(check.blocker, nullptr);
+  EXPECT_EQ(check.blocker->id, del_loop);
+  EXPECT_EQ(check.blocker->stamp, 2u);
+  // Undo the blocker first; now the original delete inverts fine.
+  journal_->Invert(del_loop);
+  EXPECT_TRUE(journal_->CanInvert(del_x).ok);
+  journal_->Invert(del_x);
+  ExpectRestored();
+}
+
+TEST_F(JournalFixture, DeleteBlockedWhenContextCopied) {
+  // "Copy context of the location" (Table 3): the loop containing the
+  // deleted statement's original slot is duplicated.
+  Init("do i = 1, 2\n  x = i\n  y = 2\nenddo");
+  Stmt* loop = program_.top()[0].get();
+  const ActionId del_x = journal_->Delete(*loop->body[0], 1);
+  Stmt* copy = nullptr;
+  const ActionId cp = journal_->Copy(*loop, nullptr, BodyKind::kMain, 1, 2,
+                                     &copy);
+  const InvertCheck check = journal_->CanInvert(del_x);
+  EXPECT_FALSE(check.ok);
+  ASSERT_NE(check.blocker, nullptr);
+  EXPECT_EQ(check.blocker->id, cp);
+}
+
+TEST_F(JournalFixture, MoveBlockedByLaterMove) {
+  Init("a = 1\nb = 2\nc = 3");
+  Stmt* a = program_.top()[0].get();
+  const ActionId mv1 = journal_->Move(*a, nullptr, BodyKind::kMain, 2, 1);
+  const ActionId mv2 = journal_->Move(*a, nullptr, BodyKind::kMain, 0, 2);
+  const InvertCheck check = journal_->CanInvert(mv1);
+  EXPECT_FALSE(check.ok);
+  ASSERT_NE(check.blocker, nullptr);
+  EXPECT_EQ(check.blocker->id, mv2);
+  journal_->Invert(mv2);
+  journal_->Invert(mv1);
+  ExpectRestored();
+}
+
+TEST_F(JournalFixture, ModifyBlockedByEnclosingModify) {
+  Init("x = a + b");
+  Stmt* s = program_.top()[0].get();
+  // t1 modifies the 'a' operand; t2 replaces the whole RHS (containing
+  // t1's replacement) — t1's inverse must be blocked by t2.
+  const ActionId md1 =
+      journal_->Modify(*s->rhs->kids[0], ParseExpr("7"), 1);
+  const ActionId md2 = journal_->Modify(*s->rhs, ParseExpr("z"), 2);
+  const InvertCheck check = journal_->CanInvert(md1);
+  EXPECT_FALSE(check.ok);
+  ASSERT_NE(check.blocker, nullptr);
+  EXPECT_EQ(check.blocker->id, md2);
+  journal_->Invert(md2);
+  EXPECT_TRUE(journal_->CanInvert(md1).ok);
+  journal_->Invert(md1);
+  ExpectRestored();
+}
+
+TEST_F(JournalFixture, ModifyBlockedWhenOwnerDeleted) {
+  Init("x = a + b\ny = 1");
+  Stmt* s = program_.top()[0].get();
+  const ActionId md = journal_->Modify(*s->rhs, ParseExpr("0"), 1);
+  const ActionId del = journal_->Delete(*s, 2);
+  const InvertCheck check = journal_->CanInvert(md);
+  EXPECT_FALSE(check.ok);
+  ASSERT_NE(check.blocker, nullptr);
+  EXPECT_EQ(check.blocker->id, del);
+}
+
+TEST_F(JournalFixture, ModifyBlockedWhenOwnerContextCopied) {
+  Init("do i = 1, 2\n  x = a + i\nenddo");
+  Stmt* loop = program_.top()[0].get();
+  Stmt* s = loop->body[0].get();
+  const ActionId md =
+      journal_->Modify(*s->rhs->kids[0], ParseExpr("5"), 1);
+  journal_->Copy(*loop, nullptr, BodyKind::kMain, 1, 2);
+  EXPECT_FALSE(journal_->CanInvert(md).ok);
+}
+
+TEST_F(JournalFixture, CopyBlockedWhenLaterTransformTouchesClone) {
+  Init("a = x + y\nb = 2");
+  Stmt* a = program_.top()[0].get();
+  Stmt* copy = nullptr;
+  const ActionId cp =
+      journal_->Copy(*a, nullptr, BodyKind::kMain, 2, 1, &copy);
+  journal_->Modify(*copy->rhs, ParseExpr("0"), 2);
+  const InvertCheck check = journal_->CanInvert(cp);
+  EXPECT_FALSE(check.ok);
+  EXPECT_NE(check.blocker, nullptr);
+}
+
+TEST_F(JournalFixture, SameStampInterferenceIsNotBlocking) {
+  // One transformation may delete a statement's context and the statement
+  // itself; reverse-order inversion sorts it out (the fusion pattern).
+  Init("do i = 1, 2\n  x = i\nenddo\nz = 1");
+  Stmt* loop = program_.top()[0].get();
+  Stmt* x = loop->body[0].get();
+  const ActionId mv = journal_->Move(*x, nullptr, BodyKind::kMain, 1, 7);
+  const ActionId del = journal_->Delete(*loop, 7);
+  // x's original location is inside the (deleted) loop, but the deleting
+  // action belongs to the same transformation: not a blocker.
+  EXPECT_TRUE(journal_->CanInvert(mv).ok);
+  journal_->Invert(del);  // reverse order: restore the loop first
+  journal_->Invert(mv);
+  ExpectRestored();
+}
+
+TEST_F(JournalFixture, HeaderModifyBlockedByLaterHeaderModify) {
+  Init("do i = 1, 10\nenddo");
+  Stmt* loop = program_.top()[0].get();
+  const ActionId h1 = journal_->ModifyHeader(*loop, "i", ParseExpr("1"),
+                                             ParseExpr("5"), nullptr, 1);
+  const ActionId h2 = journal_->ModifyHeader(*loop, "i", ParseExpr("1"),
+                                             ParseExpr("3"), nullptr, 2);
+  const InvertCheck check = journal_->CanInvert(h1);
+  EXPECT_FALSE(check.ok);
+  ASSERT_NE(check.blocker, nullptr);
+  EXPECT_EQ(check.blocker->id, h2);
+  journal_->Invert(h2);
+  journal_->Invert(h1);
+  ExpectRestored();
+}
+
+// --- misc journal queries ---
+
+TEST_F(JournalFixture, LiveActionsOfStamp) {
+  Init("a = 1\nb = 2\nc = 3");
+  journal_->Delete(*program_.top()[0], 1);
+  const ActionId second = journal_->Delete(*program_.top()[0], 1);
+  journal_->Delete(*program_.top()[0], 2);
+  EXPECT_EQ(journal_->LiveActionsOf(1).size(), 2u);
+  journal_->Invert(second);
+  EXPECT_EQ(journal_->LiveActionsOf(1).size(), 1u);
+}
+
+TEST_F(JournalFixture, RecordToStringMentionsKindAndStamp) {
+  Init("a = 1");
+  const ActionId id = journal_->Delete(*program_.top()[0], 4);
+  const std::string text = journal_->record(id).ToString();
+  EXPECT_NE(text.find("del_4"), std::string::npos);
+}
+
+TEST_F(JournalFixture, InterleavedInverseOrderRestoresSource) {
+  // Apply a mix of actions under different stamps, then invert newest
+  // transformation first — classic reverse-order undo.
+  Init("a = 1\nb = 2\nc = a + b\nwrite c");
+  Stmt* b = program_.top()[1].get();
+  Stmt* c = program_.top()[2].get();
+  const ActionId m1 = journal_->Modify(*c->rhs, ParseExpr("a * b"), 1);
+  const ActionId d2 = journal_->Delete(*b, 2);
+  const ActionId m3 =
+      journal_->Modify(*c->rhs, ParseExpr("0"), 3);
+  journal_->Invert(m3);
+  journal_->Invert(d2);
+  journal_->Invert(m1);
+  ExpectRestored();
+}
+
+}  // namespace
+}  // namespace pivot

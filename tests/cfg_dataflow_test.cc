@@ -1,0 +1,353 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "pivot/analysis/analyses.h"
+#include "pivot/ir/parser.h"
+
+namespace pivot {
+namespace {
+
+// --- flatten ---
+
+TEST(Flatten, PreOrderAndPrecedes) {
+  Program p = Parse("x = 1\ndo i = 1, 3\n  y = i\nenddo\nwrite y");
+  FlatProgram flat = Flatten(p);
+  ASSERT_EQ(flat.order.size(), 4u);
+  EXPECT_EQ(flat.order[0]->kind, StmtKind::kAssign);
+  EXPECT_EQ(flat.order[1]->kind, StmtKind::kDo);
+  EXPECT_EQ(flat.order[2]->kind, StmtKind::kAssign);  // loop body after head
+  EXPECT_TRUE(flat.Precedes(*flat.order[0], *flat.order[3]));
+  EXPECT_FALSE(flat.Precedes(*flat.order[3], *flat.order[0]));
+}
+
+// --- cfg ---
+
+TEST(Cfg, StraightLine) {
+  Program p = Parse("a = 1\nb = 2\nwrite b");
+  Cfg cfg = BuildCfg(p);
+  // entry, exit + 3 statements.
+  EXPECT_EQ(cfg.nodes.size(), 5u);
+  const int n0 = cfg.NodeOf(*p.top()[0]);
+  const int n1 = cfg.NodeOf(*p.top()[1]);
+  EXPECT_EQ(cfg.nodes[static_cast<std::size_t>(n0)].succs,
+            (std::vector<int>{n1}));
+}
+
+TEST(Cfg, LoopHasBackEdgeAndExit) {
+  Program p = Parse("do i = 1, 3\n  x = i\nenddo\nwrite x");
+  Cfg cfg = BuildCfg(p);
+  const Stmt& loop = *p.top()[0];
+  const Stmt& body = *loop.body[0];
+  const Stmt& after = *p.top()[1];
+  const int loop_node = cfg.NodeOf(loop);
+  const int body_node = cfg.NodeOf(body);
+  const int after_node = cfg.NodeOf(after);
+  // Loop node branches into the body and past the loop.
+  const auto& succs = cfg.nodes[static_cast<std::size_t>(loop_node)].succs;
+  EXPECT_NE(std::find(succs.begin(), succs.end(), body_node), succs.end());
+  EXPECT_NE(std::find(succs.begin(), succs.end(), after_node), succs.end());
+  // Body loops back.
+  const auto& body_succs =
+      cfg.nodes[static_cast<std::size_t>(body_node)].succs;
+  EXPECT_EQ(body_succs, (std::vector<int>{loop_node}));
+}
+
+TEST(Cfg, IfWithoutElseFallsThrough) {
+  Program p = Parse("if (x > 0) then\n  y = 1\nendif\nwrite y");
+  Cfg cfg = BuildCfg(p);
+  const int if_node = cfg.NodeOf(*p.top()[0]);
+  const int write_node = cfg.NodeOf(*p.top()[1]);
+  const auto& succs = cfg.nodes[static_cast<std::size_t>(if_node)].succs;
+  EXPECT_EQ(succs.size(), 2u);  // then branch + fallthrough
+  EXPECT_NE(std::find(succs.begin(), succs.end(), write_node), succs.end());
+}
+
+TEST(Cfg, ReversePostOrderStartsAtEntry) {
+  Program p = Parse("a = 1\ndo i = 1, 2\n  b = i\nenddo");
+  Cfg cfg = BuildCfg(p);
+  const auto rpo = cfg.ReversePostOrder();
+  EXPECT_EQ(rpo.front(), cfg.entry);
+  EXPECT_EQ(rpo.size(), cfg.nodes.size());
+}
+
+TEST(Cfg, ToDotMentionsAllNodes) {
+  Program p = Parse("a = 1");
+  Cfg cfg = BuildCfg(p);
+  const std::string dot = cfg.ToDot();
+  EXPECT_NE(dot.find("ENTRY"), std::string::npos);
+  EXPECT_NE(dot.find("EXIT"), std::string::npos);
+  EXPECT_NE(dot.find("a = 1"), std::string::npos);
+}
+
+// --- dominators ---
+
+TEST(Dominators, StraightLineChain) {
+  Program p = Parse("a = 1\nb = 2\nc = 3");
+  AnalysisCache cache(p);
+  const Dominators& doms = cache.doms();
+  EXPECT_TRUE(doms.Dominates(*p.top()[0], *p.top()[2]));
+  EXPECT_FALSE(doms.Dominates(*p.top()[2], *p.top()[0]));
+  EXPECT_TRUE(doms.Dominates(*p.top()[1], *p.top()[1]));  // reflexive
+}
+
+TEST(Dominators, BranchesDoNotDominateJoin) {
+  Program p = Parse(
+      "if (x > 0) then\n  a = 1\nelse\n  a = 2\nendif\nwrite a");
+  AnalysisCache cache(p);
+  const Dominators& doms = cache.doms();
+  const Stmt& branch = *p.top()[0];
+  const Stmt& join = *p.top()[1];
+  EXPECT_TRUE(doms.Dominates(branch, join));
+  EXPECT_FALSE(doms.Dominates(*branch.body[0], join));
+  EXPECT_FALSE(doms.Dominates(*branch.else_body[0], join));
+}
+
+TEST(Dominators, LoopHeaderDominatesBody) {
+  Program p = Parse("do i = 1, 3\n  x = i\nenddo");
+  AnalysisCache cache(p);
+  const Stmt& loop = *p.top()[0];
+  EXPECT_TRUE(cache.doms().Dominates(loop, *loop.body[0]));
+}
+
+// --- reaching definitions ---
+
+TEST(ReachingDefs, LinearKill) {
+  Program p = Parse("x = 1\nx = 2\nwrite x");
+  AnalysisCache cache(p);
+  const auto defs = cache.reaching().DefsReaching(*p.top()[2], "x");
+  ASSERT_EQ(defs.size(), 1u);
+  EXPECT_EQ(defs[0]->stmt, p.top()[1].get());
+  EXPECT_TRUE(
+      cache.reaching().OnlyReachingDef(*p.top()[1], *p.top()[2], "x"));
+  EXPECT_FALSE(
+      cache.reaching().OnlyReachingDef(*p.top()[0], *p.top()[2], "x"));
+}
+
+TEST(ReachingDefs, BranchesMerge) {
+  Program p = Parse(
+      "if (c > 0) then\n  x = 1\nelse\n  x = 2\nendif\nwrite x");
+  AnalysisCache cache(p);
+  const auto defs = cache.reaching().DefsReaching(*p.top()[1], "x");
+  EXPECT_EQ(defs.size(), 2u);
+}
+
+TEST(ReachingDefs, ArrayDefsAreWeak) {
+  Program p = Parse("a(1) = 1\na(2) = 2\nwrite a(1)");
+  AnalysisCache cache(p);
+  // Both weak definitions reach the use (element stores do not kill),
+  // plus the uninitialized-storage pseudo-definition.
+  const auto defs = cache.reaching().DefsReaching(*p.top()[2], "a");
+  EXPECT_EQ(defs.size(), 3u);
+  int real = 0, entry = 0;
+  for (const Definition* d : defs) {
+    d->entry ? ++entry : ++real;
+  }
+  EXPECT_EQ(real, 2);
+  EXPECT_EQ(entry, 1);
+}
+
+TEST(ReachingDefs, BranchOnlyDefIsNotTheOnlyOne) {
+  // A definition on one branch never counts as the sole reaching def at
+  // the join: the def-free path carries the entry pseudo-definition.
+  Program p = Parse(
+      "read q\nif (q > 0) then\n  d = 2\nendif\nwrite d");
+  AnalysisCache cache(p);
+  const Stmt& def = *p.top()[1]->body[0];
+  const Stmt& use = *p.top()[2];
+  EXPECT_FALSE(cache.reaching().OnlyReachingDef(def, use, "d"));
+}
+
+TEST(ReachingDefs, LoopCarriedDefReachesLoopHead) {
+  Program p = Parse("x = 0\ndo i = 1, 3\n  x = x + 1\nenddo\nwrite x");
+  AnalysisCache cache(p);
+  const Stmt& body = *p.top()[1]->body[0];
+  // Inside the loop both the initial and the loop-carried def reach.
+  const auto defs = cache.reaching().DefsReaching(body, "x");
+  EXPECT_EQ(defs.size(), 2u);
+}
+
+TEST(ReachingDefs, DoNodeDefinesLoopVar) {
+  Program p = Parse("do i = 1, 3\n  x = i\nenddo");
+  AnalysisCache cache(p);
+  const Stmt& loop = *p.top()[0];
+  const Stmt& body = *loop.body[0];
+  EXPECT_TRUE(cache.reaching().OnlyReachingDef(loop, body, "i"));
+}
+
+// --- liveness ---
+
+TEST(Liveness, DeadStoreDetected) {
+  Program p = Parse("x = 1\nx = 2\nwrite x");
+  AnalysisCache cache(p);
+  EXPECT_TRUE(cache.liveness().IsDeadStore(*p.top()[0]));
+  EXPECT_FALSE(cache.liveness().IsDeadStore(*p.top()[1]));
+}
+
+TEST(Liveness, ValueUsedLaterIsLive) {
+  Program p = Parse("x = 1\ny = x + 1\nwrite y");
+  AnalysisCache cache(p);
+  EXPECT_TRUE(cache.liveness().LiveOut(*p.top()[0], "x"));
+  EXPECT_FALSE(cache.liveness().LiveOut(*p.top()[1], "x"));
+  EXPECT_FALSE(cache.liveness().IsDeadStore(*p.top()[0]));
+}
+
+TEST(Liveness, UseInLoopKeepsVarLiveAroundBackEdge) {
+  Program p = Parse("s = 0\ndo i = 1, 3\n  s = s + i\nenddo\nwrite s");
+  AnalysisCache cache(p);
+  const Stmt& body = *p.top()[1]->body[0];
+  EXPECT_TRUE(cache.liveness().LiveOut(body, "s"));  // next iteration reads
+  EXPECT_FALSE(cache.liveness().IsDeadStore(body));
+}
+
+TEST(Liveness, ArrayStoresAreNeverDead) {
+  Program p = Parse("a(1) = 5");
+  AnalysisCache cache(p);
+  EXPECT_FALSE(cache.liveness().IsDeadStore(*p.top()[0]));
+}
+
+TEST(Liveness, SelfOnlyUseIsDead) {
+  // x feeds only itself; nothing observable.
+  Program p = Parse("x = x + 1\nwrite y");
+  AnalysisCache cache(p);
+  EXPECT_TRUE(cache.liveness().IsDeadStore(*p.top()[0]));
+}
+
+TEST(Liveness, BranchUseKeepsLive) {
+  Program p = Parse(
+      "x = 1\nif (c > 0) then\n  write x\nendif");
+  AnalysisCache cache(p);
+  EXPECT_TRUE(cache.liveness().LiveOut(*p.top()[0], "x"));
+}
+
+// --- available expressions ---
+
+TEST(AvailExprs, AvailableAfterComputation) {
+  Program p = Parse("d = e + f\nr = e + f");
+  AnalysisCache cache(p);
+  const AvailExprs& avail = cache.avail();
+  const int cls = avail.ClassOf(*p.top()[1]->rhs);
+  ASSERT_GE(cls, 0);
+  EXPECT_TRUE(avail.AvailableAt(*p.top()[1], cls));
+  EXPECT_FALSE(avail.AvailableAt(*p.top()[0], cls));
+}
+
+TEST(AvailExprs, KilledByOperandRedefinition) {
+  Program p = Parse("d = e + f\ne = 1\nr = e + f");
+  AnalysisCache cache(p);
+  const AvailExprs& avail = cache.avail();
+  const int cls = avail.ClassOf(*p.top()[2]->rhs);
+  ASSERT_GE(cls, 0);
+  EXPECT_FALSE(avail.AvailableAt(*p.top()[2], cls));
+}
+
+TEST(AvailExprs, MustOverBranches) {
+  // Computed on only one branch: not available at the join.
+  Program p = Parse(
+      "if (c > 0) then\n  d = e + f\nendif\nr = e + f");
+  AnalysisCache cache(p);
+  const int cls = cache.avail().ClassOf(*p.top()[1]->rhs);
+  ASSERT_GE(cls, 0);
+  EXPECT_FALSE(cache.avail().AvailableAt(*p.top()[1], cls));
+}
+
+TEST(AvailExprs, SelfKillingComputationNotGenerated) {
+  // e = e + f computes e+f but immediately kills it.
+  Program p = Parse("e = e + f\nr = e + f");
+  AnalysisCache cache(p);
+  const int cls = cache.avail().ClassOf(*p.top()[1]->rhs);
+  ASSERT_GE(cls, 0);
+  EXPECT_FALSE(cache.avail().AvailableAt(*p.top()[1], cls));
+}
+
+// --- ReachesIntact ---
+
+TEST(ReachesIntact, HoldsOnStraightLine) {
+  Program p = Parse("a = b + c\nx = 1\nd = b + c");
+  AnalysisCache cache(p);
+  const std::vector<int> watched = {cache.facts().names.Lookup("a"),
+                                    cache.facts().names.Lookup("b"),
+                                    cache.facts().names.Lookup("c")};
+  EXPECT_TRUE(ReachesIntact(cache.cfg(), cache.facts(), *p.top()[0],
+                            *p.top()[2], watched));
+}
+
+TEST(ReachesIntact, BrokenByRedefinition) {
+  Program p = Parse("a = b + c\nb = 1\nd = b + c");
+  AnalysisCache cache(p);
+  const std::vector<int> watched = {cache.facts().names.Lookup("a"),
+                                    cache.facts().names.Lookup("b"),
+                                    cache.facts().names.Lookup("c")};
+  EXPECT_FALSE(ReachesIntact(cache.cfg(), cache.facts(), *p.top()[0],
+                             *p.top()[2], watched));
+}
+
+TEST(ReachesIntact, RequiresAllPaths) {
+  // The source executes on only one branch.
+  Program p = Parse(
+      "if (q > 0) then\n  a = b + c\nendif\nd = b + c");
+  AnalysisCache cache(p);
+  const Stmt& source = *p.top()[0]->body[0];
+  const Stmt& target = *p.top()[1];
+  EXPECT_FALSE(ReachesIntact(cache.cfg(), cache.facts(), source, target,
+                             {cache.facts().names.Lookup("b")}));
+}
+
+TEST(ReachesIntact, RecomputationOnOneBranchIsNotEnough) {
+  // b changes after the source; a recomputation keeps the *expression*
+  // available but the source's value stale — ReachesIntact must say no.
+  Program p = Parse("a = b + c\nb = 5\nd0 = b + c\nd = b + c");
+  AnalysisCache cache(p);
+  const std::vector<int> watched = {cache.facts().names.Lookup("a"),
+                                    cache.facts().names.Lookup("b"),
+                                    cache.facts().names.Lookup("c")};
+  EXPECT_FALSE(ReachesIntact(cache.cfg(), cache.facts(), *p.top()[0],
+                             *p.top()[3], watched));
+}
+
+TEST(ReachesIntact, SourceKillingItselfStillCounts) {
+  // The establishing statement may redefine a watched name (A = B op C
+  // watches A): generation wins over its own kill.
+  Program p = Parse("a = b + c\nd = b + c");
+  AnalysisCache cache(p);
+  EXPECT_TRUE(ReachesIntact(cache.cfg(), cache.facts(), *p.top()[0],
+                            *p.top()[1],
+                            {cache.facts().names.Lookup("a")}));
+}
+
+TEST(ReachesIntact, ZeroTripLoopPathBypassesSource) {
+  // The source sits inside a loop that may run zero times.
+  Program p = Parse("do i = 1, n\n  a = b + c\nenddo\nd = b + c");
+  AnalysisCache cache(p);
+  const Stmt& source = *p.top()[0]->body[0];
+  EXPECT_FALSE(ReachesIntact(cache.cfg(), cache.facts(), source,
+                             *p.top()[1],
+                             {cache.facts().names.Lookup("b")}));
+}
+
+// --- def-use chains ---
+
+TEST(DefUse, UsesOfDefinition) {
+  Program p = Parse("x = 1\ny = x + 1\nwrite x");
+  AnalysisCache cache(p);
+  const auto& uses = cache.defuse().UsesOf(*p.top()[0]);
+  EXPECT_EQ(uses.size(), 2u);
+  EXPECT_TRUE(cache.defuse().HasUses(*p.top()[0]));
+  EXPECT_FALSE(cache.defuse().HasUses(*p.top()[1]));  // y never used
+}
+
+// --- cache invalidation ---
+
+TEST(AnalysisCache, RebuildsAfterMutation) {
+  Program p = Parse("x = 1\nwrite x");
+  AnalysisCache cache(p);
+  EXPECT_FALSE(cache.liveness().IsDeadStore(*p.top()[0]));
+  const std::uint64_t rebuilds = cache.rebuild_count();
+  // Remove the use: the store becomes dead after re-analysis.
+  p.Detach(*p.top()[1]);
+  EXPECT_TRUE(cache.liveness().IsDeadStore(*p.top()[0]));
+  EXPECT_GT(cache.rebuild_count(), rebuilds);
+}
+
+}  // namespace
+}  // namespace pivot

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "pivot/ir/diff.h"
+#include "pivot/ir/parser.h"
+
+namespace pivot {
+namespace {
+
+TEST(Diff, EqualProgramsProduceNothing) {
+  Program a = Parse("x = 1\ndo i = 1, 3\n  y = i\nenddo");
+  Program b = Parse("x = 1\ndo i = 1, 3\n  y = i\nenddo");
+  EXPECT_TRUE(DiffPrograms(a, b).empty());
+  EXPECT_EQ(DiffToString(a, b), "");
+}
+
+TEST(Diff, ChangedStatementReported) {
+  Program a = Parse("x = 1\ny = 2");
+  Program b = Parse("x = 1\ny = 3");
+  const auto diff = DiffPrograms(a, b);
+  ASSERT_EQ(diff.size(), 1u);
+  EXPECT_EQ(diff[0].kind, DiffEntry::Kind::kChanged);
+  EXPECT_EQ(diff[0].path, "top[1]");
+  EXPECT_EQ(diff[0].left, "y = 2");
+  EXPECT_EQ(diff[0].right, "y = 3");
+  EXPECT_NE(diff[0].ToString().find("top[1]"), std::string::npos);
+}
+
+TEST(Diff, ExtraStatements) {
+  Program a = Parse("x = 1\ny = 2\nz = 3");
+  Program b = Parse("x = 1");
+  const auto diff = DiffPrograms(a, b);
+  ASSERT_EQ(diff.size(), 2u);
+  EXPECT_EQ(diff[0].kind, DiffEntry::Kind::kOnlyInLeft);
+  EXPECT_EQ(diff[1].kind, DiffEntry::Kind::kOnlyInLeft);
+  const auto reverse = DiffPrograms(b, a);
+  ASSERT_EQ(reverse.size(), 2u);
+  EXPECT_EQ(reverse[0].kind, DiffEntry::Kind::kOnlyInRight);
+}
+
+TEST(Diff, NestedPaths) {
+  Program a = Parse("do i = 1, 3\n  y = i\nenddo");
+  Program b = Parse("do i = 1, 3\n  y = i + 1\nenddo");
+  const auto diff = DiffPrograms(a, b);
+  ASSERT_EQ(diff.size(), 1u);
+  EXPECT_EQ(diff[0].path, "top[0].body[0]");
+}
+
+TEST(Diff, ElseBranchPaths) {
+  Program a = Parse("if (q > 0) then\n  x = 1\nelse\n  x = 2\nendif");
+  Program b = Parse("if (q > 0) then\n  x = 1\nelse\n  x = 9\nendif");
+  const auto diff = DiffPrograms(a, b);
+  ASSERT_EQ(diff.size(), 1u);
+  EXPECT_EQ(diff[0].path, "top[0].else[0]");
+}
+
+TEST(Diff, HeaderChangeStillDescends) {
+  Program a = Parse("do i = 1, 3\n  y = 1\nenddo");
+  Program b = Parse("do i = 1, 4\n  y = 2\nenddo");
+  const auto diff = DiffPrograms(a, b);
+  ASSERT_EQ(diff.size(), 2u);
+  EXPECT_EQ(diff[0].path, "top[0]");
+  EXPECT_EQ(diff[1].path, "top[0].body[0]");
+}
+
+TEST(Diff, CapsEntries) {
+  Program a = Parse("a=1\nb=1\nc=1\nd=1\ne=1\nf=1");
+  Program b = Parse("a=2\nb=2\nc=2\nd=2\ne=2\nf=2");
+  EXPECT_EQ(DiffPrograms(a, b, 3).size(), 3u);
+}
+
+}  // namespace
+}  // namespace pivot

@@ -1,0 +1,139 @@
+// Program edits and unsafe-transformation removal (the paper's
+// incremental-reoptimization motivation).
+#include <gtest/gtest.h>
+
+#include "pivot/core/session.h"
+#include "pivot/ir/parser.h"
+#include "pivot/ir/validate.h"
+
+namespace pivot {
+namespace {
+
+TEST(Editor, EditsAreJournaledAsPseudoRecords) {
+  Session s(Parse("x = 1\nwrite x"));
+  const OrderStamp e =
+      s.editor().AddStmt(MakeAssign(MakeVarRef("y"), MakeIntConst(2)),
+                         nullptr, BodyKind::kMain, 1);
+  const TransformRecord* rec = s.history().FindByStamp(e);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_TRUE(rec->is_edit);
+  EXPECT_EQ(rec->actions.size(), 1u);
+  EXPECT_EQ(s.Source(), "x = 1\ny = 2\nwrite x\n");
+  ExpectValid(s.program());
+}
+
+TEST(Editor, AllEditKindsWork) {
+  Session s(Parse("a = 1\nb = 2\nwrite a"));
+  s.editor().DeleteStmt(*s.program().top()[1]);
+  EXPECT_EQ(s.Source(), "a = 1\nwrite a\n");
+  s.editor().MoveStmt(*s.program().top()[0], nullptr, BodyKind::kMain, 1);
+  EXPECT_EQ(s.Source(), "write a\na = 1\n");
+  s.editor().ReplaceExpr(*s.program().top()[1]->rhs, MakeIntConst(9));
+  EXPECT_EQ(s.Source(), "write a\na = 9\n");
+  ExpectValid(s.program());
+}
+
+TEST(RemoveUnsafe, NoEditsNothingRemoved) {
+  Session s(Parse("c = 1\nx = c\nwrite x\nwrite c"));
+  s.ApplyFirst(TransformKind::kCtp);
+  const auto undone = s.RemoveUnsafeTransforms();
+  EXPECT_TRUE(undone.empty());
+}
+
+TEST(RemoveUnsafe, EditInvalidatesOnlyAffectedTransform) {
+  // Two CTPs on disjoint variable clusters; the edit breaks only one.
+  Session s(Parse("c = 1\nx = c\nwrite x\nwrite c\n"
+                  "q = 2\ny = q\nwrite y\nwrite q"));
+  const auto ops = s.FindOpportunities(TransformKind::kCtp);
+  ASSERT_GE(ops.size(), 2u);
+  ASSERT_EQ(ops[0].var, "c");
+  const OrderStamp t_c = s.Apply(ops[0]);
+  // Pick a q-propagation for the second transformation.
+  const auto ops2 = s.FindOpportunities(TransformKind::kCtp);
+  const Opportunity* q_op = nullptr;
+  for (const auto& op : ops2) {
+    if (op.var == "q") q_op = &op;
+  }
+  ASSERT_NE(q_op, nullptr);
+  const OrderStamp t_q = s.Apply(*q_op);
+
+  // Edit: change c's constant. t_c becomes unsafe; t_q must survive.
+  s.editor().ReplaceExpr(*s.program().top()[0]->rhs, MakeIntConst(5));
+  const auto undone = s.RemoveUnsafeTransforms();
+  ASSERT_EQ(undone.size(), 1u);
+  EXPECT_EQ(undone[0], t_c);
+  EXPECT_FALSE(s.history().FindByStamp(t_q)->undone);
+  // The restored use now reads the edited constant's variable again.
+  EXPECT_NE(s.Source().find("x = c"), std::string::npos);
+  ExpectValid(s.program());
+}
+
+TEST(RemoveUnsafe, EditedProgramKeepsEditedSemantics) {
+  Session s(Parse("c = 1\nx = c\nwrite x\nwrite c"));
+  s.ApplyFirst(TransformKind::kCtp);
+  s.editor().ReplaceExpr(*s.program().top()[0]->rhs, MakeIntConst(7));
+  s.RemoveUnsafeTransforms();
+  // After removal, executing yields the edited program's meaning: x = 7.
+  const InterpResult r = s.Execute();
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.output, (std::vector<double>{7, 7}));
+}
+
+TEST(RemoveUnsafe, RippleThroughDependentTransforms) {
+  Session s(Parse("c = 1\nx = c + 2\nwrite x\nwrite c"));
+  const OrderStamp ctp = *s.ApplyFirst(TransformKind::kCtp);
+  const OrderStamp cfo = *s.ApplyFirst(TransformKind::kCfo);
+  // Edit the constant definition: CTP unsafe; undoing it drags CFO along.
+  s.editor().ReplaceExpr(*s.program().top()[0]->rhs, MakeIntConst(4));
+  const auto undone = s.RemoveUnsafeTransforms();
+  EXPECT_EQ(undone.size(), 2u);
+  EXPECT_TRUE(s.history().FindByStamp(ctp)->undone);
+  EXPECT_TRUE(s.history().FindByStamp(cfo)->undone);
+  const InterpResult r = s.Execute();
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.output, (std::vector<double>{6, 4}));
+}
+
+TEST(RemoveUnsafe, BlockedTransformsReported) {
+  Session s(Parse("c = 1\nx = c + 2\nwrite x\nwrite c"));
+  const OrderStamp ctp = *s.ApplyFirst(TransformKind::kCtp);
+  // Edit 1 replaces the whole RHS holding CTP's modification: CTP becomes
+  // irreversible (blocked by the edit). Edit 2 changes the constant
+  // definition, destroying CTP's safety.
+  s.editor().ReplaceExpr(*s.program().top()[1]->rhs, MakeIntConst(9));
+  s.editor().ReplaceExpr(*s.program().top()[0]->rhs, MakeIntConst(5));
+  std::vector<OrderStamp> blocked;
+  const auto undone = s.RemoveUnsafeTransforms(&blocked);
+  EXPECT_TRUE(undone.empty());
+  ASSERT_EQ(blocked.size(), 1u);
+  EXPECT_EQ(blocked[0], ctp);
+}
+
+TEST(RemoveUnsafe, LoopTransformInvalidatedByBodyEdit) {
+  Session s(Parse(
+      "do i = 1, 4\n  a(i) = i\nenddo\ndo i = 1, 4\n  b(i) = i\nenddo\n"
+      "write b(2)"));
+  const OrderStamp fus = *s.ApplyFirst(TransformKind::kFus);
+  // Edit the second half to read a(i + 1): fusion becomes unsafe.
+  Stmt& second_half = *s.program().top()[0]->body[1];
+  s.editor().ReplaceExpr(*second_half.rhs, ParseExpr("a(i + 1)"));
+  const auto undone = s.RemoveUnsafeTransforms();
+  ASSERT_EQ(undone.size(), 1u);
+  EXPECT_EQ(undone[0], fus);
+  // Back to two loops, with the edit preserved in the second one.
+  EXPECT_EQ(s.program().top().size(), 3u);
+  EXPECT_NE(s.Source().find("a(i + 1)"), std::string::npos);
+  ExpectValid(s.program());
+}
+
+TEST(RemoveUnsafe, EditKeepingSafetyRemovesNothing) {
+  Session s(Parse("c = 1\nx = c\nwrite x\nwrite c"));
+  s.ApplyFirst(TransformKind::kCtp);
+  // An unrelated edit far away.
+  s.editor().AddStmt(MakeWrite(MakeIntConst(0)), nullptr, BodyKind::kMain,
+                     4);
+  EXPECT_TRUE(s.RemoveUnsafeTransforms().empty());
+}
+
+}  // namespace
+}  // namespace pivot

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "pivot/ir/interp.h"
+#include "pivot/ir/parser.h"
+#include "pivot/ir/random_program.h"
+#include "pivot/ir/validate.h"
+
+namespace pivot {
+namespace {
+
+std::vector<double> Out(const std::string& src,
+                        std::vector<double> input = {}) {
+  Program p = Parse(src);
+  InterpOptions opts;
+  opts.input = std::move(input);
+  InterpResult r = pivot::Run(p, opts);
+  EXPECT_TRUE(r.ok) << r.error;
+  return r.output;
+}
+
+TEST(Interp, ArithmeticAndWrite) {
+  EXPECT_EQ(Out("x = 2 + 3 * 4\nwrite x"), (std::vector<double>{14}));
+  EXPECT_EQ(Out("write 7 - 2 - 1"), (std::vector<double>{4}));
+  EXPECT_EQ(Out("write 7 / 2"), (std::vector<double>{3.5}));
+  EXPECT_EQ(Out("write 7 % 3"), (std::vector<double>{1}));
+}
+
+TEST(Interp, UninitializedReadsAreZero) {
+  EXPECT_EQ(Out("write q + a(5)"), (std::vector<double>{0}));
+}
+
+TEST(Interp, ReadConsumesInput) {
+  EXPECT_EQ(Out("read a\nread b\nwrite a * b", {6, 7}),
+            (std::vector<double>{42}));
+}
+
+TEST(Interp, InputUnderrunFlagged) {
+  Program p = Parse("read a\nread b\nwrite b");
+  InterpResult r = pivot::Run(p, {});
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(r.input_underrun);
+  EXPECT_EQ(r.output, (std::vector<double>{0}));
+}
+
+TEST(Interp, DoLoopAccumulates) {
+  EXPECT_EQ(Out("s = 0\ndo i = 1, 5\n  s = s + i\nenddo\nwrite s"),
+            (std::vector<double>{15}));
+}
+
+TEST(Interp, DoLoopWithStepAndDownward) {
+  EXPECT_EQ(Out("s = 0\ndo i = 1, 9, 2\n  s = s + 1\nenddo\nwrite s"),
+            (std::vector<double>{5}));
+  EXPECT_EQ(Out("s = 0\ndo i = 5, 1, -1\n  s = s + i\nenddo\nwrite s"),
+            (std::vector<double>{15}));
+}
+
+TEST(Interp, ZeroTripLoopBodySkipped) {
+  EXPECT_EQ(Out("s = 9\ndo i = 5, 1\n  s = 0\nenddo\nwrite s"),
+            (std::vector<double>{9}));
+}
+
+TEST(Interp, LoopBoundsEvaluatedOnEntry) {
+  // Mutating n inside the loop must not change the trip count.
+  EXPECT_EQ(Out("n = 3\ns = 0\ndo i = 1, n\n  n = 100\n  s = s + 1\n"
+                "enddo\nwrite s"),
+            (std::vector<double>{3}));
+}
+
+TEST(Interp, IfElse) {
+  EXPECT_EQ(Out("x = 5\nif (x > 3) then\n  y = 1\nelse\n  y = 2\nendif\n"
+                "write y"),
+            (std::vector<double>{1}));
+  EXPECT_EQ(Out("x = 1\nif (x > 3) then\n  y = 1\nelse\n  y = 2\nendif\n"
+                "write y"),
+            (std::vector<double>{2}));
+}
+
+TEST(Interp, ArraysAreElementwise) {
+  EXPECT_EQ(Out("do i = 1, 4\n  a(i) = i * i\nenddo\nwrite a(3)"),
+            (std::vector<double>{9}));
+  EXPECT_EQ(Out("m(2, 3) = 7\nm(3, 2) = 8\nwrite m(2, 3) - m(3, 2)"),
+            (std::vector<double>{-1}));
+}
+
+TEST(Interp, ShortCircuitLogic) {
+  // .and. must not evaluate the RHS division when the LHS is false.
+  EXPECT_EQ(Out("z = 0\nif (z > 0 .and. 1 / z > 0) then\n  w = 1\nendif\n"
+                "write w"),
+            (std::vector<double>{0}));
+}
+
+TEST(Interp, DivisionByZeroIsError) {
+  Program p = Parse("z = 0\nwrite 1 / z");
+  InterpResult r = pivot::Run(p);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("division by zero"), std::string::npos);
+}
+
+TEST(Interp, StepZeroIsError) {
+  Program p = Parse("do i = 1, 5, 0\nenddo");
+  EXPECT_FALSE(pivot::Run(p).ok);
+}
+
+TEST(Interp, StepLimitAborts) {
+  Program p = Parse("do i = 1, 1000000\n  x = i\nenddo");
+  InterpOptions opts;
+  opts.max_steps = 1000;
+  InterpResult r = pivot::Run(p, opts);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("step limit"), std::string::npos);
+}
+
+TEST(Interp, SameBehaviorHelper) {
+  Program a = Parse("x = 2 + 2\nwrite x");
+  Program b = Parse("write 4");
+  Program c = Parse("write 5");
+  EXPECT_TRUE(SameBehavior(a, b));
+  EXPECT_FALSE(SameBehavior(a, c));
+}
+
+// --- random program generator sanity ---
+
+class RandomPrograms : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomPrograms, GeneratedProgramsAreValidAndRunnable) {
+  RandomProgramOptions opts;
+  opts.seed = GetParam();
+  opts.target_stmts = 40;
+  Program p = GenerateRandomProgram(opts);
+  ExpectValid(p);
+  InterpOptions io;
+  io.input = {1.5, 2.5};
+  const InterpResult r = pivot::Run(p, io);
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_FALSE(r.output.empty());
+}
+
+TEST_P(RandomPrograms, GenerationIsDeterministic) {
+  RandomProgramOptions opts;
+  opts.seed = GetParam();
+  Program a = GenerateRandomProgram(opts);
+  Program b = GenerateRandomProgram(opts);
+  EXPECT_TRUE(Program::Equals(a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPrograms,
+                         ::testing::Values(1, 2, 3, 10, 99, 12345));
+
+}  // namespace
+}  // namespace pivot

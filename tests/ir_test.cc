@@ -1,0 +1,363 @@
+#include <gtest/gtest.h>
+
+#include "pivot/ir/builder.h"
+#include "pivot/ir/printer.h"
+#include "pivot/ir/validate.h"
+#include "pivot/support/diagnostics.h"
+
+namespace pivot {
+namespace {
+
+using namespace dsl;  // NOLINT
+
+// --- expressions ---
+
+TEST(Expr, ToStringPrecedence) {
+  ExprPtr e = Add(V("a"), Mul(V("b"), V("c")));
+  EXPECT_EQ(ExprToString(*e), "a + b * c");
+  ExprPtr f = Mul(Add(V("a"), V("b")), V("c"));
+  EXPECT_EQ(ExprToString(*f), "(a + b) * c");
+}
+
+TEST(Expr, ToStringLeftAssociativity) {
+  // (a - b) - c prints without parens; a - (b - c) needs them.
+  ExprPtr left = Sub(Sub(V("a"), V("b")), V("c"));
+  EXPECT_EQ(ExprToString(*left), "a - b - c");
+  ExprPtr right = Sub(V("a"), Sub(V("b"), V("c")));
+  EXPECT_EQ(ExprToString(*right), "a - (b - c)");
+}
+
+TEST(Expr, ToStringArrayAndUnary) {
+  ExprPtr e = At("a", Add(V("i"), I(1)), V("j"));
+  EXPECT_EQ(ExprToString(*e), "a(i + 1, j)");
+  ExprPtr n = Neg(V("x"));
+  EXPECT_EQ(ExprToString(*n), "-x");
+}
+
+TEST(Expr, StructuralEquality) {
+  ExprPtr a = Add(V("x"), I(2));
+  ExprPtr b = Add(V("x"), I(2));
+  ExprPtr c = Add(V("x"), I(3));
+  ExprPtr d = Sub(V("x"), I(2));
+  EXPECT_TRUE(ExprEquals(*a, *b));
+  EXPECT_FALSE(ExprEquals(*a, *c));
+  EXPECT_FALSE(ExprEquals(*a, *d));
+  EXPECT_EQ(ExprHash(*a), ExprHash(*b));
+}
+
+TEST(Expr, CloneIsDeepAndDetached) {
+  ExprPtr e = Mul(Add(V("x"), I(1)), V("y"));
+  ExprPtr c = CloneExpr(*e);
+  EXPECT_TRUE(ExprEquals(*e, *c));
+  EXPECT_NE(c->kids[0].get(), e->kids[0].get());
+  EXPECT_EQ(c->parent, nullptr);
+  EXPECT_EQ(c->owner, nullptr);
+  EXPECT_FALSE(c->id.valid());
+  EXPECT_EQ(c->kids[0]->parent, c.get());
+}
+
+TEST(Expr, IsConstExpr) {
+  EXPECT_TRUE(IsConstExpr(*Add(I(1), Mul(I(2), I(3)))));
+  EXPECT_FALSE(IsConstExpr(*Add(I(1), V("x"))));
+  EXPECT_FALSE(IsConstExpr(*At("a", I(1))));
+}
+
+TEST(Expr, CollectVarReadsIncludesArraysAndSubscripts) {
+  ExprPtr e = Add(At("a", V("i")), V("c"));
+  std::vector<std::string> reads;
+  CollectVarReads(*e, reads);
+  EXPECT_EQ(reads.size(), 3u);  // a, i, c
+  EXPECT_TRUE(ExprReadsName(*e, "a"));
+  EXPECT_TRUE(ExprReadsName(*e, "i"));
+  EXPECT_TRUE(ExprReadsName(*e, "c"));
+  EXPECT_FALSE(ExprReadsName(*e, "z"));
+}
+
+TEST(Expr, SlotRootWalksToTop) {
+  ExprPtr e = Add(V("x"), I(1));
+  Expr& leaf = *e->kids[0];
+  EXPECT_EQ(&SlotRoot(leaf), e.get());
+}
+
+// --- statements ---
+
+TEST(Stmt, MakeAssignRequiresLvalue) {
+  EXPECT_THROW(MakeAssign(I(1), V("x")), InternalError);
+}
+
+TEST(Stmt, BacklinksAfterConstruction) {
+  StmtPtr s = MakeAssign(At("a", V("i")), Add(V("b"), I(1)));
+  EXPECT_EQ(s->lhs->owner, s.get());
+  EXPECT_EQ(s->rhs->owner, s.get());
+  EXPECT_EQ(s->lhs->slot, ExprSlot::kLhs);
+  EXPECT_EQ(s->rhs->slot, ExprSlot::kRhs);
+  EXPECT_EQ(s->rhs->kids[0]->owner, s.get());
+}
+
+TEST(Stmt, DefinedNameAndReads) {
+  StmtPtr s = MakeAssign(At("a", V("i")), Add(V("b"), V("c")));
+  EXPECT_EQ(DefinedName(*s), "a");
+  std::vector<std::string> reads;
+  CollectReadNames(*s, reads);
+  // Subscript i, rhs b and c; the defined array itself is not a read.
+  EXPECT_EQ(reads.size(), 3u);
+}
+
+TEST(Stmt, CloneStmtDeepCopiesBodies) {
+  StmtPtr loop = MakeDo("i", I(1), I(3));
+  loop->body.push_back(MakeAssign(V("x"), V("i")));
+  loop->body.back()->parent = loop.get();
+  StmtPtr clone = CloneStmt(*loop);
+  EXPECT_TRUE(StmtEquals(*loop, *clone));
+  EXPECT_NE(clone->body[0].get(), loop->body[0].get());
+  EXPECT_EQ(clone->body[0]->parent, clone.get());
+}
+
+TEST(Stmt, EqualsDistinguishesLoopVarAndBounds) {
+  StmtPtr a = MakeDo("i", I(1), I(3));
+  StmtPtr b = MakeDo("j", I(1), I(3));
+  StmtPtr c = MakeDo("i", I(1), I(4));
+  EXPECT_FALSE(StmtEquals(*a, *b));
+  EXPECT_FALSE(StmtEquals(*a, *c));
+}
+
+TEST(Stmt, HasSideEffects) {
+  EXPECT_TRUE(HasSideEffects(*MakeRead(V("x"))));
+  EXPECT_TRUE(HasSideEffects(*MakeWrite(V("x"))));
+  EXPECT_FALSE(HasSideEffects(*MakeAssign(V("x"), I(1))));
+}
+
+// --- program & builder ---
+
+TEST(Program, BuilderAssignsIdsAndRegisters) {
+  ProgramBuilder b;
+  Stmt* s1 = b.Assign(V("x"), I(1));
+  Stmt* s2 = b.Write(V("x"));
+  Program p = b.Build();
+  EXPECT_TRUE(s1->id.valid());
+  EXPECT_TRUE(s2->id.valid());
+  EXPECT_NE(s1->id, s2->id);
+  EXPECT_EQ(p.FindStmt(s1->id), s1);
+  EXPECT_EQ(&p.GetStmt(s2->id), s2);
+  ExpectValid(p);
+}
+
+TEST(Program, BuilderNestsScopes) {
+  ProgramBuilder b;
+  Stmt* loop = b.Do("i", I(1), I(3));
+  Stmt* inner = b.Assign(V("x"), V("i"));
+  b.End();
+  Stmt* after = b.Write(V("x"));
+  Program p = b.Build();
+  EXPECT_EQ(inner->parent, loop);
+  EXPECT_EQ(after->parent, nullptr);
+  EXPECT_EQ(p.top().size(), 2u);
+  ExpectValid(p);
+}
+
+TEST(Program, BuilderIfElse) {
+  ProgramBuilder b;
+  Stmt* branch = b.If(Gt(V("x"), I(0)));
+  Stmt* then_stmt = b.Assign(V("y"), I(1));
+  b.Else();
+  Stmt* else_stmt = b.Assign(V("y"), I(2));
+  b.End();
+  Program p = b.Build();
+  EXPECT_EQ(then_stmt->parent, branch);
+  EXPECT_EQ(then_stmt->parent_body, BodyKind::kMain);
+  EXPECT_EQ(else_stmt->parent_body, BodyKind::kElse);
+  ExpectValid(p);
+}
+
+TEST(Program, BuilderRejectsUnbalancedScopes) {
+  ProgramBuilder b;
+  b.Do("i", I(1), I(2));
+  EXPECT_THROW(b.Build(), InternalError);
+}
+
+TEST(Program, DetachAndReinsert) {
+  ProgramBuilder b;
+  Stmt* s1 = b.Assign(V("x"), I(1));
+  Stmt* s2 = b.Assign(V("y"), I(2));
+  Program p = b.Build();
+
+  const std::uint64_t epoch_before = p.epoch();
+  StmtPtr owned = p.Detach(*s1);
+  EXPECT_GT(p.epoch(), epoch_before);
+  EXPECT_FALSE(owned->attached);
+  EXPECT_EQ(p.top().size(), 1u);
+  EXPECT_EQ(p.FindStmt(owned->id), owned.get());  // still registered
+
+  p.InsertAt(nullptr, BodyKind::kMain, 1, std::move(owned));
+  EXPECT_EQ(p.top().size(), 2u);
+  EXPECT_EQ(p.top()[0].get(), s2);
+  EXPECT_EQ(p.top()[1].get(), s1);
+  EXPECT_TRUE(s1->attached);
+  ExpectValid(p);
+}
+
+TEST(Program, DetachSubtreeClearsAttachedRecursively) {
+  ProgramBuilder b;
+  Stmt* loop = b.Do("i", I(1), I(2));
+  Stmt* inner = b.Assign(V("x"), V("i"));
+  b.End();
+  Program p = b.Build();
+  StmtPtr owned = p.Detach(*loop);
+  EXPECT_FALSE(inner->attached);
+  p.InsertAt(nullptr, BodyKind::kMain, 0, std::move(owned));
+  EXPECT_TRUE(inner->attached);
+}
+
+TEST(Program, ReplaceExprAtKidPosition) {
+  ProgramBuilder b;
+  Stmt* s = b.Assign(V("x"), Add(V("a"), V("b")));
+  Program p = b.Build();
+  Expr& site = *s->rhs->kids[1];  // "b"
+  const ExprId old_id = site.id;
+  ExprPtr old = p.ReplaceExpr(site, I(7));
+  EXPECT_EQ(old->id, old_id);
+  EXPECT_EQ(old->owner, nullptr);
+  EXPECT_EQ(ExprToString(*s->rhs), "a + 7");
+  EXPECT_EQ(p.FindExpr(old_id), old.get());  // detached but registered
+  ExpectValid(p);
+}
+
+TEST(Program, ReplaceExprAtSlotRoot) {
+  ProgramBuilder b;
+  Stmt* s = b.Assign(V("x"), Add(V("a"), V("b")));
+  Program p = b.Build();
+  ExprPtr old = p.ReplaceExpr(*s->rhs, V("c"));
+  EXPECT_EQ(ExprToString(*s->rhs), "c");
+  EXPECT_EQ(s->rhs->slot, ExprSlot::kRhs);
+  EXPECT_EQ(s->rhs->owner, s);
+  EXPECT_EQ(ExprToString(*old), "a + b");
+  ExpectValid(p);
+}
+
+TEST(Program, ReplaceSlotExprHandlesNullStep) {
+  ProgramBuilder b;
+  Stmt* loop = b.Do("i", I(1), I(10));
+  b.End();
+  Program p = b.Build();
+  EXPECT_EQ(loop->step, nullptr);
+  ExprPtr old = p.ReplaceSlotExpr(*loop, ExprSlot::kStep, I(2));
+  EXPECT_EQ(old, nullptr);
+  ASSERT_NE(loop->step, nullptr);
+  EXPECT_EQ(loop->step->ival, 2);
+  EXPECT_TRUE(loop->step->id.valid());
+  ExpectValid(p);
+}
+
+TEST(Program, InsertRejectsCycles) {
+  ProgramBuilder b;
+  Stmt* loop = b.Do("i", I(1), I(2));
+  b.Assign(V("x"), I(1));
+  b.End();
+  Program p = b.Build();
+  StmtPtr owned = p.Detach(*loop);
+  Stmt* raw = owned.get();
+  // Reattach first, then try to move it under itself.
+  p.InsertAt(nullptr, BodyKind::kMain, 0, std::move(owned));
+  StmtPtr again = p.Detach(*raw);
+  Stmt* child = again->body[0].get();  // evaluate before the move
+  EXPECT_THROW(p.InsertAt(child, BodyKind::kMain, 0, std::move(again)),
+               InternalError);
+}
+
+TEST(Program, CloneEquality) {
+  ProgramBuilder b;
+  b.Assign(V("x"), I(1));
+  b.Do("i", I(1), I(5));
+  b.Assign(At("a", V("i")), V("x"));
+  b.End();
+  b.Write(V("x"));
+  Program p = b.Build();
+  Program q = p.Clone();
+  EXPECT_TRUE(Program::Equals(p, q));
+  ExpectValid(q);
+  // Mutate the clone: no longer equal.
+  q.Detach(*q.top()[0]);
+  EXPECT_FALSE(Program::Equals(p, q));
+}
+
+TEST(Program, FindByLabel) {
+  ProgramBuilder b;
+  b.Assign(V("x"), I(1), /*label=*/5);
+  Stmt* labelled = b.Write(V("x"), /*label=*/9);
+  Program p = b.Build();
+  EXPECT_EQ(p.FindByLabel(9), labelled);
+  EXPECT_EQ(p.FindByLabel(3), nullptr);
+}
+
+TEST(Program, AttachedStmtCount) {
+  ProgramBuilder b;
+  b.Do("i", I(1), I(2));
+  b.Assign(V("x"), V("i"));
+  b.End();
+  b.Write(V("x"));
+  Program p = b.Build();
+  EXPECT_EQ(p.AttachedStmtCount(), 3u);
+}
+
+// --- printing ---
+
+TEST(Printer, LabelsAndNesting) {
+  ProgramBuilder b;
+  b.Assign(V("d"), Add(V("e"), V("f")), 1);
+  b.Do("i", I(1), I(100), nullptr, 3);
+  b.Assign(At("a", V("i")), V("d"), 5);
+  b.End();
+  Program p = b.Build();
+  const std::string src = ToSource(p);
+  EXPECT_NE(src.find("1: d = e + f"), std::string::npos);
+  EXPECT_NE(src.find("3: do i = 1, 100"), std::string::npos);
+  EXPECT_NE(src.find("  5: a(i) = d"), std::string::npos);
+  EXPECT_NE(src.find("enddo"), std::string::npos);
+}
+
+TEST(Printer, ShowIdsOption) {
+  ProgramBuilder b;
+  Stmt* s = b.Assign(V("x"), I(1));
+  Program p = b.Build();
+  PrintOptions opts;
+  opts.show_ids = true;
+  const std::string src = ToSource(p, opts);
+  EXPECT_NE(src.find("[s" + std::to_string(s->id.value()) + "]"),
+            std::string::npos);
+}
+
+// --- validation catches corruption ---
+
+TEST(Validate, DetectsBrokenParentLink) {
+  ProgramBuilder b;
+  b.Do("i", I(1), I(2));
+  Stmt* inner = b.Assign(V("x"), I(1));
+  b.End();
+  Program p = b.Build();
+  inner->parent = nullptr;  // corrupt deliberately
+  EXPECT_FALSE(Validate(p).empty());
+}
+
+TEST(Validate, DetectsBrokenExprOwner) {
+  ProgramBuilder b;
+  Stmt* s = b.Assign(V("x"), Add(V("a"), V("b")));
+  Program p = b.Build();
+  s->rhs->kids[0]->owner = nullptr;  // corrupt deliberately
+  EXPECT_FALSE(Validate(p).empty());
+}
+
+TEST(Validate, CleanProgramHasNoProblems) {
+  ProgramBuilder b;
+  b.Read(V("n"));
+  b.If(Gt(V("n"), I(0)));
+  b.Assign(V("x"), V("n"));
+  b.Else();
+  b.Assign(V("x"), I(0));
+  b.End();
+  b.Write(V("x"));
+  Program p = b.Build();
+  EXPECT_TRUE(Validate(p).empty());
+}
+
+}  // namespace
+}  // namespace pivot

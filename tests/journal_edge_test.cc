@@ -1,0 +1,201 @@
+// Edge coverage for the journal, locations and annotations beyond the
+// round-trip basics in actions_test.cc.
+#include <gtest/gtest.h>
+
+#include "pivot/actions/journal.h"
+#include "pivot/ir/parser.h"
+#include "pivot/ir/printer.h"
+#include "pivot/ir/validate.h"
+#include "pivot/support/diagnostics.h"
+
+namespace pivot {
+namespace {
+
+// --- chained deletions restore in original order, any undo order ---
+
+class ChainedDeletes : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChainedDeletes, AnyRestoreOrderRebuildsText) {
+  // Delete four adjacent statements, then invert them in the permutation
+  // selected by the parameter. The sibling-context anchors must rebuild
+  // the original order every time.
+  Program p = Parse("p = 0\na = 1\nb = 2\nc = 3\nd = 4\nq = 9");
+  const std::string original = ToSource(p);
+  Journal j(p);
+  std::vector<ActionId> deletes;
+  // Delete b, then a, then d, then c (mixed order, distinct stamps).
+  deletes.push_back(j.Delete(*p.top()[2], 1));  // b
+  deletes.push_back(j.Delete(*p.top()[1], 2));  // a
+  deletes.push_back(j.Delete(*p.top()[2], 3));  // d (list shifted)
+  deletes.push_back(j.Delete(*p.top()[1], 4));  // c
+  EXPECT_EQ(ToSource(p), "p = 0\nq = 9\n");
+
+  // Apply the permutation encoded by the parameter (factorial digits).
+  std::vector<ActionId> order = deletes;
+  int code = GetParam();
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[static_cast<std::size_t>(code) % i]);
+    code /= static_cast<int>(i);
+  }
+  for (ActionId id : order) {
+    // Reversibility may be blocked pairwise (context interplay is absent
+    // here: all four are top-level siblings), so inverts apply directly.
+    j.Invert(id);
+  }
+  EXPECT_EQ(ToSource(p), original);
+  ExpectValid(p);
+}
+
+INSTANTIATE_TEST_SUITE_P(Permutations, ChainedDeletes,
+                         ::testing::Range(0, 24));
+
+// --- location rendering & misc ---
+
+TEST(Location, ToStringForms) {
+  Program p = Parse("do i = 1, 2\n  x = i\nenddo");
+  const Location top_loc = CaptureLocationOf(p, *p.top()[0]);
+  EXPECT_NE(LocationToString(top_loc).find("parent=top"),
+            std::string::npos);
+  const Location body_loc =
+      CaptureLocationOf(p, *p.top()[0]->body[0]);
+  EXPECT_NE(LocationToString(body_loc).find("parent=s"),
+            std::string::npos);
+}
+
+TEST(Location, InsertionPointAtEnd) {
+  Program p = Parse("a = 1\nb = 2");
+  const Location loc = CaptureInsertionPoint(p, nullptr, BodyKind::kMain, 2);
+  EXPECT_EQ(loc.index, 2);
+  EXPECT_TRUE(loc.before.valid());
+  EXPECT_FALSE(loc.after.valid());
+  auto resolved = ResolveLocation(p, loc);
+  ASSERT_TRUE(resolved.has_value());
+  EXPECT_EQ(resolved->index, 2u);
+}
+
+TEST(Location, EmptyBodyFallsBackToRawIndex) {
+  Program p = Parse("do i = 1, 2\nenddo");
+  Stmt* loop = p.top()[0].get();
+  const Location loc = CaptureInsertionPoint(p, loop, BodyKind::kMain, 0);
+  auto resolved = ResolveLocation(p, loc);
+  ASSERT_TRUE(resolved.has_value());
+  EXPECT_EQ(resolved->parent, loop);
+  EXPECT_EQ(resolved->index, 0u);
+}
+
+// --- annotations edge paths ---
+
+TEST(Annotations, RenderShowsDetachedMarkers) {
+  Program p = Parse("a = 1\nb = 2");
+  Journal j(p);
+  j.Delete(*p.top()[0], 1);
+  const std::string render = j.annotations().Render(p);
+  EXPECT_NE(render.find("detached"), std::string::npos);
+  EXPECT_NE(render.find("del_1"), std::string::npos);
+}
+
+TEST(Annotations, TopOfEmptyIsNull) {
+  AnnotationMap map;
+  EXPECT_EQ(map.TopOfStmt(StmtId(5)), nullptr);
+  EXPECT_EQ(map.TopOfExpr(ExprId(5)), nullptr);
+  EXPECT_EQ(map.TotalCount(), 0u);
+}
+
+TEST(Annotations, RemoveActionIsSelective) {
+  AnnotationMap map;
+  Annotation a1{ActionKind::kModify, 1, ActionId(1)};
+  Annotation a2{ActionKind::kModify, 2, ActionId(2)};
+  map.AddExpr(ExprId(9), a1);
+  map.AddExpr(ExprId(9), a2);
+  map.RemoveAction(ActionId(1));
+  ASSERT_EQ(map.OfExpr(ExprId(9)).size(), 1u);
+  EXPECT_EQ(map.OfExpr(ExprId(9))[0].stamp, 2u);
+  map.RemoveAction(ActionId(2));
+  EXPECT_TRUE(map.OfExpr(ExprId(9)).empty());
+}
+
+// --- journal misc ---
+
+TEST(Journal, RecordToStringAllKinds) {
+  Program p = Parse("a = 1\nb = a\ndo i = 1, 2\n  c(i) = i\nenddo");
+  Journal j(p);
+  const ActionId del = j.Delete(*p.top()[0], 1);
+  j.Invert(del);
+  const ActionId cp = j.Copy(*p.top()[0], nullptr, BodyKind::kMain, 2, 2);
+  const ActionId mv = j.Move(*p.top()[1], nullptr, BodyKind::kMain, 0, 3);
+  const ActionId add = j.Add(MakeWrite(MakeIntConst(0)), nullptr,
+                             BodyKind::kMain, 0, 4, "desc");
+  const ActionId md = j.Modify(*p.top()[2]->rhs, ParseExpr("7"), 5);
+  Stmt* loop = nullptr;
+  p.ForEachAttached([&](Stmt& s) {
+    if (s.kind == StmtKind::kDo) loop = &s;
+  });
+  ASSERT_NE(loop, nullptr);
+  const ActionId hd = j.ModifyHeader(*loop, "k", ParseExpr("1"),
+                                     ParseExpr("4"), nullptr, 6);
+  for (ActionId id : {del, cp, mv, add, md, hd}) {
+    EXPECT_FALSE(j.record(id).ToString().empty());
+  }
+  EXPECT_NE(j.record(del).ToString().find("undone"), std::string::npos);
+  EXPECT_NE(j.record(hd).ToString().find("header"), std::string::npos);
+}
+
+TEST(Journal, EditStampsTracked) {
+  Program p = Parse("a = 1");
+  Journal j(p);
+  EXPECT_FALSE(j.IsEditStamp(3));
+  j.MarkEditStamp(3);
+  EXPECT_TRUE(j.IsEditStamp(3));
+  EXPECT_FALSE(j.IsEditStamp(4));
+}
+
+TEST(Journal, FindDetachedHolderFindsNestedStatements) {
+  Program p = Parse("do i = 1, 2\n  x = i\n  y = x\nenddo");
+  Journal j(p);
+  const StmtId inner_id = p.top()[0]->body[1]->id;
+  j.Delete(*p.top()[0], 1);
+  const ActionRecord* holder = j.FindDetachedHolder(inner_id);
+  ASSERT_NE(holder, nullptr);
+  EXPECT_EQ(holder->stamp, 1u);
+  EXPECT_EQ(j.FindDetachedHolder(StmtId(999)), nullptr);
+}
+
+TEST(Journal, InvertRefusesWhenBlocked) {
+  Program p = Parse("do i = 1, 2\n  x = i\n  x = 2\n  a(i) = x\nenddo");
+  Journal j(p);
+  const ActionId del_x = j.Delete(*p.top()[0]->body[0], 1);
+  j.Delete(*p.top()[0], 2);
+  EXPECT_THROW(j.Invert(del_x), InternalError);
+}
+
+TEST(Journal, DoubleInvertRefused) {
+  Program p = Parse("a = 1\nb = 2");
+  Journal j(p);
+  const ActionId id = j.Delete(*p.top()[0], 1);
+  j.Invert(id);
+  EXPECT_THROW(j.Invert(id), InternalError);
+}
+
+TEST(Journal, MoveIntoOwnSubtreeRefused) {
+  Program p = Parse("do i = 1, 2\n  x = i\nenddo");
+  Journal j(p);
+  Stmt* loop = p.top()[0].get();
+  EXPECT_THROW(j.Move(*loop, loop, BodyKind::kMain, 0, 1), InternalError);
+}
+
+// --- interleaved stamps and LiveActionsOf ---
+
+TEST(Journal, LiveActionsRespectUndoneFlags) {
+  Program p = Parse("a = 1\nb = 2\nc = 3\nwrite a");
+  Journal j(p);
+  const ActionId d1 = j.Delete(*p.top()[1], 5);
+  const ActionId d2 = j.Delete(*p.top()[1], 5);
+  EXPECT_EQ(j.LiveActionsOf(5).size(), 2u);
+  j.Invert(d2);
+  j.Invert(d1);
+  EXPECT_TRUE(j.LiveActionsOf(5).empty());
+  EXPECT_TRUE(j.LiveActionsOf(6).empty());
+}
+
+}  // namespace
+}  // namespace pivot

@@ -1,0 +1,350 @@
+#include <gtest/gtest.h>
+
+#include "pivot/analysis/analyses.h"
+#include "pivot/ir/parser.h"
+
+namespace pivot {
+namespace {
+
+// --- loop tree ---
+
+TEST(LoopTree, DepthAndNesting) {
+  Program p = Parse(R"(
+do i = 1, 4
+  do j = 1, 5
+    m(i, j) = 0
+  enddo
+enddo
+do k = 1, 2
+  x = k
+enddo
+)");
+  AnalysisCache cache(p);
+  const LoopTree& loops = cache.loops();
+  ASSERT_EQ(loops.loops().size(), 3u);
+  const Stmt& outer = *p.top()[0];
+  const Stmt& inner = *outer.body[0];
+  EXPECT_EQ(loops.InfoOf(outer)->depth, 1);
+  EXPECT_EQ(loops.InfoOf(inner)->depth, 2);
+  EXPECT_EQ(loops.InfoOf(inner)->parent_loop, &outer);
+  EXPECT_EQ(loops.InfoOf(*p.top()[1])->depth, 1);
+}
+
+TEST(LoopTree, TripCounts) {
+  Program p = Parse(
+      "do i = 1, 10\nenddo\ndo j = 1, 10, 3\nenddo\n"
+      "do k = 5, 1\nenddo\ndo l = 1, n\nenddo");
+  AnalysisCache cache(p);
+  EXPECT_EQ(cache.loops().InfoOf(*p.top()[0])->TripCount(), 10);
+  EXPECT_EQ(cache.loops().InfoOf(*p.top()[1])->TripCount(), 4);
+  EXPECT_EQ(cache.loops().InfoOf(*p.top()[2])->TripCount(), 0);
+  EXPECT_EQ(cache.loops().InfoOf(*p.top()[3])->TripCount(), -1);
+  EXPECT_TRUE(cache.loops().InfoOf(*p.top()[0])->DefinitelyExecutes());
+  EXPECT_FALSE(cache.loops().InfoOf(*p.top()[2])->DefinitelyExecutes());
+}
+
+TEST(LoopTree, CommonLoops) {
+  Program p = Parse(R"(
+do i = 1, 3
+  a(i) = 1
+  do j = 1, 3
+    b(i, j) = 2
+  enddo
+enddo
+)");
+  AnalysisCache cache(p);
+  const Stmt& outer = *p.top()[0];
+  const Stmt& s1 = *outer.body[0];
+  const Stmt& inner = *outer.body[1];
+  const Stmt& s2 = *inner.body[0];
+  const auto common = cache.loops().CommonLoops(s1, s2);
+  ASSERT_EQ(common.size(), 1u);
+  EXPECT_EQ(common[0], &outer);
+}
+
+TEST(LoopTree, TightNestingPredicate) {
+  Program tight = Parse("do i = 1, 2\n  do j = 1, 2\n    x = 1\n  enddo\nenddo");
+  EXPECT_TRUE(IsTightlyNested(*tight.top()[0]));
+  Program loose = Parse(
+      "do i = 1, 2\n  y = 0\n  do j = 1, 2\n    x = 1\n  enddo\nenddo");
+  EXPECT_FALSE(IsTightlyNested(*loose.top()[0]));
+}
+
+TEST(LoopTree, AdjacencyPredicate) {
+  Program p = Parse(
+      "do i = 1, 2\n  a(i) = 1\nenddo\ndo i = 1, 2\n  b(i) = 2\nenddo\n"
+      "x = 1\ndo k = 1, 2\n  c(k) = 3\nenddo");
+  EXPECT_TRUE(AreAdjacentLoops(p, *p.top()[0], *p.top()[1]));
+  EXPECT_FALSE(AreAdjacentLoops(p, *p.top()[1], *p.top()[3]));  // x between
+  EXPECT_FALSE(AreAdjacentLoops(p, *p.top()[1], *p.top()[0]));  // order
+}
+
+TEST(LoopTree, NamesDefinedIn) {
+  Program p = Parse(R"(
+do i = 1, 2
+  t = 1
+  a(i) = t
+  do j = 1, 2
+    b(j) = 0
+  enddo
+enddo
+)");
+  const auto names = NamesDefinedIn(*p.top()[0]);
+  EXPECT_TRUE(names.count("t"));
+  EXPECT_TRUE(names.count("a"));
+  EXPECT_TRUE(names.count("b"));
+  EXPECT_TRUE(names.count("j"));   // nested loop variable
+  EXPECT_FALSE(names.count("i"));  // the loop's own variable is excluded
+}
+
+// --- loop invariance ---
+
+TEST(Invariance, BasicInvariant) {
+  Program p = Parse("do i = 1, 3\n  t = u + v\n  a(i) = t\nenddo");
+  AnalysisCache cache(p);
+  const Stmt& loop = *p.top()[0];
+  EXPECT_TRUE(
+      IsLoopInvariant(*loop.body[0], loop, *cache.loops().InfoOf(loop)));
+  EXPECT_FALSE(
+      IsLoopInvariant(*loop.body[1], loop, *cache.loops().InfoOf(loop)));
+}
+
+TEST(Invariance, RejectsLoopVarReads) {
+  Program p = Parse("do i = 1, 3\n  t = i + 1\nenddo");
+  AnalysisCache cache(p);
+  const Stmt& loop = *p.top()[0];
+  EXPECT_FALSE(
+      IsLoopInvariant(*loop.body[0], loop, *cache.loops().InfoOf(loop)));
+}
+
+TEST(Invariance, RejectsReadsOfLoopDefinedNames) {
+  Program p = Parse("do i = 1, 3\n  t = s + 1\n  s = s + i\nenddo");
+  AnalysisCache cache(p);
+  const Stmt& loop = *p.top()[0];
+  EXPECT_FALSE(
+      IsLoopInvariant(*loop.body[0], loop, *cache.loops().InfoOf(loop)));
+}
+
+TEST(Invariance, RejectsUseBeforeDef) {
+  // First iteration would see the hoisted value instead of the old one.
+  Program p = Parse("do i = 1, 3\n  a(i) = t\n  t = u + v\nenddo");
+  AnalysisCache cache(p);
+  const Stmt& loop = *p.top()[0];
+  EXPECT_FALSE(
+      IsLoopInvariant(*loop.body[1], loop, *cache.loops().InfoOf(loop)));
+}
+
+TEST(Invariance, RejectsPossiblyZeroTripLoop) {
+  Program p = Parse("do i = 1, n\n  t = u + v\nenddo");
+  AnalysisCache cache(p);
+  const Stmt& loop = *p.top()[0];
+  EXPECT_FALSE(
+      IsLoopInvariant(*loop.body[0], loop, *cache.loops().InfoOf(loop)));
+}
+
+TEST(Invariance, ArrayElementTargetWithInvariantSubscript) {
+  // The paper's own example: A(j) = B(j) + 1 is invariant in the i loop.
+  Program p = Parse(
+      "do j = 1, 5\n  do i = 1, 4\n    a(j) = b(j) + 1\n  enddo\nenddo");
+  AnalysisCache cache(p);
+  const Stmt& inner = *p.top()[0]->body[0];
+  EXPECT_TRUE(IsLoopInvariant(*inner.body[0], inner,
+                              *cache.loops().InfoOf(inner)));
+}
+
+// --- affine extraction ---
+
+TEST(Affine, Forms) {
+  const AffineForm c = ExtractAffine(*ParseExpr("7"));
+  EXPECT_TRUE(c.ok);
+  EXPECT_EQ(c.konst, 7);
+  EXPECT_TRUE(c.coeff.empty());
+
+  const AffineForm lin = ExtractAffine(*ParseExpr("2 * i + 3"));
+  EXPECT_TRUE(lin.ok);
+  EXPECT_EQ(lin.konst, 3);
+  EXPECT_EQ(lin.coeff.at("i"), 2);
+
+  const AffineForm neg = ExtractAffine(*ParseExpr("-(i - 4)"));
+  EXPECT_TRUE(neg.ok);
+  EXPECT_EQ(neg.konst, 4);
+  EXPECT_EQ(neg.coeff.at("i"), -1);
+
+  const AffineForm cancel = ExtractAffine(*ParseExpr("i - i + 1"));
+  EXPECT_TRUE(cancel.ok);
+  EXPECT_TRUE(cancel.coeff.empty());
+
+  EXPECT_FALSE(ExtractAffine(*ParseExpr("i * j")).ok);
+  EXPECT_FALSE(ExtractAffine(*ParseExpr("a(i)")).ok);
+  EXPECT_FALSE(ExtractAffine(*ParseExpr("i / 2")).ok);
+}
+
+// --- dependence analysis ---
+
+std::vector<Dependence> DepsOf(Program& p) {
+  AnalysisCache cache(p);
+  return ComputeDependences(p, cache.loops());
+}
+
+bool HasDep(const std::vector<Dependence>& deps, const std::string& var,
+            DepKind kind) {
+  for (const auto& d : deps) {
+    if (d.var == var && d.kind == kind) return true;
+  }
+  return false;
+}
+
+TEST(Depend, ScalarFlowAntiOutput) {
+  Program p = Parse("x = 1\ny = x\nx = 2");
+  const auto deps = DepsOf(p);
+  EXPECT_TRUE(HasDep(deps, "x", DepKind::kFlow));    // s1 -> s2
+  EXPECT_TRUE(HasDep(deps, "x", DepKind::kAnti));    // s2 -> s3
+  EXPECT_TRUE(HasDep(deps, "x", DepKind::kOutput));  // s1 -> s3
+}
+
+TEST(Depend, IndependentArrayColumns) {
+  // ZIV: constant subscripts differ -> no dependence.
+  Program p = Parse("a(1) = 1\nx = a(2)");
+  const auto deps = DepsOf(p);
+  EXPECT_FALSE(HasDep(deps, "a", DepKind::kFlow));
+}
+
+TEST(Depend, LoopCarriedFlowDistanceOne) {
+  Program p = Parse("do i = 2, 5\n  a(i) = a(i - 1) + 1\nenddo");
+  const auto deps = DepsOf(p);
+  bool found = false;
+  for (const auto& d : deps) {
+    if (d.var == "a" && d.kind == DepKind::kFlow && d.dirs.size() == 1 &&
+        d.dirs[0] == DepDir::kLt) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Depend, AntiDependenceNormalization) {
+  // a(i) reads the element written one iteration later: anti dep (<).
+  Program p = Parse("do i = 1, 5\n  a(i) = a(i + 1)\nenddo");
+  const auto deps = DepsOf(p);
+  bool found = false;
+  for (const auto& d : deps) {
+    if (d.var == "a" && d.kind == DepKind::kAnti && d.dirs.size() == 1 &&
+        d.dirs[0] == DepDir::kLt) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Depend, DistanceBeyondTripCountPruned) {
+  Program p = Parse("do i = 1, 3\n  a(i) = a(i + 10)\nenddo");
+  const auto deps = DepsOf(p);
+  EXPECT_FALSE(HasDep(deps, "a", DepKind::kAnti));
+  EXPECT_FALSE(HasDep(deps, "a", DepKind::kFlow));
+}
+
+TEST(Depend, EqualDirectionLoopIndependent) {
+  Program p = Parse("do i = 1, 5\n  a(i) = 1\n  x = a(i)\nenddo");
+  const auto deps = DepsOf(p);
+  bool found = false;
+  for (const auto& d : deps) {
+    if (d.var == "a" && d.kind == DepKind::kFlow && d.loop_independent) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// --- interchange legality ---
+
+TEST(Interchange, LegalForIndependentElements) {
+  Program p = Parse(
+      "do i = 1, 4\n  do j = 1, 4\n    m(i, j) = i + j\n  enddo\nenddo");
+  AnalysisCache cache(p);
+  const Stmt& outer = *p.top()[0];
+  EXPECT_FALSE(InterchangePrevented(p, cache.loops(), outer,
+                                    *outer.body[0]));
+}
+
+TEST(Interchange, PreventedByLtGtDependence) {
+  // m(i, j) depends on m(i-1, j+1): direction (<, >).
+  Program p = Parse(
+      "do i = 2, 5\n  do j = 1, 4\n    m(i, j) = m(i - 1, j + 1)\n"
+      "  enddo\nenddo");
+  AnalysisCache cache(p);
+  const Stmt& outer = *p.top()[0];
+  EXPECT_TRUE(InterchangePrevented(p, cache.loops(), outer,
+                                   *outer.body[0]));
+}
+
+TEST(Interchange, LtLtDependenceIsFine) {
+  // (<, <) survives interchange.
+  Program p = Parse(
+      "do i = 2, 5\n  do j = 2, 5\n    m(i, j) = m(i - 1, j - 1)\n"
+      "  enddo\nenddo");
+  AnalysisCache cache(p);
+  const Stmt& outer = *p.top()[0];
+  EXPECT_FALSE(InterchangePrevented(p, cache.loops(), outer,
+                                    *outer.body[0]));
+}
+
+TEST(Interchange, ScalarCarriedPrevented) {
+  // The scalar accumulation gives (*, *) directions: conservative block.
+  Program p = Parse(
+      "do i = 1, 4\n  do j = 1, 4\n    s = s + m(i, j)\n  enddo\nenddo");
+  AnalysisCache cache(p);
+  const Stmt& outer = *p.top()[0];
+  EXPECT_TRUE(InterchangePrevented(p, cache.loops(), outer,
+                                   *outer.body[0]));
+}
+
+// --- fusion legality ---
+
+TEST(Fusion, LegalForDisjointArrays) {
+  Program p = Parse(
+      "do i = 1, 4\n  a(i) = i\nenddo\ndo i = 1, 4\n  b(i) = 2\nenddo");
+  AnalysisCache cache(p);
+  EXPECT_FALSE(FusionPrevented(p, cache.loops(), *p.top()[0], *p.top()[1]));
+}
+
+TEST(Fusion, LegalForSameIterationFlow) {
+  // Second loop reads what the first wrote at the same index: distance 0.
+  Program p = Parse(
+      "do i = 1, 4\n  a(i) = i\nenddo\ndo i = 1, 4\n  b(i) = a(i)\nenddo");
+  AnalysisCache cache(p);
+  EXPECT_FALSE(FusionPrevented(p, cache.loops(), *p.top()[0], *p.top()[1]));
+}
+
+TEST(Fusion, LegalForBackwardDistance) {
+  // Reads an element written in an *earlier* fused iteration: fine.
+  Program p = Parse(
+      "do i = 2, 5\n  a(i) = i\nenddo\ndo i = 2, 5\n  b(i) = a(i - 1)\nenddo");
+  AnalysisCache cache(p);
+  EXPECT_FALSE(FusionPrevented(p, cache.loops(), *p.top()[0], *p.top()[1]));
+}
+
+TEST(Fusion, PreventedByForwardDistance) {
+  // The classic violation: the second loop reads a(i+1), which fusion
+  // would make a read-before-write.
+  Program p = Parse(
+      "do i = 1, 4\n  a(i) = i\nenddo\ndo i = 1, 4\n  b(i) = a(i + 1)\nenddo");
+  AnalysisCache cache(p);
+  EXPECT_TRUE(FusionPrevented(p, cache.loops(), *p.top()[0], *p.top()[1]));
+}
+
+TEST(Fusion, ScalarCrossingPrevented) {
+  Program p = Parse(
+      "do i = 1, 4\n  s = i\nenddo\ndo i = 1, 4\n  b(i) = s\nenddo");
+  AnalysisCache cache(p);
+  EXPECT_TRUE(FusionPrevented(p, cache.loops(), *p.top()[0], *p.top()[1]));
+}
+
+TEST(Fusion, DifferentLoopVariablesHandled) {
+  Program p = Parse(
+      "do i = 1, 4\n  a(i) = i\nenddo\ndo j = 1, 4\n  b(j) = a(j + 1)\nenddo");
+  AnalysisCache cache(p);
+  EXPECT_TRUE(FusionPrevented(p, cache.loops(), *p.top()[0], *p.top()[1]));
+}
+
+}  // namespace
+}  // namespace pivot

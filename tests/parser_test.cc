@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include "pivot/ir/lexer.h"
+#include "pivot/support/diagnostics.h"
+#include "pivot/ir/parser.h"
+#include "pivot/ir/printer.h"
+#include "pivot/ir/validate.h"
+
+namespace pivot {
+namespace {
+
+// --- lexer ---
+
+TEST(Lexer, BasicTokens) {
+  const auto tokens = Lex("x = a + 42");
+  ASSERT_GE(tokens.size(), 6u);
+  EXPECT_EQ(tokens[0].kind, TokKind::kIdent);
+  EXPECT_EQ(tokens[0].text, "x");
+  EXPECT_EQ(tokens[1].kind, TokKind::kAssign);
+  EXPECT_EQ(tokens[3].kind, TokKind::kPlus);
+  EXPECT_EQ(tokens[4].kind, TokKind::kInt);
+  EXPECT_EQ(tokens[4].ival, 42);
+}
+
+TEST(Lexer, RealsAndDotOperators) {
+  const auto tokens = Lex("y = 3.5 .and. 1");
+  EXPECT_EQ(tokens[2].kind, TokKind::kReal);
+  EXPECT_DOUBLE_EQ(tokens[2].rval, 3.5);
+  EXPECT_EQ(tokens[3].kind, TokKind::kAnd);
+}
+
+TEST(Lexer, ComparisonOperators) {
+  const auto tokens = Lex("a <= b >= c == d /= e < f > g");
+  EXPECT_EQ(tokens[1].kind, TokKind::kLe);
+  EXPECT_EQ(tokens[3].kind, TokKind::kGe);
+  EXPECT_EQ(tokens[5].kind, TokKind::kEq);
+  EXPECT_EQ(tokens[7].kind, TokKind::kNe);
+  EXPECT_EQ(tokens[9].kind, TokKind::kLt);
+  EXPECT_EQ(tokens[11].kind, TokKind::kGt);
+}
+
+TEST(Lexer, CommentsAndBlankLines) {
+  const auto tokens = Lex("x = 1 ! set x\n\n\ny = 2\n");
+  // Collapsed newlines: x=1 NL y=2 NL END.
+  int newlines = 0;
+  for (const auto& t : tokens) {
+    if (t.kind == TokKind::kNewline) ++newlines;
+  }
+  EXPECT_EQ(newlines, 2);
+}
+
+TEST(Lexer, TracksLineNumbers) {
+  const auto tokens = Lex("a = 1\nb = 2\n");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[4].line, 2);
+}
+
+TEST(Lexer, KeywordsLowercased) {
+  const auto tokens = Lex("DO I = 1, 5");
+  EXPECT_EQ(tokens[0].text, "do");
+  EXPECT_EQ(tokens[1].text, "i");
+}
+
+TEST(Lexer, RejectsStrayCharacters) {
+  EXPECT_THROW(Lex("x = @"), ProgramError);
+}
+
+// --- parser ---
+
+TEST(Parser, SimpleAssignment) {
+  Program p = Parse("x = a * 2 + b");
+  ASSERT_EQ(p.top().size(), 1u);
+  EXPECT_EQ(ToSource(p), "x = a * 2 + b\n");
+  ExpectValid(p);
+}
+
+TEST(Parser, LabelsPreserved) {
+  Program p = Parse("5: a(j) = b(j) + c");
+  EXPECT_EQ(p.top()[0]->label, 5);
+  EXPECT_NE(p.FindByLabel(5), nullptr);
+}
+
+TEST(Parser, DoLoopWithStep) {
+  Program p = Parse("do i = 1, 10, 2\n  x = i\nenddo");
+  const Stmt& loop = *p.top()[0];
+  EXPECT_EQ(loop.kind, StmtKind::kDo);
+  EXPECT_EQ(loop.loop_var, "i");
+  ASSERT_NE(loop.step, nullptr);
+  EXPECT_EQ(loop.step->ival, 2);
+  EXPECT_EQ(loop.body.size(), 1u);
+}
+
+TEST(Parser, NestedLoops) {
+  Program p = Parse(R"(
+do i = 1, 3
+  do j = 1, 4
+    m(i, j) = i + j
+  enddo
+enddo
+)");
+  const Stmt& outer = *p.top()[0];
+  ASSERT_EQ(outer.body.size(), 1u);
+  const Stmt& inner = *outer.body[0];
+  EXPECT_EQ(inner.kind, StmtKind::kDo);
+  EXPECT_EQ(inner.body[0]->lhs->kids.size(), 2u);
+  ExpectValid(p);
+}
+
+TEST(Parser, IfThenElse) {
+  Program p = Parse(R"(
+if (x > 0) then
+  y = 1
+else
+  y = 2
+endif
+)");
+  const Stmt& branch = *p.top()[0];
+  EXPECT_EQ(branch.kind, StmtKind::kIf);
+  EXPECT_EQ(branch.body.size(), 1u);
+  EXPECT_EQ(branch.else_body.size(), 1u);
+}
+
+TEST(Parser, ReadWrite) {
+  Program p = Parse("read n\nwrite n * 2");
+  EXPECT_EQ(p.top()[0]->kind, StmtKind::kRead);
+  EXPECT_EQ(p.top()[1]->kind, StmtKind::kWrite);
+}
+
+TEST(Parser, PrecedenceAndParens) {
+  Program p = Parse("x = (a + b) * c - d / 2");
+  EXPECT_EQ(ToSource(p), "x = (a + b) * c - d / 2\n");
+}
+
+TEST(Parser, UnaryMinus) {
+  Program p = Parse("x = -y + 1");
+  EXPECT_EQ(ToSource(p), "x = -y + 1\n");
+}
+
+TEST(Parser, LogicalOperators) {
+  Program p = Parse("if (a > 0 .and. b < 2 .or. .not. c == 1) then\nendif");
+  EXPECT_EQ(p.top()[0]->kind, StmtKind::kIf);
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  try {
+    Parse("x = 1\ny = +\n");
+    FAIL() << "expected ProgramError";
+  } catch (const ProgramError& e) {
+    EXPECT_EQ(e.line(), 2);
+  }
+}
+
+TEST(Parser, RejectsUnbalancedDo) {
+  EXPECT_THROW(Parse("do i = 1, 3\nx = 1\n"), ProgramError);
+  EXPECT_THROW(Parse("enddo"), ProgramError);
+}
+
+TEST(Parser, RejectsUnbalancedIf) {
+  EXPECT_THROW(Parse("if (x > 0) then\n"), ProgramError);
+  EXPECT_THROW(Parse("else"), ProgramError);
+  EXPECT_THROW(Parse("endif"), ProgramError);
+}
+
+TEST(Parser, RejectsMissingThen) {
+  EXPECT_THROW(Parse("if (x > 0)\nendif"), ProgramError);
+}
+
+TEST(Parser, ParseExprStandalone) {
+  ExprPtr e = ParseExpr("a(i) + 2 * b");
+  EXPECT_EQ(ExprToString(*e), "a(i) + 2 * b");
+  EXPECT_THROW(ParseExpr("a + b extra_tokens ="), ProgramError);
+}
+
+// Round-trip: print then reparse yields a structurally equal program.
+class RoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTrip, PrintParseIsIdentity) {
+  Program original = Parse(GetParam());
+  const std::string printed = ToSource(original);
+  Program reparsed = Parse(printed);
+  EXPECT_TRUE(Program::Equals(original, reparsed))
+      << "printed form:\n" << printed;
+  EXPECT_EQ(printed, ToSource(reparsed));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, RoundTrip,
+    ::testing::Values(
+        "x = 1",
+        "x = a + b * c - d / e % f",
+        "x = -(-y)",
+        "a(i, j) = a(j, i) + 1",
+        "do i = 1, 10\n  s = s + i\nenddo",
+        "do i = 1, 10, 3\n  do j = i, 10\n    m(i, j) = 0\n  enddo\nenddo",
+        "if (a >= b) then\n  c = 1\nendif",
+        "if (a /= b .and. c <= d) then\n  x = 1\nelse\n  x = 2\nendif",
+        "read v\nwrite v + 0.5",
+        "1: d = e + f\n2: c = 1\n3: do i = 1, 100\n4: do j = 1, 50\n"
+        "5: a(j) = b(j) + c\n6: r(i, j) = e + f\nenddo\nenddo"));
+
+}  // namespace
+}  // namespace pivot

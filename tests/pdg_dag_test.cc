@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "pivot/analysis/analyses.h"
+#include "pivot/analysis/dag.h"
+#include "pivot/ir/parser.h"
+
+namespace pivot {
+namespace {
+
+// --- PDG structure ---
+
+TEST(Pdg, RegionTreeMirrorsNesting) {
+  Program p = Parse(R"(
+x = 1
+do i = 1, 3
+  y = i
+enddo
+if (x > 0) then
+  z = 1
+else
+  z = 2
+endif
+)");
+  AnalysisCache cache(p);
+  const Pdg& pdg = cache.pdg();
+
+  const Stmt& assign = *p.top()[0];
+  const Stmt& loop = *p.top()[1];
+  const Stmt& body = *loop.body[0];
+  const Stmt& branch = *p.top()[2];
+
+  EXPECT_EQ(pdg.RegionOf(assign), pdg.root());
+  EXPECT_EQ(pdg.RegionOf(loop), pdg.root());
+  // The loop body's region hangs off the loop's statement node.
+  const int loop_region = pdg.RegionFor(loop, BodyKind::kMain);
+  EXPECT_EQ(pdg.RegionOf(body), loop_region);
+  EXPECT_EQ(pdg.nodes()[static_cast<std::size_t>(loop_region)].parent,
+            pdg.NodeOf(loop));
+  // If has two regions.
+  const int then_region = pdg.RegionFor(branch, BodyKind::kMain);
+  const int else_region = pdg.RegionFor(branch, BodyKind::kElse);
+  EXPECT_NE(then_region, else_region);
+  EXPECT_EQ(pdg.RegionOf(*branch.body[0]), then_region);
+  EXPECT_EQ(pdg.RegionOf(*branch.else_body[0]), else_region);
+}
+
+TEST(Pdg, LcrOfSiblingsIsSharedRegion) {
+  Program p = Parse("a = 1\nb = 2");
+  AnalysisCache cache(p);
+  EXPECT_EQ(cache.pdg().Lcr(*p.top()[0], *p.top()[1]), cache.pdg().root());
+}
+
+TEST(Pdg, LcrInsideLoop) {
+  Program p = Parse("do i = 1, 3\n  a(i) = 1\n  b(i) = a(i)\nenddo");
+  AnalysisCache cache(p);
+  const Stmt& loop = *p.top()[0];
+  const int lcr = cache.pdg().Lcr(*loop.body[0], *loop.body[1]);
+  EXPECT_EQ(lcr, cache.pdg().RegionFor(loop, BodyKind::kMain));
+}
+
+TEST(Pdg, LcrAcrossLoopsIsCommonAncestor) {
+  Program p = Parse(
+      "do i = 1, 3\n  a(i) = i\nenddo\ndo j = 1, 3\n  b(j) = a(j)\nenddo");
+  AnalysisCache cache(p);
+  const Stmt& s1 = *p.top()[0]->body[0];
+  const Stmt& s2 = *p.top()[1]->body[0];
+  EXPECT_EQ(cache.pdg().Lcr(s1, s2), cache.pdg().root());
+}
+
+TEST(Pdg, InSubtree) {
+  Program p = Parse("do i = 1, 3\n  x = i\nenddo\ny = 1");
+  AnalysisCache cache(p);
+  const Pdg& pdg = cache.pdg();
+  const Stmt& loop = *p.top()[0];
+  const int loop_node = pdg.NodeOf(loop);
+  EXPECT_TRUE(pdg.InSubtree(loop_node, pdg.NodeOf(*loop.body[0])));
+  EXPECT_FALSE(pdg.InSubtree(loop_node, pdg.NodeOf(*p.top()[1])));
+  EXPECT_TRUE(pdg.InSubtree(pdg.root(), loop_node));
+}
+
+TEST(Pdg, ToStringShowsStructureAndDeps) {
+  Program p = Parse("x = 1\nwrite x");
+  AnalysisCache cache(p);
+  const std::string dump = cache.pdg().ToString();
+  EXPECT_NE(dump.find("R0"), std::string::npos);
+  EXPECT_NE(dump.find("x = 1"), std::string::npos);
+  EXPECT_NE(dump.find("dependences:"), std::string::npos);
+}
+
+// --- dependence summaries (Figure 3) ---
+
+TEST(Summaries, DependenceSummarizedAtLcr) {
+  // Two adjacent loops with a dependence between their bodies: the
+  // dependence is summarized on the common (root) region, exactly the
+  // paper's Figure 3 configuration.
+  Program p = Parse(
+      "do i = 1, 3\n  a(i) = i\nenddo\ndo j = 1, 3\n  b(j) = a(j)\nenddo");
+  AnalysisCache cache(p);
+  const DependenceSummaries& sums = cache.summaries();
+  const auto& at_root = sums.AtRegion(cache.pdg().root());
+  bool found = false;
+  for (const Dependence* d : at_root) {
+    if (d->var == "a" && d->kind == DepKind::kFlow) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Summaries, IntraLoopDependenceStaysInLoopRegion) {
+  Program p = Parse("do i = 1, 3\n  a(i) = i\n  b(i) = a(i)\nenddo\nx = 1");
+  AnalysisCache cache(p);
+  const Stmt& loop = *p.top()[0];
+  const int loop_region = cache.pdg().RegionFor(loop, BodyKind::kMain);
+  bool found = false;
+  for (const Dependence* d : cache.summaries().AtRegion(loop_region)) {
+    if (d->var == "a") found = true;
+  }
+  EXPECT_TRUE(found);
+  // Nothing about 'a' leaks to the root region.
+  for (const Dependence* d :
+       cache.summaries().AtRegion(cache.pdg().root())) {
+    EXPECT_NE(d->var, "a");
+  }
+}
+
+TEST(Summaries, BetweenQueryFindsCrossLoopDeps) {
+  Program p = Parse(
+      "do i = 1, 3\n  a(i) = i\nenddo\ndo j = 1, 3\n  b(j) = a(j)\nenddo");
+  AnalysisCache cache(p);
+  std::size_t inspected = 0;
+  const auto deps = cache.summaries().Between(*p.top()[0], *p.top()[1],
+                                              /*either_direction=*/false,
+                                              &inspected);
+  ASSERT_EQ(deps.size(), 1u);
+  EXPECT_EQ(deps[0]->var, "a");
+  // The query inspected only root-region summaries, not every node pair.
+  EXPECT_LE(inspected, cache.pdg().deps().size());
+}
+
+TEST(Summaries, BetweenRespectsDirection) {
+  Program p = Parse(
+      "do i = 1, 3\n  a(i) = i\nenddo\ndo j = 1, 3\n  b(j) = a(j)\nenddo");
+  AnalysisCache cache(p);
+  const auto backwards = cache.summaries().Between(
+      *p.top()[1], *p.top()[0], /*either_direction=*/false);
+  EXPECT_TRUE(backwards.empty());
+  const auto either = cache.summaries().Between(*p.top()[1], *p.top()[0],
+                                                /*either_direction=*/true);
+  EXPECT_EQ(either.size(), 1u);
+}
+
+// --- basic blocks & DAG ---
+
+TEST(Dag, BasicBlockPartitioning) {
+  Program p = Parse(
+      "a = 1\nb = 2\ndo i = 1, 3\n  c = i\n  d = c\nenddo\ne = 5");
+  const auto blocks = CollectBasicBlocks(p);
+  ASSERT_EQ(blocks.size(), 3u);
+  EXPECT_EQ(blocks[0].stmts.size(), 2u);  // a, b
+  EXPECT_EQ(blocks[1].stmts.size(), 2u);  // c, d
+  EXPECT_EQ(blocks[2].stmts.size(), 1u);  // e
+}
+
+TEST(Dag, ValueNumberingSharesCommonSubexpressions) {
+  Program p = Parse("d = e + f\nr = e + f");
+  const auto blocks = CollectBasicBlocks(p);
+  ASSERT_EQ(blocks.size(), 1u);
+  BlockDag dag(blocks[0]);
+  EXPECT_EQ(dag.ValueOf(*blocks[0].stmts[0]),
+            dag.ValueOf(*blocks[0].stmts[1]));
+  ASSERT_EQ(dag.reused().size(), 1u);
+  EXPECT_EQ(dag.reused()[0], blocks[0].stmts[1]);
+}
+
+TEST(Dag, RedefinitionSplitsValues) {
+  Program p = Parse("d = e + f\ne = 1\nr = e + f");
+  const auto blocks = CollectBasicBlocks(p);
+  BlockDag dag(blocks[0]);
+  EXPECT_NE(dag.ValueOf(*blocks[0].stmts[0]),
+            dag.ValueOf(*blocks[0].stmts[2]));
+  EXPECT_TRUE(dag.reused().empty());
+}
+
+TEST(Dag, LabelsFollowAssignments) {
+  Program p = Parse("x = a + b\ny = x");
+  const auto blocks = CollectBasicBlocks(p);
+  BlockDag dag(blocks[0]);
+  const int value = dag.ValueOf(*blocks[0].stmts[0]);
+  const auto& labels =
+      dag.nodes()[static_cast<std::size_t>(value)].labels;
+  EXPECT_NE(std::find(labels.begin(), labels.end(), "x"), labels.end());
+  EXPECT_NE(std::find(labels.begin(), labels.end(), "y"), labels.end());
+}
+
+TEST(Dag, ConstantsShared) {
+  Program p = Parse("x = 5\ny = 5");
+  const auto blocks = CollectBasicBlocks(p);
+  BlockDag dag(blocks[0]);
+  EXPECT_EQ(dag.ValueOf(*blocks[0].stmts[0]),
+            dag.ValueOf(*blocks[0].stmts[1]));
+}
+
+TEST(Dag, ReadsProduceFreshLeaves) {
+  Program p = Parse("read x\ny = x + 1\nread x\nz = x + 1");
+  const auto blocks = CollectBasicBlocks(p);
+  BlockDag dag(blocks[0]);
+  EXPECT_NE(dag.ValueOf(*blocks[0].stmts[1]),
+            dag.ValueOf(*blocks[0].stmts[3]));
+}
+
+TEST(Dag, ToStringRendersNodes) {
+  Program p = Parse("d = e + f");
+  const auto blocks = CollectBasicBlocks(p);
+  BlockDag dag(blocks[0]);
+  const std::string dump = dag.ToString();
+  EXPECT_NE(dump.find("+("), std::string::npos);
+  EXPECT_NE(dump.find("[d]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pivot

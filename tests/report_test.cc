@@ -1,0 +1,107 @@
+// Undo previews and session reports.
+#include <gtest/gtest.h>
+
+#include "pivot/core/report.h"
+#include "pivot/core/session.h"
+#include "pivot/ir/parser.h"
+
+namespace pivot {
+namespace {
+
+TEST(Preview, SimpleTransformIsDirectlyUndoable) {
+  Session s(Parse("x = 1\nx = 2\nwrite x"));
+  const OrderStamp t = *s.ApplyFirst(TransformKind::kDce);
+  const auto preview = s.engine().Preview(t);
+  EXPECT_TRUE(preview.possible);
+  EXPECT_TRUE(preview.affecting.empty());
+  EXPECT_TRUE(preview.may_ripple.empty());
+}
+
+TEST(Preview, AffectingChainListed) {
+  Session s(Parse("c = 1\nx = c + 2\nwrite x\nwrite c"));
+  const OrderStamp ctp = *s.ApplyFirst(TransformKind::kCtp);
+  const OrderStamp cfo = *s.ApplyFirst(TransformKind::kCfo);
+  const auto preview = s.engine().Preview(ctp);
+  ASSERT_TRUE(preview.possible);
+  ASSERT_EQ(preview.affecting.size(), 1u);
+  EXPECT_EQ(preview.affecting[0], cfo);
+  // Preview does not mutate anything.
+  EXPECT_FALSE(s.history().FindByStamp(cfo)->undone);
+}
+
+TEST(Preview, RippleCandidatesListed) {
+  Session s(Parse("c = 1\nx = c\nwrite x"));
+  const OrderStamp ctp = *s.ApplyFirst(TransformKind::kCtp);
+  const OrderStamp dce = *s.ApplyFirst(TransformKind::kDce);
+  const auto preview = s.engine().Preview(ctp);
+  ASSERT_TRUE(preview.possible);
+  ASSERT_EQ(preview.may_ripple.size(), 1u);
+  EXPECT_EQ(preview.may_ripple[0], dce);
+  // The preview matches what the undo actually does here.
+  const UndoStats stats = s.Undo(ctp);
+  EXPECT_EQ(stats.transforms_undone, 2);
+}
+
+TEST(Preview, BlockedByEditReported) {
+  Session s(Parse("c = 1\nx = c + 2\nwrite x\nwrite c"));
+  const OrderStamp ctp = *s.ApplyFirst(TransformKind::kCtp);
+  s.editor().ReplaceExpr(*s.program().top()[1]->rhs, MakeIntConst(9));
+  const auto preview = s.engine().Preview(ctp);
+  EXPECT_FALSE(preview.possible);
+  EXPECT_NE(preview.blocked_reason.find("edit"), std::string::npos);
+}
+
+TEST(Preview, EdgeCases) {
+  Session s(Parse("x = 1\nx = 2\nwrite x"));
+  EXPECT_FALSE(s.engine().Preview(99).possible);
+  const OrderStamp t = *s.ApplyFirst(TransformKind::kDce);
+  s.Undo(t);
+  const auto preview = s.engine().Preview(t);
+  EXPECT_FALSE(preview.possible);
+  EXPECT_EQ(preview.blocked_reason, "already undone");
+}
+
+TEST(Report, ContainsAllSections) {
+  Session s(Parse("c = 1\nx = c + 2\nwrite x\nwrite c"));
+  s.ApplyFirst(TransformKind::kCtp);
+  s.ApplyFirst(TransformKind::kCfo);
+  const std::string report = RenderSessionReport(s);
+  EXPECT_NE(report.find("-- program"), std::string::npos);
+  EXPECT_NE(report.find("-- history --"), std::string::npos);
+  EXPECT_NE(report.find("-- undo previews --"), std::string::npos);
+  EXPECT_NE(report.find("-- APDG/ADAG annotations"), std::string::npos);
+  EXPECT_NE(report.find("t1 CTP"), std::string::npos);
+  // CTP's preview shows CFO must be peeled first.
+  EXPECT_NE(report.find("t2"), std::string::npos);
+}
+
+TEST(Report, SectionsToggle) {
+  Session s(Parse("x = 1\nwrite x"));
+  ReportOptions opts;
+  opts.include_program = false;
+  opts.include_annotations = false;
+  const std::string report = RenderSessionReport(s, opts);
+  EXPECT_EQ(report.find("-- program"), std::string::npos);
+  EXPECT_EQ(report.find("annotations"), std::string::npos);
+  EXPECT_NE(report.find("-- history --"), std::string::npos);
+}
+
+TEST(HealthCheck, AllHealthyAfterCleanApplies) {
+  Session s(Parse("c = 1\nx = c + 2\nwrite x\nwrite c"));
+  s.ApplyFirst(TransformKind::kCtp);
+  s.ApplyFirst(TransformKind::kCfo);
+  const std::string health = RenderHealthCheck(s);
+  EXPECT_NE(health.find("after t2"), std::string::npos);  // CTP waits on CFO
+  EXPECT_EQ(health.find("NO"), std::string::npos);        // everything safe
+}
+
+TEST(HealthCheck, UnsafeAfterEditFlagged) {
+  Session s(Parse("c = 1\nx = c\nwrite x\nwrite c"));
+  s.ApplyFirst(TransformKind::kCtp);
+  s.editor().ReplaceExpr(*s.program().top()[0]->rhs, MakeIntConst(5));
+  const std::string health = RenderHealthCheck(s);
+  EXPECT_NE(health.find("NO"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pivot

@@ -1,0 +1,141 @@
+// Session facade and the interaction tables.
+#include <gtest/gtest.h>
+
+#include "pivot/core/interactions.h"
+#include "pivot/core/session.h"
+#include "pivot/ir/parser.h"
+#include "pivot/transform/patterns.h"
+
+namespace pivot {
+namespace {
+
+TEST(Session, HistoryRendering) {
+  Session s(Parse("x = 1\nx = 2\nwrite x"));
+  s.ApplyFirst(TransformKind::kDce);
+  s.editor().AddStmt(MakeWrite(MakeIntConst(0)), nullptr, BodyKind::kMain,
+                     0);
+  const std::string hist = s.HistoryToString();
+  EXPECT_NE(hist.find("t1 DCE"), std::string::npos);
+  EXPECT_NE(hist.find("t2 EDIT"), std::string::npos);
+  s.Undo(1);
+  EXPECT_NE(s.HistoryToString().find("[undone]"), std::string::npos);
+}
+
+TEST(Session, ExecuteRunsTheCurrentProgram) {
+  Session s(Parse("read a\nwrite a * 2"));
+  const InterpResult r = s.Execute({21});
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.output, (std::vector<double>{42}));
+}
+
+TEST(Session, AnnotationsReflectLiveHistory) {
+  Session s(Parse("c = 1\nx = c\nwrite x\nwrite c"));
+  const OrderStamp t = *s.ApplyFirst(TransformKind::kCtp);
+  EXPECT_NE(s.AnnotationsToString().find("md_1"), std::string::npos);
+  s.Undo(t);
+  EXPECT_EQ(s.AnnotationsToString().find("md_1"), std::string::npos);
+}
+
+TEST(Session, ApplyFirstReturnsNulloptWhenNoOpportunity) {
+  Session s(Parse("write 1"));
+  EXPECT_FALSE(s.ApplyFirst(TransformKind::kDce).has_value());
+  EXPECT_FALSE(s.ApplyFirst(TransformKind::kInx).has_value());
+}
+
+TEST(Session, StampsAreSequentialAcrossKinds) {
+  Session s(Parse("c = 1\nx = c\nx = 2\nwrite x\nwrite c"));
+  const OrderStamp t1 = *s.ApplyFirst(TransformKind::kCtp);
+  const OrderStamp t2 = *s.ApplyFirst(TransformKind::kDce);
+  EXPECT_EQ(t1, 1u);
+  EXPECT_EQ(t2, 2u);
+}
+
+// --- interaction tables (Table 4) ---
+
+TEST(Interactions, PublishedMatchesPaperRows) {
+  const InteractionTable t = InteractionTable::Published();
+  // Spot-check the exact published entries.
+  EXPECT_TRUE(t.Enables(TransformKind::kDce, TransformKind::kDce));
+  EXPECT_TRUE(t.Enables(TransformKind::kDce, TransformKind::kCse));
+  EXPECT_FALSE(t.Enables(TransformKind::kDce, TransformKind::kCtp));
+  EXPECT_TRUE(t.Enables(TransformKind::kDce, TransformKind::kCpp));
+  EXPECT_FALSE(t.Enables(TransformKind::kDce, TransformKind::kCfo));
+  EXPECT_TRUE(t.Enables(TransformKind::kCtp, TransformKind::kCfo));
+  EXPECT_TRUE(t.Enables(TransformKind::kCtp, TransformKind::kSmi));
+  EXPECT_FALSE(t.Enables(TransformKind::kCse, TransformKind::kDce));
+  EXPECT_TRUE(t.Enables(TransformKind::kIcm, TransformKind::kInx));
+  EXPECT_FALSE(t.Enables(TransformKind::kInx, TransformKind::kDce));
+  EXPECT_TRUE(t.Enables(TransformKind::kInx, TransformKind::kFus));
+  // Unpublished rows are conservative (all x).
+  for (int col = 0; col < kNumTransformKinds; ++col) {
+    EXPECT_TRUE(
+        t.Enables(TransformKind::kLur, TransformKindFromIndex(col)));
+  }
+}
+
+TEST(Interactions, ConservativeIsAllSet) {
+  const InteractionTable t = InteractionTable::Conservative();
+  EXPECT_EQ(t.CountSet(),
+            static_cast<std::size_t>(kNumTransformKinds) *
+                kNumTransformKinds);
+}
+
+TEST(Interactions, RenderShowsMatrix) {
+  const std::string text =
+      InteractionTable::Published().Render("Table 4");
+  EXPECT_NE(text.find("Table 4"), std::string::npos);
+  EXPECT_NE(text.find("DCE"), std::string::npos);
+  EXPECT_NE(text.find("INX"), std::string::npos);
+  EXPECT_NE(text.find('x'), std::string::npos);
+  EXPECT_NE(text.find('-'), std::string::npos);
+}
+
+TEST(Interactions, DirectedProbesAllReproduce) {
+  // Every hand-constructed witness program must demonstrate its enabling
+  // interaction: applying the row transformation creates a new column
+  // opportunity.
+  for (const DirectedProbeResult& r : RunDirectedProbes()) {
+    EXPECT_TRUE(r.reproduced)
+        << TransformKindName(r.row) << " -> " << TransformKindName(r.col);
+  }
+  EXPECT_GE(DirectedProbes().size(), 20u);
+}
+
+TEST(Interactions, EmpiricalDerivationFindsClassicChains) {
+  EmpiricalDeriveOptions opts;
+  opts.trials = 4;
+  const InteractionTable t = DeriveEmpirically(opts);
+  // CTP enabling CFO is the textbook chain and must be discovered.
+  EXPECT_TRUE(t.Enables(TransformKind::kCtp, TransformKind::kCfo));
+  // CTP makes constant definitions dead: enables DCE.
+  EXPECT_TRUE(t.Enables(TransformKind::kCtp, TransformKind::kDce));
+}
+
+// --- Table 2 pattern descriptions ---
+
+TEST(Patterns, SchemaRowsCoverAllTransforms) {
+  for (int i = 0; i < kNumTransformKinds; ++i) {
+    const PatternRow row = DescribePatterns(TransformKindFromIndex(i));
+    EXPECT_FALSE(row.transform.empty());
+    EXPECT_FALSE(row.pre_pattern.empty());
+    EXPECT_FALSE(row.primitive_actions.empty());
+    EXPECT_FALSE(row.post_pattern.empty());
+  }
+  // The published Table 2 rows, verbatim checks.
+  EXPECT_EQ(DescribePatterns(TransformKind::kDce).primitive_actions,
+            "Delete(S_i)");
+  EXPECT_EQ(DescribePatterns(TransformKind::kInx).post_pattern,
+            "Tight Loops (L_2, L_1)");
+}
+
+TEST(Patterns, RecordDescriptionShowsActions) {
+  Session s(Parse("x = 1\nx = 2\nwrite x"));
+  const OrderStamp t = *s.ApplyFirst(TransformKind::kDce);
+  const TransformRecord* rec = s.history().FindByStamp(t);
+  const PatternRow row = DescribeRecord(s.program(), s.journal(), *rec);
+  EXPECT_EQ(row.transform, "DCE");
+  EXPECT_NE(row.primitive_actions.find("del_1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pivot

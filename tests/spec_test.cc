@@ -1,0 +1,146 @@
+// Transformation specifications and spec-driven validation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "pivot/core/session.h"
+#include "pivot/ir/parser.h"
+#include "pivot/transform/catalog.h"
+#include "pivot/transform/spec.h"
+
+namespace pivot {
+namespace {
+
+const char* kProbe = R"(
+read u
+c = 2
+d = e + f
+r = e + f
+t = c + 3
+t2 = t
+dead = 1
+dead = 2
+do i = 1, 5
+  a(i) = u + i
+enddo
+do i = 1, 5
+  b(i) = a(i) * 2
+enddo
+do k = 1, 3
+  do l = 1, 5
+    m(k, l) = k - l
+  enddo
+enddo
+do z = 1, 8
+  g(z) = z
+enddo
+do w = 1, 4
+  h(w) = h(w) + 1
+enddo
+do v = 1, 3
+  inv = u + 1
+  p(v) = inv + v
+enddo
+write r
+write t2
+write dead
+write a(2)
+write b(3)
+write m(2, 4)
+write g(5)
+write h(2)
+write p(1)
+write inv
+write d
+write c
+)";
+
+TEST(Spec, EveryTransformHasASpec) {
+  for (int i = 0; i < kNumTransformKinds; ++i) {
+    const TransformSpec& spec = SpecOf(TransformKindFromIndex(i));
+    EXPECT_EQ(spec.transform, TransformKindFromIndex(i));
+    EXPECT_FALSE(spec.steps.empty());
+    EXPECT_FALSE(spec.reversibility_disablers.empty());
+    EXPECT_FALSE(spec.ToString().empty());
+  }
+}
+
+TEST(Spec, DisablersDerivedMechanicallyMatchTable3Analysis) {
+  // DCE: Delete's inverse needs the original location — disabled by
+  // Delete (context deleted) and Copy (context duplicated). Exactly the
+  // paper's Table 3 reversibility row.
+  const auto dce = SpecOf(TransformKind::kDce).reversibility_disablers;
+  EXPECT_EQ(dce.size(), 2u);
+  EXPECT_NE(std::find(dce.begin(), dce.end(), ActionKind::kDelete),
+            dce.end());
+  EXPECT_NE(std::find(dce.begin(), dce.end(), ActionKind::kCopy), dce.end());
+  // And they equal the generic derivation from the skeleton.
+  EXPECT_EQ(dce, GenericDisablers(SpecOf(TransformKind::kDce).steps));
+
+  // Modify-based transformations add Modify itself as a disabler.
+  const auto ctp = SpecOf(TransformKind::kCtp).reversibility_disablers;
+  EXPECT_NE(std::find(ctp.begin(), ctp.end(), ActionKind::kModify),
+            ctp.end());
+
+  // Move-based ICM adds re-moves.
+  const auto icm = SpecOf(TransformKind::kIcm).reversibility_disablers;
+  EXPECT_NE(std::find(icm.begin(), icm.end(), ActionKind::kMove),
+            icm.end());
+}
+
+TEST(Spec, AppliedTransformsValidateAgainstTheirSpecs) {
+  Session s(Parse(kProbe));
+  for (TransformKind kind : AllTransformKinds()) {
+    const auto stamp = s.ApplyFirst(kind);
+    ASSERT_TRUE(stamp.has_value()) << TransformKindName(kind);
+    const TransformRecord* rec = s.history().FindByStamp(*stamp);
+    EXPECT_EQ(ValidateRecord(s.journal(), *rec), "")
+        << TransformKindName(kind);
+  }
+}
+
+TEST(Spec, MismatchedRecordIsDiagnosed) {
+  Session s(Parse("x = 1\nx = 2\nwrite x"));
+  const OrderStamp t = *s.ApplyFirst(TransformKind::kDce);
+  TransformRecord* rec = s.history().FindByStamp(t);
+  // Corrupt the record's claimed kind: a Delete does not match CSE's
+  // Modify skeleton.
+  rec->kind = TransformKind::kCse;
+  const std::string diagnostic = ValidateRecord(s.journal(), *rec);
+  EXPECT_NE(diagnostic.find("do not match"), std::string::npos);
+  EXPECT_NE(diagnostic.find("CSE"), std::string::npos);
+  rec->kind = TransformKind::kDce;  // restore for a clean teardown
+}
+
+TEST(Spec, EditsAreExemptFromSkeletons) {
+  Session s(Parse("x = 1\nwrite x"));
+  const OrderStamp e = s.editor().AddStmt(
+      MakeAssign(MakeVarRef("y"), MakeIntConst(2)), nullptr, BodyKind::kMain,
+      1);
+  EXPECT_EQ(ValidateRecord(s.journal(), *s.history().FindByStamp(e)), "");
+}
+
+TEST(Spec, LurSkeletonAcceptsVariableMultiplicity) {
+  // One-statement and multi-statement bodies both match Copy+ Modify* .
+  for (const char* src :
+       {"do i = 1, 4\n  a(i) = 1\nenddo\nwrite a(1)",
+        "do i = 1, 4\n  a(i) = i\n  b(i) = a(i) + i\nenddo\nwrite b(2)"}) {
+    Session s(Parse(src));
+    const auto stamp = s.ApplyFirst(TransformKind::kLur);
+    ASSERT_TRUE(stamp.has_value()) << src;
+    EXPECT_EQ(
+        ValidateRecord(s.journal(), *s.history().FindByStamp(*stamp)), "");
+  }
+}
+
+TEST(Spec, InxSkeletonIsTwoHeaderModifies) {
+  const TransformSpec& spec = SpecOf(TransformKind::kInx);
+  ASSERT_EQ(spec.steps.size(), 2u);
+  for (const ActionStep& step : spec.steps) {
+    EXPECT_EQ(step.kind, ActionKind::kModify);
+    EXPECT_TRUE(step.header);
+  }
+}
+
+}  // namespace
+}  // namespace pivot

@@ -1,0 +1,143 @@
+// The undo decision trace.
+#include <gtest/gtest.h>
+
+#include "pivot/core/session.h"
+#include "pivot/ir/parser.h"
+
+namespace pivot {
+namespace {
+
+using Kind = UndoTraceEvent::Kind;
+
+TEST(Trace, EmptyWithoutTracing) {
+  Session s(Parse("x = 1\nx = 2\nwrite x"));
+  const OrderStamp t = *s.ApplyFirst(TransformKind::kDce);
+  s.Undo(t);  // no trace attached: nothing recorded, nothing crashes
+  UndoTrace trace;
+  EXPECT_TRUE(trace.empty());
+}
+
+TEST(Trace, SimpleUndoNarrative) {
+  Session s(Parse("x = 1\nx = 2\nwrite x"));
+  const OrderStamp t = *s.ApplyFirst(TransformKind::kDce);
+  UndoTrace trace;
+  s.engine().set_trace(&trace);
+  s.Undo(t);
+  ASSERT_FALSE(trace.empty());
+  EXPECT_EQ(trace.events().front().kind, Kind::kBegin);
+  EXPECT_EQ(trace.events().back().kind, Kind::kDone);
+  EXPECT_EQ(trace.Count(Kind::kPostPatternOk), 1u);
+  EXPECT_EQ(trace.Count(Kind::kInverseActions), 1u);
+  EXPECT_EQ(trace.Count(Kind::kRegion), 1u);
+  const std::string text = trace.Render();
+  EXPECT_NE(text.find("UNDO t1 (DCE)"), std::string::npos);
+  EXPECT_NE(text.find("complete"), std::string::npos);
+}
+
+TEST(Trace, AffectingChainVisible) {
+  // The §5.2 scenario: undoing INX must show the invalidated post-pattern
+  // and the nested UNDO of the affecting ICM.
+  Session s(Parse(R"(
+1: d = e + f
+2: c = 1
+3: do i = 1, 100
+4:   do j = 1, 50
+5:     a(j) = b(j) + c
+6:     r(i, j) = e + f
+     enddo
+   enddo
+)"));
+  s.ApplyFirst(TransformKind::kCse);
+  s.ApplyFirst(TransformKind::kCtp);
+  const OrderStamp inx = *s.ApplyFirst(TransformKind::kInx);
+  s.ApplyFirst(TransformKind::kIcm);
+
+  UndoTrace trace;
+  s.engine().set_trace(&trace);
+  s.Undo(inx);
+
+  EXPECT_EQ(trace.Count(Kind::kPostPatternBlocked), 1u);
+  EXPECT_EQ(trace.Count(Kind::kBegin), 2u);  // INX and the nested ICM
+  // The nested ICM undo runs at depth 1.
+  bool nested = false;
+  for (const UndoTraceEvent& e : trace.events()) {
+    if (e.kind == Kind::kBegin && e.target_kind == TransformKind::kIcm) {
+      EXPECT_EQ(e.depth, 1);
+      nested = true;
+    }
+  }
+  EXPECT_TRUE(nested);
+  const std::string text = trace.Render();
+  EXPECT_NE(text.find("invalidated"), std::string::npos);
+  EXPECT_NE(text.find("affecting transformation: t4 (ICM)"),
+            std::string::npos);
+}
+
+TEST(Trace, CandidateFatesRecorded) {
+  // CTP's undo ripples the DCE and skips nothing marked-but-safe.
+  Session s(Parse("c = 1\nx = c\nwrite x"));
+  const OrderStamp ctp = *s.ApplyFirst(TransformKind::kCtp);
+  s.ApplyFirst(TransformKind::kDce);
+  UndoTrace trace;
+  s.engine().set_trace(&trace);
+  s.Undo(ctp);
+  EXPECT_EQ(trace.Count(Kind::kCandidateUnsafe), 1u);
+  EXPECT_NE(trace.Render().find("safety destroyed - rippling"),
+            std::string::npos);
+}
+
+TEST(Trace, RegionalSkipsVisible) {
+  // An unrelated later transformation on a disjoint name cluster shows up
+  // as skipped (outside region or unmarked).
+  Session s(Parse("c = 1\nx = c\nwrite x\nwrite c\n"
+                  "q = 2\ny = q\nwrite y\nwrite q"));
+  const auto ops = s.FindOpportunities(TransformKind::kCtp);
+  ASSERT_GE(ops.size(), 2u);
+  const OrderStamp first = s.Apply(ops[0]);
+  // A q-cluster transformation applied later.
+  for (const auto& op : s.FindOpportunities(TransformKind::kCtp)) {
+    if (op.var == "q") {
+      s.Apply(op);
+      break;
+    }
+  }
+  UndoTrace trace;
+  s.engine().set_trace(&trace);
+  s.Undo(first);
+  EXPECT_GE(trace.Count(Kind::kCandidateOutsideRegion) +
+                trace.Count(Kind::kCandidateUnmarked),
+            1u);
+}
+
+TEST(Trace, ClearResets) {
+  UndoTrace trace;
+  UndoTraceEvent event;
+  event.kind = Kind::kBegin;
+  trace.Add(event);
+  EXPECT_FALSE(trace.empty());
+  trace.Clear();
+  EXPECT_TRUE(trace.empty());
+  EXPECT_EQ(trace.Render(), "");
+}
+
+TEST(Trace, EventToStringCoversAllKinds) {
+  for (Kind kind :
+       {Kind::kBegin, Kind::kPostPatternOk, Kind::kPostPatternBlocked,
+        Kind::kInverseActions, Kind::kRegion, Kind::kCandidateOutsideRegion,
+        Kind::kCandidateUnmarked, Kind::kCandidateSafe,
+        Kind::kCandidateUnsafe, Kind::kDone}) {
+    UndoTraceEvent event;
+    event.kind = kind;
+    event.target = 1;
+    event.other = 2;
+    EXPECT_FALSE(event.ToString().empty());
+  }
+  // Whole-program region renders specially.
+  UndoTraceEvent region;
+  region.kind = Kind::kRegion;
+  region.count = -1;
+  EXPECT_NE(region.ToString().find("whole program"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pivot

@@ -1,0 +1,266 @@
+// Loop transformations: ICM, LUR, SMI, FUS, INX.
+#include <gtest/gtest.h>
+
+#include "pivot/core/session.h"
+#include "pivot/ir/parser.h"
+#include "pivot/ir/validate.h"
+#include "pivot/transform/catalog.h"
+
+namespace pivot {
+namespace {
+
+OrderStamp ApplyChecked(Session& s, TransformKind kind,
+                        const std::vector<double>& input = {}) {
+  Program before = s.program().Clone();
+  auto stamp = s.ApplyFirst(kind);
+  EXPECT_TRUE(stamp.has_value())
+      << TransformKindName(kind) << " found no opportunity in\n"
+      << s.Source();
+  EXPECT_TRUE(SameBehavior(before, s.program(), input))
+      << TransformKindName(kind) << " changed semantics:\n" << s.Source();
+  ExpectValid(s.program());
+  return *stamp;
+}
+
+// --- ICM ---
+
+TEST(Icm, HoistsInvariantScalar) {
+  Session s(Parse(
+      "read u\ndo i = 1, 3\n  t = u + 1\n  a(i) = t + i\nenddo\nwrite a(2)"));
+  ApplyChecked(s, TransformKind::kIcm, {4});
+  // The invariant assignment now sits before the loop.
+  EXPECT_EQ(s.program().top()[1]->kind, StmtKind::kAssign);
+  EXPECT_EQ(DefinedName(*s.program().top()[1]), "t");
+  EXPECT_EQ(s.program().top()[2]->body.size(), 1u);
+}
+
+TEST(Icm, HoistsArrayElementLikeThePaper) {
+  Session s(Parse(
+      "do j = 1, 5\n  do i = 1, 4\n    a(j) = b(j) + 1\n  enddo\nenddo\n"
+      "write a(3)"));
+  ApplyChecked(s, TransformKind::kIcm);
+  // a(j) = ... moved between the two loop headers.
+  const Stmt& outer = *s.program().top()[0];
+  ASSERT_EQ(outer.body.size(), 2u);
+  EXPECT_EQ(outer.body[0]->kind, StmtKind::kAssign);
+  EXPECT_EQ(outer.body[1]->kind, StmtKind::kDo);
+}
+
+TEST(Icm, NoOpportunityForVariantCode) {
+  Session s(Parse("do i = 1, 3\n  t = i + 1\n  a(i) = t\nenddo\nwrite t"));
+  EXPECT_TRUE(s.FindOpportunities(TransformKind::kIcm).empty());
+}
+
+TEST(Icm, NoOpportunityInPossiblyZeroTripLoop) {
+  Session s(Parse("read n\ndo i = 1, n\n  t = 5\nenddo\nwrite t"));
+  EXPECT_TRUE(s.FindOpportunities(TransformKind::kIcm).empty());
+}
+
+TEST(Icm, SafetyViolatedByNewDefBetween) {
+  Session s(Parse(
+      "read u\ndo i = 1, 3\n  t = u + 1\n  a(i) = t + i\nenddo\nwrite a(2)"));
+  const OrderStamp t = ApplyChecked(s, TransformKind::kIcm, {4});
+  // Edit: redefine u between the hoisted statement and the loop.
+  s.editor().AddStmt(MakeAssign(MakeVarRef("u"), MakeIntConst(0)), nullptr,
+                     BodyKind::kMain, 2);
+  const TransformRecord* rec = s.history().FindByStamp(t);
+  EXPECT_FALSE(GetTransformation(TransformKind::kIcm)
+                   .CheckSafety(s.analyses(), s.journal(), *rec));
+}
+
+// --- LUR ---
+
+TEST(Lur, UnrollsByTwo) {
+  Session s(Parse("do i = 1, 4\n  a(i) = a(i) + 1\nenddo\nwrite a(3)"));
+  ApplyChecked(s, TransformKind::kLur);
+  const Stmt& loop = *s.program().top()[0];
+  ASSERT_EQ(loop.body.size(), 2u);
+  ASSERT_NE(loop.step, nullptr);
+  EXPECT_EQ(loop.step->ival, 2);
+  EXPECT_NE(ToSource(*loop.body[1]).find("i + 1"), std::string::npos);
+}
+
+TEST(Lur, RejectsOddTripCounts) {
+  Session s(Parse("do i = 1, 5\n  a(i) = i\nenddo\nwrite a(1)"));
+  EXPECT_TRUE(s.FindOpportunities(TransformKind::kLur).empty());
+}
+
+TEST(Lur, RejectsUnknownBounds) {
+  Session s(Parse("read n\ndo i = 1, n\n  a(i) = i\nenddo\nwrite a(1)"));
+  EXPECT_TRUE(s.FindOpportunities(TransformKind::kLur).empty());
+}
+
+TEST(Lur, MultiStatementBody) {
+  Session s(Parse(
+      "do i = 1, 4\n  a(i) = i\n  b(i) = a(i) * 2\nenddo\nwrite b(4)"));
+  ApplyChecked(s, TransformKind::kLur);
+  EXPECT_EQ(s.program().top()[0]->body.size(), 4u);
+}
+
+TEST(Lur, SafetyViolatedByEditingOneCopy) {
+  Session s(Parse("do i = 1, 4\n  a(i) = a(i) + 1\nenddo\nwrite a(3)"));
+  const OrderStamp t = ApplyChecked(s, TransformKind::kLur);
+  // Edit the duplicated statement: the unroll is no longer equivalent.
+  Stmt& copy = *s.program().top()[0]->body[1];
+  s.editor().ReplaceExpr(*copy.rhs, MakeIntConst(0));
+  const TransformRecord* rec = s.history().FindByStamp(t);
+  EXPECT_FALSE(GetTransformation(TransformKind::kLur)
+                   .CheckSafety(s.analyses(), s.journal(), *rec));
+}
+
+// --- SMI ---
+
+TEST(Smi, CreatesStripNest) {
+  Session s(Parse("do i = 1, 8\n  a(i) = i\nenddo\nwrite a(5)"));
+  ApplyChecked(s, TransformKind::kSmi);
+  const Stmt& outer = *s.program().top()[0];
+  EXPECT_EQ(outer.kind, StmtKind::kDo);
+  EXPECT_EQ(outer.loop_var, "i_s");
+  ASSERT_EQ(outer.body.size(), 1u);
+  const Stmt& inner = *outer.body[0];
+  EXPECT_EQ(inner.loop_var, "i");
+  EXPECT_EQ(ToSource(inner).substr(0, 20).find("do i = i_s"), 0u);
+}
+
+TEST(Smi, RejectsIndivisibleTrip) {
+  Session s(Parse("do i = 1, 7\n  a(i) = i\nenddo\nwrite a(1)"));
+  EXPECT_TRUE(s.FindOpportunities(TransformKind::kSmi).empty());
+}
+
+TEST(Smi, RejectsWhenStripNameTaken) {
+  Session s(Parse("i_s = 1\ndo i = 1, 8\n  a(i) = i\nenddo\nwrite i_s"));
+  EXPECT_TRUE(s.FindOpportunities(TransformKind::kSmi).empty());
+}
+
+// --- FUS ---
+
+TEST(Fus, FusesAdjacentLoops) {
+  Session s(Parse(
+      "do i = 1, 4\n  a(i) = i\nenddo\ndo i = 1, 4\n  b(i) = a(i)\nenddo\n"
+      "write b(2)"));
+  ApplyChecked(s, TransformKind::kFus);
+  ASSERT_EQ(s.program().top().size(), 2u);  // fused loop + write
+  EXPECT_EQ(s.program().top()[0]->body.size(), 2u);
+}
+
+TEST(Fus, RejectsDifferentBounds) {
+  Session s(Parse(
+      "do i = 1, 4\n  a(i) = i\nenddo\ndo i = 1, 5\n  b(i) = i\nenddo"));
+  EXPECT_TRUE(s.FindOpportunities(TransformKind::kFus).empty());
+}
+
+TEST(Fus, RejectsFusionPreventingDependence) {
+  Session s(Parse(
+      "do i = 1, 4\n  a(i) = i\nenddo\ndo i = 1, 4\n  b(i) = a(i + 1)\n"
+      "enddo"));
+  EXPECT_TRUE(s.FindOpportunities(TransformKind::kFus).empty());
+}
+
+TEST(Fus, RejectsNonAdjacentLoops) {
+  Session s(Parse(
+      "do i = 1, 4\n  a(i) = i\nenddo\nx = 1\ndo i = 1, 4\n  b(i) = i\n"
+      "enddo\nwrite x"));
+  EXPECT_TRUE(s.FindOpportunities(TransformKind::kFus).empty());
+}
+
+TEST(Fus, SafetyViolatedWhenDependenceAppears) {
+  Session s(Parse(
+      "do i = 1, 4\n  a(i) = i\nenddo\ndo i = 1, 4\n  b(i) = i\nenddo\n"
+      "write b(2)"));
+  const OrderStamp t = ApplyChecked(s, TransformKind::kFus);
+  // Edit the second half to read a(i + 1): now fusion-preventing.
+  Stmt& second_half = *s.program().top()[0]->body[1];
+  s.editor().ReplaceExpr(*second_half.rhs, ParseExpr("a(i + 1)"));
+  const TransformRecord* rec = s.history().FindByStamp(t);
+  EXPECT_FALSE(GetTransformation(TransformKind::kFus)
+                   .CheckSafety(s.analyses(), s.journal(), *rec));
+}
+
+// --- INX ---
+
+TEST(Inx, InterchangesTightNest) {
+  Session s(Parse(
+      "do i = 1, 3\n  do j = 1, 4\n    m(i, j) = i + j\n  enddo\nenddo\n"
+      "write m(2, 3)"));
+  ApplyChecked(s, TransformKind::kInx);
+  const Stmt& outer = *s.program().top()[0];
+  EXPECT_EQ(outer.loop_var, "j");
+  EXPECT_EQ(outer.hi->ival, 4);
+  EXPECT_EQ(outer.body[0]->loop_var, "i");
+  EXPECT_EQ(outer.body[0]->hi->ival, 3);
+}
+
+TEST(Inx, RejectsLooseNest) {
+  Session s(Parse(
+      "do i = 1, 3\n  x = i\n  do j = 1, 4\n    m(i, j) = x\n  enddo\n"
+      "enddo"));
+  EXPECT_TRUE(s.FindOpportunities(TransformKind::kInx).empty());
+}
+
+TEST(Inx, RejectsPreventingDependence) {
+  Session s(Parse(
+      "do i = 2, 5\n  do j = 1, 4\n    m(i, j) = m(i - 1, j + 1)\n"
+      "  enddo\nenddo"));
+  EXPECT_TRUE(s.FindOpportunities(TransformKind::kInx).empty());
+}
+
+TEST(Inx, RejectsLoopVarsReadOutside) {
+  Session s(Parse(
+      "do i = 1, 3\n  do j = 1, 4\n    m(i, j) = 1\n  enddo\nenddo\n"
+      "write i"));
+  EXPECT_TRUE(s.FindOpportunities(TransformKind::kInx).empty());
+}
+
+TEST(Inx, RejectsInnerBoundsDependingOnOuterVar) {
+  // Triangular nests are not interchangeable by header swap.
+  Session s(Parse(
+      "do i = 1, 3\n  do j = i, 4\n    m(i, j) = 1\n  enddo\nenddo"));
+  EXPECT_TRUE(s.FindOpportunities(TransformKind::kInx).empty());
+}
+
+TEST(Inx, PostPatternInvalidatedByInsertionBetweenHeaders) {
+  Session s(Parse(
+      "do i = 1, 3\n  do j = 1, 4\n    m(i, j) = i + j\n  enddo\nenddo\n"
+      "write m(2, 3)"));
+  const OrderStamp t = ApplyChecked(s, TransformKind::kInx);
+  // Break the tight nest: a statement between the headers.
+  Stmt& outer = *s.program().top()[0];
+  s.editor().AddStmt(MakeAssign(MakeVarRef("z"), MakeIntConst(1)), &outer,
+                     BodyKind::kMain, 0);
+  const TransformRecord* rec = s.history().FindByStamp(t);
+  const Reversibility rev =
+      GetTransformation(TransformKind::kInx)
+          .CheckReversibility(s.analyses(), s.journal(), *rec);
+  EXPECT_FALSE(rev.ok);
+}
+
+// Whole-pipeline check over the loop transformations.
+TEST(LoopPipeline, StackedLoopTransformsPreserveBehavior) {
+  const char* src = R"(
+read u
+do i = 1, 4
+  a(i) = u + i
+enddo
+do i = 1, 4
+  b(i) = a(i) * 2
+enddo
+do k = 1, 3
+  do l = 1, 5
+    m(k, l) = k - l
+  enddo
+enddo
+write a(2)
+write b(3)
+write m(2, 4)
+)";
+  Session s(Parse(src));
+  Program original = s.program().Clone();
+  EXPECT_TRUE(s.ApplyFirst(TransformKind::kFus).has_value());
+  EXPECT_TRUE(s.ApplyFirst(TransformKind::kInx).has_value());
+  EXPECT_TRUE(s.ApplyFirst(TransformKind::kLur).has_value());
+  EXPECT_TRUE(SameBehavior(original, s.program(), {2.5}));
+  ExpectValid(s.program());
+}
+
+}  // namespace
+}  // namespace pivot

@@ -1,0 +1,272 @@
+// Scalar transformations: DCE, CSE, CTP, CPP, CFO.
+//
+// Every apply is validated against the interpreter oracle (identical
+// output before/after) in addition to structural expectations, matching
+// the paper's definition of safety.
+#include <gtest/gtest.h>
+
+#include "pivot/core/session.h"
+#include "pivot/support/diagnostics.h"
+#include "pivot/ir/parser.h"
+#include "pivot/ir/validate.h"
+#include "pivot/transform/catalog.h"
+
+namespace pivot {
+namespace {
+
+// Applies the first opportunity of `kind` and checks semantics preserved.
+OrderStamp ApplyChecked(Session& s, TransformKind kind,
+                        const std::vector<double>& input = {}) {
+  Program before = s.program().Clone();
+  auto stamp = s.ApplyFirst(kind);
+  EXPECT_TRUE(stamp.has_value())
+      << TransformKindName(kind) << " found no opportunity in\n"
+      << s.Source();
+  EXPECT_TRUE(SameBehavior(before, s.program(), input))
+      << TransformKindName(kind) << " changed semantics:\n" << s.Source();
+  ExpectValid(s.program());
+  return *stamp;
+}
+
+// --- DCE ---
+
+TEST(Dce, FindsOnlyDeadStores) {
+  Session s(Parse("x = 1\nx = 2\ny = 3\nwrite x\nwrite y"));
+  const auto ops = s.FindOpportunities(TransformKind::kDce);
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].s1, s.program().top()[0]->id);
+}
+
+TEST(Dce, ApplyDeletesStatement) {
+  Session s(Parse("x = 1\nx = 2\nwrite x"));
+  ApplyChecked(s, TransformKind::kDce);
+  EXPECT_EQ(s.program().top().size(), 2u);
+  EXPECT_EQ(s.Source(), "x = 2\nwrite x\n");
+}
+
+TEST(Dce, NoOpportunityWhenAllLive) {
+  Session s(Parse("x = 1\nwrite x"));
+  EXPECT_TRUE(s.FindOpportunities(TransformKind::kDce).empty());
+}
+
+TEST(Dce, SideEffectingStatementsNeverDead) {
+  Session s(Parse("read x\nread x\nwrite x"));
+  EXPECT_TRUE(s.FindOpportunities(TransformKind::kDce).empty());
+}
+
+TEST(Dce, SafetyHoldsWhileTargetStaysDead) {
+  Session s(Parse("x = 1\nx = 2\nwrite x"));
+  const OrderStamp t = ApplyChecked(s, TransformKind::kDce);
+  const TransformRecord* rec = s.history().FindByStamp(t);
+  EXPECT_TRUE(GetTransformation(TransformKind::kDce)
+                  .CheckSafety(s.analyses(), s.journal(), *rec));
+}
+
+TEST(Dce, SafetyViolatedWhenUseAppears) {
+  // x = 1 is dead (killed by x = 2 with no use in between).
+  Session s(Parse("x = 1\ny = 7\nx = 2\nwrite x\nwrite y"));
+  const OrderStamp t = ApplyChecked(s, TransformKind::kDce);
+  EXPECT_EQ(s.program().top().size(), 4u);
+  // Edit: a use of x between the restore point and the kill — restoring
+  // the deleted store would now feed it.
+  s.editor().AddStmt(MakeWrite(MakeVarRef("x")), nullptr, BodyKind::kMain,
+                     1);
+  const TransformRecord* rec = s.history().FindByStamp(t);
+  EXPECT_FALSE(GetTransformation(TransformKind::kDce)
+                   .CheckSafety(s.analyses(), s.journal(), *rec));
+}
+
+// --- CSE ---
+
+TEST(Cse, PaperPattern) {
+  Session s(Parse("1: d = e + f\n6: r = e + f\nwrite r"));
+  ApplyChecked(s, TransformKind::kCse);
+  EXPECT_EQ(s.Source(), "1: d = e + f\n6: r = d\nwrite r\n");
+}
+
+TEST(Cse, BlockedByOperandRedefinition) {
+  Session s(Parse("d = e + f\ne = 9\nr = e + f\nwrite r"));
+  EXPECT_TRUE(s.FindOpportunities(TransformKind::kCse).empty());
+}
+
+TEST(Cse, BlockedByTargetRedefinition) {
+  Session s(Parse("d = e + f\nd = 0\nr = e + f\nwrite r"));
+  EXPECT_TRUE(s.FindOpportunities(TransformKind::kCse).empty());
+}
+
+TEST(Cse, BlockedWhenSourceOnOneBranchOnly) {
+  Session s(Parse(
+      "if (q > 0) then\n  d = e + f\nendif\nr = e + f\nwrite r"));
+  EXPECT_TRUE(s.FindOpportunities(TransformKind::kCse).empty());
+}
+
+TEST(Cse, SelfReferencingSourceExcluded) {
+  // e = e + f kills its own computation.
+  Session s(Parse("e = e + f\nr = e + f\nwrite r"));
+  EXPECT_TRUE(s.FindOpportunities(TransformKind::kCse).empty());
+}
+
+TEST(Cse, WorksInsideLoops) {
+  Session s(Parse(
+      "do i = 1, 3\n  d = e + f\n  a(i) = e + f\nenddo\nwrite a(1)"));
+  ApplyChecked(s, TransformKind::kCse);
+  EXPECT_NE(s.Source().find("a(i) = d"), std::string::npos);
+}
+
+TEST(Cse, SafetyViolatedByInterveningDef) {
+  Session s(Parse("d = e + f\nr = e + f\nwrite r\nwrite d"));
+  const OrderStamp t = ApplyChecked(s, TransformKind::kCse);
+  // Edit: redefine e between source and target.
+  s.editor().AddStmt(MakeAssign(MakeVarRef("e"), MakeIntConst(5)), nullptr,
+                     BodyKind::kMain, 1);
+  const TransformRecord* rec = s.history().FindByStamp(t);
+  EXPECT_FALSE(GetTransformation(TransformKind::kCse)
+                   .CheckSafety(s.analyses(), s.journal(), *rec));
+}
+
+// --- CTP ---
+
+TEST(Ctp, PropagatesConstant) {
+  Session s(Parse("2: c = 1\n5: a(j) = b(j) + c\nwrite a(1)"));
+  ApplyChecked(s, TransformKind::kCtp);
+  EXPECT_NE(s.Source().find("a(j) = b(j) + 1"), std::string::npos);
+}
+
+TEST(Ctp, MultipleUsesYieldMultipleOpportunities) {
+  Session s(Parse("c = 2\nx = c + c\nwrite x"));
+  EXPECT_EQ(s.FindOpportunities(TransformKind::kCtp).size(), 2u);
+}
+
+TEST(Ctp, BlockedByInterveningDef) {
+  Session s(Parse("c = 1\nc = 2\nx = c\nwrite x"));
+  const auto ops = s.FindOpportunities(TransformKind::kCtp);
+  // Only the second definition may propagate.
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].s1, s.program().top()[1]->id);
+}
+
+TEST(Ctp, BlockedByMergingDefs) {
+  Session s(Parse(
+      "if (q > 0) then\n  c = 1\nelse\n  c = 2\nendif\nx = c\nwrite x"));
+  EXPECT_TRUE(s.FindOpportunities(TransformKind::kCtp).empty());
+}
+
+TEST(Ctp, PropagatesIntoLoopBounds) {
+  Session s(Parse("n = 3\ns = 0\ndo i = 1, n\n  s = s + i\nenddo\nwrite s"));
+  ApplyChecked(s, TransformKind::kCtp);
+  EXPECT_NE(s.Source().find("do i = 1, 3"), std::string::npos);
+}
+
+TEST(Ctp, SafetyViolatedWhenConstantChanges) {
+  Session s(Parse("c = 1\nx = c\nwrite x\nwrite c"));
+  const OrderStamp t = ApplyChecked(s, TransformKind::kCtp);
+  // Edit the definition's constant: 1 -> 7.
+  Stmt& def = *s.program().top()[0];
+  s.editor().ReplaceExpr(*def.rhs, MakeIntConst(7));
+  const TransformRecord* rec = s.history().FindByStamp(t);
+  EXPECT_FALSE(GetTransformation(TransformKind::kCtp)
+                   .CheckSafety(s.analyses(), s.journal(), *rec));
+}
+
+// --- CPP ---
+
+TEST(Cpp, PropagatesCopy) {
+  Session s(Parse("y = q\nx = y\nz = x + 1\nwrite z"));
+  const auto ops = s.FindOpportunities(TransformKind::kCpp);
+  ASSERT_FALSE(ops.empty());
+  ApplyChecked(s, TransformKind::kCpp);
+  ExpectValid(s.program());
+}
+
+TEST(Cpp, BlockedWhenSourceChanges) {
+  Session s(Parse("x = y\ny = 0\nz = x + 1\nwrite z"));
+  // Propagating y into z would read the clobbered y.
+  for (const auto& op : s.FindOpportunities(TransformKind::kCpp)) {
+    EXPECT_NE(op.var, "x");
+  }
+}
+
+TEST(Cpp, BlockedWhenCopyKilled) {
+  Session s(Parse("x = y\nx = 9\nz = x + 1\nwrite z"));
+  for (const auto& op : s.FindOpportunities(TransformKind::kCpp)) {
+    EXPECT_NE(op.s2, s.program().top()[2]->id);
+  }
+}
+
+// --- CFO ---
+
+TEST(Cfo, FoldsMaximalConstantSubtrees) {
+  Session s(Parse("x = 1 + 2 * 3\nwrite x"));
+  ApplyChecked(s, TransformKind::kCfo);
+  EXPECT_EQ(s.Source(), "x = 7\nwrite x\n");
+}
+
+TEST(Cfo, FoldsInsideLargerExpression) {
+  Session s(Parse("x = y + (2 + 3)\nwrite x"));
+  ApplyChecked(s, TransformKind::kCfo);
+  EXPECT_EQ(s.Source(), "x = y + 5\nwrite x\n");
+}
+
+TEST(Cfo, RealArithmeticMatchesInterpreter) {
+  Session s(Parse("x = 7 / 2\nwrite x"));
+  ApplyChecked(s, TransformKind::kCfo);
+  EXPECT_EQ(s.Source(), "x = 3.5\nwrite x\n");
+}
+
+TEST(Cfo, RefusesDivisionByZero) {
+  Session s(Parse("x = q + 1 / 0\nwrite x"));
+  EXPECT_TRUE(s.FindOpportunities(TransformKind::kCfo).empty());
+}
+
+TEST(Cfo, NoTrivialFolds) {
+  Session s(Parse("x = 5\nwrite x"));
+  EXPECT_TRUE(s.FindOpportunities(TransformKind::kCfo).empty());
+}
+
+TEST(Cfo, EnabledByCtp) {
+  // The classic chain: CTP turns c into 1, enabling the fold.
+  Session s(Parse("c = 1\nx = c + 2\nwrite x"));
+  EXPECT_TRUE(s.FindOpportunities(TransformKind::kCfo).empty());
+  ApplyChecked(s, TransformKind::kCtp);
+  ASSERT_FALSE(s.FindOpportunities(TransformKind::kCfo).empty());
+  ApplyChecked(s, TransformKind::kCfo);
+  EXPECT_NE(s.Source().find("x = 3"), std::string::npos);
+}
+
+// --- cross-cutting: Apply validates pre-conditions ---
+
+TEST(Apply, RejectsStaleOpportunity) {
+  Session s(Parse("x = 1\nx = 2\nwrite x"));
+  const auto ops = s.FindOpportunities(TransformKind::kDce);
+  ASSERT_EQ(ops.size(), 1u);
+  // Invalidate the opportunity: make the store live via an edit.
+  s.editor().AddStmt(MakeWrite(MakeVarRef("x")), nullptr, BodyKind::kMain,
+                     1);
+  EXPECT_THROW(s.Apply(ops[0]), ProgramError);
+}
+
+TEST(Apply, EverywhereTerminates) {
+  Session s(Parse("c = 1\nd = 2\nx = c + d\ny = c + d\nwrite x\nwrite y"));
+  const int applied = s.ApplyEverywhere(TransformKind::kCtp);
+  EXPECT_GT(applied, 0);
+  EXPECT_TRUE(s.FindOpportunities(TransformKind::kCtp).empty());
+  ExpectValid(s.program());
+}
+
+// Semantics preservation across a stack of scalar transformations.
+TEST(ScalarPipeline, StackedTransformsPreserveBehavior) {
+  const char* src =
+      "read q\nc = 1\nd = e + f\nr = e + f\nx = c + 2\nx = q\n"
+      "write r\nwrite x\nwrite d";
+  Session s(Parse(src));
+  Program original = s.program().Clone();
+  s.ApplyEverywhere(TransformKind::kCtp);
+  s.ApplyEverywhere(TransformKind::kCse);
+  s.ApplyEverywhere(TransformKind::kCfo);
+  s.ApplyEverywhere(TransformKind::kDce);
+  EXPECT_TRUE(SameBehavior(original, s.program(), {3.25}));
+  ExpectValid(s.program());
+}
+
+}  // namespace
+}  // namespace pivot
