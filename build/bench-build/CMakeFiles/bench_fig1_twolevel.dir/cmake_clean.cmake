@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_twolevel"
+  "../bench/bench_fig1_twolevel.pdb"
+  "CMakeFiles/bench_fig1_twolevel.dir/bench_fig1_twolevel.cc.o"
+  "CMakeFiles/bench_fig1_twolevel.dir/bench_fig1_twolevel.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_twolevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_annotations"
+  "../bench/bench_fig2_annotations.pdb"
+  "CMakeFiles/bench_fig2_annotations.dir/bench_fig2_annotations.cc.o"
+  "CMakeFiles/bench_fig2_annotations.dir/bench_fig2_annotations.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_annotations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

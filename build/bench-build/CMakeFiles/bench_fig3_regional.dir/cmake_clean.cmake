@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_regional"
+  "../bench/bench_fig3_regional.pdb"
+  "CMakeFiles/bench_fig3_regional.dir/bench_fig3_regional.cc.o"
+  "CMakeFiles/bench_fig3_regional.dir/bench_fig3_regional.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_regional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

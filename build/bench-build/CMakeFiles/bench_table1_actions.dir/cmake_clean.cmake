@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_actions"
+  "../bench/bench_table1_actions.pdb"
+  "CMakeFiles/bench_table1_actions.dir/bench_table1_actions.cc.o"
+  "CMakeFiles/bench_table1_actions.dir/bench_table1_actions.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_actions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

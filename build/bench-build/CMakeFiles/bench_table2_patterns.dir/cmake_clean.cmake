@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_patterns"
+  "../bench/bench_table2_patterns.pdb"
+  "CMakeFiles/bench_table2_patterns.dir/bench_table2_patterns.cc.o"
+  "CMakeFiles/bench_table2_patterns.dir/bench_table2_patterns.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

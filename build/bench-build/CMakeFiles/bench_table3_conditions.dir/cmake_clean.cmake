@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_conditions"
+  "../bench/bench_table3_conditions.pdb"
+  "CMakeFiles/bench_table3_conditions.dir/bench_table3_conditions.cc.o"
+  "CMakeFiles/bench_table3_conditions.dir/bench_table3_conditions.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_conditions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

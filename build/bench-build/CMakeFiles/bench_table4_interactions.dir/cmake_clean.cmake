@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_interactions"
+  "../bench/bench_table4_interactions.pdb"
+  "CMakeFiles/bench_table4_interactions.dir/bench_table4_interactions.cc.o"
+  "CMakeFiles/bench_table4_interactions.dir/bench_table4_interactions.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_interactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edit_invalidation.dir/edit_invalidation.cpp.o"
+  "CMakeFiles/edit_invalidation.dir/edit_invalidation.cpp.o.d"
+  "edit_invalidation"
+  "edit_invalidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edit_invalidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

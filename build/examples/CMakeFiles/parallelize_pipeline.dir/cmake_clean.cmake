@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallelize_pipeline.dir/parallelize_pipeline.cpp.o"
+  "CMakeFiles/parallelize_pipeline.dir/parallelize_pipeline.cpp.o.d"
+  "parallelize_pipeline"
+  "parallelize_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallelize_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pivot_repl.dir/pivot_repl.cpp.o"
+  "CMakeFiles/pivot_repl.dir/pivot_repl.cpp.o.d"
+  "pivot_repl"
+  "pivot_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pivot_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

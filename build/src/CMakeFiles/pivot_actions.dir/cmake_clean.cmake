@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pivot_actions.dir/pivot/actions/action.cc.o"
+  "CMakeFiles/pivot_actions.dir/pivot/actions/action.cc.o.d"
+  "CMakeFiles/pivot_actions.dir/pivot/actions/annotations.cc.o"
+  "CMakeFiles/pivot_actions.dir/pivot/actions/annotations.cc.o.d"
+  "CMakeFiles/pivot_actions.dir/pivot/actions/journal.cc.o"
+  "CMakeFiles/pivot_actions.dir/pivot/actions/journal.cc.o.d"
+  "CMakeFiles/pivot_actions.dir/pivot/actions/location.cc.o"
+  "CMakeFiles/pivot_actions.dir/pivot/actions/location.cc.o.d"
+  "libpivot_actions.a"
+  "libpivot_actions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pivot_actions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

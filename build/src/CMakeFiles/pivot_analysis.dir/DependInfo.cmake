@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pivot/analysis/analyses.cc" "src/CMakeFiles/pivot_analysis.dir/pivot/analysis/analyses.cc.o" "gcc" "src/CMakeFiles/pivot_analysis.dir/pivot/analysis/analyses.cc.o.d"
+  "/root/repo/src/pivot/analysis/cfg.cc" "src/CMakeFiles/pivot_analysis.dir/pivot/analysis/cfg.cc.o" "gcc" "src/CMakeFiles/pivot_analysis.dir/pivot/analysis/cfg.cc.o.d"
+  "/root/repo/src/pivot/analysis/dag.cc" "src/CMakeFiles/pivot_analysis.dir/pivot/analysis/dag.cc.o" "gcc" "src/CMakeFiles/pivot_analysis.dir/pivot/analysis/dag.cc.o.d"
+  "/root/repo/src/pivot/analysis/dataflow.cc" "src/CMakeFiles/pivot_analysis.dir/pivot/analysis/dataflow.cc.o" "gcc" "src/CMakeFiles/pivot_analysis.dir/pivot/analysis/dataflow.cc.o.d"
+  "/root/repo/src/pivot/analysis/defuse.cc" "src/CMakeFiles/pivot_analysis.dir/pivot/analysis/defuse.cc.o" "gcc" "src/CMakeFiles/pivot_analysis.dir/pivot/analysis/defuse.cc.o.d"
+  "/root/repo/src/pivot/analysis/depend.cc" "src/CMakeFiles/pivot_analysis.dir/pivot/analysis/depend.cc.o" "gcc" "src/CMakeFiles/pivot_analysis.dir/pivot/analysis/depend.cc.o.d"
+  "/root/repo/src/pivot/analysis/dominators.cc" "src/CMakeFiles/pivot_analysis.dir/pivot/analysis/dominators.cc.o" "gcc" "src/CMakeFiles/pivot_analysis.dir/pivot/analysis/dominators.cc.o.d"
+  "/root/repo/src/pivot/analysis/flatten.cc" "src/CMakeFiles/pivot_analysis.dir/pivot/analysis/flatten.cc.o" "gcc" "src/CMakeFiles/pivot_analysis.dir/pivot/analysis/flatten.cc.o.d"
+  "/root/repo/src/pivot/analysis/loops.cc" "src/CMakeFiles/pivot_analysis.dir/pivot/analysis/loops.cc.o" "gcc" "src/CMakeFiles/pivot_analysis.dir/pivot/analysis/loops.cc.o.d"
+  "/root/repo/src/pivot/analysis/pdg.cc" "src/CMakeFiles/pivot_analysis.dir/pivot/analysis/pdg.cc.o" "gcc" "src/CMakeFiles/pivot_analysis.dir/pivot/analysis/pdg.cc.o.d"
+  "/root/repo/src/pivot/analysis/summary.cc" "src/CMakeFiles/pivot_analysis.dir/pivot/analysis/summary.cc.o" "gcc" "src/CMakeFiles/pivot_analysis.dir/pivot/analysis/summary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pivot_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pivot_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pivot_analysis.dir/pivot/analysis/analyses.cc.o"
+  "CMakeFiles/pivot_analysis.dir/pivot/analysis/analyses.cc.o.d"
+  "CMakeFiles/pivot_analysis.dir/pivot/analysis/cfg.cc.o"
+  "CMakeFiles/pivot_analysis.dir/pivot/analysis/cfg.cc.o.d"
+  "CMakeFiles/pivot_analysis.dir/pivot/analysis/dag.cc.o"
+  "CMakeFiles/pivot_analysis.dir/pivot/analysis/dag.cc.o.d"
+  "CMakeFiles/pivot_analysis.dir/pivot/analysis/dataflow.cc.o"
+  "CMakeFiles/pivot_analysis.dir/pivot/analysis/dataflow.cc.o.d"
+  "CMakeFiles/pivot_analysis.dir/pivot/analysis/defuse.cc.o"
+  "CMakeFiles/pivot_analysis.dir/pivot/analysis/defuse.cc.o.d"
+  "CMakeFiles/pivot_analysis.dir/pivot/analysis/depend.cc.o"
+  "CMakeFiles/pivot_analysis.dir/pivot/analysis/depend.cc.o.d"
+  "CMakeFiles/pivot_analysis.dir/pivot/analysis/dominators.cc.o"
+  "CMakeFiles/pivot_analysis.dir/pivot/analysis/dominators.cc.o.d"
+  "CMakeFiles/pivot_analysis.dir/pivot/analysis/flatten.cc.o"
+  "CMakeFiles/pivot_analysis.dir/pivot/analysis/flatten.cc.o.d"
+  "CMakeFiles/pivot_analysis.dir/pivot/analysis/loops.cc.o"
+  "CMakeFiles/pivot_analysis.dir/pivot/analysis/loops.cc.o.d"
+  "CMakeFiles/pivot_analysis.dir/pivot/analysis/pdg.cc.o"
+  "CMakeFiles/pivot_analysis.dir/pivot/analysis/pdg.cc.o.d"
+  "CMakeFiles/pivot_analysis.dir/pivot/analysis/summary.cc.o"
+  "CMakeFiles/pivot_analysis.dir/pivot/analysis/summary.cc.o.d"
+  "libpivot_analysis.a"
+  "libpivot_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pivot_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

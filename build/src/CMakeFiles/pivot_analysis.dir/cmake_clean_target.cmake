@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpivot_analysis.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pivot/core/edits.cc" "src/CMakeFiles/pivot_core.dir/pivot/core/edits.cc.o" "gcc" "src/CMakeFiles/pivot_core.dir/pivot/core/edits.cc.o.d"
+  "/root/repo/src/pivot/core/history.cc" "src/CMakeFiles/pivot_core.dir/pivot/core/history.cc.o" "gcc" "src/CMakeFiles/pivot_core.dir/pivot/core/history.cc.o.d"
+  "/root/repo/src/pivot/core/interactions.cc" "src/CMakeFiles/pivot_core.dir/pivot/core/interactions.cc.o" "gcc" "src/CMakeFiles/pivot_core.dir/pivot/core/interactions.cc.o.d"
+  "/root/repo/src/pivot/core/region.cc" "src/CMakeFiles/pivot_core.dir/pivot/core/region.cc.o" "gcc" "src/CMakeFiles/pivot_core.dir/pivot/core/region.cc.o.d"
+  "/root/repo/src/pivot/core/report.cc" "src/CMakeFiles/pivot_core.dir/pivot/core/report.cc.o" "gcc" "src/CMakeFiles/pivot_core.dir/pivot/core/report.cc.o.d"
+  "/root/repo/src/pivot/core/session.cc" "src/CMakeFiles/pivot_core.dir/pivot/core/session.cc.o" "gcc" "src/CMakeFiles/pivot_core.dir/pivot/core/session.cc.o.d"
+  "/root/repo/src/pivot/core/trace.cc" "src/CMakeFiles/pivot_core.dir/pivot/core/trace.cc.o" "gcc" "src/CMakeFiles/pivot_core.dir/pivot/core/trace.cc.o.d"
+  "/root/repo/src/pivot/core/undo_engine.cc" "src/CMakeFiles/pivot_core.dir/pivot/core/undo_engine.cc.o" "gcc" "src/CMakeFiles/pivot_core.dir/pivot/core/undo_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pivot_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pivot_actions.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pivot_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pivot_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pivot_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pivot_core.dir/pivot/core/edits.cc.o"
+  "CMakeFiles/pivot_core.dir/pivot/core/edits.cc.o.d"
+  "CMakeFiles/pivot_core.dir/pivot/core/history.cc.o"
+  "CMakeFiles/pivot_core.dir/pivot/core/history.cc.o.d"
+  "CMakeFiles/pivot_core.dir/pivot/core/interactions.cc.o"
+  "CMakeFiles/pivot_core.dir/pivot/core/interactions.cc.o.d"
+  "CMakeFiles/pivot_core.dir/pivot/core/region.cc.o"
+  "CMakeFiles/pivot_core.dir/pivot/core/region.cc.o.d"
+  "CMakeFiles/pivot_core.dir/pivot/core/report.cc.o"
+  "CMakeFiles/pivot_core.dir/pivot/core/report.cc.o.d"
+  "CMakeFiles/pivot_core.dir/pivot/core/session.cc.o"
+  "CMakeFiles/pivot_core.dir/pivot/core/session.cc.o.d"
+  "CMakeFiles/pivot_core.dir/pivot/core/trace.cc.o"
+  "CMakeFiles/pivot_core.dir/pivot/core/trace.cc.o.d"
+  "CMakeFiles/pivot_core.dir/pivot/core/undo_engine.cc.o"
+  "CMakeFiles/pivot_core.dir/pivot/core/undo_engine.cc.o.d"
+  "libpivot_core.a"
+  "libpivot_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pivot_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pivot/ir/builder.cc" "src/CMakeFiles/pivot_ir.dir/pivot/ir/builder.cc.o" "gcc" "src/CMakeFiles/pivot_ir.dir/pivot/ir/builder.cc.o.d"
+  "/root/repo/src/pivot/ir/diff.cc" "src/CMakeFiles/pivot_ir.dir/pivot/ir/diff.cc.o" "gcc" "src/CMakeFiles/pivot_ir.dir/pivot/ir/diff.cc.o.d"
+  "/root/repo/src/pivot/ir/expr.cc" "src/CMakeFiles/pivot_ir.dir/pivot/ir/expr.cc.o" "gcc" "src/CMakeFiles/pivot_ir.dir/pivot/ir/expr.cc.o.d"
+  "/root/repo/src/pivot/ir/interp.cc" "src/CMakeFiles/pivot_ir.dir/pivot/ir/interp.cc.o" "gcc" "src/CMakeFiles/pivot_ir.dir/pivot/ir/interp.cc.o.d"
+  "/root/repo/src/pivot/ir/lexer.cc" "src/CMakeFiles/pivot_ir.dir/pivot/ir/lexer.cc.o" "gcc" "src/CMakeFiles/pivot_ir.dir/pivot/ir/lexer.cc.o.d"
+  "/root/repo/src/pivot/ir/parser.cc" "src/CMakeFiles/pivot_ir.dir/pivot/ir/parser.cc.o" "gcc" "src/CMakeFiles/pivot_ir.dir/pivot/ir/parser.cc.o.d"
+  "/root/repo/src/pivot/ir/printer.cc" "src/CMakeFiles/pivot_ir.dir/pivot/ir/printer.cc.o" "gcc" "src/CMakeFiles/pivot_ir.dir/pivot/ir/printer.cc.o.d"
+  "/root/repo/src/pivot/ir/program.cc" "src/CMakeFiles/pivot_ir.dir/pivot/ir/program.cc.o" "gcc" "src/CMakeFiles/pivot_ir.dir/pivot/ir/program.cc.o.d"
+  "/root/repo/src/pivot/ir/random_program.cc" "src/CMakeFiles/pivot_ir.dir/pivot/ir/random_program.cc.o" "gcc" "src/CMakeFiles/pivot_ir.dir/pivot/ir/random_program.cc.o.d"
+  "/root/repo/src/pivot/ir/stmt.cc" "src/CMakeFiles/pivot_ir.dir/pivot/ir/stmt.cc.o" "gcc" "src/CMakeFiles/pivot_ir.dir/pivot/ir/stmt.cc.o.d"
+  "/root/repo/src/pivot/ir/validate.cc" "src/CMakeFiles/pivot_ir.dir/pivot/ir/validate.cc.o" "gcc" "src/CMakeFiles/pivot_ir.dir/pivot/ir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pivot_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

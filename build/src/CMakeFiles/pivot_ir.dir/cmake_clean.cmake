@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pivot_ir.dir/pivot/ir/builder.cc.o"
+  "CMakeFiles/pivot_ir.dir/pivot/ir/builder.cc.o.d"
+  "CMakeFiles/pivot_ir.dir/pivot/ir/diff.cc.o"
+  "CMakeFiles/pivot_ir.dir/pivot/ir/diff.cc.o.d"
+  "CMakeFiles/pivot_ir.dir/pivot/ir/expr.cc.o"
+  "CMakeFiles/pivot_ir.dir/pivot/ir/expr.cc.o.d"
+  "CMakeFiles/pivot_ir.dir/pivot/ir/interp.cc.o"
+  "CMakeFiles/pivot_ir.dir/pivot/ir/interp.cc.o.d"
+  "CMakeFiles/pivot_ir.dir/pivot/ir/lexer.cc.o"
+  "CMakeFiles/pivot_ir.dir/pivot/ir/lexer.cc.o.d"
+  "CMakeFiles/pivot_ir.dir/pivot/ir/parser.cc.o"
+  "CMakeFiles/pivot_ir.dir/pivot/ir/parser.cc.o.d"
+  "CMakeFiles/pivot_ir.dir/pivot/ir/printer.cc.o"
+  "CMakeFiles/pivot_ir.dir/pivot/ir/printer.cc.o.d"
+  "CMakeFiles/pivot_ir.dir/pivot/ir/program.cc.o"
+  "CMakeFiles/pivot_ir.dir/pivot/ir/program.cc.o.d"
+  "CMakeFiles/pivot_ir.dir/pivot/ir/random_program.cc.o"
+  "CMakeFiles/pivot_ir.dir/pivot/ir/random_program.cc.o.d"
+  "CMakeFiles/pivot_ir.dir/pivot/ir/stmt.cc.o"
+  "CMakeFiles/pivot_ir.dir/pivot/ir/stmt.cc.o.d"
+  "CMakeFiles/pivot_ir.dir/pivot/ir/validate.cc.o"
+  "CMakeFiles/pivot_ir.dir/pivot/ir/validate.cc.o.d"
+  "libpivot_ir.a"
+  "libpivot_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pivot_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pivot/support/bitset.cc" "src/CMakeFiles/pivot_support.dir/pivot/support/bitset.cc.o" "gcc" "src/CMakeFiles/pivot_support.dir/pivot/support/bitset.cc.o.d"
+  "/root/repo/src/pivot/support/diagnostics.cc" "src/CMakeFiles/pivot_support.dir/pivot/support/diagnostics.cc.o" "gcc" "src/CMakeFiles/pivot_support.dir/pivot/support/diagnostics.cc.o.d"
+  "/root/repo/src/pivot/support/rng.cc" "src/CMakeFiles/pivot_support.dir/pivot/support/rng.cc.o" "gcc" "src/CMakeFiles/pivot_support.dir/pivot/support/rng.cc.o.d"
+  "/root/repo/src/pivot/support/table.cc" "src/CMakeFiles/pivot_support.dir/pivot/support/table.cc.o" "gcc" "src/CMakeFiles/pivot_support.dir/pivot/support/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pivot_support.dir/pivot/support/bitset.cc.o"
+  "CMakeFiles/pivot_support.dir/pivot/support/bitset.cc.o.d"
+  "CMakeFiles/pivot_support.dir/pivot/support/diagnostics.cc.o"
+  "CMakeFiles/pivot_support.dir/pivot/support/diagnostics.cc.o.d"
+  "CMakeFiles/pivot_support.dir/pivot/support/rng.cc.o"
+  "CMakeFiles/pivot_support.dir/pivot/support/rng.cc.o.d"
+  "CMakeFiles/pivot_support.dir/pivot/support/table.cc.o"
+  "CMakeFiles/pivot_support.dir/pivot/support/table.cc.o.d"
+  "libpivot_support.a"
+  "libpivot_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pivot_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pivot/transform/catalog.cc" "src/CMakeFiles/pivot_transform.dir/pivot/transform/catalog.cc.o" "gcc" "src/CMakeFiles/pivot_transform.dir/pivot/transform/catalog.cc.o.d"
+  "/root/repo/src/pivot/transform/cfo.cc" "src/CMakeFiles/pivot_transform.dir/pivot/transform/cfo.cc.o" "gcc" "src/CMakeFiles/pivot_transform.dir/pivot/transform/cfo.cc.o.d"
+  "/root/repo/src/pivot/transform/cpp.cc" "src/CMakeFiles/pivot_transform.dir/pivot/transform/cpp.cc.o" "gcc" "src/CMakeFiles/pivot_transform.dir/pivot/transform/cpp.cc.o.d"
+  "/root/repo/src/pivot/transform/cse.cc" "src/CMakeFiles/pivot_transform.dir/pivot/transform/cse.cc.o" "gcc" "src/CMakeFiles/pivot_transform.dir/pivot/transform/cse.cc.o.d"
+  "/root/repo/src/pivot/transform/ctp.cc" "src/CMakeFiles/pivot_transform.dir/pivot/transform/ctp.cc.o" "gcc" "src/CMakeFiles/pivot_transform.dir/pivot/transform/ctp.cc.o.d"
+  "/root/repo/src/pivot/transform/dce.cc" "src/CMakeFiles/pivot_transform.dir/pivot/transform/dce.cc.o" "gcc" "src/CMakeFiles/pivot_transform.dir/pivot/transform/dce.cc.o.d"
+  "/root/repo/src/pivot/transform/fus.cc" "src/CMakeFiles/pivot_transform.dir/pivot/transform/fus.cc.o" "gcc" "src/CMakeFiles/pivot_transform.dir/pivot/transform/fus.cc.o.d"
+  "/root/repo/src/pivot/transform/icm.cc" "src/CMakeFiles/pivot_transform.dir/pivot/transform/icm.cc.o" "gcc" "src/CMakeFiles/pivot_transform.dir/pivot/transform/icm.cc.o.d"
+  "/root/repo/src/pivot/transform/inx.cc" "src/CMakeFiles/pivot_transform.dir/pivot/transform/inx.cc.o" "gcc" "src/CMakeFiles/pivot_transform.dir/pivot/transform/inx.cc.o.d"
+  "/root/repo/src/pivot/transform/lur.cc" "src/CMakeFiles/pivot_transform.dir/pivot/transform/lur.cc.o" "gcc" "src/CMakeFiles/pivot_transform.dir/pivot/transform/lur.cc.o.d"
+  "/root/repo/src/pivot/transform/patterns.cc" "src/CMakeFiles/pivot_transform.dir/pivot/transform/patterns.cc.o" "gcc" "src/CMakeFiles/pivot_transform.dir/pivot/transform/patterns.cc.o.d"
+  "/root/repo/src/pivot/transform/smi.cc" "src/CMakeFiles/pivot_transform.dir/pivot/transform/smi.cc.o" "gcc" "src/CMakeFiles/pivot_transform.dir/pivot/transform/smi.cc.o.d"
+  "/root/repo/src/pivot/transform/spec.cc" "src/CMakeFiles/pivot_transform.dir/pivot/transform/spec.cc.o" "gcc" "src/CMakeFiles/pivot_transform.dir/pivot/transform/spec.cc.o.d"
+  "/root/repo/src/pivot/transform/transform.cc" "src/CMakeFiles/pivot_transform.dir/pivot/transform/transform.cc.o" "gcc" "src/CMakeFiles/pivot_transform.dir/pivot/transform/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pivot_actions.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pivot_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pivot_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pivot_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pivot_transform.dir/pivot/transform/catalog.cc.o"
+  "CMakeFiles/pivot_transform.dir/pivot/transform/catalog.cc.o.d"
+  "CMakeFiles/pivot_transform.dir/pivot/transform/cfo.cc.o"
+  "CMakeFiles/pivot_transform.dir/pivot/transform/cfo.cc.o.d"
+  "CMakeFiles/pivot_transform.dir/pivot/transform/cpp.cc.o"
+  "CMakeFiles/pivot_transform.dir/pivot/transform/cpp.cc.o.d"
+  "CMakeFiles/pivot_transform.dir/pivot/transform/cse.cc.o"
+  "CMakeFiles/pivot_transform.dir/pivot/transform/cse.cc.o.d"
+  "CMakeFiles/pivot_transform.dir/pivot/transform/ctp.cc.o"
+  "CMakeFiles/pivot_transform.dir/pivot/transform/ctp.cc.o.d"
+  "CMakeFiles/pivot_transform.dir/pivot/transform/dce.cc.o"
+  "CMakeFiles/pivot_transform.dir/pivot/transform/dce.cc.o.d"
+  "CMakeFiles/pivot_transform.dir/pivot/transform/fus.cc.o"
+  "CMakeFiles/pivot_transform.dir/pivot/transform/fus.cc.o.d"
+  "CMakeFiles/pivot_transform.dir/pivot/transform/icm.cc.o"
+  "CMakeFiles/pivot_transform.dir/pivot/transform/icm.cc.o.d"
+  "CMakeFiles/pivot_transform.dir/pivot/transform/inx.cc.o"
+  "CMakeFiles/pivot_transform.dir/pivot/transform/inx.cc.o.d"
+  "CMakeFiles/pivot_transform.dir/pivot/transform/lur.cc.o"
+  "CMakeFiles/pivot_transform.dir/pivot/transform/lur.cc.o.d"
+  "CMakeFiles/pivot_transform.dir/pivot/transform/patterns.cc.o"
+  "CMakeFiles/pivot_transform.dir/pivot/transform/patterns.cc.o.d"
+  "CMakeFiles/pivot_transform.dir/pivot/transform/smi.cc.o"
+  "CMakeFiles/pivot_transform.dir/pivot/transform/smi.cc.o.d"
+  "CMakeFiles/pivot_transform.dir/pivot/transform/spec.cc.o"
+  "CMakeFiles/pivot_transform.dir/pivot/transform/spec.cc.o.d"
+  "CMakeFiles/pivot_transform.dir/pivot/transform/transform.cc.o"
+  "CMakeFiles/pivot_transform.dir/pivot/transform/transform.cc.o.d"
+  "libpivot_transform.a"
+  "libpivot_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pivot_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

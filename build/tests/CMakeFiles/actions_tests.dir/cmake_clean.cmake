@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actions_tests.dir/actions_test.cc.o"
+  "CMakeFiles/actions_tests.dir/actions_test.cc.o.d"
+  "CMakeFiles/actions_tests.dir/journal_edge_test.cc.o"
+  "CMakeFiles/actions_tests.dir/journal_edge_test.cc.o.d"
+  "actions_tests"
+  "actions_tests.pdb"
+  "actions_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actions_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_tests.dir/cfg_dataflow_test.cc.o"
+  "CMakeFiles/analysis_tests.dir/cfg_dataflow_test.cc.o.d"
+  "CMakeFiles/analysis_tests.dir/loops_depend_test.cc.o"
+  "CMakeFiles/analysis_tests.dir/loops_depend_test.cc.o.d"
+  "CMakeFiles/analysis_tests.dir/pdg_dag_test.cc.o"
+  "CMakeFiles/analysis_tests.dir/pdg_dag_test.cc.o.d"
+  "analysis_tests"
+  "analysis_tests.pdb"
+  "analysis_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

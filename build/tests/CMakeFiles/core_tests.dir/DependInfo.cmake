@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/edits_test.cc" "tests/CMakeFiles/core_tests.dir/edits_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/edits_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/core_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/report_test.cc" "tests/CMakeFiles/core_tests.dir/report_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/report_test.cc.o.d"
+  "/root/repo/tests/scenario_test.cc" "tests/CMakeFiles/core_tests.dir/scenario_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/scenario_test.cc.o.d"
+  "/root/repo/tests/session_test.cc" "tests/CMakeFiles/core_tests.dir/session_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/session_test.cc.o.d"
+  "/root/repo/tests/trace_test.cc" "tests/CMakeFiles/core_tests.dir/trace_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/trace_test.cc.o.d"
+  "/root/repo/tests/undo_test.cc" "tests/CMakeFiles/core_tests.dir/undo_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/undo_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pivot_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pivot_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pivot_actions.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pivot_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pivot_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pivot_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

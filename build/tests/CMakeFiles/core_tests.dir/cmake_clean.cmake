@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/edits_test.cc.o"
+  "CMakeFiles/core_tests.dir/edits_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/integration_test.cc.o"
+  "CMakeFiles/core_tests.dir/integration_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/report_test.cc.o"
+  "CMakeFiles/core_tests.dir/report_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/scenario_test.cc.o"
+  "CMakeFiles/core_tests.dir/scenario_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/session_test.cc.o"
+  "CMakeFiles/core_tests.dir/session_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/trace_test.cc.o"
+  "CMakeFiles/core_tests.dir/trace_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/undo_test.cc.o"
+  "CMakeFiles/core_tests.dir/undo_test.cc.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

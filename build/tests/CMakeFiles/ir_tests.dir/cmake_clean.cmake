@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_tests.dir/diff_test.cc.o"
+  "CMakeFiles/ir_tests.dir/diff_test.cc.o.d"
+  "CMakeFiles/ir_tests.dir/interp_test.cc.o"
+  "CMakeFiles/ir_tests.dir/interp_test.cc.o.d"
+  "CMakeFiles/ir_tests.dir/ir_test.cc.o"
+  "CMakeFiles/ir_tests.dir/ir_test.cc.o.d"
+  "CMakeFiles/ir_tests.dir/parser_test.cc.o"
+  "CMakeFiles/ir_tests.dir/parser_test.cc.o.d"
+  "ir_tests"
+  "ir_tests.pdb"
+  "ir_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transform_tests.dir/spec_test.cc.o"
+  "CMakeFiles/transform_tests.dir/spec_test.cc.o.d"
+  "CMakeFiles/transform_tests.dir/transform_loop_test.cc.o"
+  "CMakeFiles/transform_tests.dir/transform_loop_test.cc.o.d"
+  "CMakeFiles/transform_tests.dir/transform_scalar_test.cc.o"
+  "CMakeFiles/transform_tests.dir/transform_scalar_test.cc.o.d"
+  "transform_tests"
+  "transform_tests.pdb"
+  "transform_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transform_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
