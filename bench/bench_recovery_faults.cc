@@ -1,0 +1,144 @@
+// Transactional-session recovery study (failure model, DESIGN.md §7).
+//
+// The paper assumes the history machinery never desynchronizes from the
+// program; the transaction layer makes that hold under mid-operation
+// failure. Measured here:
+//   * the per-operation overhead of running Apply/Undo inside a
+//     transaction guard (event observation + commit bookkeeping),
+//     with and without strict-mode validation;
+//   * the cost of a rollback, i.e. absorbing an injected fault, as a
+//     function of how deep into the operation the fault lands;
+//   * a printed recovery report for an exhaustive fault walk over a
+//     random workload (every crossing faulted once — the same oracle the
+//     fault-injection test suite asserts on).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "pivot/core/session.h"
+#include "pivot/ir/printer.h"
+#include "pivot/ir/random_program.h"
+#include "pivot/support/fault_injector.h"
+#include "pivot/support/rng.h"
+#include "pivot/transform/catalog.h"
+
+namespace pivot {
+namespace {
+
+Program MakeWorkloadProgram(std::uint64_t seed) {
+  RandomProgramOptions gen;
+  gen.seed = seed;
+  gen.target_stmts = 30;
+  return GenerateRandomProgram(gen);
+}
+
+// One full apply-everything / undo-everything round, the common kernel.
+void RunRound(Session& s) {
+  for (int i = 0; i < kNumTransformKinds; ++i) {
+    s.ApplyEverywhere(TransformKindFromIndex(i), 3);
+  }
+  while (s.UndoLast() != kNoStamp) {
+  }
+}
+
+void BM_TransactionalRound(benchmark::State& state) {
+  FaultInjector::Instance().Reset();
+  SessionOptions options;
+  options.strict = state.range(0) != 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Session s(MakeWorkloadProgram(1234), options);
+    state.ResumeTiming();
+    RunRound(s);
+    benchmark::DoNotOptimize(s.recovery().commits);
+  }
+}
+BENCHMARK(BM_TransactionalRound)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("strict");
+
+// Rollback cost: arm a fault at the Nth crossing of one apply-everything
+// sweep; deeper crossings mean more observed events to replay backwards.
+void BM_RollbackAtCrossing(benchmark::State& state) {
+  const int crossing = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    FaultInjector::Instance().Reset();
+    Session s(MakeWorkloadProgram(5678));
+    state.ResumeTiming();
+    FaultInjector::Instance().ArmNthCrossing(crossing);
+    for (int i = 0; i < kNumTransformKinds; ++i) {
+      try {
+        s.ApplyEverywhere(TransformKindFromIndex(i), 3);
+      } catch (const FaultInjectedError&) {
+        break;  // absorbed: the faulted apply was rolled back
+      }
+    }
+    FaultInjector::Instance().Disarm();
+    benchmark::DoNotOptimize(s.recovery().rollbacks);
+  }
+  FaultInjector::Instance().Reset();
+}
+BENCHMARK(BM_RollbackAtCrossing)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->ArgName("crossing");
+
+// The printed artifact: walk every crossing of a workload, fault each one
+// once, and report what the recovery layer absorbed.
+void PrintRecoveryReport() {
+  FaultInjector::Instance().Reset();
+  SessionOptions options;
+  options.strict = true;
+  Session s(MakeWorkloadProgram(4242), options);
+  const std::string original = ToSource(s.program());
+
+  for (int i = 0; i < kNumTransformKinds; ++i) {
+    const TransformKind kind = TransformKindFromIndex(i);
+    for (int crossing = 1; crossing < 5000; ++crossing) {
+      FaultInjector::Instance().ArmNthCrossing(crossing);
+      try {
+        if (s.ApplyEverywhere(kind, 2) >= 0) {
+          FaultInjector::Instance().Disarm();
+          break;
+        }
+      } catch (const FaultInjectedError&) {
+        // absorbed; retry one crossing deeper
+      }
+    }
+  }
+  UndoStats stats;
+  while (true) {
+    TransformRecord* last = s.history().LastLive();
+    if (last == nullptr) break;
+    for (int crossing = 1; crossing < 5000; ++crossing) {
+      FaultInjector::Instance().ArmNthCrossing(crossing);
+      try {
+        stats += s.Undo(last->stamp);
+        FaultInjector::Instance().Disarm();
+        break;
+      } catch (const FaultInjectedError&) {
+      }
+    }
+  }
+  FaultInjector::Instance().Reset();
+
+  std::cout << "== Recovery report: exhaustive fault walk ==\n"
+            << s.recovery().ToString()
+            << "undo fault crossings: " << stats.fault_crossings << '\n'
+            << "full unwind restored original text: "
+            << (ToSource(s.program()) == original ? "yes" : "NO") << "\n\n";
+}
+
+}  // namespace
+}  // namespace pivot
+
+int main(int argc, char** argv) {
+  pivot::PrintRecoveryReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

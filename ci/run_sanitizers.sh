@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Builds the whole tree with AddressSanitizer + UndefinedBehaviorSanitizer
+# and runs the tier-1 suite plus the fault-injection atomicity suite under
+# both. Any sanitizer report fails the job (halt_on_error, and the build
+# sets -fno-sanitize-recover=all so UBSan reports abort too).
+#
+# Usage: ci/run_sanitizers.sh [build-dir]   (default: build-asan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+
+export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1:strict_string_checks=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+
+cmake -B "$BUILD_DIR" -S . -DPIVOT_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# Tier-1: the full test suite (units, scenarios, randomized properties).
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+# The fault-injection suite is part of ctest above; run the binary once
+# more on its own so its sanitizer output is easy to find in CI logs.
+"$BUILD_DIR"/tests/fault_injection_tests
+
+echo "sanitizer run complete: all tests clean under ASan+UBSan"

@@ -13,12 +13,28 @@ std::string Annotation::ToString() const {
   return os.str();
 }
 
+namespace {
+
+// Keep each node's annotations sorted by action id. Live appends are
+// already in action order, but a transaction rollback can legitimately
+// restore an earlier action's annotation after later ones exist; sorted
+// insertion keeps the rendering canonical either way.
+void InsertSorted(std::vector<Annotation>& annos, const Annotation& anno) {
+  auto it = std::upper_bound(annos.begin(), annos.end(), anno,
+                             [](const Annotation& a, const Annotation& b) {
+                               return a.action.value() < b.action.value();
+                             });
+  annos.insert(it, anno);
+}
+
+}  // namespace
+
 void AnnotationMap::AddStmt(StmtId stmt, const Annotation& anno) {
-  stmt_annos_[stmt].push_back(anno);
+  InsertSorted(stmt_annos_[stmt], anno);
 }
 
 void AnnotationMap::AddExpr(ExprId expr, const Annotation& anno) {
-  expr_annos_[expr].push_back(anno);
+  InsertSorted(expr_annos_[expr], anno);
 }
 
 void AnnotationMap::RemoveAction(ActionId action) {
@@ -55,6 +71,20 @@ const Annotation* AnnotationMap::TopOfExpr(ExprId expr) const {
 const Annotation* AnnotationMap::TopOfStmt(StmtId stmt) const {
   const auto& annos = OfStmt(stmt);
   return annos.empty() ? nullptr : &annos.back();
+}
+
+void AnnotationMap::ForEachStmtAnno(
+    const std::function<void(StmtId, const Annotation&)>& fn) const {
+  for (const auto& [id, annos] : stmt_annos_) {
+    for (const Annotation& a : annos) fn(id, a);
+  }
+}
+
+void AnnotationMap::ForEachExprAnno(
+    const std::function<void(ExprId, const Annotation&)>& fn) const {
+  for (const auto& [id, annos] : expr_annos_) {
+    for (const Annotation& a : annos) fn(id, a);
+  }
 }
 
 std::size_t AnnotationMap::TotalCount() const {

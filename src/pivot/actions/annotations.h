@@ -10,6 +10,7 @@
 #ifndef PIVOT_ACTIONS_ANNOTATIONS_H_
 #define PIVOT_ACTIONS_ANNOTATIONS_H_
 
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -41,6 +42,13 @@ class AnnotationMap {
   const Annotation* TopOfStmt(StmtId stmt) const;
 
   std::size_t TotalCount() const;
+
+  // Enumeration for cross-validators: every (node, annotation) pair, in
+  // unspecified order.
+  void ForEachStmtAnno(
+      const std::function<void(StmtId, const Annotation&)>& fn) const;
+  void ForEachExprAnno(
+      const std::function<void(ExprId, const Annotation&)>& fn) const;
 
   // One line per annotated node, e.g. "s5: mv_4" / "e12: md_2, md_3".
   std::string Render(const Program& program) const;

@@ -3,8 +3,15 @@
 #include <algorithm>
 
 #include "pivot/support/diagnostics.h"
+#include "pivot/support/fault_injector.h"
 
 namespace pivot {
+
+void Journal::set_observer(Observer* observer) {
+  PIVOT_CHECK_MSG(observer == nullptr || observer_ == nullptr,
+                  "journal transactions do not nest");
+  observer_ = observer;
+}
 
 ActionRecord& Journal::NewRecord(ActionKind kind, OrderStamp stamp) {
   ActionRecord rec;
@@ -24,17 +31,86 @@ void Journal::Annotate(ActionRecord& rec, StmtId stmt, ExprId expr) {
   if (expr.valid()) annotations_.AddExpr(expr, anno);
 }
 
+void Journal::ReAnnotate(ActionRecord& rec) {
+  switch (rec.kind) {
+    case ActionKind::kDelete:
+    case ActionKind::kMove:
+    case ActionKind::kAdd:
+      Annotate(rec, rec.stmt, kNoExpr);
+      break;
+    case ActionKind::kCopy:
+      Annotate(rec, rec.stmt, kNoExpr);
+      Annotate(rec, rec.copy, kNoExpr);
+      break;
+    case ActionKind::kModify:
+      if (rec.saved_header != nullptr) {
+        Annotate(rec, rec.stmt, kNoExpr);
+      } else {
+        Annotate(rec, kNoStmt, rec.new_expr);
+      }
+      break;
+  }
+}
+
+SlotPos Journal::CaptureSlot(const Stmt& stmt) const {
+  SlotPos pos;
+  pos.parent = stmt.parent != nullptr ? stmt.parent->id : kNoStmt;
+  pos.body = stmt.parent_body;
+  pos.index = program_.IndexOf(stmt);
+  return pos;
+}
+
+void Journal::InsertAtSlot(const SlotPos& pos, StmtPtr stmt) {
+  Stmt* parent =
+      pos.parent.valid() ? &program_.GetStmt(pos.parent) : nullptr;
+  program_.InsertAt(parent, pos.body, pos.index, std::move(stmt));
+}
+
+void Journal::NotifyAppend(const ActionRecord& rec) {
+  if (observer_ == nullptr) return;
+  JournalEvent event;
+  event.kind = JournalEvent::Kind::kAppend;
+  event.action = rec.id;
+  observer_->OnJournalEvent(event);
+}
+
+void Journal::NotifyAppend(const ActionRecord& rec, const SlotPos& pos) {
+  if (observer_ == nullptr) return;
+  JournalEvent event;
+  event.kind = JournalEvent::Kind::kAppend;
+  event.action = rec.id;
+  event.has_pos = true;
+  event.pos = pos;
+  observer_->OnJournalEvent(event);
+}
+
+void Journal::NotifyInvert(const ActionRecord& rec, bool has_pos,
+                           const SlotPos& pos) {
+  if (observer_ == nullptr) return;
+  JournalEvent event;
+  event.kind = JournalEvent::Kind::kInvert;
+  event.action = rec.id;
+  event.has_pos = has_pos;
+  event.pos = pos;
+  observer_->OnJournalEvent(event);
+}
+
 ActionId Journal::Delete(Stmt& stmt, OrderStamp stamp) {
+  PIVOT_FAULT_POINT("journal.delete.pre");
+  const SlotPos slot = CaptureSlot(stmt);
   ActionRecord& rec = NewRecord(ActionKind::kDelete, stamp);
   rec.stmt = stmt.id;
   rec.orig_loc = CaptureLocationOf(program_, stmt);
   rec.detached = program_.Detach(stmt);
   Annotate(rec, rec.stmt, kNoExpr);
+  NotifyAppend(rec, slot);
+  PIVOT_FAULT_POINT("journal.delete.post");
   return rec.id;
 }
 
 ActionId Journal::Copy(Stmt& src, Stmt* dest_parent, BodyKind body,
                        std::size_t index, OrderStamp stamp, Stmt** out_copy) {
+  PIVOT_FAULT_POINT("journal.copy.pre");
   PIVOT_CHECK(src.attached);
   StmtPtr clone = CloneStmt(src);
   ActionRecord& rec = NewRecord(ActionKind::kCopy, stamp);
@@ -47,12 +123,16 @@ ActionId Journal::Copy(Stmt& src, Stmt* dest_parent, BodyKind body,
   Annotate(rec, rec.stmt, kNoExpr);
   Annotate(rec, rec.copy, kNoExpr);
   if (out_copy != nullptr) *out_copy = raw;
+  NotifyAppend(rec);
+  PIVOT_FAULT_POINT("journal.copy.post");
   return rec.id;
 }
 
 ActionId Journal::Move(Stmt& stmt, Stmt* dest_parent, BodyKind body,
                        std::size_t index, OrderStamp stamp) {
+  PIVOT_FAULT_POINT("journal.move.pre");
   PIVOT_CHECK(stmt.attached);
+  const SlotPos slot = CaptureSlot(stmt);
   ActionRecord& rec = NewRecord(ActionKind::kMove, stamp);
   rec.stmt = stmt.id;
   rec.orig_loc = CaptureLocationOf(program_, stmt);
@@ -61,12 +141,15 @@ ActionId Journal::Move(Stmt& stmt, Stmt* dest_parent, BodyKind body,
   rec.dest_loc = CaptureInsertionPoint(program_, dest_parent, body, index);
   program_.InsertAt(dest_parent, body, index, std::move(owned));
   Annotate(rec, rec.stmt, kNoExpr);
+  NotifyAppend(rec, slot);
+  PIVOT_FAULT_POINT("journal.move.post");
   return rec.id;
 }
 
 ActionId Journal::Add(StmtPtr stmt, Stmt* dest_parent, BodyKind body,
                       std::size_t index, OrderStamp stamp,
                       std::string description, Stmt** out) {
+  PIVOT_FAULT_POINT("journal.add.pre");
   ActionRecord& rec = NewRecord(ActionKind::kAdd, stamp);
   rec.description = std::move(description);
   rec.dest_loc = CaptureInsertionPoint(program_, dest_parent, body, index);
@@ -74,11 +157,14 @@ ActionId Journal::Add(StmtPtr stmt, Stmt* dest_parent, BodyKind body,
   rec.stmt = raw->id;
   Annotate(rec, rec.stmt, kNoExpr);
   if (out != nullptr) *out = raw;
+  NotifyAppend(rec);
+  PIVOT_FAULT_POINT("journal.add.post");
   return rec.id;
 }
 
 ActionId Journal::Modify(Expr& site, ExprPtr replacement, OrderStamp stamp,
                          Expr** out_new) {
+  PIVOT_FAULT_POINT("journal.modify.pre");
   PIVOT_CHECK(replacement != nullptr);
   PIVOT_CHECK_MSG(site.owner != nullptr,
                   "Modify target must live on a statement");
@@ -91,11 +177,14 @@ ActionId Journal::Modify(Expr& site, ExprPtr replacement, OrderStamp stamp,
   rec.new_expr = new_raw->id;
   Annotate(rec, kNoStmt, rec.new_expr);
   if (out_new != nullptr) *out_new = new_raw;
+  NotifyAppend(rec);
+  PIVOT_FAULT_POINT("journal.modify.post");
   return rec.id;
 }
 
 ActionId Journal::ModifyHeader(Stmt& loop, std::string var, ExprPtr lo,
                                ExprPtr hi, ExprPtr step, OrderStamp stamp) {
+  PIVOT_FAULT_POINT("journal.modify_header.pre");
   PIVOT_CHECK(loop.kind == StmtKind::kDo);
   PIVOT_CHECK(lo != nullptr && hi != nullptr);
   ActionRecord& rec = NewRecord(ActionKind::kModify, stamp);
@@ -109,6 +198,8 @@ ActionId Journal::ModifyHeader(Stmt& loop, std::string var, ExprPtr lo,
   program_.SetLoopVar(loop, std::move(var));
   rec.saved_header = std::move(saved);
   Annotate(rec, rec.stmt, kNoExpr);
+  NotifyAppend(rec);
+  PIVOT_FAULT_POINT("journal.modify_header.post");
   return rec.id;
 }
 
@@ -409,9 +500,28 @@ InvertCheck Journal::CanInvert(ActionId action) const {
 }
 
 void Journal::Invert(ActionId action) {
+  PIVOT_FAULT_POINT("journal.invert.pre");
   const InvertCheck check = CanInvert(action);
   PIVOT_CHECK_MSG(check.ok, "inverse action not performable: " + check.reason);
   ActionRecord& rec = records_[action.value() - 1];
+
+  // The exact slot the statement this inverse displaces currently sits in,
+  // so a transaction rollback can put it back bit-identically.
+  bool has_pos = false;
+  SlotPos pos;
+  switch (rec.kind) {
+    case ActionKind::kCopy:
+      pos = CaptureSlot(program_.GetStmt(rec.copy));
+      has_pos = true;
+      break;
+    case ActionKind::kMove:
+    case ActionKind::kAdd:
+      pos = CaptureSlot(program_.GetStmt(rec.stmt));
+      has_pos = true;
+      break;
+    default:
+      break;
+  }
 
   switch (rec.kind) {
     case ActionKind::kDelete: {
@@ -474,6 +584,119 @@ void Journal::Invert(ActionId action) {
 
   rec.undone = true;
   annotations_.RemoveAction(action);
+  NotifyInvert(rec, has_pos, pos);
+  PIVOT_FAULT_POINT("journal.invert.post");
+}
+
+void Journal::RollbackAppend(const JournalEvent& event) {
+  PIVOT_CHECK_MSG(!records_.empty() && records_.back().id == event.action,
+                  "rollback must pop the most recent action");
+  ActionRecord& rec = records_.back();
+  PIVOT_CHECK_MSG(!rec.undone, "a transaction-fresh action cannot be undone");
+  switch (rec.kind) {
+    case ActionKind::kDelete: {
+      PIVOT_CHECK(event.has_pos && rec.detached != nullptr);
+      InsertAtSlot(event.pos, std::move(rec.detached));
+      break;
+    }
+    case ActionKind::kCopy: {
+      StmtPtr clone = program_.Detach(program_.GetStmt(rec.copy));
+      program_.UnregisterTree(*clone);
+      break;
+    }
+    case ActionKind::kMove: {
+      PIVOT_CHECK(event.has_pos);
+      StmtPtr owned = program_.Detach(program_.GetStmt(rec.stmt));
+      InsertAtSlot(event.pos, std::move(owned));
+      break;
+    }
+    case ActionKind::kAdd: {
+      StmtPtr added = program_.Detach(program_.GetStmt(rec.stmt));
+      program_.UnregisterTree(*added);
+      break;
+    }
+    case ActionKind::kModify: {
+      if (rec.saved_header != nullptr) {
+        Stmt& loop = program_.GetStmt(rec.stmt);
+        ActionRecord::HeaderPayload& saved = *rec.saved_header;
+        ExprPtr new_lo = program_.ReplaceSlotExpr(loop, ExprSlot::kLo,
+                                                  std::move(saved.lo));
+        ExprPtr new_hi = program_.ReplaceSlotExpr(loop, ExprSlot::kHi,
+                                                  std::move(saved.hi));
+        ExprPtr new_step = program_.ReplaceSlotExpr(loop, ExprSlot::kStep,
+                                                    std::move(saved.step));
+        program_.SetLoopVar(loop, saved.var);
+        if (new_lo != nullptr) program_.UnregisterExprTree(*new_lo);
+        if (new_hi != nullptr) program_.UnregisterExprTree(*new_hi);
+        if (new_step != nullptr) program_.UnregisterExprTree(*new_step);
+        break;
+      }
+      Expr& node = program_.GetExpr(rec.new_expr);
+      PIVOT_CHECK(rec.replaced != nullptr);
+      ExprPtr removed = program_.ReplaceExpr(node, std::move(rec.replaced));
+      program_.UnregisterExprTree(*removed);
+      break;
+    }
+  }
+  annotations_.RemoveAction(rec.id);
+  records_.pop_back();
+}
+
+void Journal::RollbackInvert(const JournalEvent& event) {
+  PIVOT_CHECK(event.action.valid() &&
+              event.action.value() <= records_.size());
+  ActionRecord& rec = records_[event.action.value() - 1];
+  PIVOT_CHECK_MSG(rec.undone, "RollbackInvert target must be undone");
+  switch (rec.kind) {
+    case ActionKind::kDelete: {
+      // The inverse re-attached the deleted subtree; take it out again.
+      rec.detached = program_.Detach(program_.GetStmt(rec.stmt));
+      break;
+    }
+    case ActionKind::kCopy: {
+      PIVOT_CHECK(event.has_pos && rec.detached != nullptr);
+      InsertAtSlot(event.pos, std::move(rec.detached));
+      break;
+    }
+    case ActionKind::kMove: {
+      PIVOT_CHECK(event.has_pos);
+      StmtPtr owned = program_.Detach(program_.GetStmt(rec.stmt));
+      InsertAtSlot(event.pos, std::move(owned));
+      break;
+    }
+    case ActionKind::kAdd: {
+      PIVOT_CHECK(event.has_pos && rec.detached != nullptr);
+      InsertAtSlot(event.pos, std::move(rec.detached));
+      break;
+    }
+    case ActionKind::kModify: {
+      if (rec.saved_header != nullptr) {
+        // Symmetric header swap, exactly like Invert.
+        Stmt& loop = program_.GetStmt(rec.stmt);
+        auto current = std::make_unique<ActionRecord::HeaderPayload>();
+        current->var = loop.loop_var;
+        ActionRecord::HeaderPayload& saved = *rec.saved_header;
+        current->lo = program_.ReplaceSlotExpr(loop, ExprSlot::kLo,
+                                               std::move(saved.lo));
+        current->hi = program_.ReplaceSlotExpr(loop, ExprSlot::kHi,
+                                               std::move(saved.hi));
+        current->step = program_.ReplaceSlotExpr(loop, ExprSlot::kStep,
+                                                 std::move(saved.step));
+        program_.SetLoopVar(loop, saved.var);
+        rec.saved_header = std::move(current);
+        break;
+      }
+      // After Invert the tree holds the original subtree (old_expr) and
+      // the record holds the replacement; swap them forward again.
+      Expr& node = program_.GetExpr(rec.old_expr);
+      PIVOT_CHECK(rec.replaced != nullptr);
+      ExprPtr removed = program_.ReplaceExpr(node, std::move(rec.replaced));
+      rec.replaced = std::move(removed);
+      break;
+    }
+  }
+  rec.undone = false;
+  ReAnnotate(rec);
 }
 
 }  // namespace pivot

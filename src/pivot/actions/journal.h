@@ -35,11 +35,48 @@ struct InvertCheck {
   }
 };
 
+// The concrete body slot a statement occupied immediately before a journal
+// mutation. Transaction rollback re-inserts at exactly this position:
+// anchor-based Location resolution is deliberately fuzzy (surviving
+// neighbours win over raw indices) and may legally re-order statements,
+// which a rollback to a bit-identical prior state must never do.
+struct SlotPos {
+  StmtId parent;  // kNoStmt = top level
+  BodyKind body = BodyKind::kMain;
+  std::size_t index = 0;
+};
+
+// One observed journal state change, reported to the installed Observer as
+// it happens. `pos` is filled (has_pos) for mutations whose exact reversal
+// needs the pre-mutation slot of the touched statement.
+struct JournalEvent {
+  enum class Kind {
+    kAppend,  // a primitive action was applied and recorded
+    kInvert,  // a live action's inverse was performed (record kept, undone)
+  };
+  Kind kind = Kind::kAppend;
+  ActionId action;
+  bool has_pos = false;
+  SlotPos pos;
+};
+
 class Journal {
  public:
+  // Receives every committed state change of the journal; installed by the
+  // session's Transaction so it can reverse the exact sequence on rollback.
+  class Observer {
+   public:
+    virtual ~Observer() = default;
+    virtual void OnJournalEvent(const JournalEvent& event) = 0;
+  };
+
   explicit Journal(Program& program) : program_(program) {}
   Journal(const Journal&) = delete;
   Journal& operator=(const Journal&) = delete;
+
+  // At most one observer at a time (transactions do not nest); pass null
+  // to detach.
+  void set_observer(Observer* observer);
 
   Program& program() { return program_; }
   const Program& program() const { return program_; }
@@ -88,6 +125,22 @@ class Journal {
   // undone. PIVOT_CHECKs that CanInvert holds.
   void Invert(ActionId action);
 
+  // --- Transaction rollback ---
+  // Exact physical reversal of the journal's own state changes; only the
+  // Transaction calls these, replaying its observed events in reverse
+  // order, so each call operates on precisely the state that existed right
+  // after the event it reverses.
+
+  // Reverses an action appended during the transaction: un-does its
+  // program mutation, strips its annotations, retires any program nodes it
+  // created and pops its record. The record must be the most recent one.
+  void RollbackAppend(const JournalEvent& event);
+
+  // Re-performs an action inverted during the transaction: redoes the
+  // original mutation (re-inserting at event.pos where needed), marks the
+  // record live again and restores its annotations.
+  void RollbackInvert(const JournalEvent& event);
+
   // --- Introspection ---
   const ActionRecord& record(ActionId action) const;
   // Deque: record addresses stay stable as the journal grows.
@@ -125,14 +178,24 @@ class Journal {
  private:
   ActionRecord& NewRecord(ActionKind kind, OrderStamp stamp);
   void Annotate(ActionRecord& rec, StmtId stmt, ExprId expr);
+  // Re-adds the annotations `rec` originally carried (rollback of Invert).
+  void ReAnnotate(ActionRecord& rec);
   bool IsLaterLive(const ActionRecord& rec, const ActionRecord& other) const;
   // Target statement inside subtree test (by current tree shape).
   bool TargetsInside(const ActionRecord& other, const Stmt& root) const;
+
+  SlotPos CaptureSlot(const Stmt& stmt) const;
+  void InsertAtSlot(const SlotPos& pos, StmtPtr stmt);
+  void NotifyAppend(const ActionRecord& rec);
+  void NotifyAppend(const ActionRecord& rec, const SlotPos& pos);
+  void NotifyInvert(const ActionRecord& rec, bool has_pos,
+                    const SlotPos& pos);
 
   Program& program_;
   std::deque<ActionRecord> records_;
   AnnotationMap annotations_;
   std::vector<OrderStamp> edit_stamps_;
+  Observer* observer_ = nullptr;
 };
 
 }  // namespace pivot

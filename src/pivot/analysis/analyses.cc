@@ -1,9 +1,15 @@
 #include "pivot/analysis/analyses.h"
 
+#include "pivot/support/fault_injector.h"
+
 namespace pivot {
 
 bool AnalysisCache::Stale() {
   if (cached_epoch_ == program_.epoch()) return false;
+  // A from-scratch re-derivation is about to start; transactional callers
+  // must survive a failure here (the caches are already consistent — lazy
+  // rebuild just restarts on the next query).
+  PIVOT_FAULT_POINT("analysis.rebuild.pre");
   Invalidate();
   cached_epoch_ = program_.epoch();
   ++rebuilds_;

@@ -38,6 +38,12 @@ TransformRecord* History::LastLive() {
   return nullptr;
 }
 
+void History::RewindTo(std::size_t size, OrderStamp next_stamp) {
+  PIVOT_CHECK(size <= records_.size() && next_stamp <= next_);
+  while (records_.size() > size) records_.pop_back();
+  next_ = next_stamp;
+}
+
 std::string History::ToString(const Program& program) const {
   std::ostringstream os;
   for (const TransformRecord& rec : records_) {

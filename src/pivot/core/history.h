@@ -35,6 +35,16 @@ class History {
 
   std::string ToString(const Program& program) const;
 
+  // --- Transaction rollback ---
+  std::size_t size() const { return records_.size(); }
+  OrderStamp next_stamp() const { return next_; }
+
+  // Drops records added after the mark and returns the stamp counter to
+  // its value at transaction start (only the Transaction calls this; it
+  // never discards a record an action still refers to, because the same
+  // rollback removes those actions too).
+  void RewindTo(std::size_t size, OrderStamp next_stamp);
+
  private:
   std::deque<TransformRecord> records_;
   OrderStamp next_ = 1;

@@ -1,35 +1,83 @@
 #include "pivot/core/session.h"
 
 #include "pivot/support/diagnostics.h"
+#include "pivot/support/fault_injector.h"
 #include "pivot/transform/catalog.h"
 
 namespace pivot {
 
-Session::Session(Program program, UndoOptions options)
-    : program_(std::move(program)),
+Session::Session(Program program, SessionOptions options)
+    : options_(std::move(options)),
+      program_(std::move(program)),
       analyses_(program_),
       journal_(program_),
-      engine_(analyses_, journal_, history_, std::move(options)),
+      engine_(analyses_, journal_, history_, options_.undo),
       editor_(analyses_, journal_, history_) {}
+
+template <typename Fn>
+auto Session::Transact(const char* operation, Fn&& fn) {
+  ++recovery_.transactions;
+  Transaction txn(journal_, history_);
+  try {
+    auto result = fn();
+    if (options_.strict) {
+      ++recovery_.validator_runs;
+      const ValidationReport report =
+          ValidateSession(program_, journal_, history_);
+      if (!report.ok()) {
+        ++recovery_.validator_failures;
+        ++recovery_.rollbacks;
+        recovery_.last_rollback_reason =
+            std::string(operation) +
+            ": validator rejected the result: " + report.violations.front();
+        txn.Rollback();
+        throw ProgramError(recovery_.last_rollback_reason);
+      }
+    }
+    txn.Commit();
+    ++recovery_.commits;
+    return result;
+  } catch (const FaultInjectedError& e) {
+    if (txn.active()) {
+      ++recovery_.rollbacks;
+      ++recovery_.faults_absorbed;
+      recovery_.NoteFaultPoint(e.point());
+      recovery_.last_rollback_reason =
+          std::string(operation) + ": " + e.what();
+      txn.Rollback();
+    }
+    throw;
+  } catch (const std::exception& e) {
+    if (txn.active()) {
+      ++recovery_.rollbacks;
+      recovery_.last_rollback_reason =
+          std::string(operation) + ": " + e.what();
+      txn.Rollback();
+    }
+    throw;
+  }
+}
 
 std::vector<Opportunity> Session::FindOpportunities(TransformKind kind) {
   return GetTransformation(kind).Find(analyses_);
 }
 
 OrderStamp Session::Apply(const Opportunity& op) {
-  const Transformation& t = GetTransformation(op.kind);
-  if (!t.Applicable(analyses_, op)) {
-    throw ProgramError(std::string(t.name()) +
-                       " pre-condition does not hold at " +
-                       op.Describe(program_));
-  }
-  TransformRecord rec;
-  rec.stamp = history_.NextStamp();
-  rec.kind = op.kind;
-  rec.site = op;
-  t.Apply(analyses_, journal_, op, rec);
-  history_.Add(std::move(rec));
-  return history_.records().back().stamp;
+  return Transact("apply", [&] {
+    const Transformation& t = GetTransformation(op.kind);
+    if (!t.Applicable(analyses_, op)) {
+      throw ProgramError(std::string(t.name()) +
+                         " pre-condition does not hold at " +
+                         op.Describe(program_));
+    }
+    TransformRecord rec;
+    rec.stamp = history_.NextStamp();
+    rec.kind = op.kind;
+    rec.site = op;
+    t.Apply(analyses_, journal_, op, rec);
+    history_.Add(std::move(rec));
+    return history_.records().back().stamp;
+  });
 }
 
 std::optional<OrderStamp> Session::ApplyFirst(TransformKind kind) {
@@ -49,10 +97,20 @@ int Session::ApplyEverywhere(TransformKind kind, int max_applications) {
   return applied;
 }
 
+UndoStats Session::Undo(OrderStamp stamp) {
+  return Transact("undo", [&] { return engine_.Undo(stamp); });
+}
+
+OrderStamp Session::UndoLast() {
+  return Transact("undo-last", [&] { return engine_.UndoLast(); });
+}
+
 std::vector<OrderStamp> Session::RemoveUnsafeTransforms(
     std::vector<OrderStamp>* blocked) {
-  return pivot::RemoveUnsafeTransforms(engine_, analyses_, journal_,
-                                       history_, nullptr, blocked);
+  return Transact("remove-unsafe", [&] {
+    return pivot::RemoveUnsafeTransforms(engine_, analyses_, journal_,
+                                         history_, nullptr, blocked);
+  });
 }
 
 std::string Session::Source(const PrintOptions& opts) const {

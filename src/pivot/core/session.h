@@ -9,6 +9,14 @@
 //   OrderStamp t2 = *s.ApplyFirst(TransformKind::kInx);
 //   s.Undo(t1);                     // independent order: t2 stays
 //   std::cout << s.Source();
+//
+// Every mutating operation (Apply, Undo, UndoLast, RemoveUnsafeTransforms)
+// is atomic: it runs inside a Transaction that rolls the program, journal,
+// annotations and history back to their pre-operation state if the
+// operation throws — whether from a transformation pre-condition failing
+// mid-flight, a blocked undo, or an injected fault. In strict mode the
+// session additionally validates cross-layer invariants before committing
+// and rolls back (throwing ProgramError) when they do not hold.
 #ifndef PIVOT_CORE_SESSION_H_
 #define PIVOT_CORE_SESSION_H_
 
@@ -17,15 +25,26 @@
 #include <string>
 
 #include "pivot/core/edits.h"
+#include "pivot/core/transaction.h"
 #include "pivot/core/undo_engine.h"
+#include "pivot/core/validator.h"
 #include "pivot/ir/interp.h"
 #include "pivot/ir/printer.h"
 
 namespace pivot {
 
+struct SessionOptions {
+  UndoOptions undo;
+  // Run ValidateSession before committing each transaction; a rejected
+  // result is rolled back and reported as a ProgramError.
+  bool strict = false;
+};
+
 class Session {
  public:
-  explicit Session(Program program, UndoOptions options = {});
+  explicit Session(Program program, UndoOptions options = {})
+      : Session(std::move(program), SessionOptions{std::move(options)}) {}
+  Session(Program program, SessionOptions options);
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
@@ -40,19 +59,21 @@ class Session {
   std::vector<Opportunity> FindOpportunities(TransformKind kind);
 
   // Applies at a specific site; throws ProgramError when the pre-condition
-  // does not hold. Returns the new transformation's stamp.
+  // does not hold (leaving journal and history untouched, even when the
+  // staleness only surfaces mid-application). Returns the new
+  // transformation's stamp.
   OrderStamp Apply(const Opportunity& op);
 
   // Applies the first opportunity found, if any.
   std::optional<OrderStamp> ApplyFirst(TransformKind kind);
 
   // Applies opportunities of `kind` until none remain (bounded); returns
-  // the number applied.
+  // the number applied. Each application is its own transaction.
   int ApplyEverywhere(TransformKind kind, int max_applications = 1000);
 
   // --- undoing ---
-  UndoStats Undo(OrderStamp stamp) { return engine_.Undo(stamp); }
-  OrderStamp UndoLast() { return engine_.UndoLast(); }
+  UndoStats Undo(OrderStamp stamp);
+  OrderStamp UndoLast();
   bool CanUndo(OrderStamp stamp, std::string* reason = nullptr) {
     return engine_.CanUndo(stamp, reason);
   }
@@ -60,6 +81,16 @@ class Session {
   // --- edits ---
   std::vector<OrderStamp> RemoveUnsafeTransforms(
       std::vector<OrderStamp>* blocked = nullptr);
+
+  // --- recovery & validation ---
+  const SessionOptions& options() const { return options_; }
+  const RecoveryReport& recovery() const { return recovery_; }
+
+  // On-demand cross-layer invariant check (what strict mode runs before
+  // every commit).
+  ValidationReport Validate() const {
+    return ValidateSession(program_, journal_, history_);
+  }
 
   // --- inspection ---
   std::string Source(const PrintOptions& opts = {}) const;
@@ -70,12 +101,19 @@ class Session {
   InterpResult Execute(const std::vector<double>& input = {}) const;
 
  private:
+  // Runs `fn` inside a Transaction: commit on success (after an optional
+  // strict-mode validation), exact rollback on any exception.
+  template <typename Fn>
+  auto Transact(const char* operation, Fn&& fn);
+
+  SessionOptions options_;
   Program program_;
   AnalysisCache analyses_;
   Journal journal_;
   History history_;
   UndoEngine engine_;
   Editor editor_;
+  RecoveryReport recovery_;
 };
 
 }  // namespace pivot

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "pivot/support/diagnostics.h"
+#include "pivot/support/fault_injector.h"
 #include "pivot/transform/catalog.h"
 
 namespace pivot {
@@ -17,6 +18,7 @@ UndoStats& UndoStats::operator+=(const UndoStats& other) {
   safety_checks += other.safety_checks;
   reversibility_checks += other.reversibility_checks;
   analysis_rebuilds += other.analysis_rebuilds;
+  fault_crossings += other.fault_crossings;
   return *this;
 }
 
@@ -56,9 +58,12 @@ UndoStats UndoEngine::Undo(OrderStamp stamp) {
   if (rec->undone) return {};
   UndoStats stats;
   const std::uint64_t rebuilds_before = analyses_.rebuild_count();
+  const std::uint64_t crossings_before = FaultInjector::Instance().crossings();
   UndoRec(*rec, stats, 0);
   stats.analysis_rebuilds =
       static_cast<int>(analyses_.rebuild_count() - rebuilds_before);
+  stats.fault_crossings = static_cast<int>(
+      FaultInjector::Instance().crossings() - crossings_before);
   return stats;
 }
 
@@ -66,7 +71,10 @@ OrderStamp UndoEngine::UndoLast(UndoStats* stats) {
   TransformRecord* rec = history_.LastLive();
   if (rec == nullptr) return kNoStamp;
   UndoStats local;
+  const std::uint64_t crossings_before = FaultInjector::Instance().crossings();
   UndoRec(*rec, local, 0);
+  local.fault_crossings = static_cast<int>(
+      FaultInjector::Instance().crossings() - crossings_before);
   if (stats != nullptr) *stats += local;
   return rec->stamp;
 }
@@ -216,6 +224,7 @@ void UndoEngine::UndoRec(TransformRecord& rec, UndoStats& stats, int depth) {
     }
     PIVOT_CHECK_MSG(!affecting->undone,
                     "post-pattern blocked by an already-undone transform");
+    PIVOT_FAULT_POINT("undo.affecting.recurse");
     UndoRec(*affecting, stats, depth + 1);
   }
 
@@ -234,6 +243,7 @@ void UndoEngine::UndoRec(TransformRecord& rec, UndoStats& stats, int depth) {
   // lazily from the bumped program epoch.
 
   // Line 15: determine the affected region.
+  PIVOT_FAULT_POINT("undo.region.pre");
   const AffectedRegion region =
       options_.regional
           ? AffectedRegion::FromInvertedActions(analyses_, journal_,
@@ -303,6 +313,7 @@ void UndoEngine::ScanAffected(TransformRecord& undone,
     if (!t.CheckSafety(analyses_, journal_, *candidate)) {
       event.kind = UndoTraceEvent::Kind::kCandidateUnsafe;
       Trace(std::move(event));
+      PIVOT_FAULT_POINT("undo.cascade.recurse");
       UndoRec(*candidate, stats, depth + 1);
     } else {
       Trace(std::move(event));

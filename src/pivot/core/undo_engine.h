@@ -50,6 +50,10 @@ struct UndoStats {
   // Figure 4 line 13: how many from-scratch analysis re-derivations the
   // undo triggered (each inverse-action batch invalidates the caches).
   int analysis_rebuilds = 0;
+  // Fault points traversed while this undo ran — the operation's failure
+  // surface, i.e. how many distinct places an injected fault could have
+  // interrupted it. Counted only while the FaultInjector is active.
+  int fault_crossings = 0;
 
   UndoStats& operator+=(const UndoStats& other);
 };

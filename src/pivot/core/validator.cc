@@ -1,0 +1,193 @@
+#include "pivot/core/validator.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "pivot/ir/validate.h"
+
+namespace pivot {
+
+std::string ValidationReport::ToString() const {
+  if (ok()) return "session state valid\n";
+  std::ostringstream os;
+  for (const std::string& v : violations) os << v << '\n';
+  return os.str();
+}
+
+namespace {
+
+std::string DescribeAction(const ActionRecord& rec) {
+  return std::string(ActionKindShorthand(rec.kind)) + "_" +
+         std::to_string(rec.stamp) + " (action #" +
+         std::to_string(rec.id.value()) + ")";
+}
+
+bool Annotated(const AnnotationMap& annos, StmtId stmt, ActionId action) {
+  for (const Annotation& a : annos.OfStmt(stmt)) {
+    if (a.action == action) return true;
+  }
+  return false;
+}
+
+bool AnnotatedExpr(const AnnotationMap& annos, ExprId expr, ActionId action) {
+  for (const Annotation& a : annos.OfExpr(expr)) {
+    if (a.action == action) return true;
+  }
+  return false;
+}
+
+// Layer 2 forward direction: each live action's expected annotations.
+void CheckActionAnnotations(const Journal& journal, ValidationReport& out) {
+  const AnnotationMap& annos = journal.annotations();
+  for (const ActionRecord& rec : journal.records()) {
+    if (rec.undone) continue;
+    std::vector<StmtId> expected_stmts;
+    ExprId expected_expr;
+    switch (rec.kind) {
+      case ActionKind::kDelete:
+      case ActionKind::kMove:
+      case ActionKind::kAdd:
+        expected_stmts.push_back(rec.stmt);
+        break;
+      case ActionKind::kCopy:
+        expected_stmts.push_back(rec.stmt);
+        expected_stmts.push_back(rec.copy);
+        break;
+      case ActionKind::kModify:
+        if (rec.saved_header != nullptr) {
+          expected_stmts.push_back(rec.stmt);
+        } else {
+          expected_expr = rec.new_expr;
+        }
+        break;
+    }
+    for (StmtId id : expected_stmts) {
+      if (!Annotated(annos, id, rec.id)) {
+        out.violations.push_back("live action " + DescribeAction(rec) +
+                                 " missing its annotation on s" +
+                                 std::to_string(id.value()));
+      }
+    }
+    if (expected_expr.valid() &&
+        !AnnotatedExpr(annos, expected_expr, rec.id)) {
+      out.violations.push_back("live action " + DescribeAction(rec) +
+                               " missing its annotation on e" +
+                               std::to_string(expected_expr.value()));
+    }
+  }
+}
+
+// Layer 2 backward direction: each annotation names a live action with
+// matching kind/stamp, on a node the program registry still knows.
+void CheckAnnotationBacking(const Program& program, const Journal& journal,
+                            ValidationReport& out) {
+  auto check = [&](const Annotation& anno, const std::string& node) {
+    if (!anno.action.valid() ||
+        anno.action.value() > journal.records().size()) {
+      out.violations.push_back("annotation " + anno.ToString() + " on " +
+                               node + " names an unknown action");
+      return;
+    }
+    const ActionRecord& rec = journal.record(anno.action);
+    if (rec.undone) {
+      out.violations.push_back("annotation " + anno.ToString() + " on " +
+                               node + " names the undone action " +
+                               DescribeAction(rec));
+    }
+    if (rec.kind != anno.kind || rec.stamp != anno.stamp) {
+      out.violations.push_back("annotation " + anno.ToString() + " on " +
+                               node + " disagrees with its action " +
+                               DescribeAction(rec));
+    }
+  };
+  journal.annotations().ForEachStmtAnno(
+      [&](StmtId stmt, const Annotation& anno) {
+        const std::string node = "s" + std::to_string(stmt.value());
+        if (program.FindStmt(stmt) == nullptr) {
+          out.violations.push_back("annotation " + anno.ToString() + " on " +
+                                   node + ": statement not in the registry");
+          return;
+        }
+        check(anno, node);
+      });
+  journal.annotations().ForEachExprAnno(
+      [&](ExprId expr, const Annotation& anno) {
+        const std::string node = "e" + std::to_string(expr.value());
+        if (program.FindExpr(expr) == nullptr) {
+          out.violations.push_back("annotation " + anno.ToString() + " on " +
+                                   node + ": expression not in the registry");
+          return;
+        }
+        check(anno, node);
+      });
+}
+
+// Layer 3: history ↔ journal liveness agreement.
+void CheckHistory(const Journal& journal, const History& history,
+                  ValidationReport& out) {
+  OrderStamp prev = kNoStamp;
+  std::unordered_set<OrderStamp> stamps;
+  for (const TransformRecord& rec : history.records()) {
+    const std::string name = "t" + std::to_string(rec.stamp);
+    if (!stamps.insert(rec.stamp).second) {
+      out.violations.push_back(name + ": duplicate order stamp");
+    }
+    if (prev != kNoStamp && rec.stamp <= prev) {
+      out.violations.push_back(name + ": order stamps not increasing");
+    }
+    prev = rec.stamp;
+    if (rec.stamp >= history.next_stamp()) {
+      out.violations.push_back(name + ": stamp at or past the counter");
+    }
+    if (rec.is_edit != journal.IsEditStamp(rec.stamp)) {
+      out.violations.push_back(
+          name + (rec.is_edit ? ": edit record not marked in the journal"
+                              : ": non-edit record marked as an edit"));
+    }
+    for (ActionId action : rec.actions) {
+      if (!action.valid() || action.value() > journal.records().size()) {
+        out.violations.push_back(name + ": unknown action id " +
+                                 std::to_string(action.value()));
+        continue;
+      }
+      const ActionRecord& arec = journal.record(action);
+      if (arec.stamp != rec.stamp) {
+        out.violations.push_back(name + ": its " + DescribeAction(arec) +
+                                 " carries a different stamp");
+      }
+      // Liveness must agree in both directions: undoing a transformation
+      // inverts all of its actions, and actions are only ever inverted by
+      // undoing their transformation.
+      if (!rec.is_edit && arec.undone != rec.undone) {
+        out.violations.push_back(
+            name + ": " + DescribeAction(arec) +
+            (arec.undone ? " undone under a live record"
+                         : " live under an undone record"));
+      }
+    }
+  }
+  // Every journal action belongs to some history record's stamp.
+  for (const ActionRecord& arec : journal.records()) {
+    if (history.FindByStamp(arec.stamp) == nullptr) {
+      out.violations.push_back(DescribeAction(arec) +
+                               ": stamp not present in the history");
+    }
+  }
+}
+
+}  // namespace
+
+ValidationReport ValidateSession(const Program& program,
+                                 const Journal& journal,
+                                 const History& history) {
+  ValidationReport report;
+  for (std::string& v : Validate(program)) {
+    report.violations.push_back("program: " + std::move(v));
+  }
+  CheckActionAnnotations(journal, report);
+  CheckAnnotationBacking(program, journal, report);
+  CheckHistory(journal, history, report);
+  return report;
+}
+
+}  // namespace pivot

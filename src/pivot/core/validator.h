@@ -1,0 +1,40 @@
+// Cross-layer invariant validation (strict mode).
+//
+// After every committed transaction a strict-mode Session asks: is the
+// session's compound state still coherent? Three layers must agree:
+//
+//   program    — the statement tree is well-formed (ir/validate.h);
+//   journal    — every APDG/ADAG annotation names a live action and every
+//                live action's annotations are present (Figure 2 is an
+//                exact function of the live journal);
+//   history    — order stamps are unique and increasing, each record's
+//                actions exist with the record's stamp, liveness flags
+//                match between history and journal, and edits are marked
+//                on both sides.
+//
+// The validator never mutates; a rejection rolls the transaction back.
+#ifndef PIVOT_CORE_VALIDATOR_H_
+#define PIVOT_CORE_VALIDATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "pivot/actions/journal.h"
+#include "pivot/core/history.h"
+
+namespace pivot {
+
+struct ValidationReport {
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+  std::string ToString() const;
+};
+
+ValidationReport ValidateSession(const Program& program,
+                                 const Journal& journal,
+                                 const History& history);
+
+}  // namespace pivot
+
+#endif  // PIVOT_CORE_VALIDATOR_H_

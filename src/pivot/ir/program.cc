@@ -46,6 +46,17 @@ void Program::RegisterExprTree(Expr& root) {
   });
 }
 
+void Program::UnregisterTree(Stmt& root) {
+  ForEachStmt(root, [this](Stmt& s) {
+    stmts_.erase(s.id);
+    ForEachOwnExpr(s, [this](Expr& e) { exprs_.erase(e.id); });
+  });
+}
+
+void Program::UnregisterExprTree(Expr& root) {
+  ForEachExpr(root, [this](Expr& e) { exprs_.erase(e.id); });
+}
+
 Stmt* Program::FindStmt(StmtId id) const {
   auto it = stmts_.find(id);
   return it == stmts_.end() ? nullptr : it->second;

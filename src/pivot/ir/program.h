@@ -46,6 +46,13 @@ class Program {
   void RegisterTree(Stmt& root);
   void RegisterExprTree(Expr& root);
 
+  // Removes the subtree's ids from the registry (ids are never reused, so
+  // the ids simply become unknown). Only transaction rollback uses this,
+  // to retire nodes created by a rolled-back action before destroying
+  // them — leaving them registered would dangle the registry.
+  void UnregisterTree(Stmt& root);
+  void UnregisterExprTree(Expr& root);
+
   // --- Lookup ---
   // Null if the id was never registered. Detached (deleted but journaled)
   // nodes are still found; check Stmt::attached / Expr::owner.
@@ -68,13 +75,16 @@ class Program {
 
   // Removes `stmt` from its parent body and returns ownership. The subtree
   // stays registered (ids remain valid); `attached` is cleared recursively.
-  StmtPtr Detach(Stmt& stmt);
+  // The caller must keep the tree alive (or UnregisterTree it) — dropping
+  // the pointer leaves the registry dangling, hence [[nodiscard]].
+  [[nodiscard]] StmtPtr Detach(Stmt& stmt);
 
   // Replaces the expression subtree rooted at `site` with `replacement`
   // (registered on the way in) and returns the old subtree, which stays
   // registered but loses its owner/backlinks. `site` may live on an
-  // attached or a detached statement.
-  ExprPtr ReplaceExpr(Expr& site, ExprPtr replacement);
+  // attached or a detached statement. As with Detach, the returned tree
+  // must be kept alive or unregistered.
+  [[nodiscard]] ExprPtr ReplaceExpr(Expr& site, ExprPtr replacement);
 
   // Replaces a whole statement slot (the old expression and/or the
   // replacement may be null, e.g. a do-loop's optional step). Returns the

@@ -1,0 +1,102 @@
+#include "pivot/support/fault_injector.h"
+
+#include <algorithm>
+
+namespace pivot {
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector instance;
+  return instance;
+}
+
+void FaultInjector::Arm(const std::string& point, int countdown) {
+  PIVOT_CHECK_MSG(countdown >= 1, "countdown must be at least 1");
+  scripted_[point] = countdown;
+  active_ = true;
+}
+
+void FaultInjector::ArmNthCrossing(int countdown) {
+  PIVOT_CHECK_MSG(countdown >= 1, "countdown must be at least 1");
+  any_countdown_ = countdown;
+  active_ = true;
+}
+
+void FaultInjector::ArmProbabilistic(double probability,
+                                     std::uint64_t seed) {
+  probability_ = std::clamp(probability, 0.0, 1.0);
+  rng_ = Rng(seed);
+  active_ = probability_ > 0.0 || observing_ || any_countdown_ > 0 ||
+            !scripted_.empty();
+}
+
+void FaultInjector::Disarm() {
+  scripted_.clear();
+  any_countdown_ = 0;
+  probability_ = 0.0;
+  active_ = observing_;
+}
+
+void FaultInjector::Reset() {
+  Disarm();
+  crossings_ = 0;
+  faults_fired_ = 0;
+  observed_.clear();
+  observing_ = false;
+  active_ = false;
+}
+
+bool FaultInjector::armed() const {
+  return !scripted_.empty() || any_countdown_ > 0 || probability_ > 0.0;
+}
+
+void FaultInjector::StartObserving() {
+  observing_ = true;
+  active_ = true;
+}
+
+void FaultInjector::StopObserving() {
+  observing_ = false;
+  active_ = armed();
+}
+
+const std::vector<std::string>& FaultInjector::KnownPoints() {
+  static const std::vector<std::string> points = {
+      "journal.delete.pre",        "journal.delete.post",
+      "journal.copy.pre",          "journal.copy.post",
+      "journal.move.pre",          "journal.move.post",
+      "journal.add.pre",           "journal.add.post",
+      "journal.modify.pre",        "journal.modify.post",
+      "journal.modify_header.pre", "journal.modify_header.post",
+      "journal.invert.pre",        "journal.invert.post",
+      "analysis.rebuild.pre",      "undo.affecting.recurse",
+      "undo.region.pre",           "undo.cascade.recurse",
+  };
+  return points;
+}
+
+void FaultInjector::Hit(const char* point) {
+  if (!active_) return;
+  ++crossings_;
+  if (observing_) {
+    if (std::find(observed_.begin(), observed_.end(), point) ==
+        observed_.end()) {
+      observed_.emplace_back(point);
+    }
+  }
+
+  bool fire = false;
+  if (any_countdown_ > 0 && --any_countdown_ == 0) fire = true;
+  auto it = scripted_.find(point);
+  if (it != scripted_.end() && --it->second == 0) {
+    scripted_.erase(it);
+    fire = true;
+  }
+  if (!fire && probability_ > 0.0 && rng_.Chance(probability_)) fire = true;
+  if (!fire) return;
+
+  ++faults_fired_;
+  active_ = armed() || observing_;
+  throw FaultInjectedError(point);
+}
+
+}  // namespace pivot

@@ -23,9 +23,9 @@ TEST(Location, AnchorSurvivesUnrelatedRemoval) {
   Program p = Parse("a = 1\nb = 2\nc = 3\nd = 4");
   Stmt* c = p.top()[2].get();
   const Location loc = CaptureLocationOf(p, *c);  // before=b, after=d
-  p.Detach(*c);
+  const StmtPtr c_owned = p.Detach(*c);
   // Remove 'a': raw indices shift, but the 'before' anchor (b) holds.
-  p.Detach(*p.top()[0]);
+  const StmtPtr a_owned = p.Detach(*p.top()[0]);
   auto resolved = ResolveLocation(p, loc);
   ASSERT_TRUE(resolved.has_value());
   EXPECT_EQ(resolved->index, 1u);  // right after b
@@ -35,7 +35,7 @@ TEST(Location, FallsBackToAfterAnchor) {
   Program p = Parse("a = 1\nb = 2\nc = 3");
   Stmt* a = p.top()[0].get();
   const Location loc = CaptureLocationOf(p, *a);  // before=none, after=b
-  p.Detach(*a);
+  const StmtPtr a_owned = p.Detach(*a);
   auto resolved = ResolveLocation(p, loc);
   ASSERT_TRUE(resolved.has_value());
   EXPECT_EQ(resolved->index, 0u);
@@ -46,7 +46,10 @@ TEST(Location, UnresolvableWhenParentDetached) {
   Stmt* loop = p.top()[0].get();
   Stmt* body = loop->body[0].get();
   const Location loc = CaptureLocationOf(p, *body);
-  p.Detach(*loop);
+  // Hold the detached tree: the registry keeps raw pointers into it (the
+  // journal owns detached trees in action records); dropping it here would
+  // make the parent lookup below read freed memory.
+  const StmtPtr loop_owned = p.Detach(*loop);
   EXPECT_FALSE(ResolveLocation(p, loc).has_value());
 }
 

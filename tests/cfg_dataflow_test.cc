@@ -344,7 +344,7 @@ TEST(AnalysisCache, RebuildsAfterMutation) {
   EXPECT_FALSE(cache.liveness().IsDeadStore(*p.top()[0]));
   const std::uint64_t rebuilds = cache.rebuild_count();
   // Remove the use: the store becomes dead after re-analysis.
-  p.Detach(*p.top()[1]);
+  const StmtPtr removed = p.Detach(*p.top()[1]);
   EXPECT_TRUE(cache.liveness().IsDeadStore(*p.top()[0]));
   EXPECT_GT(cache.rebuild_count(), rebuilds);
 }

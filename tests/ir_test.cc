@@ -276,7 +276,7 @@ TEST(Program, CloneEquality) {
   EXPECT_TRUE(Program::Equals(p, q));
   ExpectValid(q);
   // Mutate the clone: no longer equal.
-  q.Detach(*q.top()[0]);
+  const StmtPtr removed = q.Detach(*q.top()[0]);
   EXPECT_FALSE(Program::Equals(p, q));
 }
 
