@@ -21,11 +21,13 @@
 // (on/off), reported as candidate/safety-check counts.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <iostream>
 #include <sstream>
 
 #include "pivot/core/session.h"
 #include "pivot/ir/parser.h"
+#include "pivot/support/benchjson.h"
 #include "pivot/support/table.h"
 
 namespace pivot {
@@ -65,7 +67,7 @@ int LiveCount(Session& s) {
   return static_cast<int>(s.history().Live().size());
 }
 
-void PrintScalingTable() {
+void PrintScalingTable(BenchJson& json) {
   TextTable table({"clusters", "applied", "independent: undone",
                    "independent: safety checks",
                    "independent: analysis rebuilds",
@@ -74,7 +76,8 @@ void PrintScalingTable() {
     const std::string src = ClusterSource(clusters);
 
     // Independent order (the paper's algorithm).
-    int indep_undone = 0, indep_safety = 0, indep_rebuilds = 0;
+    int indep_undone = 0, indep_safety = 0;
+    std::uint64_t indep_rebuilds = 0;
     {
       Session s(Parse(src));
       const Applied applied = ApplyChains(s, clusters);
@@ -125,9 +128,85 @@ void PrintScalingTable() {
                   std::to_string(indep_rebuilds),
                   std::to_string(reverse_undone),
                   std::to_string(redo_applied)});
+    json.Row()
+        .Str("experiment", "scaling")
+        .Int("clusters", static_cast<std::uint64_t>(clusters))
+        .Int("applied", static_cast<std::uint64_t>(3 * clusters))
+        .Int("independent_undone", static_cast<std::uint64_t>(indep_undone))
+        .Int("independent_safety_checks",
+             static_cast<std::uint64_t>(indep_safety))
+        .Int("independent_analysis_rebuilds", indep_rebuilds)
+        .Int("reverse_suffix_undone",
+             static_cast<std::uint64_t>(reverse_undone))
+        .Int("redo_all_reapplied", static_cast<std::uint64_t>(redo_applied));
   }
   std::cout << "== Figure 4 experiment: undoing the first CTP out of 3K "
                "transformations ==\n"
+            << table.Render() << '\n';
+}
+
+// A/B: the same workload (apply 3K transformations, undo the first CTP)
+// with the analysis cache's region-scoped incremental invalidation off
+// (baseline: every epoch drops every family) vs on (expression-only
+// windows — every CTP/CFO Modify — retain the structural families).
+// Reports session-wide family rebuild counts and workload wall-clock,
+// averaged over repeats. The undo itself re-inserts a DCE-deleted
+// statement (structural), so the savings concentrate in the many
+// expression-only epochs around it.
+void PrintIncrementalTable(BenchJson& json) {
+  constexpr int kRepeats = 10;
+  TextTable table({"clusters", "baseline: rebuilds", "incremental: rebuilds",
+                   "baseline: ms", "incremental: ms", "families retained",
+                   "facts nodes refreshed"});
+  for (int clusters : {4, 8, 16, 32}) {
+    const std::string src = ClusterSource(clusters);
+    std::uint64_t rebuilds[2] = {0, 0};
+    std::uint64_t retained = 0, facts_refreshed = 0;
+    double ms[2] = {0, 0};
+    for (int mode = 0; mode < 2; ++mode) {
+      const bool incremental = mode == 1;
+      for (int rep = 0; rep < kRepeats; ++rep) {
+        SessionOptions options;
+        options.analysis.incremental = incremental;
+        Session s(Parse(src), options);
+        const auto t0 = std::chrono::steady_clock::now();
+        const Applied applied = ApplyChains(s, clusters);
+        const UndoStats stats = s.Undo(applied.ctps[0]);
+        const auto t1 = std::chrono::steady_clock::now();
+        benchmark::DoNotOptimize(stats.transforms_undone);
+        rebuilds[mode] += s.analyses().rebuild_count();
+        ms[mode] +=
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        if (incremental) {
+          retained += s.analyses().families_retained();
+          facts_refreshed += s.analyses().facts_nodes_refreshed();
+        }
+      }
+      rebuilds[mode] /= kRepeats;
+    }
+    retained /= kRepeats;
+    facts_refreshed /= kRepeats;
+    const auto fmt_ms = [](double total) {
+      std::ostringstream os;
+      os.precision(3);
+      os << std::fixed << total / kRepeats;
+      return os.str();
+    };
+    table.AddRow({std::to_string(clusters), std::to_string(rebuilds[0]),
+                  std::to_string(rebuilds[1]), fmt_ms(ms[0]), fmt_ms(ms[1]),
+                  std::to_string(retained), std::to_string(facts_refreshed)});
+    json.Row()
+        .Str("experiment", "incremental_ab")
+        .Int("clusters", static_cast<std::uint64_t>(clusters))
+        .Int("baseline_rebuilds", rebuilds[0])
+        .Int("incremental_rebuilds", rebuilds[1])
+        .Num("baseline_workload_ms", ms[0] / kRepeats)
+        .Num("incremental_workload_ms", ms[1] / kRepeats)
+        .Int("families_retained", retained)
+        .Int("facts_nodes_refreshed", facts_refreshed);
+  }
+  std::cout << "== incremental invalidation A/B: apply 3K + undo first CTP "
+               "(mean of " << kRepeats << " runs) ==\n"
             << table.Render() << '\n';
 }
 
@@ -250,8 +329,12 @@ BENCHMARK(BM_UndoAblation)
 }  // namespace pivot
 
 int main(int argc, char** argv) {
-  pivot::PrintScalingTable();
+  pivot::BenchJson json("fig4_undo_scaling");
+  pivot::PrintScalingTable(json);
+  pivot::PrintIncrementalTable(json);
   pivot::PrintAblationTable();
+  const std::string path = json.WriteFile();
+  if (!path.empty()) std::cout << "wrote " << path << '\n';
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -19,8 +19,11 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 # Tier-1: the full test suite (units, scenarios, randomized properties).
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
-# The fault-injection suite is part of ctest above; run the binary once
-# more on its own so its sanitizer output is easy to find in CI logs.
+# The fault-injection and incremental-analysis differential suites are part
+# of ctest above; run the binaries once more on their own so their sanitizer
+# output is easy to find in CI logs. The differential suite also exercises
+# the parallel PrimeAll path, which only ASan/TSan-clean threading survives.
 "$BUILD_DIR"/tests/fault_injection_tests
+"$BUILD_DIR"/tests/analysis_incremental_tests
 
 echo "sanitizer run complete: all tests clean under ASan+UBSan"

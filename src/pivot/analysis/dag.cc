@@ -43,6 +43,29 @@ std::vector<BasicBlock> CollectBasicBlocks(Program& program) {
   return blocks;
 }
 
+const BlockDag* BlockDags::DagOf(const Stmt& stmt) const {
+  auto it = block_of.find(stmt.id);
+  if (it == block_of.end()) return nullptr;
+  return dags[static_cast<std::size_t>(it->second)].get();
+}
+
+BlockDags BuildBlockDags(Program& program) {
+  BlockDags result;
+  result.blocks = CollectBasicBlocks(program);
+  result.dags.reserve(result.blocks.size());
+  for (std::size_t b = 0; b < result.blocks.size(); ++b) {
+    result.dags.push_back(std::make_shared<const BlockDag>(result.blocks[b]));
+    for (const Stmt* stmt : result.blocks[b].stmts) {
+      result.block_of[stmt->id] = static_cast<int>(b);
+    }
+  }
+  return result;
+}
+
+bool SameBlockStmts(const BasicBlock& a, const BasicBlock& b) {
+  return a.stmts == b.stmts;
+}
+
 BlockDag::BlockDag(const BasicBlock& block) {
   for (Stmt* stmt : block.stmts) {
     switch (stmt->kind) {

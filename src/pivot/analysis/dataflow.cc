@@ -22,32 +22,35 @@ const std::string& NameTable::NameOf(int index) const {
   return names_[static_cast<std::size_t>(index)];
 }
 
+NodeFacts ComputeNodeFacts(const Stmt& stmt, NameTable& names) {
+  NodeFacts nf;
+  std::vector<std::string> reads;
+  CollectReadNames(stmt, reads);
+  if (stmt.kind == StmtKind::kDo) {
+    nf.strong_def = names.Intern(stmt.loop_var);
+  } else if ((stmt.kind == StmtKind::kAssign ||
+              stmt.kind == StmtKind::kRead) &&
+             stmt.lhs != nullptr) {
+    const int name = names.Intern(stmt.lhs->name);
+    if (stmt.lhs->kind == ExprKind::kVarRef) {
+      nf.strong_def = name;
+    } else {
+      nf.weak_def = name;
+    }
+  }
+  for (const auto& r : reads) nf.uses.push_back(names.Intern(r));
+  std::sort(nf.uses.begin(), nf.uses.end());
+  nf.uses.erase(std::unique(nf.uses.begin(), nf.uses.end()), nf.uses.end());
+  return nf;
+}
+
 ProgramFacts ComputeFacts(const Cfg& cfg) {
   ProgramFacts facts;
   facts.node_facts.resize(cfg.nodes.size());
   for (std::size_t n = 0; n < cfg.nodes.size(); ++n) {
     const CfgNode& node = cfg.nodes[n];
     if (node.kind != CfgNode::Kind::kStmt) continue;
-    const Stmt& stmt = *node.stmt;
-    NodeFacts& nf = facts.node_facts[n];
-
-    std::vector<std::string> reads;
-    CollectReadNames(stmt, reads);
-    if (stmt.kind == StmtKind::kDo) {
-      nf.strong_def = facts.names.Intern(stmt.loop_var);
-    } else if ((stmt.kind == StmtKind::kAssign ||
-                stmt.kind == StmtKind::kRead) &&
-               stmt.lhs != nullptr) {
-      const int name = facts.names.Intern(stmt.lhs->name);
-      if (stmt.lhs->kind == ExprKind::kVarRef) {
-        nf.strong_def = name;
-      } else {
-        nf.weak_def = name;
-      }
-    }
-    for (const auto& r : reads) nf.uses.push_back(facts.names.Intern(r));
-    std::sort(nf.uses.begin(), nf.uses.end());
-    nf.uses.erase(std::unique(nf.uses.begin(), nf.uses.end()), nf.uses.end());
+    facts.node_facts[n] = ComputeNodeFacts(*node.stmt, facts.names);
   }
   return facts;
 }

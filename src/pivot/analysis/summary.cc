@@ -1,5 +1,8 @@
 #include "pivot/analysis/summary.h"
 
+#include <algorithm>
+#include <sstream>
+
 #include "pivot/support/diagnostics.h"
 
 namespace pivot {
@@ -39,6 +42,25 @@ std::vector<const Dependence*> DependenceSummaries::Between(
   }
   if (inspected != nullptr) *inspected = count;
   return result;
+}
+
+std::string DependenceSummaries::ToString() const {
+  std::vector<int> regions;
+  regions.reserve(by_region_.size());
+  for (const auto& [region, deps] : by_region_) regions.push_back(region);
+  std::sort(regions.begin(), regions.end());
+
+  std::ostringstream os;
+  for (int region : regions) {
+    std::vector<std::string> lines;
+    for (const Dependence* dep : by_region_.at(region)) {
+      lines.push_back(dep->ToString());
+    }
+    std::sort(lines.begin(), lines.end());
+    os << "R" << region << ":\n";
+    for (const std::string& line : lines) os << "  " << line << '\n';
+  }
+  return os.str();
 }
 
 }  // namespace pivot

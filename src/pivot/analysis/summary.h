@@ -8,6 +8,7 @@
 #ifndef PIVOT_ANALYSIS_SUMMARY_H_
 #define PIVOT_ANALYSIS_SUMMARY_H_
 
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -32,6 +33,11 @@ class DependenceSummaries {
                                          std::size_t* inspected = nullptr) const;
 
   std::size_t TotalSummarized() const { return total_; }
+
+  // Canonical dump (regions ascending, dependences sorted within each):
+  // equal summaries print identically, which is what the incremental-vs-
+  // from-scratch differential harness diffs.
+  std::string ToString() const;
 
  private:
   const Pdg& pdg_;

@@ -9,7 +9,7 @@ namespace pivot {
 Session::Session(Program program, SessionOptions options)
     : options_(std::move(options)),
       program_(std::move(program)),
-      analyses_(program_),
+      analyses_(program_, options_.analysis),
       journal_(program_),
       engine_(analyses_, journal_, history_, options_.undo),
       editor_(analyses_, journal_, history_) {}
@@ -17,7 +17,7 @@ Session::Session(Program program, SessionOptions options)
 template <typename Fn>
 auto Session::Transact(const char* operation, Fn&& fn) {
   ++recovery_.transactions;
-  Transaction txn(journal_, history_);
+  Transaction txn(journal_, history_, &analyses_);
   try {
     auto result = fn();
     if (options_.strict) {
@@ -91,8 +91,25 @@ int Session::ApplyEverywhere(TransformKind kind, int max_applications) {
   while (applied < max_applications) {
     const std::vector<Opportunity> ops = FindOpportunities(kind);
     if (ops.empty()) break;
-    Apply(ops.front());
-    ++applied;
+    int applied_this_round = 0;
+    for (const Opportunity& op : ops) {
+      if (applied >= max_applications) break;
+      try {
+        Apply(op);
+        ++applied;
+        ++applied_this_round;
+      } catch (const FaultInjectedError&) {
+        throw;  // injected faults must surface to the harness, not be eaten
+      } catch (const ProgramError&) {
+        // An earlier application this round can invalidate a later site
+        // (fusing L1+L2 detaches L2, killing a pending (L2, L3) fusion).
+        // Apply's transaction already rolled the failed attempt back; skip
+        // the stale site and keep going instead of abandoning the batch.
+      }
+    }
+    // Only re-run Find when this round changed the program; a round where
+    // every site went stale without progress would otherwise loop forever.
+    if (applied_this_round == 0) break;
   }
   return applied;
 }

@@ -24,6 +24,7 @@
 #include <optional>
 #include <string>
 
+#include "pivot/analysis/analyses.h"
 #include "pivot/core/edits.h"
 #include "pivot/core/transaction.h"
 #include "pivot/core/undo_engine.h"
@@ -35,6 +36,9 @@ namespace pivot {
 
 struct SessionOptions {
   UndoOptions undo;
+  // Invalidation policy of the session's analysis cache (incremental
+  // region-scoped refresh, parallel priming).
+  AnalysisOptions analysis;
   // Run ValidateSession before committing each transaction; a rejected
   // result is rolled back and reported as a ProgramError.
   bool strict = false;
@@ -43,7 +47,8 @@ struct SessionOptions {
 class Session {
  public:
   explicit Session(Program program, UndoOptions options = {})
-      : Session(std::move(program), SessionOptions{std::move(options)}) {}
+      : Session(std::move(program),
+                SessionOptions{std::move(options), {}, false}) {}
   Session(Program program, SessionOptions options);
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;

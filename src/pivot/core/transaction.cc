@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "pivot/analysis/analyses.h"
 #include "pivot/support/diagnostics.h"
 
 namespace pivot {
@@ -32,9 +33,11 @@ std::string RecoveryReport::ToString() const {
   return os.str();
 }
 
-Transaction::Transaction(Journal& journal, History& history)
+Transaction::Transaction(Journal& journal, History& history,
+                         AnalysisCache* analyses)
     : journal_(journal),
       history_(history),
+      analyses_(analyses),
       history_mark_(history.size()),
       next_stamp_mark_(history.next_stamp()) {
   undone_mark_.reserve(history_mark_);
@@ -89,6 +92,11 @@ void Transaction::Rollback() {
     ++i;
   }
   history_.RewindTo(history_mark_, next_stamp_mark_);
+
+  // The replay above mutated the program behind the analysis cache; drop
+  // everything (Invalidate is fault-free by contract — recovery must not
+  // fault) so no post-fault result outlives the rollback.
+  if (analyses_ != nullptr) analyses_->Invalidate();
 }
 
 }  // namespace pivot

@@ -25,6 +25,8 @@
 
 namespace pivot {
 
+class AnalysisCache;
+
 // Cumulative record of a session's transactional activity: how often the
 // guard fired, what it absorbed, and what the strict-mode validator said.
 struct RecoveryReport {
@@ -48,7 +50,12 @@ struct RecoveryReport {
 // time, and the journal enforces single observership.
 class Transaction final : public Journal::Observer {
  public:
-  Transaction(Journal& journal, History& history);
+  // When `analyses` is given, Rollback() unconditionally invalidates it:
+  // the reverse replay mutates the program underneath the cache, and a
+  // rolled-back program must never be read against analysis results built
+  // (possibly half-built, if the fault hit mid-rebuild) after the fault.
+  Transaction(Journal& journal, History& history,
+              AnalysisCache* analyses = nullptr);
   ~Transaction() override;
   Transaction(const Transaction&) = delete;
   Transaction& operator=(const Transaction&) = delete;
@@ -69,6 +76,7 @@ class Transaction final : public Journal::Observer {
  private:
   Journal& journal_;
   History& history_;
+  AnalysisCache* analyses_ = nullptr;
   std::vector<JournalEvent> events_;
   std::size_t history_mark_;
   OrderStamp next_stamp_mark_;

@@ -60,10 +60,9 @@ UndoStats UndoEngine::Undo(OrderStamp stamp) {
   const std::uint64_t rebuilds_before = analyses_.rebuild_count();
   const std::uint64_t crossings_before = FaultInjector::Instance().crossings();
   UndoRec(*rec, stats, 0);
-  stats.analysis_rebuilds =
-      static_cast<int>(analyses_.rebuild_count() - rebuilds_before);
-  stats.fault_crossings = static_cast<int>(
-      FaultInjector::Instance().crossings() - crossings_before);
+  stats.analysis_rebuilds = analyses_.rebuild_count() - rebuilds_before;
+  stats.fault_crossings =
+      FaultInjector::Instance().crossings() - crossings_before;
   return stats;
 }
 
@@ -73,8 +72,8 @@ OrderStamp UndoEngine::UndoLast(UndoStats* stats) {
   UndoStats local;
   const std::uint64_t crossings_before = FaultInjector::Instance().crossings();
   UndoRec(*rec, local, 0);
-  local.fault_crossings = static_cast<int>(
-      FaultInjector::Instance().crossings() - crossings_before);
+  local.fault_crossings =
+      FaultInjector::Instance().crossings() - crossings_before;
   if (stats != nullptr) *stats += local;
   return rec->stamp;
 }

@@ -17,6 +17,7 @@
 #ifndef PIVOT_CORE_UNDO_ENGINE_H_
 #define PIVOT_CORE_UNDO_ENGINE_H_
 
+#include <cstdint>
 #include <string>
 
 #include "pivot/core/history.h"
@@ -49,11 +50,13 @@ struct UndoStats {
   int reversibility_checks = 0;   // post-pattern validations
   // Figure 4 line 13: how many from-scratch analysis re-derivations the
   // undo triggered (each inverse-action batch invalidates the caches).
-  int analysis_rebuilds = 0;
+  // Same width as AnalysisCache::rebuild_count() — the counters this is
+  // differenced from are uint64_t, so an int here silently narrowed.
+  std::uint64_t analysis_rebuilds = 0;
   // Fault points traversed while this undo ran — the operation's failure
   // surface, i.e. how many distinct places an injected fault could have
   // interrupted it. Counted only while the FaultInjector is active.
-  int fault_crossings = 0;
+  std::uint64_t fault_crossings = 0;
 
   UndoStats& operator+=(const UndoStats& other);
 };

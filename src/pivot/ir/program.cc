@@ -6,6 +6,24 @@
 
 namespace pivot {
 
+void Program::AddMutationListener(MutationListener* listener) {
+  PIVOT_CHECK(listener != nullptr);
+  listeners_.push_back(listener);
+}
+
+void Program::RemoveMutationListener(MutationListener* listener) {
+  listeners_.erase(
+      std::remove(listeners_.begin(), listeners_.end(), listener),
+      listeners_.end());
+}
+
+void Program::Mutated(StmtId stmt, bool structural) {
+  ++epoch_;
+  for (MutationListener* listener : listeners_) {
+    listener->OnProgramMutation(stmt, structural);
+  }
+}
+
 std::vector<StmtPtr>& Program::BodyListOf(Stmt* parent, BodyKind body) {
   if (parent == nullptr) {
     PIVOT_CHECK_MSG(body == BodyKind::kMain, "top level has only a main body");
@@ -109,7 +127,7 @@ Stmt* Program::InsertAt(Stmt* parent, BodyKind body, std::size_t index,
   list.insert(list.begin() + static_cast<std::ptrdiff_t>(index),
               std::move(stmt));
   SetAttachedRecursive(*raw, true);
-  BumpEpoch();
+  Mutated(raw->id, /*structural=*/true);
   return raw;
 }
 
@@ -124,7 +142,7 @@ StmtPtr Program::Detach(Stmt& stmt) {
   owned->parent = nullptr;
   owned->parent_body = BodyKind::kMain;
   SetAttachedRecursive(*owned, false);
-  BumpEpoch();
+  Mutated(owned->id, /*structural=*/true);
   return owned;
 }
 
@@ -163,7 +181,11 @@ ExprPtr Program::ReplaceExpr(Expr& site, ExprPtr replacement) {
   old->parent = nullptr;
   old->slot = ExprSlot::kNone;
   ForEachExpr(*old, [](Expr& e) { e.owner = nullptr; });
-  BumpEpoch();
+  // A pure expression swap under an existing statement: structure (and
+  // hence the CFG shape) is untouched. A replacement on a detached
+  // expression tree (owner == null) leaves the attached program unchanged
+  // entirely; the invalid id tells listeners "no attached node dirtied".
+  Mutated(owner != nullptr ? owner->id : StmtId(), /*structural=*/false);
   return old;
 }
 
@@ -184,7 +206,7 @@ ExprPtr Program::ReplaceSlotExpr(Stmt& stmt, ExprSlot slot,
     ForEachExpr(*replacement, [&stmt](Expr& e) { e.owner = &stmt; });
   }
   *slot_owner = std::move(replacement);
-  BumpEpoch();
+  Mutated(stmt.id, /*structural=*/false);
   return old;
 }
 
@@ -192,7 +214,9 @@ void Program::SetLoopVar(Stmt& loop, std::string var) {
   PIVOT_CHECK(loop.kind == StmtKind::kDo);
   PIVOT_CHECK(!var.empty());
   loop.loop_var = std::move(var);
-  BumpEpoch();
+  // Renaming a loop's control variable redefines what the whole subtree
+  // means to the loop/dependence analyses: treat as structural.
+  Mutated(loop.id, /*structural=*/true);
 }
 
 std::size_t Program::IndexOf(const Stmt& stmt) const {

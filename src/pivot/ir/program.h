@@ -25,11 +25,30 @@ namespace pivot {
 
 class Program {
  public:
+  // Receives every epoch-bumping mutation as it happens, with the touched
+  // statement (when one is known) and whether the change was *structural*
+  // (statements inserted, detached, moved, or a loop header rewritten) or a
+  // pure expression replacement under an existing statement. Incremental
+  // analysis caching keys its dirty sets on this stream; since every
+  // mutation path funnels through Program, the stream is complete — there
+  // is no way to change the tree without listeners hearing about it.
+  class MutationListener {
+   public:
+    virtual ~MutationListener() = default;
+    virtual void OnProgramMutation(StmtId stmt, bool structural) = 0;
+  };
+
   Program() = default;
   Program(const Program&) = delete;
   Program& operator=(const Program&) = delete;
   Program(Program&&) = default;
   Program& operator=(Program&&) = default;
+
+  // Listeners are not owned; register/unregister freely (several analysis
+  // caches may observe one program, e.g. a differential-testing harness
+  // holding an incremental and a from-scratch cache side by side).
+  void AddMutationListener(MutationListener* listener);
+  void RemoveMutationListener(MutationListener* listener);
 
   // --- Structure ---
   std::vector<StmtPtr>& top() { return top_; }
@@ -115,14 +134,19 @@ class Program {
   // --- Epoch ---
   // Monotonically increasing mutation counter; analyses cache against it.
   std::uint64_t epoch() const { return epoch_; }
-  void BumpEpoch() { ++epoch_; }
+  // External bump with no statement attribution: conservatively reported to
+  // listeners as a structural change.
+  void BumpEpoch() { Mutated(StmtId(), /*structural=*/true); }
 
  private:
   void SetAttachedRecursive(Stmt& root, bool attached);
+  // Bumps the epoch and reports the mutation to every listener.
+  void Mutated(StmtId stmt, bool structural);
 
   std::vector<StmtPtr> top_;
   std::unordered_map<StmtId, Stmt*> stmts_;
   std::unordered_map<ExprId, Expr*> exprs_;
+  std::vector<MutationListener*> listeners_;
   std::uint32_t next_stmt_id_ = 1;
   std::uint32_t next_expr_id_ = 1;
   std::uint64_t epoch_ = 1;

@@ -1,0 +1,88 @@
+#include "pivot/support/benchjson.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "pivot/support/diagnostics.h"
+
+namespace pivot {
+namespace {
+
+std::string Quote(const std::string& s) {
+  std::ostringstream os;
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+  return os.str();
+}
+
+}  // namespace
+
+BenchJson::BenchJson(std::string benchmark)
+    : benchmark_(std::move(benchmark)) {}
+
+BenchJson& BenchJson::Row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+BenchJson& BenchJson::Int(const std::string& key, std::uint64_t value) {
+  PIVOT_CHECK_MSG(!rows_.empty(), "call Row() before adding values");
+  rows_.back().push_back({key, std::to_string(value)});
+  return *this;
+}
+
+BenchJson& BenchJson::Num(const std::string& key, double value) {
+  PIVOT_CHECK_MSG(!rows_.empty(), "call Row() before adding values");
+  std::ostringstream os;
+  os << value;
+  rows_.back().push_back({key, os.str()});
+  return *this;
+}
+
+BenchJson& BenchJson::Str(const std::string& key, const std::string& value) {
+  PIVOT_CHECK_MSG(!rows_.empty(), "call Row() before adding values");
+  rows_.back().push_back({key, Quote(value)});
+  return *this;
+}
+
+std::string BenchJson::Render() const {
+  std::ostringstream os;
+  os << "{\"benchmark\": " << Quote(benchmark_) << ", \"rows\": [";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << (r == 0 ? "\n" : ",\n") << "  {";
+    for (std::size_t e = 0; e < rows_[r].size(); ++e) {
+      if (e != 0) os << ", ";
+      os << Quote(rows_[r][e].key) << ": " << rows_[r][e].rendered;
+    }
+    os << '}';
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+std::string BenchJson::WriteFile(const std::string& dir) const {
+  const std::string path = dir + "/BENCH_" + benchmark_ + ".json";
+  std::ofstream out(path);
+  if (!out) return {};
+  out << Render();
+  return out ? path : std::string{};
+}
+
+}  // namespace pivot

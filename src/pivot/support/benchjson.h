@@ -1,0 +1,49 @@
+// Machine-readable benchmark output.
+//
+// The bench binaries print human tables to stdout; CI additionally wants
+// the same numbers in a stable parseable form. BenchJson accumulates rows
+// of key/value metrics and writes them as BENCH_<name>.json next to the
+// working directory, e.g.
+//
+//   {"benchmark": "fig4_undo_scaling", "rows": [
+//     {"clusters": 4, "mode": "baseline", "rebuilds": 42, ...}, ...]}
+//
+// Deliberately minimal (flat rows, no nesting) — enough for CI to diff
+// metrics across commits without a JSON library dependency.
+#ifndef PIVOT_SUPPORT_BENCHJSON_H_
+#define PIVOT_SUPPORT_BENCHJSON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pivot {
+
+class BenchJson {
+ public:
+  explicit BenchJson(std::string benchmark);
+
+  // Starts a new row; subsequent Int/Num/Str calls fill it.
+  BenchJson& Row();
+  BenchJson& Int(const std::string& key, std::uint64_t value);
+  BenchJson& Num(const std::string& key, double value);
+  BenchJson& Str(const std::string& key, const std::string& value);
+
+  std::string Render() const;
+
+  // Writes Render() to `<dir>/BENCH_<benchmark>.json`; returns the path,
+  // or an empty string when the file cannot be written.
+  std::string WriteFile(const std::string& dir = ".") const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string rendered;  // value pre-rendered as a JSON token
+  };
+  std::string benchmark_;
+  std::vector<std::vector<Entry>> rows_;
+};
+
+}  // namespace pivot
+
+#endif  // PIVOT_SUPPORT_BENCHJSON_H_

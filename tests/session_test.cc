@@ -50,6 +50,27 @@ TEST(Session, StampsAreSequentialAcrossKinds) {
   EXPECT_EQ(t2, 2u);
 }
 
+// Regression: with three adjacent fusable loops Find returns both (L1,L2)
+// and (L2,L3); applying the first detaches L2, so the second site is stale
+// and its Apply throws. ApplyEverywhere used to let that abort the whole
+// batch — it must skip the stale site (the failed attempt rolls back) and
+// keep fusing until nothing is left.
+TEST(Session, ApplyEverywhereSkipsSitesStaledByEarlierApplications) {
+  Session s(Parse(
+      "do i = 1, 4\n  a(i) = i\nenddo\n"
+      "do i = 1, 4\n  b(i) = a(i)\nenddo\n"
+      "do i = 1, 4\n  c(i) = b(i)\nenddo\n"
+      "write c(2)"));
+  ASSERT_EQ(s.FindOpportunities(TransformKind::kFus).size(), 2u);
+
+  EXPECT_EQ(s.ApplyEverywhere(TransformKind::kFus), 2);
+  ASSERT_EQ(s.program().top().size(), 2u);  // one fused loop + write
+  EXPECT_EQ(s.program().top()[0]->body.size(), 3u);
+  // The stale (L2,L3) attempt was absorbed as a rollback, not propagated.
+  EXPECT_GE(s.recovery().rollbacks, 1u);
+  EXPECT_EQ(s.recovery().commits, 2u);
+}
+
 // --- interaction tables (Table 4) ---
 
 TEST(Interactions, PublishedMatchesPaperRows) {
