@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Long-running differential fuzz soak: many more seeds and longer schedules
+# than the bounded tier-1 campaign (tests/fuzz_campaign_test.cc). Every
+# failing seed is shrunk with ddmin and its repro is written to the soak
+# directory — inspect with `pivot_fuzz replay -v <repro>`, fix the bug, and
+# move the repro (with a header explaining it) into tests/corpus/.
+#
+# Usage: ci/run_fuzz_soak.sh [seeds] [steps] [build-dir]
+#   seeds      number of seeds to sweep          (default 200)
+#   steps      schedule length per seed          (default 90)
+#   build-dir  existing or new CMake build tree  (default build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+SEEDS="${1:-200}"
+STEPS="${2:-90}"
+BUILD_DIR="${3:-build}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target pivot_fuzz
+
+OUT_DIR="$BUILD_DIR/fuzz-soak"
+mkdir -p "$OUT_DIR"
+
+# The corpus must stay green before new seeds are worth sweeping.
+"$BUILD_DIR"/tools/pivot_fuzz replay tests/corpus/*.fuzzcase
+
+"$BUILD_DIR"/tools/pivot_fuzz run \
+  --seeds "$SEEDS" --steps "$STEPS" --start 1 --corpus "$OUT_DIR"
+
+echo "fuzz soak complete: $SEEDS seeds x $STEPS steps, repros (if any) in $OUT_DIR"

@@ -104,6 +104,20 @@ std::optional<ResolvedLocation> ResolveLocation(Program& program,
     return false;
   };
 
+  // Id-order ranking of an occupant: the *oldest* statement anywhere in
+  // its subtree. A restructuring wrapper (strip-mining outer loop, fused
+  // loop) is itself a new, high-id statement, but it stands where the
+  // original statement it wraps stood — and that one keeps its low id even
+  // across the wrapper being undone and re-created. Comparing bare
+  // occupant ids would misplace restored siblings behind such wrappers.
+  auto min_id_in_subtree = [](const Stmt& root) {
+    StmtId min_id = root.id;
+    ForEachStmt(root, [&min_id](const Stmt& s) {
+      if (s.id < min_id) min_id = s.id;
+    });
+    return min_id;
+  };
+
   std::size_t pos = window_lo;
   while (pos < window_hi) {
     const Stmt& occupant = *list[pos];
@@ -112,7 +126,7 @@ std::optional<ResolvedLocation> ResolveLocation(Program& program,
       ++pos;
       continue;
     }
-    if (self.valid() && occupant.id < self) {
+    if (self.valid() && min_id_in_subtree(occupant) < self) {
       ++pos;
       continue;
     }

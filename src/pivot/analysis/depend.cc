@@ -413,6 +413,12 @@ bool InterchangePrevented(Program& program, const LoopTree& loop_tree,
     const std::vector<Stmt*> sub = StmtsUnder(*kid);
     body_stmts.insert(body_stmts.end(), sub.begin(), sub.end());
   }
+  // Interchange permutes the iteration order: any I/O in the body would be
+  // emitted in a different order, and a possible trap would strike at a
+  // different point of the trace. Either prevents the exchange.
+  for (const Stmt* s : body_stmts) {
+    if (HasSideEffects(*s) || StmtCanTrap(*s)) return true;
+  }
   const std::vector<Dependence> deps =
       ComputeAmong(body_stmts, loop_tree, nullptr);
   for (const Dependence& dep : deps) {
@@ -467,6 +473,25 @@ bool FusionPreventedSets(const std::vector<Stmt*>& body1,
                          const std::vector<Stmt*>& body2,
                          const std::string& var1, const std::string& var2,
                          long trip) {
+  // Fusion interleaves the two bodies' iterations. That reorders observable
+  // events whenever both bodies perform I/O, and reorders a possible trap
+  // against the other body's observable effects (or against its own): a
+  // trap in the first body originally stops the second body from ever
+  // running, and a trap in the second originally happens after all of the
+  // first body's output. Any such pairing prevents fusion.
+  bool io1 = false, io2 = false, trap1 = false, trap2 = false;
+  for (const Stmt* s : body1) {
+    io1 = io1 || HasSideEffects(*s);
+    trap1 = trap1 || StmtCanTrap(*s);
+  }
+  for (const Stmt* s : body2) {
+    io2 = io2 || HasSideEffects(*s);
+    trap2 = trap2 || StmtCanTrap(*s);
+  }
+  if (io1 && io2) return true;
+  if (trap1 && (io2 || trap2)) return true;
+  if (trap2 && io1) return true;
+
   const std::vector<Ref> refs1 = CollectRefs(body1);
   const std::vector<Ref> refs2 = CollectRefs(body2);
 

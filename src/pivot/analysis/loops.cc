@@ -105,6 +105,12 @@ std::unordered_set<std::string> NamesDefinedIn(const Stmt& loop) {
 bool IsLoopInvariant(const Stmt& stmt, const Stmt& loop,
                      const LoopInfo& info) {
   if (stmt.kind != StmtKind::kAssign || stmt.lhs == nullptr) return false;
+  // Speculation safety: hoisting executes the statement once before the
+  // loop's first iteration, ahead of any I/O (or other possible trap) the
+  // body performs before it. A fault-capable RHS or target subscript would
+  // then trap earlier than the original program, changing the observable
+  // trace even though the value computed is invariant.
+  if (StmtCanTrap(stmt)) return false;
   // Array-element targets qualify when the subscripts are invariant too
   // (the paper's example hoists "A(j) = B(j) + 1" out of the i-loop); the
   // whole array is then treated as the target name, conservatively.

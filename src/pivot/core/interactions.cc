@@ -48,7 +48,18 @@ InteractionTable InteractionTable::Published() {
       {TransformKind::kDce, {1, 1, 0, 1, 0, 1, 0, 0, 1, 1}},
       {TransformKind::kCse, {0, 1, 0, 1, 0, 0, 0, 0, 1, 0}},
       {TransformKind::kCtp, {1, 1, 0, 0, 1, 1, 0, 1, 1, 1}},
-      {TransformKind::kIcm, {0, 1, 0, 0, 0, 1, 0, 0, 1, 1}},
+      // Deviations from the published row: ICM->DCE, ICM->CTP and
+      // ICM->CPP are marked. Undoing a hoist moves the invariant
+      // assignment back inside the loop, which resurrects the zero-trip
+      // path around it — a store DCE proved dead *because* the hoisted
+      // assignment killed it on every path can become live again, and a
+      // constant/copy propagation whose definition was the hoisted
+      // statement loses its reaching guarantee (the def no longer
+      // executes before the use on the zero-trip path). All three found
+      // by the differential fuzzer; see
+      // tests/corpus/icm_undo_resurrects_dead_store.fuzzcase and
+      // tests/corpus/icm_undo_strands_propagated_copy.fuzzcase.
+      {TransformKind::kIcm, {1, 1, 1, 1, 0, 1, 0, 0, 1, 1}},
       {TransformKind::kInx, {0, 0, 0, 0, 0, 1, 0, 0, 1, 1}},
   };
   // Rows the paper does not list are conservatively all-'x' so the pruning

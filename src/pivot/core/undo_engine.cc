@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "pivot/ir/stmt.h"
 #include "pivot/support/diagnostics.h"
 #include "pivot/support/fault_injector.h"
 #include "pivot/transform/catalog.h"
@@ -259,6 +260,10 @@ void UndoEngine::UndoRec(TransformRecord& rec, UndoStats& stats, int depth) {
 
   // Lines 16-29: detect and undo affected transformations.
   ScanAffected(rec, region, stats, depth);
+
+  // Beyond Figure 4: transformations performed *before* this one whose
+  // sites were just restored must be re-validated too (see ScanRestored).
+  ScanRestored(rec, inverted, stats, depth);
   Trace(MakeEvent(UndoTraceEvent::Kind::kDone, rec, depth));
 }
 
@@ -316,6 +321,70 @@ void UndoEngine::ScanAffected(TransformRecord& undone,
       UndoRec(*candidate, stats, depth + 1);
     } else {
       Trace(std::move(event));
+    }
+  }
+}
+
+void UndoEngine::ScanRestored(TransformRecord& undone,
+                              const std::vector<ActionId>& inverted,
+                              UndoStats& stats, int depth) {
+  // The Figure-4 scan only examines *later* transformations (line 18:
+  // k > i), on the premise that performing a transformation never destroys
+  // an earlier one's safety. Undo breaks that premise in one spot: while a
+  // statement is deleted by a live transformation, earlier transformations
+  // anchored in it defer their safety question to the deletion (the
+  // consumed-by-live-transformation case of CheckSafety). Inverting the
+  // Delete re-attaches the statement and revives those deferred
+  // obligations — against a program that intermediate undos may have
+  // changed since they last held. So: re-validate every earlier live
+  // transformation whose site lies inside a subtree this undo restored.
+  Program& program = analyses_.program();
+  std::vector<const Stmt*> restored;
+  for (ActionId id : inverted) {
+    const ActionRecord& action = journal_.record(id);
+    if (action.kind != ActionKind::kDelete) continue;
+    const Stmt* root = program.FindStmt(action.stmt);
+    if (root != nullptr && root->attached) restored.push_back(root);
+  }
+  if (restored.empty()) return;
+
+  auto inside_restored = [&](StmtId id) {
+    if (!id.valid()) return false;
+    const Stmt* stmt = program.FindStmt(id);
+    if (stmt == nullptr || !stmt->attached) return false;
+    for (const Stmt* root : restored) {
+      if (root->id == id || IsAncestorOf(*root, *stmt)) return true;
+    }
+    return false;
+  };
+
+  // Snapshot first: recursive undos flip history flags under us.
+  std::vector<TransformRecord*> earlier;
+  for (TransformRecord& rec : history_.records()) {
+    if (rec.undone || rec.is_edit) continue;
+    if (rec.stamp < undone.stamp) earlier.push_back(&rec);
+  }
+  for (TransformRecord* candidate : earlier) {
+    if (candidate->undone) continue;  // removed by a deeper recursion
+    bool anchored = inside_restored(candidate->site.s1) ||
+                    inside_restored(candidate->site.s2);
+    for (std::size_t i = 0; !anchored && i < candidate->actions.size();
+         ++i) {
+      const ActionRecord& action = journal_.record(candidate->actions[i]);
+      anchored =
+          inside_restored(action.stmt) || inside_restored(action.expr_owner);
+    }
+    if (!anchored) continue;
+    ++stats.safety_checks;
+    const Transformation& t = GetTransformation(candidate->kind);
+    if (!t.CheckSafety(analyses_, journal_, *candidate)) {
+      UndoTraceEvent event =
+          MakeEvent(UndoTraceEvent::Kind::kCandidateUnsafe, undone, depth);
+      event.other = candidate->stamp;
+      event.other_kind = candidate->kind;
+      Trace(std::move(event));
+      PIVOT_FAULT_POINT("undo.cascade.recurse");
+      UndoRec(*candidate, stats, depth + 1);
     }
   }
 }

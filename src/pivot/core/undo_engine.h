@@ -108,6 +108,9 @@ class UndoEngine {
                                       UndoStats& stats);
   void ScanAffected(TransformRecord& undone, const AffectedRegion& region,
                     UndoStats& stats, int depth);
+  void ScanRestored(TransformRecord& undone,
+                    const std::vector<ActionId>& inverted, UndoStats& stats,
+                    int depth);
 
   AnalysisCache& analyses_;
   Journal& journal_;

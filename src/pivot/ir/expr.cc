@@ -1,5 +1,7 @@
 #include "pivot/ir/expr.h"
 
+#include <array>
+#include <charconv>
 #include <sstream>
 
 #include "pivot/support/diagnostics.h"
@@ -140,9 +142,23 @@ int Precedence(BinOp op) {
   return 0;
 }
 
+// Shortest decimal form that parses back to exactly the same double. A
+// fractional part or exponent is forced so the lexer re-reads the literal
+// as a real, not an int ("2" would reparse as kIntConst).
+std::string FormatReal(double value) {
+  std::array<char, 32> buf;
+  const auto res =
+      std::to_chars(buf.data(), buf.data() + buf.size(), value);
+  std::string s(buf.data(), res.ptr);
+  if (s.find_first_of(".eE") == std::string::npos) s += ".0";
+  return s;
+}
+
 void Emit(const Expr& expr, std::ostringstream& os, int parent_prec) {
   switch (expr.kind) {
     case ExprKind::kIntConst:
+      // Negative literals are parenthesized so "a * (-5)" stays one token
+      // stream the parser folds back into a literal.
       if (expr.ival < 0) {
         os << '(' << expr.ival << ')';
       } else {
@@ -150,7 +166,11 @@ void Emit(const Expr& expr, std::ostringstream& os, int parent_prec) {
       }
       break;
     case ExprKind::kRealConst:
-      os << expr.rval;
+      if (expr.rval < 0) {
+        os << '(' << FormatReal(expr.rval) << ')';
+      } else {
+        os << FormatReal(expr.rval);
+      }
       break;
     case ExprKind::kVarRef:
       os << expr.name;
@@ -234,6 +254,22 @@ bool ExprReadsName(const Expr& root, const std::string& name) {
     }
   });
   return found;
+}
+
+bool CanTrap(const Expr& root) {
+  bool can = false;
+  ForEachExpr(root, [&can](const Expr& e) {
+    if (e.kind != ExprKind::kBinary ||
+        (e.bin != BinOp::kDiv && e.bin != BinOp::kMod)) {
+      return;
+    }
+    const Expr& divisor = *e.kids[1];
+    const bool nonzero_literal =
+        (divisor.kind == ExprKind::kIntConst && divisor.ival != 0) ||
+        (divisor.kind == ExprKind::kRealConst && divisor.rval != 0.0);
+    if (!nonzero_literal) can = true;
+  });
+  return can;
 }
 
 Expr& SlotRoot(Expr& e) {

@@ -109,6 +109,14 @@ void CollectVarReads(const Expr& root, std::vector<std::string>& out);
 // True if any node of `root` reads scalar variable or array `name`.
 bool ExprReadsName(const Expr& root, const std::string& name);
 
+// True if evaluating the expression may raise a recoverable arithmetic trap
+// (interp.h TrapKind): it contains a division or modulo whose divisor is
+// not a nonzero literal constant. Conservative — a variable divisor counts
+// as fault-capable even when it can never be zero at runtime. Transforms
+// use this as the speculation-safety gate: a fault-capable expression must
+// not be hoisted, deleted, or reordered past observable effects.
+bool CanTrap(const Expr& root);
+
 // The root of the slot tree containing `e` (follows parent links).
 Expr& SlotRoot(Expr& e);
 const Expr& SlotRoot(const Expr& e);

@@ -9,6 +9,12 @@
 namespace pivot {
 namespace {
 
+// Thrown for recoverable arithmetic traps; Run() turns it into an ok result
+// carrying the trap kind, distinct from ProgramError hard failures.
+struct TrapSignal {
+  TrapKind kind;
+};
+
 class Interpreter {
  public:
   Interpreter(const Program& program, const InterpOptions& opts)
@@ -18,6 +24,9 @@ class Interpreter {
     try {
       ExecBody(program_.top());
       result_.ok = true;
+    } catch (const TrapSignal& t) {
+      result_.ok = true;
+      result_.trap = t.kind;
     } catch (const ProgramError& e) {
       result_.ok = false;
       result_.error = e.what();
@@ -29,6 +38,8 @@ class Interpreter {
   [[noreturn]] void Fail(const std::string& message) {
     throw ProgramError(message);
   }
+
+  [[noreturn]] void Trap(TrapKind kind) { throw TrapSignal{kind}; }
 
   void Step() {
     if (++result_.steps > opts_.max_steps) {
@@ -74,10 +85,10 @@ class Interpreter {
           case BinOp::kSub: return a - b;
           case BinOp::kMul: return a * b;
           case BinOp::kDiv:
-            if (b == 0.0) Fail("division by zero");
+            if (b == 0.0) Trap(TrapKind::kDivByZero);
             return a / b;
           case BinOp::kMod:
-            if (b == 0.0) Fail("modulo by zero");
+            if (b == 0.0) Trap(TrapKind::kModByZero);
             return std::fmod(a, b);
           case BinOp::kLt: return a < b ? 1.0 : 0.0;
           case BinOp::kLe: return a <= b ? 1.0 : 0.0;
@@ -169,6 +180,15 @@ class Interpreter {
 
 }  // namespace
 
+const char* TrapKindName(TrapKind kind) {
+  switch (kind) {
+    case TrapKind::kNone: return "none";
+    case TrapKind::kDivByZero: return "division by zero";
+    case TrapKind::kModByZero: return "modulo by zero";
+  }
+  PIVOT_UNREACHABLE("trap kind");
+}
+
 InterpResult Run(const Program& program, const InterpOptions& opts) {
   return Interpreter(program, opts).Run();
 }
@@ -179,7 +199,7 @@ bool SameBehavior(const Program& a, const Program& b,
   opts.input = input;
   const InterpResult ra = Run(a, opts);
   const InterpResult rb = Run(b, opts);
-  return ra.ok && rb.ok && ra.output == rb.output;
+  return ra.ok && rb.ok && ra.trap == rb.trap && ra.output == rb.output;
 }
 
 }  // namespace pivot

@@ -31,18 +31,31 @@ struct InterpOptions {
   std::uint64_t max_steps = 10'000'000;
 };
 
+// Recoverable arithmetic traps. A trapped run is still `ok`: execution was
+// deterministic up to the fault and the output prefix is meaningful, which
+// is what lets the differential oracle compare trap behavior between a
+// program and its transformed version. Internal failures (step limit, zero
+// do-step, non-lvalue target) remain hard errors with ok == false.
+enum class TrapKind { kNone, kDivByZero, kModByZero };
+
+const char* TrapKindName(TrapKind kind);
+
 struct InterpResult {
   bool ok = false;
-  std::string error;           // set when !ok
-  std::vector<double> output;  // values written, in order
-  std::uint64_t steps = 0;     // statements executed
+  std::string error;                // set when !ok
+  TrapKind trap = TrapKind::kNone;  // set when the run stopped at a trap
+  std::vector<double> output;       // values written, in order
+  std::uint64_t steps = 0;          // statements executed
   bool input_underrun = false;
+
+  bool trapped() const { return trap != TrapKind::kNone; }
 };
 
 InterpResult Run(const Program& program, const InterpOptions& opts = {});
 
 // Convenience for tests: true when both programs are semantically equal on
-// the given input (both succeed with identical output streams).
+// the given input (both succeed with identical output streams and identical
+// trap behavior — same kind, or none in both).
 bool SameBehavior(const Program& a, const Program& b,
                   const std::vector<double>& input = {});
 

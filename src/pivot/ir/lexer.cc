@@ -66,6 +66,20 @@ std::vector<Token> Lex(std::string_view src) {
         ++i;
         while (i < n && std::isdigit(static_cast<unsigned char>(src[i]))) ++i;
       }
+      // Optional exponent ("2.5e-7", "1e+300"): only consumed when a digit
+      // follows, so "5e" stays an int and an identifier. The printer's
+      // shortest round-trip form for reals may use scientific notation.
+      if (i < n && (src[i] == 'e' || src[i] == 'E')) {
+        std::size_t j = i + 1;
+        if (j < n && (src[j] == '+' || src[j] == '-')) ++j;
+        if (j < n && std::isdigit(static_cast<unsigned char>(src[j]))) {
+          real = true;
+          i = j;
+          while (i < n && std::isdigit(static_cast<unsigned char>(src[i]))) {
+            ++i;
+          }
+        }
+      }
       Token t;
       t.line = line;
       const std::string text(src.substr(start, i - start));

@@ -13,8 +13,15 @@ class Parser {
 
   Program ParseProgram() {
     ProgramBuilder builder;
-    int open_dos = 0;
-    int open_ifs = 0;
+    // Mirror of the builder's scope stack. Counting open 'do's and 'if's
+    // separately is not enough: "do … if … enddo" has matching counts but
+    // would make the builder close the *if*, silently mis-nesting the
+    // program (or tripping an internal invariant on 'else').
+    struct Scope {
+      bool is_do = false;
+      bool in_else = false;  // 'if' scopes: else-branch already open
+    };
+    std::vector<Scope> scopes;
     while (!At(TokKind::kEnd)) {
       if (Accept(TokKind::kNewline)) continue;
 
@@ -35,12 +42,14 @@ class Parser {
         ExprPtr step;
         if (Accept(TokKind::kComma)) step = ParseExpression();
         builder.Do(var, std::move(lo), std::move(hi), std::move(step), label);
-        ++open_dos;
+        scopes.push_back({/*is_do=*/true, false});
       } else if (AtKeyword("enddo")) {
-        if (open_dos == 0) throw ProgramError("'enddo' without 'do'", Line());
+        if (scopes.empty() || !scopes.back().is_do) {
+          throw ProgramError("'enddo' without 'do'", Line());
+        }
         Advance();
         builder.End();
-        --open_dos;
+        scopes.pop_back();
       } else if (AtKeyword("if")) {
         Advance();
         Expect(TokKind::kLParen, "'(' after if");
@@ -49,16 +58,21 @@ class Parser {
         if (!AtKeyword("then")) throw ProgramError("expected 'then'", Line());
         Advance();
         builder.If(std::move(cond), label);
-        ++open_ifs;
+        scopes.push_back({/*is_do=*/false, false});
       } else if (AtKeyword("else")) {
-        if (open_ifs == 0) throw ProgramError("'else' without 'if'", Line());
+        if (scopes.empty() || scopes.back().is_do || scopes.back().in_else) {
+          throw ProgramError("'else' without 'if'", Line());
+        }
         Advance();
         builder.Else();
+        scopes.back().in_else = true;
       } else if (AtKeyword("endif")) {
-        if (open_ifs == 0) throw ProgramError("'endif' without 'if'", Line());
+        if (scopes.empty() || scopes.back().is_do) {
+          throw ProgramError("'endif' without 'if'", Line());
+        }
         Advance();
         builder.End();
-        --open_ifs;
+        scopes.pop_back();
       } else if (AtKeyword("read")) {
         Advance();
         builder.Read(ParseLvalue(), label);
@@ -80,8 +94,11 @@ class Parser {
         Expect(TokKind::kNewline, "end of statement");
       }
     }
-    if (open_dos != 0) throw ProgramError("unterminated 'do'", Line());
-    if (open_ifs != 0) throw ProgramError("unterminated 'if'", Line());
+    if (!scopes.empty()) {
+      throw ProgramError(
+          scopes.back().is_do ? "unterminated 'do'" : "unterminated 'if'",
+          Line());
+    }
     return builder.Build();
   }
 
@@ -192,7 +209,19 @@ class Parser {
 
   ExprPtr ParseUnary() {
     if (Accept(TokKind::kMinus)) {
-      return MakeUnary(UnOp::kNeg, ParseUnary());
+      ExprPtr operand = ParseUnary();
+      // Fold a negated literal into a negative constant so printing and
+      // reparsing round-trips: the printer emits IntConst(-5) as "(-5)",
+      // which must come back as the same literal, not Unary(kNeg, 5).
+      if (operand->kind == ExprKind::kIntConst) {
+        operand->ival = -operand->ival;
+        return operand;
+      }
+      if (operand->kind == ExprKind::kRealConst) {
+        operand->rval = -operand->rval;
+        return operand;
+      }
+      return MakeUnary(UnOp::kNeg, std::move(operand));
     }
     if (Accept(TokKind::kNot)) {
       return MakeUnary(UnOp::kNot, ParseUnary());

@@ -35,6 +35,19 @@ class Generator {
     emitted_ += 2;
 
     while (emitted_ < opts_.target_stmts) {
+      // Gated on > 0 so the rng stream is untouched when the option is off
+      // (existing deterministic-generation expectations must not shift).
+      if (opts_.division_bias > 0 && rng_.Chance(opts_.division_bias)) {
+        switch (rng_.UniformInt(0, 5)) {
+          case 0: FragGuardedDivision(); break;
+          case 1: FragWriteThenInvariantDivision(); break;
+          case 2: FragTrapDeadStore(); break;
+          case 3: FragCommonDivision(); break;
+          case 4: FragIoFusablePair(); break;
+          case 5: FragIoNest(); break;
+        }
+        continue;
+      }
       if (rng_.Chance(opts_.opportunity_bias)) {
         switch (rng_.UniformInt(0, 6)) {
           case 0: FragConstDef(); break;
@@ -154,6 +167,94 @@ class Generator {
     emitted_ += 3;
   }
 
+  // --- fault-capable fragments (division_bias > 0 only) ---
+  // The divisor is always s1 (input position 1): a zero there makes the
+  // trap paths live, a nonzero one keeps the program running to the end.
+
+  // if (s1 /= 0) then t = e / s1 else t = e endif — a genuinely guarded
+  // division no transform may speculate out of the branch.
+  void FragGuardedDivision() {
+    const std::string& t = Scalar();
+    b_.If(Gt(V(divisor_), I(0)));
+    b_.Assign(V(t), Div(RandExpr(2, {}), V(divisor_)));
+    b_.Else();
+    b_.Assign(V(t), RandExpr(1, {}));
+    b_.End();
+    emitted_ += 3;
+  }
+
+  // Loop whose body writes output *before* a loop-invariant, fault-capable
+  // assignment: hoisting the division above the loop would reorder the
+  // trap against the first write (the ICM speculation bug's shape).
+  void FragWriteThenInvariantDivision() {
+    const std::string& t = TrapTarget();
+    const std::string& arr = Array1();
+    b_.Do("i", I(1), I(Trip()));
+    b_.Write(V("i"));
+    b_.Assign(V(t), Div(V(scalars_[0]), V(divisor_)));
+    b_.Assign(At(arr, V("i")), Add(V(t), V("i")));
+    b_.End();
+    emitted_ += 4;
+  }
+
+  // Dead store whose RHS may trap — deleting it would erase the trap.
+  void FragTrapDeadStore() {
+    const std::string& v = TrapTarget();
+    b_.Assign(V(v), Div(I(rng_.UniformInt(1, 9)), V(divisor_)));
+    b_.Assign(V(v), RandExpr(2, {}));
+    emitted_ += 2;
+  }
+
+  // Two statements sharing a division subexpression — CSE over a
+  // fault-capable expression is trap-equivalent and must stay available.
+  void FragCommonDivision() {
+    const std::string x = TrapTarget();
+    const std::string y = TrapTarget();
+    ExprPtr common = Div(V(scalars_[0]), V(divisor_));
+    b_.Assign(V(x), CloneExpr(*common));
+    b_.Assign(V(y), std::move(common));
+    emitted_ += 2;
+  }
+
+  // Adjacent same-range loops where the first body writes output (and,
+  // half the time, the second does too). Fusing two I/O bodies would
+  // interleave their output streams, so the pair probes the fusion gate;
+  // the one-sided variant stays legitimately fusable.
+  void FragIoFusablePair() {
+    const int trip = Trip();
+    const std::string& arr = Array1();
+    const bool second_writes = rng_.Chance(0.5);
+    b_.Do("i", I(1), I(trip));
+    b_.Write(V("i"));
+    b_.End();
+    b_.Do("i", I(1), I(trip));
+    if (second_writes) {
+      b_.Write(Add(V("i"), I(10)));
+    } else {
+      b_.Assign(At(arr, V("i")), Mul(V("i"), I(2)));
+    }
+    b_.End();
+    emitted_ += 4;
+  }
+
+  // Tight nest whose body writes output — interchange would permute the
+  // iteration (and therefore output) order, probing the interchange gate.
+  void FragIoNest() {
+    b_.Do("i", I(1), I(Trip()));
+    b_.Do("j", I(1), I(Trip()));
+    b_.Write(Add(Mul(V("i"), I(10)), V("j")));
+    b_.End();
+    b_.End();
+    emitted_ += 3;
+  }
+
+  // A scalar other than the read-in s0/s1 so division fragments do not
+  // clobber their own operands.
+  const std::string& TrapTarget() {
+    if (scalars_.size() <= 2) return scalars_.back();
+    return scalars_[2 + rng_.Index(scalars_.size() - 2)];
+  }
+
   // Small constant-bound loop — LUR fodder.
   void FragUnrollableLoop() {
     const std::string& arr = Array1();
@@ -166,6 +267,8 @@ class Generator {
   const RandomProgramOptions& opts_;
   Rng rng_;
   ProgramBuilder b_;
+  // Divisor for all fault-capable fragments: s1 (second input value).
+  std::string divisor_ = "s1";
   std::vector<std::string> scalars_;
   std::vector<std::string> arrays1_;
   std::vector<std::string> arrays2_;

@@ -30,6 +30,14 @@ struct RandomProgramOptions {
   // Fraction of fragments that are crafted transformation opportunities
   // (vs. plain random assignments).
   double opportunity_bias = 0.6;
+  // Fraction of fragments that contain fault-capable divisions (guarded
+  // divisions, invariant divisions behind in-loop I/O, dead trap-capable
+  // stores, common division subexpressions). Off by default so existing
+  // deterministic streams are untouched; the fuzz driver turns it on to
+  // exercise the speculation-safety gates and trap comparison. Input
+  // position 1 (scalar s1) is used as the divisor, so an input env with a
+  // zero there exercises the trap paths.
+  double division_bias = 0.0;
 };
 
 Program GenerateRandomProgram(const RandomProgramOptions& opts);

@@ -213,6 +213,26 @@ bool HasSideEffects(const Stmt& stmt) {
   return stmt.kind == StmtKind::kRead || stmt.kind == StmtKind::kWrite;
 }
 
+bool StmtCanTrap(const Stmt& stmt) {
+  for (const ExprPtr* slot : {&stmt.lhs, &stmt.rhs, &stmt.lo, &stmt.hi,
+                              &stmt.step, &stmt.cond}) {
+    if (*slot != nullptr && CanTrap(**slot)) return true;
+  }
+  return false;
+}
+
+bool SubtreeCanTrap(const Stmt& root) {
+  bool can = false;
+  ForEachStmt(root, [&can](const Stmt& s) { can = can || StmtCanTrap(s); });
+  return can;
+}
+
+bool SubtreeHasIO(const Stmt& root) {
+  bool io = false;
+  ForEachStmt(root, [&io](const Stmt& s) { io = io || HasSideEffects(s); });
+  return io;
+}
+
 const char* StmtKindToString(StmtKind kind) {
   switch (kind) {
     case StmtKind::kAssign: return "assign";

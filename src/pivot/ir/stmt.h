@@ -118,6 +118,17 @@ bool IsAncestorOf(const Stmt& maybe_ancestor, const Stmt& s);
 // data-flow layer must never treat them as dead.
 bool HasSideEffects(const Stmt& stmt);
 
+// True if executing this statement's own expressions (not its children's)
+// may raise a recoverable arithmetic trap; see CanTrap in expr.h.
+bool StmtCanTrap(const Stmt& stmt);
+
+// Subtree-wide variants over the statement tree rooted at `root`: whether
+// any statement may trap, and whether any statement performs I/O. Used by
+// transforms that reorder whole bodies (fusion, interchange) to decide
+// whether the reordering could change the observable trace.
+bool SubtreeCanTrap(const Stmt& root);
+bool SubtreeHasIO(const Stmt& root);
+
 const char* StmtKindToString(StmtKind kind);
 
 }  // namespace pivot

@@ -1,0 +1,542 @@
+#include "pivot/oracle/fuzzcase.h"
+
+#include <charconv>
+#include <cstdlib>
+#include <sstream>
+#include <unordered_set>
+
+#include "pivot/core/session.h"
+#include "pivot/ir/diff.h"
+#include "pivot/ir/parser.h"
+#include "pivot/ir/printer.h"
+#include "pivot/ir/random_program.h"
+#include "pivot/oracle/oracle.h"
+#include "pivot/support/fault_injector.h"
+#include "pivot/support/rng.h"
+#include "pivot/transform/catalog.h"
+
+namespace pivot {
+namespace {
+
+const char* StepKindName(FuzzStep::Kind kind) {
+  switch (kind) {
+    case FuzzStep::Kind::kApply: return "apply";
+    case FuzzStep::Kind::kUndo: return "undo";
+    case FuzzStep::Kind::kFaultApply: return "fault-apply";
+    case FuzzStep::Kind::kFaultUndo: return "fault-undo";
+  }
+  return "?";
+}
+
+bool TransformKindFromName(const std::string& name, TransformKind* out) {
+  for (int i = 0; i < kNumTransformKinds; ++i) {
+    const TransformKind kind = TransformKindFromIndex(i);
+    if (name == TransformKindName(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+// Shortest decimal representation that round-trips (same scheme the
+// printer uses for real literals, without the forced ".0").
+std::string FormatDouble(double value) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), value);
+  return std::string(buf, res.ptr);
+}
+
+}  // namespace
+
+std::string SerializeFuzzCase(const FuzzCase& c) {
+  std::ostringstream os;
+  os << "# pivot fuzz case (replay with: pivot_fuzz replay <file>)\n";
+  os << "seed " << c.undo_shuffle_seed << "\n";
+  for (const auto& env : c.inputs) {
+    os << "input";
+    for (double v : env) os << " " << FormatDouble(v);
+    os << "\n";
+  }
+  for (const FuzzStep& s : c.steps) {
+    os << "step " << StepKindName(s.kind);
+    switch (s.kind) {
+      case FuzzStep::Kind::kApply:
+        os << " " << TransformKindName(s.transform) << " " << s.op_index;
+        break;
+      case FuzzStep::Kind::kUndo:
+        os << " " << s.undo_index;
+        break;
+      case FuzzStep::Kind::kFaultApply:
+        os << " " << TransformKindName(s.transform) << " " << s.op_index
+           << " " << s.fault_countdown;
+        break;
+      case FuzzStep::Kind::kFaultUndo:
+        os << " " << s.undo_index << " " << s.fault_countdown;
+        break;
+    }
+    os << "\n";
+  }
+  os << "source\n" << c.source;
+  if (!c.source.empty() && c.source.back() != '\n') os << "\n";
+  return os.str();
+}
+
+bool DeserializeFuzzCase(const std::string& text, FuzzCase* out,
+                         std::string* error) {
+  FuzzCase c;
+  std::istringstream in(text);
+  std::string line;
+  bool have_source = false;
+  int lineno = 0;
+  auto fail = [&](const std::string& why) {
+    if (error) {
+      *error = "fuzz case line " + std::to_string(lineno) + ": " + why;
+    }
+    return false;
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string directive;
+    ls >> directive;
+    if (directive == "seed") {
+      if (!(ls >> c.undo_shuffle_seed)) return fail("bad seed");
+    } else if (directive == "input") {
+      std::vector<double> env;
+      std::string tok;
+      while (ls >> tok) {
+        char* end = nullptr;
+        const double v = std::strtod(tok.c_str(), &end);
+        if (end == tok.c_str() || *end != '\0') {
+          return fail("bad input value '" + tok + "'");
+        }
+        env.push_back(v);
+      }
+      c.inputs.push_back(std::move(env));
+    } else if (directive == "step") {
+      FuzzStep s;
+      std::string kind_name;
+      ls >> kind_name;
+      auto read_transform = [&]() {
+        std::string name;
+        if (!(ls >> name >> s.op_index)) return false;
+        return TransformKindFromName(name, &s.transform);
+      };
+      if (kind_name == "apply") {
+        s.kind = FuzzStep::Kind::kApply;
+        if (!read_transform()) return fail("bad apply step");
+      } else if (kind_name == "undo") {
+        s.kind = FuzzStep::Kind::kUndo;
+        if (!(ls >> s.undo_index)) return fail("bad undo step");
+      } else if (kind_name == "fault-apply") {
+        s.kind = FuzzStep::Kind::kFaultApply;
+        if (!read_transform() || !(ls >> s.fault_countdown)) {
+          return fail("bad fault-apply step");
+        }
+      } else if (kind_name == "fault-undo") {
+        s.kind = FuzzStep::Kind::kFaultUndo;
+        if (!(ls >> s.undo_index >> s.fault_countdown)) {
+          return fail("bad fault-undo step");
+        }
+      } else {
+        return fail("unknown step kind '" + kind_name + "'");
+      }
+      c.steps.push_back(s);
+    } else if (directive == "source") {
+      // Everything after this line, verbatim, is the program.
+      std::ostringstream src;
+      while (std::getline(in, line)) src << line << "\n";
+      c.source = src.str();
+      have_source = true;
+      break;
+    } else {
+      return fail("unknown directive '" + directive + "'");
+    }
+  }
+  if (!have_source) {
+    lineno = 0;
+    return fail("missing 'source' section");
+  }
+  *out = c;
+  return true;
+}
+
+FuzzCase GenerateFuzzCase(std::uint64_t seed, const FuzzGenOptions& opts) {
+  FuzzCase c;
+  RandomProgramOptions po;
+  po.seed = seed;
+  po.target_stmts = opts.program_stmts;
+  po.division_bias = opts.division_bias;
+  c.source = ToSource(GenerateRandomProgram(po));
+  c.inputs = DefaultOracleInputs();
+  c.undo_shuffle_seed = seed * 0x9e3779b97f4a7c15ULL + 1;
+
+  // Schedule stream is independent of the program stream so the two can
+  // evolve separately without perturbing each other.
+  Rng rng(seed ^ 0x5ced0f5c0ffee5ULL);
+  c.steps.reserve(static_cast<std::size_t>(opts.num_steps));
+  for (int i = 0; i < opts.num_steps; ++i) {
+    FuzzStep s;
+    const bool undo = rng.Chance(opts.undo_fraction);
+    const bool fault = rng.Chance(opts.fault_fraction);
+    if (undo) {
+      s.kind = fault ? FuzzStep::Kind::kFaultUndo : FuzzStep::Kind::kUndo;
+      s.undo_index = rng.UniformInt(0, 31);
+    } else {
+      s.kind = fault ? FuzzStep::Kind::kFaultApply : FuzzStep::Kind::kApply;
+      s.transform = TransformKindFromIndex(rng.UniformInt(
+          0, kNumTransformKinds - 1));
+      s.op_index = rng.UniformInt(0, 7);
+    }
+    if (fault) s.fault_countdown = rng.UniformInt(1, 8);
+    c.steps.push_back(s);
+  }
+  return c;
+}
+
+namespace {
+
+// Stamps of live (applied, not undone, non-edit) transformations, oldest
+// first.
+std::vector<OrderStamp> LiveStamps(Session& s) {
+  std::vector<OrderStamp> live;
+  for (const TransformRecord& rec : s.history().records()) {
+    if (!rec.undone && !rec.is_edit) live.push_back(rec.stamp);
+  }
+  return live;
+}
+
+bool IsLive(Session& s, OrderStamp stamp) {
+  for (const TransformRecord& rec : s.history().records()) {
+    if (rec.stamp == stamp) return !rec.undone;
+  }
+  return false;
+}
+
+// The paper's central invariant, checked order-independently: every live
+// transformation's safety conditions must hold in the current program —
+// cascading undos exist precisely to maintain this. A transformation left
+// live with a violated condition (e.g. because a backward obligation was
+// missed) is an engine bug even when the current semantics happen to
+// coincide.
+std::string CheckLiveSafety(Session& s) {
+  for (const TransformRecord& rec : s.history().records()) {
+    if (rec.undone || rec.is_edit) continue;
+    const Transformation& t = GetTransformation(rec.kind);
+    if (!t.CheckSafety(s.analyses(), s.journal(), rec)) {
+      return "live transformation t" + std::to_string(rec.stamp) + " (" +
+             rec.summary + ") fails its safety conditions";
+    }
+  }
+  return {};
+}
+
+// The per-mutation oracle battery. Empty string = all green.
+std::string CheckSessionState(Session& s, const SemanticsOracle& sem) {
+  std::string f = sem.Check(s.program());
+  if (!f.empty()) return f;
+  const ValidationReport v = s.Validate();
+  if (!v.ok()) return "session invariants violated: " + v.ToString();
+  if (std::string unsafe = CheckLiveSafety(s); !unsafe.empty()) {
+    return unsafe;
+  }
+  return CheckTextRoundTrip(s.program());
+}
+
+// Drives one step on `s`. Returns false (with *failure set) on an oracle
+// finding; fault handling and skip accounting are shared by both sessions.
+class StepDriver {
+ public:
+  StepDriver(Session& session, ReplayResult& result,
+             std::ostream* trace = nullptr)
+      : s_(session), r_(result), trace_(trace) {}
+
+  // Applies the step; `mirror_of` is the opportunity/stamp resolution the
+  // other session already made (kept in lockstep by identical indices).
+  bool Run(const FuzzStep& step, std::string* failure) {
+    switch (step.kind) {
+      case FuzzStep::Kind::kApply:
+        return DoApply(step, /*fault=*/false, failure);
+      case FuzzStep::Kind::kFaultApply:
+        return DoApply(step, /*fault=*/true, failure);
+      case FuzzStep::Kind::kUndo:
+        return DoUndo(step, /*fault=*/false, failure);
+      case FuzzStep::Kind::kFaultUndo:
+        return DoUndo(step, /*fault=*/true, failure);
+    }
+    return true;
+  }
+
+  // Whether the last Run mutated the session (false: skipped or the
+  // injected fault rolled it back).
+  bool mutated() const { return mutated_; }
+
+ private:
+  bool DoApply(const FuzzStep& step, bool fault, std::string* failure) {
+    mutated_ = false;
+    // Resolve the site before arming: opportunity discovery may rebuild
+    // analyses, and a fault there would fire outside any transaction.
+    const std::vector<Opportunity> ops = s_.FindOpportunities(step.transform);
+    if (ops.empty()) {
+      ++r_.skipped;
+      return true;
+    }
+    const Opportunity& op =
+        ops[static_cast<std::size_t>(step.op_index) % ops.size()];
+    if (trace_) {
+      *trace_ << "  apply " << op.Describe(s_.program())
+              << (fault ? " [fault armed]" : "") << "\n";
+    }
+    const std::string before = fault ? s_.Source() : std::string();
+    if (fault) FaultInjector::Instance().ArmNthCrossing(step.fault_countdown);
+    try {
+      s_.Apply(op);
+      FaultInjector::Instance().Disarm();
+      mutated_ = true;
+      ++r_.applied;
+    } catch (const FaultInjectedError& e) {
+      FaultInjector::Instance().Disarm();
+      ++r_.faults_absorbed;
+      if (s_.Source() != before) {
+        *failure = std::string("apply rollback is not atomic after ") +
+                   e.what() + "\n--- before ---\n" + before +
+                   "--- after ---\n" + s_.Source();
+        return false;
+      }
+    } catch (const ProgramError& e) {
+      FaultInjector::Instance().Disarm();
+      *failure = std::string("apply of a freshly found opportunity was "
+                             "rejected: ") +
+                 e.what();
+      return false;
+    }
+    return true;
+  }
+
+  bool DoUndo(const FuzzStep& step, bool fault, std::string* failure) {
+    mutated_ = false;
+    const std::vector<OrderStamp> live = LiveStamps(s_);
+    if (live.empty()) {
+      ++r_.skipped;
+      return true;
+    }
+    const OrderStamp stamp =
+        live[static_cast<std::size_t>(step.undo_index) % live.size()];
+    if (trace_) {
+      *trace_ << "  undo stamp " << stamp
+              << (fault ? " [fault armed]" : "") << "\n";
+    }
+    std::string reason;
+    if (!s_.CanUndo(stamp, &reason)) {
+      ++r_.skipped;
+      return true;
+    }
+    const std::string before = fault ? s_.Source() : std::string();
+    if (fault) FaultInjector::Instance().ArmNthCrossing(step.fault_countdown);
+    try {
+      s_.Undo(stamp);
+      FaultInjector::Instance().Disarm();
+      mutated_ = true;
+      ++r_.undone;
+    } catch (const FaultInjectedError& e) {
+      FaultInjector::Instance().Disarm();
+      ++r_.faults_absorbed;
+      if (s_.Source() != before) {
+        *failure = std::string("undo rollback is not atomic after ") +
+                   e.what() + "\n--- before ---\n" + before +
+                   "--- after ---\n" + s_.Source();
+        return false;
+      }
+    } catch (const ProgramError& e) {
+      FaultInjector::Instance().Disarm();
+      *failure =
+          std::string("undo passed CanUndo but was rejected: ") + e.what();
+      return false;
+    }
+    return true;
+  }
+
+  Session& s_;
+  ReplayResult& r_;
+  std::ostream* trace_;
+  bool mutated_ = false;
+};
+
+}  // namespace
+
+ReplayResult ReplayFuzzCase(const FuzzCase& c, std::ostream* trace) {
+  ReplayResult r;
+  auto fail = [&](int step, std::string why) {
+    r.ok = false;
+    r.failing_step = step;
+    r.failure = std::move(why);
+    return r;
+  };
+
+  FaultInjector::Instance().Reset();
+  Program base;
+  try {
+    base = Parse(c.source);
+  } catch (const ProgramError& e) {
+    return fail(-1, std::string("case source does not parse: ") + e.what());
+  }
+  const std::vector<std::vector<double>> inputs =
+      c.inputs.empty() ? DefaultOracleInputs() : c.inputs;
+  const SemanticsOracle sem(base, inputs);
+  const StructuralOracle structural(base);
+
+  // Two sessions in lockstep: identical schedules resolved by identical
+  // deterministic Find orders; they diverge only in the final phase's undo
+  // order.
+  Session a(base.Clone());
+  Session b(base.Clone());
+  StepDriver drive_a(a, r, trace);
+  ReplayResult b_accounting;  // B's skips/applies are not reported
+  StepDriver drive_b(b, b_accounting);
+
+  std::string failure;
+  for (std::size_t i = 0; i < c.steps.size(); ++i) {
+    const FuzzStep& step = c.steps[i];
+    if (trace) *trace << "step " << i << " (" << StepKindName(step.kind) << ")\n";
+    // Faults are injected into session A only; B takes the un-faulted
+    // variant of any step that actually mutated A, keeping the two in
+    // lockstep (a rolled-back step mutates neither).
+    if (!drive_a.Run(step, &failure)) {
+      return fail(static_cast<int>(i), std::move(failure));
+    }
+    if (drive_a.mutated()) {
+      FuzzStep plain = step;
+      if (plain.kind == FuzzStep::Kind::kFaultApply) {
+        plain.kind = FuzzStep::Kind::kApply;
+      }
+      if (plain.kind == FuzzStep::Kind::kFaultUndo) {
+        plain.kind = FuzzStep::Kind::kUndo;
+      }
+      if (!drive_b.Run(plain, &failure)) {
+        return fail(static_cast<int>(i),
+                    "lockstep session B: " + failure);
+      }
+      if (!drive_b.mutated() ||
+          !Program::Equals(a.program(), b.program())) {
+        return fail(static_cast<int>(i),
+                    "lockstep sessions diverged after '" +
+                        std::string(StepKindName(step.kind)) + "':\n" +
+                        DiffToString(a.program(), b.program()));
+      }
+      if (std::string f = CheckSessionState(a, sem); !f.empty()) {
+        return fail(static_cast<int>(i), std::move(f));
+      }
+      if (trace) *trace << a.Source() << "  history:\n" << a.HistoryToString();
+    }
+  }
+
+  // --- final phase 1: independent-order convergence ---
+  // Undo a random subset of the surviving history on A, mirror the exact
+  // set of transformations that ended up undone (cascades included) on B
+  // in a different order. Every intermediate state must pass the full
+  // battery (semantics, invariants, live-transformation safety); when both
+  // orders end with the same surviving set, the programs must converge
+  // structurally. The surviving sets themselves may legitimately differ:
+  // a candidate can be *transiently* unsafe under one order — forcing a
+  // cascade the other order never needs (e.g. a restored use briefly sees
+  // no reaching definition because a masking store is still deleted).
+  Rng rng(c.undo_shuffle_seed);
+  const std::vector<OrderStamp> live_before = LiveStamps(a);
+  std::vector<OrderStamp> subset = live_before;
+  rng.Shuffle(subset);
+  subset.resize(subset.size() / 2);
+  for (OrderStamp stamp : subset) {
+    // A cascade triggered by an earlier pick may have already undone this
+    // one; a blocked pick is skipped on both sessions by construction.
+    if (!IsLive(a, stamp) || !a.CanUndo(stamp)) continue;
+    if (trace) *trace << "final A: undo stamp " << stamp << "\n";
+    try {
+      const UndoStats stats = a.Undo(stamp);
+      if (trace && stats.transforms_undone > 1) {
+        *trace << "  cascaded: " << stats.transforms_undone
+               << " transforms undone\n  history:\n" << a.HistoryToString();
+      }
+      ++r.final_undone;
+    } catch (const ProgramError& e) {
+      return fail(-1, std::string("final-phase undo on A rejected: ") +
+                          e.what());
+    }
+    if (std::string f = CheckSessionState(a, sem); !f.empty()) {
+      return fail(-1, "after final-phase undo on A: " + f);
+    }
+  }
+  std::unordered_set<OrderStamp> undone_on_a;
+  for (OrderStamp stamp : live_before) {
+    if (!IsLive(a, stamp)) undone_on_a.insert(stamp);
+  }
+  std::vector<OrderStamp> order2(undone_on_a.begin(), undone_on_a.end());
+  rng.Shuffle(order2);
+  for (OrderStamp stamp : order2) {
+    if (!IsLive(b, stamp)) continue;
+    if (trace) *trace << "final B: undo stamp " << stamp << "\n";
+    std::string reason;
+    if (!b.CanUndo(stamp, &reason)) {
+      return fail(-1, "stamp " + std::to_string(stamp) +
+                          " undoable on A but blocked on B: " + reason);
+    }
+    try {
+      const UndoStats stats = b.Undo(stamp);
+      if (trace && stats.transforms_undone > 1) {
+        *trace << "  cascaded: " << stats.transforms_undone
+               << " transforms undone\n  history:\n" << b.HistoryToString();
+      }
+    } catch (const ProgramError& e) {
+      return fail(-1, std::string("final-phase undo on B rejected: ") +
+                          e.what());
+    }
+    if (std::string f = CheckSessionState(b, sem); !f.empty()) {
+      return fail(-1, "after final-phase undo on B: " + f);
+    }
+  }
+  bool sets_agree = true;
+  for (OrderStamp stamp : live_before) {
+    const bool live_a = IsLive(a, stamp);
+    const bool live_b = IsLive(b, stamp);
+    if (live_a != live_b) {
+      sets_agree = false;
+      if (trace) {
+        *trace << "surviving sets diverged (transient cascade): stamp "
+               << stamp << " is "
+               << (live_a ? "live on A, undone on B"
+                          : "undone on A, live on B")
+               << "\n";
+      }
+    }
+  }
+  if (sets_agree) {
+    if (std::string f = StructuralOracle::CheckConverged(
+            a.program(), b.program(), "order 1", "order 2");
+        !f.empty()) {
+      return fail(-1, std::move(f));
+    }
+  }
+
+  // --- final phase 2: full unwind restores the pristine program ---
+  while (true) {
+    const std::vector<OrderStamp> live = LiveStamps(a);
+    if (live.empty()) break;
+    if (trace) *trace << "unwind A: undo stamp " << live.back() << "\n";
+    try {
+      a.Undo(live.back());  // LIFO is always undoable
+      ++r.final_undone;
+    } catch (const ProgramError& e) {
+      return fail(-1, std::string("LIFO unwind rejected: ") + e.what());
+    }
+  }
+  if (std::string f = structural.CheckRestored(a.program()); !f.empty()) {
+    return fail(-1, std::move(f));
+  }
+  if (std::string f = sem.Check(a.program()); !f.empty()) {
+    return fail(-1, "unwound program changed behaviour: " + f);
+  }
+  return r;
+}
+
+}  // namespace pivot

@@ -1,0 +1,126 @@
+#include "pivot/oracle/oracle.h"
+
+#include <sstream>
+
+#include "pivot/ir/diff.h"
+#include "pivot/ir/parser.h"
+#include "pivot/ir/printer.h"
+#include "pivot/support/diagnostics.h"
+
+namespace pivot {
+namespace {
+
+std::string FormatOutputs(const std::vector<double>& values) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << values[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+std::string DescribeRun(const InterpResult& r) {
+  std::ostringstream os;
+  if (!r.ok) {
+    os << "error(" << r.error << ")";
+    return os.str();
+  }
+  os << "output " << FormatOutputs(r.output);
+  if (r.trapped()) os << " then trap(" << TrapKindName(r.trap) << ")";
+  if (r.input_underrun) os << " with input underrun";
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> DefaultOracleInputs() {
+  // Env 1 zeroes the generator's divisor slot (input position 1) so every
+  // fault-capable fragment actually traps under at least one env.
+  return {
+      {1.5, 2.5, 3.0},
+      {1.5, 0.0, 2.0},
+      {4.0, 1.0, 0.0},
+  };
+}
+
+SemanticsOracle::SemanticsOracle(const Program& reference,
+                                 std::vector<std::vector<double>> inputs,
+                                 std::uint64_t max_steps)
+    : inputs_(std::move(inputs)), max_steps_(max_steps) {
+  PIVOT_CHECK(!inputs_.empty());
+  baseline_.reserve(inputs_.size());
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    baseline_.push_back(RunOne(reference, i));
+  }
+}
+
+InterpResult SemanticsOracle::RunOne(const Program& p, std::size_t env) const {
+  InterpOptions opts;
+  opts.input = inputs_[env];
+  opts.max_steps = max_steps_;
+  return Run(p, opts);
+}
+
+std::string SemanticsOracle::Check(const Program& candidate) const {
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    const InterpResult got = RunOne(candidate, i);
+    const InterpResult& want = baseline_[i];
+    const bool same = got.ok == want.ok && got.trap == want.trap &&
+                      got.output == want.output &&
+                      got.input_underrun == want.input_underrun;
+    if (same) continue;
+    std::ostringstream os;
+    os << "semantics divergence on input env #" << i << " "
+       << FormatOutputs(inputs_[i]) << ": reference " << DescribeRun(want)
+       << "; candidate " << DescribeRun(got);
+    return os.str();
+  }
+  return "";
+}
+
+StructuralOracle::StructuralOracle(const Program& reference)
+    : reference_(reference.Clone()) {}
+
+std::string StructuralOracle::CheckRestored(const Program& candidate) const {
+  std::string diff = DiffToString(reference_, candidate);
+  if (diff.empty()) return "";
+  return "fully-unwound program differs from the pristine one "
+         "(left=pristine, right=unwound):\n" +
+         diff;
+}
+
+std::string StructuralOracle::CheckConverged(const Program& a,
+                                             const Program& b,
+                                             const std::string& label_a,
+                                             const std::string& label_b) {
+  std::string diff = DiffToString(a, b);
+  if (diff.empty()) return "";
+  return "undo orders diverged (left=" + label_a + ", right=" + label_b +
+         "):\n" + diff;
+}
+
+std::string CheckTextRoundTrip(const Program& candidate) {
+  const std::string text = ToSource(candidate);
+  Program reparsed;
+  try {
+    reparsed = Parse(text);
+  } catch (const ProgramError& e) {
+    return std::string("printed source does not re-parse: ") + e.what() +
+           "\n--- source ---\n" + text;
+  }
+  if (!Program::Equals(reparsed, candidate)) {
+    return "re-parsed program is not structurally identical to the printed "
+           "one:\n" +
+           DiffToString(candidate, reparsed) + "--- source ---\n" + text;
+  }
+  const std::string reprinted = ToSource(reparsed);
+  if (reprinted != text) {
+    return "source is not a print/parse fixpoint:\n--- first print ---\n" +
+           text + "--- second print ---\n" + reprinted;
+  }
+  return "";
+}
+
+}  // namespace pivot

@@ -1,0 +1,88 @@
+// Differential oracles for the fuzz driver.
+//
+// Every transformation in the catalog claims to preserve program
+// semantics, and the undo engine claims that undoing any subset of the
+// history in any independent order restores exactly the program that
+// re-applying the surviving transformations would produce. Neither claim
+// is checkable by inspection, so the fuzzer checks both *differentially*:
+//
+//   * SemanticsOracle — runs the interpreter on a fixed family of input
+//     environments before any transformation is applied, then re-runs the
+//     mutated program after every session operation and compares the full
+//     observable behaviour: output stream, trap kind (a recoverable
+//     division-by-zero is behaviour, not noise), and input underrun.
+//   * StructuralOracle — remembers the pristine program and asserts, via
+//     the statement-level structural diff, that a fully unwound session is
+//     *identical* to it — and that two sessions which undid the same set
+//     of transformations in different orders converged on one program.
+//
+// Oracles return "" on success and a human-readable finding otherwise, so
+// a failure message can be persisted verbatim into a corpus repro.
+#ifndef PIVOT_ORACLE_ORACLE_H_
+#define PIVOT_ORACLE_ORACLE_H_
+
+#include <string>
+#include <vector>
+
+#include "pivot/ir/interp.h"
+#include "pivot/ir/program.h"
+
+namespace pivot {
+
+// The input environments every fuzz case is executed under when the case
+// does not carry its own. Position 1 is the generator's designated divisor
+// slot, so the family always contains one env that makes every division
+// fragment trap and one that keeps the program running to the end.
+std::vector<std::vector<double>> DefaultOracleInputs();
+
+class SemanticsOracle {
+ public:
+  // Captures the baseline behaviour of `reference` under every input env.
+  SemanticsOracle(const Program& reference,
+                  std::vector<std::vector<double>> inputs,
+                  std::uint64_t max_steps = 1'000'000);
+
+  // "" when `candidate` behaves identically to the reference on every env;
+  // otherwise a description of the first divergence (env index, expected
+  // vs. observed trap/output).
+  std::string Check(const Program& candidate) const;
+
+  const std::vector<std::vector<double>>& inputs() const { return inputs_; }
+
+ private:
+  InterpResult RunOne(const Program& p, std::size_t env) const;
+
+  std::vector<std::vector<double>> inputs_;
+  std::uint64_t max_steps_;
+  std::vector<InterpResult> baseline_;
+};
+
+class StructuralOracle {
+ public:
+  // Clones `reference` (the pristine, never-transformed program).
+  explicit StructuralOracle(const Program& reference);
+
+  // "" when `candidate` is structurally identical to the pristine program
+  // (the fully-unwound check); otherwise the statement-level diff.
+  std::string CheckRestored(const Program& candidate) const;
+
+  // "" when two sessions converged on one program (the independent-order
+  // check); otherwise the diff, labelled with the two orders' names.
+  static std::string CheckConverged(const Program& a, const Program& b,
+                                    const std::string& label_a,
+                                    const std::string& label_b);
+
+  const Program& reference() const { return reference_; }
+
+ private:
+  Program reference_;
+};
+
+// The printer/parser fidelity check applied after every session operation:
+// the session's source must survive one parse/print cycle byte-for-byte
+// and re-parse into a structurally identical program. "" on success.
+std::string CheckTextRoundTrip(const Program& candidate);
+
+}  // namespace pivot
+
+#endif  // PIVOT_ORACLE_ORACLE_H_

@@ -1,0 +1,172 @@
+#include "pivot/oracle/shrinker.h"
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "pivot/ir/parser.h"
+#include "pivot/support/diagnostics.h"
+
+namespace pivot {
+namespace {
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+std::string JoinLines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+bool Parses(const std::string& source) {
+  try {
+    Parse(source);
+    return true;
+  } catch (const ProgramError&) {
+    return false;
+  }
+}
+
+// Classic ddmin over a sequence: repeatedly try removing chunks, halving
+// the chunk size until it reaches 1. `apply` builds a candidate case from
+// a subsequence; `keep` decides whether the candidate still fails.
+template <typename T, typename ApplyFn, typename KeepFn>
+int DdminSequence(std::vector<T>& items, const ApplyFn& apply,
+                  const KeepFn& keep) {
+  int removed = 0;
+  std::size_t chunk = items.size() == 0 ? 0 : (items.size() + 1) / 2;
+  while (chunk >= 1 && !items.empty()) {
+    bool any = false;
+    std::size_t start = 0;
+    while (start < items.size()) {
+      const std::size_t end = std::min(items.size(), start + chunk);
+      std::vector<T> candidate;
+      candidate.reserve(items.size() - (end - start));
+      candidate.insert(candidate.end(), items.begin(),
+                       items.begin() + static_cast<std::ptrdiff_t>(start));
+      candidate.insert(candidate.end(),
+                       items.begin() + static_cast<std::ptrdiff_t>(end),
+                       items.end());
+      if (keep(apply(candidate))) {
+        removed += static_cast<int>(end - start);
+        items = std::move(candidate);
+        any = true;
+        // Retry at the same start: the next chunk slid into this slot.
+      } else {
+        start = end;
+      }
+    }
+    if (chunk == 1) break;
+    if (!any) chunk = (chunk + 1) / 2;
+  }
+  return removed;
+}
+
+}  // namespace
+
+bool StillFails(const FuzzCase& c) { return !ReplayFuzzCase(c).ok; }
+
+FuzzCase ShrinkFuzzCase(const FuzzCase& c, const FailurePredicate& fails,
+                        ShrinkStats* stats) {
+  ShrinkStats local;
+  ShrinkStats& st = stats ? *stats : local;
+  auto check = [&](const FuzzCase& candidate) {
+    ++st.predicate_calls;
+    return fails(candidate);
+  };
+  if (!check(c)) return c;
+
+  FuzzCase best = c;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    ++st.rounds;
+
+    // 1. Steps (ddmin).
+    {
+      std::vector<FuzzStep> steps = best.steps;
+      const int removed = DdminSequence(
+          steps,
+          [&](const std::vector<FuzzStep>& sub) {
+            FuzzCase cand = best;
+            cand.steps = sub;
+            return cand;
+          },
+          check);
+      if (removed > 0) {
+        best.steps = steps;
+        st.steps_removed += removed;
+        progress = true;
+      }
+    }
+
+    // 2. Source lines (ddmin, parse-guarded so the predicate never sees a
+    // syntactically broken program and mistakes a parse error for the
+    // failure under investigation).
+    {
+      std::vector<std::string> lines = SplitLines(best.source);
+      const int removed = DdminSequence(
+          lines,
+          [&](const std::vector<std::string>& sub) {
+            FuzzCase cand = best;
+            cand.source = JoinLines(sub);
+            return cand;
+          },
+          [&](const FuzzCase& cand) {
+            return Parses(cand.source) && check(cand);
+          });
+      if (removed > 0) {
+        best.source = JoinLines(lines);
+        st.source_lines_removed += removed;
+        progress = true;
+      }
+    }
+
+    // 3. Whole input environments (keep at least one: the semantics
+    // oracle needs something to execute under).
+    {
+      std::vector<std::vector<double>> inputs = best.inputs;
+      const int removed = DdminSequence(
+          inputs,
+          [&](const std::vector<std::vector<double>>& sub) {
+            FuzzCase cand = best;
+            cand.inputs = sub;
+            return cand;
+          },
+          [&](const FuzzCase& cand) {
+            return !cand.inputs.empty() && check(cand);
+          });
+      if (removed > 0) {
+        best.inputs = inputs;
+        st.inputs_removed += removed;
+        progress = true;
+      }
+    }
+
+    // 4. Trailing values inside each env (shorter envs read better in a
+    // repro; underrun reads are part of observable behaviour, so the
+    // predicate still guards every removal).
+    for (std::size_t e = 0; e < best.inputs.size(); ++e) {
+      while (best.inputs[e].size() > 1) {
+        FuzzCase cand = best;
+        cand.inputs[e].pop_back();
+        if (!check(cand)) break;
+        best = cand;
+        progress = true;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace pivot

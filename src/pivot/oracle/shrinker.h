@@ -1,0 +1,45 @@
+// Delta-debugging shrinker for failing fuzz cases.
+//
+// A raw failure from the fuzz driver is a 40-statement program with a
+// 60-step schedule; the bug is usually three lines and one step. The
+// shrinker minimizes all four axes of a failing case — the step schedule
+// (classic ddmin), the program source (line chunks, parse-guarded), the
+// input environments, and the trailing values inside each environment —
+// repeating the passes to a fixpoint.
+//
+// The failure predicate is injected so unit tests can shrink against a
+// synthetic predicate; production callers use StillFails (replay fails for
+// any reason) or a predicate pinning the original failure message.
+#ifndef PIVOT_ORACLE_SHRINKER_H_
+#define PIVOT_ORACLE_SHRINKER_H_
+
+#include <functional>
+
+#include "pivot/oracle/fuzzcase.h"
+
+namespace pivot {
+
+// Returns true when `c` should be kept during shrinking (i.e. it still
+// exhibits the failure of interest).
+using FailurePredicate = std::function<bool(const FuzzCase&)>;
+
+// The default predicate: replay reports any oracle failure.
+bool StillFails(const FuzzCase& c);
+
+struct ShrinkStats {
+  int predicate_calls = 0;
+  int steps_removed = 0;
+  int source_lines_removed = 0;
+  int inputs_removed = 0;
+  int rounds = 0;
+};
+
+// Requires fails(c) to hold on entry (checked; returns `c` unchanged if
+// not). The result is 1-minimal per pass: removing any single step, source
+// line or input env from it makes the failure disappear.
+FuzzCase ShrinkFuzzCase(const FuzzCase& c, const FailurePredicate& fails,
+                        ShrinkStats* stats = nullptr);
+
+}  // namespace pivot
+
+#endif  // PIVOT_ORACLE_SHRINKER_H_

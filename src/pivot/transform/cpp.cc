@@ -86,7 +86,16 @@ class Cpp final : public Transformation {
       return (def->attached || ConsumedByLiveTransformation(journal, *def)) &&
              (use->attached || ConsumedByLiveTransformation(journal, *use));
     }
-    if (!IsCopyDef(*def) || def->lhs->name != rec.site.var) return false;
+    if (def->lhs == nullptr || def->lhs->name != rec.site.var) return false;
+    if (def->rhs != nullptr &&
+        RewrittenByLiveTransformation(journal, rec.stamp, *def->rhs)) {
+      // The copy's rhs was rewritten in place by a later live
+      // transformation (e.g. CTP propagating a constant into it); the
+      // value argument is owned by that transformation's conditions while
+      // it stays live, and undoing it restores the copy form.
+      return true;
+    }
+    if (!IsCopyDef(*def)) return false;
     // The substituted name must still be the copy's source.
     const ActionRecord& modify = journal.record(rec.actions.at(0));
     const Expr* substituted = p.FindExpr(modify.new_expr);

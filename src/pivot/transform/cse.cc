@@ -118,14 +118,19 @@ class Cse final : public Transformation {
              (target->attached ||
               ConsumedByLiveTransformation(journal, *target));
     }
-    if (!IsCseSource(*source) || source->lhs->name != rec.site.var) {
+    if (source->kind != StmtKind::kAssign || source->lhs == nullptr ||
+        source->rhs == nullptr || source->lhs->name != rec.site.var) {
       return false;
     }
     // The source must still compute the very expression that was replaced
-    // (owned by the live Modify action).
+    // (owned by the live Modify action) — unless a later live
+    // transformation rewrote it in place, in which case the value argument
+    // is owned by that transformation's own conditions.
     const ActionRecord& modify = journal.record(rec.actions.at(0));
-    if (modify.replaced == nullptr ||
-        !ExprEquals(*source->rhs, *modify.replaced)) {
+    if (modify.replaced == nullptr) return false;
+    if (!RewrittenByLiveTransformation(journal, rec.stamp, *source->rhs) &&
+        (!IsCseSource(*source) ||
+         !ExprEquals(*source->rhs, *modify.replaced))) {
       return false;
     }
     return ReachesIntact(a.cfg(), a.facts(), *source, *target,

@@ -8,11 +8,104 @@
 //           when the original location's context is deleted or copied
 //           (checked by the journal's location machinery).
 #include "pivot/ir/printer.h"
+#include "pivot/ir/stmt.h"
 #include "pivot/support/diagnostics.h"
 #include "pivot/transform/all_transforms.h"
 
 namespace pivot {
 namespace {
+
+// Does this expression root carry a live, later, non-edit Modify
+// annotation — i.e. was it written by a transformation applied after
+// `stamp` that is still in effect?
+bool OwnedModifyAt(const Journal& journal, OrderStamp stamp, const Expr& e) {
+  for (const Annotation& anno : journal.annotations().OfExpr(e.id)) {
+    if (anno.kind != ActionKind::kModify) continue;
+    if (anno.stamp <= stamp || journal.IsEditStamp(anno.stamp)) continue;
+    if (journal.record(anno.action).undone) continue;
+    return true;
+  }
+  return false;
+}
+
+// A read of `var` inside `e` that is *not* under a later live Modify
+// replacement is genuine; reads that only exist inside such replacements
+// are owned by the transformation that wrote them.
+bool GenuineReadIn(const Journal& journal, OrderStamp stamp,
+                   const std::string& var, const Expr& e, bool owned) {
+  owned = owned || OwnedModifyAt(journal, stamp, e);
+  if (e.kind == ExprKind::kVarRef && e.name == var && !owned) return true;
+  for (const auto& kid : e.kids) {
+    if (GenuineReadIn(journal, stamp, var, *kid, owned)) return true;
+  }
+  return false;
+}
+
+// The expression trees this statement reads (rhs, target subscripts, loop
+// bounds, condition) — the write position itself is excluded.
+std::vector<const Expr*> ReadRoots(const Stmt& s) {
+  std::vector<const Expr*> roots;
+  if (s.lhs != nullptr) {
+    for (const auto& sub : s.lhs->kids) roots.push_back(sub.get());
+  }
+  for (const ExprPtr* slot :
+       {&s.rhs, &s.lo, &s.hi, &s.step, &s.cond}) {
+    if (*slot != nullptr) roots.push_back(slot->get());
+  }
+  return roots;
+}
+
+// A full (scalar) redefinition of `var` kills the path; array-element
+// stores and everything else do not.
+bool KillsVar(const Stmt& s, const std::string& var) {
+  if (s.kind == StmtKind::kDo) return s.loop_var == var;
+  if ((s.kind == StmtKind::kAssign || s.kind == StmtKind::kRead) &&
+      s.lhs != nullptr && s.lhs->kind == ExprKind::kVarRef &&
+      s.lhs->kids.empty()) {
+    return s.lhs->name == var;
+  }
+  return false;
+}
+
+// `var` is live at the deleted store's location. Attribute that liveness:
+// walk forward over the CFG from the location; a read of `var` reached
+// without an intervening full redefinition that was not introduced by a
+// later live transformation's rewrite makes the deletion genuinely unsafe.
+// Reads that only exist inside later live Modify replacements (e.g. CSE
+// rewriting a downstream rhs into a reference of this store's target) are
+// owned by those transformations: their legality conditions guarantee the
+// value they read, and their inverses remove the reads again — while they
+// stay live the deletion still preserves semantics.
+bool GenuineUseReachable(AnalysisCache& a, const Journal& journal,
+                         const TransformRecord& rec, Stmt& from) {
+  const Cfg& cfg = a.cfg();
+  const int start = cfg.NodeOf(from);
+  std::vector<bool> seen(cfg.size(), false);
+  std::vector<int> queue{start};
+  seen[static_cast<std::size_t>(start)] = true;
+  while (!queue.empty()) {
+    const int n = queue.back();
+    queue.pop_back();
+    const CfgNode& node = cfg.nodes[static_cast<std::size_t>(n)];
+    if (node.kind == CfgNode::Kind::kStmt) {
+      const Stmt& s = *node.stmt;
+      for (const Expr* root : ReadRoots(s)) {
+        if (GenuineReadIn(journal, rec.stamp, rec.site.var, *root,
+                          /*owned=*/false)) {
+          return true;
+        }
+      }
+      if (KillsVar(s, rec.site.var)) continue;
+    }
+    for (int succ : node.succs) {
+      if (!seen[static_cast<std::size_t>(succ)]) {
+        seen[static_cast<std::size_t>(succ)] = true;
+        queue.push_back(succ);
+      }
+    }
+  }
+  return false;
+}
 
 class Dce final : public Transformation {
  public:
@@ -22,7 +115,10 @@ class Dce final : public Transformation {
     std::vector<Opportunity> ops;
     const Liveness& live = a.liveness();
     a.program().ForEachAttached([&](Stmt& s) {
-      if (live.IsDeadStore(s)) {
+      // A dead store whose RHS or target subscripts may trap is not
+      // removable: the original trace ends at the trap while the
+      // transformed program keeps running (speculative deletion).
+      if (live.IsDeadStore(s) && !StmtCanTrap(s)) {
         Opportunity op;
         op.kind = kind();
         op.s1 = s.id;
@@ -35,7 +131,8 @@ class Dce final : public Transformation {
 
   bool Applicable(AnalysisCache& a, const Opportunity& op) const override {
     Stmt* s = a.program().FindStmt(op.s1);
-    return s != nullptr && s->attached && a.liveness().IsDeadStore(*s);
+    return s != nullptr && s->attached && a.liveness().IsDeadStore(*s) &&
+           !StmtCanTrap(*s);
   }
 
   void Apply(AnalysisCache& a, Journal& journal, const Opportunity& op,
@@ -56,7 +153,12 @@ class Dce final : public Transformation {
       // reversibility analysis owns this case.
       return true;
     }
-    return !LiveAtLocation(a, *resolved, rec.site.var);
+    if (!LiveAtLocation(a, *resolved, rec.site.var)) return true;
+    // Live — but only genuinely unsafe when some reaching use was not
+    // introduced by a later live transformation (see GenuineUseReachable).
+    Stmt* at = StmtAtLocation(a.program(), *resolved);
+    if (at == nullptr) return true;
+    return !GenuineUseReachable(a, journal, rec, *at);
   }
 };
 

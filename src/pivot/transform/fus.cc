@@ -95,6 +95,11 @@ class Fus final : public Transformation {
     if (!fused->attached || fused->kind != StmtKind::kDo) {
       return LaterLiveTransformTouched(journal, rec, sites);
     }
+    // The half-split below reads the recorded moved-statement ids out of
+    // the current body; once a later live transformation rebuilt the body
+    // (LUR cloning it, DCE pruning it, ...) the halves are no longer
+    // reconstructible from the text and the question is owned there.
+    if (LaterLiveTransformRestructured(journal, rec, sites)) return true;
     // Split the fused body into the original halves: the moved statements
     // (recorded ids) form the second half.
     std::vector<Stmt*> half1, half2;

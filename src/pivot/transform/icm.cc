@@ -84,6 +84,20 @@ class Icm final : public Transformation {
         stmt->lhs->name != rec.site.var) {
       return false;
     }
+    // A later edit could have rewritten the hoisted statement into a
+    // fault-capable form; the speculation-safety argument then no longer
+    // holds and the hoist must be reported unsafe.
+    if (StmtCanTrap(*stmt)) return false;
+    // A later live transformation that restructured the surroundings (SMI
+    // wrapping the loop, LUR rebuilding its body, FUS absorbing it, ...)
+    // owns the placement and trip-count questions while it stays live; the
+    // recorded shape is no longer re-derivable from the text, and undoing
+    // the restructurer re-checks this record through its (conservative)
+    // interaction row.
+    if (LaterLiveTransformRestructured(journal, rec,
+                                       {rec.site.s1, rec.site.s2})) {
+      return true;
+    }
     // Still directly before the loop, in the same body.
     if (stmt->parent != loop->parent ||
         stmt->parent_body != loop->parent_body) {

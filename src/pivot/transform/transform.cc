@@ -171,21 +171,34 @@ double ConstValue(const Expr& e) {
   return e.kind == ExprKind::kIntConst ? static_cast<double>(e.ival) : e.rval;
 }
 
+Stmt* StmtAtLocation(Program& program, const ResolvedLocation& loc) {
+  // Note the CFG's if node is the *condition*, so its LiveOut is the union
+  // over the branch heads — not the live set after the whole if; the
+  // end-of-branch case must instead continue at the slot after the if,
+  // recursively.
+  Stmt* parent = loc.parent;
+  BodyKind body = loc.body;
+  std::size_t index = loc.index;
+  while (true) {
+    const std::vector<StmtPtr>& list = program.BodyListOf(parent, body);
+    if (index < list.size()) return list[index].get();
+    if (parent == nullptr) return nullptr;  // end of the program
+    if (parent->kind == StmtKind::kDo) {
+      // End of a loop body: control flows back to the do node.
+      return parent;
+    }
+    // End of an if branch: whatever runs after the whole if.
+    Stmt* enclosing = parent->parent;
+    body = parent->parent_body;
+    index = program.IndexOf(*parent) + 1;
+    parent = enclosing;
+  }
+}
+
 bool LiveAtLocation(AnalysisCache& a, const ResolvedLocation& loc,
                     const std::string& name) {
-  Program& program = a.program();
-  const std::vector<StmtPtr>& list =
-      program.BodyListOf(loc.parent, loc.body);
-  if (loc.index < list.size()) {
-    return a.liveness().LiveIn(*list[loc.index], name);
-  }
-  if (loc.parent == nullptr) return false;  // end of the program
-  if (loc.parent->kind == StmtKind::kDo) {
-    // End of a loop body: control flows back to the do node.
-    return a.liveness().LiveIn(*loc.parent, name);
-  }
-  // End of an if branch: whatever is live after the if.
-  return a.liveness().LiveOut(*loc.parent, name);
+  Stmt* at = StmtAtLocation(a.program(), loc);
+  return at != nullptr && a.liveness().LiveIn(*at, name);
 }
 
 bool ConsumedByLiveTransformation(const Journal& journal, const Stmt& stmt) {
@@ -194,9 +207,28 @@ bool ConsumedByLiveTransformation(const Journal& journal, const Stmt& stmt) {
   return holder != nullptr && !journal.IsEditStamp(holder->stamp);
 }
 
-bool LaterLiveTransformTouched(const Journal& journal,
-                               const TransformRecord& rec,
-                               const std::vector<StmtId>& sites) {
+bool RewrittenByLiveTransformation(const Journal& journal, OrderStamp stamp,
+                                   const Expr& root) {
+  bool rewritten = false;
+  ForEachExpr(root, [&](const Expr& e) {
+    if (rewritten) return;
+    for (const Annotation& anno : journal.annotations().OfExpr(e.id)) {
+      if (anno.kind != ActionKind::kModify) continue;
+      if (anno.stamp <= stamp || journal.IsEditStamp(anno.stamp)) continue;
+      if (journal.record(anno.action).undone) continue;
+      rewritten = true;
+      return;
+    }
+  });
+  return rewritten;
+}
+
+namespace {
+
+bool LaterLiveActionOnSites(const Journal& journal,
+                            const TransformRecord& rec,
+                            const std::vector<StmtId>& sites,
+                            bool structural_only) {
   const Program& program = journal.program();
   std::vector<const Stmt*> site_stmts;
   for (StmtId id : sites) {
@@ -206,11 +238,12 @@ bool LaterLiveTransformTouched(const Journal& journal,
   for (const ActionRecord& action : journal.records()) {
     if (action.undone || action.stamp <= rec.stamp) continue;
     if (journal.IsEditStamp(action.stamp)) continue;
-    const StmtId target_id =
-        action.kind == ActionKind::kCopy ? action.copy
-        : action.kind == ActionKind::kModify && action.saved_header == nullptr
-            ? action.expr_owner
-            : action.stmt;
+    const bool plain_expr_modify =
+        action.kind == ActionKind::kModify && action.saved_header == nullptr;
+    if (structural_only && plain_expr_modify) continue;
+    const StmtId target_id = action.kind == ActionKind::kCopy ? action.copy
+                             : plain_expr_modify ? action.expr_owner
+                                                 : action.stmt;
     const Stmt* target = program.FindStmt(target_id);
     if (target == nullptr) continue;
     for (const Stmt* site : site_stmts) {
@@ -220,6 +253,22 @@ bool LaterLiveTransformTouched(const Journal& journal,
     }
   }
   return false;
+}
+
+}  // namespace
+
+bool LaterLiveTransformTouched(const Journal& journal,
+                               const TransformRecord& rec,
+                               const std::vector<StmtId>& sites) {
+  return LaterLiveActionOnSites(journal, rec, sites,
+                                /*structural_only=*/false);
+}
+
+bool LaterLiveTransformRestructured(const Journal& journal,
+                                    const TransformRecord& rec,
+                                    const std::vector<StmtId>& sites) {
+  return LaterLiveActionOnSites(journal, rec, sites,
+                                /*structural_only=*/true);
 }
 
 bool CreatedByLaterLiveTransform(const Journal& journal,

@@ -140,6 +140,12 @@ ExprPtr MakeConstForValue(double value);
 // The numeric value of a constant literal.
 double ConstValue(const Expr& e);
 
+// The statement control reaches from the slot described by `loc`: the
+// statement at the slot, or — at the end of a body — the do node (back
+// edge) or the statement after the enclosing if, recursively. Null at the
+// end of the program.
+Stmt* StmtAtLocation(Program& program, const ResolvedLocation& loc);
+
 // Is `name` live at the program point described by `loc` (the point a
 // deleted statement would be restored to)? Drives the DCE safety check:
 // dead code stays removable exactly while its target is dead there.
@@ -158,6 +164,16 @@ bool CanFoldSafely(const Expr& e);
 // the consumed case.
 bool ConsumedByLiveTransformation(const Journal& journal, const Stmt& stmt);
 
+// The expression analogue: a pre-pattern expression that no longer matches
+// its recorded form was rewritten in place by a *later live* Modify action
+// (e.g. CTP propagating a constant into a CSE source). The rewriter's own
+// safety conditions guarantee value preservation while it stays live, and
+// its inverse restores the recorded form — so the mismatch is owned, not a
+// violation. True when any node under `root` carries a live, later,
+// non-edit Modify annotation.
+bool RewrittenByLiveTransformation(const Journal& journal, OrderStamp stamp,
+                                   const Expr& root);
+
 // The structural analogue: a restructuring transformation's site (its
 // loops) no longer matches its post-shape because a *later live
 // transformation* legitimately rebuilt it (SMI wrapped the loop, LUR
@@ -167,6 +183,17 @@ bool ConsumedByLiveTransformation(const Journal& journal, const Stmt& stmt);
 bool LaterLiveTransformTouched(const Journal& journal,
                                const TransformRecord& rec,
                                const std::vector<StmtId>& sites);
+
+// Narrower variant: only *statement-structure* actions count (delete,
+// copy, move, add, loop-header modify) — plain expression rewrites do not.
+// A restructuring transformation whose recorded shape is still intact but
+// whose statement composition was rebuilt by a later live transformation
+// (e.g. LUR unrolling a fused loop) cannot re-derive its original
+// conditions from the current text; the legality question is owned by the
+// restructurer while it stays live.
+bool LaterLiveTransformRestructured(const Journal& journal,
+                                    const TransformRecord& rec,
+                                    const std::vector<StmtId>& sites);
 
 // True when `stmt` lives inside a subtree *created* (copied or added) by a
 // later live, non-edit transformation — e.g. LUR's clone of a strip-mined

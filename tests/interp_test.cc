@@ -89,11 +89,57 @@ TEST(Interp, ShortCircuitLogic) {
             (std::vector<double>{0}));
 }
 
-TEST(Interp, DivisionByZeroIsError) {
-  Program p = Parse("z = 0\nwrite 1 / z");
+TEST(Interp, DivisionByZeroIsRecoverableTrap) {
+  // A trap is not a hard failure: the run is ok, the output prefix up to
+  // the faulting statement is kept, and the trap kind is reported.
+  Program p = Parse("z = 0\nwrite 7\nwrite 1 / z\nwrite 9");
   InterpResult r = pivot::Run(p);
-  EXPECT_FALSE(r.ok);
-  EXPECT_NE(r.error.find("division by zero"), std::string::npos);
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.trapped());
+  EXPECT_EQ(r.trap, TrapKind::kDivByZero);
+  EXPECT_EQ(r.output, (std::vector<double>{7}));
+}
+
+TEST(Interp, ModuloByZeroIsRecoverableTrap) {
+  Program p = Parse("z = 0\nx = 5 % z\nwrite x");
+  InterpResult r = pivot::Run(p);
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.trap, TrapKind::kModByZero);
+  EXPECT_TRUE(r.output.empty());
+}
+
+TEST(Interp, ShortCircuitSuppressesTrap) {
+  // The short-circuit .and./.or. must skip the trapping divisor entirely,
+  // so the run completes untrapped.
+  Program p = Parse(
+      "z = 0\n"
+      "if (z > 0 .and. 1 / z > 0) then\n  w = 1\nendif\n"
+      "if (1 > 0 .or. 1 % z > 0) then\n  w = w + 2\nendif\n"
+      "write w");
+  InterpResult r = pivot::Run(p);
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.trap, TrapKind::kNone);
+  EXPECT_EQ(r.output, (std::vector<double>{2}));
+}
+
+TEST(Interp, NonShortCircuitPathStillTraps) {
+  // When the LHS of .and. is true the RHS is evaluated and may trap.
+  Program p = Parse("z = 0\nif (1 > 0 .and. 1 / z > 0) then\n  w = 1\nendif\n"
+                    "write w");
+  InterpResult r = pivot::Run(p);
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.trap, TrapKind::kDivByZero);
+}
+
+TEST(Interp, SameBehaviorComparesTraps) {
+  // Identical outputs but differing trap behavior must not count as equal.
+  Program traps = Parse("z = 0\nwrite 1\nx = 1 / z");
+  Program clean = Parse("write 1");
+  Program traps_mod = Parse("z = 0\nwrite 1\nx = 1 % z");
+  Program traps_too = Parse("z = 0\nwrite 1\ny = 2 / z");
+  EXPECT_FALSE(SameBehavior(traps, clean));
+  EXPECT_FALSE(SameBehavior(traps, traps_mod));
+  EXPECT_TRUE(SameBehavior(traps, traps_too));
 }
 
 TEST(Interp, StepZeroIsError) {
@@ -133,6 +179,24 @@ TEST_P(RandomPrograms, GeneratedProgramsAreValidAndRunnable) {
   const InterpResult r = pivot::Run(p, io);
   EXPECT_TRUE(r.ok) << r.error;
   EXPECT_FALSE(r.output.empty());
+}
+
+TEST_P(RandomPrograms, DivisionFragmentsAreValidAndComparable) {
+  RandomProgramOptions opts;
+  opts.seed = GetParam();
+  opts.division_bias = 0.4;
+  opts.target_stmts = 40;
+  Program p = GenerateRandomProgram(opts);
+  ExpectValid(p);
+  // A zero in input position 1 makes the divisor zero: the trap paths are
+  // live, and the run must still be ok (recoverable trap, not a failure).
+  InterpOptions io;
+  io.input = {1.5, 0.0};
+  const InterpResult r = pivot::Run(p, io);
+  EXPECT_TRUE(r.ok) << r.error;
+  // The generator stays deterministic with the bias on.
+  Program q = GenerateRandomProgram(opts);
+  EXPECT_TRUE(Program::Equals(p, q));
 }
 
 TEST_P(RandomPrograms, GenerationIsDeterministic) {

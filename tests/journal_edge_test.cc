@@ -168,6 +168,77 @@ TEST(Journal, InvertRefusesWhenBlocked) {
   EXPECT_THROW(j.Invert(del_x), InternalError);
 }
 
+// --- blocked-edge semantics: a blocker that is itself undone no longer
+// blocks (the record is kept with kind kInvert, but IsLaterLive must skip
+// it), so CanInvert re-reports Ok() rather than a stale Blocked ---
+
+TEST(Journal, DeleteUnblockedWhenBlockingDeleteUndone) {
+  Program p = Parse("do i = 1, 2\n  x = i\n  x = 2\n  a(i) = x\nenddo");
+  const std::string original = ToSource(p);
+  Journal j(p);
+  const ActionId del_x = j.Delete(*p.top()[0]->body[0], 1);
+  const ActionId del_loop = j.Delete(*p.top()[0], 2);
+  ASSERT_FALSE(j.CanInvert(del_x).ok);
+  EXPECT_EQ(j.CanInvert(del_x).blocker, &j.record(del_loop));
+
+  j.Invert(del_loop);
+  const InvertCheck check = j.CanInvert(del_x);
+  EXPECT_TRUE(check.ok) << check.reason;
+  j.Invert(del_x);
+  EXPECT_EQ(ToSource(p), original);
+  ExpectValid(p);
+}
+
+TEST(Journal, ModifyUnblockedWhenLaterModifyUndone) {
+  Program p = Parse("x = a + b\nwrite x");
+  const std::string original = ToSource(p);
+  Journal j(p);
+  const ActionId m1 = j.Modify(*p.top()[0]->rhs, ParseExpr("c + d"), 1);
+  const ActionId m2 = j.Modify(*p.top()[0]->rhs, ParseExpr("9"), 2);
+  ASSERT_FALSE(j.CanInvert(m1).ok);
+
+  j.Invert(m2);
+  const InvertCheck check = j.CanInvert(m1);
+  EXPECT_TRUE(check.ok) << check.reason;
+  j.Invert(m1);
+  EXPECT_EQ(ToSource(p), original);
+  ExpectValid(p);
+}
+
+TEST(Journal, MoveUnblockedWhenSecondMoveUndone) {
+  Program p = Parse("a = 1\nb = 2\nc = 3");
+  const std::string original = ToSource(p);
+  Journal j(p);
+  Stmt* a = p.top()[0].get();
+  const ActionId mv1 = j.Move(*a, nullptr, BodyKind::kMain, 2, 1);
+  const ActionId mv2 = j.Move(*a, nullptr, BodyKind::kMain, 0, 2);
+  ASSERT_FALSE(j.CanInvert(mv1).ok);
+
+  j.Invert(mv2);
+  const InvertCheck check = j.CanInvert(mv1);
+  EXPECT_TRUE(check.ok) << check.reason;
+  j.Invert(mv1);
+  EXPECT_EQ(ToSource(p), original);
+  ExpectValid(p);
+}
+
+TEST(Journal, CopyUnblockedWhenCopyDeletionUndone) {
+  Program p = Parse("a = 1\nwrite a");
+  const std::string original = ToSource(p);
+  Journal j(p);
+  const ActionId cp = j.Copy(*p.top()[0], nullptr, BodyKind::kMain, 2, 1);
+  Stmt* copy = p.top()[2].get();
+  const ActionId del = j.Delete(*copy, 2);
+  ASSERT_FALSE(j.CanInvert(cp).ok);
+
+  j.Invert(del);
+  const InvertCheck check = j.CanInvert(cp);
+  EXPECT_TRUE(check.ok) << check.reason;
+  j.Invert(cp);
+  EXPECT_EQ(ToSource(p), original);
+  ExpectValid(p);
+}
+
 TEST(Journal, DoubleInvertRefused) {
   Program p = Parse("a = 1\nb = 2");
   Journal j(p);

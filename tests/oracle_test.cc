@@ -1,0 +1,233 @@
+// Unit tests for the differential-oracle subsystem: fuzz-case
+// serialization, the semantics/structural oracles, the delta-debugging
+// shrinker (against synthetic predicates), and a replay of every persisted
+// corpus repro under tests/corpus/ — each of which is a shrunk schedule
+// that once exposed a real bug and must keep replaying clean.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "pivot/ir/parser.h"
+#include "pivot/ir/printer.h"
+#include "pivot/oracle/fuzzcase.h"
+#include "pivot/oracle/oracle.h"
+#include "pivot/oracle/shrinker.h"
+#include "pivot/support/fault_injector.h"
+
+namespace pivot {
+namespace {
+
+FuzzCase SampleCase() {
+  FuzzCase c;
+  c.source = "s0 = 1\ns1 = s0 + 2\nwrite s1\n";
+  c.inputs = {{4.0, 0.0}, {1.5}};
+  c.undo_shuffle_seed = 99;
+  FuzzStep apply;
+  apply.kind = FuzzStep::Kind::kApply;
+  apply.transform = TransformKind::kCtp;
+  apply.op_index = 3;
+  FuzzStep undo;
+  undo.kind = FuzzStep::Kind::kUndo;
+  undo.undo_index = 1;
+  FuzzStep fault_apply;
+  fault_apply.kind = FuzzStep::Kind::kFaultApply;
+  fault_apply.transform = TransformKind::kFus;
+  fault_apply.op_index = 0;
+  fault_apply.fault_countdown = 2;
+  FuzzStep fault_undo;
+  fault_undo.kind = FuzzStep::Kind::kFaultUndo;
+  fault_undo.undo_index = 2;
+  fault_undo.fault_countdown = 5;
+  c.steps = {apply, undo, fault_apply, fault_undo};
+  return c;
+}
+
+TEST(FuzzCaseSerialization, RoundTripsEveryStepKind) {
+  const FuzzCase original = SampleCase();
+  const std::string text = SerializeFuzzCase(original);
+  FuzzCase parsed;
+  std::string error;
+  ASSERT_TRUE(DeserializeFuzzCase(text, &parsed, &error)) << error;
+  EXPECT_EQ(original, parsed);
+}
+
+TEST(FuzzCaseSerialization, RejectsUnknownTransform) {
+  FuzzCase parsed;
+  std::string error;
+  EXPECT_FALSE(DeserializeFuzzCase("step apply XYZ 0\nsource\ns0 = 1\n",
+                                   &parsed, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(FuzzCaseSerialization, RejectsMissingSource) {
+  FuzzCase parsed;
+  std::string error;
+  EXPECT_FALSE(DeserializeFuzzCase("seed 7\n", &parsed, &error));
+}
+
+TEST(FuzzCaseGeneration, IsDeterministic) {
+  const FuzzCase a = GenerateFuzzCase(42);
+  const FuzzCase b = GenerateFuzzCase(42);
+  EXPECT_EQ(a, b);
+  const FuzzCase c = GenerateFuzzCase(43);
+  EXPECT_NE(a, c);
+}
+
+TEST(SemanticsOracleTest, AcceptsIdenticalBehaviour) {
+  Program p = Parse("s0 = 1\nwrite s0 + 2\n");
+  SemanticsOracle oracle(p, DefaultOracleInputs());
+  EXPECT_EQ("", oracle.Check(p));
+}
+
+TEST(SemanticsOracleTest, CatchesChangedOutput) {
+  Program p = Parse("write 3\n");
+  SemanticsOracle oracle(p, DefaultOracleInputs());
+  Program q = Parse("write 4\n");
+  EXPECT_NE("", oracle.Check(q));
+}
+
+TEST(SemanticsOracleTest, TrapKindIsObservableBehaviour) {
+  // Env 0 of the default family drives the divisor slot to zero: the
+  // division program traps there, the constant program does not.
+  Program traps = Parse("read s1\nwrite 7 / s1\n");
+  SemanticsOracle oracle(traps, DefaultOracleInputs());
+  Program silent = Parse("read s1\nwrite 7\n");
+  EXPECT_NE("", oracle.Check(silent));
+}
+
+TEST(StructuralOracleTest, RestoredAndConverged) {
+  Program p = Parse("s0 = 1\nwrite s0\n");
+  StructuralOracle oracle(p);
+  Program same = Parse("s0 = 1\nwrite s0\n");
+  EXPECT_EQ("", oracle.CheckRestored(same));
+  Program other = Parse("s0 = 2\nwrite s0\n");
+  EXPECT_NE("", oracle.CheckRestored(other));
+  EXPECT_EQ("", StructuralOracle::CheckConverged(same, p, "a", "b"));
+  const std::string diverged =
+      StructuralOracle::CheckConverged(other, p, "first", "second");
+  EXPECT_NE("", diverged);
+  EXPECT_NE(std::string::npos, diverged.find("first"));
+}
+
+TEST(TextRoundTrip, HoldsForParsedPrograms) {
+  Program p = Parse(
+      "do i = 1, 3\n  if (s0 > 0) then\n    s1 = -2 * i\n  endif\nenddo\n"
+      "write s1\n");
+  EXPECT_EQ("", CheckTextRoundTrip(p));
+}
+
+TEST(ReplayTest, CleanCaseReportsOk) {
+  FuzzCase c;
+  c.source = "s9 = 1\ns0 = s9 + 2\nwrite s0\n";
+  FuzzStep apply;
+  apply.kind = FuzzStep::Kind::kApply;
+  apply.transform = TransformKind::kCtp;
+  apply.op_index = 0;
+  c.steps = {apply};
+  const ReplayResult r = ReplayFuzzCase(c);
+  EXPECT_TRUE(r.ok) << r.failure;
+  EXPECT_EQ(1, r.applied);
+}
+
+TEST(ReplayTest, StepWithNoOpportunityIsSkipped) {
+  FuzzCase c;
+  c.source = "write 1\n";
+  FuzzStep apply;
+  apply.kind = FuzzStep::Kind::kApply;
+  apply.transform = TransformKind::kFus;
+  c.steps = {apply};
+  const ReplayResult r = ReplayFuzzCase(c);
+  EXPECT_TRUE(r.ok) << r.failure;
+  EXPECT_EQ(1, r.skipped);
+}
+
+// --- shrinker against synthetic predicates ---
+
+TEST(ShrinkerTest, MinimizesStepsToThePredicateCore) {
+  FuzzCase c = SampleCase();
+  // "Fails" whenever any FUS step survives: everything else must go.
+  const FailurePredicate has_fus = [](const FuzzCase& k) {
+    for (const FuzzStep& s : k.steps) {
+      if (s.transform == TransformKind::kFus &&
+          (s.kind == FuzzStep::Kind::kApply ||
+           s.kind == FuzzStep::Kind::kFaultApply)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  ShrinkStats stats;
+  const FuzzCase small = ShrinkFuzzCase(c, has_fus, &stats);
+  ASSERT_EQ(1u, small.steps.size());
+  EXPECT_EQ(TransformKind::kFus, small.steps[0].transform);
+  EXPECT_GT(stats.predicate_calls, 0);
+}
+
+TEST(ShrinkerTest, MinimizesSourceLinesParseGuarded) {
+  FuzzCase c;
+  c.source =
+      "s0 = 1\ns1 = 2\ndo i = 1, 3\n  s2 = i\nenddo\nwrite s2\nwrite s0\n";
+  const FailurePredicate mentions_s2 = [](const FuzzCase& k) {
+    return k.source.find("write s2") != std::string::npos;
+  };
+  const FuzzCase small = ShrinkFuzzCase(c, mentions_s2);
+  // 1-minimal: the surviving source still parses and still matches.
+  EXPECT_NE(std::string::npos, small.source.find("write s2"));
+  EXPECT_NO_THROW(Parse(small.source));
+  std::istringstream lines(small.source);
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) ++count;
+  EXPECT_LE(count, 2);
+}
+
+TEST(ShrinkerTest, ReturnsInputUnchangedWhenPredicateAlreadyFails) {
+  const FuzzCase c = SampleCase();
+  const FailurePredicate never = [](const FuzzCase&) { return false; };
+  EXPECT_EQ(c, ShrinkFuzzCase(c, never));
+}
+
+TEST(ShrinkerTest, DropsUnneededInputEnvs) {
+  FuzzCase c = SampleCase();
+  const FailurePredicate nonempty = [](const FuzzCase& k) {
+    return !k.source.empty();
+  };
+  const FuzzCase small = ShrinkFuzzCase(c, nonempty);
+  // The env-minimization pass never drops the last environment (a case
+  // with no envs would silently fall back to the default family).
+  EXPECT_LE(small.inputs.size(), 1u);
+  EXPECT_TRUE(small.steps.empty());
+}
+
+// --- corpus replay: every persisted repro must stay green ---
+
+TEST(CorpusReplay, EveryReproReplaysClean) {
+  const std::filesystem::path dir(PIVOT_CORPUS_DIR);
+  ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+  int replayed = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".fuzzcase") continue;
+    std::ifstream in(entry.path());
+    std::ostringstream text;
+    text << in.rdbuf();
+    FuzzCase c;
+    std::string error;
+    ASSERT_TRUE(DeserializeFuzzCase(text.str(), &c, &error))
+        << entry.path() << ": " << error;
+    FaultInjector::Instance().Reset();
+    const ReplayResult r = ReplayFuzzCase(c);
+    EXPECT_TRUE(r.ok) << entry.path() << " failed at step "
+                      << r.failing_step << ": " << r.failure;
+    ++replayed;
+  }
+  FaultInjector::Instance().Reset();
+  // The corpus ships with the repros of every bug the fuzzer has found;
+  // an empty directory means the compile definition points somewhere
+  // stale.
+  EXPECT_GE(replayed, 16);
+}
+
+}  // namespace
+}  // namespace pivot

@@ -7,8 +7,11 @@
 
 #include <algorithm>
 
+#include <iterator>
+
 #include "pivot/core/session.h"
 #include "pivot/ir/diff.h"
+#include "pivot/ir/parser.h"
 #include "pivot/ir/printer.h"
 #include "pivot/ir/random_program.h"
 #include "pivot/ir/validate.h"
@@ -279,6 +282,163 @@ TEST_P(InterleavedProperty, SessionStaysConsistent) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, InterleavedProperty,
                          ::testing::Values(7, 14, 21, 28, 35, 42, 49, 56, 63, 70, 77, 84));
+
+
+// --- printer <-> parser round-trip ---
+//
+// Over ASTs in canonical literal form (negations of literals folded into
+// the constant, as the parser itself produces), Parse(Print(p)) must give
+// back a structurally identical program with identical printed text. The
+// generator below is deliberately richer than ir/random_program.cc: every
+// binary operator, unary operators over non-literals, negative and
+// non-representable real constants, scientific magnitudes, statement
+// labels, if/else, and do-loops with explicit (also negative) steps.
+
+ExprPtr RoundTripExpr(Rng& rng, int depth) {
+  if (depth <= 0 || rng.Chance(0.35)) {
+    switch (rng.UniformInt(0, 4)) {
+      case 0: return MakeIntConst(rng.UniformInt(-99, 99));
+      case 1: {
+        // Mix awkward reals (non-representable, tiny, huge, negative) with
+        // arbitrary ones.
+        static const double pool[] = {0.1,    -2.5,  1.0 / 3.0, 2.0,
+                                      1e-7,   2.5e30, -0.0,     12345.6789};
+        if (rng.Chance(0.5)) {
+          return MakeRealConst(pool[rng.Index(std::size(pool))]);
+        }
+        return MakeRealConst((rng.UniformReal() - 0.5) * 1e3);
+      }
+      case 2: return MakeVarRef("s" + std::to_string(rng.UniformInt(0, 3)));
+      case 3: {
+        std::vector<ExprPtr> subs;
+        subs.push_back(RoundTripExpr(rng, 0));
+        return MakeArrayRef("arr1", std::move(subs));
+      }
+      default: {
+        std::vector<ExprPtr> subs;
+        subs.push_back(RoundTripExpr(rng, 0));
+        subs.push_back(RoundTripExpr(rng, 0));
+        return MakeArrayRef("m2", std::move(subs));
+      }
+    }
+  }
+  if (rng.Chance(0.15)) {
+    // Unary over a non-literal operand only: Neg(literal) is not canonical
+    // (the parser folds it into the constant).
+    ExprPtr operand = rng.Chance(0.5)
+                          ? MakeVarRef("s" + std::to_string(rng.UniformInt(0, 3)))
+                          : RoundTripExpr(rng, 0);
+    while (IsConst(*operand)) operand = RoundTripExpr(rng, depth - 1);
+    return MakeUnary(rng.Chance(0.5) ? UnOp::kNeg : UnOp::kNot,
+                     std::move(operand));
+  }
+  static const BinOp ops[] = {BinOp::kAdd, BinOp::kSub, BinOp::kMul,
+                              BinOp::kDiv, BinOp::kMod, BinOp::kLt,
+                              BinOp::kLe,  BinOp::kGt,  BinOp::kGe,
+                              BinOp::kEq,  BinOp::kNe,  BinOp::kAnd,
+                              BinOp::kOr};
+  return MakeBinary(ops[rng.Index(std::size(ops))],
+                    RoundTripExpr(rng, depth - 1),
+                    RoundTripExpr(rng, depth - 1));
+}
+
+ExprPtr RoundTripLvalue(Rng& rng) {
+  if (rng.Chance(0.3)) {
+    std::vector<ExprPtr> subs;
+    subs.push_back(RoundTripExpr(rng, 1));
+    return MakeArrayRef("arr1", std::move(subs));
+  }
+  return MakeVarRef("s" + std::to_string(rng.UniformInt(0, 3)));
+}
+
+StmtPtr RoundTripStmt(Rng& rng, int depth) {
+  StmtPtr stmt;
+  const int pick = rng.UniformInt(0, depth > 0 ? 5 : 3);
+  switch (pick) {
+    case 0:
+      stmt = MakeRead(RoundTripLvalue(rng));
+      break;
+    case 1:
+      stmt = MakeWrite(RoundTripExpr(rng, 2));
+      break;
+    case 4: {
+      stmt = MakeIf(RoundTripExpr(rng, 2));
+      stmt->body.push_back(RoundTripStmt(rng, depth - 1));
+      if (rng.Chance(0.5)) {
+        stmt->else_body.push_back(RoundTripStmt(rng, depth - 1));
+      }
+      break;
+    }
+    case 5: {
+      ExprPtr step;
+      if (rng.Chance(0.6)) {
+        step = MakeIntConst(rng.Chance(0.5) ? rng.UniformInt(1, 3)
+                                            : -rng.UniformInt(1, 3));
+      }
+      stmt = MakeDo("i" + std::to_string(rng.UniformInt(0, 1)),
+                    RoundTripExpr(rng, 1), RoundTripExpr(rng, 1),
+                    std::move(step));
+      const int kids = rng.UniformInt(0, 2);
+      for (int k = 0; k < kids; ++k) {
+        stmt->body.push_back(RoundTripStmt(rng, depth - 1));
+      }
+      break;
+    }
+    default:
+      stmt = MakeAssign(RoundTripLvalue(rng), RoundTripExpr(rng, 2));
+      break;
+  }
+  if (rng.Chance(0.25)) stmt->label = static_cast<int>(rng.UniformInt(1, 99));
+  return stmt;
+}
+
+class RoundTripProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoundTripProperty, ParsePrintIsIdentity) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 25; ++iter) {
+    Program p;
+    const int top = static_cast<int>(rng.UniformInt(1, 8));
+    for (int i = 0; i < top; ++i) p.Append(RoundTripStmt(rng, 2));
+    const std::string text = ToSource(p);
+    Program q = Parse(text);
+    ExpectValid(q);
+    EXPECT_TRUE(Program::Equals(p, q))
+        << "reparse changed structure:\n" << text << "\n-- diff --\n"
+        << DiffToString(p, q);
+    EXPECT_EQ(ToSource(q), text) << "second print differs";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripProperty,
+                         ::testing::Values(3, 6, 9, 12, 101, 202, 303, 404));
+
+TEST(RoundTrip, NegativeLiteralFoldsBack) {
+  Program p = Parse("x = 2 * (-5)");
+  const Expr& rhs = *p.top()[0]->rhs;
+  ASSERT_EQ(rhs.kids[1]->kind, ExprKind::kIntConst);
+  EXPECT_EQ(rhs.kids[1]->ival, -5);
+  EXPECT_EQ(ToSource(p), "x = 2 * (-5)\n");
+}
+
+TEST(RoundTrip, IntegralRealKeepsRealKind) {
+  Program p;
+  p.Append(MakeAssign(MakeVarRef("x"), MakeRealConst(2.0)));
+  EXPECT_EQ(ToSource(p), "x = 2.0\n");
+  Program q = Parse(ToSource(p));
+  EXPECT_EQ(q.top()[0]->rhs->kind, ExprKind::kRealConst);
+  EXPECT_TRUE(Program::Equals(p, q));
+}
+
+TEST(RoundTrip, ScientificMagnitudesSurvive) {
+  Program p;
+  p.Append(MakeAssign(MakeVarRef("x"), MakeRealConst(1e-7)));
+  p.Append(MakeAssign(MakeVarRef("y"), MakeRealConst(2.5e30)));
+  p.Append(MakeAssign(MakeVarRef("z"), MakeRealConst(-1.0 / 3.0)));
+  Program q = Parse(ToSource(p));
+  EXPECT_TRUE(Program::Equals(p, q)) << ToSource(p);
+  EXPECT_EQ(ToSource(q), ToSource(p));
+}
 
 }  // namespace
 }  // namespace pivot

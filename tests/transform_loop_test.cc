@@ -68,6 +68,23 @@ TEST(Icm, SafetyViolatedByNewDefBetween) {
                    .CheckSafety(s.analyses(), s.journal(), *rec));
 }
 
+TEST(Icm, RejectsFaultCapableInvariant) {
+  // t = u / v is invariant, but hoisting it above the write in the body
+  // would emit the trap before the loop's first output.
+  Session s(Parse(
+      "read u\nread v\ndo i = 1, 3\n  write i\n  t = u / v\n"
+      "  a(i) = t + i\nenddo\nwrite a(2)"));
+  EXPECT_TRUE(s.FindOpportunities(TransformKind::kIcm).empty());
+}
+
+TEST(Icm, HoistsDivisionByNonzeroLiteral) {
+  // A nonzero literal divisor cannot trap; the hoist stays legal.
+  Session s(Parse(
+      "read u\ndo i = 1, 3\n  t = u / 2\n  a(i) = t + i\nenddo\n"
+      "write a(2)"));
+  ApplyChecked(s, TransformKind::kIcm, {4});
+}
+
 // --- LUR ---
 
 TEST(Lur, UnrollsByTwo) {
@@ -176,6 +193,29 @@ TEST(Fus, SafetyViolatedWhenDependenceAppears) {
                    .CheckSafety(s.analyses(), s.journal(), *rec));
 }
 
+TEST(Fus, RejectsWhenBothBodiesWriteOutput) {
+  // Fusing would interleave the two output streams.
+  Session s(Parse(
+      "do i = 1, 3\n  write i\nenddo\ndo i = 1, 3\n  write i * 10\nenddo"));
+  EXPECT_TRUE(s.FindOpportunities(TransformKind::kFus).empty());
+}
+
+TEST(Fus, RejectsTrapAgainstOtherBodysOutput) {
+  // A trap in the second body originally happens after all of the first
+  // body's output; fused, it would cut that output short.
+  Session s(Parse(
+      "read v\ndo i = 1, 3\n  write i\nenddo\n"
+      "do i = 1, 3\n  b(i) = i / v\nenddo\nwrite b(2)"));
+  EXPECT_TRUE(s.FindOpportunities(TransformKind::kFus).empty());
+}
+
+TEST(Fus, AllowsOutputInOneBodyOnly) {
+  // A single body performing I/O keeps its own order under fusion.
+  Session s(Parse(
+      "do i = 1, 3\n  a(i) = i\nenddo\ndo i = 1, 3\n  write a(i)\nenddo"));
+  ApplyChecked(s, TransformKind::kFus);
+}
+
 // --- INX ---
 
 TEST(Inx, InterchangesTightNest) {
@@ -215,6 +255,21 @@ TEST(Inx, RejectsInnerBoundsDependingOnOuterVar) {
   // Triangular nests are not interchangeable by header swap.
   Session s(Parse(
       "do i = 1, 3\n  do j = i, 4\n    m(i, j) = 1\n  enddo\nenddo"));
+  EXPECT_TRUE(s.FindOpportunities(TransformKind::kInx).empty());
+}
+
+TEST(Inx, RejectsBodyWithOutput) {
+  // Interchange permutes iteration order; any write in the body would be
+  // emitted in a different order.
+  Session s(Parse(
+      "do i = 1, 2\n  do j = 1, 2\n    write m(i, j)\n  enddo\nenddo"));
+  EXPECT_TRUE(s.FindOpportunities(TransformKind::kInx).empty());
+}
+
+TEST(Inx, RejectsFaultCapableBody) {
+  Session s(Parse(
+      "read v\ndo i = 1, 2\n  do j = 1, 2\n    m(i, j) = i / v\n"
+      "  enddo\nenddo\nwrite m(1, 2)"));
   EXPECT_TRUE(s.FindOpportunities(TransformKind::kInx).empty());
 }
 

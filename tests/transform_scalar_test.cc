@@ -76,6 +76,21 @@ TEST(Dce, SafetyViolatedWhenUseAppears) {
                    .CheckSafety(s.analyses(), s.journal(), *rec));
 }
 
+TEST(Dce, KeepsFaultCapableDeadStore) {
+  // The store is dead, but deleting it would erase the possible trap: with
+  // v == 0 the original trace stops at the division.
+  Session s(Parse("read v\nt = 1 / v\nt = 2\nwrite t"));
+  EXPECT_TRUE(s.FindOpportunities(TransformKind::kDce).empty());
+}
+
+TEST(Dce, DeletesDeadStoreWithLiteralDivisor) {
+  // A nonzero literal divisor cannot trap, so the dead store stays
+  // removable.
+  Session s(Parse("t = 1 / 2\nt = 5\nwrite t"));
+  ApplyChecked(s, TransformKind::kDce);
+  EXPECT_EQ(s.Source(), "t = 5\nwrite t\n");
+}
+
 // --- CSE ---
 
 TEST(Cse, PaperPattern) {
@@ -122,6 +137,18 @@ TEST(Cse, SafetyViolatedByInterveningDef) {
   const TransformRecord* rec = s.history().FindByStamp(t);
   EXPECT_FALSE(GetTransformation(TransformKind::kCse)
                    .CheckSafety(s.analyses(), s.journal(), *rec));
+}
+
+TEST(Cse, DivisionReuseIsTrapEquivalent) {
+  // CSE replaces the second evaluation of u / v with a reuse of the first.
+  // The first evaluation reaches the second intact on every path, so the
+  // trap (v == 0) fires at the same point of the trace either way: the
+  // elimination introduces no speculation.
+  Session s(Parse("read u\nread v\nx = u / v\ny = u / v\nwrite x + y"));
+  Program before = s.program().Clone();
+  ASSERT_TRUE(s.ApplyFirst(TransformKind::kCse).has_value());
+  EXPECT_TRUE(SameBehavior(before, s.program(), {8, 2}));
+  EXPECT_TRUE(SameBehavior(before, s.program(), {8, 0}));  // trap case
 }
 
 // --- CTP ---
@@ -191,6 +218,16 @@ TEST(Cpp, BlockedWhenCopyKilled) {
   for (const auto& op : s.FindOpportunities(TransformKind::kCpp)) {
     EXPECT_NE(op.s2, s.program().top()[2]->id);
   }
+}
+
+TEST(Cpp, PropagationKeepsTrapBehavior) {
+  // CPP rewrites the divisor w -> v; w holds v's value wherever the use
+  // was reachable, so the trap condition is untouched.
+  Session s(Parse("read v\nw = v\nx = 1 / w\nwrite x"));
+  Program before = s.program().Clone();
+  ASSERT_TRUE(s.ApplyFirst(TransformKind::kCpp).has_value());
+  EXPECT_TRUE(SameBehavior(before, s.program(), {3}));
+  EXPECT_TRUE(SameBehavior(before, s.program(), {0}));  // trap case
 }
 
 // --- CFO ---

@@ -1,0 +1,204 @@
+// pivot_fuzz — differential fuzz driver for the transform/undo stack.
+//
+// Modes:
+//   pivot_fuzz run [--seeds N] [--steps M] [--start S] [--corpus DIR]
+//       Seed sweep: generate a case per seed, replay it through the full
+//       oracle battery, shrink any failure and (with --corpus) persist the
+//       shrunk repro as DIR/seed<S>.fuzzcase. Exit 1 when anything failed.
+//   pivot_fuzz replay FILE...
+//       Replay corpus files; print each verdict. Exit 1 on any failure.
+//   pivot_fuzz shrink FILE
+//       Re-shrink an existing failing case and print the minimized form.
+//   pivot_fuzz show SEED [STEPS]
+//       Print the generated case for one seed (for corpus curation).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "pivot/oracle/fuzzcase.h"
+#include "pivot/oracle/shrinker.h"
+
+namespace {
+
+using pivot::FuzzCase;
+using pivot::FuzzGenOptions;
+using pivot::ReplayResult;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: pivot_fuzz run [--seeds N] [--steps M] [--start S] "
+               "[--corpus DIR]\n"
+               "       pivot_fuzz replay [-v] FILE...\n"
+               "       pivot_fuzz shrink FILE\n"
+               "       pivot_fuzz show SEED [STEPS]\n");
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+void PrintVerdict(const std::string& label, const ReplayResult& r) {
+  if (r.ok) {
+    std::printf("%-24s ok   applied=%d undone=%d faults=%d skipped=%d "
+                "final_undone=%d\n",
+                label.c_str(), r.applied, r.undone, r.faults_absorbed,
+                r.skipped, r.final_undone);
+  } else {
+    std::printf("%-24s FAIL at step %d:\n%s\n", label.c_str(),
+                r.failing_step, r.failure.c_str());
+  }
+}
+
+int RunSweep(int argc, char** argv) {
+  int seeds = 20;
+  int steps = 60;
+  std::uint64_t start = 1;
+  std::string corpus_dir;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--seeds") {
+      const char* v = next();
+      if (!v) return Usage();
+      seeds = std::atoi(v);
+    } else if (arg == "--steps") {
+      const char* v = next();
+      if (!v) return Usage();
+      steps = std::atoi(v);
+    } else if (arg == "--start") {
+      const char* v = next();
+      if (!v) return Usage();
+      start = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--corpus") {
+      const char* v = next();
+      if (!v) return Usage();
+      corpus_dir = v;
+    } else {
+      return Usage();
+    }
+  }
+
+  FuzzGenOptions gen;
+  gen.num_steps = steps;
+  int failures = 0;
+  for (int i = 0; i < seeds; ++i) {
+    const std::uint64_t seed = start + static_cast<std::uint64_t>(i);
+    const FuzzCase c = pivot::GenerateFuzzCase(seed, gen);
+    const ReplayResult r = pivot::ReplayFuzzCase(c);
+    PrintVerdict("seed " + std::to_string(seed), r);
+    if (r.ok) continue;
+    ++failures;
+    pivot::ShrinkStats st;
+    const FuzzCase small = pivot::ShrinkFuzzCase(c, pivot::StillFails, &st);
+    std::printf("  shrunk in %d predicate calls: %d steps, %zu source "
+                "lines, %zu input envs\n",
+                st.predicate_calls, static_cast<int>(small.steps.size()),
+                static_cast<std::size_t>(
+                    std::count(small.source.begin(), small.source.end(),
+                               '\n')),
+                small.inputs.size());
+    if (!corpus_dir.empty()) {
+      const std::string path =
+          corpus_dir + "/seed" + std::to_string(seed) + ".fuzzcase";
+      std::ofstream out(path, std::ios::binary);
+      out << pivot::SerializeFuzzCase(small);
+      std::printf("  repro written to %s\n", path.c_str());
+    } else {
+      std::printf("--- shrunk repro ---\n%s",
+                  pivot::SerializeFuzzCase(small).c_str());
+    }
+  }
+  std::printf("%d/%d seeds ok\n", seeds - failures, seeds);
+  return failures == 0 ? 0 : 1;
+}
+
+int Replay(int argc, char** argv) {
+  if (argc == 0) return Usage();
+  bool verbose = false;
+  int failures = 0;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-v") == 0) {
+      verbose = true;
+      continue;
+    }
+    std::string text;
+    if (!ReadFile(argv[i], &text)) {
+      std::fprintf(stderr, "cannot read %s\n", argv[i]);
+      ++failures;
+      continue;
+    }
+    FuzzCase c;
+    std::string error;
+    if (!pivot::DeserializeFuzzCase(text, &c, &error)) {
+      std::fprintf(stderr, "%s: %s\n", argv[i], error.c_str());
+      ++failures;
+      continue;
+    }
+    const ReplayResult r =
+        pivot::ReplayFuzzCase(c, verbose ? &std::cout : nullptr);
+    PrintVerdict(argv[i], r);
+    if (!r.ok) ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int Shrink(int argc, char** argv) {
+  if (argc != 1) return Usage();
+  std::string text;
+  if (!ReadFile(argv[0], &text)) {
+    std::fprintf(stderr, "cannot read %s\n", argv[0]);
+    return 1;
+  }
+  FuzzCase c;
+  std::string error;
+  if (!pivot::DeserializeFuzzCase(text, &c, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  if (pivot::ReplayFuzzCase(c).ok) {
+    std::fprintf(stderr, "case replays clean; nothing to shrink\n");
+    return 1;
+  }
+  pivot::ShrinkStats st;
+  const FuzzCase small = pivot::ShrinkFuzzCase(c, pivot::StillFails, &st);
+  std::printf("%s", pivot::SerializeFuzzCase(small).c_str());
+  std::fprintf(stderr, "shrunk in %d predicate calls (%d rounds)\n",
+               st.predicate_calls, st.rounds);
+  return 0;
+}
+
+int Show(int argc, char** argv) {
+  if (argc < 1 || argc > 2) return Usage();
+  FuzzGenOptions gen;
+  if (argc == 2) gen.num_steps = std::atoi(argv[1]);
+  const FuzzCase c =
+      pivot::GenerateFuzzCase(std::strtoull(argv[0], nullptr, 10), gen);
+  std::printf("%s", pivot::SerializeFuzzCase(c).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string mode = argv[1];
+  if (mode == "run") return RunSweep(argc - 2, argv + 2);
+  if (mode == "replay") return Replay(argc - 2, argv + 2);
+  if (mode == "shrink") return Shrink(argc - 2, argv + 2);
+  if (mode == "show") return Show(argc - 2, argv + 2);
+  return Usage();
+}
