@@ -13,6 +13,7 @@
 #include "pivot/core/session.h"
 #include "pivot/ir/parser.h"
 #include "pivot/ir/random_program.h"
+#include "pivot/support/benchjson.h"
 
 namespace pivot {
 namespace {
@@ -101,6 +102,7 @@ BENCHMARK(BM_ApplyFigure1Sequence)->Unit(benchmark::kMicrosecond);
 
 int main(int argc, char** argv) {
   pivot::PrintFigure1();
+  if (pivot::BenchSmokeMode()) return 0;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

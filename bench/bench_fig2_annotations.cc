@@ -11,6 +11,7 @@
 #include "pivot/core/session.h"
 #include "pivot/ir/parser.h"
 #include "pivot/ir/random_program.h"
+#include "pivot/support/benchjson.h"
 #include "pivot/support/table.h"
 #include "pivot/transform/catalog.h"
 
@@ -97,6 +98,7 @@ BENCHMARK(BM_AnnotationRender);
 
 int main(int argc, char** argv) {
   pivot::PrintAnnotationShorthand();
+  if (pivot::BenchSmokeMode()) return 0;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

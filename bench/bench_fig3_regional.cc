@@ -180,6 +180,7 @@ int main(int argc, char** argv) {
   pivot::PrintIncrementalInvalidation(json);
   const std::string path = json.WriteFile();
   if (!path.empty()) std::cout << "wrote " << path << '\n';
+  if (pivot::BenchSmokeMode()) return 0;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -21,9 +21,12 @@
 // (on/off), reported as candidate/safety-check counts.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <iostream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "pivot/core/session.h"
 #include "pivot/ir/parser.h"
@@ -67,12 +70,19 @@ int LiveCount(Session& s) {
   return static_cast<int>(s.history().Live().size());
 }
 
+// Full runs sweep to 32 clusters; the bench-smoke ctest entry caps the
+// sweep so every table still prints without the tier-1 run crawling.
+std::vector<int> ClusterSweep() {
+  return BenchSmokeMode() ? std::vector<int>{4, 8}
+                          : std::vector<int>{4, 8, 16, 32};
+}
+
 void PrintScalingTable(BenchJson& json) {
   TextTable table({"clusters", "applied", "independent: undone",
                    "independent: safety checks",
                    "independent: analysis rebuilds",
                    "reverse-suffix: undone", "redo-all: re-applied"});
-  for (int clusters : {4, 8, 16, 32}) {
+  for (int clusters : ClusterSweep()) {
     const std::string src = ClusterSource(clusters);
 
     // Independent order (the paper's algorithm).
@@ -154,11 +164,11 @@ void PrintScalingTable(BenchJson& json) {
 // statement (structural), so the savings concentrate in the many
 // expression-only epochs around it.
 void PrintIncrementalTable(BenchJson& json) {
-  constexpr int kRepeats = 10;
+  const int kRepeats = BenchSmokeMode() ? 2 : 10;
   TextTable table({"clusters", "baseline: rebuilds", "incremental: rebuilds",
                    "baseline: ms", "incremental: ms", "families retained",
                    "facts nodes refreshed"});
-  for (int clusters : {4, 8, 16, 32}) {
+  for (int clusters : ClusterSweep()) {
     const std::string src = ClusterSource(clusters);
     std::uint64_t rebuilds[2] = {0, 0};
     std::uint64_t retained = 0, facts_refreshed = 0;
@@ -186,7 +196,7 @@ void PrintIncrementalTable(BenchJson& json) {
     }
     retained /= kRepeats;
     facts_refreshed /= kRepeats;
-    const auto fmt_ms = [](double total) {
+    const auto fmt_ms = [kRepeats](double total) {
       std::ostringstream os;
       os.precision(3);
       os << std::fixed << total / kRepeats;
@@ -235,6 +245,153 @@ void PrintAblationTable() {
   std::cout << "== ablation: reverse-destroy heuristic x regional "
                "analysis (16 clusters) ==\n"
             << table.Render() << '\n';
+}
+
+// A/B: the region-indexed undo planner (persistent index + one batched
+// UndoSet transaction) against the seed engine (linear history scans,
+// one Undo transaction per stamp) reverting the whole chains of the
+// *earliest* clusters out of a long history. The seed engine pays, per
+// stamp, a full-history linear scan (every later live record gets the
+// exact containment predicate) plus an analysis re-derivation window
+// the moment a restored statement's deferred safety obligation queries
+// liveness/reaching against the just-mutated program. The planner
+// inverts the whole set back to back first (no analysis query
+// interleaves with the mutations), then adjudicates the scans through
+// the index's buckets — one shared analysis window and near-zero
+// candidate enumeration instead of one window and one O(history) walk
+// per stamp.
+// Returns false when the two engines diverge or (outside smoke mode)
+// the 200+-record speedup falls below the 3x acceptance floor.
+//
+// The clusters are nested (one loop per cluster) rather than flat: a
+// restored top-level statement's affected region names its parent block,
+// and at top level that block is the whole program — a region no index
+// can prune. Loop-nested clusters keep each undo's region (and thus the
+// planner's bucket hits) cluster-local, which is the regime the index
+// targets.
+std::string NestedClusterSource(int clusters) {
+  std::ostringstream os;
+  for (int k = 0; k < clusters; ++k) {
+    os << "do i" << k << " = 1, 4\n";
+    os << "  c" << k << " = 1\n";
+    os << "  x" << k << " = c" << k << " + 2\n";
+    os << "  write x" << k << "\n";
+    os << "enddo\n";
+  }
+  return os.str();
+}
+
+bool PrintPlannerTable(BenchJson& json) {
+  const int kRepeats = BenchSmokeMode() ? 1 : 5;
+  const std::vector<int> sizes =
+      BenchSmokeMode() ? std::vector<int>{8} : std::vector<int>{16, 32, 70};
+  bool ok = true;
+  TextTable table({"clusters", "records", "targets", "undone",
+                   "linear: ms", "planner: ms", "speedup",
+                   "candidates (lin/plan)", "rebuilds (lin/plan)",
+                   "identical"});
+  for (int clusters : sizes) {
+    const std::string src = NestedClusterSource(clusters);
+    const int num_chains = clusters < 8 ? clusters : 8;
+    const int num_targets = 3 * num_chains;
+    const auto chain_stamps = [num_chains](const Applied& applied) {
+      std::vector<OrderStamp> stamps;
+      stamps.reserve(static_cast<std::size_t>(3 * num_chains));
+      for (int k = 0; k < num_chains; ++k) {
+        stamps.push_back(applied.ctps[k]);
+        stamps.push_back(applied.cfos[k]);
+        stamps.push_back(applied.dces[k]);
+      }
+      return stamps;
+    };
+    double linear_ms = 0, planner_ms = 0;
+    int linear_undone = 0, planner_undone = 0;
+    UndoStats linear_stats, planner_stats;
+    std::string linear_src, planner_src;
+    for (int rep = 0; rep < kRepeats; ++rep) {
+      {
+        // Seed configuration: no index, one Undo transaction per stamp,
+        // latest first (the order UndoSet adjudicates in).
+        UndoOptions options;
+        options.indexed = false;
+        Session s(Parse(src), options);
+        const Applied applied = ApplyChains(s, clusters);
+        std::vector<OrderStamp> stamps = chain_stamps(applied);
+        std::sort(stamps.begin(), stamps.end(),
+                  [](OrderStamp a, OrderStamp b) { return a > b; });
+        const int before = LiveCount(s);
+        const auto t0 = std::chrono::steady_clock::now();
+        for (const OrderStamp stamp : stamps) {
+          if (s.history().FindByStamp(stamp)->undone) continue;
+          linear_stats += s.Undo(stamp);
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        linear_ms +=
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        linear_undone = before - LiveCount(s);
+        linear_src = s.Source();
+      }
+      {
+        Session s(Parse(src));  // indexed planner is the default
+        const Applied applied = ApplyChains(s, clusters);
+        const std::vector<OrderStamp> targets = chain_stamps(applied);
+        const int before = LiveCount(s);
+        const auto t0 = std::chrono::steady_clock::now();
+        planner_stats += s.UndoSet(targets);
+        const auto t1 = std::chrono::steady_clock::now();
+        planner_ms +=
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        planner_undone = before - LiveCount(s);
+        planner_src = s.Source();
+      }
+    }
+    const bool identical =
+        linear_src == planner_src && linear_undone == planner_undone;
+    ok = ok && identical;
+    const double speedup = planner_ms > 0 ? linear_ms / planner_ms : 0;
+    if (!BenchSmokeMode() && 3 * clusters >= 200 && speedup < 3.0) {
+      std::cerr << "FAIL: planner speedup " << speedup << "x on "
+                << 3 * clusters << " records is below the 3x floor\n";
+      ok = false;
+    }
+    const auto fmt = [](double value) {
+      std::ostringstream os;
+      os.precision(3);
+      os << std::fixed << value;
+      return os.str();
+    };
+    table.AddRow({std::to_string(clusters), std::to_string(3 * clusters),
+                  std::to_string(num_targets),
+                  std::to_string(planner_undone), fmt(linear_ms / kRepeats),
+                  fmt(planner_ms / kRepeats), fmt(speedup),
+                  std::to_string(linear_stats.candidates_total) + "/" +
+                      std::to_string(planner_stats.candidates_total),
+                  std::to_string(linear_stats.analysis_rebuilds) + "/" +
+                      std::to_string(planner_stats.analysis_rebuilds),
+                  identical ? "yes" : "NO"});
+    json.Row()
+        .Str("experiment", "planner_ab")
+        .Int("clusters", static_cast<std::uint64_t>(clusters))
+        .Int("records", static_cast<std::uint64_t>(3 * clusters))
+        .Int("targets", static_cast<std::uint64_t>(num_targets))
+        .Int("undone", static_cast<std::uint64_t>(planner_undone))
+        .Num("linear_ms", linear_ms / kRepeats)
+        .Num("planner_ms", planner_ms / kRepeats)
+        .Num("speedup", speedup)
+        .Int("linear_candidates",
+             static_cast<std::uint64_t>(linear_stats.candidates_total) /
+                 kRepeats)
+        .Int("planner_candidates",
+             static_cast<std::uint64_t>(planner_stats.candidates_total) /
+                 kRepeats)
+        .Int("linear_rebuilds", linear_stats.analysis_rebuilds / kRepeats)
+        .Int("planner_rebuilds", planner_stats.analysis_rebuilds / kRepeats)
+        .Str("identical", identical ? "yes" : "no");
+  }
+  std::cout << "== planner A/B: revert the 8 earliest chains, indexed batch "
+               "vs seed linear (mean of " << kRepeats << " runs) ==\n"
+            << table.Render() << '\n';
+  return ok;
 }
 
 void BM_IndependentUndo(benchmark::State& state) {
@@ -333,9 +490,11 @@ int main(int argc, char** argv) {
   pivot::PrintScalingTable(json);
   pivot::PrintIncrementalTable(json);
   pivot::PrintAblationTable();
+  const bool planner_ok = pivot::PrintPlannerTable(json);
   const std::string path = json.WriteFile();
   if (!path.empty()) std::cout << "wrote " << path << '\n';
+  if (pivot::BenchSmokeMode()) return planner_ok ? 0 : 1;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return planner_ok ? 0 : 1;
 }

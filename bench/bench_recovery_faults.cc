@@ -18,6 +18,7 @@
 #include "pivot/core/session.h"
 #include "pivot/ir/printer.h"
 #include "pivot/ir/random_program.h"
+#include "pivot/support/benchjson.h"
 #include "pivot/support/fault_injector.h"
 #include "pivot/support/rng.h"
 #include "pivot/transform/catalog.h"
@@ -138,6 +139,7 @@ void PrintRecoveryReport() {
 
 int main(int argc, char** argv) {
   pivot::PrintRecoveryReport();
+  if (pivot::BenchSmokeMode()) return 0;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

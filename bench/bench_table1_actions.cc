@@ -5,12 +5,15 @@
 // text) and benchmarks the throughput of each action/inverse pair.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <functional>
+#include <sstream>
 #include <iostream>
 
 #include "pivot/actions/journal.h"
 #include "pivot/ir/parser.h"
 #include "pivot/ir/printer.h"
+#include "pivot/support/benchjson.h"
 #include "pivot/support/table.h"
 
 namespace pivot {
@@ -27,18 +30,50 @@ write c(2)
 )");
 }
 
-void PrintTable1() {
-  TextTable table({"Action", "Inverse Action", "round-trip verified"});
+// Regenerates Table 1 and micro-times each apply+invert pair (the
+// inversion hot path the undo planner batches). The round-trip identity
+// is asserted — a "NO" row fails the binary — and the per-op timings go
+// into BENCH_table1_actions.json so CI can diff the hot path across
+// commits.
+bool PrintTable1(BenchJson& json) {
+  TextTable table({"Action", "Inverse Action", "round-trip verified",
+                   "ns/op"});
+  bool ok = true;
 
-  auto probe = [&table](const char* action, const char* inverse,
-                        const std::function<ActionId(Program&, Journal&)>&
-                            apply) {
+  const int kTimedPairs = BenchSmokeMode() ? 64 : 2048;
+  auto probe = [&](const char* action, const char* inverse,
+                   const std::function<ActionId(Program&, Journal&)>&
+                       apply) {
     Program p = MakeProgram();
     Journal j(p);
     const std::string before = ToSource(p);
     const ActionId id = apply(p, j);
     j.Invert(id);
-    table.AddRow({action, inverse, ToSource(p) == before ? "yes" : "NO"});
+    const bool roundtrip = ToSource(p) == before;
+    ok = ok && roundtrip;
+
+    // Timed batch on a fresh journal: apply+invert in a tight loop, the
+    // same reverse-order inversion pattern UndoEngine::InvertActions
+    // drives (pre-sized buffers, payload moves — no per-op reallocation).
+    Program tp = MakeProgram();
+    Journal tj(tp);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int k = 0; k < kTimedPairs; ++k) {
+      tj.Invert(apply(tp, tj));
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ns_per_op =
+        std::chrono::duration<double, std::nano>(t1 - t0).count() /
+        (2.0 * kTimedPairs);
+    std::ostringstream ns;
+    ns.precision(0);
+    ns << std::fixed << ns_per_op;
+    table.AddRow({action, inverse, roundtrip ? "yes" : "NO", ns.str()});
+    json.Row()
+        .Str("action", action)
+        .Str("inverse", inverse)
+        .Str("roundtrip", roundtrip ? "yes" : "no")
+        .Num("ns_per_op", ns_per_op);
   };
 
   probe("Delete (a)", "Add (orig_location, -, a)",
@@ -64,6 +99,8 @@ void PrintTable1() {
 
   std::cout << "== Table 1: actions and inverse actions ==\n"
             << table.Render() << '\n';
+  if (!ok) std::cerr << "FAIL: an action/inverse round-trip diverged\n";
+  return ok;
 }
 
 // Benchmark kernel: fresh journal per outer iteration, a small batch of
@@ -133,8 +170,12 @@ BENCHMARK(BM_ModifyHeaderInverse);
 }  // namespace pivot
 
 int main(int argc, char** argv) {
-  pivot::PrintTable1();
+  pivot::BenchJson json("table1_actions");
+  const bool ok = pivot::PrintTable1(json);
+  const std::string path = json.WriteFile();
+  if (!path.empty()) std::cout << "wrote " << path << '\n';
+  if (pivot::BenchSmokeMode()) return ok ? 0 : 1;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return ok ? 0 : 1;
 }

@@ -13,6 +13,7 @@
 
 #include "pivot/core/session.h"
 #include "pivot/ir/parser.h"
+#include "pivot/support/benchjson.h"
 #include "pivot/support/table.h"
 #include "pivot/transform/catalog.h"
 #include "pivot/transform/patterns.h"
@@ -157,6 +158,7 @@ BENCHMARK(BM_CheckSafety)->DenseRange(0, kNumTransformKinds - 1);
 int main(int argc, char** argv) {
   pivot::PrintSchema();
   pivot::PrintInstantiated();
+  if (pivot::BenchSmokeMode()) return 0;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -14,6 +14,7 @@
 
 #include "pivot/core/session.h"
 #include "pivot/ir/parser.h"
+#include "pivot/support/benchjson.h"
 #include "pivot/support/table.h"
 #include "pivot/transform/catalog.h"
 #include "pivot/transform/spec.h"
@@ -173,6 +174,7 @@ BENCHMARK(BM_ReversibilityVsHistorySize)->Arg(0)->Arg(16)->Arg(64)->Arg(256);
 int main(int argc, char** argv) {
   pivot::PrintTable3();
   pivot::PrintTable3Generalized();
+  if (pivot::BenchSmokeMode()) return 0;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

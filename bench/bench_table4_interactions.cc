@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "pivot/core/interactions.h"
+#include "pivot/support/benchjson.h"
 #include "pivot/support/table.h"
 
 namespace pivot {
@@ -97,6 +98,7 @@ BENCHMARK(BM_EnablesLookup);
 
 int main(int argc, char** argv) {
   pivot::PrintMatrices();
+  if (pivot::BenchSmokeMode()) return 0;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

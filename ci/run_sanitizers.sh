@@ -2,13 +2,18 @@
 # Builds the whole tree with AddressSanitizer + UndefinedBehaviorSanitizer
 # and runs the tier-1 suite plus the fault-injection atomicity suite under
 # both. Any sanitizer report fails the job (halt_on_error, and the build
-# sets -fno-sanitize-recover=all so UBSan reports abort too).
+# sets -fno-sanitize-recover=all so UBSan reports abort too). A second
+# ThreadSanitizer build then re-runs the suites that exercise the
+# multi-threaded paths (parallel safety checking in the undo planner,
+# parallel analysis priming).
 #
-# Usage: ci/run_sanitizers.sh [build-dir]   (default: build-asan)
+# Usage: ci/run_sanitizers.sh [build-dir] [tsan-build-dir]
+#        (defaults: build-asan build-tsan)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-asan}"
+TSAN_BUILD_DIR="${2:-build-tsan}"
 
 export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1:strict_string_checks=1"
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
@@ -26,4 +31,21 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 "$BUILD_DIR"/tests/fault_injection_tests
 "$BUILD_DIR"/tests/analysis_incremental_tests
 
-echo "sanitizer run complete: all tests clean under ASan+UBSan"
+echo "ASan+UBSan run complete"
+
+# ThreadSanitizer job: rebuild with -fsanitize=thread (ASan and TSan cannot
+# share a binary, hence the separate tree) and run the suites that fan work
+# out across threads — the planner's parallel safety checks and the
+# analysis cache's parallel priming.
+export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+
+cmake -B "$TSAN_BUILD_DIR" -S . -DPIVOT_SANITIZE_THREAD=ON \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$TSAN_BUILD_DIR" -j "$(nproc)" --target \
+      planner_tests analysis_incremental_tests fault_injection_tests
+
+"$TSAN_BUILD_DIR"/tests/planner_tests
+"$TSAN_BUILD_DIR"/tests/analysis_incremental_tests
+"$TSAN_BUILD_DIR"/tests/fault_injection_tests
+
+echo "sanitizer run complete: all tests clean under ASan+UBSan and TSan"

@@ -1,12 +1,11 @@
 #include "pivot/analysis/analyses.h"
 
-#include <exception>
 #include <functional>
-#include <thread>
 #include <utility>
 #include <vector>
 
 #include "pivot/support/fault_injector.h"
+#include "pivot/support/worker_pool.h"
 
 namespace pivot {
 
@@ -289,37 +288,12 @@ const BlockDags& AnalysisCache::block_dags() {
   return *block_dags_;
 }
 
-namespace {
-
-// Runs one dependency wave: every task reads only results installed by
-// earlier waves, so tasks within a wave are independent. Each runs on its
-// own thread (waves are at most four tasks wide); the first exception is
-// rethrown on the calling thread after the join.
-void RunWave(std::vector<std::function<void()>> tasks, int max_threads) {
-  if (tasks.empty()) return;
-  if (max_threads <= 1 || tasks.size() == 1) {
-    for (auto& task : tasks) task();
-    return;
-  }
-  std::vector<std::exception_ptr> errors(tasks.size());
-  std::vector<std::thread> threads;
-  threads.reserve(tasks.size());
-  for (std::size_t i = 0; i < tasks.size(); ++i) {
-    threads.emplace_back([&tasks, &errors, i] {
-      try {
-        tasks[i]();
-      } catch (...) {
-        errors[i] = std::current_exception();
-      }
-    });
-  }
-  for (std::thread& t : threads) t.join();
-  for (const std::exception_ptr& error : errors) {
-    if (error) std::rethrow_exception(error);
-  }
+bool AnalysisCache::FullyPrimed() const {
+  return valid_epoch_.has_value() && *valid_epoch_ == program_.epoch() &&
+         !structural_dirty_ && dirty_stmts_.empty() && flat_ && cfg_ &&
+         doms_ && facts_ && reaching_ && liveness_ && avail_ && defuse_ &&
+         loops_ && deps_ && pdg_ && summaries_ && block_dags_;
 }
-
-}  // namespace
 
 void AnalysisCache::PrimeAll() {
   Refresh();
@@ -369,7 +343,7 @@ void AnalysisCache::PrimeAll() {
     built.push_back(Family::kBlockDags);
     wave.push_back([this] { block_dags_.emplace(BuildBlockDags(program_)); });
   }
-  RunWave(std::move(wave), threads);
+  WorkerPool::RunAll(std::move(wave), threads);
   record();
 
   wave.clear();
@@ -386,7 +360,7 @@ void AnalysisCache::PrimeAll() {
     wave.push_back(
         [this] { deps_.emplace(ComputeDependences(program_, *loops_)); });
   }
-  RunWave(std::move(wave), threads);
+  WorkerPool::RunAll(std::move(wave), threads);
   record();
 
   wave.clear();
@@ -406,7 +380,7 @@ void AnalysisCache::PrimeAll() {
     built.push_back(Family::kPdg);
     wave.push_back([this] { pdg_.emplace(program_, *deps_); });
   }
-  RunWave(std::move(wave), threads);
+  WorkerPool::RunAll(std::move(wave), threads);
   record();
 
   wave.clear();
@@ -418,7 +392,7 @@ void AnalysisCache::PrimeAll() {
     built.push_back(Family::kSummaries);
     wave.push_back([this] { summaries_.emplace(*pdg_); });
   }
-  RunWave(std::move(wave), threads);
+  WorkerPool::RunAll(std::move(wave), threads);
   record();
 }
 

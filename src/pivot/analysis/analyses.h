@@ -109,6 +109,12 @@ class AnalysisCache final : public Program::MutationListener {
   // dependency waves when parallel_rebuild is set, sequentially otherwise.
   void PrimeAll();
 
+  // True when every family is built and validated against the current
+  // program epoch with no pending mutation window — i.e. any accessor call
+  // is a pure read. The undo engine's parallel safety fan-out asserts this
+  // before sharing the cache across threads.
+  bool FullyPrimed() const;
+
   // Number of from-scratch family re-derivations since construction — the
   // re-analysis cost metric used by the benchmarks. Incremental refreshes
   // (facts nodes, reused block DAGs) are counted separately below.

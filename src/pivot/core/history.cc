@@ -1,22 +1,34 @@
 #include "pivot/core/history.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "pivot/support/diagnostics.h"
 
 namespace pivot {
 
+void History::AddListener(Listener* listener) {
+  listeners_.push_back(listener);
+}
+
+void History::RemoveListener(Listener* listener) {
+  listeners_.erase(
+      std::remove(listeners_.begin(), listeners_.end(), listener),
+      listeners_.end());
+}
+
 TransformRecord& History::Add(TransformRecord rec) {
   PIVOT_CHECK_MSG(rec.stamp != kNoStamp, "record must carry a stamp");
   records_.push_back(std::move(rec));
-  return records_.back();
+  TransformRecord& added = records_.back();
+  by_stamp_[added.stamp] = &added;
+  for (Listener* l : listeners_) l->OnHistoryAdd(added);
+  return added;
 }
 
 TransformRecord* History::FindByStamp(OrderStamp stamp) {
-  for (TransformRecord& rec : records_) {
-    if (rec.stamp == stamp) return &rec;
-  }
-  return nullptr;
+  auto it = by_stamp_.find(stamp);
+  return it == by_stamp_.end() ? nullptr : it->second;
 }
 
 const TransformRecord* History::FindByStamp(OrderStamp stamp) const {
@@ -40,8 +52,12 @@ TransformRecord* History::LastLive() {
 
 void History::RewindTo(std::size_t size, OrderStamp next_stamp) {
   PIVOT_CHECK(size <= records_.size() && next_stamp <= next_);
-  while (records_.size() > size) records_.pop_back();
+  while (records_.size() > size) {
+    by_stamp_.erase(records_.back().stamp);
+    records_.pop_back();
+  }
   next_ = next_stamp;
+  for (Listener* l : listeners_) l->OnHistoryRewind(size);
 }
 
 std::string History::ToString(const Program& program) const {

@@ -8,6 +8,7 @@
 
 #include <deque>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "pivot/transform/transform.h"
@@ -16,7 +17,22 @@ namespace pivot {
 
 class History {
  public:
+  // Observes structural changes to the history itself. The region index
+  // mirrors one entry per record; transaction rollback pops records whose
+  // stamps may later be *reused* (RewindTo resets the stamp counter), so a
+  // mirror keyed by stamp cannot infer truncation by diffing — it needs an
+  // explicit callback.
+  class Listener {
+   public:
+    virtual ~Listener() = default;
+    virtual void OnHistoryAdd(TransformRecord& rec) = 0;
+    virtual void OnHistoryRewind(std::size_t new_size) = 0;
+  };
+
   OrderStamp NextStamp() { return next_++; }
+
+  void AddListener(Listener* listener);
+  void RemoveListener(Listener* listener);
 
   TransformRecord& Add(TransformRecord rec);
 
@@ -46,7 +62,11 @@ class History {
   void RewindTo(std::size_t size, OrderStamp next_stamp);
 
  private:
+  // A deque keeps record addresses stable across Add/RewindTo, so the
+  // stamp map and the region index may hold pointers into it.
   std::deque<TransformRecord> records_;
+  std::unordered_map<OrderStamp, TransformRecord*> by_stamp_;
+  std::vector<Listener*> listeners_;
   OrderStamp next_ = 1;
 };
 

@@ -1,9 +1,8 @@
 #include "pivot/core/region.h"
 
 namespace pivot {
-namespace {
 
-void NamesOf(const Stmt& root, std::unordered_set<std::string>& names) {
+void RegionNamesOf(const Stmt& root, std::unordered_set<std::string>& names) {
   ForEachStmt(root, [&names](const Stmt& s) {
     const std::string def = DefinedName(s);
     if (!def.empty()) names.insert(def);
@@ -13,8 +12,6 @@ void NamesOf(const Stmt& root, std::unordered_set<std::string>& names) {
     names.insert(reads.begin(), reads.end());
   });
 }
-
-}  // namespace
 
 AffectedRegion AffectedRegion::WholeProgram() {
   AffectedRegion region;
@@ -68,7 +65,7 @@ AffectedRegion AffectedRegion::FromInvertedActions(
 
   // Touched names: data-flow and dependence changes involve one of these.
   std::unordered_set<std::string> names;
-  for (const Stmt* stmt : touched) NamesOf(*stmt, names);
+  for (const Stmt* stmt : touched) RegionNamesOf(*stmt, names);
   region.names_ = names;
 
   // Seed the region with the touched statements, their subtrees and their

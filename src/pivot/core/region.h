@@ -25,6 +25,12 @@
 
 namespace pivot {
 
+// The names that anchor `root`'s subtree in a region: every defined name,
+// loop variable and read name of every statement under `root`. This is the
+// name universe ContainsRecord's subtree matching draws from; the region
+// index mirrors it per record.
+void RegionNamesOf(const Stmt& root, std::unordered_set<std::string>& names);
+
 class AffectedRegion {
  public:
   // Everything is affected (the non-regional baseline).
@@ -47,6 +53,11 @@ class AffectedRegion {
                       const TransformRecord& rec) const;
 
   std::size_t StmtCount() const { return stmts_.size(); }
+
+  // Exposed for the region index, which intersects these sets against its
+  // inverted per-record footprint maps to pre-select candidates.
+  const std::unordered_set<StmtId>& stmts() const { return stmts_; }
+  const std::unordered_set<std::string>& names() const { return names_; }
 
  private:
   bool StmtMatches(const Stmt& stmt) const;

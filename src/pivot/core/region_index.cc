@@ -1,0 +1,187 @@
+#include "pivot/core/region_index.h"
+
+#include <algorithm>
+
+#include "pivot/ir/stmt.h"
+#include "pivot/support/diagnostics.h"
+
+namespace pivot {
+namespace {
+
+void EraseFromBucket(std::vector<std::uint32_t>& bucket,
+                     std::uint32_t index) {
+  bucket.erase(std::remove(bucket.begin(), bucket.end(), index),
+               bucket.end());
+}
+
+}  // namespace
+
+RegionIndex::RegionIndex(Program& program, Journal& journal,
+                         History& history)
+    : program_(program), journal_(journal), history_(history) {
+  program_.AddMutationListener(this);
+  history_.AddListener(this);
+  // Adopt whatever history already exists (engines can be constructed over
+  // a session that has applied transformations).
+  entries_.reserve(history_.records().size());
+  for (TransformRecord& rec : history_.records()) OnHistoryAdd(rec);
+}
+
+RegionIndex::~RegionIndex() {
+  history_.RemoveListener(this);
+  program_.RemoveMutationListener(this);
+}
+
+void RegionIndex::OnProgramMutation(StmtId stmt, bool structural) {
+  if (!stmt.valid()) {
+    // An unattributed mutation: a replacement on a fully detached
+    // expression tree (harmless — no statement's names changed) reports
+    // non-structural; anything structural must be taken as "anything may
+    // have changed".
+    if (structural) all_dirty_ = true;
+    return;
+  }
+  dirty_stmts_.insert(stmt);
+}
+
+void RegionIndex::OnHistoryAdd(TransformRecord& rec) {
+  Entry entry;
+  entry.rec = &rec;
+  entry.dirty = true;  // footprint computed at first Sync, post-population
+  entries_.push_back(std::move(entry));
+}
+
+void RegionIndex::OnHistoryRewind(std::size_t new_size) {
+  while (entries_.size() > new_size) {
+    RemoveFromBuckets(static_cast<std::uint32_t>(entries_.size() - 1));
+    entries_.pop_back();
+  }
+}
+
+void RegionIndex::RemoveFromBuckets(std::uint32_t index) {
+  Entry& entry = entries_[index];
+  for (const StmtId id : entry.ref_ids) {
+    auto it = by_ref_.find(id);
+    if (it != by_ref_.end()) EraseFromBucket(it->second, index);
+  }
+  for (const std::string& name : entry.names) {
+    auto it = by_name_.find(name);
+    if (it != by_name_.end()) EraseFromBucket(it->second, index);
+  }
+  entry.ref_ids.clear();
+  entry.names.clear();
+}
+
+void RegionIndex::RefreshEntry(std::uint32_t index) {
+  RemoveFromBuckets(index);
+  Entry& entry = entries_[index];
+  const TransformRecord& rec = *entry.rec;
+
+  // Exactly the ids ContainsRecord / the restored-anchor check consult.
+  std::unordered_set<StmtId> ids;
+  auto add = [&ids](StmtId id) {
+    if (id.valid()) ids.insert(id);
+  };
+  add(rec.site.s1);
+  add(rec.site.s2);
+  for (const StmtId id : rec.aux_stmts) add(id);
+  for (const ActionId action_id : rec.actions) {
+    const ActionRecord& action = journal_.record(action_id);
+    add(action.stmt);
+    add(action.copy);
+    add(action.expr_owner);
+  }
+
+  std::unordered_set<std::string> names;
+  entry.ref_ids.reserve(ids.size());
+  for (const StmtId id : ids) {
+    entry.ref_ids.push_back(id);
+    by_ref_[id].push_back(index);
+    // Detached statements resolve too (the registry keeps journal-owned
+    // subtrees), mirroring the shared-name matching of detached payloads.
+    const Stmt* stmt = program_.FindStmt(id);
+    if (stmt != nullptr) RegionNamesOf(*stmt, names);
+  }
+  entry.names.reserve(names.size());
+  for (const std::string& name : names) {
+    entry.names.push_back(name);
+    by_name_[name].push_back(index);
+  }
+  entry.dirty = false;
+}
+
+void RegionIndex::Sync() {
+  if (all_dirty_) {
+    for (Entry& entry : entries_) entry.dirty = true;
+    all_dirty_ = false;
+  } else {
+    // A mutation under a statement can grow the names of every indexed
+    // record referencing one of its ancestors; walk the *current* chain.
+    // An id that no longer resolves was retired — removal only shrinks
+    // true footprints, so the stale buckets stay a sound superset.
+    for (const StmtId id : dirty_stmts_) {
+      const Stmt* stmt = program_.FindStmt(id);
+      for (const Stmt* up = stmt; up != nullptr; up = up->parent) {
+        auto it = by_ref_.find(up->id);
+        if (it == by_ref_.end()) continue;
+        for (const std::uint32_t index : it->second) {
+          entries_[index].dirty = true;
+        }
+      }
+    }
+  }
+  dirty_stmts_.clear();
+  for (std::uint32_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].dirty) RefreshEntry(i);
+  }
+}
+
+std::vector<TransformRecord*> RegionIndex::CollectSorted(
+    const std::unordered_set<std::uint32_t>& hits) const {
+  std::vector<std::uint32_t> sorted(hits.begin(), hits.end());
+  // Entry order is history order, which is stamp-ascending.
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<TransformRecord*> records;
+  records.reserve(sorted.size());
+  for (const std::uint32_t index : sorted) {
+    records.push_back(entries_[index].rec);
+  }
+  return records;
+}
+
+std::vector<TransformRecord*> RegionIndex::Candidates(
+    const AffectedRegion& region) {
+  PIVOT_CHECK_MSG(!region.whole_program(),
+                  "whole-program regions need no index");
+  Sync();
+  std::unordered_set<std::uint32_t> hits;
+  for (const StmtId id : region.stmts()) {
+    auto it = by_ref_.find(id);
+    if (it == by_ref_.end()) continue;
+    hits.insert(it->second.begin(), it->second.end());
+  }
+  for (const std::string& name : region.names()) {
+    auto it = by_name_.find(name);
+    if (it == by_name_.end()) continue;
+    hits.insert(it->second.begin(), it->second.end());
+  }
+  return CollectSorted(hits);
+}
+
+std::vector<TransformRecord*> RegionIndex::AnchoredIn(
+    const std::vector<StmtId>& roots) {
+  Sync();
+  std::unordered_set<std::uint32_t> hits;
+  for (const StmtId root_id : roots) {
+    const Stmt* root = program_.FindStmt(root_id);
+    if (root == nullptr) continue;
+    ForEachStmt(*root, [&](const Stmt& s) {
+      auto it = by_ref_.find(s.id);
+      if (it == by_ref_.end()) return;
+      hits.insert(it->second.begin(), it->second.end());
+    });
+  }
+  return CollectSorted(hits);
+}
+
+}  // namespace pivot

@@ -1,0 +1,107 @@
+// Persistent record-footprint index for the undo planner.
+//
+// The Figure-4 scans answer two queries per undo:
+//   * ScanAffected: which records does this AffectedRegion contain?
+//   * ScanRestored: which records are anchored inside these restored
+//     subtrees?
+// The seed engine answers both by walking the entire history and running
+// the exact containment predicate on every record — O(|history| ·
+// subtree-walk) per undo. The index inverts the predicate instead: each
+// record's *footprint* (the statement ids it references and the names
+// those subtrees touch — exactly the inputs AffectedRegion::ContainsRecord
+// consults) is kept in two hash maps, stmt-id → records and name →
+// records, so a query unions a few buckets and touches only records that
+// can possibly match.
+//
+// The index returns a SUPERSET of the exact answer (footprints may be
+// conservatively stale, see below); callers re-run the exact predicate on
+// each returned record, which makes index-driven scans produce *identical
+// candidate sets* to the full scan — the property tests lock this in.
+//
+// Coherence: the index listens to both streams that can change an answer.
+//   * Program mutations (as a MutationListener, like AnalysisCache): dirty
+//     statement ids are buffered; Sync() resolves each one and walks its
+//     current ancestor chain — every indexed record referencing a
+//     statement on that chain gets its footprint recomputed. A dirty id
+//     that no longer resolves was retired, which can only shrink true
+//     footprints, so its stale bucket entries merely over-approximate.
+//   * History changes (as a History::Listener): Add marks a new entry
+//     dirty (footprints are computed lazily at Sync, after the record is
+//     fully populated); a transaction-rollback Rewind truncates entries —
+//     an explicit callback, because RewindTo re-issues order stamps and a
+//     stamp-keyed mirror could not detect the truncation on its own.
+#ifndef PIVOT_CORE_REGION_INDEX_H_
+#define PIVOT_CORE_REGION_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "pivot/core/history.h"
+#include "pivot/core/region.h"
+
+namespace pivot {
+
+class RegionIndex final : public Program::MutationListener,
+                          public History::Listener {
+ public:
+  RegionIndex(Program& program, Journal& journal, History& history);
+  ~RegionIndex() override;
+  RegionIndex(const RegionIndex&) = delete;
+  RegionIndex& operator=(const RegionIndex&) = delete;
+
+  // Brings every footprint up to date with the buffered mutations. Cheap
+  // when nothing changed; queries call it implicitly.
+  void Sync();
+
+  // Records whose footprint intersects `region` — a superset of the
+  // records for which region.ContainsRecord() holds — in stamp order.
+  // `region` must not be whole-program (the caller scans linearly then).
+  std::vector<TransformRecord*> Candidates(const AffectedRegion& region);
+
+  // Records referencing any statement currently inside the subtrees rooted
+  // at `roots` — a superset of ScanRestored's anchored set — in stamp
+  // order. Unresolvable root ids are skipped.
+  std::vector<TransformRecord*> AnchoredIn(const std::vector<StmtId>& roots);
+
+  std::size_t size() const { return entries_.size(); }
+
+  // Program::MutationListener
+  void OnProgramMutation(StmtId stmt, bool structural) override;
+  // History::Listener
+  void OnHistoryAdd(TransformRecord& rec) override;
+  void OnHistoryRewind(std::size_t new_size) override;
+
+ private:
+  struct Entry {
+    TransformRecord* rec = nullptr;
+    // Footprint at last refresh: referenced statement ids (site, aux,
+    // action targets) and the names under the resolvable ones.
+    std::vector<StmtId> ref_ids;
+    std::vector<std::string> names;
+    bool dirty = true;
+  };
+
+  void RefreshEntry(std::uint32_t index);
+  void RemoveFromBuckets(std::uint32_t index);
+  std::vector<TransformRecord*> CollectSorted(
+      const std::unordered_set<std::uint32_t>& hits) const;
+
+  Program& program_;
+  Journal& journal_;
+  History& history_;
+
+  // entries_[i] mirrors history_.records()[i]; deque addresses are stable.
+  std::vector<Entry> entries_;
+  std::unordered_map<StmtId, std::vector<std::uint32_t>> by_ref_;
+  std::unordered_map<std::string, std::vector<std::uint32_t>> by_name_;
+
+  std::unordered_set<StmtId> dirty_stmts_;
+  bool all_dirty_ = false;  // unattributed structural change (BumpEpoch)
+};
+
+}  // namespace pivot
+
+#endif  // PIVOT_CORE_REGION_INDEX_H_

@@ -12,7 +12,9 @@ Session::Session(Program program, SessionOptions options)
       analyses_(program_, options_.analysis),
       journal_(program_),
       engine_(analyses_, journal_, history_, options_.undo),
-      editor_(analyses_, journal_, history_) {}
+      editor_(analyses_, journal_, history_) {
+  engine_.set_recovery(&recovery_);
+}
 
 template <typename Fn>
 auto Session::Transact(const char* operation, Fn&& fn) {
@@ -116,6 +118,12 @@ int Session::ApplyEverywhere(TransformKind kind, int max_applications) {
 
 UndoStats Session::Undo(OrderStamp stamp) {
   return Transact("undo", [&] { return engine_.Undo(stamp); });
+}
+
+UndoStats Session::UndoSet(const std::vector<OrderStamp>& stamps,
+                           std::vector<OrderStamp>* undone) {
+  return Transact("undo-set",
+                  [&] { return engine_.UndoSet(stamps, undone); });
 }
 
 OrderStamp Session::UndoLast() {

@@ -78,6 +78,11 @@ class Session {
 
   // --- undoing ---
   UndoStats Undo(OrderStamp stamp);
+  // Batch undo: one transactional plan for the whole set (see
+  // UndoEngine::UndoSet). `undone` (optional) receives every stamp the
+  // plan removed — cascades included — in stamp order.
+  UndoStats UndoSet(const std::vector<OrderStamp>& stamps,
+                    std::vector<OrderStamp>* undone = nullptr);
   OrderStamp UndoLast();
   bool CanUndo(OrderStamp stamp, std::string* reason = nullptr) {
     return engine_.CanUndo(stamp, reason);

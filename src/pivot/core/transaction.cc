@@ -22,6 +22,9 @@ std::string RecoveryReport::ToString() const {
   os << "faults absorbed: " << faults_absorbed << '\n';
   os << "validator: " << validator_runs << " runs, " << validator_failures
      << " failures\n";
+  if (undo_depth_exhausted != 0) {
+    os << "undo depth exhausted: " << undo_depth_exhausted << '\n';
+  }
   if (!fault_points_hit.empty()) {
     os << "fault points hit:";
     for (const std::string& point : fault_points_hit) os << ' ' << point;

@@ -37,6 +37,8 @@ struct RecoveryReport {
                                          // injected fault specifically
   std::uint64_t validator_runs = 0;      // strict-mode validations
   std::uint64_t validator_failures = 0;  // ... that rejected the result
+  std::uint64_t undo_depth_exhausted = 0;  // undo chains that hit
+                                           // UndoOptions::max_depth
   std::vector<std::string> fault_points_hit;  // distinct points, in order
   std::string last_rollback_reason;
 

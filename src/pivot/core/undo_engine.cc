@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <unordered_set>
 
 #include "pivot/ir/stmt.h"
 #include "pivot/support/diagnostics.h"
@@ -17,6 +18,7 @@ UndoStats& UndoStats::operator+=(const UndoStats& other) {
   candidates_in_region += other.candidates_in_region;
   candidates_marked += other.candidates_marked;
   safety_checks += other.safety_checks;
+  safety_checks_parallel += other.safety_checks_parallel;
   reversibility_checks += other.reversibility_checks;
   analysis_rebuilds += other.analysis_rebuilds;
   fault_crossings += other.fault_crossings;
@@ -37,8 +39,6 @@ InteractionTable SelectTable(const UndoOptions& options) {
   PIVOT_UNREACHABLE("heuristic");
 }
 
-constexpr int kMaxDepth = 10000;  // undo chains are bounded by |history|
-
 }  // namespace
 
 UndoEngine::UndoEngine(AnalysisCache& analyses, Journal& journal,
@@ -47,7 +47,21 @@ UndoEngine::UndoEngine(AnalysisCache& analyses, Journal& journal,
       journal_(journal),
       history_(history),
       options_(std::move(options)),
-      table_(SelectTable(options_)) {}
+      table_(SelectTable(options_)) {
+  if (options_.indexed) {
+    index_ = std::make_unique<RegionIndex>(analyses_.program(), journal_,
+                                           history_);
+  }
+}
+
+void UndoEngine::NoteDepthExhausted() {
+  if (recovery_ != nullptr) ++recovery_->undo_depth_exhausted;
+}
+
+WorkerPool& UndoEngine::pool() {
+  if (!pool_) pool_ = std::make_unique<WorkerPool>(options_.safety_threads);
+  return *pool_;
+}
 
 UndoStats UndoEngine::Undo(OrderStamp stamp) {
   TransformRecord* rec = history_.FindByStamp(stamp);
@@ -91,9 +105,8 @@ bool UndoEngine::CanUndo(OrderStamp stamp, std::string* reason) {
   }
   // Walk the affecting chain without mutating anything: an undo is blocked
   // exactly when the chain reaches an edit or an unidentifiable cause.
-  std::vector<OrderStamp> chain{stamp};
   TransformRecord* cur = rec;
-  for (int guard = 0; guard < kMaxDepth; ++guard) {
+  for (int guard = 0; guard < options_.max_depth; ++guard) {
     const Transformation& t = GetTransformation(cur->kind);
     const Reversibility rev =
         t.CheckReversibility(analyses_, journal_, *cur);
@@ -115,7 +128,11 @@ bool UndoEngine::CanUndo(OrderStamp stamp, std::string* reason) {
     }
     cur = next;
   }
-  if (reason != nullptr) *reason = "affecting chain did not terminate";
+  NoteDepthExhausted();
+  if (reason != nullptr) {
+    *reason = "affecting chain did not terminate within max_depth (" +
+              std::to_string(options_.max_depth) + ")";
+  }
   return false;
 }
 
@@ -146,11 +163,15 @@ UndoEngine::UndoPreview UndoEngine::Preview(OrderStamp stamp) {
   // that must be undone first; in the real undo that unblocks the next
   // check, which the preview approximates by following the chain head.
   TransformRecord* cur = rec;
-  for (int guard = 0; guard < kMaxDepth; ++guard) {
+  bool resolved = false;
+  for (int guard = 0; guard < options_.max_depth; ++guard) {
     const Transformation& t = GetTransformation(cur->kind);
     const Reversibility rev =
         t.CheckReversibility(analyses_, journal_, *cur);
-    if (rev.ok) break;
+    if (rev.ok) {
+      resolved = true;
+      break;
+    }
     if (rev.affecting == kNoStamp) {
       preview.blocked_reason = "blocked: " + rev.condition;
       return preview;
@@ -163,6 +184,15 @@ UndoEngine::UndoPreview UndoEngine::Preview(OrderStamp stamp) {
     }
     preview.affecting.push_back(next->stamp);
     cur = next;
+  }
+  if (!resolved) {
+    // Guard exhaustion is a blocked undo, not a success with a truncated
+    // chain (the silent-truncation bug this replaced).
+    NoteDepthExhausted();
+    preview.blocked_reason =
+        "affecting chain did not terminate within max_depth (" +
+        std::to_string(options_.max_depth) + ")";
+    return preview;
   }
   preview.possible = true;
   // The candidates the affected scan would examine: later live records
@@ -182,8 +212,230 @@ UndoEngine::UndoPreview UndoEngine::Preview(OrderStamp stamp) {
   return preview;
 }
 
+UndoEngine::UndoPlan UndoEngine::PlanUndo(
+    const std::vector<OrderStamp>& stamps) {
+  UndoPlan plan;
+  std::vector<TransformRecord*> targets;
+  std::unordered_set<OrderStamp> requested;
+  for (const OrderStamp stamp : stamps) {
+    TransformRecord* rec = history_.FindByStamp(stamp);
+    if (rec == nullptr) {
+      plan.blocked_reason =
+          "unknown transformation stamp t" + std::to_string(stamp);
+      return plan;
+    }
+    if (rec->is_edit) {
+      plan.blocked_reason = "edits are not undoable (t" +
+                            std::to_string(stamp) + ")";
+      return plan;
+    }
+    if (rec->undone || !requested.insert(stamp).second) continue;
+    targets.push_back(rec);
+  }
+  std::sort(targets.begin(), targets.end(),
+            [](const TransformRecord* a, const TransformRecord* b) {
+              return a->stamp > b->stamp;
+            });
+  std::unordered_set<OrderStamp> planned;
+  for (TransformRecord* target : targets) {
+    if (planned.count(target->stamp) != 0) continue;
+    // Preview-style chain walk: blockers invert before their blockee.
+    std::vector<OrderStamp> chain;
+    TransformRecord* cur = target;
+    bool resolved = false;
+    for (int guard = 0; guard < options_.max_depth; ++guard) {
+      const Transformation& t = GetTransformation(cur->kind);
+      const Reversibility rev =
+          t.CheckReversibility(analyses_, journal_, *cur);
+      if (rev.ok) {
+        resolved = true;
+        break;
+      }
+      if (rev.affecting == kNoStamp) {
+        plan.blocked_reason = "t" + std::to_string(cur->stamp) +
+                              " blocked: " + rev.condition;
+        return plan;
+      }
+      TransformRecord* next = history_.FindByStamp(rev.affecting);
+      if (next == nullptr || next->is_edit) {
+        plan.blocked_reason = "t" + std::to_string(cur->stamp) +
+                              " blocked by user edit t" +
+                              std::to_string(rev.affecting);
+        return plan;
+      }
+      chain.push_back(next->stamp);
+      cur = next;
+    }
+    if (!resolved) {
+      NoteDepthExhausted();
+      plan.blocked_reason =
+          "affecting chain did not terminate within max_depth (" +
+          std::to_string(options_.max_depth) + ")";
+      return plan;
+    }
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      if (planned.insert(*it).second) plan.targets.push_back(*it);
+    }
+    if (planned.insert(target->stamp).second) {
+      plan.targets.push_back(target->stamp);
+    }
+  }
+  return plan;
+}
+
+UndoStats UndoEngine::UndoSet(const std::vector<OrderStamp>& stamps,
+                              std::vector<OrderStamp>* undone) {
+  UndoStats stats;
+  const std::uint64_t rebuilds_before = analyses_.rebuild_count();
+  const std::uint64_t crossings_before = FaultInjector::Instance().crossings();
+
+  std::vector<TransformRecord*> targets;
+  std::unordered_set<OrderStamp> requested;
+  for (const OrderStamp stamp : stamps) {
+    TransformRecord* rec = history_.FindByStamp(stamp);
+    if (rec == nullptr) {
+      throw ProgramError("UndoSet: unknown transformation stamp t" +
+                         std::to_string(stamp));
+    }
+    if (rec->is_edit) {
+      throw ProgramError("user edits cannot be undone by the transformation "
+                         "undo machinery");
+    }
+    if (!requested.insert(stamp).second) continue;
+    targets.push_back(rec);
+  }
+  std::unordered_set<OrderStamp> undone_before;
+  if (undone != nullptr) {
+    for (const TransformRecord& rec : history_.records()) {
+      if (rec.undone) undone_before.insert(rec.stamp);
+    }
+  }
+
+  // Wave 1 — inversion: latest-first, so a target's affecting chain meets
+  // as few still-live later records as possible. Inverse actions run back
+  // to back; no affected-scan (hence no analysis re-derivation) happens
+  // until the whole set is inverted.
+  std::sort(targets.begin(), targets.end(),
+            [](const TransformRecord* a, const TransformRecord* b) {
+              return a->stamp > b->stamp;
+            });
+  std::vector<PlannedInversion> plan;
+  plan.reserve(targets.size());
+  for (TransformRecord* rec : targets) {
+    // Already undone before the call, or inverted as an earlier target's
+    // affecting blocker: nothing left to plan for it.
+    if (rec->undone) continue;
+    ResolveAndInvert(*rec, stats, 0, plan);
+  }
+
+  // Wave 2 — adjudication: regions and the Figure-4 scans, one record at
+  // a time in inversion order. The first analysis query re-derives once
+  // for the whole wave-1 mutation burst; later records re-derive only
+  // when a cascade in between actually mutated the program again.
+  for (const PlannedInversion& inversion : plan) {
+    PIVOT_FAULT_POINT("undo.region.pre");
+    const AffectedRegion region =
+        options_.regional
+            ? AffectedRegion::FromInvertedActions(analyses_, journal_,
+                                                  inversion.inverted)
+            : AffectedRegion::WholeProgram();
+    {
+      UndoTraceEvent event =
+          MakeEvent(UndoTraceEvent::Kind::kRegion, *inversion.rec, 0);
+      event.count = region.whole_program()
+                        ? -1
+                        : static_cast<long>(region.StmtCount());
+      Trace(std::move(event));
+    }
+    ScanAffected(*inversion.rec, region, stats, 0);
+    ScanRestored(*inversion.rec, inversion.inverted, stats, 0);
+    Trace(MakeEvent(UndoTraceEvent::Kind::kDone, *inversion.rec, 0));
+  }
+
+  if (undone != nullptr) {
+    for (const TransformRecord& rec : history_.records()) {
+      if (rec.undone && !rec.is_edit &&
+          undone_before.count(rec.stamp) == 0) {
+        undone->push_back(rec.stamp);
+      }
+    }
+  }
+  stats.analysis_rebuilds = analyses_.rebuild_count() - rebuilds_before;
+  stats.fault_crossings =
+      FaultInjector::Instance().crossings() - crossings_before;
+  return stats;
+}
+
+void UndoEngine::ResolveAndInvert(TransformRecord& rec, UndoStats& stats,
+                                  int depth,
+                                  std::vector<PlannedInversion>& plan) {
+  if (depth >= options_.max_depth) {
+    NoteDepthExhausted();
+    throw ProgramError("undo recursion exceeded max_depth (" +
+                       std::to_string(options_.max_depth) + ")");
+  }
+  if (rec.undone) return;
+  const Transformation& transformation = GetTransformation(rec.kind);
+  Trace(MakeEvent(UndoTraceEvent::Kind::kBegin, rec, depth));
+
+  // Figure-4 lines 4-11, with the blocker's own affected-scan deferred to
+  // wave 2 (it joins the plan like any other inversion).
+  while (true) {
+    ++stats.reversibility_checks;
+    const Reversibility rev =
+        transformation.CheckReversibility(analyses_, journal_, rec);
+    if (rev.ok) {
+      Trace(MakeEvent(UndoTraceEvent::Kind::kPostPatternOk, rec, depth));
+      break;
+    }
+    if (rev.affecting != kNoStamp) {
+      UndoTraceEvent event =
+          MakeEvent(UndoTraceEvent::Kind::kPostPatternBlocked, rec, depth);
+      event.other = rev.affecting;
+      if (const TransformRecord* blocker =
+              history_.FindByStamp(rev.affecting)) {
+        event.other_kind = blocker->kind;
+      }
+      event.detail = rev.condition;
+      Trace(std::move(event));
+    }
+    if (rev.affecting == kNoStamp) {
+      throw ProgramError(
+          "cannot undo t" + std::to_string(rec.stamp) + " (" +
+          std::string(TransformKindName(rec.kind)) + "): " + rev.condition);
+    }
+    TransformRecord* affecting = history_.FindByStamp(rev.affecting);
+    PIVOT_CHECK_MSG(affecting != nullptr, "affecting stamp not in history");
+    if (affecting->is_edit) {
+      throw ProgramError("cannot undo t" + std::to_string(rec.stamp) +
+                         ": blocked by user edit t" +
+                         std::to_string(rev.affecting) + " (" +
+                         rev.condition + ")");
+    }
+    PIVOT_CHECK_MSG(!affecting->undone,
+                    "post-pattern blocked by an already-undone transform");
+    PIVOT_FAULT_POINT("undo.affecting.recurse");
+    ResolveAndInvert(*affecting, stats, depth + 1, plan);
+  }
+
+  std::vector<ActionId> inverted = InvertActions(rec, stats);
+  rec.undone = true;
+  ++stats.transforms_undone;
+  {
+    UndoTraceEvent event =
+        MakeEvent(UndoTraceEvent::Kind::kInverseActions, rec, depth);
+    event.count = static_cast<long>(inverted.size());
+    Trace(std::move(event));
+  }
+  plan.push_back(PlannedInversion{&rec, std::move(inverted)});
+}
+
 void UndoEngine::UndoRec(TransformRecord& rec, UndoStats& stats, int depth) {
-  PIVOT_CHECK_MSG(depth < kMaxDepth, "runaway undo recursion");
+  if (depth >= options_.max_depth) {
+    NoteDepthExhausted();
+    throw ProgramError("undo recursion exceeded max_depth (" +
+                       std::to_string(options_.max_depth) + ")");
+  }
   if (rec.undone) return;
   const Transformation& transformation = GetTransformation(rec.kind);
   Trace(MakeEvent(UndoTraceEvent::Kind::kBegin, rec, depth));
@@ -270,6 +522,7 @@ void UndoEngine::UndoRec(TransformRecord& rec, UndoStats& stats, int depth) {
 std::vector<ActionId> UndoEngine::InvertActions(TransformRecord& rec,
                                                 UndoStats& stats) {
   std::vector<ActionId> inverted;
+  inverted.reserve(rec.actions.size());
   for (auto it = rec.actions.rbegin(); it != rec.actions.rend(); ++it) {
     if (journal_.record(*it).undone) continue;
     journal_.Invert(*it);
@@ -279,49 +532,218 @@ std::vector<ActionId> UndoEngine::InvertActions(TransformRecord& rec,
   return inverted;
 }
 
+std::vector<char> UndoEngine::PrefetchSafety(
+    const std::vector<TransformRecord*>& candidates, UndoStats& stats) {
+  std::vector<char> verdicts(candidates.size(), 1);
+  if (candidates.empty()) return verdicts;
+  stats.safety_checks_parallel += static_cast<int>(candidates.size());
+  if (options_.safety_threads <= 1 || candidates.size() == 1) {
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const Transformation& t = GetTransformation(candidates[i]->kind);
+      verdicts[i] =
+          t.CheckSafety(analyses_, journal_, *candidates[i]) ? 1 : 0;
+    }
+    return verdicts;
+  }
+  // Build every analysis family on this thread first; the fan-out then
+  // only performs epoch-validated reads of the primed cache (plus
+  // read-only journal/program walks), which is what keeps it TSan-clean.
+  analyses_.PrimeAll();
+  PIVOT_CHECK_MSG(analyses_.FullyPrimed(),
+                  "parallel safety fan-out requires a fully primed cache");
+  pool().ParallelFor(candidates.size(), [&](std::size_t i) {
+    const Transformation& t = GetTransformation(candidates[i]->kind);
+    verdicts[i] = t.CheckSafety(analyses_, journal_, *candidates[i]) ? 1 : 0;
+  });
+  return verdicts;
+}
+
 void UndoEngine::ScanAffected(TransformRecord& undone,
                               const AffectedRegion& region, UndoStats& stats,
                               int depth) {
+  // The index prunes candidate *enumeration*; a whole-program region
+  // matches everything, and an attached trace expects the linear event
+  // sequence (one event per later live record).
+  if (index_ != nullptr && trace_ == nullptr && !region.whole_program()) {
+    ScanAffectedIndexed(undone, region, stats, depth);
+  } else {
+    ScanAffectedLinear(undone, region, stats, depth);
+  }
+}
+
+void UndoEngine::ScanAffectedLinear(TransformRecord& undone,
+                                    const AffectedRegion& region,
+                                    UndoStats& stats, int depth) {
   // Snapshot the live later transformations first: recursive undos mutate
   // the history flags but not the deque order.
   std::vector<TransformRecord*> later;
+  later.reserve(history_.records().size());
   for (TransformRecord& rec : history_.records()) {
     if (rec.undone || rec.is_edit) continue;
     if (rec.stamp > undone.stamp) later.push_back(&rec);  // line 18: k > i
   }
 
-  for (TransformRecord* candidate : later) {
-    if (candidate->undone) continue;  // removed by a deeper recursion
-    ++stats.candidates_total;
-    UndoTraceEvent event =
-        MakeEvent(UndoTraceEvent::Kind::kCandidateSafe, undone, depth);
-    event.other = candidate->stamp;
-    event.other_kind = candidate->kind;
-    // The space coordinate: only transformations in the affected region.
-    if (!region.ContainsRecord(analyses_.program(), journal_, *candidate)) {
-      event.kind = UndoTraceEvent::Kind::kCandidateOutsideRegion;
-      Trace(std::move(event));
-      continue;
+  if (options_.safety_threads <= 1 || trace_ != nullptr) {
+    for (TransformRecord* candidate : later) {
+      if (candidate->undone) continue;  // removed by a deeper recursion
+      ++stats.candidates_total;
+      UndoTraceEvent event =
+          MakeEvent(UndoTraceEvent::Kind::kCandidateSafe, undone, depth);
+      event.other = candidate->stamp;
+      event.other_kind = candidate->kind;
+      // The space coordinate: only transformations in the affected region.
+      if (!region.ContainsRecord(analyses_.program(), journal_,
+                                 *candidate)) {
+        event.kind = UndoTraceEvent::Kind::kCandidateOutsideRegion;
+        Trace(std::move(event));
+        continue;
+      }
+      ++stats.candidates_in_region;
+      // Line 20: the reverse-destroy heuristic.
+      if (!table_.Enables(undone.kind, candidate->kind)) {
+        event.kind = UndoTraceEvent::Kind::kCandidateUnmarked;
+        Trace(std::move(event));
+        continue;
+      }
+      ++stats.candidates_marked;
+      // Lines 22-25: full safety re-evaluation; ripple when violated.
+      ++stats.safety_checks;
+      const Transformation& t = GetTransformation(candidate->kind);
+      if (!t.CheckSafety(analyses_, journal_, *candidate)) {
+        event.kind = UndoTraceEvent::Kind::kCandidateUnsafe;
+        Trace(std::move(event));
+        PIVOT_FAULT_POINT("undo.cascade.recurse");
+        UndoRec(*candidate, stats, depth + 1);
+      } else {
+        Trace(std::move(event));
+      }
     }
-    ++stats.candidates_in_region;
-    // Line 20: the reverse-destroy heuristic.
-    if (!table_.Enables(undone.kind, candidate->kind)) {
-      event.kind = UndoTraceEvent::Kind::kCandidateUnmarked;
-      Trace(std::move(event));
-      continue;
+    return;
+  }
+
+  // Optimistic parallel waves: classify the remaining candidates at the
+  // current program state, prefetch their safety verdicts concurrently,
+  // then consume in stamp order. The first unsafe candidate cascades and
+  // invalidates everything after it (its recursion mutated the program),
+  // so those outcomes and verdicts are discarded un-consumed and the next
+  // wave re-derives them — the decision sequence and the consumed-counter
+  // totals are exactly the sequential ones.
+  enum : unsigned char { kSkip, kOutside, kUnmarked, kCheck };
+  std::size_t pos = 0;
+  while (pos < later.size()) {
+    std::vector<unsigned char> outcome;
+    outcome.reserve(later.size() - pos);
+    std::vector<TransformRecord*> to_check;
+    for (std::size_t i = pos; i < later.size(); ++i) {
+      TransformRecord* candidate = later[i];
+      unsigned char o = kCheck;
+      if (candidate->undone) {
+        o = kSkip;
+      } else if (!region.ContainsRecord(analyses_.program(), journal_,
+                                        *candidate)) {
+        o = kOutside;
+      } else if (!table_.Enables(undone.kind, candidate->kind)) {
+        o = kUnmarked;
+      } else {
+        to_check.push_back(candidate);
+      }
+      outcome.push_back(o);
     }
-    ++stats.candidates_marked;
-    // Lines 22-25: full safety re-evaluation; ripple when violated.
-    ++stats.safety_checks;
-    const Transformation& t = GetTransformation(candidate->kind);
-    if (!t.CheckSafety(analyses_, journal_, *candidate)) {
-      event.kind = UndoTraceEvent::Kind::kCandidateUnsafe;
-      Trace(std::move(event));
-      PIVOT_FAULT_POINT("undo.cascade.recurse");
-      UndoRec(*candidate, stats, depth + 1);
+    const std::vector<char> verdicts = PrefetchSafety(to_check, stats);
+    bool cascaded = false;
+    std::size_t vi = 0;
+    for (std::size_t i = pos; i < later.size() && !cascaded; ++i) {
+      const unsigned char o = outcome[i - pos];
+      pos = i + 1;
+      if (o == kSkip) continue;
+      ++stats.candidates_total;
+      if (o == kOutside) continue;
+      ++stats.candidates_in_region;
+      if (o == kUnmarked) continue;
+      ++stats.candidates_marked;
+      ++stats.safety_checks;
+      if (verdicts[vi++] == 0) {
+        PIVOT_FAULT_POINT("undo.cascade.recurse");
+        UndoRec(*later[i], stats, depth + 1);
+        cascaded = true;
+      }
+    }
+    if (!cascaded) break;
+  }
+}
+
+void UndoEngine::ScanAffectedIndexed(TransformRecord& undone,
+                                     const AffectedRegion& region,
+                                     UndoStats& stats, int depth) {
+  Program& program = analyses_.program();
+  // A cascade mutates the program, which can pull records into the region
+  // that were outside it before — exactly as the linear scan's lazy
+  // re-evaluation would observe. Re-query after each cascade, resuming
+  // past the last candidate already adjudicated (the linear scan never
+  // revisits either).
+  OrderStamp resume = undone.stamp;
+  for (;;) {
+    std::vector<TransformRecord*> indexed = index_->Candidates(region);
+    std::vector<TransformRecord*> candidates;
+    candidates.reserve(indexed.size());
+    for (TransformRecord* candidate : indexed) {
+      if (candidate->stamp <= resume || candidate->undone ||
+          candidate->is_edit) {
+        continue;
+      }
+      candidates.push_back(candidate);
+    }
+    bool cascaded = false;
+    if (options_.safety_threads <= 1) {
+      for (TransformRecord* candidate : candidates) {
+        resume = candidate->stamp;
+        ++stats.candidates_total;
+        // The index pre-selects by footprint; the exact containment
+        // predicate keeps the adjudicated set identical to the full scan.
+        if (!region.ContainsRecord(program, journal_, *candidate)) continue;
+        ++stats.candidates_in_region;
+        if (!table_.Enables(undone.kind, candidate->kind)) continue;
+        ++stats.candidates_marked;
+        ++stats.safety_checks;
+        const Transformation& t = GetTransformation(candidate->kind);
+        if (!t.CheckSafety(analyses_, journal_, *candidate)) {
+          PIVOT_FAULT_POINT("undo.cascade.recurse");
+          UndoRec(*candidate, stats, depth + 1);
+          cascaded = true;
+          break;
+        }
+      }
     } else {
-      Trace(std::move(event));
+      enum : unsigned char { kOutside, kUnmarked, kCheck };
+      std::vector<unsigned char> outcome(candidates.size(), kCheck);
+      std::vector<TransformRecord*> to_check;
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (!region.ContainsRecord(program, journal_, *candidates[i])) {
+          outcome[i] = kOutside;
+        } else if (!table_.Enables(undone.kind, candidates[i]->kind)) {
+          outcome[i] = kUnmarked;
+        } else {
+          to_check.push_back(candidates[i]);
+        }
+      }
+      const std::vector<char> verdicts = PrefetchSafety(to_check, stats);
+      std::size_t vi = 0;
+      for (std::size_t i = 0; i < candidates.size() && !cascaded; ++i) {
+        resume = candidates[i]->stamp;
+        ++stats.candidates_total;
+        if (outcome[i] == kOutside) continue;
+        ++stats.candidates_in_region;
+        if (outcome[i] == kUnmarked) continue;
+        ++stats.candidates_marked;
+        ++stats.safety_checks;
+        if (verdicts[vi++] == 0) {
+          PIVOT_FAULT_POINT("undo.cascade.recurse");
+          UndoRec(*candidates[i], stats, depth + 1);
+          cascaded = true;
+        }
+      }
     }
+    if (!cascaded) break;
   }
 }
 
@@ -339,42 +761,75 @@ void UndoEngine::ScanRestored(TransformRecord& undone,
   // changed since they last held. So: re-validate every earlier live
   // transformation whose site lies inside a subtree this undo restored.
   Program& program = analyses_.program();
-  std::vector<const Stmt*> restored;
+  std::vector<StmtId> restored;
+  restored.reserve(inverted.size());
   for (ActionId id : inverted) {
     const ActionRecord& action = journal_.record(id);
     if (action.kind != ActionKind::kDelete) continue;
     const Stmt* root = program.FindStmt(action.stmt);
-    if (root != nullptr && root->attached) restored.push_back(root);
+    if (root != nullptr && root->attached) restored.push_back(action.stmt);
   }
   if (restored.empty()) return;
+  if (index_ != nullptr && trace_ == nullptr) {
+    ScanRestoredIndexed(undone, restored, stats, depth);
+  } else {
+    ScanRestoredLinear(undone, restored, stats, depth);
+  }
+}
 
-  auto inside_restored = [&](StmtId id) {
-    if (!id.valid()) return false;
-    const Stmt* stmt = program.FindStmt(id);
-    if (stmt == nullptr || !stmt->attached) return false;
-    for (const Stmt* root : restored) {
-      if (root->id == id || IsAncestorOf(*root, *stmt)) return true;
+namespace {
+
+// Is the statement with `id` attached and inside one of the subtrees
+// rooted at `restored`? (The restored-anchor predicate; roots that were
+// detached or retired by an intervening cascade simply stop matching.)
+bool InsideRestored(Program& program, const std::vector<StmtId>& restored,
+                    StmtId id) {
+  if (!id.valid()) return false;
+  const Stmt* stmt = program.FindStmt(id);
+  if (stmt == nullptr || !stmt->attached) return false;
+  for (const StmtId root_id : restored) {
+    const Stmt* root = program.FindStmt(root_id);
+    if (root == nullptr) continue;
+    if (root->id == id || IsAncestorOf(*root, *stmt)) return true;
+  }
+  return false;
+}
+
+bool AnchoredInRestored(Program& program, const Journal& journal,
+                        const std::vector<StmtId>& restored,
+                        const TransformRecord& rec) {
+  if (InsideRestored(program, restored, rec.site.s1) ||
+      InsideRestored(program, restored, rec.site.s2)) {
+    return true;
+  }
+  for (const ActionId action_id : rec.actions) {
+    const ActionRecord& action = journal.record(action_id);
+    if (InsideRestored(program, restored, action.stmt) ||
+        InsideRestored(program, restored, action.expr_owner)) {
+      return true;
     }
-    return false;
-  };
+  }
+  return false;
+}
 
+}  // namespace
+
+void UndoEngine::ScanRestoredLinear(TransformRecord& undone,
+                                    const std::vector<StmtId>& restored,
+                                    UndoStats& stats, int depth) {
+  Program& program = analyses_.program();
   // Snapshot first: recursive undos flip history flags under us.
   std::vector<TransformRecord*> earlier;
+  earlier.reserve(history_.records().size());
   for (TransformRecord& rec : history_.records()) {
     if (rec.undone || rec.is_edit) continue;
     if (rec.stamp < undone.stamp) earlier.push_back(&rec);
   }
   for (TransformRecord* candidate : earlier) {
     if (candidate->undone) continue;  // removed by a deeper recursion
-    bool anchored = inside_restored(candidate->site.s1) ||
-                    inside_restored(candidate->site.s2);
-    for (std::size_t i = 0; !anchored && i < candidate->actions.size();
-         ++i) {
-      const ActionRecord& action = journal_.record(candidate->actions[i]);
-      anchored =
-          inside_restored(action.stmt) || inside_restored(action.expr_owner);
+    if (!AnchoredInRestored(program, journal_, restored, *candidate)) {
+      continue;
     }
-    if (!anchored) continue;
     ++stats.safety_checks;
     const Transformation& t = GetTransformation(candidate->kind);
     if (!t.CheckSafety(analyses_, journal_, *candidate)) {
@@ -386,6 +841,58 @@ void UndoEngine::ScanRestored(TransformRecord& undone,
       PIVOT_FAULT_POINT("undo.cascade.recurse");
       UndoRec(*candidate, stats, depth + 1);
     }
+  }
+}
+
+void UndoEngine::ScanRestoredIndexed(TransformRecord& undone,
+                                     const std::vector<StmtId>& restored,
+                                     UndoStats& stats, int depth) {
+  Program& program = analyses_.program();
+  OrderStamp resume = kNoStamp;
+  for (;;) {
+    std::vector<TransformRecord*> indexed = index_->AnchoredIn(restored);
+    std::vector<TransformRecord*> candidates;
+    candidates.reserve(indexed.size());
+    for (TransformRecord* candidate : indexed) {
+      if (candidate->stamp >= undone.stamp || candidate->undone ||
+          candidate->is_edit) {
+        continue;
+      }
+      if (resume != kNoStamp && candidate->stamp <= resume) continue;
+      // The index pre-selects by referenced-id membership; the exact
+      // anchored predicate keeps the checked set identical to the scan.
+      if (!AnchoredInRestored(program, journal_, restored, *candidate)) {
+        continue;
+      }
+      candidates.push_back(candidate);
+    }
+    const std::vector<char> verdicts =
+        options_.safety_threads > 1 ? PrefetchSafety(candidates, stats)
+                                    : std::vector<char>();
+    bool cascaded = false;
+    for (std::size_t i = 0; i < candidates.size() && !cascaded; ++i) {
+      TransformRecord* candidate = candidates[i];
+      resume = candidate->stamp;
+      ++stats.safety_checks;
+      bool safe;
+      if (!verdicts.empty()) {
+        safe = verdicts[i] != 0;
+      } else {
+        const Transformation& t = GetTransformation(candidate->kind);
+        safe = t.CheckSafety(analyses_, journal_, *candidate);
+      }
+      if (!safe) {
+        UndoTraceEvent event =
+            MakeEvent(UndoTraceEvent::Kind::kCandidateUnsafe, undone, depth);
+        event.other = candidate->stamp;
+        event.other_kind = candidate->kind;
+        Trace(std::move(event));
+        PIVOT_FAULT_POINT("undo.cascade.recurse");
+        UndoRec(*candidate, stats, depth + 1);
+        cascaded = true;
+      }
+    }
+    if (!cascaded) break;
   }
 }
 

@@ -18,12 +18,16 @@
 #define PIVOT_CORE_UNDO_ENGINE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "pivot/core/history.h"
 #include "pivot/core/interactions.h"
 #include "pivot/core/region.h"
+#include "pivot/core/region_index.h"
 #include "pivot/core/trace.h"
+#include "pivot/core/transaction.h"
+#include "pivot/support/worker_pool.h"
 
 namespace pivot {
 
@@ -37,16 +41,39 @@ struct UndoOptions {
   Heuristic heuristic = Heuristic::kPublished;
   InteractionTable custom;  // used when heuristic == kCustom
   bool regional = true;     // event-driven regional undo (§4.4) on/off
+
+  // Candidate selection through the persistent RegionIndex instead of a
+  // full history scan. Off = the seed's linear scans (the A/B baseline).
+  // Scans fall back to the linear path while a trace is attached, so
+  // decision traces stay event-for-event identical to the seed.
+  bool indexed = true;
+
+  // > 1 fans independent CheckSafety evaluations of a scan wave out onto
+  // a worker pool (analyses primed read-only first). Verdicts are consumed
+  // in stamp order and discarded past the first cascade, so the decision
+  // sequence is exactly the sequential one.
+  int safety_threads = 1;
+
+  // Bound on affecting-chain walks and cascade recursion. Exhaustion is a
+  // reported error (ProgramError + RecoveryReport::undo_depth_exhausted),
+  // never a silent truncation.
+  int max_depth = 10000;
 };
 
 struct UndoStats {
   int transforms_undone = 0;
   int actions_inverted = 0;
   // Work metrics of the affected-transformation scan (lines 16-29).
-  int candidates_total = 0;       // later live transformations seen
+  int candidates_total = 0;       // candidates examined: all later live
+                                  // transformations on the linear path,
+                                  // only index-selected ones when indexed
   int candidates_in_region = 0;   // survived the regional filter
   int candidates_marked = 0;      // survived the reverse-destroy filter
   int safety_checks = 0;          // full safety-condition evaluations
+                                  // consumed by the scan (sequential
+                                  // decision count, mode-independent)
+  int safety_checks_parallel = 0;  // raw evaluations run on the pool
+                                   // (>= consumed; wasted = speculation)
   int reversibility_checks = 0;   // post-pattern validations
   // Figure 4 line 13: how many from-scratch analysis re-derivations the
   // undo triggered (each inverse-action batch invalidates the caches).
@@ -71,6 +98,23 @@ class UndoEngine {
   // affecting transformation cannot be identified.
   UndoStats Undo(OrderStamp stamp);
 
+  // The batch planner: undo a whole set in one plan instead of N separate
+  // cascades. Two waves —
+  //   1. inversion: targets are resolved latest-first; each affecting
+  //      chain is walked and its inverse actions performed back to back,
+  //      with no affected-scan (and hence no analysis refresh) in between;
+  //   2. adjudication: each inverted record's affected region is computed
+  //      against the settled program and the Figure-4 scans run once per
+  //      record, sharing one analysis refresh per mutation-free stretch.
+  // Duplicate and already-undone stamps are skipped; unknown stamps and
+  // edits throw ProgramError (nothing partial is left behind when the
+  // caller wraps the batch in a transaction, as Session::UndoSet does).
+  // Returns the aggregated stats; `undone` (optional) receives the stamp
+  // of every record the plan removed, cascades included, in the order
+  // they were undone.
+  UndoStats UndoSet(const std::vector<OrderStamp>& stamps,
+                    std::vector<OrderStamp>* undone = nullptr);
+
   // The reverse-application-order baseline of [5]: undo the most recently
   // applied live transformation. Returns its stamp (kNoStamp if none).
   OrderStamp UndoLast(UndoStats* stats = nullptr);
@@ -92,31 +136,87 @@ class UndoEngine {
   };
   UndoPreview Preview(OrderStamp stamp);
 
+  // What UndoSet(stamps) would invert in wave 1, without performing it:
+  // the requested records plus their affecting closures, deduplicated, in
+  // inversion order. Chain walks are read-only Preview-style
+  // approximations (an earlier inversion can unblock a later chain, which
+  // the real batch resolves exactly). ok() is false when some target is
+  // blocked by an edit / unknown stamp / unterminated chain.
+  struct UndoPlan {
+    std::vector<OrderStamp> targets;  // wave-1 inversion order
+    std::string blocked_reason;       // set when !ok()
+    bool ok() const { return blocked_reason.empty(); }
+  };
+  UndoPlan PlanUndo(const std::vector<OrderStamp>& stamps);
+
   const UndoOptions& options() const { return options_; }
   const InteractionTable& table() const { return table_; }
 
   // Optional decision trace; the engine appends one event per Figure-4
-  // step of every subsequent Undo. Pass null to stop tracing.
+  // step of every subsequent Undo. Pass null to stop tracing. While a
+  // trace is attached the scans run on the seed's linear path so the
+  // event sequence is exactly the documented one.
   void set_trace(UndoTrace* trace) { trace_ = trace; }
+
+  // Where depth-guard exhaustion is accounted (RecoveryReport::
+  // undo_depth_exhausted); Session wires its report in. Optional.
+  void set_recovery(RecoveryReport* recovery) { recovery_ = recovery; }
+
+  // The persistent candidate index (null when options().indexed is off);
+  // exposed for coherence tests.
+  RegionIndex* region_index() { return index_.get(); }
 
  private:
   void Trace(UndoTraceEvent event) {
     if (trace_ != nullptr) trace_->Add(std::move(event));
   }
+  void NoteDepthExhausted();
   void UndoRec(TransformRecord& rec, UndoStats& stats, int depth);
   std::vector<ActionId> InvertActions(TransformRecord& rec,
                                       UndoStats& stats);
+  // Wave 1 of the batch planner: resolve the affecting chain of `rec`
+  // (recursively inverting blockers) and invert its actions, deferring
+  // the affected/restored scans. Inverted records are appended to `plan`
+  // in inversion order.
+  struct PlannedInversion {
+    TransformRecord* rec;
+    std::vector<ActionId> inverted;
+  };
+  void ResolveAndInvert(TransformRecord& rec, UndoStats& stats, int depth,
+                        std::vector<PlannedInversion>& plan);
   void ScanAffected(TransformRecord& undone, const AffectedRegion& region,
                     UndoStats& stats, int depth);
+  void ScanAffectedLinear(TransformRecord& undone,
+                          const AffectedRegion& region, UndoStats& stats,
+                          int depth);
+  void ScanAffectedIndexed(TransformRecord& undone,
+                           const AffectedRegion& region, UndoStats& stats,
+                           int depth);
   void ScanRestored(TransformRecord& undone,
                     const std::vector<ActionId>& inverted, UndoStats& stats,
                     int depth);
+  void ScanRestoredLinear(TransformRecord& undone,
+                          const std::vector<StmtId>& restored,
+                          UndoStats& stats, int depth);
+  void ScanRestoredIndexed(TransformRecord& undone,
+                           const std::vector<StmtId>& restored,
+                           UndoStats& stats, int depth);
+  // Evaluates CheckSafety for `candidates` — on the worker pool when
+  // safety_threads > 1 (analyses primed first) — returning one verdict
+  // per candidate, index-aligned. Safe only between program mutations;
+  // callers discard verdicts past the first cascade.
+  std::vector<char> PrefetchSafety(
+      const std::vector<TransformRecord*>& candidates, UndoStats& stats);
+  WorkerPool& pool();
 
   AnalysisCache& analyses_;
   Journal& journal_;
   History& history_;
   UndoOptions options_;
   InteractionTable table_;
+  std::unique_ptr<RegionIndex> index_;  // present when options_.indexed
+  std::unique_ptr<WorkerPool> pool_;    // created on first parallel wave
+  RecoveryReport* recovery_ = nullptr;
   UndoTrace* trace_ = nullptr;
 };
 

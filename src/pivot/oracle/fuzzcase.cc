@@ -367,6 +367,11 @@ class StepDriver {
 }  // namespace
 
 ReplayResult ReplayFuzzCase(const FuzzCase& c, std::ostream* trace) {
+  return ReplayFuzzCase(c, ReplayOptions{}, trace);
+}
+
+ReplayResult ReplayFuzzCase(const FuzzCase& c, const ReplayOptions& opts,
+                            std::ostream* trace) {
   ReplayResult r;
   auto fail = [&](int step, std::string why) {
     r.ok = false;
@@ -390,8 +395,8 @@ ReplayResult ReplayFuzzCase(const FuzzCase& c, std::ostream* trace) {
   // Two sessions in lockstep: identical schedules resolved by identical
   // deterministic Find orders; they diverge only in the final phase's undo
   // order.
-  Session a(base.Clone());
-  Session b(base.Clone());
+  Session a(base.Clone(), opts.session);
+  Session b(base.Clone(), opts.session);
   StepDriver drive_a(a, r, trace);
   ReplayResult b_accounting;  // B's skips/applies are not reported
   StepDriver drive_b(b, b_accounting);
@@ -473,26 +478,44 @@ ReplayResult ReplayFuzzCase(const FuzzCase& c, std::ostream* trace) {
   }
   std::vector<OrderStamp> order2(undone_on_a.begin(), undone_on_a.end());
   rng.Shuffle(order2);
-  for (OrderStamp stamp : order2) {
-    if (!IsLive(b, stamp)) continue;
-    if (trace) *trace << "final B: undo stamp " << stamp << "\n";
-    std::string reason;
-    if (!b.CanUndo(stamp, &reason)) {
-      return fail(-1, "stamp " + std::to_string(stamp) +
-                          " undoable on A but blocked on B: " + reason);
+  if (opts.planner_batch_mirror) {
+    // One batch plan for the whole mirrored set. Cascade tolerance is the
+    // same as for the sequential mirror: surviving sets may legitimately
+    // diverge (transient unsafety under one order), checked below.
+    if (trace) {
+      *trace << "final B: UndoSet of " << order2.size() << " stamps\n";
     }
     try {
-      const UndoStats stats = b.Undo(stamp);
-      if (trace && stats.transforms_undone > 1) {
-        *trace << "  cascaded: " << stats.transforms_undone
-               << " transforms undone\n  history:\n" << b.HistoryToString();
-      }
+      b.UndoSet(order2);
     } catch (const ProgramError& e) {
-      return fail(-1, std::string("final-phase undo on B rejected: ") +
+      return fail(-1, std::string("final-phase UndoSet on B rejected: ") +
                           e.what());
     }
     if (std::string f = CheckSessionState(b, sem); !f.empty()) {
-      return fail(-1, "after final-phase undo on B: " + f);
+      return fail(-1, "after final-phase UndoSet on B: " + f);
+    }
+  } else {
+    for (OrderStamp stamp : order2) {
+      if (!IsLive(b, stamp)) continue;
+      if (trace) *trace << "final B: undo stamp " << stamp << "\n";
+      std::string reason;
+      if (!b.CanUndo(stamp, &reason)) {
+        return fail(-1, "stamp " + std::to_string(stamp) +
+                            " undoable on A but blocked on B: " + reason);
+      }
+      try {
+        const UndoStats stats = b.Undo(stamp);
+        if (trace && stats.transforms_undone > 1) {
+          *trace << "  cascaded: " << stats.transforms_undone
+                 << " transforms undone\n  history:\n" << b.HistoryToString();
+        }
+      } catch (const ProgramError& e) {
+        return fail(-1, std::string("final-phase undo on B rejected: ") +
+                            e.what());
+      }
+      if (std::string f = CheckSessionState(b, sem); !f.empty()) {
+        return fail(-1, "after final-phase undo on B: " + f);
+      }
     }
   }
   bool sets_agree = true;

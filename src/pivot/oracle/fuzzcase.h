@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "pivot/core/session.h"
 #include "pivot/transform/transform.h"
 
 namespace pivot {
@@ -97,10 +98,25 @@ struct ReplayResult {
   int final_undone = 0;  // transformations undone in the final phase
 };
 
+struct ReplayOptions {
+  // Options for both lockstep sessions (engine mode, analysis policy,
+  // strictness) — the handle differential campaigns use to put the
+  // indexed / parallel / batch machinery under the oracle battery.
+  SessionOptions session;
+  // Final convergence phase: mirror the set undone on A with a single
+  // Session::UndoSet batch on B instead of per-stamp sequential undos.
+  // The planner's observational-equivalence gate: every intermediate
+  // oracle check, the convergence check and the surviving-set tolerance
+  // are unchanged.
+  bool planner_batch_mirror = false;
+};
+
 // `trace`, when given, receives a step-by-step account of the replay
 // (resolved opportunities, undo stamps, per-step source) — the CLI's
 // `replay -v`, for diagnosing a failing case by hand.
 ReplayResult ReplayFuzzCase(const FuzzCase& c, std::ostream* trace = nullptr);
+ReplayResult ReplayFuzzCase(const FuzzCase& c, const ReplayOptions& opts,
+                            std::ostream* trace = nullptr);
 
 }  // namespace pivot
 

@@ -1,5 +1,6 @@
 #include "pivot/support/benchjson.h"
 
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <utility>
@@ -33,6 +34,11 @@ std::string Quote(const std::string& s) {
 }
 
 }  // namespace
+
+bool BenchSmokeMode() {
+  const char* flag = std::getenv("PIVOT_BENCH_SMOKE");
+  return flag != nullptr && *flag != '\0';
+}
 
 BenchJson::BenchJson(std::string benchmark)
     : benchmark_(std::move(benchmark)) {}

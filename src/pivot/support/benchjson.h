@@ -19,6 +19,12 @@
 
 namespace pivot {
 
+// True when PIVOT_BENCH_SMOKE is set (non-empty) in the environment.
+// Bench mains consult this to shrink workloads and skip the
+// google-benchmark timing loops, so CI can run every bench binary as a
+// quick smoke test under the `bench-smoke` ctest label.
+bool BenchSmokeMode();
+
 class BenchJson {
  public:
   explicit BenchJson(std::string benchmark);

@@ -1,0 +1,75 @@
+// A small persistent worker pool for read-only fan-out work.
+//
+// The undo engine's parallel safety checking and the analysis cache's
+// parallel PrimeAll both need the same shape of concurrency: a short burst
+// of independent tasks over shared *immutable* state, joined before any
+// mutation resumes. The pool keeps its threads parked between bursts so a
+// scan wave that fans out hundreds of safety checks does not pay a
+// thread-spawn per wave.
+//
+// Concurrency contract (what keeps the users TSan-clean):
+//   * ParallelFor blocks until every index has completed; work never
+//     outlives the call, so the caller may mutate shared state the moment
+//     it returns.
+//   * Tasks must not mutate shared state (the engine primes all analyses
+//     read-only before fanning out); distinct indices may write to
+//     distinct result slots.
+//   * The first exception thrown by any task is rethrown on the calling
+//     thread after the join.
+#ifndef PIVOT_SUPPORT_WORKER_POOL_H_
+#define PIVOT_SUPPORT_WORKER_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pivot {
+
+class WorkerPool {
+ public:
+  // `threads` is the total concurrency including the calling thread, so
+  // WorkerPool(4) parks three workers. Values <= 1 create no workers and
+  // make ParallelFor run inline.
+  explicit WorkerPool(int threads);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  // Runs fn(i) for every i in [0, n). The calling thread participates.
+  // Blocks until all indices are done; rethrows the first task exception.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  int threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  // One-shot convenience for heterogeneous task lists (the analysis
+  // cache's dependency waves): runs every task, at most `max_threads`
+  // concurrently, joins, rethrows the first exception. Spawns transient
+  // threads — use a WorkerPool instance for repeated bursts.
+  static void RunAll(std::vector<std::function<void()>> tasks,
+                     int max_threads);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for a new generation
+  std::condition_variable done_cv_;   // caller waits for workers to finish
+  std::vector<std::thread> workers_;
+
+  // Current burst, guarded by mu_ except for the atomic index cursor.
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t n_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::size_t workers_done_ = 0;
+  std::uint64_t generation_ = 0;
+  std::exception_ptr error_;
+  bool shutdown_ = false;
+};
+
+}  // namespace pivot
+
+#endif  // PIVOT_SUPPORT_WORKER_POOL_H_

