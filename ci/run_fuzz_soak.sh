@@ -9,12 +9,17 @@
 #   seeds      number of seeds to sweep          (default 200)
 #   steps      schedule length per seed          (default 90)
 #   build-dir  existing or new CMake build tree  (default build)
+#   PIVOT_FUZZ_SEED   first seed of the sweep (default 1). Nightly CI sets
+#                     this (e.g. to the date) so each night covers a fresh
+#                     seed range yet any failure is reproducible by
+#                     re-running with the same value.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 SEEDS="${1:-200}"
 STEPS="${2:-90}"
 BUILD_DIR="${3:-build}"
+START="${PIVOT_FUZZ_SEED:-1}"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target pivot_fuzz
@@ -26,6 +31,7 @@ mkdir -p "$OUT_DIR"
 "$BUILD_DIR"/tools/pivot_fuzz replay tests/corpus/*.fuzzcase
 
 "$BUILD_DIR"/tools/pivot_fuzz run \
-  --seeds "$SEEDS" --steps "$STEPS" --start 1 --corpus "$OUT_DIR"
+  --seeds "$SEEDS" --steps "$STEPS" --start "$START" --corpus "$OUT_DIR"
 
-echo "fuzz soak complete: $SEEDS seeds x $STEPS steps, repros (if any) in $OUT_DIR"
+echo "fuzz soak complete: $SEEDS seeds x $STEPS steps from seed $START," \
+     "repros (if any) in $OUT_DIR"

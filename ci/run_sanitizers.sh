@@ -31,6 +31,10 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 "$BUILD_DIR"/tests/fault_injection_tests
 "$BUILD_DIR"/tests/analysis_incremental_tests
 
+# Crash-consistency soak: the durable-journal crash-point sweep, reusing
+# this script's ASan build tree (see ci/run_crash_soak.sh for the rationale).
+ci/run_crash_soak.sh "$BUILD_DIR"
+
 echo "ASan+UBSan run complete"
 
 # ThreadSanitizer job: rebuild with -fsanitize=thread (ASan and TSan cannot

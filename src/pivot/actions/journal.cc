@@ -223,6 +223,38 @@ bool Journal::IsEditStamp(OrderStamp stamp) const {
          edit_stamps_.end();
 }
 
+void Journal::RestoreState(std::deque<ActionRecord> records,
+                           AnnotationMap annotations,
+                           std::vector<OrderStamp> edit_stamps) {
+  PIVOT_CHECK_MSG(records_.empty() && annotations_.TotalCount() == 0 &&
+                      edit_stamps_.empty(),
+                  "RestoreState requires an empty journal");
+  records_ = std::move(records);
+  annotations_ = std::move(annotations);
+  edit_stamps_ = std::move(edit_stamps);
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    ActionRecord& rec = records_[i];
+    PIVOT_CHECK_MSG(rec.id.value() == i + 1,
+                    "restored record ids must match journal positions");
+    // Payload trees (what undo would re-attach) live outside the attached
+    // program; register them so their ids resolve again.
+    if (rec.detached != nullptr) {
+      program_.RegisterTree(*rec.detached);
+    }
+    if (rec.replaced != nullptr) {
+      program_.RegisterExprTree(*rec.replaced);
+    }
+    if (rec.saved_header != nullptr) {
+      for (Expr* e : {rec.saved_header->lo.get(), rec.saved_header->hi.get(),
+                      rec.saved_header->step.get()}) {
+        if (e != nullptr) {
+          program_.RegisterExprTree(*e);
+        }
+      }
+    }
+  }
+}
+
 const ActionRecord& Journal::record(ActionId action) const {
   PIVOT_CHECK(action.valid() &&
               action.value() <= records_.size());

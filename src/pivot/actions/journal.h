@@ -174,6 +174,17 @@ class Journal {
   // an earlier one's safety, §4.2(1)); one deleted by an *edit* is gone.
   void MarkEditStamp(OrderStamp stamp) { edit_stamps_.push_back(stamp); }
   bool IsEditStamp(OrderStamp stamp) const;
+  const std::vector<OrderStamp>& edit_stamps() const { return edit_stamps_; }
+
+  // --- Persistence restore ---
+  // Installs a decoded snapshot image into an empty journal. Records arrive
+  // with ids already equal to their position + 1 (the journal's invariant);
+  // every payload tree they carry (detached statements, replaced expression
+  // trees, saved loop headers) is registered with the program so id lookups
+  // and later undo work exactly as in the original process. Aborts if the
+  // journal has already recorded actions.
+  void RestoreState(std::deque<ActionRecord> records, AnnotationMap annotations,
+                    std::vector<OrderStamp> edit_stamps);
 
  private:
   ActionRecord& NewRecord(ActionKind kind, OrderStamp stamp);

@@ -1,0 +1,90 @@
+// Commit notifications for durable persistence.
+//
+// The session describes every state-changing operation it is about to
+// commit as a TxnDescriptor — not a state delta, but the *operation
+// itself* (which opportunity was applied, which stamps were undone, which
+// edit was made). Session state is a deterministic function of the initial
+// source and the committed operation sequence (ids are assigned in
+// registration order, Find orders are deterministic), so re-executing the
+// descriptor stream through a fresh Session reproduces the state bit for
+// bit — including statement/expression ids. The durable journal exploits
+// exactly that: it persists descriptors, and recovery replays them.
+//
+// Hook ordering inside a session operation:
+//
+//   mutate (inside the Transaction guard)
+//   strict-mode validation
+//   OnCommit(desc)      <- write-ahead: throwing here rolls the whole
+//                          operation back; nothing is acknowledged that
+//                          is not durable
+//   Transaction::Commit (the in-memory state is now permanent)
+//   OnCommitted(desc)   <- post-ack policy work (snapshots); throwing
+//                          here propagates but does NOT roll back — the
+//                          operation is already durable and committed
+#ifndef PIVOT_CORE_COMMIT_HOOK_H_
+#define PIVOT_CORE_COMMIT_HOOK_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "pivot/transform/transform.h"
+
+namespace pivot {
+
+// Which session operation a descriptor replays as.
+enum class TxnOp {
+  kApply,            // Session::Apply(apply_site)
+  kUndo,             // Session::Undo(undo_stamps[0])
+  kUndoSet,          // Session::UndoSet(undo_stamps)
+  kUndoLast,         // Session::UndoLast()
+  kRemoveUnsafe,     // Session::RemoveUnsafeTransforms()
+  kEditAdd,          // Editor::AddStmt(parse(stmt_text), parent, ...)
+  kEditDelete,       // Editor::DeleteStmt(target)
+  kEditMove,         // Editor::MoveStmt(target, parent, ...)
+  kEditReplaceExpr,  // Editor::ReplaceExpr(site, parse(expr_text))
+};
+
+const char* TxnOpName(TxnOp op);  // "apply", "undo", ... (wire format)
+
+struct TxnDescriptor {
+  TxnOp op = TxnOp::kApply;
+
+  // kApply: the resolved site (ids are stable under deterministic replay).
+  Opportunity apply_site;
+  // Stamp the operation produced (apply / edits), kNoStamp otherwise.
+  OrderStamp result_stamp = kNoStamp;
+  // kUndo (one element) / kUndoSet (the requested set, order preserved).
+  std::vector<OrderStamp> undo_stamps;
+
+  // Edit operands. stmt_text is the full printed subtree for kEditAdd;
+  // expr_text the printed replacement for kEditReplaceExpr — both re-parse
+  // on replay and re-register with identical ids.
+  StmtId target;                    // kEditDelete / kEditMove
+  StmtId parent;                    // kEditAdd / kEditMove destination
+  BodyKind body = BodyKind::kMain;  // kEditAdd / kEditMove destination
+  std::size_t index = 0;            // kEditAdd / kEditMove destination
+  ExprId site;                      // kEditReplaceExpr
+  std::string stmt_text;
+  std::string expr_text;
+};
+
+// Installed on a Session (and mirrored into its Editor); see the ordering
+// contract above. One listener at a time — persistence does not stack.
+class CommitListener {
+ public:
+  virtual ~CommitListener() = default;
+
+  // Called after the operation's mutations and validation succeeded but
+  // before the in-memory commit is acknowledged. Throwing rolls the
+  // operation back.
+  virtual void OnCommit(const TxnDescriptor& desc) = 0;
+
+  // Called after the in-memory commit. Throwing propagates to the caller
+  // but cannot undo the (already durable, already committed) operation.
+  virtual void OnCommitted(const TxnDescriptor& desc) { (void)desc; }
+};
+
+}  // namespace pivot
+
+#endif  // PIVOT_CORE_COMMIT_HOOK_H_

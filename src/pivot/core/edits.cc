@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "pivot/core/transaction.h"
 #include "pivot/ir/printer.h"
 #include "pivot/support/diagnostics.h"
 #include "pivot/transform/catalog.h"
@@ -20,34 +21,73 @@ TransformRecord& Editor::NewEdit(std::string summary) {
   return history_.Add(std::move(rec));
 }
 
+void Editor::Finish(Transaction& txn, const TxnDescriptor& desc) {
+  if (listener_ != nullptr) listener_->OnCommit(desc);
+  txn.Commit();
+  if (listener_ != nullptr) listener_->OnCommitted(desc);
+}
+
 OrderStamp Editor::AddStmt(StmtPtr stmt, Stmt* parent, BodyKind body,
                            std::size_t index) {
+  TxnDescriptor desc;
+  desc.op = TxnOp::kEditAdd;
+  // The printed subtree round-trips through the parser; a replay re-parses
+  // it and fresh registration reassigns the same ids.
+  desc.stmt_text = ToSource(*stmt);
+  desc.parent = parent != nullptr ? parent->id : StmtId();
+  desc.body = body;
+  desc.index = index;
+  Transaction txn(journal_, history_, &analyses_);
   TransformRecord& rec = NewEdit("edit: add " + StmtHeadToString(*stmt));
   rec.actions.push_back(journal_.Add(std::move(stmt), parent, body, index,
                                      rec.stamp, "user edit"));
+  desc.result_stamp = rec.stamp;
+  Finish(txn, desc);
   return rec.stamp;
 }
 
 OrderStamp Editor::DeleteStmt(Stmt& stmt) {
+  TxnDescriptor desc;
+  desc.op = TxnOp::kEditDelete;
+  desc.target = stmt.id;
+  Transaction txn(journal_, history_, &analyses_);
   TransformRecord& rec =
       NewEdit("edit: delete " + StmtHeadToString(stmt));
   rec.actions.push_back(journal_.Delete(stmt, rec.stamp));
+  desc.result_stamp = rec.stamp;
+  Finish(txn, desc);
   return rec.stamp;
 }
 
 OrderStamp Editor::MoveStmt(Stmt& stmt, Stmt* parent, BodyKind body,
                             std::size_t index) {
+  TxnDescriptor desc;
+  desc.op = TxnOp::kEditMove;
+  desc.target = stmt.id;
+  desc.parent = parent != nullptr ? parent->id : StmtId();
+  desc.body = body;
+  desc.index = index;
+  Transaction txn(journal_, history_, &analyses_);
   TransformRecord& rec = NewEdit("edit: move " + StmtHeadToString(stmt));
   rec.actions.push_back(
       journal_.Move(stmt, parent, body, index, rec.stamp));
+  desc.result_stamp = rec.stamp;
+  Finish(txn, desc);
   return rec.stamp;
 }
 
 OrderStamp Editor::ReplaceExpr(Expr& site, ExprPtr replacement) {
+  TxnDescriptor desc;
+  desc.op = TxnOp::kEditReplaceExpr;
+  desc.site = site.id;
+  desc.expr_text = ExprToString(*replacement);
+  Transaction txn(journal_, history_, &analyses_);
   TransformRecord& rec = NewEdit("edit: modify " + ExprToString(site) +
                                  " -> " + ExprToString(*replacement));
   rec.actions.push_back(
       journal_.Modify(site, std::move(replacement), rec.stamp));
+  desc.result_stamp = rec.stamp;
+  Finish(txn, desc);
   return rec.stamp;
 }
 

@@ -13,15 +13,20 @@
 #ifndef PIVOT_CORE_EDITS_H_
 #define PIVOT_CORE_EDITS_H_
 
+#include "pivot/core/commit_hook.h"
 #include "pivot/core/undo_engine.h"
 
 namespace pivot {
+
+class Transaction;
 
 class Editor {
  public:
   Editor(AnalysisCache& analyses, Journal& journal, History& history);
 
-  // Each edit returns the stamp of its pseudo history entry.
+  // Each edit runs inside its own Transaction (rolled back if the edit or
+  // the durable journal's write-ahead hook throws) and returns the stamp
+  // of its pseudo history entry.
   OrderStamp AddStmt(StmtPtr stmt, Stmt* parent, BodyKind body,
                      std::size_t index);
   OrderStamp DeleteStmt(Stmt& stmt);
@@ -29,12 +34,19 @@ class Editor {
                       std::size_t index);
   OrderStamp ReplaceExpr(Expr& site, ExprPtr replacement);
 
+  // Wired by Session::set_commit_listener; same contract as there.
+  void set_commit_listener(CommitListener* listener) { listener_ = listener; }
+
  private:
   TransformRecord& NewEdit(std::string summary);
+  // OnCommit (write-ahead) -> commit -> OnCommitted, per the listener
+  // ordering contract.
+  void Finish(Transaction& txn, const TxnDescriptor& desc);
 
   AnalysisCache& analyses_;
   Journal& journal_;
   History& history_;
+  CommitListener* listener_ = nullptr;
 };
 
 // Identifies every applied transformation whose safety an edit (or

@@ -60,6 +60,17 @@ void History::RewindTo(std::size_t size, OrderStamp next_stamp) {
   for (Listener* l : listeners_) l->OnHistoryRewind(size);
 }
 
+void History::RestoreState(std::deque<TransformRecord> records,
+                           OrderStamp next_stamp) {
+  PIVOT_CHECK_MSG(records_.empty() && next_ == 1,
+                  "RestoreState requires an empty history");
+  for (TransformRecord& rec : records) {
+    PIVOT_CHECK(rec.stamp != kNoStamp && rec.stamp < next_stamp);
+    Add(std::move(rec));
+  }
+  next_ = next_stamp;
+}
+
 std::string History::ToString(const Program& program) const {
   std::ostringstream os;
   for (const TransformRecord& rec : records_) {

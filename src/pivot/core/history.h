@@ -61,6 +61,13 @@ class History {
   // rollback removes those actions too).
   void RewindTo(std::size_t size, OrderStamp next_stamp);
 
+  // --- Persistence restore ---
+  // Installs a decoded snapshot image into an empty history. Goes through
+  // Add() so listeners (the region index) mirror every record, then fast-
+  // forwards the stamp counter. Aborts if the history is non-empty.
+  void RestoreState(std::deque<TransformRecord> records,
+                    OrderStamp next_stamp);
+
  private:
   // A deque keeps record addresses stable across Add/RewindTo, so the
   // stamp map and the region index may hold pointers into it.

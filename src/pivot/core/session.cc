@@ -6,6 +6,21 @@
 
 namespace pivot {
 
+const char* TxnOpName(TxnOp op) {
+  switch (op) {
+    case TxnOp::kApply: return "apply";
+    case TxnOp::kUndo: return "undo";
+    case TxnOp::kUndoSet: return "undo-set";
+    case TxnOp::kUndoLast: return "undo-last";
+    case TxnOp::kRemoveUnsafe: return "remove-unsafe";
+    case TxnOp::kEditAdd: return "edit-add";
+    case TxnOp::kEditDelete: return "edit-delete";
+    case TxnOp::kEditMove: return "edit-move";
+    case TxnOp::kEditReplaceExpr: return "edit-replace-expr";
+  }
+  return "?";
+}
+
 Session::Session(Program program, SessionOptions options)
     : options_(std::move(options)),
       program_(std::move(program)),
@@ -17,7 +32,7 @@ Session::Session(Program program, SessionOptions options)
 }
 
 template <typename Fn>
-auto Session::Transact(const char* operation, Fn&& fn) {
+auto Session::Transact(const char* operation, TxnDescriptor& desc, Fn&& fn) {
   ++recovery_.transactions;
   Transaction txn(journal_, history_, &analyses_);
   try {
@@ -36,8 +51,16 @@ auto Session::Transact(const char* operation, Fn&& fn) {
         throw ProgramError(recovery_.last_rollback_reason);
       }
     }
+    // Write-ahead: the operation must be durable before it is acknowledged.
+    // A throw here lands in the catch clauses with the transaction still
+    // active and rolls everything back — memory never runs ahead of disk.
+    if (commit_listener_ != nullptr) commit_listener_->OnCommit(desc);
     txn.Commit();
     ++recovery_.commits;
+    // Post-ack policy work (snapshots). The transaction is inactive, so a
+    // throw from here propagates without rolling back: the operation is
+    // already durable and committed on both sides.
+    if (commit_listener_ != nullptr) commit_listener_->OnCommitted(desc);
     return result;
   } catch (const FaultInjectedError& e) {
     if (txn.active()) {
@@ -65,7 +88,10 @@ std::vector<Opportunity> Session::FindOpportunities(TransformKind kind) {
 }
 
 OrderStamp Session::Apply(const Opportunity& op) {
-  return Transact("apply", [&] {
+  TxnDescriptor desc;
+  desc.op = TxnOp::kApply;
+  desc.apply_site = op;
+  return Transact("apply", desc, [&] {
     const Transformation& t = GetTransformation(op.kind);
     if (!t.Applicable(analyses_, op)) {
       throw ProgramError(std::string(t.name()) +
@@ -78,7 +104,8 @@ OrderStamp Session::Apply(const Opportunity& op) {
     rec.site = op;
     t.Apply(analyses_, journal_, op, rec);
     history_.Add(std::move(rec));
-    return history_.records().back().stamp;
+    desc.result_stamp = history_.records().back().stamp;
+    return desc.result_stamp;
   });
 }
 
@@ -117,22 +144,35 @@ int Session::ApplyEverywhere(TransformKind kind, int max_applications) {
 }
 
 UndoStats Session::Undo(OrderStamp stamp) {
-  return Transact("undo", [&] { return engine_.Undo(stamp); });
+  TxnDescriptor desc;
+  desc.op = TxnOp::kUndo;
+  desc.undo_stamps.push_back(stamp);
+  return Transact("undo", desc, [&] { return engine_.Undo(stamp); });
 }
 
 UndoStats Session::UndoSet(const std::vector<OrderStamp>& stamps,
                            std::vector<OrderStamp>* undone) {
-  return Transact("undo-set",
+  TxnDescriptor desc;
+  desc.op = TxnOp::kUndoSet;
+  desc.undo_stamps = stamps;
+  return Transact("undo-set", desc,
                   [&] { return engine_.UndoSet(stamps, undone); });
 }
 
 OrderStamp Session::UndoLast() {
-  return Transact("undo-last", [&] { return engine_.UndoLast(); });
+  TxnDescriptor desc;
+  desc.op = TxnOp::kUndoLast;
+  return Transact("undo-last", desc, [&] {
+    desc.result_stamp = engine_.UndoLast();
+    return desc.result_stamp;
+  });
 }
 
 std::vector<OrderStamp> Session::RemoveUnsafeTransforms(
     std::vector<OrderStamp>* blocked) {
-  return Transact("remove-unsafe", [&] {
+  TxnDescriptor desc;
+  desc.op = TxnOp::kRemoveUnsafe;
+  return Transact("remove-unsafe", desc, [&] {
     return pivot::RemoveUnsafeTransforms(engine_, analyses_, journal_,
                                          history_, nullptr, blocked);
   });

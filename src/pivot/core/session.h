@@ -25,6 +25,7 @@
 #include <string>
 
 #include "pivot/analysis/analyses.h"
+#include "pivot/core/commit_hook.h"
 #include "pivot/core/edits.h"
 #include "pivot/core/transaction.h"
 #include "pivot/core/undo_engine.h"
@@ -33,6 +34,9 @@
 #include "pivot/ir/printer.h"
 
 namespace pivot {
+
+struct SessionState;   // persist/snapshot.h
+struct RecoverResult;  // persist/durable.h
 
 struct SessionOptions {
   UndoOptions undo;
@@ -92,6 +96,30 @@ class Session {
   std::vector<OrderStamp> RemoveUnsafeTransforms(
       std::vector<OrderStamp>* blocked = nullptr);
 
+  // --- persistence ---
+  // Installs a commit listener on this session and its editor: OnCommit
+  // runs after validation but before the in-memory commit is acknowledged
+  // (write-ahead; throwing rolls the operation back), OnCommitted after
+  // (throwing propagates without rollback). One listener at a time; pass
+  // nullptr to detach.
+  void set_commit_listener(CommitListener* listener) {
+    commit_listener_ = listener;
+    editor_.set_commit_listener(listener);
+  }
+  CommitListener* commit_listener() const { return commit_listener_; }
+
+  // Installs a decoded snapshot image into this freshly constructed,
+  // never-mutated session (journal records with their payload trees,
+  // annotations, edit stamps, history). Defined with the persist subsystem;
+  // persist/snapshot.h holds SessionState.
+  void RestorePersistedState(SessionState state);
+
+  // Opens a durable journal, truncates any torn or corrupt tail, and
+  // replays snapshot + tail into a fresh session. Defined in
+  // persist/durable.cc; persist/durable.h holds RecoverResult and the
+  // recovery report.
+  static RecoverResult Recover(const std::string& path);
+
   // --- recovery & validation ---
   const SessionOptions& options() const { return options_; }
   const RecoveryReport& recovery() const { return recovery_; }
@@ -112,9 +140,11 @@ class Session {
 
  private:
   // Runs `fn` inside a Transaction: commit on success (after an optional
-  // strict-mode validation), exact rollback on any exception.
+  // strict-mode validation and the commit listener's write-ahead hook),
+  // exact rollback on any exception. `desc` describes the operation for
+  // the listener; fn fills in the produced stamp where applicable.
   template <typename Fn>
-  auto Transact(const char* operation, Fn&& fn);
+  auto Transact(const char* operation, TxnDescriptor& desc, Fn&& fn);
 
   SessionOptions options_;
   Program program_;
@@ -124,6 +154,7 @@ class Session {
   UndoEngine engine_;
   Editor editor_;
   RecoveryReport recovery_;
+  CommitListener* commit_listener_ = nullptr;
 };
 
 }  // namespace pivot

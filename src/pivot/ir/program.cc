@@ -17,6 +17,15 @@ void Program::RemoveMutationListener(MutationListener* listener) {
       listeners_.end());
 }
 
+void Program::RestoreIdCounters(std::uint32_t next_stmt,
+                                std::uint32_t next_expr) {
+  PIVOT_CHECK_MSG(next_stmt >= next_stmt_id_ && next_expr >= next_expr_id_,
+                  "id counters only move forward (restore would re-issue "
+                  "live ids)");
+  next_stmt_id_ = next_stmt;
+  next_expr_id_ = next_expr;
+}
+
 void Program::Mutated(StmtId stmt, bool structural) {
   ++epoch_;
   for (MutationListener* listener : listeners_) {

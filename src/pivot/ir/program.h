@@ -131,6 +131,15 @@ class Program {
   // Structural equality of the attached trees of two programs.
   static bool Equals(const Program& a, const Program& b);
 
+  // --- Id counters ---
+  // Next ids the program would assign; persisted by snapshots so a restored
+  // program keeps assigning the same ids a never-crashed session would.
+  std::uint32_t next_stmt_id() const { return next_stmt_id_; }
+  std::uint32_t next_expr_id() const { return next_expr_id_; }
+  // Restores persisted counters. Counters only ever move forward: restoring
+  // below the current high-water mark (which would re-issue live ids) aborts.
+  void RestoreIdCounters(std::uint32_t next_stmt, std::uint32_t next_expr);
+
   // --- Epoch ---
   // Monotonically increasing mutation counter; analyses cache against it.
   std::uint64_t epoch() const { return epoch_; }

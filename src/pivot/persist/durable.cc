@@ -1,0 +1,314 @@
+#include "pivot/persist/durable.h"
+
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "pivot/ir/parser.h"
+#include "pivot/persist/snapshot.h"
+#include "pivot/persist/wire.h"
+#include "pivot/support/diagnostics.h"
+#include "pivot/support/fault_injector.h"
+
+namespace pivot {
+namespace {
+
+// Snapshot frame body: "txns <count>\n<session image>" — the count of txn
+// frames preceding the snapshot, so recovery knows how much of the tail
+// the image already covers.
+std::string MakeSnapshotBody(std::uint64_t txns, const std::string& image) {
+  return "txns " + std::to_string(txns) + "\n" + image;
+}
+
+std::pair<std::uint64_t, std::string> SplitSnapshotBody(
+    const std::string& body) {
+  std::istringstream is(body);
+  std::string tag;
+  std::uint64_t txns = 0;
+  is >> tag >> txns;
+  const std::size_t newline = body.find('\n');
+  if (!is || tag != "txns" || newline == std::string::npos) {
+    throw ProgramError("persisted frame: bad snapshot prefix");
+  }
+  return {txns, body.substr(newline + 1)};
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DurableJournal
+// ---------------------------------------------------------------------------
+
+DurableJournal::DurableJournal(Session& session, WalWriter writer,
+                               PersistOptions options)
+    : session_(session), writer_(std::move(writer)), options_(options) {}
+
+std::unique_ptr<DurableJournal> DurableJournal::Create(
+    Session& session, const std::string& path, PersistOptions options) {
+  if (session.options().undo.heuristic == UndoOptions::Heuristic::kCustom) {
+    throw ProgramError(
+        "durable journal: custom interaction tables are not persistable");
+  }
+  if (!session.history().records().empty() ||
+      !session.journal().records().empty()) {
+    throw ProgramError(
+        "durable journal: attach before the first operation (replay "
+        "rebuilds state from the genesis source)");
+  }
+  WalWriter writer = WalWriter::Create(path);
+  PIVOT_FAULT_POINT("persist.genesis.pre");
+  writer.AppendFrame(FrameType::kGenesis,
+                     EncodeGenesis(session.options(), session.Source()),
+                     options.fsync, "persist.genesis");
+  auto journal = std::unique_ptr<DurableJournal>(
+      new DurableJournal(session, std::move(writer), options));
+  session.set_commit_listener(journal.get());
+  return journal;
+}
+
+std::unique_ptr<DurableJournal> DurableJournal::Reattach(
+    Session& session, const std::string& path, PersistOptions options) {
+  const WalScanResult scan = ScanWal(path);
+  if (!scan.header_ok || scan.version != kJournalFormatVersion ||
+      scan.frames.empty()) {
+    throw ProgramError("durable journal: " + path +
+                       " is not a journal of this format version");
+  }
+  if (scan.valid_bytes != scan.file_bytes) {
+    throw ProgramError("durable journal: " + path +
+                       " has a torn tail; run Session::Recover first");
+  }
+  auto journal = std::unique_ptr<DurableJournal>(
+      new DurableJournal(session, WalWriter::Append(path), options));
+  for (const WalFrame& frame : scan.frames) {
+    if (frame.type == FrameType::kTxn) {
+      ++journal->txns_;
+      ++journal->since_snapshot_;
+    } else if (frame.type == FrameType::kSnapshot) {
+      journal->since_snapshot_ = 0;
+      ++journal->snapshots_;
+    }
+  }
+  session.set_commit_listener(journal.get());
+  return journal;
+}
+
+DurableJournal::~DurableJournal() {
+  if (session_.commit_listener() == this) {
+    session_.set_commit_listener(nullptr);
+  }
+}
+
+void DurableJournal::OnCommit(const TxnDescriptor& desc) {
+  if (broken_) {
+    throw ProgramError(
+        "durable journal: poisoned by an earlier write fault (the file may "
+        "end mid-frame); recover before committing again");
+  }
+  PIVOT_FAULT_POINT("persist.txn.pre");
+  // The digest pins the state this commit produces; recovery verifies it
+  // after replaying the frame.
+  const std::string body = EncodeTxn(desc, ComputeDigest(session_));
+  try {
+    writer_.AppendFrame(FrameType::kTxn, body, options_.fsync, "persist.txn");
+  } catch (...) {
+    // The file may now end in a torn frame (or, after the fsync point, in
+    // a durable frame the session is about to roll back). Either way no
+    // further frame may be appended behind it.
+    broken_ = true;
+    throw;
+  }
+  ++txns_;
+  ++since_snapshot_;
+}
+
+void DurableJournal::OnCommitted(const TxnDescriptor& desc) {
+  (void)desc;
+  PIVOT_FAULT_POINT("persist.commit.ack.pre");
+  if (broken_ || options_.snapshot_interval <= 0) return;
+  if (since_snapshot_ <
+      static_cast<std::uint64_t>(options_.snapshot_interval)) {
+    return;
+  }
+  WriteSnapshot();
+}
+
+void DurableJournal::WriteSnapshot() {
+  PIVOT_FAULT_POINT("persist.snapshot.pre");
+  const std::string body =
+      MakeSnapshotBody(txns_, EncodeSessionImage(session_));
+  try {
+    writer_.AppendFrame(FrameType::kSnapshot, body, options_.fsync,
+                        "persist.snapshot");
+  } catch (...) {
+    broken_ = true;
+    throw;
+  }
+  since_snapshot_ = 0;
+  ++snapshots_;
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+// ---------------------------------------------------------------------------
+
+std::string JournalRecoveryReport::ToString() const {
+  std::ostringstream os;
+  os << "journal: " << frames_scanned << " frames, " << txns_in_journal
+     << " transactions\n";
+  os << "replayed: " << txns_replayed << " onto ";
+  if (used_snapshot) {
+    os << "snapshot (covering " << snapshot_txns << ")";
+  } else {
+    os << "genesis";
+  }
+  os << "\n";
+  if (truncated) {
+    os << "truncated: " << truncation_reason << " at byte " << truncated_at
+       << "\n";
+  }
+  os << "validator: " << (validator_ok ? "ok" : "FAILED") << "\n";
+  for (const std::string& e : errors) {
+    os << "error: " << e << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+// One recovery pass over the file as it currently is. Returns nullopt when
+// the pass had to truncate mid-replay (divergence) — the caller re-runs on
+// the now-shorter file so the returned session always matches the file
+// exactly.
+std::optional<RecoverResult> RecoverOnce(const std::string& path,
+                                         std::vector<std::string>& errors,
+                                         std::uint64_t& diverged_cut) {
+  WalScanResult scan = ScanWal(path);
+  if (!scan.header_ok) {
+    throw ProgramError("recover: " + path + " is not a pivot journal (" +
+                       scan.truncation_reason + ")");
+  }
+  if (scan.version > kJournalFormatVersion) {
+    throw ProgramError(
+        "recover: journal format version " + std::to_string(scan.version) +
+        " is newer than this build supports (" +
+        std::to_string(kJournalFormatVersion) + "); refusing to guess");
+  }
+  if (scan.frames.empty() || scan.frames[0].type != FrameType::kGenesis) {
+    throw ProgramError("recover: journal has no genesis frame");
+  }
+
+  RecoverResult out;
+  JournalRecoveryReport& rep = out.report;
+  rep.frames_scanned = scan.frames.size();
+  for (const WalFrame& frame : scan.frames) {
+    if (frame.type == FrameType::kTxn) ++rep.txns_in_journal;
+  }
+
+  // A tail the scanner rejected (torn write, bit flip) is truncated before
+  // anything is replayed — never silently replayed, never guessed at.
+  if (scan.valid_bytes < scan.file_bytes) {
+    rep.truncated = true;
+    rep.truncated_at = scan.valid_bytes;
+    rep.truncation_reason = scan.truncation_reason;
+    PIVOT_FAULT_POINT("persist.recover.truncate.pre");
+    TruncateWal(path, scan.valid_bytes);
+  }
+
+  const GenesisInfo genesis = DecodeGenesis(scan.frames[0].body);
+
+  // Base state: the latest snapshot that decodes, else the genesis source.
+  std::unique_ptr<Session> session;
+  std::uint64_t skip_txns = 0;
+  for (std::size_t i = scan.frames.size(); i-- > 1;) {
+    if (scan.frames[i].type != FrameType::kSnapshot) continue;
+    try {
+      auto [covered, image] = SplitSnapshotBody(scan.frames[i].body);
+      DecodedImage img = DecodeSessionImage(image);
+      session =
+          std::make_unique<Session>(std::move(img.program), genesis.options);
+      session->RestorePersistedState(std::move(img.state));
+      skip_txns = covered;
+      rep.used_snapshot = true;
+      rep.snapshot_txns = covered;
+      break;
+    } catch (const ProgramError& e) {
+      errors.push_back("snapshot frame ignored: " + std::string(e.what()));
+      session.reset();
+    }
+  }
+  if (session == nullptr) {
+    session = std::make_unique<Session>(Parse(genesis.source),
+                                        genesis.options);
+  }
+
+  // Tail replay: re-execute every txn frame the base does not cover, in
+  // file order, verifying the state digest after each.
+  std::uint64_t txn_ordinal = 0;
+  for (std::size_t i = 1; i < scan.frames.size(); ++i) {
+    const WalFrame& frame = scan.frames[i];
+    if (frame.type != FrameType::kTxn) continue;
+    ++txn_ordinal;
+    if (txn_ordinal <= skip_txns) continue;
+    try {
+      const TxnInfo info = DecodeTxn(frame.body);
+      ReplayTxn(*session, info.desc);
+      const SessionDigest actual = ComputeDigest(*session);
+      if (!(actual == info.digest)) {
+        throw ProgramError("state digest diverged (journal: " +
+                           info.digest.ToString() + "; session: " +
+                           actual.ToString() + ")");
+      }
+      ++rep.txns_replayed;
+    } catch (const FaultInjectedError&) {
+      throw;  // an armed injector is the harness talking, not corruption
+    } catch (const ProgramError& e) {
+      // The frame is valid bytes but does not replay — state divergence.
+      // Cut the file at its start and re-run so session and file agree.
+      errors.push_back("replay stopped at transaction " +
+                       std::to_string(txn_ordinal) + ": " + e.what());
+      diverged_cut = scan.frames[i - 1].end_offset;
+      PIVOT_FAULT_POINT("persist.recover.truncate.pre");
+      TruncateWal(path, diverged_cut);
+      return std::nullopt;
+    }
+  }
+
+  const ValidationReport validation = session->Validate();
+  rep.validator_ok = validation.ok();
+  if (!validation.ok()) {
+    errors.push_back("validator: " + validation.violations.front());
+  }
+  out.session = std::move(session);
+  return out;
+}
+
+}  // namespace
+
+RecoverResult RecoverSession(const std::string& path) {
+  std::vector<std::string> errors;
+  bool diverged = false;
+  std::uint64_t diverged_cut = 0;
+  for (;;) {
+    std::optional<RecoverResult> result =
+        RecoverOnce(path, errors, diverged_cut);
+    if (!result.has_value()) {
+      // Each divergence truncates at least one frame, so this terminates.
+      diverged = true;
+      continue;
+    }
+    if (diverged && !result->report.truncated) {
+      result->report.truncated = true;
+      result->report.truncation_reason = "replay divergence";
+      result->report.truncated_at = diverged_cut;
+    }
+    result->report.errors = std::move(errors);
+    return *std::move(result);
+  }
+}
+
+RecoverResult Session::Recover(const std::string& path) {
+  return RecoverSession(path);
+}
+
+}  // namespace pivot

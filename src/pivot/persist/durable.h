@@ -1,0 +1,124 @@
+// The durable write-ahead journal: a Session CommitListener that appends
+// every committed operation as a checksummed frame *before* the in-memory
+// commit is acknowledged, plus crash-consistent recovery.
+//
+// Protocol per operation (see core/commit_hook.h):
+//   OnCommit    — append + fsync the txn frame; a write fault throws, the
+//                 session rolls the operation back, and the journal is
+//                 poisoned (no further commits) since the file may now end
+//                 in a torn frame;
+//   OnCommitted — optionally append a full-session snapshot (policy:
+//                 every `snapshot_interval` transactions). Snapshots are
+//                 pure read optimization: recovery is snapshot +
+//                 tail-replay instead of whole-history replay, and a torn
+//                 snapshot is just a truncatable tail.
+//
+// Recovery scans the file, truncates the torn/corrupt tail (CRC or length
+// failure — never replayed, never guessed at), rebuilds the base state from
+// the last valid snapshot (or the genesis source), re-executes the tail's
+// operation descriptors through the ordinary Session API, verifies the
+// per-frame state digests, and revalidates with the cross-layer Validator.
+#ifndef PIVOT_PERSIST_DURABLE_H_
+#define PIVOT_PERSIST_DURABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pivot/core/session.h"
+#include "pivot/persist/wal.h"
+
+namespace pivot {
+
+struct PersistOptions {
+  // > 0: append a full-session snapshot frame after every N committed
+  // transactions. 0 = never (recovery replays the whole history).
+  int snapshot_interval = 0;
+  // fsync each txn frame before acknowledging the commit. Turning this off
+  // trades crash consistency for throughput (bench mode): the frame order
+  // is still correct, but the tail may be lost on power failure.
+  bool fsync = true;
+};
+
+class DurableJournal final : public CommitListener {
+ public:
+  // Starts journaling `session` into a fresh file at `path` (truncating
+  // any existing file): writes the header and the genesis frame, then
+  // installs itself as the session's commit listener. The session must be
+  // pristine (no history, no journal records) — the genesis source is what
+  // replay rebuilds ids from — and must outlive the returned object.
+  // Throws ProgramError on I/O failure or a non-persistable session
+  // (custom interaction tables).
+  static std::unique_ptr<DurableJournal> Create(Session& session,
+                                                const std::string& path,
+                                                PersistOptions options = {});
+
+  // Resumes journaling an existing file (e.g. after Session::Recover of
+  // the same path): appends after the current end, which must already be
+  // truncated to a valid prefix. The session must hold exactly the state
+  // the file replays to.
+  static std::unique_ptr<DurableJournal> Reattach(Session& session,
+                                                  const std::string& path,
+                                                  PersistOptions options = {});
+
+  ~DurableJournal() override;
+  DurableJournal(const DurableJournal&) = delete;
+  DurableJournal& operator=(const DurableJournal&) = delete;
+
+  void OnCommit(const TxnDescriptor& desc) override;
+  void OnCommitted(const TxnDescriptor& desc) override;
+
+  // A write fault poisons the journal: the file may end mid-frame, so no
+  // further frame may be appended (it would hide the tear behind valid
+  // frames the scanner never reaches). Recover the file instead.
+  bool broken() const { return broken_; }
+
+  std::uint64_t txns_written() const { return txns_; }
+  std::uint64_t snapshots_written() const { return snapshots_; }
+
+ private:
+  DurableJournal(Session& session, WalWriter writer, PersistOptions options);
+  void WriteSnapshot();
+
+  Session& session_;
+  WalWriter writer_;
+  PersistOptions options_;
+  std::uint64_t txns_ = 0;  // txn frames in the file
+  std::uint64_t since_snapshot_ = 0;
+  std::uint64_t snapshots_ = 0;
+  bool broken_ = false;
+};
+
+// What recovery found and did. Golden-tested: ToString() is part of the
+// interface.
+struct JournalRecoveryReport {
+  std::uint64_t frames_scanned = 0;  // valid frames (genesis included)
+  std::uint64_t txns_in_journal = 0; // valid txn frames
+  std::uint64_t txns_replayed = 0;   // re-executed (tail after snapshot)
+  bool used_snapshot = false;
+  std::uint64_t snapshot_txns = 0;   // txn frames the snapshot covered
+  bool truncated = false;
+  std::uint64_t truncated_at = 0;    // file offset of the cut
+  std::string truncation_reason;
+  bool validator_ok = false;
+  std::vector<std::string> errors;   // non-fatal anomalies, in order
+
+  std::string ToString() const;
+};
+
+struct RecoverResult {
+  std::unique_ptr<Session> session;
+  JournalRecoveryReport report;
+};
+
+// Free-function form of Session::Recover. Throws ProgramError when the
+// file is unreadable, is not a journal, carries a newer format version
+// than this build (no forward compatibility — see kJournalFormatVersion),
+// or holds no usable genesis frame. Corrupt/torn tails do not throw: they
+// are truncated and reported.
+RecoverResult RecoverSession(const std::string& path);
+
+}  // namespace pivot
+
+#endif  // PIVOT_PERSIST_DURABLE_H_

@@ -1,0 +1,172 @@
+// Internal token stream shared by the persist codecs (snapshot images,
+// genesis/txn frame bodies).
+//
+// Every element is one whitespace-separated token; strings are quoted with
+// backslash escapes so arbitrary user text (descriptions, summaries,
+// printed subtrees) survives. Deterministic: equal inputs produce
+// byte-identical streams, which the frame CRCs and the replay digests rely
+// on. Malformed input throws ProgramError — recovery treats that exactly
+// like a checksum failure (the frame is not trusted).
+#ifndef PIVOT_PERSIST_TOKEN_H_
+#define PIVOT_PERSIST_TOKEN_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "pivot/support/diagnostics.h"
+#include "pivot/support/ids.h"
+
+namespace pivot::persist_internal {
+
+[[noreturn]] inline void Malformed(const std::string& what) {
+  throw ProgramError("persisted frame: " + what);
+}
+
+class TokenWriter {
+ public:
+  void Tok(std::string_view t) { os_ << t << ' '; }
+  void Int(long long v) { os_ << v << ' '; }
+  void U32(std::uint32_t v) { os_ << v << ' '; }
+  void U64(std::uint64_t v) { os_ << v << ' '; }
+  template <typename Tag>
+  void Id32(Id<Tag> id) {
+    U32(id.value());
+  }
+  void Real(double v) {
+    // Hexfloat: exact round trip, locale-independent.
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%a", v);
+    os_ << buf << ' ';
+  }
+  void Str(std::string_view s) {
+    os_ << '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': os_ << "\\\""; break;
+        case '\\': os_ << "\\\\"; break;
+        case '\n': os_ << "\\n"; break;
+        default: os_ << c;
+      }
+    }
+    os_ << "\" ";
+  }
+  std::string Take() { return os_.str(); }
+
+ private:
+  std::ostringstream os_;
+};
+
+class TokenReader {
+ public:
+  explicit TokenReader(const std::string& text) : text_(text) {}
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  std::string Next() {
+    SkipSpace();
+    if (pos_ >= text_.size()) Malformed("unexpected end of data");
+    if (text_[pos_] == '"') return Quoted();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && !IsSpace(text_[pos_])) ++pos_;
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  void Expect(std::string_view tok) {
+    const std::string got = Next();
+    if (got != tok) {
+      Malformed("expected '" + std::string(tok) + "', got '" + got + "'");
+    }
+  }
+
+  long long Int() {
+    const std::string tok = Next();
+    char* end = nullptr;
+    const long long v = std::strtoll(tok.c_str(), &end, 10);
+    if (end == tok.c_str() || *end != '\0') {
+      Malformed("expected integer, got '" + tok + "'");
+    }
+    return v;
+  }
+
+  std::uint32_t U32() {
+    const long long v = Int();
+    if (v < 0 || v > 0xFFFFFFFFll) Malformed("u32 out of range");
+    return static_cast<std::uint32_t>(v);
+  }
+
+  std::uint64_t U64() {
+    const std::string tok = Next();
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+    if (end == tok.c_str() || *end != '\0' || tok[0] == '-') {
+      Malformed("expected u64, got '" + tok + "'");
+    }
+    return v;
+  }
+
+  // A non-negative element count, bounded so corrupt data cannot drive
+  // allocation.
+  std::size_t Count(std::size_t limit) {
+    const long long v = Int();
+    if (v < 0 || static_cast<std::size_t>(v) > limit) {
+      Malformed("count out of range");
+    }
+    return static_cast<std::size_t>(v);
+  }
+
+  double Real() {
+    const std::string tok = Next();
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end == tok.c_str() || *end != '\0') {
+      Malformed("expected real, got '" + tok + "'");
+    }
+    return v;
+  }
+
+  std::string Str() {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      Malformed("expected quoted string");
+    }
+    return Quoted();
+  }
+
+ private:
+  static bool IsSpace(char c) {
+    return c == ' ' || c == '\n' || c == '\t' || c == '\r';
+  }
+  void SkipSpace() {
+    while (pos_ < text_.size() && IsSpace(text_[pos_])) ++pos_;
+  }
+  std::string Quoted() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) Malformed("dangling escape");
+        const char e = text_[pos_++];
+        c = e == 'n' ? '\n' : e;
+      }
+      out.push_back(c);
+    }
+    if (pos_ >= text_.size()) Malformed("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace pivot::persist_internal
+
+#endif  // PIVOT_PERSIST_TOKEN_H_

@@ -1,0 +1,175 @@
+#include "pivot/persist/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include "pivot/support/crc32c.h"
+#include "pivot/support/diagnostics.h"
+#include "pivot/support/fault_injector.h"
+
+namespace pivot {
+namespace {
+
+void PutU32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+std::uint32_t GetU32(const std::string& data, std::size_t pos) {
+  const auto b = [&](std::size_t i) {
+    return static_cast<std::uint32_t>(
+        static_cast<unsigned char>(data[pos + i]));
+  };
+  return b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
+}
+
+[[noreturn]] void IoError(const std::string& what) {
+  throw ProgramError("journal file: " + what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+WalWriter WalWriter::Create(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) IoError("cannot create " + path);
+  WalWriter w(fd);
+  std::string header(kWalMagic, sizeof kWalMagic);
+  PutU32(header, kJournalFormatVersion);
+  w.WriteAll(header.data(), header.size());
+  if (::fsync(fd) != 0) IoError("fsync after header");
+  return w;
+}
+
+WalWriter WalWriter::Append(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
+  if (fd < 0) IoError("cannot open " + path);
+  return WalWriter(fd);
+}
+
+WalWriter::WalWriter(WalWriter&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+WalWriter::~WalWriter() { Close(); }
+
+void WalWriter::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void WalWriter::WriteAll(const void* data, std::size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::write(fd_, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      IoError("write failed");
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+void WalWriter::AppendFrame(FrameType type, const std::string& body,
+                            bool fsync, const std::string& point_prefix) {
+  std::string payload;
+  payload.reserve(body.size() + 1);
+  payload.push_back(static_cast<char>(type));
+  payload += body;
+
+  std::string header;
+  PutU32(header, static_cast<std::uint32_t>(payload.size()));
+  PutU32(header, Crc32c(payload));
+
+  // The frame goes to disk in three write(2) calls with fault points in
+  // between: a fault after any of them leaves a genuinely torn frame (the
+  // bytes written so far are really in the file).
+  WriteAll(header.data(), header.size());
+  PIVOT_FAULT_POINT((point_prefix + ".header.post").c_str());
+  const std::size_t half = payload.size() / 2;
+  WriteAll(payload.data(), half);
+  PIVOT_FAULT_POINT((point_prefix + ".mid").c_str());
+  WriteAll(payload.data() + half, payload.size() - half);
+  PIVOT_FAULT_POINT((point_prefix + ".post").c_str());
+  if (fsync) {
+    if (::fsync(fd_) != 0) IoError("fsync failed");
+    // The frame is durable but the in-memory commit has not happened yet —
+    // a crash here must recover the frame (it was paid for).
+    PIVOT_FAULT_POINT((point_prefix + ".fsync.post").c_str());
+  }
+}
+
+WalScanResult ScanWal(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw ProgramError("journal file: cannot read " + path);
+  }
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+
+  WalScanResult result;
+  result.file_bytes = data.size();
+
+  const std::size_t header_size = sizeof kWalMagic + 4;
+  if (data.size() < header_size ||
+      std::memcmp(data.data(), kWalMagic, sizeof kWalMagic) != 0) {
+    result.truncation_reason = "missing or corrupt file header";
+    return result;
+  }
+  result.header_ok = true;
+  result.version = GetU32(data, sizeof kWalMagic);
+  result.valid_bytes = header_size;
+
+  std::size_t pos = header_size;
+  while (pos < data.size()) {
+    if (data.size() - pos < 8) {
+      result.truncation_reason = "torn frame header";
+      break;
+    }
+    const std::uint32_t len = GetU32(data, pos);
+    const std::uint32_t crc = GetU32(data, pos + 4);
+    if (len == 0) {
+      result.truncation_reason = "empty payload";
+      break;
+    }
+    if (data.size() - pos - 8 < len) {
+      result.truncation_reason = "frame exceeds file";
+      break;
+    }
+    const char* payload = data.data() + pos + 8;
+    if (Crc32c(payload, len) != crc) {
+      result.truncation_reason = "checksum mismatch";
+      break;
+    }
+    const unsigned char type = static_cast<unsigned char>(payload[0]);
+    if (type < static_cast<unsigned char>(FrameType::kGenesis) ||
+        type > static_cast<unsigned char>(FrameType::kSnapshot)) {
+      result.truncation_reason = "unknown frame type";
+      break;
+    }
+    WalFrame frame;
+    frame.type = static_cast<FrameType>(type);
+    frame.body.assign(payload + 1, len - 1);
+    pos += 8 + len;
+    frame.end_offset = pos;
+    result.frames.push_back(std::move(frame));
+    result.valid_bytes = pos;
+  }
+  return result;
+}
+
+void TruncateWal(const std::string& path, std::uint64_t valid_bytes) {
+  if (::truncate(path.c_str(), static_cast<off_t>(valid_bytes)) != 0) {
+    IoError("truncate failed");
+  }
+}
+
+}  // namespace pivot

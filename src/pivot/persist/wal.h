@@ -1,0 +1,104 @@
+// Write-ahead log framing: append, scan, truncate.
+//
+// File layout:
+//
+//   "PIVOTWAL" <u32 version>                          (12-byte header)
+//   frame*
+//
+//   frame := <u32 payload length> <u32 CRC32C(payload)> <payload>
+//   payload[0] = FrameType, rest is type-specific text
+//
+// All integers little-endian. A frame is trusted only if its length fits
+// inside the file and its CRC matches; scanning stops at the first frame
+// that fails either test, and everything from that offset on is a torn or
+// corrupt tail to be truncated. A frame is written in several write(2)
+// calls with fault points between them, so an injected crash leaves a
+// genuinely torn frame on disk — exactly what a real crash mid-write does.
+#ifndef PIVOT_PERSIST_WAL_H_
+#define PIVOT_PERSIST_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pivot {
+
+// Bumped when the header or frame encoding changes incompatibly. Recovery
+// refuses files with a newer version than it was built for (no forward
+// compatibility); older versions would be migrated explicitly, never
+// guessed at.
+inline constexpr std::uint32_t kJournalFormatVersion = 1;
+
+inline constexpr char kWalMagic[8] = {'P', 'I', 'V', 'O',
+                                      'T', 'W', 'A', 'L'};
+
+enum class FrameType : unsigned char {
+  kGenesis = 1,   // session options + initial source; always frame 0
+  kTxn = 2,       // one committed transaction (a TxnDescriptor + digest)
+  kSnapshot = 3,  // full session image; recovery replays only frames after
+                  // the last valid snapshot
+};
+
+// Appends frames to a journal file via POSIX fd I/O. The writer does not
+// parse existing content — Create truncates, Append picks up at the end.
+class WalWriter {
+ public:
+  // Both throw ProgramError when the file cannot be opened. Create writes
+  // the file header (magic + version).
+  static WalWriter Create(const std::string& path);
+  static WalWriter Append(const std::string& path);
+
+  WalWriter(WalWriter&& other) noexcept;
+  WalWriter& operator=(WalWriter&&) = delete;
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+  ~WalWriter();
+
+  // Appends one frame. `point_prefix` names the fault points crossed while
+  // the frame is partially on disk ("<prefix>.header.post", "<prefix>.mid",
+  // "<prefix>.post") and after the fsync ("<prefix>.fsync.post"); a fault
+  // at any of them leaves a torn (or un-acked but durable) frame, the two
+  // states crash recovery must handle. When `fsync` is false the frame is
+  // left to the kernel (bench mode; crash consistency then depends on the
+  // filesystem).
+  void AppendFrame(FrameType type, const std::string& body, bool fsync,
+                   const std::string& point_prefix);
+
+  void Close();
+
+ private:
+  explicit WalWriter(int fd) : fd_(fd) {}
+  void WriteAll(const void* data, std::size_t len);
+
+  int fd_ = -1;
+};
+
+struct WalFrame {
+  FrameType type;
+  std::string body;          // payload minus the type byte
+  std::uint64_t end_offset;  // file offset just past this frame
+};
+
+struct WalScanResult {
+  bool header_ok = false;         // magic matched and version readable
+  std::uint32_t version = 0;      // file's format version (when readable)
+  std::vector<WalFrame> frames;   // the valid prefix
+  std::uint64_t valid_bytes = 0;  // prefix length; beyond lies garbage
+  std::uint64_t file_bytes = 0;
+  // Why the scan stopped before the end of file, empty when it did not
+  // ("torn frame header", "frame exceeds file", "checksum mismatch",
+  // "empty payload", "unknown frame type").
+  std::string truncation_reason;
+};
+
+// Reads the whole file and validates frame by frame. Never throws on
+// corrupt content — corruption is data, reported in the result. Throws
+// ProgramError only when the file cannot be read at all.
+WalScanResult ScanWal(const std::string& path);
+
+// Cuts the file down to its valid prefix. Throws ProgramError on I/O error.
+void TruncateWal(const std::string& path, std::uint64_t valid_bytes);
+
+}  // namespace pivot
+
+#endif  // PIVOT_PERSIST_WAL_H_

@@ -1,0 +1,40 @@
+#include "pivot/support/crc32c.h"
+
+#include <array>
+
+namespace pivot {
+namespace {
+
+// Reflected CRC32C polynomial.
+constexpr std::uint32_t kPoly = 0x82F63B78u;
+
+std::array<std::uint32_t, 256> BuildTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& Table() {
+  static const std::array<std::uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32c(const void* data, std::size_t len, std::uint32_t seed) {
+  const auto& table = Table();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = ~seed;
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace pivot

@@ -70,6 +70,19 @@ const std::vector<std::string>& FaultInjector::KnownPoints() {
       "journal.invert.pre",        "journal.invert.post",
       "analysis.rebuild.pre",      "undo.affecting.recurse",
       "undo.region.pre",           "undo.cascade.recurse",
+      // Durable journal crash points. The .header.post/.mid/.post triple
+      // sits between the write() calls of one frame (genuine torn frames);
+      // .fsync.post models a crash after the frame is durable but before
+      // the in-memory commit is acknowledged.
+      "persist.genesis.pre",          "persist.genesis.header.post",
+      "persist.genesis.mid",          "persist.genesis.post",
+      "persist.genesis.fsync.post",   "persist.txn.pre",
+      "persist.txn.header.post",      "persist.txn.mid",
+      "persist.txn.post",             "persist.txn.fsync.post",
+      "persist.commit.ack.pre",       "persist.snapshot.pre",
+      "persist.snapshot.header.post", "persist.snapshot.mid",
+      "persist.snapshot.post",        "persist.snapshot.fsync.post",
+      "persist.recover.truncate.pre",
   };
   return points;
 }

@@ -35,6 +35,7 @@ void WorkerPool::ParallelFor(std::size_t n,
     fn_ = &fn;
     n_ = n;
     next_.store(0, std::memory_order_relaxed);
+    failed_.store(false, std::memory_order_relaxed);
     workers_done_ = 0;
     error_ = nullptr;
     ++generation_;
@@ -42,12 +43,13 @@ void WorkerPool::ParallelFor(std::size_t n,
   work_cv_.notify_all();
 
   // The caller claims indices alongside the workers.
-  for (;;) {
+  while (!failed_.load(std::memory_order_relaxed)) {
     const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
     if (i >= n) break;
     try {
       fn(i);
     } catch (...) {
+      failed_.store(true, std::memory_order_relaxed);
       std::lock_guard<std::mutex> lock(mu_);
       if (!error_) error_ = std::current_exception();
     }
@@ -76,12 +78,13 @@ void WorkerPool::WorkerLoop() {
       seen = generation_;
       fn = fn_;
     }
-    for (;;) {
+    while (!failed_.load(std::memory_order_relaxed)) {
       const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
       if (i >= n_) break;
       try {
         (*fn)(i);
       } catch (...) {
+        failed_.store(true, std::memory_order_relaxed);
         std::lock_guard<std::mutex> lock(mu_);
         if (!error_) error_ = std::current_exception();
       }
@@ -104,15 +107,17 @@ void WorkerPool::RunAll(std::vector<std::function<void()>> tasks,
     return;
   }
   std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
   std::mutex err_mu;
   std::exception_ptr error;
   auto drain = [&] {
-    for (;;) {
+    while (!failed.load(std::memory_order_relaxed)) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= tasks.size()) break;
       try {
         tasks[i]();
       } catch (...) {
+        failed.store(true, std::memory_order_relaxed);
         std::lock_guard<std::mutex> lock(err_mu);
         if (!error) error = std::current_exception();
       }

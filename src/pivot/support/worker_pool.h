@@ -15,7 +15,9 @@
 //     read-only before fanning out); distinct indices may write to
 //     distinct result slots.
 //   * The first exception thrown by any task is rethrown on the calling
-//     thread after the join.
+//     thread after the join. Failure is fail-fast: once a task throws, no
+//     new indices are claimed (tasks already running finish normally), so
+//     a poisoned burst does not grind through the whole index space.
 #ifndef PIVOT_SUPPORT_WORKER_POOL_H_
 #define PIVOT_SUPPORT_WORKER_POOL_H_
 
@@ -64,6 +66,7 @@ class WorkerPool {
   const std::function<void(std::size_t)>* fn_ = nullptr;
   std::size_t n_ = 0;
   std::atomic<std::size_t> next_{0};
+  std::atomic<bool> failed_{false};  // a task threw; stop claiming indices
   std::size_t workers_done_ = 0;
   std::uint64_t generation_ = 0;
   std::exception_ptr error_;

@@ -1,0 +1,563 @@
+// Unit tests for the durable-journal subsystem: the CRC32C checksum, the
+// WAL frame scanner's torn/corrupt-tail detection, the genesis / txn /
+// snapshot-image codecs, the end-to-end Create → commit → Recover cycle,
+// and the golden-tested recovery report rendering. The exhaustive
+// crash-point sweep lives in journal_crash_test.cc.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "pivot/core/session.h"
+#include "pivot/ir/parser.h"
+#include "pivot/persist/durable.h"
+#include "pivot/persist/snapshot.h"
+#include "pivot/persist/wal.h"
+#include "pivot/persist/wire.h"
+#include "pivot/support/crc32c.h"
+#include "pivot/support/fault_injector.h"
+
+namespace pivot {
+namespace {
+
+std::string TmpPath(const std::string& name) {
+  return ::testing::TempDir() + "pivot_persist_" + name + ".wal";
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// The session workload the end-to-end tests commit and recover.
+const char kSource[] =
+    "c = 1\n"
+    "x = c\n"
+    "x = 2\n"
+    "y = 3 * 4\n"
+    "write x\n"
+    "write y\n"
+    "write c\n";
+
+void ExpectEquivalent(Session& a, Session& b, const char* label) {
+  EXPECT_EQ(a.Source(), b.Source()) << label;
+  EXPECT_EQ(a.HistoryToString(), b.HistoryToString()) << label;
+  EXPECT_EQ(a.AnnotationsToString(), b.AnnotationsToString()) << label;
+  EXPECT_EQ(a.journal().records().size(), b.journal().records().size())
+      << label;
+  EXPECT_EQ(a.history().next_stamp(), b.history().next_stamp()) << label;
+}
+
+// --- CRC32C ---
+
+TEST(Crc32c, MatchesTheStandardTestVector) {
+  // The canonical CRC32C check value (RFC 3720 appendix B / every
+  // hardware implementation): crc32c("123456789") == 0xE3069283.
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(Crc32c(""), 0u);
+}
+
+TEST(Crc32c, SeedChainsIncrementally) {
+  const std::string whole = "the quick brown fox jumps over the lazy dog";
+  for (std::size_t split = 0; split <= whole.size(); ++split) {
+    const std::uint32_t head = Crc32c(whole.substr(0, split));
+    EXPECT_EQ(Crc32c(whole.substr(split), head), Crc32c(whole));
+  }
+}
+
+// --- WAL framing ---
+
+class Wal : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Instance().Reset(); }
+  void TearDown() override { FaultInjector::Instance().Reset(); }
+};
+
+TEST_F(Wal, RoundTripsFrames) {
+  const std::string path = TmpPath("roundtrip");
+  {
+    WalWriter w = WalWriter::Create(path);
+    w.AppendFrame(FrameType::kGenesis, "g-body", true, "persist.txn");
+    w.AppendFrame(FrameType::kTxn, "t1", true, "persist.txn");
+    w.AppendFrame(FrameType::kTxn, std::string("big\0body", 8), false,
+                  "persist.txn");
+    w.AppendFrame(FrameType::kSnapshot, "snap", true, "persist.snapshot");
+  }
+  const WalScanResult scan = ScanWal(path);
+  EXPECT_TRUE(scan.header_ok);
+  EXPECT_EQ(scan.version, kJournalFormatVersion);
+  ASSERT_EQ(scan.frames.size(), 4u);
+  EXPECT_EQ(scan.frames[0].type, FrameType::kGenesis);
+  EXPECT_EQ(scan.frames[0].body, "g-body");
+  EXPECT_EQ(scan.frames[2].body, std::string("big\0body", 8));
+  EXPECT_EQ(scan.frames[3].type, FrameType::kSnapshot);
+  EXPECT_EQ(scan.valid_bytes, scan.file_bytes);
+  EXPECT_TRUE(scan.truncation_reason.empty());
+}
+
+TEST_F(Wal, DetectsABitFlipViaChecksum) {
+  const std::string path = TmpPath("bitflip");
+  {
+    WalWriter w = WalWriter::Create(path);
+    w.AppendFrame(FrameType::kTxn, "first", true, "persist.txn");
+    w.AppendFrame(FrameType::kTxn, "second", true, "persist.txn");
+  }
+  std::string bytes = ReadFileBytes(path);
+  bytes[bytes.size() - 2] ^= 0x40;  // inside the last frame's payload
+  WriteFileBytes(path, bytes);
+
+  const WalScanResult scan = ScanWal(path);
+  EXPECT_TRUE(scan.header_ok);
+  ASSERT_EQ(scan.frames.size(), 1u);
+  EXPECT_EQ(scan.frames[0].body, "first");
+  EXPECT_EQ(scan.truncation_reason, "checksum mismatch");
+  EXPECT_LT(scan.valid_bytes, scan.file_bytes);
+}
+
+TEST_F(Wal, DetectsATornTail) {
+  const std::string path = TmpPath("torn");
+  {
+    WalWriter w = WalWriter::Create(path);
+    w.AppendFrame(FrameType::kTxn, "first", true, "persist.txn");
+    w.AppendFrame(FrameType::kTxn, "a-much-longer-second-frame", true,
+                  "persist.txn");
+  }
+  std::string bytes = ReadFileBytes(path);
+  WriteFileBytes(path, bytes.substr(0, bytes.size() - 5));
+
+  const WalScanResult scan = ScanWal(path);
+  ASSERT_EQ(scan.frames.size(), 1u);
+  EXPECT_EQ(scan.frames[0].body, "first");
+  EXPECT_EQ(scan.truncation_reason, "frame exceeds file");
+  EXPECT_LT(scan.valid_bytes, scan.file_bytes);
+}
+
+TEST_F(Wal, StopsAtTrailingGarbage) {
+  const std::string path = TmpPath("garbage");
+  {
+    WalWriter w = WalWriter::Create(path);
+    w.AppendFrame(FrameType::kTxn, "only", true, "persist.txn");
+  }
+  std::string bytes = ReadFileBytes(path);
+  WriteFileBytes(path, bytes + "xy");  // shorter than a frame header
+
+  const WalScanResult scan = ScanWal(path);
+  ASSERT_EQ(scan.frames.size(), 1u);
+  EXPECT_EQ(scan.truncation_reason, "torn frame header");
+  EXPECT_EQ(scan.valid_bytes + 2, scan.file_bytes);
+}
+
+TEST_F(Wal, TruncateRestoresTheValidPrefix) {
+  const std::string path = TmpPath("truncate");
+  {
+    WalWriter w = WalWriter::Create(path);
+    w.AppendFrame(FrameType::kTxn, "keep", true, "persist.txn");
+  }
+  const std::string good = ReadFileBytes(path);
+  WriteFileBytes(path, good + "torn tail bytes");
+  TruncateWal(path, good.size());
+  EXPECT_EQ(ReadFileBytes(path), good);
+  const WalScanResult scan = ScanWal(path);
+  EXPECT_EQ(scan.valid_bytes, scan.file_bytes);
+  EXPECT_EQ(scan.frames.size(), 1u);
+}
+
+TEST_F(Wal, RejectsAForeignFile) {
+  const std::string path = TmpPath("foreign");
+  WriteFileBytes(path, "this is not a journal at all");
+  const WalScanResult scan = ScanWal(path);
+  EXPECT_FALSE(scan.header_ok);
+  EXPECT_EQ(scan.truncation_reason, "missing or corrupt file header");
+}
+
+// --- frame-body codecs ---
+
+TEST(WireCodec, GenesisRoundTrips) {
+  SessionOptions options;
+  options.undo.heuristic = UndoOptions::Heuristic::kConservative;
+  options.undo.regional = true;
+  options.undo.indexed = true;
+  options.undo.safety_threads = 3;
+  options.undo.max_depth = 77;
+  options.analysis.incremental = true;
+  options.analysis.threads = 2;
+  options.strict = true;
+  const std::string source = "x = 1\nwrite \"odd\\chars\"\nwrite x\n";
+
+  const GenesisInfo info = DecodeGenesis(EncodeGenesis(options, source));
+  EXPECT_EQ(info.options.undo.heuristic, options.undo.heuristic);
+  EXPECT_EQ(info.options.undo.regional, options.undo.regional);
+  EXPECT_EQ(info.options.undo.indexed, options.undo.indexed);
+  EXPECT_EQ(info.options.undo.safety_threads, options.undo.safety_threads);
+  EXPECT_EQ(info.options.undo.max_depth, options.undo.max_depth);
+  EXPECT_EQ(info.options.analysis.incremental, options.analysis.incremental);
+  EXPECT_EQ(info.options.analysis.threads, options.analysis.threads);
+  EXPECT_EQ(info.options.strict, options.strict);
+  EXPECT_EQ(info.source, source);
+}
+
+TEST(WireCodec, TxnRoundTrips) {
+  TxnDescriptor desc;
+  desc.op = TxnOp::kEditAdd;
+  desc.apply_site.kind = TransformKind::kIcm;
+  desc.apply_site.s1 = StmtId(4);
+  desc.apply_site.s2 = StmtId(9);
+  desc.apply_site.expr = ExprId(17);
+  desc.apply_site.var = "tmp \"quoted\"";
+  desc.apply_site.value = -3;
+  desc.result_stamp = 12;
+  desc.undo_stamps = {3, 5, 8};
+  desc.target = StmtId(2);
+  desc.parent = StmtId(6);
+  desc.body = BodyKind::kElse;
+  desc.index = 4;
+  desc.site = ExprId(11);
+  desc.stmt_text = "write x\n";
+  desc.expr_text = "1 + 2";
+  SessionDigest digest;
+  digest.source_crc = 0xDEADBEEFu;
+  digest.history_size = 42;
+  digest.next_stamp = 13;
+  digest.journal_records = 41;
+  digest.annotations = 7;
+
+  const TxnInfo info = DecodeTxn(EncodeTxn(desc, digest));
+  EXPECT_EQ(info.desc.op, desc.op);
+  EXPECT_EQ(info.desc.apply_site.kind, desc.apply_site.kind);
+  EXPECT_EQ(info.desc.apply_site.s1, desc.apply_site.s1);
+  EXPECT_EQ(info.desc.apply_site.s2, desc.apply_site.s2);
+  EXPECT_EQ(info.desc.apply_site.expr, desc.apply_site.expr);
+  EXPECT_EQ(info.desc.apply_site.var, desc.apply_site.var);
+  EXPECT_EQ(info.desc.apply_site.value, desc.apply_site.value);
+  EXPECT_EQ(info.desc.result_stamp, desc.result_stamp);
+  EXPECT_EQ(info.desc.undo_stamps, desc.undo_stamps);
+  EXPECT_EQ(info.desc.target, desc.target);
+  EXPECT_EQ(info.desc.parent, desc.parent);
+  EXPECT_EQ(info.desc.body, desc.body);
+  EXPECT_EQ(info.desc.index, desc.index);
+  EXPECT_EQ(info.desc.site, desc.site);
+  EXPECT_EQ(info.desc.stmt_text, desc.stmt_text);
+  EXPECT_EQ(info.desc.expr_text, desc.expr_text);
+  EXPECT_EQ(info.digest, digest);
+}
+
+TEST(WireCodec, RejectsTrailingData) {
+  SessionOptions options;
+  EXPECT_THROW(DecodeGenesis(EncodeGenesis(options, "write 1\n") + " 9"),
+               ProgramError);
+  EXPECT_THROW(DecodeTxn("txn apply"), ProgramError);
+}
+
+// --- snapshot image ---
+
+TEST(SnapshotImage, RoundTripsALiveSession) {
+  Session a(Parse(kSource));
+  ASSERT_TRUE(a.ApplyFirst(TransformKind::kCfo).has_value());
+  const OrderStamp ctp = *a.ApplyFirst(TransformKind::kCtp);
+  ASSERT_TRUE(a.ApplyFirst(TransformKind::kDce).has_value());
+  a.editor().AddStmt(MakeWrite(MakeIntConst(7)), nullptr, BodyKind::kMain, 0);
+  a.Undo(ctp);
+
+  DecodedImage img = DecodeSessionImage(EncodeSessionImage(a));
+  Session b(std::move(img.program), a.options());
+  b.RestorePersistedState(std::move(img.state));
+
+  ExpectEquivalent(a, b, "restored image");
+  EXPECT_TRUE(b.Validate().ok());
+
+  // The image preserved id counters and payload trees: both sessions must
+  // keep evolving identically, including re-applying what was undone and
+  // undoing a pre-snapshot transformation (payload swap-back).
+  ASSERT_TRUE(a.ApplyFirst(TransformKind::kCtp).has_value());
+  ASSERT_TRUE(b.ApplyFirst(TransformKind::kCtp).has_value());
+  ExpectEquivalent(a, b, "after continued apply");
+  a.UndoLast();
+  b.UndoLast();
+  ExpectEquivalent(a, b, "after continued undo");
+}
+
+TEST(SnapshotImage, RejectsCorruptImages) {
+  EXPECT_THROW(DecodeSessionImage("pivot-image 999"), ProgramError);
+  EXPECT_THROW(DecodeSessionImage("nonsense"), ProgramError);
+}
+
+// --- end-to-end: create, commit, recover ---
+
+class Durable : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Instance().Reset(); }
+  void TearDown() override { FaultInjector::Instance().Reset(); }
+};
+
+// Commits three transformations and one edit through a fresh journal.
+void RunWorkload(Session& s) {
+  ASSERT_TRUE(s.ApplyFirst(TransformKind::kCfo).has_value());
+  ASSERT_TRUE(s.ApplyFirst(TransformKind::kCtp).has_value());
+  ASSERT_TRUE(s.ApplyFirst(TransformKind::kDce).has_value());
+  s.editor().AddStmt(MakeWrite(MakeIntConst(7)), nullptr, BodyKind::kMain, 0);
+}
+
+TEST_F(Durable, RecoversByFullReplay) {
+  const std::string path = TmpPath("replay");
+  Session s(Parse(kSource));
+  auto wal = DurableJournal::Create(s, path);
+  RunWorkload(s);
+  EXPECT_EQ(wal->txns_written(), 4u);
+  EXPECT_EQ(wal->snapshots_written(), 0u);
+  wal.reset();
+
+  RecoverResult r = Session::Recover(path);
+  EXPECT_EQ(r.report.txns_in_journal, 4u);
+  EXPECT_EQ(r.report.txns_replayed, 4u);
+  EXPECT_FALSE(r.report.used_snapshot);
+  EXPECT_FALSE(r.report.truncated);
+  EXPECT_TRUE(r.report.validator_ok);
+  EXPECT_TRUE(r.report.errors.empty());
+  ExpectEquivalent(s, *r.session, "full replay");
+}
+
+TEST_F(Durable, RecoversFromSnapshotPlusTail) {
+  const std::string path = TmpPath("snapshot");
+  Session s(Parse(kSource));
+  PersistOptions opts;
+  opts.snapshot_interval = 3;
+  auto wal = DurableJournal::Create(s, path, opts);
+  RunWorkload(s);                // 4 txns => snapshot after the 3rd
+  EXPECT_EQ(wal->snapshots_written(), 1u);
+  wal.reset();
+
+  RecoverResult r = Session::Recover(path);
+  EXPECT_TRUE(r.report.used_snapshot);
+  EXPECT_EQ(r.report.snapshot_txns, 3u);
+  EXPECT_EQ(r.report.txns_replayed, 1u);
+  EXPECT_TRUE(r.report.validator_ok);
+  ExpectEquivalent(s, *r.session, "snapshot + tail");
+
+  // Recovery is a full citizen: the recovered session keeps working.
+  ASSERT_TRUE(s.ApplyFirst(TransformKind::kCtp).has_value());
+  ASSERT_TRUE(r.session->ApplyFirst(TransformKind::kCtp).has_value());
+  ExpectEquivalent(s, *r.session, "continued after recovery");
+}
+
+TEST_F(Durable, TruncatesACorruptTailInsteadOfReplayingIt) {
+  const std::string path = TmpPath("corrupt_tail");
+  Session s(Parse(kSource));
+  auto wal = DurableJournal::Create(s, path);
+  RunWorkload(s);
+  wal.reset();
+
+  // Reference: the same workload stopped before its last operation.
+  Session prefix(Parse(kSource));
+  ASSERT_TRUE(prefix.ApplyFirst(TransformKind::kCfo).has_value());
+  ASSERT_TRUE(prefix.ApplyFirst(TransformKind::kCtp).has_value());
+  ASSERT_TRUE(prefix.ApplyFirst(TransformKind::kDce).has_value());
+
+  std::string bytes = ReadFileBytes(path);
+  bytes[bytes.size() - 3] ^= 0x01;  // flip one bit in the last frame
+  WriteFileBytes(path, bytes);
+
+  RecoverResult r = Session::Recover(path);
+  EXPECT_TRUE(r.report.truncated);
+  EXPECT_EQ(r.report.truncation_reason, "checksum mismatch");
+  EXPECT_EQ(r.report.txns_replayed, 3u);
+  EXPECT_TRUE(r.report.validator_ok);
+  ExpectEquivalent(prefix, *r.session, "after corrupt-tail truncation");
+
+  // Idempotent: a second recovery of the truncated file is clean.
+  RecoverResult again = Session::Recover(path);
+  EXPECT_FALSE(again.report.truncated);
+  ExpectEquivalent(prefix, *again.session, "second recovery");
+}
+
+TEST_F(Durable, ACorruptMiddleFrameCutsEverythingBehindIt) {
+  const std::string path = TmpPath("corrupt_middle");
+  Session s(Parse(kSource));
+  auto wal = DurableJournal::Create(s, path);
+  RunWorkload(s);
+  wal.reset();
+
+  // Flip a byte inside the second txn frame: the valid prefix is genesis +
+  // one transaction, and the two later (individually intact) frames behind
+  // the damage must not be replayed.
+  const WalScanResult scan = ScanWal(path);
+  ASSERT_EQ(scan.frames.size(), 5u);
+  std::string bytes = ReadFileBytes(path);
+  bytes[scan.frames[2].end_offset - 2] ^= 0x10;
+  WriteFileBytes(path, bytes);
+
+  Session prefix(Parse(kSource));
+  ASSERT_TRUE(prefix.ApplyFirst(TransformKind::kCfo).has_value());
+
+  RecoverResult r = Session::Recover(path);
+  EXPECT_TRUE(r.report.truncated);
+  EXPECT_EQ(r.report.truncated_at, scan.frames[1].end_offset);
+  EXPECT_EQ(r.report.txns_replayed, 1u);
+  ExpectEquivalent(prefix, *r.session, "middle-frame corruption");
+}
+
+TEST_F(Durable, RefusesANewerFormatVersion) {
+  const std::string path = TmpPath("newer_version");
+  Session s(Parse(kSource));
+  DurableJournal::Create(s, path).reset();
+  std::string bytes = ReadFileBytes(path);
+  bytes[8] = static_cast<char>(kJournalFormatVersion + 1);  // version u32 LE
+  WriteFileBytes(path, bytes);
+  EXPECT_THROW(Session::Recover(path), ProgramError);
+}
+
+TEST_F(Durable, RefusesFilesWithoutAGenesis) {
+  const std::string garbage = TmpPath("not_a_journal");
+  WriteFileBytes(garbage, "hello");
+  EXPECT_THROW(Session::Recover(garbage), ProgramError);
+
+  const std::string empty = TmpPath("empty_journal");
+  WriteFileBytes(empty, "");
+  EXPECT_THROW(Session::Recover(empty), ProgramError);
+
+  // A valid header with no frames behind it: nothing to recover from.
+  const std::string headless = TmpPath("headless");
+  { WalWriter w = WalWriter::Create(headless); }
+  EXPECT_THROW(Session::Recover(headless), ProgramError);
+}
+
+TEST_F(Durable, CreateRejectsNonPristineAndNonPersistableSessions) {
+  Session used(Parse(kSource));
+  ASSERT_TRUE(used.ApplyFirst(TransformKind::kCfo).has_value());
+  EXPECT_THROW(DurableJournal::Create(used, TmpPath("used")), ProgramError);
+
+  SessionOptions custom;
+  custom.undo.heuristic = UndoOptions::Heuristic::kCustom;
+  Session c(Parse(kSource), custom);
+  EXPECT_THROW(DurableJournal::Create(c, TmpPath("custom")), ProgramError);
+}
+
+TEST_F(Durable, ReattachContinuesAnExistingJournal) {
+  const std::string path = TmpPath("reattach");
+  Session s(Parse(kSource));
+  {
+    auto wal = DurableJournal::Create(s, path);
+    ASSERT_TRUE(s.ApplyFirst(TransformKind::kCfo).has_value());
+    ASSERT_TRUE(s.ApplyFirst(TransformKind::kCtp).has_value());
+  }
+  {
+    auto wal = DurableJournal::Reattach(s, path);
+    EXPECT_EQ(wal->txns_written(), 2u);
+    ASSERT_TRUE(s.ApplyFirst(TransformKind::kDce).has_value());
+    EXPECT_EQ(wal->txns_written(), 3u);
+  }
+  RecoverResult r = Session::Recover(path);
+  EXPECT_EQ(r.report.txns_replayed, 3u);
+  ExpectEquivalent(s, *r.session, "after reattach");
+}
+
+TEST_F(Durable, ReattachRefusesATornFile) {
+  const std::string path = TmpPath("reattach_torn");
+  Session s(Parse(kSource));
+  {
+    auto wal = DurableJournal::Create(s, path);
+    ASSERT_TRUE(s.ApplyFirst(TransformKind::kCfo).has_value());
+  }
+  WriteFileBytes(path, ReadFileBytes(path) + "torn");
+  Session fresh(Parse(kSource));
+  EXPECT_THROW(DurableJournal::Reattach(fresh, path), ProgramError);
+}
+
+TEST_F(Durable, AWriteFaultRollsBackAndPoisonsTheJournal) {
+  const std::string path = TmpPath("poisoned");
+  Session s(Parse(kSource));
+  auto wal = DurableJournal::Create(s, path);
+  ASSERT_TRUE(s.ApplyFirst(TransformKind::kCfo).has_value());
+  const std::string committed_source = s.Source();
+  const std::string committed_history = s.HistoryToString();
+
+  // Crash mid-frame on the next commit: the operation must roll back (the
+  // write-ahead frame was never acknowledged) and the journal must refuse
+  // further appends, because the file now ends in a torn frame.
+  FaultInjector::Instance().Arm("persist.txn.mid", 1);
+  EXPECT_THROW(s.ApplyFirst(TransformKind::kCtp), FaultInjectedError);
+  FaultInjector::Instance().Reset();
+  EXPECT_EQ(s.Source(), committed_source);
+  EXPECT_EQ(s.HistoryToString(), committed_history);
+  EXPECT_TRUE(wal->broken());
+  EXPECT_THROW(s.ApplyFirst(TransformKind::kCtp), ProgramError);
+  wal.reset();
+
+  // Recovery truncates the torn frame and lands on the committed prefix.
+  RecoverResult r = Session::Recover(path);
+  EXPECT_TRUE(r.report.truncated);
+  EXPECT_EQ(r.report.txns_replayed, 1u);
+  EXPECT_EQ(r.session->Source(), committed_source);
+  EXPECT_EQ(r.session->HistoryToString(), committed_history);
+}
+
+// --- recovery report goldens ---
+
+TEST(JournalRecoveryReportGolden, CleanFullReplay) {
+  JournalRecoveryReport rep;
+  rep.frames_scanned = 5;
+  rep.txns_in_journal = 4;
+  rep.txns_replayed = 4;
+  rep.validator_ok = true;
+  EXPECT_EQ(rep.ToString(),
+            "journal: 5 frames, 4 transactions\n"
+            "replayed: 4 onto genesis\n"
+            "validator: ok\n");
+}
+
+TEST(JournalRecoveryReportGolden, SnapshotBase) {
+  JournalRecoveryReport rep;
+  rep.frames_scanned = 9;
+  rep.txns_in_journal = 7;
+  rep.txns_replayed = 1;
+  rep.used_snapshot = true;
+  rep.snapshot_txns = 6;
+  rep.validator_ok = true;
+  EXPECT_EQ(rep.ToString(),
+            "journal: 9 frames, 7 transactions\n"
+            "replayed: 1 onto snapshot (covering 6)\n"
+            "validator: ok\n");
+}
+
+TEST(JournalRecoveryReportGolden, TruncatedTailWithErrors) {
+  JournalRecoveryReport rep;
+  rep.frames_scanned = 3;
+  rep.txns_in_journal = 2;
+  rep.txns_replayed = 2;
+  rep.truncated = true;
+  rep.truncated_at = 181;
+  rep.truncation_reason = "checksum mismatch";
+  rep.validator_ok = false;
+  rep.errors = {"snapshot frame ignored: persisted frame: bad snapshot prefix",
+                "validator: stale annotation"};
+  EXPECT_EQ(rep.ToString(),
+            "journal: 3 frames, 2 transactions\n"
+            "replayed: 2 onto genesis\n"
+            "truncated: checksum mismatch at byte 181\n"
+            "validator: FAILED\n"
+            "error: snapshot frame ignored: persisted frame: bad snapshot "
+            "prefix\n"
+            "error: validator: stale annotation\n");
+}
+
+// --- fault-point registry ---
+
+TEST(FaultPoints, PersistCrashPointsAreRegistered) {
+  int persist_points = 0;
+  for (const std::string& p : FaultInjector::KnownPoints()) {
+    if (p.rfind("persist.", 0) == 0) ++persist_points;
+  }
+  // The acceptance bar for the crash sweep: at least ten instrumented
+  // crash points in the durability path.
+  EXPECT_GE(persist_points, 10);
+}
+
+}  // namespace
+}  // namespace pivot

@@ -210,5 +210,73 @@ TEST(RegionIndex, TracksEditsAndRewinds) {
   CheckIndexAgainstBruteForce(s);
 }
 
+// --- UndoSet partial failure (depth-guard exhaustion mid-batch) ---
+//
+// Regression: when a batch undo blows UndoOptions::max_depth partway
+// through its plan, the transaction rolls everything back — and the
+// region index, which mirrors the history through listener callbacks,
+// must end up exactly where a from-scratch full-history rebuild lands.
+TEST(RegionIndex, UndoSetDepthExhaustionLeavesIndexEqualToFullRebuild) {
+  bool exhausted_somewhere = false;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    FuzzGenOptions gen;
+    gen.num_steps = 30;
+    gen.undo_fraction = 0.0;   // build a deep all-live history
+    gen.fault_fraction = 0.0;
+    const FuzzCase c = GenerateFuzzCase(seed, gen);
+
+    UndoOptions options;
+    options.max_depth = 1;  // tiny guard: cascading plans exhaust it
+    Session s(Parse(c.source), options);
+    for (const FuzzStep& step : c.steps) {
+      if (step.kind != FuzzStep::Kind::kApply) continue;
+      const std::vector<Opportunity> ops =
+          s.FindOpportunities(step.transform);
+      if (ops.empty()) continue;
+      s.Apply(ops[static_cast<std::size_t>(step.op_index) % ops.size()]);
+    }
+    std::vector<OrderStamp> live;
+    for (const TransformRecord& rec : s.history().records()) {
+      if (!rec.undone) live.push_back(rec.stamp);
+    }
+    if (live.size() < 4) continue;
+    // Undo only the older half: their dependents stay outside the set, so
+    // the plan has to cascade through affecting chains and trips the guard.
+    live.resize(live.size() / 2);
+
+    const std::string source_before = s.Source();
+    const std::string history_before = s.HistoryToString();
+    try {
+      s.UndoSet(live);
+    } catch (const ProgramError&) {
+      if (s.recovery().undo_depth_exhausted > 0) exhausted_somewhere = true;
+      // The failed batch must be traceless.
+      EXPECT_EQ(s.Source(), source_before) << "seed " << seed;
+      EXPECT_EQ(s.HistoryToString(), history_before) << "seed " << seed;
+    }
+
+    // The live index must match a full-scan rebuild of the same history:
+    // same size, same candidate enumeration for every derivable region.
+    RegionIndex* index = s.engine().region_index();
+    ASSERT_NE(index, nullptr);
+    RegionIndex rebuilt(s.program(), s.journal(), s.history());
+    EXPECT_EQ(index->size(), rebuilt.size()) << "seed " << seed;
+    for (TransformRecord& rec : s.history().records()) {
+      if (rec.undone || rec.is_edit || rec.actions.empty()) continue;
+      const AffectedRegion region = AffectedRegion::FromInvertedActions(
+          s.analyses(), s.journal(), rec.actions);
+      if (region.whole_program()) continue;
+      EXPECT_EQ(Stamps(index->Candidates(region)),
+                Stamps(rebuilt.Candidates(region)))
+          << "seed " << seed << " region of t" << rec.stamp;
+    }
+    CheckIndexAgainstBruteForce(s);
+    CheckAnchoredAgainstBruteForce(s);
+  }
+  // The property must not have held vacuously: at least one seed has to
+  // have hit the depth guard mid-batch.
+  EXPECT_TRUE(exhausted_somewhere);
+}
+
 }  // namespace
 }  // namespace pivot

@@ -103,5 +103,89 @@ TEST(HealthCheck, UnsafeAfterEditFlagged) {
   EXPECT_NE(health.find("NO"), std::string::npos);
 }
 
+// --- RecoveryReport golden strings ---
+//
+// Every branch of RecoveryReport::ToString, pinned verbatim: the rendered
+// report is what crash-recovery tooling and the REPL print, so its format
+// is part of the interface.
+
+TEST(RecoveryReportGolden, FreshReport) {
+  RecoveryReport rep;
+  EXPECT_EQ(rep.ToString(),
+            "transactions: 0 (0 committed, 0 rolled back)\n"
+            "faults absorbed: 0\n"
+            "validator: 0 runs, 0 failures\n");
+}
+
+TEST(RecoveryReportGolden, CountersOnly) {
+  RecoveryReport rep;
+  rep.transactions = 12;
+  rep.commits = 9;
+  rep.rollbacks = 3;
+  rep.faults_absorbed = 2;
+  rep.validator_runs = 12;
+  rep.validator_failures = 1;
+  EXPECT_EQ(rep.ToString(),
+            "transactions: 12 (9 committed, 3 rolled back)\n"
+            "faults absorbed: 2\n"
+            "validator: 12 runs, 1 failures\n");
+}
+
+TEST(RecoveryReportGolden, DepthExhaustionLineIsConditional) {
+  RecoveryReport rep;
+  rep.undo_depth_exhausted = 4;
+  EXPECT_EQ(rep.ToString(),
+            "transactions: 0 (0 committed, 0 rolled back)\n"
+            "faults absorbed: 0\n"
+            "validator: 0 runs, 0 failures\n"
+            "undo depth exhausted: 4\n");
+}
+
+TEST(RecoveryReportGolden, FaultPointsAndLastRollback) {
+  RecoveryReport rep;
+  rep.transactions = 2;
+  rep.commits = 1;
+  rep.rollbacks = 1;
+  rep.faults_absorbed = 1;
+  rep.NoteFaultPoint("journal.add.pre");
+  rep.NoteFaultPoint("persist.txn.mid");
+  rep.last_rollback_reason = "injected fault at persist.txn.mid";
+  EXPECT_EQ(rep.ToString(),
+            "transactions: 2 (1 committed, 1 rolled back)\n"
+            "faults absorbed: 1\n"
+            "validator: 0 runs, 0 failures\n"
+            "fault points hit: journal.add.pre persist.txn.mid\n"
+            "last rollback: injected fault at persist.txn.mid\n");
+}
+
+TEST(RecoveryReportGolden, NoteFaultPointDeduplicatesButKeepsOrder) {
+  RecoveryReport rep;
+  rep.NoteFaultPoint("b.point");
+  rep.NoteFaultPoint("a.point");
+  rep.NoteFaultPoint("b.point");
+  const std::vector<std::string> expected = {"b.point", "a.point"};
+  EXPECT_EQ(rep.fault_points_hit, expected);
+}
+
+TEST(RecoveryReportGolden, EveryLineAtOnce) {
+  RecoveryReport rep;
+  rep.transactions = 7;
+  rep.commits = 5;
+  rep.rollbacks = 2;
+  rep.faults_absorbed = 1;
+  rep.validator_runs = 7;
+  rep.validator_failures = 1;
+  rep.undo_depth_exhausted = 1;
+  rep.NoteFaultPoint("undo.region.pre");
+  rep.last_rollback_reason = "validator rejected the result";
+  EXPECT_EQ(rep.ToString(),
+            "transactions: 7 (5 committed, 2 rolled back)\n"
+            "faults absorbed: 1\n"
+            "validator: 7 runs, 1 failures\n"
+            "undo depth exhausted: 1\n"
+            "fault points hit: undo.region.pre\n"
+            "last rollback: validator rejected the result\n");
+}
+
 }  // namespace
 }  // namespace pivot

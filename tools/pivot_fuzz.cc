@@ -11,6 +11,10 @@
 //       Re-shrink an existing failing case and print the minimized form.
 //   pivot_fuzz show SEED [STEPS]
 //       Print the generated case for one seed (for corpus curation).
+//   pivot_fuzz recover FILE.wal [--source]
+//       Recover a durable journal: truncate any torn/corrupt tail, replay
+//       snapshot + tail, print the recovery report (and, with --source,
+//       the recovered program). Exit 1 unless the validator passed.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -21,8 +25,11 @@
 #include <string>
 #include <vector>
 
+#include "pivot/core/session.h"
 #include "pivot/oracle/fuzzcase.h"
 #include "pivot/oracle/shrinker.h"
+#include "pivot/persist/durable.h"
+#include "pivot/support/diagnostics.h"
 
 namespace {
 
@@ -36,7 +43,8 @@ int Usage() {
                "[--corpus DIR]\n"
                "       pivot_fuzz replay [-v] FILE...\n"
                "       pivot_fuzz shrink FILE\n"
-               "       pivot_fuzz show SEED [STEPS]\n");
+               "       pivot_fuzz show SEED [STEPS]\n"
+               "       pivot_fuzz recover FILE.wal [--source]\n");
   return 2;
 }
 
@@ -191,6 +199,34 @@ int Show(int argc, char** argv) {
   return 0;
 }
 
+int Recover(int argc, char** argv) {
+  std::string path;
+  bool print_source = false;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--source") {
+      print_source = true;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (path.empty()) return Usage();
+  try {
+    const pivot::RecoverResult r = pivot::Session::Recover(path);
+    std::printf("%s", r.report.ToString().c_str());
+    if (print_source) {
+      std::printf("--- recovered program ---\n%s",
+                  r.session->Source().c_str());
+    }
+    return r.report.validator_ok ? 0 : 1;
+  } catch (const pivot::ProgramError& e) {
+    std::fprintf(stderr, "recover failed: %s\n", e.what());
+    return 1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -200,5 +236,6 @@ int main(int argc, char** argv) {
   if (mode == "replay") return Replay(argc - 2, argv + 2);
   if (mode == "shrink") return Shrink(argc - 2, argv + 2);
   if (mode == "show") return Show(argc - 2, argv + 2);
+  if (mode == "recover") return Recover(argc - 2, argv + 2);
   return Usage();
 }
