@@ -1,0 +1,166 @@
+// Server throughput study: what group commit buys (DESIGN.md §12).
+//
+// BENCH_journal puts one durable commit at ~145 µs, almost all fsync(2).
+// With N concurrent sessions committing, per-commit fsync serializes N
+// syncs behind the journal locks; the group-commit log batches every
+// in-flight frame into one fsync. This study drives C client threads
+// (each its own hosted session, alternating apply/undo commits through
+// PivotServer::Execute) in both modes and reports txn/s:
+//
+//   clients x {per-commit fsync, group commit}, C in {1, 64, 1024}
+//
+// The deterministic gate: at 64 clients, group commit must deliver at
+// least 5x the per-commit throughput — that is the headline robustness
+// claim of the batching design, and the exit code enforces it. Results
+// land in BENCH_server.json; EXPERIMENTS.md holds a reference run.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pivot/server/protocol.h"
+#include "pivot/server/server.h"
+#include "pivot/support/benchjson.h"
+#include "pivot/transform/transform.h"
+
+namespace pivot {
+namespace {
+
+const char kSource[] =
+    "y = 3 * 4\n"
+    "z = 5 * 6\n"
+    "write y\n"
+    "write z\n";
+
+std::string DataDir() { return "/tmp/pivot_bench_server"; }
+
+struct RunResult {
+  double seconds = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t fsyncs = 0;
+  std::uint64_t max_batch = 0;
+  double TxnPerSec() const {
+    return seconds > 0 ? static_cast<double>(commits) / seconds : 0;
+  }
+};
+
+// C threads, each committing `ops` transactions against its own session.
+// Sessions are opened (and their genesis frames flushed) outside the
+// timed region: the measurement is the steady-state commit path.
+RunResult RunWorkload(int clients, int ops, bool group_fsync) {
+  std::filesystem::remove_all(DataDir());
+  ServerOptions options;
+  options.data_dir = DataDir();
+  options.commit.group_fsync = group_fsync;
+  // Capacity for the largest fleet: admission control is not under test.
+  options.max_inflight = clients + 16;
+  options.commit.max_queue = 2 * clients + 16;
+  PivotServer server(std::move(options));
+
+  for (int i = 0; i < clients; ++i) {
+    Request open;
+    open.op = ServerOp::kOpen;
+    open.session = "s" + std::to_string(i);
+    open.source = kSource;
+    const Response resp = server.Execute(open);
+    if (resp.status != StatusCode::kOk) {
+      std::fprintf(stderr, "open failed: %s\n", resp.error.c_str());
+      return {};
+    }
+  }
+  const std::uint64_t fsyncs_before = server.stats().group.fsyncs;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < clients; ++i) {
+    threads.emplace_back([&server, i, ops] {
+      const std::string name = "s" + std::to_string(i);
+      for (int op = 0; op < ops; ++op) {
+        Request req;
+        req.session = name;
+        if (op % 2 == 0) {
+          req.op = ServerOp::kApply;
+          req.kind = TransformKindIndex(TransformKind::kCfo);
+          req.op_index = 0;
+        } else {
+          req.op = ServerOp::kUndoLast;
+        }
+        const Response resp = server.Execute(req);
+        if (resp.status != StatusCode::kOk) {
+          std::fprintf(stderr, "commit failed: %s\n", resp.error.c_str());
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  RunResult r;
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.commits = static_cast<std::uint64_t>(clients) *
+              static_cast<std::uint64_t>(ops);
+  const ServerStats stats = server.stats();
+  r.fsyncs = stats.group.fsyncs - fsyncs_before;
+  r.max_batch = stats.group.max_batch;
+  server.Drain();
+  return r;
+}
+
+bool ThroughputStudy() {
+  const bool smoke = BenchSmokeMode();
+  const std::vector<int> fleets =
+      smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 64, 1024};
+  // Roughly constant total commits per run so every row takes comparable
+  // wall time; at least two ops each so apply/undo both appear.
+  const int total = smoke ? 16 : 2048;
+
+  BenchJson json("server");
+  std::printf("== Server commit throughput: per-commit fsync vs group ==\n");
+  std::printf("%8s %10s %10s %12s %10s %10s\n", "clients", "mode", "txns",
+              "txn/s", "fsyncs", "max_batch");
+  double per_commit_64 = 0, group_64 = 0;
+  for (const int clients : fleets) {
+    const int ops = std::max(2, total / clients);
+    for (const bool group_fsync : {false, true}) {
+      const RunResult r = RunWorkload(clients, ops, group_fsync);
+      if (r.commits == 0) return false;
+      const char* mode = group_fsync ? "group" : "per-commit";
+      std::printf("%8d %10s %10llu %12.0f %10llu %10llu\n", clients, mode,
+                  static_cast<unsigned long long>(r.commits), r.TxnPerSec(),
+                  static_cast<unsigned long long>(r.fsyncs),
+                  static_cast<unsigned long long>(r.max_batch));
+      json.Row()
+          .Int("clients", static_cast<std::uint64_t>(clients))
+          .Str("mode", mode)
+          .Int("txns", r.commits)
+          .Num("txn_per_sec", r.TxnPerSec())
+          .Int("fsyncs", r.fsyncs)
+          .Int("max_batch", r.max_batch);
+      if (clients == 64) {
+        (group_fsync ? group_64 : per_commit_64) = r.TxnPerSec();
+      }
+    }
+  }
+  const std::string out = json.WriteFile(".");
+  if (!out.empty()) std::printf("wrote %s\n", out.c_str());
+
+  if (smoke) return true;  // the gate needs the real 64-client fleet
+  const double speedup = per_commit_64 > 0 ? group_64 / per_commit_64 : 0;
+  std::printf("group-commit speedup at 64 clients: %.1fx (gate: >= 5x)\n",
+              speedup);
+  return speedup >= 5.0;
+}
+
+}  // namespace
+}  // namespace pivot
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);  // accept the standard flags
+  return pivot::ThroughputStudy() ? 0 : 1;
+}

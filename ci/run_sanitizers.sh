@@ -35,6 +35,10 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 # this script's ASan build tree (see ci/run_crash_soak.sh for the rationale).
 ci/run_crash_soak.sh "$BUILD_DIR"
 
+# Server soak: the server.* crash sweep plus the concurrent crash/recover
+# cycles (see ci/run_server_soak.sh; PIVOT_FUZZ_SEED seeds the latter).
+ci/run_server_soak.sh "$BUILD_DIR"
+
 echo "ASan+UBSan run complete"
 
 # ThreadSanitizer job: rebuild with -fsanitize=thread (ASan and TSan cannot
@@ -46,10 +50,15 @@ export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 cmake -B "$TSAN_BUILD_DIR" -S . -DPIVOT_SANITIZE_THREAD=ON \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$TSAN_BUILD_DIR" -j "$(nproc)" --target \
-      planner_tests analysis_incremental_tests fault_injection_tests
+      planner_tests analysis_incremental_tests fault_injection_tests \
+      server_tests server_crash_tests
 
 "$TSAN_BUILD_DIR"/tests/planner_tests
 "$TSAN_BUILD_DIR"/tests/analysis_incremental_tests
 "$TSAN_BUILD_DIR"/tests/fault_injection_tests
+# The server is the most thread-heavy subsystem in the tree: group-commit
+# worker + per-connection threads + concurrent committers in the soak.
+"$TSAN_BUILD_DIR"/tests/server_tests
+"$TSAN_BUILD_DIR"/tests/server_crash_tests
 
 echo "sanitizer run complete: all tests clean under ASan+UBSan and TSan"

@@ -39,9 +39,12 @@ std::pair<std::uint64_t, std::string> SplitSnapshotBody(
 // DurableJournal
 // ---------------------------------------------------------------------------
 
-DurableJournal::DurableJournal(Session& session, WalWriter writer,
-                               PersistOptions options)
-    : session_(session), writer_(std::move(writer)), options_(options) {}
+DurableJournal::DurableJournal(Session& session, FileLock lock,
+                               WalWriter writer, PersistOptions options)
+    : session_(session),
+      lock_(std::move(lock)),
+      writer_(std::move(writer)),
+      options_(options) {}
 
 std::unique_ptr<DurableJournal> DurableJournal::Create(
     Session& session, const std::string& path, PersistOptions options) {
@@ -55,19 +58,21 @@ std::unique_ptr<DurableJournal> DurableJournal::Create(
         "durable journal: attach before the first operation (replay "
         "rebuilds state from the genesis source)");
   }
+  FileLock lock = FileLock::Acquire(path);
   WalWriter writer = WalWriter::Create(path);
   PIVOT_FAULT_POINT("persist.genesis.pre");
   writer.AppendFrame(FrameType::kGenesis,
                      EncodeGenesis(session.options(), session.Source()),
                      options.fsync, "persist.genesis");
-  auto journal = std::unique_ptr<DurableJournal>(
-      new DurableJournal(session, std::move(writer), options));
+  auto journal = std::unique_ptr<DurableJournal>(new DurableJournal(
+      session, std::move(lock), std::move(writer), options));
   session.set_commit_listener(journal.get());
   return journal;
 }
 
 std::unique_ptr<DurableJournal> DurableJournal::Reattach(
     Session& session, const std::string& path, PersistOptions options) {
+  FileLock lock = FileLock::Acquire(path);
   const WalScanResult scan = ScanWal(path);
   if (!scan.header_ok || scan.version != kJournalFormatVersion ||
       scan.frames.empty()) {
@@ -78,8 +83,8 @@ std::unique_ptr<DurableJournal> DurableJournal::Reattach(
     throw ProgramError("durable journal: " + path +
                        " has a torn tail; run Session::Recover first");
   }
-  auto journal = std::unique_ptr<DurableJournal>(
-      new DurableJournal(session, WalWriter::Append(path), options));
+  auto journal = std::unique_ptr<DurableJournal>(new DurableJournal(
+      session, std::move(lock), WalWriter::Append(path), options));
   for (const WalFrame& frame : scan.frames) {
     if (frame.type == FrameType::kTxn) {
       ++journal->txns_;
@@ -286,6 +291,10 @@ std::optional<RecoverResult> RecoverOnce(const std::string& path,
 }  // namespace
 
 RecoverResult RecoverSession(const std::string& path) {
+  // Recovery truncates and rewrites the file: refuse when a live journal
+  // (this process or another) still owns it. The lock is released when
+  // recovery returns — reattaching a journal re-acquires it.
+  const FileLock lock = FileLock::Acquire(path);
   std::vector<std::string> errors;
   bool diverged = false;
   std::uint64_t diverged_cut = 0;

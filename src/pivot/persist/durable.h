@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "pivot/core/session.h"
+#include "pivot/persist/filelock.h"
 #include "pivot/persist/wal.h"
 
 namespace pivot {
@@ -78,10 +79,14 @@ class DurableJournal final : public CommitListener {
   std::uint64_t snapshots_written() const { return snapshots_; }
 
  private:
-  DurableJournal(Session& session, WalWriter writer, PersistOptions options);
+  DurableJournal(Session& session, FileLock lock, WalWriter writer,
+                 PersistOptions options);
   void WriteSnapshot();
 
   Session& session_;
+  // Held for the journal's lifetime: no second process (or second journal
+  // in this process) may append to the same WAL (see persist/filelock.h).
+  FileLock lock_;
   WalWriter writer_;
   PersistOptions options_;
   std::uint64_t txns_ = 0;  // txn frames in the file

@@ -1,0 +1,71 @@
+#include "pivot/persist/filelock.h"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "pivot/support/diagnostics.h"
+
+namespace pivot {
+namespace {
+
+// Returns the locked fd, or -1 when the lock is held elsewhere. Throws on
+// anything that is not lock contention.
+int TryLock(const std::string& journal_path) {
+  const std::string lock_path = journal_path + ".lock";
+  const int fd = ::open(lock_path.c_str(), O_CREAT | O_RDWR, 0644);
+  if (fd < 0) {
+    throw ProgramError("journal lock: cannot open " + lock_path + ": " +
+                       std::strerror(errno));
+  }
+  int rc;
+  do {
+    rc = ::flock(fd, LOCK_EX | LOCK_NB);
+  } while (rc != 0 && errno == EINTR);
+  if (rc == 0) return fd;
+  const int err = errno;
+  ::close(fd);
+  if (err == EWOULDBLOCK) return -1;
+  throw ProgramError("journal lock: flock " + lock_path + ": " +
+                     std::strerror(err));
+}
+
+}  // namespace
+
+FileLock FileLock::Acquire(const std::string& journal_path) {
+  const int fd = TryLock(journal_path);
+  if (fd < 0) {
+    throw ProgramError(
+        "journal " + journal_path +
+        " is locked by another process (or another journal/recovery in "
+        "this process); refusing to append to a live WAL");
+  }
+  return FileLock(fd);
+}
+
+bool FileLock::IsHeld(const std::string& journal_path) {
+  const int fd = TryLock(journal_path);
+  if (fd < 0) return true;
+  ::flock(fd, LOCK_UN);
+  ::close(fd);
+  return false;
+}
+
+FileLock::FileLock(FileLock&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+FileLock::~FileLock() { Release(); }
+
+void FileLock::Release() {
+  if (fd_ >= 0) {
+    ::flock(fd_, LOCK_UN);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace pivot

@@ -4,8 +4,10 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <fstream>
+#include <thread>
 
 #include "pivot/support/crc32c.h"
 #include "pivot/support/diagnostics.h"
@@ -33,26 +35,45 @@ std::uint32_t GetU32(const std::string& data, std::size_t pos) {
   throw ProgramError("journal file: " + what + ": " + std::strerror(errno));
 }
 
+bool TransientErrno(int err) {
+  return err == EINTR || err == EAGAIN || err == EWOULDBLOCK;
+}
+
+// Backoff between retries of one transient failure: the first few retries
+// are free (EINTR wants an immediate retry), then short exponential sleeps
+// so a flapping device is not hammered.
+void BackoffSleep(int failed_attempts) {
+  if (failed_attempts < 3) return;
+  const int exp = failed_attempts - 3 > 6 ? 6 : failed_attempts - 3;
+  std::this_thread::sleep_for(std::chrono::microseconds(1 << exp));
+}
+
 }  // namespace
 
 WalWriter WalWriter::Create(const std::string& path) {
   const int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
   if (fd < 0) IoError("cannot create " + path);
-  WalWriter w(fd);
+  WalWriter w(fd, 0);
   std::string header(kWalMagic, sizeof kWalMagic);
   PutU32(header, kJournalFormatVersion);
   w.WriteAll(header.data(), header.size());
-  if (::fsync(fd) != 0) IoError("fsync after header");
+  w.Sync();
   return w;
 }
 
 WalWriter WalWriter::Append(const std::string& path) {
   const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
   if (fd < 0) IoError("cannot open " + path);
-  return WalWriter(fd);
+  const off_t end = ::lseek(fd, 0, SEEK_END);
+  if (end < 0) {
+    ::close(fd);
+    IoError("cannot seek " + path);
+  }
+  return WalWriter(fd, static_cast<std::uint64_t>(end));
 }
 
-WalWriter::WalWriter(WalWriter&& other) noexcept : fd_(other.fd_) {
+WalWriter::WalWriter(WalWriter&& other) noexcept
+    : fd_(other.fd_), offset_(other.offset_) {
   other.fd_ = -1;
 }
 
@@ -67,15 +88,59 @@ void WalWriter::Close() {
 
 void WalWriter::WriteAll(const void* data, std::size_t len) {
   const char* p = static_cast<const char*>(data);
+  int failed_attempts = 0;
   while (len > 0) {
-    const ssize_t n = ::write(fd_, p, len);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      IoError("write failed");
+    ssize_t n;
+    if (FaultInjector::Instance().FailTransient("wal.write.transient")) {
+      n = -1;
+      errno = EINTR;
+    } else {
+      n = ::write(fd_, p, len);
     }
+    if (n < 0) {
+      if (!TransientErrno(errno)) IoError("write failed");
+      if (++failed_attempts >= kMaxIoAttempts) {
+        IoError("write failed (transient errors exhausted " +
+                std::to_string(kMaxIoAttempts) + " attempts)");
+      }
+      BackoffSleep(failed_attempts);
+      continue;
+    }
+    // A short write is progress, not a fault: advance and keep writing.
+    failed_attempts = 0;
     p += n;
     len -= static_cast<std::size_t>(n);
+    offset_ += static_cast<std::uint64_t>(n);
   }
+}
+
+void WalWriter::Sync(const std::string& point) {
+  int failed_attempts = 0;
+  for (;;) {
+    int rc;
+    if (FaultInjector::Instance().FailTransient("wal.fsync.transient")) {
+      rc = -1;
+      errno = EINTR;
+    } else {
+      rc = ::fsync(fd_);
+    }
+    if (rc == 0) break;
+    if (!TransientErrno(errno)) IoError("fsync failed");
+    if (++failed_attempts >= kMaxIoAttempts) {
+      IoError("fsync failed (transient errors exhausted " +
+              std::to_string(kMaxIoAttempts) + " attempts)");
+    }
+    BackoffSleep(failed_attempts);
+  }
+  if (!point.empty()) PIVOT_FAULT_POINT(point.c_str());
+}
+
+void WalWriter::TruncateTo(std::uint64_t offset) {
+  PIVOT_CHECK_MSG(offset <= offset_, "TruncateTo beyond the current end");
+  if (::ftruncate(fd_, static_cast<off_t>(offset)) != 0) {
+    IoError("truncate failed");
+  }
+  offset_ = offset;
 }
 
 void WalWriter::AppendFrame(FrameType type, const std::string& body,
@@ -100,10 +165,9 @@ void WalWriter::AppendFrame(FrameType type, const std::string& body,
   WriteAll(payload.data() + half, payload.size() - half);
   PIVOT_FAULT_POINT((point_prefix + ".post").c_str());
   if (fsync) {
-    if (::fsync(fd_) != 0) IoError("fsync failed");
     // The frame is durable but the in-memory commit has not happened yet —
-    // a crash here must recover the frame (it was paid for).
-    PIVOT_FAULT_POINT((point_prefix + ".fsync.post").c_str());
+    // a crash at .fsync.post must recover the frame (it was paid for).
+    Sync(point_prefix + ".fsync.post");
   }
 }
 
@@ -151,7 +215,7 @@ WalScanResult ScanWal(const std::string& path) {
     }
     const unsigned char type = static_cast<unsigned char>(payload[0]);
     if (type < static_cast<unsigned char>(FrameType::kGenesis) ||
-        type > static_cast<unsigned char>(FrameType::kSnapshot)) {
+        type > static_cast<unsigned char>(FrameType::kGroup)) {
       result.truncation_reason = "unknown frame type";
       break;
     }

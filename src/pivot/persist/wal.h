@@ -14,6 +14,16 @@
 // corrupt tail to be truncated. A frame is written in several write(2)
 // calls with fault points between them, so an injected crash leaves a
 // genuinely torn frame on disk — exactly what a real crash mid-write does.
+//
+// Transient-fault policy: every write(2) and fsync(2) runs inside a retry
+// loop that absorbs EINTR, EAGAIN and short writes with a small bounded
+// backoff (kMaxIoAttempts attempts). Only when the budget is exhausted —
+// or the errno is not transient — does the call throw ProgramError; a
+// short write is therefore a retry, never a poisoned journal. Tests drive
+// the loop with FaultInjector::ArmTransient on the non-throwing points
+// "wal.write.transient" / "wal.fsync.transient" (one consultation per
+// attempt): arming fewer failures than the budget must be invisible to the
+// caller, arming more models a permanent I/O fault.
 #ifndef PIVOT_PERSIST_WAL_H_
 #define PIVOT_PERSIST_WAL_H_
 
@@ -32,11 +42,17 @@ inline constexpr std::uint32_t kJournalFormatVersion = 1;
 inline constexpr char kWalMagic[8] = {'P', 'I', 'V', 'O',
                                       'T', 'W', 'A', 'L'};
 
+// Attempts per write(2)/fsync(2) before a transient failure is escalated
+// to ProgramError (see the transient-fault policy above).
+inline constexpr int kMaxIoAttempts = 16;
+
 enum class FrameType : unsigned char {
   kGenesis = 1,   // session options + initial source; always frame 0
   kTxn = 2,       // one committed transaction (a TxnDescriptor + digest)
   kSnapshot = 3,  // full session image; recovery replays only frames after
                   // the last valid snapshot
+  kGroup = 4,     // group-commit log envelope: (session, frame type, frame
+                  // body); only appears in a server's shared server.gwal
 };
 
 // Appends frames to a journal file via POSIX fd I/O. The writer does not
@@ -64,13 +80,29 @@ class WalWriter {
   void AppendFrame(FrameType type, const std::string& body, bool fsync,
                    const std::string& point_prefix);
 
+  // fsync(2) with the transient retry loop; crosses "<point>" after the
+  // sync when `point` is non-empty (group commit's crash point between
+  // batch durability and client acknowledgement).
+  void Sync(const std::string& point = {});
+
+  // File offset appends go to next (header included). Lets a caller record
+  // the pre-append length and roll a fully written but never-acknowledged
+  // frame back with TruncateTo.
+  std::uint64_t offset() const { return offset_; }
+
+  // ftruncate(2) back to `offset` (≤ the current offset); subsequent
+  // appends continue from there. Throws ProgramError on I/O error.
+  void TruncateTo(std::uint64_t offset);
+
   void Close();
 
  private:
-  explicit WalWriter(int fd) : fd_(fd) {}
+  explicit WalWriter(int fd, std::uint64_t offset)
+      : fd_(fd), offset_(offset) {}
   void WriteAll(const void* data, std::size_t len);
 
   int fd_ = -1;
+  std::uint64_t offset_ = 0;
 };
 
 struct WalFrame {

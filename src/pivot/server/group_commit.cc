@@ -1,0 +1,213 @@
+#include "pivot/server/group_commit.h"
+
+#include <utility>
+
+#include "pivot/persist/token.h"
+#include "pivot/server/protocol.h"
+#include "pivot/support/fault_injector.h"
+
+namespace pivot {
+
+std::string EncodeGroupFrame(const std::string& session, FrameType type,
+                             const std::string& body) {
+  persist_internal::TokenWriter w;
+  w.Tok("g");
+  w.Str(session);
+  w.Int(static_cast<int>(type));
+  w.Str(body);
+  return w.Take();
+}
+
+GroupFrame DecodeGroupFrame(const std::string& body) {
+  persist_internal::TokenReader r(body);
+  GroupFrame frame;
+  r.Expect("g");
+  frame.session = r.Str();
+  const long long type = r.Int();
+  if (type < static_cast<int>(FrameType::kGenesis) ||
+      type > static_cast<int>(FrameType::kSnapshot)) {
+    persist_internal::Malformed("bad frame type in group envelope");
+  }
+  frame.type = static_cast<FrameType>(type);
+  frame.body = r.Str();
+  if (!r.AtEnd()) {
+    persist_internal::Malformed("trailing data in group envelope");
+  }
+  return frame;
+}
+
+GroupCommitLog::GroupCommitLog(const std::string& path, bool create,
+                               GroupCommitOptions options,
+                               std::function<void(Failure)> on_failure)
+    : options_(options),
+      on_failure_(std::move(on_failure)),
+      lock_(FileLock::Acquire(path)),
+      writer_(create ? WalWriter::Create(path) : WalWriter::Append(path)),
+      worker_([this] { WorkerLoop(); }) {}
+
+GroupCommitLog::~GroupCommitLog() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  worker_.join();
+}
+
+void GroupCommitLog::Commit(const std::string& session, FrameType type,
+                            const std::string& body) {
+  auto ticket = std::make_shared<Ticket>();
+  ticket->session = session;
+  ticket->type = type;
+  ticket->body = body;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (failure_ != Failure::kNone) std::rethrow_exception(failure_error_);
+    if (draining_ || stop_) {
+      throw ServerDegradedError("group-commit log is shut down");
+    }
+    if (queue_.size() >= static_cast<std::size_t>(options_.max_queue)) {
+      ++stats_.rejected_full;
+      throw ServerOverloadedError(
+          "group-commit queue is full (" +
+          std::to_string(options_.max_queue) + " frames pending)");
+    }
+    queue_.push_back(ticket);
+  }
+  queue_cv_.notify_all();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return ticket->done; });
+  if (ticket->error) std::rethrow_exception(ticket->error);
+}
+
+void GroupCommitLog::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  draining_ = true;
+  queue_cv_.notify_all();
+  // The worker keeps writing batches until the queue is empty; committers
+  // already queued still get their acks.
+  done_cv_.wait(lock, [&] { return queue_.empty(); });
+  stop_ = true;
+  queue_cv_.notify_all();
+}
+
+GroupCommitLog::Failure GroupCommitLog::failure() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failure_;
+}
+
+GroupCommitStats GroupCommitLog::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void GroupCommitLog::FailAll(Failure failure, std::exception_ptr error,
+                             std::deque<std::shared_ptr<Ticket>>& batch) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (failure_ == Failure::kNone) {
+      failure_ = failure;
+      failure_error_ = error;
+    }
+    // Tickets already marked done were durably written and acknowledged;
+    // only the still-pending ones (rest of the batch + everything queued)
+    // carry the failure.
+    for (auto& t : batch) {
+      if (t->done) continue;
+      t->error = error;
+      t->done = true;
+    }
+    for (auto& t : queue_) {
+      t->error = error;
+      t->done = true;
+    }
+    queue_.clear();
+  }
+  done_cv_.notify_all();
+  if (on_failure_) on_failure_(failure);
+}
+
+void GroupCommitLog::WorkerLoop() {
+  for (;;) {
+    std::deque<std::shared_ptr<Ticket>> batch;
+    std::exception_ptr broken;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      batch.swap(queue_);
+      if (failure_ != Failure::kNone) broken = failure_error_;
+    }
+
+    if (broken) {
+      // The log already failed: fail this batch with the stored error
+      // instead of appending behind a broken tail.
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (auto& t : batch) {
+          t->error = broken;
+          t->done = true;
+        }
+      }
+      done_cv_.notify_all();
+      continue;
+    }
+
+    const std::uint64_t pre_batch = writer_.offset();
+    try {
+      PIVOT_FAULT_POINT("server.batch.pre");
+      for (const auto& t : batch) {
+        writer_.AppendFrame(FrameType::kGroup,
+                            EncodeGroupFrame(t->session, t->type, t->body),
+                            /*fsync=*/false, "server.gwal.frame");
+        if (options_.fsync && !options_.group_fsync) {
+          // Per-commit baseline: pay one fsync per frame.
+          writer_.Sync();
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.fsyncs;
+        }
+      }
+      if (options_.fsync && options_.group_fsync) {
+        // THE group commit: one fsync covers every frame in the batch.
+        // A crash at sync.post is "durable but nobody acknowledged yet".
+        writer_.Sync("server.gwal.sync.post");
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.fsyncs;
+      }
+
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (auto& t : batch) {
+          PIVOT_FAULT_POINT("server.ack.pre");
+          t->done = true;
+          ++stats_.frames;
+        }
+        ++stats_.batches;
+        if (batch.size() > stats_.max_batch) stats_.max_batch = batch.size();
+      }
+      done_cv_.notify_all();
+    } catch (const FaultInjectedError&) {
+      // The crash harness: leave the file exactly as the "crash" left it
+      // (recovery's scan owns the torn tail) and stop serving.
+      FailAll(Failure::kCrashed, std::current_exception(), batch);
+    } catch (const ProgramError&) {
+      // Permanent write fault (the WAL layer already absorbed transients).
+      // Rolling the half-written batch off the log keeps rolled-back
+      // operations from resurfacing at the next recovery; if even the
+      // truncate fails the tail is torn and recovery will cut it.
+      try {
+        writer_.TruncateTo(pre_batch);
+      } catch (...) {
+      }
+      auto error = std::make_exception_ptr(ServerDegradedError(
+          "group-commit log write fault; commits are refused"));
+      FailAll(Failure::kDegraded, error, batch);
+    }
+  }
+}
+
+}  // namespace pivot

@@ -1,0 +1,799 @@
+#include "pivot/server/server.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <thread>
+
+#include "pivot/ir/parser.h"
+#include "pivot/persist/snapshot.h"
+#include "pivot/persist/wire.h"
+#include "pivot/support/fault_injector.h"
+
+namespace pivot {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr Clock::time_point kNoDeadline = Clock::time_point::max();
+
+// The deadline of the request currently executing on this thread, visible
+// to the commit path (ServerJournal::OnCommit checks it just before the
+// group-commit enqueue — the point of no return).
+thread_local Clock::time_point t_deadline = kNoDeadline;
+
+struct DeadlineScope {
+  explicit DeadlineScope(Clock::time_point deadline) {
+    t_deadline = deadline;
+  }
+  ~DeadlineScope() { t_deadline = kNoDeadline; }
+};
+
+void CheckDeadline(const char* where) {
+  if (t_deadline != kNoDeadline && Clock::now() >= t_deadline) {
+    throw DeadlineExceededError(std::string("deadline exceeded ") + where);
+  }
+}
+
+bool ReadOnlyOp(ServerOp op) {
+  switch (op) {
+    case ServerOp::kPing:
+    case ServerOp::kCanUndo:
+    case ServerOp::kSource:
+    case ServerOp::kHistory:
+    case ServerOp::kStats:
+    case ServerOp::kSleep:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Response Fail(StatusCode status, std::string error) {
+  Response resp;
+  resp.status = status;
+  resp.retryable = StatusRetryable(status);
+  resp.error = std::move(error);
+  return resp;
+}
+
+bool ValidSessionName(const std::string& name) {
+  if (name.empty() || name.size() > 128) return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                    c == '.';
+    if (!ok) return false;
+  }
+  return name != "." && name != "..";
+}
+
+}  // namespace
+
+const char* ServerModeName(ServerMode mode) {
+  switch (mode) {
+    case ServerMode::kServing: return "serving";
+    case ServerMode::kDegraded: return "degraded";
+    case ServerMode::kDraining: return "draining";
+    case ServerMode::kStopped: return "stopped";
+    case ServerMode::kCrashed: return "crashed";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// ServerJournal: the per-session WAL + group-commit listener
+// ---------------------------------------------------------------------------
+
+// Like persist's DurableJournal but with the durability point moved into
+// the shared group-commit log: per-session appends never fsync; the frame
+// body is handed to GroupCommitLog::Commit, which blocks until the batch
+// containing it is durable. Snapshots stay session-local (pure read
+// optimization — losing one merely lengthens replay).
+class PivotServer::ServerJournal final : public CommitListener {
+ public:
+  static std::unique_ptr<ServerJournal> Create(Session& session,
+                                               const std::string& name,
+                                               const std::string& path,
+                                               GroupCommitLog& group,
+                                               int snapshot_interval,
+                                               std::function<void()> degrade) {
+    FileLock lock = FileLock::Acquire(path);
+    WalWriter writer = WalWriter::Create(path);
+    const std::string body = EncodeGenesis(session.options(), session.Source());
+    writer.AppendFrame(FrameType::kGenesis, body, /*fsync=*/false,
+                       "server.swal.genesis");
+    auto journal = std::unique_ptr<ServerJournal>(
+        new ServerJournal(session, name, std::move(lock), std::move(writer),
+                          group, snapshot_interval, std::move(degrade)));
+    // The genesis is acknowledged like any commit: via the group fsync.
+    group.Commit(name, FrameType::kGenesis, body);
+    session.set_commit_listener(journal.get());
+    return journal;
+  }
+
+  // After recovery: append behind the (already truncated-to-valid) end.
+  static std::unique_ptr<ServerJournal> Attach(Session& session,
+                                               const std::string& name,
+                                               const std::string& path,
+                                               GroupCommitLog& group,
+                                               int snapshot_interval,
+                                               std::function<void()> degrade) {
+    FileLock lock = FileLock::Acquire(path);
+    const WalScanResult scan = ScanWal(path);
+    if (!scan.header_ok || scan.frames.empty() ||
+        scan.valid_bytes != scan.file_bytes) {
+      throw ProgramError("server journal: " + path +
+                         " is not a clean journal; recover it first");
+    }
+    auto journal = std::unique_ptr<ServerJournal>(
+        new ServerJournal(session, name, std::move(lock),
+                          WalWriter::Append(path), group, snapshot_interval,
+                          std::move(degrade)));
+    for (const WalFrame& frame : scan.frames) {
+      if (frame.type == FrameType::kTxn) {
+        ++journal->txns_;
+        ++journal->since_snapshot_;
+      } else if (frame.type == FrameType::kSnapshot) {
+        journal->since_snapshot_ = 0;
+      }
+    }
+    session.set_commit_listener(journal.get());
+    return journal;
+  }
+
+  ~ServerJournal() override {
+    if (session_.commit_listener() == this) {
+      session_.set_commit_listener(nullptr);
+    }
+  }
+
+  void OnCommit(const TxnDescriptor& desc) override {
+    if (broken_) {
+      throw ServerWriteFaultError(
+          "session journal poisoned by an earlier write fault");
+    }
+    // Last exit before work that cannot be abandoned: past this point the
+    // frame goes to disk even if the client has given up on it.
+    CheckDeadline("before the commit was journaled");
+    const std::string body = EncodeTxn(desc, ComputeDigest(session_));
+    const std::uint64_t pre = writer_.offset();
+    try {
+      writer_.AppendFrame(FrameType::kTxn, body, /*fsync=*/false,
+                          "server.swal.txn");
+    } catch (const FaultInjectedError&) {
+      broken_ = true;  // crash harness: leave the torn tail as-is
+      throw;
+    } catch (const ProgramError& e) {
+      Poison(pre);
+      throw ServerWriteFaultError(std::string("session journal: ") +
+                                  e.what());
+    }
+    PIVOT_FAULT_POINT("server.commit.enqueue.pre");
+    try {
+      // Blocks until the group fsync covering this frame returns — the
+      // acknowledgement point of the whole server.
+      group_.Commit(name_, FrameType::kTxn, body);
+    } catch (const FaultInjectedError&) {
+      broken_ = true;
+      throw;
+    } catch (...) {
+      // Not durable (rejected or the group log failed): the session rolls
+      // this operation back, so the frame must come off the session WAL or
+      // a later recovery would replay a commit that never happened.
+      Poison(pre);
+      throw;
+    }
+    ++txns_;
+    ++since_snapshot_;
+  }
+
+  void OnCommitted(const TxnDescriptor& desc) override {
+    (void)desc;
+    if (broken_ || snapshot_interval_ <= 0) return;
+    if (since_snapshot_ < static_cast<std::uint64_t>(snapshot_interval_)) {
+      return;
+    }
+    const std::string body =
+        "txns " + std::to_string(txns_) + "\n" + EncodeSessionImage(session_);
+    const std::uint64_t pre = writer_.offset();
+    try {
+      writer_.AppendFrame(FrameType::kSnapshot, body, /*fsync=*/false,
+                          "server.swal.snapshot");
+      since_snapshot_ = 0;
+    } catch (const FaultInjectedError&) {
+      broken_ = true;
+      throw;  // the commit itself is durable and acknowledged
+    } catch (const ProgramError&) {
+      // A snapshot is optional; the fault is not. Roll the torn frame off
+      // (best effort) and degrade — the disk is telling us something.
+      Poison(pre);
+      if (degrade_) degrade_();
+    }
+  }
+
+ private:
+  ServerJournal(Session& session, std::string name, FileLock lock,
+                WalWriter writer, GroupCommitLog& group, int snapshot_interval,
+                std::function<void()> degrade)
+      : session_(session),
+        name_(std::move(name)),
+        lock_(std::move(lock)),
+        writer_(std::move(writer)),
+        group_(group),
+        snapshot_interval_(snapshot_interval),
+        degrade_(std::move(degrade)) {}
+
+  // Rolls an unacknowledged frame off the WAL; when even that fails the
+  // file may end mid-frame and no further append is safe.
+  void Poison(std::uint64_t pre) {
+    try {
+      writer_.TruncateTo(pre);
+    } catch (...) {
+      broken_ = true;
+    }
+  }
+
+  Session& session_;
+  const std::string name_;
+  FileLock lock_;
+  WalWriter writer_;
+  GroupCommitLog& group_;
+  const int snapshot_interval_;
+  const std::function<void()> degrade_;
+  std::uint64_t txns_ = 0;
+  std::uint64_t since_snapshot_ = 0;
+  bool broken_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Hosted session bookkeeping
+// ---------------------------------------------------------------------------
+
+struct PivotServer::Hosted {
+  std::string name;
+  // Serializes operations on this session; timed so a deadline bounds the
+  // wait for a busy session instead of queueing forever.
+  std::timed_mutex mu;
+  std::unique_ptr<Session> session;
+  std::unique_ptr<ServerJournal> journal;
+  std::atomic<int> inflight{0};
+  bool closed = false;  // guarded by mu
+};
+
+namespace {
+
+// Releases an admission slot (global or per-session) on scope exit.
+struct SlotGuard {
+  explicit SlotGuard(std::atomic<int>& counter) : counter_(&counter) {
+    counter_->fetch_add(1, std::memory_order_acq_rel);
+  }
+  ~SlotGuard() { counter_->fetch_sub(1, std::memory_order_acq_rel); }
+  int count() const { return counter_->load(std::memory_order_acquire); }
+  std::atomic<int>* counter_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PivotServer
+// ---------------------------------------------------------------------------
+
+PivotServer::PivotServer(ServerOptions options)
+    : options_(std::move(options)) {
+  PIVOT_CHECK_MSG(!options_.data_dir.empty(), "server needs a data_dir");
+  if (::mkdir(options_.data_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    throw ProgramError("server: cannot create data dir " + options_.data_dir +
+                       ": " + std::strerror(errno));
+  }
+
+  const std::string gwal = GroupWalPath();
+  const bool fresh = ::access(gwal.c_str(), F_OK) != 0;
+  if (!fresh) {
+    // Scan the group log as it survived the last process: cut the torn
+    // tail, then index every acked frame per session for reconciliation.
+    const WalScanResult scan = ScanWal(gwal);
+    if (!scan.header_ok || scan.version > kJournalFormatVersion) {
+      throw ProgramError("server: " + gwal + " is not a usable group log");
+    }
+    if (scan.valid_bytes < scan.file_bytes) {
+      TruncateWal(gwal, scan.valid_bytes);
+    }
+    for (const WalFrame& frame : scan.frames) {
+      if (frame.type != FrameType::kGroup) {
+        throw ProgramError("server: foreign frame in group log " + gwal);
+      }
+      GroupFrame entry = DecodeGroupFrame(frame.body);
+      group_index_[entry.session].push_back(std::move(entry));
+    }
+  }
+  group_ = std::make_unique<GroupCommitLog>(
+      gwal, fresh, options_.commit, [this](GroupCommitLog::Failure failure) {
+        if (failure == GroupCommitLog::Failure::kCrashed) {
+          mode_.store(ServerMode::kCrashed, std::memory_order_release);
+        } else {
+          Degrade("group-commit log write fault");
+        }
+      });
+}
+
+PivotServer::~PivotServer() {
+  const ServerMode m = mode();
+  if (m != ServerMode::kCrashed && m != ServerMode::kStopped) {
+    try {
+      Drain();
+    } catch (...) {
+    }
+  }
+  // Sessions (and their journals) die before group_ — member order.
+}
+
+std::string PivotServer::GroupWalPath() const {
+  return options_.data_dir + "/server.gwal";
+}
+
+std::string PivotServer::SessionWalPath(const std::string& name) const {
+  return options_.data_dir + "/" + name + ".wal";
+}
+
+void PivotServer::Degrade(const char* why) {
+  ServerMode expected = ServerMode::kServing;
+  if (mode_.compare_exchange_strong(expected, ServerMode::kDegraded,
+                                    std::memory_order_acq_rel)) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.mode = ServerMode::kDegraded;
+    (void)why;
+  }
+}
+
+ServerStats PivotServer::stats() const {
+  ServerStats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    out = stats_;
+  }
+  out.mode = mode();
+  out.group = group_->stats();
+  out.transient_absorbed =
+      FaultInjector::Instance().transient_failures_injected();
+  return out;
+}
+
+std::shared_ptr<PivotServer::Hosted> PivotServer::FindSession(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(name);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+Response PivotServer::Execute(const Request& req) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.requests;
+  }
+
+  const ServerMode m = mode();
+  if (req.op == ServerOp::kPing) {
+    Response resp;
+    resp.status = m == ServerMode::kCrashed ? StatusCode::kCrashed
+                                            : StatusCode::kOk;
+    resp.text = ServerModeName(m);
+    return resp;
+  }
+  if (m == ServerMode::kCrashed) {
+    return Fail(StatusCode::kCrashed,
+                "server crashed (injected fault); restart and recover");
+  }
+  if (req.op == ServerOp::kShutdown) {
+    Drain();
+    Response resp;
+    resp.text = "drained";
+    return resp;
+  }
+  if (req.op == ServerOp::kStats) {
+    const ServerStats s = stats();
+    std::ostringstream os;
+    os << "mode=" << ServerModeName(s.mode) << " requests=" << s.requests
+       << " commits=" << s.commits << " frames=" << s.group.frames
+       << " batches=" << s.group.batches << " fsyncs=" << s.group.fsyncs
+       << " max_batch=" << s.group.max_batch
+       << " rejected_overload=" << s.rejected_overload
+       << " rejected_deadline=" << s.rejected_deadline
+       << " rejected_degraded=" << s.rejected_degraded
+       << " transient_absorbed=" << s.transient_absorbed;
+    Response resp;
+    resp.value = s.commits;
+    resp.text = os.str();
+    return resp;
+  }
+  if (m == ServerMode::kDraining || m == ServerMode::kStopped) {
+    return Fail(StatusCode::kShuttingDown, "server is shutting down");
+  }
+  if (m == ServerMode::kDegraded && !ReadOnlyOp(req.op)) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.rejected_degraded;
+    return Fail(StatusCode::kDegraded,
+                "server is degraded after a write fault: read-only");
+  }
+
+  // Global admission: bounded concurrency, immediate retryable rejection
+  // past the bound — load sheds instead of queueing without limit.
+  SlotGuard global(inflight_);
+  if (global.count() > options_.max_inflight) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.rejected_overload;
+    return Fail(StatusCode::kOverloaded,
+                "server at max_inflight=" +
+                    std::to_string(options_.max_inflight));
+  }
+
+  const Clock::time_point deadline =
+      req.deadline_ms == 0
+          ? kNoDeadline
+          : Clock::now() + std::chrono::milliseconds(req.deadline_ms);
+  DeadlineScope scope(deadline);
+
+  try {
+    CheckDeadline("at admission");
+    return Dispatch(req, deadline);
+  } catch (const FaultInjectedError&) {
+    mode_.store(ServerMode::kCrashed, std::memory_order_release);
+    throw;  // the crash harness owns this one
+  } catch (const DeadlineExceededError& e) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.rejected_deadline;
+    return Fail(StatusCode::kDeadlineExceeded, e.what());
+  } catch (const ServerOverloadedError& e) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.rejected_overload;
+    return Fail(StatusCode::kOverloaded, e.what());
+  } catch (const ServerWriteFaultError& e) {
+    Degrade("session journal write fault");
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.rejected_degraded;
+    return Fail(StatusCode::kDegraded, e.what());
+  } catch (const ServerDegradedError& e) {
+    // The group log already flipped the server via on_failure.
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.rejected_degraded;
+    return Fail(StatusCode::kDegraded, e.what());
+  } catch (const ProgramError& e) {
+    return Fail(StatusCode::kPrecondition, e.what());
+  } catch (const InternalError& e) {
+    // An invariant check tripped by a hostile argument (e.g. undoing a
+    // stamp that never existed). The transaction guard has already rolled
+    // the session back; the request fails, the server does not.
+    return Fail(StatusCode::kPrecondition, e.what());
+  }
+}
+
+Response PivotServer::Dispatch(const Request& req,
+                               Clock::time_point deadline) {
+  switch (req.op) {
+    case ServerOp::kOpen:
+      return DoOpen(req);
+    case ServerOp::kRecover:
+      return DoRecover(req);
+    default:
+      break;
+  }
+
+  if (req.op == ServerOp::kSleep) {
+    if (!options_.enable_test_ops) {
+      return Fail(StatusCode::kBadRequest, "test ops are disabled");
+    }
+    if (req.session.empty()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(req.sleep_ms));
+      return Response{};
+    }
+    // With a session: fall through and sleep while holding its lock, the
+    // contention generator for deadline/overload tests.
+  }
+
+  std::shared_ptr<Hosted> hosted = FindSession(req.session);
+  if (hosted == nullptr) {
+    return Fail(StatusCode::kNoSuchSession,
+                "no open session '" + req.session + "'");
+  }
+
+  // Per-session admission, before blocking on the session lock.
+  SlotGuard slot(hosted->inflight);
+  if (slot.count() > options_.session_inflight) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.rejected_overload;
+    return Fail(StatusCode::kOverloaded,
+                "session '" + req.session + "' at session_inflight=" +
+                    std::to_string(options_.session_inflight));
+  }
+
+  std::unique_lock<std::timed_mutex> lock(hosted->mu, std::defer_lock);
+  if (deadline == kNoDeadline) {
+    lock.lock();
+  } else if (!lock.try_lock_until(deadline)) {
+    throw DeadlineExceededError("deadline exceeded waiting for session '" +
+                                req.session + "'");
+  }
+  if (hosted->closed) {
+    return Fail(StatusCode::kNoSuchSession,
+                "session '" + req.session + "' is closed");
+  }
+  CheckDeadline("after acquiring the session");
+
+  Session& session = *hosted->session;
+  Response resp;
+  switch (req.op) {
+    case ServerOp::kClose: {
+      hosted->closed = true;
+      hosted->journal.reset();  // detaches the listener, releases the flock
+      hosted->session.reset();
+      std::lock_guard<std::mutex> sessions_lock(sessions_mu_);
+      sessions_.erase(req.session);
+      resp.text = "closed";
+      return resp;
+    }
+    case ServerOp::kApply: {
+      if (req.kind < 0 || req.kind >= kNumTransformKinds) {
+        return Fail(StatusCode::kBadRequest,
+                    "transform kind out of range: " +
+                        std::to_string(req.kind));
+      }
+      const TransformKind kind = TransformKindFromIndex(req.kind);
+      const std::vector<Opportunity> ops = session.FindOpportunities(kind);
+      if (req.op_index >= ops.size()) {
+        return Fail(StatusCode::kPrecondition,
+                    std::string(TransformKindName(kind)) + " has " +
+                        std::to_string(ops.size()) +
+                        " opportunities; index " +
+                        std::to_string(req.op_index) + " does not exist");
+      }
+      resp.stamp = session.Apply(ops[req.op_index]);
+      break;
+    }
+    case ServerOp::kTxn: {
+      TxnDescriptor desc;
+      try {
+        desc = DecodeTxn(req.txn_body).desc;  // request digest is ignored
+      } catch (const ProgramError& e) {
+        return Fail(StatusCode::kBadRequest,
+                    std::string("bad txn body: ") + e.what());
+      }
+      ReplayTxn(session, desc);
+      resp.stamp = desc.result_stamp;
+      break;
+    }
+    case ServerOp::kUndo: {
+      if (req.stamps.size() != 1) {
+        return Fail(StatusCode::kBadRequest, "undo takes exactly one stamp");
+      }
+      const UndoStats stats = session.Undo(req.stamps[0]);
+      resp.value = static_cast<std::uint64_t>(stats.transforms_undone);
+      break;
+    }
+    case ServerOp::kUndoSet: {
+      std::vector<OrderStamp> undone;
+      const UndoStats stats = session.UndoSet(req.stamps, &undone);
+      resp.value = static_cast<std::uint64_t>(stats.transforms_undone);
+      std::ostringstream os;
+      for (std::size_t i = 0; i < undone.size(); ++i) {
+        if (i != 0) os << " ";
+        os << undone[i];
+      }
+      resp.text = os.str();
+      break;
+    }
+    case ServerOp::kUndoLast:
+      resp.stamp = session.UndoLast();
+      break;
+    case ServerOp::kCanUndo: {
+      if (req.stamps.size() != 1) {
+        return Fail(StatusCode::kBadRequest,
+                    "canundo takes exactly one stamp");
+      }
+      std::string reason;
+      resp.value = session.CanUndo(req.stamps[0], &reason) ? 1 : 0;
+      resp.text = reason;
+      break;
+    }
+    case ServerOp::kSource:
+      resp.text = session.Source();
+      break;
+    case ServerOp::kHistory:
+      resp.text = session.HistoryToString();
+      break;
+    case ServerOp::kSleep:
+      std::this_thread::sleep_for(std::chrono::milliseconds(req.sleep_ms));
+      break;
+    default:
+      return Fail(StatusCode::kBadRequest,
+                  std::string("op '") + ServerOpName(req.op) +
+                      "' is not valid here");
+  }
+
+  if (!ReadOnlyOp(req.op) && req.op != ServerOp::kClose) {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.commits;
+  }
+  return resp;
+}
+
+Response PivotServer::DoOpen(const Request& req) {
+  if (!ValidSessionName(req.session)) {
+    return Fail(StatusCode::kBadRequest,
+                "bad session name '" + req.session + "'");
+  }
+  // Held across creation: two concurrent opens of the same name must not
+  // both create the WAL.
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  if (sessions_.count(req.session) != 0) {
+    return Fail(StatusCode::kSessionExists,
+                "session '" + req.session + "' is already open");
+  }
+  const std::string path = SessionWalPath(req.session);
+  if (::access(path.c_str(), F_OK) == 0) {
+    return Fail(StatusCode::kSessionExists,
+                "journal " + path + " already exists; use recover");
+  }
+  auto hosted = std::make_shared<Hosted>();
+  hosted->name = req.session;
+  hosted->session =
+      std::make_unique<Session>(Parse(req.source), options_.session);
+  hosted->journal = ServerJournal::Create(
+      *hosted->session, req.session, path, *group_,
+      options_.snapshot_interval,
+      [this] { Degrade("session journal write fault"); });
+  sessions_.emplace(req.session, std::move(hosted));
+  Response resp;
+  resp.text = "open";
+  return resp;
+}
+
+Response PivotServer::DoRecover(const Request& req) {
+  if (!ValidSessionName(req.session)) {
+    return Fail(StatusCode::kBadRequest,
+                "bad session name '" + req.session + "'");
+  }
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  if (sessions_.count(req.session) != 0) {
+    return Fail(StatusCode::kSessionExists,
+                "session '" + req.session + "' is already open");
+  }
+  PIVOT_FAULT_POINT("server.recover.reconcile.pre");
+  ReconcileSessionWal(req.session);
+  const std::string path = SessionWalPath(req.session);
+  RecoverResult recovered = RecoverSession(path);
+  auto hosted = std::make_shared<Hosted>();
+  hosted->name = req.session;
+  hosted->session = std::move(recovered.session);
+  hosted->journal = ServerJournal::Attach(
+      *hosted->session, req.session, path, *group_,
+      options_.snapshot_interval,
+      [this] { Degrade("session journal write fault"); });
+  sessions_.emplace(req.session, std::move(hosted));
+  Response resp;
+  resp.value = recovered.report.txns_replayed;
+  resp.text = recovered.report.ToString();
+  return resp;
+}
+
+// Brings a session WAL up to date with the group log as scanned at server
+// start: every group-acked frame missing from the (never individually
+// fsynced) session file is re-appended byte-identically, so RecoverSession
+// then sees at least every acknowledged commit. The session WAL may
+// legitimately hold ONE txn frame beyond the group log — appended but the
+// crash hit before its group fsync — which recovery keeps (durable but
+// unacknowledged work is a bonus, never a loss).
+void PivotServer::ReconcileSessionWal(const std::string& name) {
+  const auto indexed = group_index_.find(name);
+  const std::vector<GroupFrame> no_entries;
+  const std::vector<GroupFrame>& entries =
+      indexed == group_index_.end() ? no_entries : indexed->second;
+
+  const std::string path = SessionWalPath(name);
+  const bool exists = ::access(path.c_str(), F_OK) == 0;
+  if (!exists && entries.empty()) {
+    throw ProgramError("no journal for session '" + name + "'");
+  }
+
+  // Is the existing file usable (valid header + genesis)?
+  bool usable = false;
+  WalScanResult scan;
+  if (exists) {
+    scan = ScanWal(path);
+    usable = scan.header_ok && scan.version <= kJournalFormatVersion &&
+             !scan.frames.empty() &&
+             scan.frames[0].type == FrameType::kGenesis;
+  }
+
+  if (!usable) {
+    // Crash before the genesis landed in the session file (or the file is
+    // gone): rebuild it wholesale from the acked frames.
+    if (entries.empty() || entries[0].type != FrameType::kGenesis) {
+      throw ProgramError("session '" + name +
+                         "' has no usable journal and no acked genesis in "
+                         "the group log");
+    }
+    FileLock lock = FileLock::Acquire(path);
+    WalWriter writer = WalWriter::Create(path);
+    for (const GroupFrame& entry : entries) {
+      writer.AppendFrame(entry.type, entry.body, /*fsync=*/false, "server.swal.txn");
+    }
+    writer.Sync();
+    return;
+  }
+
+  if (scan.valid_bytes < scan.file_bytes) {
+    TruncateWal(path, scan.valid_bytes);
+  }
+
+  std::uint64_t swal_txns = 0;
+  for (const WalFrame& frame : scan.frames) {
+    if (frame.type == FrameType::kTxn) ++swal_txns;
+  }
+  std::vector<const GroupFrame*> gwal_txns;
+  for (const GroupFrame& entry : entries) {
+    if (entry.type == FrameType::kTxn) gwal_txns.push_back(&entry);
+  }
+  if (swal_txns >= gwal_txns.size()) return;  // session file is ahead or even
+
+  FileLock lock = FileLock::Acquire(path);
+  WalWriter writer = WalWriter::Append(path);
+  for (std::size_t i = swal_txns; i < gwal_txns.size(); ++i) {
+    writer.AppendFrame(FrameType::kTxn, gwal_txns[i]->body, /*fsync=*/false,
+                       "server.swal.txn");
+  }
+  writer.Sync();
+}
+
+void PivotServer::ServeConnection(int fd) {
+  std::string payload;
+  for (;;) {
+    try {
+      if (!ReadMessage(fd, &payload)) break;  // clean EOF
+    } catch (const ProgramError&) {
+      break;  // torn message / transport garbage: drop the connection
+    }
+    Response resp;
+    bool decoded = false;
+    Request req;
+    try {
+      req = DecodeRequest(payload);
+      decoded = true;
+    } catch (const ProgramError& e) {
+      resp = Fail(StatusCode::kBadRequest, e.what());
+    }
+    if (decoded) resp = Execute(req);  // FaultInjectedError propagates
+    try {
+      WriteMessage(fd, EncodeResponse(resp));
+    } catch (const ProgramError&) {
+      // The client went away mid-response. Its in-session transaction (if
+      // any) already committed or rolled back atomically server-side;
+      // nothing to clean up beyond this connection.
+      break;
+    }
+  }
+}
+
+void PivotServer::Drain() {
+  ServerMode expected = ServerMode::kServing;
+  if (!mode_.compare_exchange_strong(expected, ServerMode::kDraining,
+                                     std::memory_order_acq_rel)) {
+    expected = ServerMode::kDegraded;
+    if (!mode_.compare_exchange_strong(expected, ServerMode::kDraining,
+                                       std::memory_order_acq_rel)) {
+      return;  // already draining/stopped/crashed
+    }
+  }
+  // New requests now bounce with kShuttingDown; wait out the in-flight
+  // ones (each completes or fails on its own deadline).
+  while (inflight_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  group_->Drain();
+  mode_.store(ServerMode::kStopped, std::memory_order_release);
+}
+
+}  // namespace pivot

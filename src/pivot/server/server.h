@@ -1,0 +1,150 @@
+// The hardened multi-session PIVOT server.
+//
+// PivotServer hosts many concurrent Sessions, each durably journaled to a
+// per-session WAL under `data_dir`, with commits funneled through one
+// shared group-commit log (see server/group_commit.h) so that N concurrent
+// committers pay one fsync, not N. Robustness is the point:
+//
+//   * admission control — a global in-flight bound and a per-session
+//     in-flight bound; past either the request is rejected immediately
+//     with kOverloaded (retryable), it is never queued unboundedly;
+//   * deadlines — a request may carry deadline_ms; the server checks it at
+//     admission, after acquiring the session lock, and just before the
+//     group-commit enqueue (the point of no return). Past the deadline the
+//     request fails with kDeadlineExceeded instead of burning a slot;
+//   * graceful degradation — a permanent write fault (transient retries
+//     exhausted; see persist/wal.h) flips the server into kDegraded:
+//     reads (source/history/canundo/stats/ping) keep being served, every
+//     commit is refused with kDegraded and a typed error. Nothing crashes;
+//   * graceful drain — Drain() stops admissions (kShuttingDown,
+//     retryable), waits for in-flight requests, flushes and fsyncs the
+//     group log. The SIGTERM half of tools/pivot_serve.
+//
+// Durability contract (crash-swept in tests/server_crash_test.cc): per-
+// session WALs are appended WITHOUT fsync; the single group-log fsync is
+// the only durability point, and a commit is acknowledged only after it.
+// On startup the server scans the group log and reconciles each session
+// WAL against it — re-appending acked frames a crash kept out of the
+// unsynced per-session file — so kill-at-any-point never loses an
+// acknowledged commit.
+#ifndef PIVOT_SERVER_SERVER_H_
+#define PIVOT_SERVER_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pivot/core/session.h"
+#include "pivot/persist/durable.h"
+#include "pivot/server/group_commit.h"
+#include "pivot/server/protocol.h"
+
+namespace pivot {
+
+struct ServerOptions {
+  // Directory holding `server.gwal` plus one `<session>.wal` per session.
+  // Created if missing.
+  std::string data_dir;
+  // Options for every hosted session (genesis options are per-session and
+  // persisted; this is the template for kOpen).
+  SessionOptions session;
+  // Per-session snapshot policy, as PersistOptions::snapshot_interval.
+  int snapshot_interval = 64;
+  GroupCommitOptions commit;
+  // Admission control: hard bound on requests executing at once across the
+  // server / within one session. Past either: kOverloaded, retryable.
+  int max_inflight = 256;
+  int session_inflight = 8;
+  // Admit the test-only ops (kSleep) — tools keep this off.
+  bool enable_test_ops = false;
+};
+
+enum class ServerMode {
+  kServing,
+  kDegraded,  // permanent write fault: reads only, commits refused
+  kDraining,  // Drain() in progress: everything refused, retryable
+  kStopped,   // drained
+  kCrashed,   // crash-harness fault fired: everything refused
+};
+
+const char* ServerModeName(ServerMode mode);
+
+struct ServerStats {
+  std::uint64_t requests = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t rejected_overload = 0;
+  std::uint64_t rejected_deadline = 0;
+  std::uint64_t rejected_degraded = 0;
+  std::uint64_t transient_absorbed = 0;  // FaultInjector transient count
+  ServerMode mode = ServerMode::kServing;
+  GroupCommitStats group;
+};
+
+class PivotServer {
+ public:
+  // Opens (or creates) the data directory and the shared group-commit log.
+  // An existing group log is scanned — its torn tail truncated — and
+  // indexed for per-session reconciliation at kRecover time.
+  explicit PivotServer(ServerOptions options);
+  ~PivotServer();
+  PivotServer(const PivotServer&) = delete;
+  PivotServer& operator=(const PivotServer&) = delete;
+
+  // Executes one request against the hosted sessions; never throws for
+  // protocol-level failures — they come back as typed Response statuses.
+  // FaultInjectedError (the crash harness) does propagate, after flipping
+  // the server into kCrashed.
+  Response Execute(const Request& req);
+
+  // Serves length-prefixed request/response messages on `fd` until EOF or
+  // a transport error. Does not close the fd.
+  void ServeConnection(int fd);
+
+  // Stops admissions, waits for in-flight requests, flushes the group log.
+  // Idempotent.
+  void Drain();
+
+  ServerMode mode() const { return mode_.load(std::memory_order_acquire); }
+  ServerStats stats() const;
+
+  // The paths this server uses (tests poke at the files directly).
+  std::string GroupWalPath() const;
+  std::string SessionWalPath(const std::string& name) const;
+
+ private:
+  struct Hosted;
+  class ServerJournal;
+
+  std::shared_ptr<Hosted> FindSession(const std::string& name);
+  Response Dispatch(const Request& req, std::chrono::steady_clock::time_point
+                                            deadline);
+  Response DoOpen(const Request& req);
+  Response DoRecover(const Request& req);
+  void ReconcileSessionWal(const std::string& name);
+  void Degrade(const char* why);
+
+  const ServerOptions options_;
+  std::atomic<ServerMode> mode_{ServerMode::kServing};
+  std::unique_ptr<GroupCommitLog> group_;
+
+  // Frames per session recorded in the group log at startup (the
+  // reconciliation source). Never mutated after the constructor.
+  std::map<std::string, std::vector<GroupFrame>> group_index_;
+
+  mutable std::mutex sessions_mu_;
+  std::map<std::string, std::shared_ptr<Hosted>> sessions_;
+
+  std::atomic<int> inflight_{0};
+  mutable std::mutex stats_mu_;
+  ServerStats stats_;
+};
+
+}  // namespace pivot
+
+#endif  // PIVOT_SERVER_SERVER_H_

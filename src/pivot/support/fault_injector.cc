@@ -9,54 +9,89 @@ FaultInjector& FaultInjector::Instance() {
   return instance;
 }
 
+bool FaultInjector::ArmedLocked() const {
+  return !scripted_.empty() || !transient_.empty() || any_countdown_ > 0 ||
+         probability_ > 0.0;
+}
+
 void FaultInjector::Arm(const std::string& point, int countdown) {
   PIVOT_CHECK_MSG(countdown >= 1, "countdown must be at least 1");
+  std::lock_guard<std::mutex> lock(mu_);
   scripted_[point] = countdown;
-  active_ = true;
+  active_.store(true, std::memory_order_relaxed);
 }
 
 void FaultInjector::ArmNthCrossing(int countdown) {
   PIVOT_CHECK_MSG(countdown >= 1, "countdown must be at least 1");
+  std::lock_guard<std::mutex> lock(mu_);
   any_countdown_ = countdown;
-  active_ = true;
+  active_.store(true, std::memory_order_relaxed);
 }
 
 void FaultInjector::ArmProbabilistic(double probability,
                                      std::uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
   probability_ = std::clamp(probability, 0.0, 1.0);
   rng_ = Rng(seed);
-  active_ = probability_ > 0.0 || observing_ || any_countdown_ > 0 ||
-            !scripted_.empty();
+  active_.store(ArmedLocked() || observing_, std::memory_order_relaxed);
+}
+
+void FaultInjector::ArmTransient(const std::string& point, int failures) {
+  PIVOT_CHECK_MSG(failures >= 1, "failure count must be at least 1");
+  std::lock_guard<std::mutex> lock(mu_);
+  transient_[point] = failures;
+  active_.store(true, std::memory_order_relaxed);
+}
+
+bool FaultInjector::FailTransient(const char* point) {
+  if (!active_.load(std::memory_order_relaxed)) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = transient_.find(point);
+  if (it == transient_.end()) return false;
+  if (--it->second <= 0) transient_.erase(it);
+  ++transient_injected_;
+  active_.store(ArmedLocked() || observing_, std::memory_order_relaxed);
+  return true;
 }
 
 void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
   scripted_.clear();
+  transient_.clear();
   any_countdown_ = 0;
   probability_ = 0.0;
-  active_ = observing_;
+  active_.store(observing_, std::memory_order_relaxed);
 }
 
 void FaultInjector::Reset() {
-  Disarm();
+  std::lock_guard<std::mutex> lock(mu_);
+  scripted_.clear();
+  transient_.clear();
+  any_countdown_ = 0;
+  probability_ = 0.0;
   crossings_ = 0;
   faults_fired_ = 0;
+  transient_injected_ = 0;
   observed_.clear();
   observing_ = false;
-  active_ = false;
+  active_.store(false, std::memory_order_relaxed);
 }
 
 bool FaultInjector::armed() const {
-  return !scripted_.empty() || any_countdown_ > 0 || probability_ > 0.0;
+  std::lock_guard<std::mutex> lock(mu_);
+  return ArmedLocked();
 }
 
 void FaultInjector::StartObserving() {
+  std::lock_guard<std::mutex> lock(mu_);
   observing_ = true;
-  active_ = true;
+  active_.store(true, std::memory_order_relaxed);
 }
 
 void FaultInjector::StopObserving() {
+  std::lock_guard<std::mutex> lock(mu_);
   observing_ = false;
-  active_ = armed();
+  active_.store(ArmedLocked(), std::memory_order_relaxed);
 }
 
 const std::vector<std::string>& FaultInjector::KnownPoints() {
@@ -83,33 +118,50 @@ const std::vector<std::string>& FaultInjector::KnownPoints() {
       "persist.snapshot.header.post", "persist.snapshot.mid",
       "persist.snapshot.post",        "persist.snapshot.fsync.post",
       "persist.recover.truncate.pre",
+      // Server crash points. server.swal.* frames go to a per-session WAL
+      // (no fsync of their own — group commit provides durability), so
+      // only the torn-frame triple exists; server.gwal.* is the shared
+      // group-commit log, whose sync.post models a crash after the batch
+      // fsync but before any waiting client is acknowledged.
+      "server.swal.genesis.header.post", "server.swal.genesis.mid",
+      "server.swal.genesis.post",        "server.swal.txn.header.post",
+      "server.swal.txn.mid",             "server.swal.txn.post",
+      "server.swal.snapshot.header.post","server.swal.snapshot.mid",
+      "server.swal.snapshot.post",       "server.commit.enqueue.pre",
+      "server.batch.pre",                "server.gwal.frame.header.post",
+      "server.gwal.frame.mid",           "server.gwal.frame.post",
+      "server.gwal.sync.post",           "server.ack.pre",
+      "server.recover.reconcile.pre",
   };
   return points;
 }
 
 void FaultInjector::Hit(const char* point) {
-  if (!active_) return;
-  ++crossings_;
-  if (observing_) {
-    if (std::find(observed_.begin(), observed_.end(), point) ==
-        observed_.end()) {
-      observed_.emplace_back(point);
+  if (!active_.load(std::memory_order_relaxed)) return;
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++crossings_;
+    if (observing_) {
+      if (std::find(observed_.begin(), observed_.end(), point) ==
+          observed_.end()) {
+        observed_.emplace_back(point);
+      }
+    }
+
+    if (any_countdown_ > 0 && --any_countdown_ == 0) fire = true;
+    auto it = scripted_.find(point);
+    if (it != scripted_.end() && --it->second == 0) {
+      scripted_.erase(it);
+      fire = true;
+    }
+    if (!fire && probability_ > 0.0 && rng_.Chance(probability_)) fire = true;
+    if (fire) {
+      ++faults_fired_;
+      active_.store(ArmedLocked() || observing_, std::memory_order_relaxed);
     }
   }
-
-  bool fire = false;
-  if (any_countdown_ > 0 && --any_countdown_ == 0) fire = true;
-  auto it = scripted_.find(point);
-  if (it != scripted_.end() && --it->second == 0) {
-    scripted_.erase(it);
-    fire = true;
-  }
-  if (!fire && probability_ > 0.0 && rng_.Chance(probability_)) fire = true;
-  if (!fire) return;
-
-  ++faults_fired_;
-  active_ = armed() || observing_;
-  throw FaultInjectedError(point);
+  if (fire) throw FaultInjectedError(point);
 }
 
 }  // namespace pivot

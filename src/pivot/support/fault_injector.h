@@ -22,7 +22,9 @@
 #ifndef PIVOT_SUPPORT_FAULT_INJECTOR_H_
 #define PIVOT_SUPPORT_FAULT_INJECTOR_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -64,7 +66,20 @@ class FaultInjector {
   // from `seed`. Stays armed until Disarm/Reset.
   void ArmProbabilistic(double probability, std::uint64_t seed);
 
-  void Disarm();  // drop all scripts and the probabilistic mode
+  // --- transient faults (retryable I/O failures) ---
+  // Make the next `failures` consultations of FailTransient(point) report a
+  // failure, then auto-disarm. Unlike the crash scripts above these never
+  // throw: the instrumented call site (the WAL's write/fsync retry loop)
+  // decides whether to retry or to give up, which is exactly the behaviour
+  // under test. Arming more failures than the site's retry budget models a
+  // *permanent* fault.
+  void ArmTransient(const std::string& point, int failures);
+
+  // Consulted by retryable I/O sites before each attempt; true = fail this
+  // attempt (the site simulates errno = EINTR). Never throws.
+  bool FailTransient(const char* point);
+
+  void Disarm();  // drop all scripts, transient arms, probabilistic mode
   void Reset();   // Disarm + clear counters and observations
 
   bool armed() const;
@@ -80,6 +95,9 @@ class FaultInjector {
 
   std::uint64_t crossings() const { return crossings_; }
   std::uint64_t faults_fired() const { return faults_fired_; }
+  std::uint64_t transient_failures_injected() const {
+    return transient_injected_;
+  }
 
   // Every fault point compiled into the library, for coverage assertions.
   static const std::vector<std::string>& KnownPoints();
@@ -90,15 +108,23 @@ class FaultInjector {
 
  private:
   FaultInjector() = default;
+  bool ArmedLocked() const;
 
-  bool active_ = false;  // any script, probabilistic mode, or observing
+  // The server crosses fault points from many threads at once (connection
+  // threads, the group-commit worker), so the injector is thread-safe: the
+  // idle fast path is one relaxed atomic load, everything else is under
+  // mu_.
+  mutable std::mutex mu_;
+  std::atomic<bool> active_{false};  // any script, transient, prob., observing
   bool observing_ = false;
   std::unordered_map<std::string, int> scripted_;  // point -> countdown
+  std::unordered_map<std::string, int> transient_;  // point -> failures left
   int any_countdown_ = 0;                          // 0 = off
   double probability_ = 0.0;
   Rng rng_;
   std::uint64_t crossings_ = 0;
   std::uint64_t faults_fired_ = 0;
+  std::uint64_t transient_injected_ = 0;
   std::vector<std::string> observed_;
 };
 

@@ -1,0 +1,408 @@
+// The crash-consistency sweep for the multi-session server.
+//
+// Same discipline as tests/journal_crash_test.cc, one level up: a "crash"
+// is an injected fault at one of the server.* points — tearing the
+// per-session WAL append, between the append and the group-commit enqueue,
+// tearing the shared-log frame, after the group fsync but before the ack,
+// mid-snapshot, mid-reconciliation. For every point, and every countdown
+// until the workload completes un-faulted, the sweep kills a two-session
+// server mid-schedule, restarts over the same data directory, recovers
+// both sessions and asserts each equals a reference that executed exactly
+// its acknowledged prefix — or that prefix plus the one operation that was
+// in flight (already durable / already fully appended) when the crash hit.
+// Anything else — a lost ack, a replayed rollback — is a bug.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pivot/core/session.h"
+#include "pivot/ir/parser.h"
+#include "pivot/server/protocol.h"
+#include "pivot/server/server.h"
+#include "pivot/support/fault_injector.h"
+#include "pivot/support/rng.h"
+
+namespace pivot {
+namespace {
+
+// Two constant-foldable statements: the apply/undo schedule below always
+// has the opportunity it asks for.
+const char kSource[] =
+    "y = 3 * 4\n"
+    "z = 5 * 6\n"
+    "write y\n"
+    "write z\n";
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "pivot_server_crash_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+ServerOptions Opts(const std::string& dir) {
+  ServerOptions o;
+  o.data_dir = dir;
+  o.snapshot_interval = 2;  // cross the snapshot fault points mid-schedule
+  return o;
+}
+
+// Per-session step list. Every step commits exactly one group-log frame
+// (genesis or txn), which is what makes the durable-prefix accounting
+// exact. "apply" always folds the first CFO opportunity, "undolast"
+// reverts the most recent one: the sequence is deterministic, so the same
+// prefix replayed into a fresh Session is the reference state.
+const std::vector<std::string>& SessionSteps() {
+  static const std::vector<std::string> steps = {
+      "open", "apply", "apply", "undolast", "apply", "undolast"};
+  return steps;
+}
+
+std::string SessionName(int i) { return "s" + std::to_string(i); }
+
+Request RequestFor(int session, const std::string& what) {
+  Request req;
+  req.session = SessionName(session);
+  if (what == "open") {
+    req.op = ServerOp::kOpen;
+    req.source = kSource;
+  } else if (what == "apply") {
+    req.op = ServerOp::kApply;
+    req.kind = TransformKindIndex(TransformKind::kCfo);
+    req.op_index = 0;
+  } else {
+    req.op = ServerOp::kUndoLast;
+  }
+  return req;
+}
+
+void ReplayStep(Session& s, const std::string& what) {
+  if (what == "apply") {
+    ASSERT_TRUE(s.ApplyFirst(TransformKind::kCfo).has_value());
+  } else if (what == "undolast") {
+    s.UndoLast();
+  }
+}
+
+// A reference session that executed the first `steps` entries of the
+// per-session list (entry 0 is the open itself). Requires steps >= 1.
+std::unique_ptr<Session> Reference(std::size_t steps) {
+  auto ref = std::make_unique<Session>(Parse(kSource));
+  for (std::size_t i = 1; i < steps; ++i) {
+    ReplayStep(*ref, SessionSteps()[i]);
+    if (::testing::Test::HasFatalFailure()) break;
+  }
+  return ref;
+}
+
+// The interleaved schedule: (session, step) pairs, two sessions in
+// lockstep so the group log carries both sessions' frames and
+// reconciliation has to keep them apart.
+std::vector<std::pair<int, std::string>> InterleavedSchedule() {
+  std::vector<std::pair<int, std::string>> schedule;
+  for (const std::string& what : SessionSteps()) {
+    schedule.emplace_back(0, what);
+    schedule.emplace_back(1, what);
+  }
+  return schedule;
+}
+
+// Recovers `session` on a restarted server and checks it against the
+// acked / acked+1 candidates. `may_be_in_flight` is true for the session
+// whose operation the crash interrupted.
+void CheckRecoveredSession(PivotServer& server, int session,
+                           std::size_t acked, bool may_be_in_flight,
+                           const std::string& label) {
+  Request recover;
+  recover.op = ServerOp::kRecover;
+  recover.session = SessionName(session);
+  const Response rec = server.Execute(recover);
+  if (rec.status != StatusCode::kOk) {
+    // Only acceptable when not even the open was acknowledged (a torn
+    // genesis is an unusable journal — there is nothing to recover).
+    EXPECT_EQ(acked, 0u) << label << ": recovery failed after " << acked
+                         << " acks: " << rec.error;
+    return;
+  }
+
+  Request source_req;
+  source_req.op = ServerOp::kSource;
+  source_req.session = SessionName(session);
+  Request history_req = source_req;
+  history_req.op = ServerOp::kHistory;
+  const std::string source = server.Execute(source_req).text;
+  const std::string history = server.Execute(history_req).text;
+
+  std::vector<std::size_t> candidates = {acked};
+  if (may_be_in_flight && acked + 1 <= SessionSteps().size()) {
+    candidates.push_back(acked + 1);
+  }
+  std::size_t matched = 0;
+  for (const std::size_t k : candidates) {
+    if (k == 0) continue;  // k == 0 means "unrecoverable", handled above
+    const std::unique_ptr<Session> ref = Reference(k);
+    if (::testing::Test::HasFatalFailure()) return;
+    if (source == ref->Source() && history == ref->HistoryToString()) {
+      matched = k;
+      break;
+    }
+  }
+  ASSERT_NE(matched, 0u)
+      << label << ": recovered state of " << SessionName(session)
+      << " matches neither the acked prefix (" << acked
+      << (may_be_in_flight ? ") nor acked+1" : ")") << "\nsource:\n"
+      << source;
+
+  // The recovered session must share the reference's future, not just its
+  // present: take the schedule's next step on both sides.
+  if (matched < SessionSteps().size()) {
+    const std::string& next = SessionSteps()[matched];
+    const std::unique_ptr<Session> ref = Reference(matched);
+    ReplayStep(*ref, next);
+    if (::testing::Test::HasFatalFailure()) return;
+    const Response stepped = server.Execute(RequestFor(session, next));
+    ASSERT_EQ(stepped.status, StatusCode::kOk) << label << " (next step)";
+    EXPECT_EQ(server.Execute(source_req).text, ref->Source())
+        << label << " (next step)";
+    EXPECT_EQ(server.Execute(history_req).text, ref->HistoryToString())
+        << label << " (next step)";
+  }
+}
+
+// Crashes the schedule at crossing `countdown` of `point`, restarts the
+// server over the same directory, recovers both sessions and checks them.
+// Returns false when the fault never fired (the sweep is exhausted).
+bool CrashRecoverCheck(const std::string& point, int countdown) {
+  const std::string label = point + " #" + std::to_string(countdown);
+  const std::string dir = FreshDir("sweep");
+  const auto schedule = InterleavedSchedule();
+
+  FaultInjector& injector = FaultInjector::Instance();
+  std::array<std::size_t, 2> acked = {0, 0};
+  std::size_t steps_done = 0;
+  bool crashed = false;
+  {
+    PivotServer server(Opts(dir));
+    injector.Arm(point, countdown);
+    try {
+      for (const auto& [session, what] : schedule) {
+        const Response resp = server.Execute(RequestFor(session, what));
+        if (resp.status != StatusCode::kOk) {
+          ADD_FAILURE() << label << ": un-faulted step " << steps_done
+                        << " failed: " << resp.error;
+          injector.Disarm();
+          return false;
+        }
+        ++acked[static_cast<std::size_t>(session)];
+        ++steps_done;
+      }
+    } catch (const FaultInjectedError&) {
+      crashed = true;
+    }
+    injector.Disarm();
+  }  // the dying process: server, sessions and group log destroyed
+  if (!crashed) return false;
+
+  // The interrupted operation belongs to the first un-acked schedule step.
+  const int crash_session = schedule[steps_done].first;
+
+  PivotServer server(Opts(dir));
+  for (int session = 0; session < 2; ++session) {
+    CheckRecoveredSession(server, session,
+                          acked[static_cast<std::size_t>(session)],
+                          session == crash_session, label);
+    if (::testing::Test::HasFatalFailure()) return true;
+  }
+  return true;
+}
+
+class ServerCrashSweep : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override { FaultInjector::Instance().Reset(); }
+  void TearDown() override { FaultInjector::Instance().Reset(); }
+};
+
+TEST_P(ServerCrashSweep, EveryCrossingRecoversTheAckedPrefix) {
+  const std::string point = GetParam();
+  int crossings = 0;
+  for (int countdown = 1; countdown < 200; ++countdown) {
+    if (!CrashRecoverCheck(point, countdown)) break;
+    ++crossings;
+    if (HasFatalFailure()) return;
+  }
+  EXPECT_GT(crossings, 0) << "fault point " << point
+                          << " was never crossed by the schedule";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ServerPoints, ServerCrashSweep,
+    ::testing::Values(
+        // Tearing the per-session WAL append (before the group enqueue).
+        "server.swal.genesis.header.post", "server.swal.genesis.mid",
+        "server.swal.genesis.post", "server.swal.txn.header.post",
+        "server.swal.txn.mid", "server.swal.txn.post",
+        // Between the session append and the group commit.
+        "server.commit.enqueue.pre",
+        // Inside the group-commit worker: batch start, torn shared-log
+        // frame, after the group fsync, before the ack.
+        "server.batch.pre", "server.gwal.frame.header.post",
+        "server.gwal.frame.mid", "server.gwal.frame.post",
+        "server.gwal.sync.post", "server.ack.pre",
+        // Post-ack snapshot frames on the session WAL.
+        "server.swal.snapshot.header.post", "server.swal.snapshot.mid",
+        "server.swal.snapshot.post"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '.') c = '_';
+      }
+      return name;
+    });
+
+class ServerCrash : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Instance().Reset(); }
+  void TearDown() override { FaultInjector::Instance().Reset(); }
+};
+
+// A crash while recovery itself reconciles the session WAL must leave the
+// directory recoverable: the next attempt succeeds with the same state.
+TEST_F(ServerCrash, CrashDuringReconciliationIsRecoverable) {
+  const std::string dir = FreshDir("reconcile");
+  {
+    PivotServer server(Opts(dir));
+    ASSERT_EQ(server.Execute(RequestFor(0, "open")).status, StatusCode::kOk);
+    ASSERT_EQ(server.Execute(RequestFor(0, "apply")).status, StatusCode::kOk);
+    ASSERT_EQ(server.Execute(RequestFor(0, "apply")).status, StatusCode::kOk);
+    server.Drain();
+  }
+
+  Request recover;
+  recover.op = ServerOp::kRecover;
+  recover.session = SessionName(0);
+  {
+    PivotServer server(Opts(dir));
+    FaultInjector::Instance().Arm("server.recover.reconcile.pre", 1);
+    EXPECT_THROW(server.Execute(recover), FaultInjectedError);
+    FaultInjector::Instance().Reset();
+    EXPECT_EQ(server.mode(), ServerMode::kCrashed);
+  }
+
+  PivotServer server(Opts(dir));
+  const Response rec = server.Execute(recover);
+  ASSERT_EQ(rec.status, StatusCode::kOk) << rec.error;
+  const std::unique_ptr<Session> ref = Reference(3);  // open + two applies
+  Request source_req;
+  source_req.op = ServerOp::kSource;
+  source_req.session = SessionName(0);
+  EXPECT_EQ(server.Execute(source_req).text, ref->Source());
+}
+
+// The probabilistic soak ci/run_server_soak.sh drives: several sessions
+// committing from concurrent threads, a fault armed at a random crossing,
+// then restart + recovery, asserting per session that no acknowledged
+// commit was lost and at most the single in-flight operation gained.
+// Seeded from PIVOT_FUZZ_SEED, rounds from PIVOT_SOAK_ROUNDS.
+TEST_F(ServerCrash, ConcurrentCrashSoakLosesNoAckedCommit) {
+  std::uint64_t seed = 1;
+  if (const char* env = std::getenv("PIVOT_FUZZ_SEED")) {
+    seed = static_cast<std::uint64_t>(std::strtoull(env, nullptr, 10));
+  }
+  int rounds = 4;
+  if (const char* env = std::getenv("PIVOT_SOAK_ROUNDS")) {
+    rounds = std::atoi(env);
+  }
+  Rng rng(seed ^ 0x5e7e5e7eULL);
+
+  constexpr int kThreads = 4;
+  constexpr int kStepsPerThread = 24;
+  for (int round = 0; round < rounds; ++round) {
+    const std::string label = "round " + std::to_string(round);
+    const std::string dir = FreshDir("soak");
+    std::array<std::size_t, kThreads> acked{};
+    bool crashed = false;
+    {
+      PivotServer server(Opts(dir));
+      for (int i = 0; i < kThreads; ++i) {
+        ASSERT_EQ(server.Execute(RequestFor(i, "open")).status,
+                  StatusCode::kOk)
+            << label;
+      }
+      // Arm after the opens so every session is recoverable; a countdown
+      // past the workload's crossings simply means a crash-free round.
+      FaultInjector::Instance().ArmNthCrossing(
+          1 + static_cast<int>(rng.Next() % 600));
+
+      std::vector<std::thread> threads;
+      for (int i = 0; i < kThreads; ++i) {
+        threads.emplace_back([&server, &acked, i] {
+          // Deterministic per-session sequence (odd acks are applies, even
+          // acks undo them), so the acked prefix is replayable.
+          for (int step = 0; step < kStepsPerThread; ++step) {
+            const bool undo = acked[static_cast<std::size_t>(i)] % 2 == 1;
+            try {
+              const Response r =
+                  server.Execute(RequestFor(i, undo ? "undolast" : "apply"));
+              if (r.status == StatusCode::kOk) {
+                ++acked[static_cast<std::size_t>(i)];
+              } else if (!r.retryable) {
+                break;  // crashed / degraded: the round is over
+              }
+            } catch (...) {
+              break;  // the injected crash (or its fallout)
+            }
+          }
+        });
+      }
+      for (std::thread& t : threads) t.join();
+      FaultInjector::Instance().Disarm();
+      crashed = server.mode() == ServerMode::kCrashed;
+      if (!crashed) server.Drain();
+    }
+
+    PivotServer server(Opts(dir));
+    for (int i = 0; i < kThreads; ++i) {
+      Request recover;
+      recover.op = ServerOp::kRecover;
+      recover.session = SessionName(i);
+      const Response rec = server.Execute(recover);
+      ASSERT_EQ(rec.status, StatusCode::kOk)
+          << label << " " << SessionName(i) << ": " << rec.error;
+
+      Request source_req;
+      source_req.op = ServerOp::kSource;
+      source_req.session = SessionName(i);
+      const std::string source = server.Execute(source_req).text;
+
+      // Replay candidates: the acked ops, or acked+1 if one was in flight.
+      const std::size_t n = acked[static_cast<std::size_t>(i)];
+      bool matched = false;
+      for (std::size_t k = n; k <= n + (crashed ? 1 : 0); ++k) {
+        Session ref{Parse(kSource)};
+        for (std::size_t step = 0; step < k; ++step) {
+          if (step % 2 == 0) {
+            ASSERT_TRUE(ref.ApplyFirst(TransformKind::kCfo).has_value());
+          } else {
+            ref.UndoLast();
+          }
+        }
+        if (source == ref.Source()) {
+          matched = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(matched)
+          << label << ": " << SessionName(i) << " acked " << n
+          << " ops but recovered to neither the acked nor acked+1 state";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pivot

@@ -1,0 +1,219 @@
+// pivot_client: one-shot command-line client for pivot_serve.
+//
+//   pivot_client --socket PATH [--deadline MS] [--retries N] COMMAND ...
+//
+// Commands:
+//   ping                        server mode probe
+//   open NAME FILE              open a session from a source file (- = stdin)
+//   recover NAME                recover a session from its journal
+//   close NAME
+//   apply NAME KIND INDEX       e.g. apply s1 CSE 0
+//   undo NAME STAMP
+//   undoset NAME STAMP...
+//   undolast NAME
+//   canundo NAME STAMP
+//   source NAME
+//   history NAME
+//   stats
+//   shutdown                    drain the server
+//
+// Retryable rejections (overloaded / shutting-down) are retried with
+// exponential backoff up to --retries times; everything else is final.
+// Exit status: 0 ok, 1 request failed, 2 usage/transport error.
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "pivot/server/protocol.h"
+#include "pivot/transform/transform.h"
+
+namespace {
+
+int Usage() {
+  std::cerr << "usage: pivot_client --socket PATH [--deadline MS] "
+               "[--retries N] COMMAND ...\n"
+               "see the header of tools/pivot_client.cc for commands\n";
+  return 2;
+}
+
+int Connect(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) return -1;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool ParseKind(const std::string& name, int* out) {
+  for (int i = 0; i < pivot::kNumTransformKinds; ++i) {
+    if (name == pivot::TransformKindName(pivot::TransformKindFromIndex(i))) {
+      *out = i;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string ReadSource(const std::string& file) {
+  if (file == "-") {
+    std::ostringstream os;
+    os << std::cin.rdbuf();
+    return os.str();
+  }
+  std::ifstream in(file);
+  if (!in) throw pivot::ProgramError("cannot read " + file);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::uint32_t deadline_ms = 0;
+  int retries = 0;
+  int i = 1;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--socket" && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (arg == "--deadline" && i + 1 < argc) {
+      deadline_ms = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (arg == "--retries" && i + 1 < argc) {
+      retries = std::atoi(argv[++i]);
+    } else {
+      break;
+    }
+  }
+  if (socket_path.empty() || i >= argc) return Usage();
+
+  std::vector<std::string> cmd(argv + i, argv + argc);
+  pivot::Request req;
+  req.deadline_ms = deadline_ms;
+  try {
+    const std::string& verb = cmd[0];
+    auto need = [&](std::size_t n) {
+      if (cmd.size() != n + 1) throw pivot::ProgramError("bad arity");
+    };
+    if (verb == "ping") {
+      need(0);
+      req.op = pivot::ServerOp::kPing;
+    } else if (verb == "open") {
+      need(2);
+      req.op = pivot::ServerOp::kOpen;
+      req.session = cmd[1];
+      req.source = ReadSource(cmd[2]);
+    } else if (verb == "recover") {
+      need(1);
+      req.op = pivot::ServerOp::kRecover;
+      req.session = cmd[1];
+    } else if (verb == "close") {
+      need(1);
+      req.op = pivot::ServerOp::kClose;
+      req.session = cmd[1];
+    } else if (verb == "apply") {
+      need(3);
+      req.op = pivot::ServerOp::kApply;
+      req.session = cmd[1];
+      if (!ParseKind(cmd[2], &req.kind)) {
+        std::cerr << "unknown transform '" << cmd[2] << "'\n";
+        return 2;
+      }
+      req.op_index = static_cast<std::uint32_t>(std::atoi(cmd[3].c_str()));
+    } else if (verb == "undo" || verb == "canundo") {
+      need(2);
+      req.op = verb == "undo" ? pivot::ServerOp::kUndo
+                              : pivot::ServerOp::kCanUndo;
+      req.session = cmd[1];
+      req.stamps.push_back(
+          static_cast<pivot::OrderStamp>(std::atoi(cmd[2].c_str())));
+    } else if (verb == "undoset") {
+      if (cmd.size() < 3) throw pivot::ProgramError("bad arity");
+      req.op = pivot::ServerOp::kUndoSet;
+      req.session = cmd[1];
+      for (std::size_t j = 2; j < cmd.size(); ++j) {
+        req.stamps.push_back(
+            static_cast<pivot::OrderStamp>(std::atoi(cmd[j].c_str())));
+      }
+    } else if (verb == "undolast") {
+      need(1);
+      req.op = pivot::ServerOp::kUndoLast;
+      req.session = cmd[1];
+    } else if (verb == "source") {
+      need(1);
+      req.op = pivot::ServerOp::kSource;
+      req.session = cmd[1];
+    } else if (verb == "history") {
+      need(1);
+      req.op = pivot::ServerOp::kHistory;
+      req.session = cmd[1];
+    } else if (verb == "stats") {
+      need(0);
+      req.op = pivot::ServerOp::kStats;
+    } else if (verb == "shutdown") {
+      need(0);
+      req.op = pivot::ServerOp::kShutdown;
+    } else {
+      std::cerr << "unknown command '" << verb << "'\n";
+      return Usage();
+    }
+  } catch (const pivot::ProgramError& e) {
+    std::cerr << "pivot_client: " << e.what() << "\n";
+    return Usage();
+  }
+
+  for (int attempt = 0;; ++attempt) {
+    const int fd = Connect(socket_path);
+    if (fd < 0) {
+      std::cerr << "pivot_client: cannot connect to " << socket_path << "\n";
+      return 2;
+    }
+    pivot::Response resp;
+    try {
+      pivot::WriteMessage(fd, pivot::EncodeRequest(req));
+      std::string payload;
+      if (!pivot::ReadMessage(fd, &payload)) {
+        throw pivot::ProgramError("server closed the connection");
+      }
+      resp = pivot::DecodeResponse(payload);
+    } catch (const pivot::ProgramError& e) {
+      ::close(fd);
+      std::cerr << "pivot_client: " << e.what() << "\n";
+      return 2;
+    }
+    ::close(fd);
+
+    if (resp.retryable && attempt < retries) {
+      // Exponential backoff, capped: 10ms, 20ms, ... 640ms.
+      const int exp = attempt > 6 ? 6 : attempt;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10 << exp));
+      continue;
+    }
+
+    std::cout << pivot::StatusCodeName(resp.status);
+    if (resp.stamp != pivot::kNoStamp) std::cout << " stamp=" << resp.stamp;
+    if (resp.value != 0) std::cout << " value=" << resp.value;
+    std::cout << "\n";
+    if (!resp.error.empty()) std::cout << resp.error << "\n";
+    if (!resp.text.empty()) std::cout << resp.text << "\n";
+    return resp.status == pivot::StatusCode::kOk ? 0 : 1;
+  }
+}

@@ -1,0 +1,184 @@
+// pivot_serve: hosts PIVOT sessions over a unix-domain socket.
+//
+//   pivot_serve --data DIR --socket PATH [--snapshot-interval N]
+//               [--max-inflight N] [--session-inflight N]
+//               [--group-queue N] [--no-group-fsync] [--no-fsync]
+//               [--test-ops]
+//
+// One thread per connection; length-prefixed binary protocol (see
+// src/pivot/server/protocol.h). SIGTERM/SIGINT drain gracefully: the
+// listener stops accepting, in-flight requests finish, the group-commit
+// log flushes and fsyncs, then the process exits 0. A second signal exits
+// immediately.
+
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "pivot/server/server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+int g_listen_fd = -1;
+
+void OnSignal(int) {
+  if (g_stop != 0) std::_Exit(1);  // second signal: give up on draining
+  g_stop = 1;
+  // Break the accept loop; drain happens on the main thread.
+  if (g_listen_fd >= 0) ::shutdown(g_listen_fd, SHUT_RDWR);
+}
+
+int Usage() {
+  std::cerr
+      << "usage: pivot_serve --data DIR --socket PATH\n"
+      << "  [--snapshot-interval N]   snapshot every N txns (default 64)\n"
+      << "  [--max-inflight N]        global admission bound (default 256)\n"
+      << "  [--session-inflight N]    per-session bound (default 8)\n"
+      << "  [--group-queue N]         group-commit queue bound (default 256)\n"
+      << "  [--no-group-fsync]        one fsync per commit (baseline mode)\n"
+      << "  [--no-fsync]              no fsync at all (bench mode)\n"
+      << "  [--test-ops]              admit test-only ops (sleep)\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pivot::ServerOptions options;
+  std::string socket_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--data") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.data_dir = v;
+    } else if (arg == "--socket") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      socket_path = v;
+    } else if (arg == "--snapshot-interval") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.snapshot_interval = std::atoi(v);
+    } else if (arg == "--max-inflight") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.max_inflight = std::atoi(v);
+    } else if (arg == "--session-inflight") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.session_inflight = std::atoi(v);
+    } else if (arg == "--group-queue") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.commit.max_queue = std::atoi(v);
+    } else if (arg == "--no-group-fsync") {
+      options.commit.group_fsync = false;
+    } else if (arg == "--no-fsync") {
+      options.commit.fsync = false;
+    } else if (arg == "--test-ops") {
+      options.enable_test_ops = true;
+    } else {
+      return Usage();
+    }
+  }
+  if (options.data_dir.empty() || socket_path.empty()) return Usage();
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof addr.sun_path) {
+    std::cerr << "pivot_serve: socket path too long\n";
+    return 2;
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof addr.sun_path - 1);
+  ::unlink(socket_path.c_str());
+
+  g_listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (g_listen_fd < 0 ||
+      ::bind(g_listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+          0 ||
+      ::listen(g_listen_fd, 64) != 0) {
+    std::cerr << "pivot_serve: cannot listen on " << socket_path << ": "
+              << std::strerror(errno) << "\n";
+    return 1;
+  }
+
+  std::signal(SIGTERM, OnSignal);
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  try {
+    pivot::PivotServer server(std::move(options));
+    std::cerr << "pivot_serve: listening on " << socket_path << "\n";
+
+    std::mutex fds_mu;
+    std::set<int> live_fds;
+    std::vector<std::thread> connections;
+    while (g_stop == 0) {
+      // Poll so a client-initiated shutdown (server drained, no further
+      // connection ever arrives) still ends the accept loop.
+      pollfd pfd{g_listen_fd, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, 200);
+      if (server.mode() == pivot::ServerMode::kStopped) break;
+      if (ready < 0 && errno != EINTR) break;
+      if (ready <= 0) continue;
+      const int fd = ::accept(g_listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR && g_stop == 0) continue;
+        break;  // listener shut down (signal) or failed
+      }
+      {
+        std::lock_guard<std::mutex> lock(fds_mu);
+        live_fds.insert(fd);
+      }
+      connections.emplace_back([&server, &fds_mu, &live_fds, fd] {
+        try {
+          server.ServeConnection(fd);
+        } catch (const std::exception& e) {
+          std::cerr << "pivot_serve: connection error: " << e.what() << "\n";
+        }
+        {
+          std::lock_guard<std::mutex> lock(fds_mu);
+          live_fds.erase(fd);
+        }
+        ::close(fd);
+      });
+      // A server drained by a client's shutdown request also stops
+      // accepting.
+      if (server.mode() == pivot::ServerMode::kStopped) break;
+    }
+
+    std::cerr << "pivot_serve: draining\n";
+    server.Drain();
+    // Kick idle connections off their blocking read so their threads end.
+    {
+      std::lock_guard<std::mutex> lock(fds_mu);
+      for (int fd : live_fds) ::shutdown(fd, SHUT_RDWR);
+    }
+    for (std::thread& t : connections) t.join();
+    std::cerr << "pivot_serve: drained, exiting\n";
+  } catch (const std::exception& e) {
+    std::cerr << "pivot_serve: " << e.what() << "\n";
+    ::close(g_listen_fd);
+    ::unlink(socket_path.c_str());
+    return 1;
+  }
+  ::close(g_listen_fd);
+  ::unlink(socket_path.c_str());
+  return 0;
+}
