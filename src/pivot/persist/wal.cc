@@ -51,7 +51,12 @@ void BackoffSleep(int failed_attempts) {
 }  // namespace
 
 WalWriter WalWriter::Create(const std::string& path) {
-  const int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  // O_APPEND matters beyond Append(): after a TruncateTo rollback every
+  // write must land at the new physical end. A plain O_WRONLY fd would
+  // keep its pre-truncate position and punch a zero-filled hole, silently
+  // desynchronizing offset_ from the file.
+  const int fd =
+      ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_APPEND, 0644);
   if (fd < 0) IoError("cannot create " + path);
   WalWriter w(fd, 0);
   std::string header(kWalMagic, sizeof kWalMagic);
@@ -139,6 +144,13 @@ void WalWriter::TruncateTo(std::uint64_t offset) {
   PIVOT_CHECK_MSG(offset <= offset_, "TruncateTo beyond the current end");
   if (::ftruncate(fd_, static_cast<off_t>(offset)) != 0) {
     IoError("truncate failed");
+  }
+  // ftruncate leaves the fd position past the new end. Writers are opened
+  // O_APPEND so write(2) ignores it, but reset it anyway: a non-append fd
+  // would otherwise resume at the old position and leave a hole of zeros
+  // that makes every later frame unreadable at scan time.
+  if (::lseek(fd_, static_cast<off_t>(offset), SEEK_SET) < 0) {
+    IoError("seek after truncate failed");
   }
   offset_ = offset;
 }

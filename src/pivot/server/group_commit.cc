@@ -64,7 +64,10 @@ void GroupCommitLog::Commit(const std::string& session, FrameType type,
     std::unique_lock<std::mutex> lock(mu_);
     if (failure_ != Failure::kNone) std::rethrow_exception(failure_error_);
     if (draining_ || stop_) {
-      throw ServerDegradedError("group-commit log is shut down");
+      // Not a fault: the server is draining. Retryable, so a commit racing
+      // SIGTERM is retried against the restarted server instead of being
+      // reported as a (non-retryable) degradation.
+      throw ServerShuttingDownError("group-commit log is draining");
     }
     if (queue_.size() >= static_cast<std::size_t>(options_.max_queue)) {
       ++stats_.rejected_full;

@@ -92,13 +92,14 @@ class GroupCommitLog {
 
   // Blocks until the batch containing this frame is durable (group fsync
   // returned). Throws ServerOverloadedError (queue full),
+  // ServerShuttingDownError (racing Drain/shutdown; retryable),
   // ServerDegradedError / ServerWriteFaultError (log failed), or the
   // crash-harness FaultInjectedError.
   void Commit(const std::string& session, FrameType type,
               const std::string& body);
 
   // Stops admitting, flushes every queued frame, fsyncs, joins the worker.
-  // Idempotent; later Commit calls fail with ServerDegradedError.
+  // Idempotent; later Commit calls fail with ServerShuttingDownError.
   void Drain();
 
   Failure failure() const;

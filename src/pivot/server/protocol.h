@@ -130,6 +130,15 @@ class ServerDegradedError : public ProgramError {
       : ProgramError("degraded (read-only): " + what) {}
 };
 
+// A commit raced Drain()/shutdown. Maps to kShuttingDown (retryable): the
+// client should retry against the restarted server, unlike a write-fault
+// degradation where retrying cannot help.
+class ServerShuttingDownError : public ProgramError {
+ public:
+  explicit ServerShuttingDownError(const std::string& what)
+      : ProgramError("shutting down: " + what) {}
+};
+
 // A permanent write fault in the server's WAL path (transient retries
 // exhausted). The server escalates this to degraded mode instead of dying.
 class ServerWriteFaultError : public ProgramError {

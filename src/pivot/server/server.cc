@@ -103,17 +103,32 @@ class PivotServer::ServerJournal final : public CommitListener {
                                                int snapshot_interval,
                                                std::function<void()> degrade) {
     FileLock lock = FileLock::Acquire(path);
-    WalWriter writer = WalWriter::Create(path);
-    const std::string body = EncodeGenesis(session.options(), session.Source());
-    writer.AppendFrame(FrameType::kGenesis, body, /*fsync=*/false,
-                       "server.swal.genesis");
-    auto journal = std::unique_ptr<ServerJournal>(
-        new ServerJournal(session, name, std::move(lock), std::move(writer),
-                          group, snapshot_interval, std::move(degrade)));
-    // The genesis is acknowledged like any commit: via the group fsync.
-    group.Commit(name, FrameType::kGenesis, body);
-    session.set_commit_listener(journal.get());
-    return journal;
+    try {
+      WalWriter writer = WalWriter::Create(path);
+      const std::string body =
+          EncodeGenesis(session.options(), session.Source());
+      writer.AppendFrame(FrameType::kGenesis, body, /*fsync=*/false,
+                         "server.swal.genesis");
+      auto journal = std::unique_ptr<ServerJournal>(
+          new ServerJournal(session, name, std::move(lock), std::move(writer),
+                            group, snapshot_interval, std::move(degrade)));
+      // The genesis is acknowledged like any commit: via the group fsync.
+      group.Commit(name, FrameType::kGenesis, body);
+      session.set_commit_listener(journal.get());
+      return journal;
+    } catch (const FaultInjectedError&) {
+      throw;  // crash harness: the file stays exactly as the crash left it
+    } catch (...) {
+      // The genesis was never group-acknowledged, so no session came into
+      // existence — e.g. the group queue rejected it with kOverloaded.
+      // Remove the freshly created WAL (and its lock file) or every later
+      // kOpen of this name would bounce with "journal already exists" for
+      // a session that was never durable. unlink(2) tolerates the fd/flock
+      // still being open; both are released as the stack unwinds.
+      ::unlink(path.c_str());
+      ::unlink((path + ".lock").c_str());
+      throw;
+    }
   }
 
   // After recovery: append behind the (already truncated-to-valid) end.
@@ -456,6 +471,9 @@ Response PivotServer::Execute(const Request& req) {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.rejected_degraded;
     return Fail(StatusCode::kDegraded, e.what());
+  } catch (const ServerShuttingDownError& e) {
+    // The commit raced Drain(): not a fault, retry after restart.
+    return Fail(StatusCode::kShuttingDown, e.what());
   } catch (const ServerDegradedError& e) {
     // The group log already flipped the server via on_failure.
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -620,32 +638,69 @@ Response PivotServer::Dispatch(const Request& req,
   return resp;
 }
 
+// Publishes a still-empty Hosted entry for `name` under sessions_mu_,
+// with its session mutex pre-locked by `init`, or returns false when the
+// name is already taken. The entry reserves the name so two opens (or an
+// open racing a recover) cannot both initialize it, while the expensive
+// part — journal creation or recovery, which blocks on a full group-commit
+// fsync or a replay — runs OUTSIDE sessions_mu_: FindSession takes that
+// mutex on every request, and one slow open must not stall traffic to
+// every other session. Requests that race the open find the entry and
+// block on its mutex until initialization finishes (or fails and the entry
+// is unpublished with closed=true).
+bool PivotServer::PublishInitializing(
+    const std::shared_ptr<Hosted>& hosted,
+    std::unique_lock<std::timed_mutex>& init) {
+  init = std::unique_lock<std::timed_mutex>(hosted->mu);
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  if (sessions_.count(hosted->name) != 0) return false;
+  sessions_.emplace(hosted->name, hosted);
+  return true;
+}
+
+void PivotServer::Unpublish(const std::shared_ptr<Hosted>& hosted) {
+  hosted->closed = true;
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  sessions_.erase(hosted->name);
+}
+
 Response PivotServer::DoOpen(const Request& req) {
   if (!ValidSessionName(req.session)) {
     return Fail(StatusCode::kBadRequest,
                 "bad session name '" + req.session + "'");
   }
-  // Held across creation: two concurrent opens of the same name must not
-  // both create the WAL.
-  std::lock_guard<std::mutex> lock(sessions_mu_);
-  if (sessions_.count(req.session) != 0) {
+  auto hosted = std::make_shared<Hosted>();
+  hosted->name = req.session;
+  // Parse before touching any shared state: a bad program never reserves
+  // the name.
+  hosted->session =
+      std::make_unique<Session>(Parse(req.source), options_.session);
+  std::unique_lock<std::timed_mutex> init;
+  if (!PublishInitializing(hosted, init)) {
     return Fail(StatusCode::kSessionExists,
                 "session '" + req.session + "' is already open");
   }
   const std::string path = SessionWalPath(req.session);
-  if (::access(path.c_str(), F_OK) == 0) {
-    return Fail(StatusCode::kSessionExists,
-                "journal " + path + " already exists; use recover");
+  try {
+    if (::access(path.c_str(), F_OK) == 0) {
+      Unpublish(hosted);
+      return Fail(StatusCode::kSessionExists,
+                  "journal " + path + " already exists; use recover");
+    }
+    hosted->journal = ServerJournal::Create(
+        *hosted->session, req.session, path, *group_,
+        options_.snapshot_interval,
+        [this] { Degrade("session journal write fault"); });
+  } catch (...) {
+    Unpublish(hosted);
+    throw;
   }
-  auto hosted = std::make_shared<Hosted>();
-  hosted->name = req.session;
-  hosted->session =
-      std::make_unique<Session>(Parse(req.source), options_.session);
-  hosted->journal = ServerJournal::Create(
-      *hosted->session, req.session, path, *group_,
-      options_.snapshot_interval,
-      [this] { Degrade("session journal write fault"); });
-  sessions_.emplace(req.session, std::move(hosted));
+  {
+    // Freshly created: the WAL holds nothing the startup index does not
+    // know about being unacked, so it never needs aligning against it.
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    reconciled_.insert(req.session);
+  }
   Response resp;
   resp.text = "open";
   return resp;
@@ -656,36 +711,58 @@ Response PivotServer::DoRecover(const Request& req) {
     return Fail(StatusCode::kBadRequest,
                 "bad session name '" + req.session + "'");
   }
-  std::lock_guard<std::mutex> lock(sessions_mu_);
-  if (sessions_.count(req.session) != 0) {
+  auto hosted = std::make_shared<Hosted>();
+  hosted->name = req.session;
+  std::unique_lock<std::timed_mutex> init;
+  if (!PublishInitializing(hosted, init)) {
     return Fail(StatusCode::kSessionExists,
                 "session '" + req.session + "' is already open");
   }
-  PIVOT_FAULT_POINT("server.recover.reconcile.pre");
-  ReconcileSessionWal(req.session);
-  const std::string path = SessionWalPath(req.session);
-  RecoverResult recovered = RecoverSession(path);
-  auto hosted = std::make_shared<Hosted>();
-  hosted->name = req.session;
-  hosted->session = std::move(recovered.session);
-  hosted->journal = ServerJournal::Attach(
-      *hosted->session, req.session, path, *group_,
-      options_.snapshot_interval,
-      [this] { Degrade("session journal write fault"); });
-  sessions_.emplace(req.session, std::move(hosted));
+  // Alignment against the startup group index happens once per name per
+  // process: a session hosted earlier in this lifetime only ever appended
+  // group-acked frames after that, which the (startup-frozen) index does
+  // not record — re-aligning would mistake them for unacked leftovers.
+  bool needs_reconcile;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    needs_reconcile = reconciled_.count(req.session) == 0;
+  }
   Response resp;
-  resp.value = recovered.report.txns_replayed;
-  resp.text = recovered.report.ToString();
+  try {
+    PIVOT_FAULT_POINT("server.recover.reconcile.pre");
+    if (needs_reconcile) {
+      ReconcileSessionWal(req.session);
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      reconciled_.insert(req.session);
+    }
+    const std::string path = SessionWalPath(req.session);
+    RecoverResult recovered = RecoverSession(path);
+    hosted->session = std::move(recovered.session);
+    hosted->journal = ServerJournal::Attach(
+        *hosted->session, req.session, path, *group_,
+        options_.snapshot_interval,
+        [this] { Degrade("session journal write fault"); });
+    resp.value = recovered.report.txns_replayed;
+    resp.text = recovered.report.ToString();
+  } catch (...) {
+    Unpublish(hosted);
+    throw;
+  }
   return resp;
 }
 
-// Brings a session WAL up to date with the group log as scanned at server
-// start: every group-acked frame missing from the (never individually
-// fsynced) session file is re-appended byte-identically, so RecoverSession
-// then sees at least every acknowledged commit. The session WAL may
-// legitimately hold ONE txn frame beyond the group log — appended but the
-// crash hit before its group fsync — which recovery keeps (durable but
-// unacknowledged work is a bonus, never a loss).
+// Brings a session WAL in line with the group log as scanned at server
+// start: the file's txn frames are aligned against the acked sequence BY
+// CONTENT, every acked frame missing from the (never individually
+// fsynced) session file is re-appended byte-identically, and any frame
+// past the matching prefix is cut. Such a frame is an unacknowledged
+// leftover — a txn appended just before a crash whose group fsync never
+// ran — and dropping it is what keeps the session WAL an exact replica of
+// the acked prefix. Keeping it (the old "bonus" policy) baked unacked
+// state underneath later acked commits; after a second crash that lost
+// the unsynced session-file tail, a count-based alignment then started
+// the re-append at the wrong group index, silently dropping an
+// acknowledged commit.
 void PivotServer::ReconcileSessionWal(const std::string& name) {
   const auto indexed = group_index_.find(name);
   const std::vector<GroupFrame> no_entries;
@@ -729,19 +806,37 @@ void PivotServer::ReconcileSessionWal(const std::string& name) {
     TruncateWal(path, scan.valid_bytes);
   }
 
-  std::uint64_t swal_txns = 0;
-  for (const WalFrame& frame : scan.frames) {
-    if (frame.type == FrameType::kTxn) ++swal_txns;
-  }
   std::vector<const GroupFrame*> gwal_txns;
   for (const GroupFrame& entry : entries) {
     if (entry.type == FrameType::kTxn) gwal_txns.push_back(&entry);
   }
-  if (swal_txns >= gwal_txns.size()) return;  // session file is ahead or even
+
+  // Longest prefix of the session file whose txn frames byte-match the
+  // acked sequence. Snapshot frames interleave freely — a snapshot is
+  // written only after its txns were acked, so one encountered before any
+  // divergence describes matched state and stays. The first txn that
+  // disagrees with (or overshoots) the acked sequence starts the
+  // unacknowledged tail.
+  std::size_t matched = 0;
+  std::uint64_t keep_bytes = sizeof kWalMagic + 4;  // file header
+  bool diverged = false;
+  for (const WalFrame& frame : scan.frames) {
+    if (frame.type == FrameType::kTxn) {
+      if (matched >= gwal_txns.size() ||
+          frame.body != gwal_txns[matched]->body) {
+        diverged = true;
+        break;
+      }
+      ++matched;
+    }
+    keep_bytes = frame.end_offset;
+  }
+  if (!diverged && matched == gwal_txns.size()) return;  // exact replica
 
   FileLock lock = FileLock::Acquire(path);
+  if (diverged) TruncateWal(path, keep_bytes);
   WalWriter writer = WalWriter::Append(path);
-  for (std::size_t i = swal_txns; i < gwal_txns.size(); ++i) {
+  for (std::size_t i = matched; i < gwal_txns.size(); ++i) {
     writer.AppendFrame(FrameType::kTxn, gwal_txns[i]->body, /*fsync=*/false,
                        "server.swal.txn");
   }

@@ -24,8 +24,9 @@
 // session WALs are appended WITHOUT fsync; the single group-log fsync is
 // the only durability point, and a commit is acknowledged only after it.
 // On startup the server scans the group log and reconciles each session
-// WAL against it — re-appending acked frames a crash kept out of the
-// unsynced per-session file — so kill-at-any-point never loses an
+// WAL against it by content — re-appending acked frames a crash kept out
+// of the unsynced per-session file and dropping unacknowledged leftovers
+// past the acked prefix — so kill-at-any-point never loses an
 // acknowledged commit.
 #ifndef PIVOT_SERVER_SERVER_H_
 #define PIVOT_SERVER_SERVER_H_
@@ -36,6 +37,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -122,6 +124,11 @@ class PivotServer {
   class ServerJournal;
 
   std::shared_ptr<Hosted> FindSession(const std::string& name);
+  // Reserve a session name with a still-initializing entry / roll the
+  // reservation back (see the definitions for the locking story).
+  bool PublishInitializing(const std::shared_ptr<Hosted>& hosted,
+                           std::unique_lock<std::timed_mutex>& init);
+  void Unpublish(const std::shared_ptr<Hosted>& hosted);
   Response Dispatch(const Request& req, std::chrono::steady_clock::time_point
                                             deadline);
   Response DoOpen(const Request& req);
@@ -139,6 +146,13 @@ class PivotServer {
 
   mutable std::mutex sessions_mu_;
   std::map<std::string, std::shared_ptr<Hosted>> sessions_;
+  // Sessions whose WAL is already in line with the group log as of THIS
+  // process (created fresh, or reconciled once against the startup index).
+  // Later recovers of such a session must NOT re-align against the stale
+  // startup index: every frame a live, non-crashed server appended after
+  // startup was group-acked before OnCommit returned, and the index knows
+  // nothing about it. Guarded by sessions_mu_.
+  std::set<std::string> reconciled_;
 
   std::atomic<int> inflight_{0};
   mutable std::mutex stats_mu_;

@@ -170,6 +170,30 @@ TEST_F(Wal, TruncateRestoresTheValidPrefix) {
   EXPECT_EQ(scan.frames.size(), 1u);
 }
 
+// Regression: a Create-derived writer that rolls an unacknowledged frame
+// off with TruncateTo must append the NEXT frame at the new physical end.
+// Without O_APPEND (and a position reset after ftruncate) the fd kept its
+// pre-truncate position, so the next write left a zero-filled hole that
+// made every later frame unreadable at scan time.
+TEST_F(Wal, AppendAfterTruncateToLeavesNoHole) {
+  const std::string path = TmpPath("truncate_then_append");
+  {
+    WalWriter w = WalWriter::Create(path);
+    const std::uint64_t pre = w.offset();
+    w.AppendFrame(FrameType::kTxn, "rolled-back", false, "persist.txn");
+    w.TruncateTo(pre);
+    w.AppendFrame(FrameType::kTxn, "kept", true, "persist.txn");
+    w.AppendFrame(FrameType::kSnapshot, "snap", true, "persist.snapshot");
+  }
+  const WalScanResult scan = ScanWal(path);
+  EXPECT_TRUE(scan.header_ok);
+  ASSERT_EQ(scan.frames.size(), 2u);
+  EXPECT_EQ(scan.frames[0].body, "kept");
+  EXPECT_EQ(scan.frames[1].body, "snap");
+  EXPECT_EQ(scan.valid_bytes, scan.file_bytes);
+  EXPECT_TRUE(scan.truncation_reason.empty());
+}
+
 TEST_F(Wal, RejectsAForeignFile) {
   const std::string path = TmpPath("foreign");
   WriteFileBytes(path, "this is not a journal at all");

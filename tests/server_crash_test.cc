@@ -8,9 +8,11 @@
 // until the workload completes un-faulted, the sweep kills a two-session
 // server mid-schedule, restarts over the same data directory, recovers
 // both sessions and asserts each equals a reference that executed exactly
-// its acknowledged prefix — or that prefix plus the one operation that was
-// in flight (already durable / already fully appended) when the crash hit.
-// Anything else — a lost ack, a replayed rollback — is a bug.
+// its acknowledged prefix — or that prefix plus the one in-flight
+// operation whose frame reached the group log but whose ack never got out
+// (a frame that made it only into the session WAL is unacknowledged and is
+// dropped by reconciliation). Anything else — a lost ack, a replayed
+// rollback — is a bug.
 #include <gtest/gtest.h>
 
 #include <array>
@@ -302,6 +304,67 @@ TEST_F(ServerCrash, CrashDuringReconciliationIsRecoverable) {
   source_req.op = ServerOp::kSource;
   source_req.session = SessionName(0);
   EXPECT_EQ(server.Execute(source_req).text, ref->Source());
+}
+
+// The unacknowledged "bonus" frame: a crash between the session-WAL
+// append and the group enqueue leaves one txn in the session file that no
+// client ever saw acknowledged. Reconciliation must DROP it — keeping it
+// would bake unacked state underneath later acked commits, and a second
+// crash that loses the (never individually fsynced) session-file tail
+// would then mis-align a count-based re-append and silently lose an acked
+// commit.
+TEST_F(ServerCrash, UnackedFrameIsDroppedAndNeverMisalignsReconciliation) {
+  const std::string dir = FreshDir("bonus");
+  const std::string swal = dir + "/" + SessionName(0) + ".wal";
+
+  // Crash with one acked apply plus one unacked (session-file-only) apply.
+  {
+    PivotServer server(Opts(dir));
+    ASSERT_EQ(server.Execute(RequestFor(0, "open")).status, StatusCode::kOk);
+    ASSERT_EQ(server.Execute(RequestFor(0, "apply")).status, StatusCode::kOk);
+    FaultInjector::Instance().Arm("server.commit.enqueue.pre", 1);
+    EXPECT_THROW(server.Execute(RequestFor(0, "apply")), FaultInjectedError);
+    FaultInjector::Instance().Reset();
+  }
+
+  Request recover;
+  recover.op = ServerOp::kRecover;
+  recover.session = SessionName(0);
+  Request source_req;
+  source_req.op = ServerOp::kSource;
+  source_req.session = SessionName(0);
+  Request history_req = source_req;
+  history_req.op = ServerOp::kHistory;
+
+  std::uintmax_t reconciled_bytes = 0;
+  {
+    // Recovery yields EXACTLY the acked prefix — the unacked frame is gone
+    // — and a further acked commit builds on that prefix.
+    PivotServer server(Opts(dir));
+    ASSERT_EQ(server.Execute(recover).status, StatusCode::kOk);
+    const std::unique_ptr<Session> acked = Reference(2);  // open + 1 apply
+    if (::testing::Test::HasFatalFailure()) return;
+    EXPECT_EQ(server.Execute(source_req).text, acked->Source());
+    EXPECT_EQ(server.Execute(history_req).text, acked->HistoryToString());
+    reconciled_bytes = std::filesystem::file_size(swal);
+
+    ASSERT_EQ(server.Execute(RequestFor(0, "apply")).status, StatusCode::kOk);
+    server.Drain();
+  }
+
+  // A real crash also loses the unsynced session-file tail (only the group
+  // log fsyncs): emulate by cutting the file back to its length right
+  // after reconciliation, before the second acked apply. The next
+  // reconciliation must re-append that acked commit from the group log —
+  // under count-based alignment a kept bonus frame would have taken its
+  // place here and the ack would be lost.
+  std::filesystem::resize_file(swal, reconciled_bytes);
+  PivotServer server(Opts(dir));
+  ASSERT_EQ(server.Execute(recover).status, StatusCode::kOk);
+  const std::unique_ptr<Session> ref = Reference(3);  // open + 2 acked applies
+  if (::testing::Test::HasFatalFailure()) return;
+  EXPECT_EQ(server.Execute(source_req).text, ref->Source());
+  EXPECT_EQ(server.Execute(history_req).text, ref->HistoryToString());
 }
 
 // The probabilistic soak ci/run_server_soak.sh drives: several sessions

@@ -577,6 +577,43 @@ TEST_F(ServerTest, DrainUnderConcurrentLoadLosesNoAckedCommit) {
   EXPECT_GE(replayed, static_cast<std::uint64_t>(acked.load()));
 }
 
+TEST_F(ServerTest, CommitRacingDrainIsShuttingDownNotDegraded) {
+  const std::string dir = FreshDir("drain_race");
+  std::filesystem::create_directories(dir);
+  GroupCommitLog log(dir + "/race.gwal", /*create=*/true, GroupCommitOptions{},
+                     nullptr);
+  log.Commit("s", FrameType::kTxn, "body");  // the normal path works
+  log.Drain();
+  // A committer that slipped past the server's mode gate while the drain
+  // flushed: refused as a retryable shutdown, never reported as the
+  // non-retryable write-fault degradation.
+  EXPECT_THROW(log.Commit("s", FrameType::kTxn, "late"),
+               ServerShuttingDownError);
+  EXPECT_EQ(log.failure(), GroupCommitLog::Failure::kNone);
+}
+
+TEST_F(ServerTest, FailedOpenLeavesNoStaleJournal) {
+  const std::string dir = FreshDir("open_cleanup");
+  PivotServer server(Opts(dir));
+  Request open = Req(ServerOp::kOpen, "s1");
+  open.source = kSource;
+
+  // Every write(2) fails until the retry budget is exhausted: the genesis
+  // never becomes durable, so no session comes into existence...
+  FaultInjector::Instance().ArmTransient("wal.write.transient", 100000);
+  const Response failed = server.Execute(open);
+  FaultInjector::Instance().Reset();
+  EXPECT_NE(failed.status, StatusCode::kOk);
+
+  // ...and no half-created journal may survive the failure: the retried
+  // open must succeed instead of bouncing with "journal already exists".
+  EXPECT_NE(::access(server.SessionWalPath("s1").c_str(), F_OK), 0);
+  const Response retried = server.Execute(open);
+  ASSERT_EQ(retried.status, StatusCode::kOk) << retried.error;
+  EXPECT_EQ(server.Execute(ApplyReq("s1", TransformKind::kCfo)).status,
+            StatusCode::kOk);
+}
+
 // ---------------------------------------------------------------------------
 // Journal locks
 // ---------------------------------------------------------------------------
