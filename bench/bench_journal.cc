@@ -87,14 +87,13 @@ BENCHMARK(BM_JournalAppend)->Arg(0)->Arg(1)->Arg(2)->ArgName("mode");
 // The printed artifact + JSON: recovery latency across history lengths,
 // snapshots off vs on. Returns false when the tail-replay bound is
 // violated (replayed operations exceed the snapshot interval).
-bool RecoveryLatencyStudy() {
+bool RecoveryLatencyStudy(BenchJson& json) {
   const bool smoke = BenchSmokeMode();
   const std::vector<int> histories =
       smoke ? std::vector<int>{8, 16} : std::vector<int>{100, 400, 1600};
   const int interval_on = smoke ? 4 : 64;
   const int reps = smoke ? 1 : 3;
 
-  BenchJson json("journal");
   std::printf("== Recovery latency: full replay vs snapshot + tail ==\n");
   std::printf("%8s %9s %12s %9s %9s\n", "history", "snapshot", "recover_ms",
               "replayed", "bytes");
@@ -150,21 +149,144 @@ bool RecoveryLatencyStudy() {
       }
     }
   }
-  const std::string out = json.WriteFile(".");
-  if (!out.empty()) std::printf("wrote %s\n", out.c_str());
   std::printf("tail-replay bound (replayed <= snapshot interval): %s\n\n",
               tail_bound_ok ? "ok" : "VIOLATED");
   return tail_bound_ok;
+}
+
+// Compaction A/B (DESIGN.md §13): the same snapshot-enabled workload with
+// retention off and on. With `compact` set, every durable full snapshot
+// rewrites the journal down to genesis + that snapshot + the uncovered
+// tail, so the file tracks the live image instead of the whole history.
+// Gates (full mode, history 1600 / interval 64): the compacted journal is
+// >= 5x smaller than the uncompacted one, and recovery from it stays
+// within 2x of the uncompacted snapshot recovery. Smoke mode only checks
+// that compaction shrinks the file and recovery validates.
+bool CompactionStudy(BenchJson& json) {
+  const bool smoke = BenchSmokeMode();
+  const int history = smoke ? 16 : 1600;
+  const int interval = smoke ? 4 : 64;
+  const int reps = smoke ? 1 : 3;
+
+  struct Mode {
+    const char* name;
+    bool compact;
+    bool deltas;
+  };
+  // delta+compact is the informational third row: delta snapshots stretch
+  // the full-snapshot (= compaction) cadence by full_snapshot_every.
+  const Mode modes[] = {
+      {"baseline", false, false},
+      {"compacted", true, false},
+      {"delta+compact", true, true},
+  };
+
+  std::printf("== Journal growth: compaction off vs on (history=%d) ==\n",
+              history);
+  std::printf("%14s %12s %9s %9s\n", "mode", "recover_ms", "replayed",
+              "bytes");
+  double baseline_ms = 0;
+  double compacted_ms = 0;
+  std::uint64_t baseline_bytes = 0;
+  std::uint64_t compacted_bytes = 0;
+  for (const Mode& mode : modes) {
+    const std::string path = TmpWalPath();
+    {
+      Session s(MakeFoldableProgram(history));
+      PersistOptions p;
+      p.snapshot_interval = interval;
+      p.fsync = false;  // measure the rewrite and replay, not fsyncs
+      p.compact = mode.compact;
+      p.delta_snapshots = mode.deltas;
+      const auto journal = DurableJournal::Create(s, path, p);
+      if (ApplyFolds(s, history) != history) {
+        std::fprintf(stderr, "workload underfilled at history=%d\n",
+                     history);
+        return false;
+      }
+    }
+    double best_ms = 0;
+    std::uint64_t replayed = 0;
+    for (int r = 0; r < reps; ++r) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const RecoverResult result = Session::Recover(path);
+      const auto t1 = std::chrono::steady_clock::now();
+      const double ms =
+          std::chrono::duration<double, std::milli>(t1 - t0).count();
+      if (r == 0 || ms < best_ms) best_ms = ms;
+      replayed = result.report.txns_replayed;
+      if (!result.report.validator_ok) {
+        std::fprintf(stderr, "recovered state failed validation (%s)\n",
+                     mode.name);
+        return false;
+      }
+    }
+    const std::uint64_t bytes = FileBytes(path);
+    std::printf("%14s %12.3f %9llu %9llu\n", mode.name, best_ms,
+                static_cast<unsigned long long>(replayed),
+                static_cast<unsigned long long>(bytes));
+    json.Row()
+        .Str("mode", mode.name)
+        .Int("history", static_cast<std::uint64_t>(history))
+        .Int("snapshot_interval", static_cast<std::uint64_t>(interval))
+        .Num("recover_ms", best_ms)
+        .Int("ops_replayed", replayed)
+        .Int("journal_bytes", bytes);
+    if (std::string(mode.name) == "baseline") {
+      baseline_ms = best_ms;
+      baseline_bytes = bytes;
+    } else if (std::string(mode.name) == "compacted") {
+      compacted_ms = best_ms;
+      compacted_bytes = bytes;
+    }
+  }
+
+  bool ok = true;
+  if (baseline_bytes == 0 || compacted_bytes == 0) {
+    std::fprintf(stderr, "compaction study produced an empty journal\n");
+    return false;
+  }
+  if (compacted_bytes >= baseline_bytes) {
+    std::fprintf(stderr,
+                 "compaction did not shrink the journal: %llu >= %llu\n",
+                 static_cast<unsigned long long>(compacted_bytes),
+                 static_cast<unsigned long long>(baseline_bytes));
+    ok = false;
+  }
+  if (!smoke) {
+    if (compacted_bytes * 5 > baseline_bytes) {
+      std::fprintf(stderr,
+                   "size gate violated: compacted %llu bytes is not >=5x "
+                   "smaller than baseline %llu\n",
+                   static_cast<unsigned long long>(compacted_bytes),
+                   static_cast<unsigned long long>(baseline_bytes));
+      ok = false;
+    }
+    if (compacted_ms > 2.0 * baseline_ms) {
+      std::fprintf(stderr,
+                   "recovery gate violated: compacted %.3f ms exceeds 2x "
+                   "baseline %.3f ms\n",
+                   compacted_ms, baseline_ms);
+      ok = false;
+    }
+  }
+  std::printf("compaction gates (>=5x smaller, recovery <= 2x): %s\n\n",
+              ok ? "ok" : "VIOLATED");
+  return ok;
 }
 
 }  // namespace
 }  // namespace pivot
 
 int main(int argc, char** argv) {
-  const bool ok = pivot::RecoveryLatencyStudy();
+  pivot::BenchJson json("journal");
+  const bool recovery_ok = pivot::RecoveryLatencyStudy(json);
+  const bool compaction_ok = pivot::CompactionStudy(json);
+  const std::string out = json.WriteFile(".");
+  if (!out.empty()) std::printf("wrote %s\n", out.c_str());
   if (!pivot::BenchSmokeMode()) {
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
   }
-  return ok ? 0 : 1;
+  return recovery_ok && compaction_ok ? 0 : 1;
 }

@@ -39,6 +39,11 @@ ci/run_crash_soak.sh "$BUILD_DIR"
 # cycles (see ci/run_server_soak.sh; PIVOT_FUZZ_SEED seeds the latter).
 ci/run_server_soak.sh "$BUILD_DIR"
 
+# Growth soak: journal compaction and gwal retention must keep both files
+# bounded under a 10k-op session and a 64-client commit storm (see
+# ci/run_growth_soak.sh).
+ci/run_growth_soak.sh "$BUILD_DIR"
+
 echo "ASan+UBSan run complete"
 
 # ThreadSanitizer job: rebuild with -fsanitize=thread (ASan and TSan cannot

@@ -1,5 +1,8 @@
 #include "pivot/persist/durable.h"
 
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 #include <optional>
 #include <sstream>
 #include <utility>
@@ -13,24 +16,77 @@
 namespace pivot {
 namespace {
 
-// Snapshot frame body: "txns <count>\n<session image>" — the count of txn
-// frames preceding the snapshot, so recovery knows how much of the tail
-// the image already covers.
-std::string MakeSnapshotBody(std::uint64_t txns, const std::string& image) {
-  return "txns " + std::to_string(txns) + "\n" + image;
+bool IsSnapshotFrame(FrameType type) {
+  return type == FrameType::kSnapshot || type == FrameType::kDeltaSnapshot;
 }
 
-std::pair<std::uint64_t, std::string> SplitSnapshotBody(
-    const std::string& body) {
-  std::istringstream is(body);
-  std::string tag;
-  std::uint64_t txns = 0;
-  is >> tag >> txns;
-  const std::size_t newline = body.find('\n');
-  if (!is || tag != "txns" || newline == std::string::npos) {
-    throw ProgramError("persisted frame: bad snapshot prefix");
+// Best-effort removal of a leftover compaction tmp file (a crash between
+// writing `<path>.compact` and the rename). The tmp is garbage by
+// definition — the rename is the commit point — so it is deleted, never
+// adopted.
+void RemoveStaleCompactTmp(const std::string& path) {
+  std::remove((path + ".compact").c_str());
+}
+
+// The newest snapshot frame whose image could be reconstructed.
+struct SnapshotChoice {
+  std::size_t frame_index = 0;  // index into the scanned frames
+  std::string image;            // reconstructed full image
+  DecodedImage decoded;         // the image, parsed
+  std::uint64_t covered = 0;    // txn frames the image covers
+  std::uint64_t deltas = 0;     // chain length (0 = a full frame)
+};
+
+// Walks snapshot frames newest-first and returns the first one that can be
+// fully reconstructed and trusted: delta chains resolved against the
+// nearest preceding full snapshot, the image decoded, and the covered
+// count consistent with the journal (a snapshot claiming to cover more
+// transactions than the file holds would silently skip all replay with the
+// digests never re-verified — it is treated exactly like a corrupt frame).
+// Appends one error per rejected candidate when `errors` is non-null.
+std::optional<SnapshotChoice> FindLatestUsableSnapshot(
+    const std::vector<WalFrame>& frames, std::uint64_t txns_in_journal,
+    std::vector<std::string>* errors) {
+  for (std::size_t i = frames.size(); i-- > 1;) {
+    if (!IsSnapshotFrame(frames[i].type)) continue;
+    try {
+      // Resolve the chain base: the nearest full snapshot at or before i.
+      std::size_t full = frames.size();
+      for (std::size_t j = i + 1; j-- > 1;) {
+        if (frames[j].type == FrameType::kSnapshot) {
+          full = j;
+          break;
+        }
+      }
+      if (full > i) {
+        throw ProgramError(
+            "persisted frame: delta snapshot has no full-snapshot base");
+      }
+      SnapshotChoice choice;
+      choice.frame_index = i;
+      choice.image = DecodeSnapshotBody(frames[full].body).payload;
+      for (std::size_t j = full + 1; j <= i; ++j) {
+        if (frames[j].type != FrameType::kDeltaSnapshot) continue;
+        choice.image = ApplyImageDelta(
+            choice.image, DecodeSnapshotBody(frames[j].body).payload);
+        ++choice.deltas;
+      }
+      choice.covered = DecodeSnapshotBody(frames[i].body).txns;
+      if (choice.covered > txns_in_journal) {
+        throw ProgramError(
+            "snapshot claims " + std::to_string(choice.covered) +
+            " transactions but the journal holds " +
+            std::to_string(txns_in_journal));
+      }
+      choice.decoded = DecodeSessionImage(choice.image);
+      return choice;
+    } catch (const ProgramError& e) {
+      if (errors != nullptr) {
+        errors->push_back("snapshot frame ignored: " + std::string(e.what()));
+      }
+    }
   }
-  return {txns, body.substr(newline + 1)};
+  return std::nullopt;
 }
 
 }  // namespace
@@ -39,9 +95,11 @@ std::pair<std::uint64_t, std::string> SplitSnapshotBody(
 // DurableJournal
 // ---------------------------------------------------------------------------
 
-DurableJournal::DurableJournal(Session& session, FileLock lock,
-                               WalWriter writer, PersistOptions options)
+DurableJournal::DurableJournal(Session& session, std::string path,
+                               FileLock lock, WalWriter writer,
+                               PersistOptions options)
     : session_(session),
+      path_(std::move(path)),
       lock_(std::move(lock)),
       writer_(std::move(writer)),
       options_(options) {}
@@ -59,13 +117,14 @@ std::unique_ptr<DurableJournal> DurableJournal::Create(
         "rebuilds state from the genesis source)");
   }
   FileLock lock = FileLock::Acquire(path);
+  RemoveStaleCompactTmp(path);
   WalWriter writer = WalWriter::Create(path);
   PIVOT_FAULT_POINT("persist.genesis.pre");
   writer.AppendFrame(FrameType::kGenesis,
                      EncodeGenesis(session.options(), session.Source()),
                      options.fsync, "persist.genesis");
   auto journal = std::unique_ptr<DurableJournal>(new DurableJournal(
-      session, std::move(lock), std::move(writer), options));
+      session, path, std::move(lock), std::move(writer), options));
   session.set_commit_listener(journal.get());
   return journal;
 }
@@ -73,6 +132,7 @@ std::unique_ptr<DurableJournal> DurableJournal::Create(
 std::unique_ptr<DurableJournal> DurableJournal::Reattach(
     Session& session, const std::string& path, PersistOptions options) {
   FileLock lock = FileLock::Acquire(path);
+  RemoveStaleCompactTmp(path);
   const WalScanResult scan = ScanWal(path);
   if (!scan.header_ok || scan.version != kJournalFormatVersion ||
       scan.frames.empty()) {
@@ -84,15 +144,31 @@ std::unique_ptr<DurableJournal> DurableJournal::Reattach(
                        " has a torn tail; run Session::Recover first");
   }
   auto journal = std::unique_ptr<DurableJournal>(new DurableJournal(
-      session, std::move(lock), WalWriter::Append(path), options));
+      session, path, std::move(lock), WalWriter::Append(path), options));
   for (const WalFrame& frame : scan.frames) {
     if (frame.type == FrameType::kTxn) {
       ++journal->txns_;
-      ++journal->since_snapshot_;
-    } else if (frame.type == FrameType::kSnapshot) {
-      journal->since_snapshot_ = 0;
+    } else if (IsSnapshotFrame(frame.type)) {
       ++journal->snapshots_;
     }
+  }
+  // Snapshot cadence resumes from the last snapshot recovery would
+  // actually use, not merely the last snapshot-typed frame: a trailing
+  // frame that fails to decode (or whose chain is broken) must not defer
+  // the next snapshot a full interval while recovery ignores it.
+  const std::optional<SnapshotChoice> choice =
+      FindLatestUsableSnapshot(scan.frames, journal->txns_, nullptr);
+  if (choice.has_value()) {
+    std::uint64_t after = 0;
+    for (std::size_t i = choice->frame_index + 1; i < scan.frames.size();
+         ++i) {
+      if (scan.frames[i].type == FrameType::kTxn) ++after;
+    }
+    journal->since_snapshot_ = after;
+    journal->deltas_since_full_ = choice->deltas;
+    if (options.delta_snapshots) journal->last_image_ = choice->image;
+  } else {
+    journal->since_snapshot_ = journal->txns_;
   }
   session.set_commit_listener(journal.get());
   return journal;
@@ -140,17 +216,124 @@ void DurableJournal::OnCommitted(const TxnDescriptor& desc) {
 
 void DurableJournal::WriteSnapshot() {
   PIVOT_FAULT_POINT("persist.snapshot.pre");
-  const std::string body =
-      MakeSnapshotBody(txns_, EncodeSessionImage(session_));
+  const std::string image = EncodeSessionImage(session_);
+  FrameType type = FrameType::kSnapshot;
+  std::string payload = image;
+  if (options_.delta_snapshots && !last_image_.empty() &&
+      options_.full_snapshot_every > 0 &&
+      deltas_since_full_ + 1 <
+          static_cast<std::uint64_t>(options_.full_snapshot_every)) {
+    std::string delta = EncodeImageDelta(last_image_, image);
+    // A delta larger than the image it encodes (pathological churn) is
+    // pointless: write the full image and restart the chain.
+    if (delta.size() < image.size()) {
+      type = FrameType::kDeltaSnapshot;
+      payload = std::move(delta);
+    }
+  }
+  const std::string body = EncodeSnapshotBody(txns_, payload);
   try {
-    writer_.AppendFrame(FrameType::kSnapshot, body, options_.fsync,
-                        "persist.snapshot");
+    writer_.AppendFrame(type, body, options_.fsync, "persist.snapshot");
   } catch (...) {
     broken_ = true;
     throw;
   }
   since_snapshot_ = 0;
   ++snapshots_;
+  if (type == FrameType::kDeltaSnapshot) {
+    ++deltas_since_full_;
+  } else {
+    deltas_since_full_ = 0;
+  }
+  if (options_.delta_snapshots) last_image_ = image;
+  // Compaction is anchored on full snapshots: only a full image lets the
+  // whole covered prefix go.
+  if (options_.compact && type == FrameType::kSnapshot &&
+      writer_.offset() >= options_.compact_min_bytes) {
+    Compact();
+  }
+}
+
+void DurableJournal::Compact() {
+  if (broken_) {
+    throw ProgramError(
+        "durable journal: poisoned by an earlier write fault; recover "
+        "before compacting");
+  }
+  PIVOT_FAULT_POINT("persist.compact.pre");
+  const WalScanResult scan = ScanWal(path_);
+  // Anchor: the newest full snapshot. Without one there is nothing to
+  // reclaim.
+  std::size_t full = 0;
+  for (std::size_t i = scan.frames.size(); i-- > 1;) {
+    if (scan.frames[i].type == FrameType::kSnapshot) {
+      full = i;
+      break;
+    }
+  }
+  if (full == 0) return;
+  const std::uint64_t dropped = DecodeSnapshotBody(scan.frames[full].body).txns;
+  // The writer only ever records txns_ as the covered count, so the count
+  // must equal the txn frames actually preceding the anchor. A mismatch
+  // means the file was tampered with or this code is wrong — refuse to
+  // drop frames on inconsistent evidence and leave the journal as is
+  // (recovery will sort the file out).
+  std::uint64_t preceding = 0;
+  for (std::size_t i = 1; i < full; ++i) {
+    if (scan.frames[i].type == FrameType::kTxn) ++preceding;
+  }
+  if (preceding != dropped) return;
+
+  // Rewrite to <path>.compact: genesis, then the anchor and everything
+  // after it with snapshot covered-counts rebased by the dropped txns.
+  // The tmp is fsynced before the rename — the rename is the commit
+  // point, so a crash at any byte leaves either the complete old journal
+  // or the complete new one, never a hybrid.
+  const std::string tmp = path_ + ".compact";
+  try {
+    WalWriter out = WalWriter::Create(tmp);
+    out.AppendFrame(FrameType::kGenesis, scan.frames[0].body, false,
+                    "persist.compact.genesis");
+    for (std::size_t i = full; i < scan.frames.size(); ++i) {
+      const WalFrame& frame = scan.frames[i];
+      if (frame.type == FrameType::kTxn) {
+        out.AppendFrame(FrameType::kTxn, frame.body, false,
+                        "persist.compact.txn");
+      } else if (IsSnapshotFrame(frame.type)) {
+        SnapshotBody body = DecodeSnapshotBody(frame.body);
+        body.txns = body.txns >= dropped ? body.txns - dropped : 0;
+        out.AppendFrame(frame.type,
+                        EncodeSnapshotBody(body.txns, body.payload), false,
+                        "persist.compact.snapshot");
+      }
+    }
+    out.Sync("persist.compact.tmp.synced");
+    PIVOT_FAULT_POINT("persist.compact.rename.pre");
+    if (::rename(tmp.c_str(), path_.c_str()) != 0) {
+      throw ProgramError("durable journal: compaction rename failed: " +
+                         std::string(std::strerror(errno)));
+    }
+  } catch (const FaultInjectedError&) {
+    // The crash harness: the "process" is dead. Leave the tmp file behind
+    // exactly like a real crash would — recovery deletes it.
+    throw;
+  } catch (...) {
+    // Nothing was renamed: the live journal is untouched and the writer
+    // still valid, so the failure is reported but nothing is poisoned.
+    std::remove(tmp.c_str());
+    throw;
+  }
+  try {
+    PIVOT_FAULT_POINT("persist.compact.rename.post");
+    // The old fd now references the replaced (unlinked) inode; swap it for
+    // one opened on the new file.
+    writer_ = WalWriter::Append(path_);
+  } catch (...) {
+    broken_ = true;
+    throw;
+  }
+  txns_ -= dropped;
+  ++compactions_;
 }
 
 // ---------------------------------------------------------------------------
@@ -163,7 +346,10 @@ std::string JournalRecoveryReport::ToString() const {
      << " transactions\n";
   os << "replayed: " << txns_replayed << " onto ";
   if (used_snapshot) {
-    os << "snapshot (covering " << snapshot_txns << ")";
+    os << "snapshot (covering " << snapshot_txns;
+    // Printed only for delta-built bases so the version-1 goldens hold.
+    if (snapshot_deltas > 0) os << ", via " << snapshot_deltas << " deltas";
+    os << ")";
   } else {
     os << "genesis";
   }
@@ -222,25 +408,20 @@ std::optional<RecoverResult> RecoverOnce(const std::string& path,
 
   const GenesisInfo genesis = DecodeGenesis(scan.frames[0].body);
 
-  // Base state: the latest snapshot that decodes, else the genesis source.
+  // Base state: the latest snapshot that reconstructs (delta chains
+  // resolved, image decoded, covered count consistent), else the genesis
+  // source.
   std::unique_ptr<Session> session;
   std::uint64_t skip_txns = 0;
-  for (std::size_t i = scan.frames.size(); i-- > 1;) {
-    if (scan.frames[i].type != FrameType::kSnapshot) continue;
-    try {
-      auto [covered, image] = SplitSnapshotBody(scan.frames[i].body);
-      DecodedImage img = DecodeSessionImage(image);
-      session =
-          std::make_unique<Session>(std::move(img.program), genesis.options);
-      session->RestorePersistedState(std::move(img.state));
-      skip_txns = covered;
-      rep.used_snapshot = true;
-      rep.snapshot_txns = covered;
-      break;
-    } catch (const ProgramError& e) {
-      errors.push_back("snapshot frame ignored: " + std::string(e.what()));
-      session.reset();
-    }
+  if (std::optional<SnapshotChoice> choice = FindLatestUsableSnapshot(
+          scan.frames, rep.txns_in_journal, &errors)) {
+    session = std::make_unique<Session>(std::move(choice->decoded.program),
+                                        genesis.options);
+    session->RestorePersistedState(std::move(choice->decoded.state));
+    skip_txns = choice->covered;
+    rep.used_snapshot = true;
+    rep.snapshot_txns = choice->covered;
+    rep.snapshot_deltas = choice->deltas;
   }
   if (session == nullptr) {
     session = std::make_unique<Session>(Parse(genesis.source),
@@ -295,6 +476,7 @@ RecoverResult RecoverSession(const std::string& path) {
   // (this process or another) still owns it. The lock is released when
   // recovery returns — reattaching a journal re-acquires it.
   const FileLock lock = FileLock::Acquire(path);
+  RemoveStaleCompactTmp(path);
   std::vector<std::string> errors;
   bool diverged = false;
   std::uint64_t diverged_cut = 0;

@@ -40,6 +40,25 @@ struct PersistOptions {
   // trades crash consistency for throughput (bench mode): the frame order
   // is still correct, but the tail may be lost on power failure.
   bool fsync = true;
+  // Encode most snapshots as kDeltaSnapshot frames (a diff against the
+  // previous snapshot image — see persist/snapshot.h) instead of full
+  // images. Recovery reconstructs the base by applying the chain since the
+  // last full snapshot, falling back frame by frame on decode failure.
+  bool delta_snapshots = false;
+  // With delta_snapshots on: force a full kSnapshot frame after this many
+  // consecutive deltas, bounding both the recovery chain and the span
+  // compaction cannot reclaim. Must be >= 1 (1 = every snapshot is full).
+  int full_snapshot_every = 8;
+  // After each durable full snapshot, rewrite the journal in place
+  // (genesis + that snapshot + the uncovered tail; everything the
+  // snapshot covers is dropped) via an atomic tmp-file rename. This is
+  // what makes journal size proportional to live history instead of
+  // monotonically increasing.
+  bool compact = false;
+  // Skip the rewrite while the journal is smaller than this (the rewrite
+  // costs a full file copy; tiny journals are not worth it). 0 = always
+  // compact after a full snapshot.
+  std::uint64_t compact_min_bytes = 0;
 };
 
 class DurableJournal final : public CommitListener {
@@ -77,21 +96,42 @@ class DurableJournal final : public CommitListener {
 
   std::uint64_t txns_written() const { return txns_; }
   std::uint64_t snapshots_written() const { return snapshots_; }
+  std::uint64_t compactions() const { return compactions_; }
+  // Current journal file size (the next append offset).
+  std::uint64_t journal_bytes() const { return writer_.offset(); }
+
+  // Rewrites the journal down to genesis + the latest full snapshot + the
+  // frames after it, dropping everything the snapshot covers. The rewrite
+  // goes to `<path>.compact`, is fsynced, and is renamed over the journal
+  // atomically — a crash at any point leaves either the old or the new
+  // file, never a hybrid. No-op when the journal holds no full snapshot.
+  // Runs automatically after each full snapshot when PersistOptions::
+  // compact is set; public for explicit calls (tools, tests).
+  void Compact();
 
  private:
-  DurableJournal(Session& session, FileLock lock, WalWriter writer,
-                 PersistOptions options);
+  DurableJournal(Session& session, std::string path, FileLock lock,
+                 WalWriter writer, PersistOptions options);
   void WriteSnapshot();
 
   Session& session_;
+  const std::string path_;
   // Held for the journal's lifetime: no second process (or second journal
   // in this process) may append to the same WAL (see persist/filelock.h).
+  // flock() follows the separate `<path>.lock` file, so the compaction
+  // rename of the journal itself does not disturb it.
   FileLock lock_;
   WalWriter writer_;
   PersistOptions options_;
   std::uint64_t txns_ = 0;  // txn frames in the file
   std::uint64_t since_snapshot_ = 0;
   std::uint64_t snapshots_ = 0;
+  std::uint64_t compactions_ = 0;
+  // Delta-snapshot state: the image of the newest snapshot frame (the base
+  // the next delta diffs against) and the chain length since the last full
+  // snapshot. Empty image = the next snapshot must be full.
+  std::string last_image_;
+  std::uint64_t deltas_since_full_ = 0;
   bool broken_ = false;
 };
 
@@ -103,6 +143,7 @@ struct JournalRecoveryReport {
   std::uint64_t txns_replayed = 0;   // re-executed (tail after snapshot)
   bool used_snapshot = false;
   std::uint64_t snapshot_txns = 0;   // txn frames the snapshot covered
+  std::uint64_t snapshot_deltas = 0; // delta frames applied to rebuild it
   bool truncated = false;
   std::uint64_t truncated_at = 0;    // file offset of the cut
   std::string truncation_reason;

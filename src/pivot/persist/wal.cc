@@ -82,6 +82,16 @@ WalWriter::WalWriter(WalWriter&& other) noexcept
   other.fd_ = -1;
 }
 
+WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    offset_ = other.offset_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
 WalWriter::~WalWriter() { Close(); }
 
 void WalWriter::Close() {
@@ -227,7 +237,7 @@ WalScanResult ScanWal(const std::string& path) {
     }
     const unsigned char type = static_cast<unsigned char>(payload[0]);
     if (type < static_cast<unsigned char>(FrameType::kGenesis) ||
-        type > static_cast<unsigned char>(FrameType::kGroup)) {
+        type > static_cast<unsigned char>(FrameType::kDeltaSnapshot)) {
       result.truncation_reason = "unknown frame type";
       break;
     }

@@ -36,8 +36,12 @@ namespace pivot {
 // Bumped when the header or frame encoding changes incompatibly. Recovery
 // refuses files with a newer version than it was built for (no forward
 // compatibility); older versions would be migrated explicitly, never
-// guessed at.
-inline constexpr std::uint32_t kJournalFormatVersion = 1;
+// guessed at. Version history:
+//   1 — genesis/txn/snapshot/group frames;
+//   2 — adds kDeltaSnapshot (a version-1 reader would mis-scan a delta
+//       frame as an unknown type and silently truncate the tail there,
+//       hence the bump: old readers refuse loudly instead).
+inline constexpr std::uint32_t kJournalFormatVersion = 2;
 
 inline constexpr char kWalMagic[8] = {'P', 'I', 'V', 'O',
                                       'T', 'W', 'A', 'L'};
@@ -52,7 +56,12 @@ enum class FrameType : unsigned char {
   kSnapshot = 3,  // full session image; recovery replays only frames after
                   // the last valid snapshot
   kGroup = 4,     // group-commit log envelope: (session, frame type, frame
-                  // body); only appears in a server's shared server.gwal
+                  // body) or a retention mark; only appears in a server's
+                  // shared server.gwal
+  kDeltaSnapshot = 5,  // session image as a delta against the previous
+                       // snapshot image (full or reconstructed); recovery
+                       // rebuilds the base by applying the chain since the
+                       // last full snapshot
 };
 
 // Appends frames to a journal file via POSIX fd I/O. The writer does not
@@ -65,7 +74,11 @@ class WalWriter {
   static WalWriter Append(const std::string& path);
 
   WalWriter(WalWriter&& other) noexcept;
-  WalWriter& operator=(WalWriter&&) = delete;
+  // Move assignment closes the current fd and adopts the other writer's.
+  // Compaction relies on this: after renaming the rewritten file over the
+  // journal, the stale fd (now referencing the replaced inode) is swapped
+  // for one opened on the new file.
+  WalWriter& operator=(WalWriter&& other) noexcept;
   WalWriter(const WalWriter&) = delete;
   WalWriter& operator=(const WalWriter&) = delete;
   ~WalWriter();

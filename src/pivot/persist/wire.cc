@@ -115,6 +115,23 @@ GenesisInfo DecodeGenesis(const std::string& body) {
   return info;
 }
 
+std::string EncodeSnapshotBody(std::uint64_t txns,
+                               const std::string& payload) {
+  return "txns " + std::to_string(txns) + "\n" + payload;
+}
+
+SnapshotBody DecodeSnapshotBody(const std::string& body) {
+  std::istringstream is(body);
+  std::string tag;
+  std::uint64_t txns = 0;
+  is >> tag >> txns;
+  const std::size_t newline = body.find('\n');
+  if (!is || tag != "txns" || newline == std::string::npos) {
+    Malformed("bad snapshot prefix");
+  }
+  return {txns, body.substr(newline + 1)};
+}
+
 std::string EncodeTxn(const TxnDescriptor& desc, const SessionDigest& digest) {
   TokenWriter w;
   w.Tok("txn");

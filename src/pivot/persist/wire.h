@@ -50,6 +50,18 @@ struct GenesisInfo {
 };
 GenesisInfo DecodeGenesis(const std::string& body);  // throws ProgramError
 
+// --- snapshot frame body ---
+// "txns <count>\n<payload>": the count of txn frames preceding the
+// snapshot (so recovery knows how much of the tail the image covers),
+// then the payload — a full session image for kSnapshot frames, an image
+// delta (see persist/snapshot.h) for kDeltaSnapshot frames.
+std::string EncodeSnapshotBody(std::uint64_t txns, const std::string& payload);
+struct SnapshotBody {
+  std::uint64_t txns = 0;
+  std::string payload;
+};
+SnapshotBody DecodeSnapshotBody(const std::string& body);  // throws
+
 // --- txn frame body ---
 std::string EncodeTxn(const TxnDescriptor& desc, const SessionDigest& digest);
 struct TxnInfo {

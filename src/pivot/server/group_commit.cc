@@ -1,5 +1,8 @@
 #include "pivot/server/group_commit.h"
 
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 #include <utility>
 
 #include "pivot/persist/token.h"
@@ -18,10 +21,31 @@ std::string EncodeGroupFrame(const std::string& session, FrameType type,
   return w.Take();
 }
 
+std::string EncodeGroupMark(const std::string& session,
+                            std::uint64_t dropped) {
+  persist_internal::TokenWriter w;
+  w.Tok("m");
+  w.Str(session);
+  w.U64(dropped);
+  return w.Take();
+}
+
 GroupFrame DecodeGroupFrame(const std::string& body) {
   persist_internal::TokenReader r(body);
   GroupFrame frame;
-  r.Expect("g");
+  const std::string tag = r.Next();
+  if (tag == "m") {
+    frame.mark = true;
+    frame.session = r.Str();
+    frame.dropped = r.U64();
+    if (!r.AtEnd()) {
+      persist_internal::Malformed("trailing data in retention mark");
+    }
+    return frame;
+  }
+  if (tag != "g") {
+    persist_internal::Malformed("bad group envelope tag '" + tag + "'");
+  }
   frame.session = r.Str();
   const long long type = r.Int();
   if (type < static_cast<int>(FrameType::kGenesis) ||
@@ -39,11 +63,19 @@ GroupFrame DecodeGroupFrame(const std::string& body) {
 GroupCommitLog::GroupCommitLog(const std::string& path, bool create,
                                GroupCommitOptions options,
                                std::function<void(Failure)> on_failure)
-    : options_(options),
+    : path_(path),
+      options_(options),
       on_failure_(std::move(on_failure)),
       lock_(FileLock::Acquire(path)),
       writer_(create ? WalWriter::Create(path) : WalWriter::Append(path)),
-      worker_([this] { WorkerLoop(); }) {}
+      // Initialized before worker_ starts — the worker owns writer_ (and
+      // log_bytes_ updates) from then on.
+      log_bytes_(writer_.offset()),
+      worker_([this] { WorkerLoop(); }) {
+  // A leftover rewrite tmp from a crash mid-compaction is garbage by
+  // definition (the rename is the commit point).
+  std::remove((path + ".compact").c_str());
+}
 
 GroupCommitLog::~GroupCommitLog() {
   {
@@ -89,10 +121,34 @@ void GroupCommitLog::Drain() {
   draining_ = true;
   queue_cv_.notify_all();
   // The worker keeps writing batches until the queue is empty; committers
-  // already queued still get their acks.
-  done_cv_.wait(lock, [&] { return queue_.empty(); });
+  // already queued still get their acks. An empty queue alone is not
+  // "drained": the worker may hold a swapped-out batch whose group fsync
+  // has not returned yet, and reporting drained before that fsync would
+  // let the process exit with acknowledged-to-be-written frames still in
+  // flight. Wait for the in-flight batch (and any retention rewrite) too.
+  done_cv_.wait(lock, [&] {
+    return queue_.empty() && !inflight_ && !compact_active_;
+  });
   stop_ = true;
   queue_cv_.notify_all();
+}
+
+void GroupCommitLog::Compact(std::map<std::string, std::uint64_t> watermarks) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // One pass at a time; a second caller queues behind the first.
+  done_cv_.wait(lock, [&] {
+    return (!compact_request_.has_value() && !compact_active_) || stop_;
+  });
+  if (failure_ != Failure::kNone) std::rethrow_exception(failure_error_);
+  if (draining_ || stop_) {
+    throw ServerShuttingDownError("group-commit log is draining");
+  }
+  compact_request_ = std::move(watermarks);
+  compact_done_ = false;
+  compact_error_ = nullptr;
+  queue_cv_.notify_all();
+  done_cv_.wait(lock, [&] { return compact_done_; });
+  if (compact_error_) std::rethrow_exception(compact_error_);
 }
 
 GroupCommitLog::Failure GroupCommitLog::failure() const {
@@ -126,6 +182,13 @@ void GroupCommitLog::FailAll(Failure failure, std::exception_ptr error,
       t->done = true;
     }
     queue_.clear();
+    inflight_ = false;
+    // A retention pass queued behind the failed batch gets the same error.
+    if (compact_request_.has_value()) {
+      compact_request_.reset();
+      compact_error_ = error;
+      compact_done_ = true;
+    }
   }
   done_cv_.notify_all();
   if (on_failure_) on_failure_(failure);
@@ -135,15 +198,55 @@ void GroupCommitLog::WorkerLoop() {
   for (;;) {
     std::deque<std::shared_ptr<Ticket>> batch;
     std::exception_ptr broken;
+    std::optional<std::map<std::string, std::uint64_t>> compact;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      queue_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (stop_) return;
+      queue_cv_.wait(lock, [&] {
+        return stop_ || !queue_.empty() || compact_request_.has_value();
+      });
+      if (compact_request_.has_value() && !stop_) {
+        // Retention runs between batches, when the file is quiescent —
+        // which it is whatever the queue holds, since this worker is the
+        // only appender. Taking the request ahead of the next batch keeps
+        // a saturated commit stream from starving retention (the queue
+        // just waits out one rewrite).
+        compact = std::move(compact_request_);
+        compact_request_.reset();
+        compact_active_ = true;
+        if (failure_ != Failure::kNone) broken = failure_error_;
+      } else if (queue_.empty()) {
+        if (stop_) {
+          // A retention request that raced shutdown must not hang its
+          // caller.
+          if (compact_request_.has_value()) {
+            compact_request_.reset();
+            compact_error_ = std::make_exception_ptr(
+                ServerShuttingDownError("group-commit log is draining"));
+            compact_done_ = true;
+            lock.unlock();
+            done_cv_.notify_all();
+          }
+          return;
+        }
         continue;
+      } else {
+        batch.swap(queue_);
+        inflight_ = true;
+        if (failure_ != Failure::kNone) broken = failure_error_;
       }
-      batch.swap(queue_);
-      if (failure_ != Failure::kNone) broken = failure_error_;
+    }
+
+    if (compact.has_value()) {
+      std::exception_ptr err =
+          broken ? broken : DoCompact(*compact);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        compact_active_ = false;
+        compact_error_ = err;
+        compact_done_ = true;
+      }
+      done_cv_.notify_all();
+      continue;
     }
 
     if (broken) {
@@ -155,6 +258,7 @@ void GroupCommitLog::WorkerLoop() {
           t->error = broken;
           t->done = true;
         }
+        inflight_ = false;
       }
       done_cv_.notify_all();
       continue;
@@ -182,6 +286,7 @@ void GroupCommitLog::WorkerLoop() {
         ++stats_.fsyncs;
       }
 
+      log_bytes_.store(writer_.offset(), std::memory_order_release);
       {
         std::lock_guard<std::mutex> lock(mu_);
         for (auto& t : batch) {
@@ -191,6 +296,7 @@ void GroupCommitLog::WorkerLoop() {
         }
         ++stats_.batches;
         if (batch.size() > stats_.max_batch) stats_.max_batch = batch.size();
+        inflight_ = false;
       }
       done_cv_.notify_all();
     } catch (const FaultInjectedError&) {
@@ -206,10 +312,126 @@ void GroupCommitLog::WorkerLoop() {
         writer_.TruncateTo(pre_batch);
       } catch (...) {
       }
+      log_bytes_.store(writer_.offset(), std::memory_order_release);
       auto error = std::make_exception_ptr(ServerDegradedError(
           "group-commit log write fault; commits are refused"));
       FailAll(Failure::kDegraded, error, batch);
     }
+  }
+}
+
+std::exception_ptr GroupCommitLog::DoCompact(
+    const std::map<std::string, std::uint64_t>& watermarks) {
+  const std::string tmp = path_ + ".compact";
+  bool renamed = false;
+  try {
+    PIVOT_FAULT_POINT("server.gwal.compact.pre");
+    const WalScanResult scan = ScanWal(path_);
+    struct Entry {
+      const WalFrame* frame;
+      GroupFrame decoded;
+    };
+    std::vector<Entry> entries;
+    entries.reserve(scan.frames.size());
+    // Cumulative drops already recorded by earlier passes (later marks
+    // supersede earlier ones for the same session).
+    std::map<std::string, std::uint64_t> base_dropped;
+    for (const WalFrame& frame : scan.frames) {
+      if (frame.type != FrameType::kGroup) {
+        throw ProgramError("group log holds a foreign frame; not compacting");
+      }
+      Entry e{&frame, DecodeGroupFrame(frame.body)};
+      if (e.decoded.mark) {
+        base_dropped[e.decoded.session] = e.decoded.dropped;
+      }
+      entries.push_back(std::move(e));
+    }
+
+    // How many leading txn envelopes each session sheds in THIS pass: the
+    // caller's watermark is cumulative, so subtract what earlier passes
+    // already reclaimed, and never drop more than the file actually holds
+    // (a watermark can run ahead of the log when a session-WAL frame's
+    // group envelope was truncated as a torn tail).
+    std::map<std::string, std::uint64_t> available;
+    for (const Entry& e : entries) {
+      if (!e.decoded.mark && e.decoded.type == FrameType::kTxn) {
+        ++available[e.decoded.session];
+      }
+    }
+    std::map<std::string, std::uint64_t> drop_now;  // per session, this pass
+    std::map<std::string, std::uint64_t> cumulative = base_dropped;
+    for (const auto& [session, watermark] : watermarks) {
+      const std::uint64_t base = base_dropped.count(session)
+                                     ? base_dropped.at(session)
+                                     : 0;
+      if (watermark <= base) continue;
+      std::uint64_t n = watermark - base;
+      const auto avail = available.find(session);
+      const std::uint64_t have = avail == available.end() ? 0 : avail->second;
+      if (n > have) n = have;
+      if (n == 0) continue;
+      drop_now[session] = n;
+      cumulative[session] = base + n;
+    }
+    if (drop_now.empty()) return nullptr;  // nothing to reclaim
+
+    WalWriter out = WalWriter::Create(tmp);
+    // Marks first: one consolidated cumulative mark per session.
+    for (const auto& [session, dropped] : cumulative) {
+      out.AppendFrame(FrameType::kGroup, EncodeGroupMark(session, dropped),
+                      /*fsync=*/false, "server.gwal.compact.mark");
+    }
+    std::map<std::string, std::uint64_t> skipped;
+    for (const Entry& e : entries) {
+      if (e.decoded.mark) continue;  // consolidated above
+      if (e.decoded.type == FrameType::kTxn) {
+        const auto drop = drop_now.find(e.decoded.session);
+        if (drop != drop_now.end() &&
+            skipped[e.decoded.session] < drop->second) {
+          ++skipped[e.decoded.session];
+          continue;
+        }
+      }
+      out.AppendFrame(FrameType::kGroup, e.frame->body, /*fsync=*/false,
+                      "server.gwal.compact.frame");
+    }
+    out.Sync("server.gwal.compact.tmp.synced");
+    PIVOT_FAULT_POINT("server.gwal.compact.rename.pre");
+    if (::rename(tmp.c_str(), path_.c_str()) != 0) {
+      throw ProgramError("group log: compaction rename failed: " +
+                         std::string(std::strerror(errno)));
+    }
+    renamed = true;
+    PIVOT_FAULT_POINT("server.gwal.compact.rename.post");
+    // The old fd references the replaced (unlinked) inode; reopen.
+    writer_ = WalWriter::Append(path_);
+    log_bytes_.store(writer_.offset(), std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.compactions;
+    }
+    return nullptr;
+  } catch (const FaultInjectedError&) {
+    // The crash harness: stop serving, leave every file exactly as the
+    // "crash" left it.
+    auto error = std::current_exception();
+    std::deque<std::shared_ptr<Ticket>> none;
+    FailAll(Failure::kCrashed, error, none);
+    return error;
+  } catch (const ProgramError&) {
+    if (!renamed) {
+      // The live log was never touched: report the failure to the
+      // requester and keep serving.
+      std::remove(tmp.c_str());
+      return std::current_exception();
+    }
+    // Renamed but could not reopen the writer: the file on disk is a
+    // complete, valid log, but this process can no longer append.
+    auto error = std::make_exception_ptr(ServerDegradedError(
+        "group-commit log failed to reopen after compaction"));
+    std::deque<std::shared_ptr<Ticket>> none;
+    FailAll(Failure::kDegraded, error, none);
+    return error;
   }
 }
 

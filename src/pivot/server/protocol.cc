@@ -21,7 +21,8 @@ constexpr ServerOp kAllOps[] = {
     ServerOp::kClose,   ServerOp::kApply,    ServerOp::kTxn,
     ServerOp::kUndo,    ServerOp::kUndoSet,  ServerOp::kUndoLast,
     ServerOp::kCanUndo, ServerOp::kSource,   ServerOp::kHistory,
-    ServerOp::kStats,   ServerOp::kSleep,    ServerOp::kShutdown,
+    ServerOp::kStats,   ServerOp::kSleep,    ServerOp::kCompact,
+    ServerOp::kShutdown,
 };
 
 constexpr StatusCode kAllStatuses[] = {
@@ -105,6 +106,7 @@ const char* ServerOpName(ServerOp op) {
     case ServerOp::kHistory: return "history";
     case ServerOp::kStats: return "stats";
     case ServerOp::kSleep: return "sleep";
+    case ServerOp::kCompact: return "compact";
     case ServerOp::kShutdown: return "shutdown";
   }
   return "?";

@@ -47,6 +47,8 @@ enum class ServerOp {
   kStats,     // server-wide counters, mode, group-commit statistics
   kSleep,     // test-only: hold the session lock for N ms (admission /
               // deadline tests); refused unless ServerOptions enables it
+  kCompact,   // gwal retention pass: fsync session WALs, then drop group
+              // frames already durable in them
   kShutdown,  // graceful drain
 };
 

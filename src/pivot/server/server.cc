@@ -207,6 +207,32 @@ class PivotServer::ServerJournal final : public CommitListener {
     ++since_snapshot_;
   }
 
+  // For the gwal retention pass: make this session's WAL frames durable
+  // and report how many txn frames that provably covers. Only after the
+  // fsync returns may the group log drop this session's envelopes — the
+  // session file is then their sole durable copy.
+  //
+  // Runs WITHOUT the session lock (a committer parked on the group ticket
+  // holds that lock for its whole commit, so a blocking acquire here
+  // starves retention on a saturated server). The pre-read below is what
+  // makes that safe: a frame is counted in txns_ only after its write(2)
+  // returned, so every frame behind `covered` is in the file when the
+  // load observes it, and the fsync — racing at most with a LATER append
+  // — makes at least those bytes durable. The watermark never vouches
+  // for an in-flight frame. Throws ProgramError on a permanent fsync
+  // fault (the caller skips the session).
+  std::uint64_t SyncWalForRetention() {
+    if (broken_.load(std::memory_order_acquire)) {
+      throw ServerWriteFaultError(
+          "session journal poisoned by an earlier write fault");
+    }
+    const std::uint64_t covered = txns_.load(std::memory_order_acquire);
+    writer_.Sync();
+    return covered;
+  }
+
+  bool broken() const { return broken_; }
+
   void OnCommitted(const TxnDescriptor& desc) override {
     (void)desc;
     if (broken_ || snapshot_interval_ <= 0) return;
@@ -214,7 +240,7 @@ class PivotServer::ServerJournal final : public CommitListener {
       return;
     }
     const std::string body =
-        "txns " + std::to_string(txns_) + "\n" + EncodeSessionImage(session_);
+        EncodeSnapshotBody(txns_, EncodeSessionImage(session_));
     const std::uint64_t pre = writer_.offset();
     try {
       writer_.AppendFrame(FrameType::kSnapshot, body, /*fsync=*/false,
@@ -260,9 +286,11 @@ class PivotServer::ServerJournal final : public CommitListener {
   GroupCommitLog& group_;
   const int snapshot_interval_;
   const std::function<void()> degrade_;
-  std::uint64_t txns_ = 0;
+  // Atomic so the retention pass can read a durable-coverage watermark
+  // without taking the session lock (see SyncWalForRetention).
+  std::atomic<std::uint64_t> txns_{0};
   std::uint64_t since_snapshot_ = 0;
-  bool broken_ = false;
+  std::atomic<bool> broken_{false};
 };
 
 // ---------------------------------------------------------------------------
@@ -275,7 +303,12 @@ struct PivotServer::Hosted {
   // wait for a busy session instead of queueing forever.
   std::timed_mutex mu;
   std::unique_ptr<Session> session;
+  // `journal` is assigned/reset under BOTH mu and retention_mu; the gwal
+  // retention pass reads it under retention_mu alone, so it never has to
+  // compete with committers for mu (which they hold across the group
+  // ticket wait — a blocking acquire would starve retention under load).
   std::unique_ptr<ServerJournal> journal;
+  std::mutex retention_mu;
   std::atomic<int> inflight{0};
   bool closed = false;  // guarded by mu
 };
@@ -323,6 +356,12 @@ PivotServer::PivotServer(ServerOptions options)
         throw ProgramError("server: foreign frame in group log " + gwal);
       }
       GroupFrame entry = DecodeGroupFrame(frame.body);
+      if (entry.mark) {
+        // Retention mark: compaction reclaimed the session's first
+        // `dropped` txn envelopes (cumulative; later marks supersede).
+        group_dropped_[entry.session] = entry.dropped;
+        continue;
+      }
       group_index_[entry.session].push_back(std::move(entry));
     }
   }
@@ -454,7 +493,11 @@ Response PivotServer::Execute(const Request& req) {
 
   try {
     CheckDeadline("at admission");
-    return Dispatch(req, deadline);
+    Response resp = Dispatch(req, deadline);
+    // No session lock is held here (Dispatch released everything), which
+    // is what the retention pass requires.
+    MaybeAutoCompact();
+    return resp;
   } catch (const FaultInjectedError&) {
     mode_.store(ServerMode::kCrashed, std::memory_order_release);
     throw;  // the crash harness owns this one
@@ -496,6 +539,8 @@ Response PivotServer::Dispatch(const Request& req,
       return DoOpen(req);
     case ServerOp::kRecover:
       return DoRecover(req);
+    case ServerOp::kCompact:
+      return DoCompactGwal();
     default:
       break;
   }
@@ -546,7 +591,11 @@ Response PivotServer::Dispatch(const Request& req,
   switch (req.op) {
     case ServerOp::kClose: {
       hosted->closed = true;
-      hosted->journal.reset();  // detaches the listener, releases the flock
+      {
+        // Fenced against a concurrent retention pass fsyncing this WAL.
+        std::lock_guard<std::mutex> retention(hosted->retention_mu);
+        hosted->journal.reset();  // detaches the listener, releases the flock
+      }
       hosted->session.reset();
       std::lock_guard<std::mutex> sessions_lock(sessions_mu_);
       sessions_.erase(req.session);
@@ -687,10 +736,12 @@ Response PivotServer::DoOpen(const Request& req) {
       return Fail(StatusCode::kSessionExists,
                   "journal " + path + " already exists; use recover");
     }
-    hosted->journal = ServerJournal::Create(
+    auto journal = ServerJournal::Create(
         *hosted->session, req.session, path, *group_,
         options_.snapshot_interval,
         [this] { Degrade("session journal write fault"); });
+    std::lock_guard<std::mutex> retention(hosted->retention_mu);
+    hosted->journal = std::move(journal);
   } catch (...) {
     Unpublish(hosted);
     throw;
@@ -738,10 +789,14 @@ Response PivotServer::DoRecover(const Request& req) {
     const std::string path = SessionWalPath(req.session);
     RecoverResult recovered = RecoverSession(path);
     hosted->session = std::move(recovered.session);
-    hosted->journal = ServerJournal::Attach(
+    auto journal = ServerJournal::Attach(
         *hosted->session, req.session, path, *group_,
         options_.snapshot_interval,
         [this] { Degrade("session journal write fault"); });
+    {
+      std::lock_guard<std::mutex> retention(hosted->retention_mu);
+      hosted->journal = std::move(journal);
+    }
     resp.value = recovered.report.txns_replayed;
     resp.text = recovered.report.ToString();
   } catch (...) {
@@ -749,6 +804,74 @@ Response PivotServer::DoRecover(const Request& req) {
     throw;
   }
   return resp;
+}
+
+// The gwal retention pass. Ordering is the whole safety story: each open
+// session's WAL is fsynced FIRST, and only the txn count that fsync
+// provably covered is offered as the session's watermark. The group log
+// then drops envelopes up to the watermark: every dropped envelope has a
+// durable copy in its session file, so a crash at any later point still
+// recovers every acknowledged commit. The pass deliberately does NOT take
+// session locks — committers hold theirs across the whole group-commit
+// wait, so on a saturated server a blocking acquire starves the pass
+// until the load stops (exactly when retention no longer matters).
+// retention_mu only fences journal creation/destruction; the fsync itself
+// is safe against a concurrent append (see SyncWalForRetention).
+Response PivotServer::DoCompactGwal() {
+  std::vector<std::shared_ptr<Hosted>> hosted_snapshot;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    hosted_snapshot.reserve(sessions_.size());
+    for (const auto& [name, hosted] : sessions_) hosted_snapshot.push_back(hosted);
+  }
+  std::map<std::string, std::uint64_t> watermarks;
+  std::size_t skipped = 0;
+  for (const auto& hosted : hosted_snapshot) {
+    std::lock_guard<std::mutex> lock(hosted->retention_mu);
+    if (hosted->journal == nullptr) continue;
+    try {
+      watermarks[hosted->name] = hosted->journal->SyncWalForRetention();
+    } catch (const FaultInjectedError&) {
+      throw;  // crash harness
+    } catch (...) {
+      // This session's WAL could not be made durable; its envelopes stay.
+      ++skipped;
+    }
+  }
+  // Sessions present in the group log but not open get no watermark:
+  // without an fsync of their file nothing vouches for a durable copy, so
+  // their envelopes are retained.
+  group_->Compact(std::move(watermarks));
+  Response resp;
+  resp.value = group_->bytes();
+  std::ostringstream os;
+  os << "gwal " << group_->bytes() << " bytes after compaction";
+  if (skipped > 0) os << " (" << skipped << " sessions skipped)";
+  resp.text = os.str();
+  return resp;
+}
+
+void PivotServer::MaybeAutoCompact() {
+  if (options_.gwal_compact_bytes == 0) return;
+  if (group_->bytes() < options_.gwal_compact_bytes) return;
+  if (mode() != ServerMode::kServing) return;
+  // One pass at a time; concurrent requests simply skip (the next commit
+  // past the threshold retries).
+  bool expected = false;
+  if (!gwal_compacting_.compare_exchange_strong(expected, true,
+                                                std::memory_order_acq_rel)) {
+    return;
+  }
+  try {
+    DoCompactGwal();
+  } catch (const FaultInjectedError&) {
+    gwal_compacting_.store(false, std::memory_order_release);
+    throw;  // the crash harness owns this one (Execute flips kCrashed)
+  } catch (...) {
+    // Opportunistic: a failed pass (draining, degraded, write fault on the
+    // tmp file) leaves the log valid and merely longer than we would like.
+  }
+  gwal_compacting_.store(false, std::memory_order_release);
 }
 
 // Brings a session WAL in line with the group log as scanned at server
@@ -768,10 +891,17 @@ void PivotServer::ReconcileSessionWal(const std::string& name) {
   const std::vector<GroupFrame> no_entries;
   const std::vector<GroupFrame>& entries =
       indexed == group_index_.end() ? no_entries : indexed->second;
+  // Txn envelopes reclaimed by gwal compaction: the session file's first
+  // `dropped` txn frames have no group counterpart left to compare
+  // against, but compaction verified (fsync before drop) that they are
+  // durable in the session file — they are accepted as the acked prefix.
+  const auto dropped_it = group_dropped_.find(name);
+  const std::uint64_t dropped =
+      dropped_it == group_dropped_.end() ? 0 : dropped_it->second;
 
   const std::string path = SessionWalPath(name);
   const bool exists = ::access(path.c_str(), F_OK) == 0;
-  if (!exists && entries.empty()) {
+  if (!exists && entries.empty() && dropped == 0) {
     throw ProgramError("no journal for session '" + name + "'");
   }
 
@@ -788,6 +918,17 @@ void PivotServer::ReconcileSessionWal(const std::string& name) {
   if (!usable) {
     // Crash before the genesis landed in the session file (or the file is
     // gone): rebuild it wholesale from the acked frames.
+    if (dropped > 0) {
+      // Compaction only ever drops envelopes that are durable in the
+      // session file; the file being unusable now means that durable copy
+      // was destroyed afterwards — outside the crash contract, and the
+      // dropped frames are not reconstructible from the group log.
+      throw ProgramError(
+          "session '" + name +
+          "' has no usable journal, and the group log's copy of its first " +
+          std::to_string(dropped) + " transactions was reclaimed by "
+          "compaction after they were durable there");
+    }
     if (entries.empty() || entries[0].type != FrameType::kGenesis) {
       throw ProgramError("session '" + name +
                          "' has no usable journal and no acked genesis in "
@@ -814,29 +955,47 @@ void PivotServer::ReconcileSessionWal(const std::string& name) {
   // Longest prefix of the session file whose txn frames byte-match the
   // acked sequence. Snapshot frames interleave freely — a snapshot is
   // written only after its txns were acked, so one encountered before any
-  // divergence describes matched state and stays. The first txn that
-  // disagrees with (or overshoots) the acked sequence starts the
-  // unacknowledged tail.
-  std::size_t matched = 0;
+  // divergence describes matched state and stays. The first `dropped` txn
+  // frames have no group counterpart (reclaimed by compaction after being
+  // verified durable here) and are accepted without a content check; txn
+  // t (1-based) past that prefix compares against gwal_txns[t - dropped -
+  // 1]. The first txn that disagrees with (or overshoots) the acked
+  // sequence starts the unacknowledged tail.
+  std::uint64_t matched = 0;  // session-file txns accepted so far
   std::uint64_t keep_bytes = sizeof kWalMagic + 4;  // file header
   bool diverged = false;
   for (const WalFrame& frame : scan.frames) {
     if (frame.type == FrameType::kTxn) {
-      if (matched >= gwal_txns.size() ||
-          frame.body != gwal_txns[matched]->body) {
-        diverged = true;
-        break;
+      if (matched >= dropped) {
+        const std::uint64_t idx = matched - dropped;
+        if (idx >= gwal_txns.size() ||
+            frame.body != gwal_txns[idx]->body) {
+          diverged = true;
+          break;
+        }
       }
       ++matched;
     }
     keep_bytes = frame.end_offset;
   }
-  if (!diverged && matched == gwal_txns.size()) return;  // exact replica
+  if (matched < dropped) {
+    // The file holds fewer txn frames than compaction verified durable in
+    // it: a durable prefix was destroyed, and the group log no longer has
+    // those frames to rebuild from.
+    throw ProgramError(
+        "session '" + name + "' journal holds " + std::to_string(matched) +
+        " transactions but gwal compaction recorded " +
+        std::to_string(dropped) + " durable ones; the reclaimed frames "
+        "cannot be rebuilt from the group log");
+  }
+  if (!diverged && matched == dropped + gwal_txns.size()) {
+    return;  // exact replica
+  }
 
   FileLock lock = FileLock::Acquire(path);
   if (diverged) TruncateWal(path, keep_bytes);
   WalWriter writer = WalWriter::Append(path);
-  for (std::size_t i = matched; i < gwal_txns.size(); ++i) {
+  for (std::size_t i = matched - dropped; i < gwal_txns.size(); ++i) {
     writer.AppendFrame(FrameType::kTxn, gwal_txns[i]->body, /*fsync=*/false,
                        "server.swal.txn");
   }

@@ -65,6 +65,11 @@ struct ServerOptions {
   int session_inflight = 8;
   // Admit the test-only ops (kSleep) — tools keep this off.
   bool enable_test_ops = false;
+  // Run a gwal retention pass automatically once the group log exceeds
+  // this many bytes (fsync each open session's WAL, then drop group
+  // frames those WALs already hold durably — see GroupCommitLog::
+  // Compact). 0 = only on explicit ServerOp::kCompact.
+  std::uint64_t gwal_compact_bytes = 0;
 };
 
 enum class ServerMode {
@@ -133,6 +138,13 @@ class PivotServer {
                                             deadline);
   Response DoOpen(const Request& req);
   Response DoRecover(const Request& req);
+  // The gwal retention pass: sync every open session's WAL (one session
+  // locked at a time, none held while blocking on the group worker),
+  // collect watermarks, and ask the group log to drop covered frames.
+  Response DoCompactGwal();
+  // Size-threshold trigger for the pass; runs at most once concurrently
+  // and must be called with no session lock held.
+  void MaybeAutoCompact();
   void ReconcileSessionWal(const std::string& name);
   void Degrade(const char* why);
 
@@ -143,6 +155,12 @@ class PivotServer {
   // Frames per session recorded in the group log at startup (the
   // reconciliation source). Never mutated after the constructor.
   std::map<std::string, std::vector<GroupFrame>> group_index_;
+  // Per-session cumulative txn envelopes reclaimed by gwal compaction, as
+  // recorded by retention marks at startup: reconciliation accepts that
+  // many leading session-WAL txn frames without a group counterpart.
+  // Never mutated after the constructor.
+  std::map<std::string, std::uint64_t> group_dropped_;
+  std::atomic<bool> gwal_compacting_{false};
 
   mutable std::mutex sessions_mu_;
   std::map<std::string, std::shared_ptr<Hosted>> sessions_;

@@ -118,6 +118,18 @@ const std::vector<std::string>& FaultInjector::KnownPoints() {
       "persist.snapshot.header.post", "persist.snapshot.mid",
       "persist.snapshot.post",        "persist.snapshot.fsync.post",
       "persist.recover.truncate.pre",
+      // Journal compaction crash points. The tmp-file frames
+      // (.genesis/.snapshot/.txn triples) tear the rewrite before the
+      // rename commit point; .rename.pre/.post straddle it. Crash anywhere
+      // must leave either the complete old journal or the complete new
+      // one.
+      "persist.compact.pre",
+      "persist.compact.genesis.header.post", "persist.compact.genesis.mid",
+      "persist.compact.genesis.post",        "persist.compact.snapshot.header.post",
+      "persist.compact.snapshot.mid",        "persist.compact.snapshot.post",
+      "persist.compact.txn.header.post",     "persist.compact.txn.mid",
+      "persist.compact.txn.post",            "persist.compact.tmp.synced",
+      "persist.compact.rename.pre",          "persist.compact.rename.post",
       // Server crash points. server.swal.* frames go to a per-session WAL
       // (no fsync of their own — group commit provides durability), so
       // only the torn-frame triple exists; server.gwal.* is the shared
@@ -132,6 +144,18 @@ const std::vector<std::string>& FaultInjector::KnownPoints() {
       "server.gwal.frame.mid",           "server.gwal.frame.post",
       "server.gwal.sync.post",           "server.ack.pre",
       "server.recover.reconcile.pre",
+      // gwal retention crash points, mirroring persist.compact.*: tmp-file
+      // tears before the rename commit point, then the rename straddle.
+      "server.gwal.compact.pre",
+      "server.gwal.compact.mark.header.post",
+      "server.gwal.compact.mark.mid",
+      "server.gwal.compact.mark.post",
+      "server.gwal.compact.frame.header.post",
+      "server.gwal.compact.frame.mid",
+      "server.gwal.compact.frame.post",
+      "server.gwal.compact.tmp.synced",
+      "server.gwal.compact.rename.pre",
+      "server.gwal.compact.rename.post",
   };
   return points;
 }

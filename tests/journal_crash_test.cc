@@ -19,7 +19,9 @@
 // both sessions take the schedule's next step and must stay identical.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <filesystem>
 #include <functional>
 #include <memory>
 #include <string>
@@ -30,6 +32,7 @@
 #include "pivot/oracle/fuzzcase.h"
 #include "pivot/oracle/oracle.h"
 #include "pivot/persist/durable.h"
+#include "pivot/persist/wal.h"
 #include "pivot/support/fault_injector.h"
 
 namespace pivot {
@@ -125,10 +128,19 @@ void ExpectEquivalent(Session& a, Session& b, const std::string& label) {
 // Crashes the schedule at crossing `countdown` of `point`, recovers, and
 // checks the recovered session against a reference that ran the durable
 // prefix. Returns false when the fault never fired (the sweep for this
-// point is exhausted).
-bool CrashRecoverCheck(const std::string& point, int countdown) {
+// point is exhausted). `opts` lets the compaction sweep run the same
+// schedule with in-place journal rewrites enabled; `no_hybrid` addition-
+// ally asserts the journal scans clean end to end — compaction's crash
+// points all fire with every frame durable, so a torn or part-rewritten
+// file would be a broken rename protocol.
+bool CrashRecoverCheck(const std::string& point, int countdown,
+                       const PersistOptions& opts, bool no_hybrid) {
   const std::string label = point + " #" + std::to_string(countdown);
-  const std::string path = TmpPath("sweep");
+  // Per-point journal: ctest runs sweep points as parallel processes, so
+  // a shared path would race.
+  std::string tag = point;
+  std::replace(tag.begin(), tag.end(), '.', '_');
+  const std::string path = TmpPath("sweep_" + tag);
   const std::vector<Step> schedule = MixedSchedule();
 
   FaultInjector& injector = FaultInjector::Instance();
@@ -136,8 +148,6 @@ bool CrashRecoverCheck(const std::string& point, int countdown) {
   bool crashed = false;
   {
     Session s(Parse(kSource));
-    PersistOptions opts;
-    opts.snapshot_interval = 3;  // exercise snapshot frames mid-schedule
     std::unique_ptr<DurableJournal> wal;
     try {
       wal = DurableJournal::Create(s, path, opts);
@@ -154,6 +164,14 @@ bool CrashRecoverCheck(const std::string& point, int countdown) {
   }  // the dying process: session and journal destroyed
   if (!crashed) return false;
 
+  if (no_hybrid) {
+    const WalScanResult scan = ScanWal(path);
+    EXPECT_TRUE(scan.header_ok) << label;
+    EXPECT_TRUE(scan.truncation_reason.empty())
+        << label << ": the journal is neither the old nor the new file ("
+        << scan.truncation_reason << ")";
+  }
+
   // Reference: a fresh session that executed exactly the durable prefix.
   const std::size_t durable = DurableSteps(point, acked, schedule.size());
   Session reference(Parse(kSource));
@@ -162,6 +180,10 @@ bool CrashRecoverCheck(const std::string& point, int countdown) {
   RecoverResult r = Session::Recover(path);
   EXPECT_TRUE(r.report.validator_ok) << label << "\n" << r.report.ToString();
   ExpectEquivalent(reference, *r.session, label);
+  if (no_hybrid) {
+    // Recovery discards the tmp a crash-before-rename left behind.
+    EXPECT_FALSE(std::filesystem::exists(path + ".compact")) << label;
+  }
 
   const SemanticsOracle oracle(reference.program(), DefaultOracleInputs());
   EXPECT_EQ(oracle.Check(r.session->program()), "") << label;
@@ -174,6 +196,23 @@ bool CrashRecoverCheck(const std::string& point, int countdown) {
     ExpectEquivalent(reference, *r.session, label + " (next step)");
   }
   return true;
+}
+
+bool CrashRecoverCheck(const std::string& point, int countdown) {
+  PersistOptions opts;
+  opts.snapshot_interval = 3;  // exercise snapshot frames mid-schedule
+  return CrashRecoverCheck(point, countdown, opts, /*no_hybrid=*/false);
+}
+
+// The compaction sweep's options: every full snapshot (cadence 2, so the
+// schedule compacts twice) rewrites the journal in place.
+PersistOptions CompactingOpts() {
+  PersistOptions opts;
+  opts.snapshot_interval = 3;
+  opts.delta_snapshots = true;
+  opts.full_snapshot_every = 2;  // full@3 (compact), delta@6, full@9 (compact)
+  opts.compact = true;           // compact_min_bytes = 0: always rewrite
+  return opts;
 }
 
 class CrashSweep : public ::testing::TestWithParam<const char*> {
@@ -202,6 +241,147 @@ INSTANTIATE_TEST_SUITE_P(
                       "persist.snapshot.pre", "persist.snapshot.header.post",
                       "persist.snapshot.mid", "persist.snapshot.post",
                       "persist.snapshot.fsync.post"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '.') c = '_';
+      }
+      return name;
+    });
+
+// The automatic-compaction sweep: the same schedule with in-place journal
+// rewrites after every full snapshot. A crash at any compaction point must
+// leave either the complete old journal or the complete new one (the
+// rename is the only commit point), and recovery must land on the exact
+// durable prefix either way. The compaction fires post-ack with the txn
+// frame already fsynced, so the durable step count is acked+1 — the same
+// accounting as the snapshot points.
+class CompactAutoCrashSweep : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override { FaultInjector::Instance().Reset(); }
+  void TearDown() override { FaultInjector::Instance().Reset(); }
+};
+
+TEST_P(CompactAutoCrashSweep, EveryCrossingLeavesOldOrNewNeverHybrid) {
+  const std::string point = GetParam();
+  int crossings = 0;
+  for (int countdown = 1; countdown < 200; ++countdown) {
+    if (!CrashRecoverCheck(point, countdown, CompactingOpts(),
+                           /*no_hybrid=*/true)) {
+      break;
+    }
+    ++crossings;
+    if (HasFatalFailure()) return;
+  }
+  EXPECT_GT(crossings, 0) << "fault point " << point
+                          << " was never crossed by the schedule";
+}
+
+// Automatic compaction anchors on a just-written full snapshot, which is
+// always the last frame — so the rewrite never copies txn frames and the
+// persist.compact.txn.* points cannot fire here. They are swept by the
+// explicit-Compact test below, whose anchor has a tail behind it.
+INSTANTIATE_TEST_SUITE_P(
+    CompactionPoints, CompactAutoCrashSweep,
+    ::testing::Values("persist.compact.pre",
+                      "persist.compact.genesis.header.post",
+                      "persist.compact.genesis.mid",
+                      "persist.compact.genesis.post",
+                      "persist.compact.snapshot.header.post",
+                      "persist.compact.snapshot.mid",
+                      "persist.compact.snapshot.post",
+                      "persist.compact.tmp.synced",
+                      "persist.compact.rename.pre",
+                      "persist.compact.rename.post"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '.') c = '_';
+      }
+      return name;
+    });
+
+// Crashes an explicit DurableJournal::Compact at crossing `countdown` of
+// `point`. The journal holds a delta chain AND txn frames behind the full-
+// snapshot anchor (snapshots full@3/delta@6/delta@9 + txns 10-11), so the
+// rewrite copies and rebases frames of every kind. Whatever the crash
+// point, the file must scan clean and recover the full schedule.
+bool ExplicitCompactCrashCheck(const std::string& point, int countdown) {
+  const std::string label = point + " #" + std::to_string(countdown);
+  std::string tag = point;
+  std::replace(tag.begin(), tag.end(), '.', '_');
+  const std::string path = TmpPath("explicit_compact_" + tag);
+  const std::vector<Step> schedule = MixedSchedule();
+
+  FaultInjector& injector = FaultInjector::Instance();
+  bool crashed = false;
+  Session s(Parse(kSource));
+  {
+    PersistOptions opts;
+    opts.snapshot_interval = 3;
+    opts.delta_snapshots = true;
+    opts.full_snapshot_every = 3;  // full@3, delta@6, delta@9: anchor is @3
+    auto wal = DurableJournal::Create(s, path, opts);
+    for (const Step& step : schedule) {
+      step(s);
+      if (::testing::Test::HasFatalFailure()) return false;
+    }
+    injector.Arm(point, countdown);
+    try {
+      wal->Compact();
+    } catch (const FaultInjectedError&) {
+      crashed = true;
+    }
+    injector.Disarm();
+  }
+  if (!crashed) return false;
+
+  const WalScanResult scan = ScanWal(path);
+  EXPECT_TRUE(scan.header_ok) << label;
+  EXPECT_TRUE(scan.truncation_reason.empty())
+      << label << ": hybrid journal (" << scan.truncation_reason << ")";
+
+  RecoverResult r = Session::Recover(path);
+  EXPECT_TRUE(r.report.validator_ok) << label << "\n" << r.report.ToString();
+  ExpectEquivalent(s, *r.session, label);
+  EXPECT_FALSE(std::filesystem::exists(path + ".compact")) << label;
+  return true;
+}
+
+TEST_P(CompactAutoCrashSweep, ExplicitCompactWithATailIsAllOrNothing) {
+  const std::string point = GetParam();
+  int crossings = 0;
+  for (int countdown = 1; countdown < 200; ++countdown) {
+    if (!ExplicitCompactCrashCheck(point, countdown)) break;
+    ++crossings;
+    if (HasFatalFailure()) return;
+  }
+  EXPECT_GT(crossings, 0) << "fault point " << point
+                          << " was never crossed by an explicit Compact";
+}
+
+class CompactTxnCrashSweep : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override { FaultInjector::Instance().Reset(); }
+  void TearDown() override { FaultInjector::Instance().Reset(); }
+};
+
+TEST_P(CompactTxnCrashSweep, TornCopiedTxnFramesAreAllOrNothing) {
+  const std::string point = GetParam();
+  int crossings = 0;
+  for (int countdown = 1; countdown < 200; ++countdown) {
+    if (!ExplicitCompactCrashCheck(point, countdown)) break;
+    ++crossings;
+    if (HasFatalFailure()) return;
+  }
+  EXPECT_GT(crossings, 0) << "fault point " << point
+                          << " was never crossed by an explicit Compact";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CompactionTxnPoints, CompactTxnCrashSweep,
+    ::testing::Values("persist.compact.txn.header.post",
+                      "persist.compact.txn.mid", "persist.compact.txn.post"),
     [](const ::testing::TestParamInfo<const char*>& info) {
       std::string name = info.param;
       for (char& c : name) {

@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "pivot/core/session.h"
@@ -35,6 +37,32 @@ std::string ReadFileBytes(const std::string& path) {
 void WriteFileBytes(const std::string& path, const std::string& bytes) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+void PutU32LE(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+// Replaces frame `index` of the journal with (type, body), recomputing the
+// length and CRC so the scanner still accepts it — a well-formed frame
+// that lies about its content.
+void RewriteFrame(const std::string& path, std::size_t index, FrameType type,
+                  const std::string& body) {
+  const WalScanResult scan = ScanWal(path);
+  ASSERT_LT(index, scan.frames.size());
+  std::string out = ReadFileBytes(path).substr(0, 12);  // header stays
+  for (std::size_t i = 0; i < scan.frames.size(); ++i) {
+    std::string payload(
+        1, static_cast<char>(i == index ? type : scan.frames[i].type));
+    payload += i == index ? body : scan.frames[i].body;
+    PutU32LE(out, static_cast<std::uint32_t>(payload.size()));
+    PutU32LE(out, Crc32c(payload));
+    out += payload;
+  }
+  WriteFileBytes(path, out);
 }
 
 // The session workload the end-to-end tests commit and recover.
@@ -313,6 +341,59 @@ TEST(SnapshotImage, RejectsCorruptImages) {
   EXPECT_THROW(DecodeSessionImage("nonsense"), ProgramError);
 }
 
+// --- snapshot image deltas ---
+
+// Deterministic text with enough repeated structure that block matching
+// has something to find, like a real session image.
+std::string PatternBlob(std::size_t n, std::uint32_t seed) {
+  std::string s;
+  s.reserve(n + 32);
+  std::uint32_t x = seed;
+  while (s.size() < n) {
+    x = x * 1664525u + 1013904223u;
+    s += "stmt " + std::to_string(x % 97) + " = " + std::to_string(x % 1009) +
+         "\n";
+  }
+  s.resize(n);
+  return s;
+}
+
+TEST(ImageDelta, RoundTripsRepresentativePairs) {
+  const std::string base = PatternBlob(8192, 7);
+  std::string shifted = base;
+  shifted.insert(100, "an inserted line\n");  // shifts all block alignment
+  shifted.erase(4000, 37);
+  const std::vector<std::pair<std::string, std::string>> pairs = {
+      {base, base},                        // identical
+      {base, shifted},                     // small edits, shifted blocks
+      {"", base},                          // empty base: all literals
+      {base, ""},                          // empty target
+      {base, PatternBlob(8192, 8)},        // unrelated content
+      {base, base + PatternBlob(512, 9)},  // append-only growth
+      {"short", "short but longer now"},   // below one block
+  };
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const std::string delta =
+        EncodeImageDelta(pairs[i].first, pairs[i].second);
+    EXPECT_EQ(ApplyImageDelta(pairs[i].first, delta), pairs[i].second)
+        << "pair " << i;
+  }
+  // A near-identical target encodes as mostly copy tokens: the whole point
+  // of delta snapshots is that this is far smaller than the image.
+  EXPECT_LT(EncodeImageDelta(base, shifted).size(), shifted.size() / 4);
+}
+
+TEST(ImageDelta, RejectsTheWrongBaseAndGarbage) {
+  const std::string base = PatternBlob(4096, 3);
+  const std::string delta = EncodeImageDelta(base, PatternBlob(4096, 4));
+  // Applying against anything but the base the delta was computed from
+  // must fail loudly (CRC check), never produce a silently wrong image.
+  EXPECT_THROW(ApplyImageDelta(PatternBlob(4096, 5), delta), ProgramError);
+  EXPECT_THROW(ApplyImageDelta(base, "not a delta"), ProgramError);
+  EXPECT_THROW(ApplyImageDelta(base, delta.substr(0, delta.size() / 2)),
+               ProgramError);
+}
+
 // --- end-to-end: create, commit, recover ---
 
 class Durable : public ::testing::Test {
@@ -520,6 +601,266 @@ TEST_F(Durable, AWriteFaultRollsBackAndPoisonsTheJournal) {
   EXPECT_EQ(r.report.txns_replayed, 1u);
   EXPECT_EQ(r.session->Source(), committed_source);
   EXPECT_EQ(r.session->HistoryToString(), committed_history);
+}
+
+// --- delta snapshots ---
+
+TEST_F(Durable, DeltaSnapshotsRecoverAcrossTheChain) {
+  const std::string path = TmpPath("delta_chain");
+  Session s(Parse(kSource));
+  PersistOptions opts;
+  opts.snapshot_interval = 1;  // snapshot after every commit
+  opts.delta_snapshots = true;
+  opts.full_snapshot_every = 8;  // the whole workload stays one chain
+  auto wal = DurableJournal::Create(s, path, opts);
+  RunWorkload(s);  // 4 txns => snapshots: full, delta, delta, delta
+  EXPECT_EQ(wal->snapshots_written(), 4u);
+  wal.reset();
+
+  int fulls = 0, deltas = 0;
+  for (const WalFrame& f : ScanWal(path).frames) {
+    if (f.type == FrameType::kSnapshot) ++fulls;
+    if (f.type == FrameType::kDeltaSnapshot) ++deltas;
+  }
+  EXPECT_EQ(fulls, 1);
+  EXPECT_EQ(deltas, 3);
+
+  // Recovery rebuilds the newest image by applying the chain to the full
+  // base, then replays nothing (the last snapshot covers everything).
+  RecoverResult r = Session::Recover(path);
+  EXPECT_TRUE(r.report.used_snapshot);
+  EXPECT_EQ(r.report.snapshot_txns, 4u);
+  EXPECT_EQ(r.report.snapshot_deltas, 3u);
+  EXPECT_EQ(r.report.txns_replayed, 0u);
+  EXPECT_TRUE(r.report.validator_ok);
+  ExpectEquivalent(s, *r.session, "delta-chain recovery");
+
+  // The recovered session keeps working.
+  ASSERT_TRUE(s.ApplyFirst(TransformKind::kCtp).has_value());
+  ASSERT_TRUE(r.session->ApplyFirst(TransformKind::kCtp).has_value());
+  ExpectEquivalent(s, *r.session, "continued after delta recovery");
+}
+
+TEST_F(Durable, FullSnapshotCadenceBoundsTheChain) {
+  const std::string path = TmpPath("delta_cadence");
+  Session s(Parse(kSource));
+  PersistOptions opts;
+  opts.snapshot_interval = 1;
+  opts.delta_snapshots = true;
+  opts.full_snapshot_every = 3;  // full, delta, delta, full
+  auto wal = DurableJournal::Create(s, path, opts);
+  RunWorkload(s);
+  wal.reset();
+
+  std::vector<FrameType> snapshots;
+  for (const WalFrame& f : ScanWal(path).frames) {
+    if (f.type == FrameType::kSnapshot || f.type == FrameType::kDeltaSnapshot) {
+      snapshots.push_back(f.type);
+    }
+  }
+  const std::vector<FrameType> expected = {
+      FrameType::kSnapshot, FrameType::kDeltaSnapshot,
+      FrameType::kDeltaSnapshot, FrameType::kSnapshot};
+  EXPECT_EQ(snapshots, expected);
+
+  RecoverResult r = Session::Recover(path);
+  EXPECT_EQ(r.report.snapshot_deltas, 0u);  // the last snapshot is full
+  ExpectEquivalent(s, *r.session, "bounded-chain recovery");
+}
+
+TEST_F(Durable, ACorruptDeltaFallsBackToAnOlderSnapshot) {
+  const std::string path = TmpPath("delta_corrupt");
+  Session s(Parse(kSource));
+  PersistOptions opts;
+  opts.snapshot_interval = 1;
+  opts.delta_snapshots = true;
+  opts.full_snapshot_every = 8;
+  auto wal = DurableJournal::Create(s, path, opts);
+  RunWorkload(s);
+  wal.reset();
+
+  // Replace the last delta's payload with garbage that still scans as a
+  // valid frame: recovery must reject it when the delta fails to apply and
+  // fall back to the previous snapshot in the chain plus replay.
+  const WalScanResult scan = ScanWal(path);
+  std::size_t last_delta = 0;
+  for (std::size_t i = 0; i < scan.frames.size(); ++i) {
+    if (scan.frames[i].type == FrameType::kDeltaSnapshot) last_delta = i;
+  }
+  ASSERT_GT(last_delta, 0u);
+  RewriteFrame(path, last_delta, FrameType::kDeltaSnapshot,
+               EncodeSnapshotBody(4, "garbage, not a delta"));
+
+  RecoverResult r = Session::Recover(path);
+  EXPECT_TRUE(r.report.used_snapshot);
+  EXPECT_EQ(r.report.snapshot_txns, 3u);  // the delta before the corrupt one
+  EXPECT_EQ(r.report.snapshot_deltas, 2u);
+  EXPECT_EQ(r.report.txns_replayed, 1u);
+  EXPECT_TRUE(r.report.validator_ok);
+  ASSERT_FALSE(r.report.errors.empty());
+  EXPECT_NE(r.report.errors[0].find("snapshot frame ignored"),
+            std::string::npos);
+  ExpectEquivalent(s, *r.session, "fallback past a corrupt delta");
+}
+
+// Regression: a snapshot frame whose `txns <count>` prefix claims to cover
+// more transactions than the journal holds used to make recovery skip ALL
+// replay (skip_txns > txns_in_journal) with the digest never re-verified.
+// Such a frame is corrupt evidence and must be ignored.
+TEST_F(Durable, ASnapshotClaimingMoreTxnsThanTheJournalIsIgnored) {
+  const std::string path = TmpPath("inflated_count");
+  Session s(Parse(kSource));
+  PersistOptions opts;
+  opts.snapshot_interval = 3;
+  auto wal = DurableJournal::Create(s, path, opts);
+  RunWorkload(s);  // genesis, 3 txns, snapshot (covering 3), 1 txn
+  wal.reset();
+
+  const WalScanResult scan = ScanWal(path);
+  std::size_t snap = 0;
+  for (std::size_t i = 0; i < scan.frames.size(); ++i) {
+    if (scan.frames[i].type == FrameType::kSnapshot) snap = i;
+  }
+  ASSERT_GT(snap, 0u);
+  const SnapshotBody body = DecodeSnapshotBody(scan.frames[snap].body);
+  ASSERT_EQ(body.txns, 3u);
+  RewriteFrame(path, snap, FrameType::kSnapshot,
+               EncodeSnapshotBody(99, body.payload));
+
+  RecoverResult r = Session::Recover(path);
+  EXPECT_FALSE(r.report.used_snapshot);
+  EXPECT_EQ(r.report.txns_replayed, 4u);  // full replay from genesis
+  EXPECT_TRUE(r.report.validator_ok);
+  ASSERT_FALSE(r.report.errors.empty());
+  EXPECT_NE(r.report.errors[0].find("claims"), std::string::npos);
+  ExpectEquivalent(s, *r.session, "inflated snapshot count");
+}
+
+// Reattach computes its snapshot cadence from the last USABLE snapshot: a
+// corrupt trailing snapshot frame must not defer the next snapshot a full
+// interval beyond what recovery would actually use.
+TEST_F(Durable, ReattachIgnoresACorruptTrailingSnapshot) {
+  const std::string path = TmpPath("reattach_corrupt_snap");
+  Session s(Parse(kSource));
+  PersistOptions opts;
+  opts.snapshot_interval = 3;
+  {
+    auto wal = DurableJournal::Create(s, path, opts);
+    ASSERT_TRUE(s.ApplyFirst(TransformKind::kCfo).has_value());
+    ASSERT_TRUE(s.ApplyFirst(TransformKind::kCtp).has_value());
+    ASSERT_TRUE(s.ApplyFirst(TransformKind::kDce).has_value());
+    EXPECT_EQ(wal->snapshots_written(), 1u);
+  }
+  // Corrupt the trailing snapshot's image (the frame still scans).
+  const WalScanResult scan = ScanWal(path);
+  ASSERT_EQ(scan.frames.back().type, FrameType::kSnapshot);
+  RewriteFrame(path, scan.frames.size() - 1, FrameType::kSnapshot,
+               EncodeSnapshotBody(3, "garbage, not an image"));
+
+  auto wal = DurableJournal::Reattach(s, path, opts);
+  // snapshots_written() counts snapshot-typed frames, corrupt or not.
+  EXPECT_EQ(wal->snapshots_written(), 1u);
+  // All 3 txns are uncovered by any usable snapshot, so the very next
+  // commit re-snapshots instead of waiting out a fresh interval.
+  s.editor().AddStmt(MakeWrite(MakeIntConst(7)), nullptr, BodyKind::kMain, 0);
+  EXPECT_EQ(wal->snapshots_written(), 2u);
+  wal.reset();
+
+  RecoverResult r = Session::Recover(path);
+  EXPECT_TRUE(r.report.used_snapshot);
+  EXPECT_EQ(r.report.snapshot_txns, 4u);  // the fresh snapshot, not the bad one
+  ExpectEquivalent(s, *r.session, "after reattach over a corrupt snapshot");
+}
+
+// --- compaction ---
+
+TEST_F(Durable, CompactionShrinksTheJournalAndStaysRecoverable) {
+  const std::string path = TmpPath("compact");
+  const std::string full_path = TmpPath("compact_baseline");
+  PersistOptions opts;
+  opts.snapshot_interval = 2;
+  opts.compact = true;  // compact_min_bytes = 0: after every full snapshot
+
+  Session s(Parse(kSource));
+  auto wal = DurableJournal::Create(s, path, opts);
+  // The baseline journal: same workload, no compaction.
+  Session baseline(Parse(kSource));
+  PersistOptions full_opts = opts;
+  full_opts.compact = false;
+  auto full_wal = DurableJournal::Create(baseline, full_path, full_opts);
+  RunWorkload(s);
+  RunWorkload(baseline);
+  EXPECT_EQ(wal->compactions(), 2u);  // after the snapshots at txn 2 and 4
+  EXPECT_LT(wal->journal_bytes(), full_wal->journal_bytes());
+  wal.reset();
+  full_wal.reset();
+
+  // The compacted file is genesis + the rebased snapshot, nothing else.
+  const WalScanResult scan = ScanWal(path);
+  ASSERT_EQ(scan.frames.size(), 2u);
+  EXPECT_EQ(scan.frames[0].type, FrameType::kGenesis);
+  EXPECT_EQ(scan.frames[1].type, FrameType::kSnapshot);
+  EXPECT_EQ(DecodeSnapshotBody(scan.frames[1].body).txns, 0u);
+
+  RecoverResult r = Session::Recover(path);
+  EXPECT_TRUE(r.report.used_snapshot);
+  EXPECT_EQ(r.report.txns_replayed, 0u);
+  EXPECT_TRUE(r.report.validator_ok);
+  ExpectEquivalent(s, *r.session, "recovery after compaction");
+
+  // Reattach continues the compacted file and keeps compacting.
+  auto again = DurableJournal::Reattach(s, path, opts);
+  ASSERT_TRUE(s.ApplyFirst(TransformKind::kCtp).has_value());
+  s.UndoLast();
+  EXPECT_EQ(again->compactions(), 1u);
+  again.reset();
+  RecoverResult r2 = Session::Recover(path);
+  EXPECT_TRUE(r2.report.validator_ok);
+  ExpectEquivalent(s, *r2.session, "recovery after reattach + compaction");
+}
+
+TEST_F(Durable, ExplicitCompactKeepsTheUncoveredTail) {
+  const std::string path = TmpPath("compact_tail");
+  Session s(Parse(kSource));
+  PersistOptions opts;
+  opts.snapshot_interval = 3;  // snapshot after txn 3; txn 4 is the tail
+  auto wal = DurableJournal::Create(s, path, opts);
+  RunWorkload(s);
+  EXPECT_EQ(wal->compactions(), 0u);
+  wal->Compact();
+  EXPECT_EQ(wal->compactions(), 1u);
+  EXPECT_EQ(wal->txns_written(), 1u);  // rebased: only the tail txn remains
+  wal.reset();
+
+  const WalScanResult scan = ScanWal(path);
+  ASSERT_EQ(scan.frames.size(), 3u);
+  EXPECT_EQ(scan.frames[0].type, FrameType::kGenesis);
+  EXPECT_EQ(scan.frames[1].type, FrameType::kSnapshot);
+  EXPECT_EQ(scan.frames[2].type, FrameType::kTxn);
+  EXPECT_EQ(DecodeSnapshotBody(scan.frames[1].body).txns, 0u);
+
+  RecoverResult r = Session::Recover(path);
+  EXPECT_TRUE(r.report.used_snapshot);
+  EXPECT_EQ(r.report.txns_replayed, 1u);
+  EXPECT_TRUE(r.report.validator_ok);
+  ExpectEquivalent(s, *r.session, "compacted journal with a tail");
+}
+
+TEST_F(Durable, StaleCompactionTmpIsCleanedUp) {
+  const std::string path = TmpPath("stale_tmp");
+  const std::string tmp = path + ".compact";
+  Session s(Parse(kSource));
+  { auto wal = DurableJournal::Create(s, path); RunWorkload(s); }
+
+  // A crash between writing <path>.compact and the rename leaves the tmp
+  // behind; both recovery and reattach must discard it.
+  WriteFileBytes(tmp, "leftover from a dead compaction");
+  Session::Recover(path);
+  EXPECT_FALSE(std::filesystem::exists(tmp));
+
+  WriteFileBytes(tmp, "leftover from a dead compaction");
+  DurableJournal::Reattach(s, path).reset();
+  EXPECT_FALSE(std::filesystem::exists(tmp));
 }
 
 // --- recovery report goldens ---

@@ -15,6 +15,7 @@
 // rollback — is a bug.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <cstdlib>
@@ -26,6 +27,7 @@
 
 #include "pivot/core/session.h"
 #include "pivot/ir/parser.h"
+#include "pivot/persist/wal.h"
 #include "pivot/server/protocol.h"
 #include "pivot/server/server.h"
 #include "pivot/support/fault_injector.h"
@@ -48,10 +50,12 @@ std::string FreshDir(const std::string& name) {
   return dir;
 }
 
-ServerOptions Opts(const std::string& dir) {
+ServerOptions Opts(const std::string& dir,
+                   std::uint64_t gwal_compact_bytes = 0) {
   ServerOptions o;
   o.data_dir = dir;
   o.snapshot_interval = 2;  // cross the snapshot fault points mid-schedule
+  o.gwal_compact_bytes = gwal_compact_bytes;
   return o;
 }
 
@@ -180,9 +184,18 @@ void CheckRecoveredSession(PivotServer& server, int session,
 // Crashes the schedule at crossing `countdown` of `point`, restarts the
 // server over the same directory, recovers both sessions and checks them.
 // Returns false when the fault never fired (the sweep is exhausted).
-bool CrashRecoverCheck(const std::string& point, int countdown) {
+// A non-zero `gwal_compact_bytes` runs the gwal retention pass after every
+// request (the retention sweep's trigger): a retention crash fires after
+// the triggering operation was internally acknowledged, so the acked+1
+// allowance below covers it like any other post-commit point.
+bool CrashRecoverCheck(const std::string& point, int countdown,
+                       std::uint64_t gwal_compact_bytes = 0) {
   const std::string label = point + " #" + std::to_string(countdown);
-  const std::string dir = FreshDir("sweep");
+  // Per-point directory: ctest runs the sweep's points as parallel
+  // processes, and a shared directory races on remove_all.
+  std::string tag = point;
+  std::replace(tag.begin(), tag.end(), '.', '_');
+  const std::string dir = FreshDir("sweep_" + tag);
   const auto schedule = InterleavedSchedule();
 
   FaultInjector& injector = FaultInjector::Instance();
@@ -190,7 +203,7 @@ bool CrashRecoverCheck(const std::string& point, int countdown) {
   std::size_t steps_done = 0;
   bool crashed = false;
   {
-    PivotServer server(Opts(dir));
+    PivotServer server(Opts(dir, gwal_compact_bytes));
     injector.Arm(point, countdown);
     try {
       for (const auto& [session, what] : schedule) {
@@ -214,7 +227,17 @@ bool CrashRecoverCheck(const std::string& point, int countdown) {
   // The interrupted operation belongs to the first un-acked schedule step.
   const int crash_session = schedule[steps_done].first;
 
-  PivotServer server(Opts(dir));
+  if (gwal_compact_bytes > 0) {
+    // Retention's no-hybrid contract: every compaction point fires with
+    // the log's frames fully durable, so whatever the crash byte, the
+    // shared log must be the complete old file or the complete new one.
+    const WalScanResult scan = ScanWal(dir + "/server.gwal");
+    EXPECT_TRUE(scan.header_ok) << label;
+    EXPECT_TRUE(scan.truncation_reason.empty())
+        << label << ": hybrid group log (" << scan.truncation_reason << ")";
+  }
+
+  PivotServer server(Opts(dir, gwal_compact_bytes));
   for (int session = 0; session < 2; ++session) {
     CheckRecoveredSession(server, session,
                           acked[static_cast<std::size_t>(session)],
@@ -259,6 +282,50 @@ INSTANTIATE_TEST_SUITE_P(
         // Post-ack snapshot frames on the session WAL.
         "server.swal.snapshot.header.post", "server.swal.snapshot.mid",
         "server.swal.snapshot.post"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '.') c = '_';
+      }
+      return name;
+    });
+
+// The gwal retention sweep: with the auto-compaction threshold at one
+// byte, every request past the first triggers a retention pass, so the
+// schedule crosses each server.gwal.compact.* point repeatedly — tearing
+// the rewritten tmp, crashing around the rename, failing the reopen. The
+// acked-prefix contract is identical to the main sweep; on top of it the
+// shared log must never be left hybrid (checked inside CrashRecoverCheck).
+class GwalRetentionCrashSweep : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override { FaultInjector::Instance().Reset(); }
+  void TearDown() override { FaultInjector::Instance().Reset(); }
+};
+
+TEST_P(GwalRetentionCrashSweep, EveryCrossingKeepsEveryAckedCommit) {
+  const std::string point = GetParam();
+  int crossings = 0;
+  for (int countdown = 1; countdown < 200; ++countdown) {
+    if (!CrashRecoverCheck(point, countdown, /*gwal_compact_bytes=*/1)) break;
+    ++crossings;
+    if (HasFatalFailure()) return;
+  }
+  EXPECT_GT(crossings, 0) << "fault point " << point
+                          << " was never crossed by the schedule";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GwalRetentionPoints, GwalRetentionCrashSweep,
+    ::testing::Values("server.gwal.compact.pre",
+                      "server.gwal.compact.mark.header.post",
+                      "server.gwal.compact.mark.mid",
+                      "server.gwal.compact.mark.post",
+                      "server.gwal.compact.frame.header.post",
+                      "server.gwal.compact.frame.mid",
+                      "server.gwal.compact.frame.post",
+                      "server.gwal.compact.tmp.synced",
+                      "server.gwal.compact.rename.pre",
+                      "server.gwal.compact.rename.post"),
     [](const ::testing::TestParamInfo<const char*>& info) {
       std::string name = info.param;
       for (char& c : name) {

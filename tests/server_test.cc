@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -577,6 +578,35 @@ TEST_F(ServerTest, DrainUnderConcurrentLoadLosesNoAckedCommit) {
   EXPECT_GE(replayed, static_cast<std::uint64_t>(acked.load()));
 }
 
+// Regression: Drain used to report "drained" once the queue was empty,
+// while the worker could still hold an in-flight batch whose group fsync
+// had not returned — letting the process exit with acknowledged-to-be-
+// written frames not yet durable. Slow the fsync down with transient
+// faults (the WAL layer's retry loop backs off exponentially, so 15 of a
+// 16-attempt budget pins the worker mid-sync for tens of milliseconds)
+// and drain straight into that window.
+TEST_F(ServerTest, DrainWaitsOutAnInFlightBatchMidFsync) {
+  const std::string dir = FreshDir("drain_inflight");
+  std::filesystem::create_directories(dir);
+  GroupCommitLog log(dir + "/g.gwal", /*create=*/true, GroupCommitOptions{},
+                     nullptr);
+  FaultInjector::Instance().ArmTransient("wal.fsync.transient", 15);
+  std::thread committer([&log] {
+    log.Commit("s", FrameType::kTxn, "the final batch");
+  });
+  // Let the worker swap the frame out of the queue into its batch.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  log.Drain();
+  // Drained means durable: the batch was appended AND group-fsynced before
+  // Drain returned, not merely dequeued.
+  const GroupCommitStats stats = log.stats();
+  EXPECT_EQ(stats.frames, 1u);
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_GE(stats.fsyncs, 1u);
+  committer.join();
+  EXPECT_EQ(log.failure(), GroupCommitLog::Failure::kNone);
+}
+
 TEST_F(ServerTest, CommitRacingDrainIsShuttingDownNotDegraded) {
   const std::string dir = FreshDir("drain_race");
   std::filesystem::create_directories(dir);
@@ -590,6 +620,113 @@ TEST_F(ServerTest, CommitRacingDrainIsShuttingDownNotDegraded) {
   EXPECT_THROW(log.Commit("s", FrameType::kTxn, "late"),
                ServerShuttingDownError);
   EXPECT_EQ(log.failure(), GroupCommitLog::Failure::kNone);
+}
+
+// ---------------------------------------------------------------------------
+// gwal retention
+// ---------------------------------------------------------------------------
+
+TEST_F(ServerTest, CompactDropsCoveredGroupFramesAndSurvivesRestart) {
+  const std::string dir = FreshDir("gwal_compact");
+  Session ref1(Parse(kSource));
+  Session ref2(Parse(kSource));
+  {
+    PivotServer server(Opts(dir));
+    for (const char* name : {"s1", "s2"}) {
+      Request open = Req(ServerOp::kOpen, name);
+      open.source = kSource;
+      ASSERT_EQ(server.Execute(open).status, StatusCode::kOk);
+    }
+    // Interleaved traffic: s1 applies and undoes, s2 only applies.
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_EQ(server.Execute(ApplyReq("s1", TransformKind::kCfo)).status,
+                StatusCode::kOk);
+      ASSERT_EQ(server.Execute(ApplyReq("s2", TransformKind::kCfo, 1)).status,
+                StatusCode::kOk);
+      ASSERT_EQ(server.Execute(Req(ServerOp::kUndoLast, "s1")).status,
+                StatusCode::kOk);
+      ASSERT_EQ(server.Execute(Req(ServerOp::kUndoLast, "s2")).status,
+                StatusCode::kOk);
+      ASSERT_TRUE(ref1.ApplyFirst(TransformKind::kCfo).has_value());
+      ref2.Apply(ref2.FindOpportunities(TransformKind::kCfo)[1]);
+      ref1.UndoLast();
+      ref2.UndoLast();
+    }
+
+    const std::uint64_t before =
+        std::filesystem::file_size(server.GroupWalPath());
+    const Response resp = server.Execute(Req(ServerOp::kCompact));
+    ASSERT_EQ(resp.status, StatusCode::kOk) << resp.error;
+    EXPECT_NE(resp.text.find("bytes after compaction"), std::string::npos);
+    const std::uint64_t after =
+        std::filesystem::file_size(server.GroupWalPath());
+    EXPECT_LT(after, before);
+    EXPECT_EQ(resp.value, after);
+    EXPECT_EQ(server.stats().group.compactions, 1u);
+
+    // Commits keep working after the pass; a second pass reclaims the new
+    // envelope too.
+    ASSERT_EQ(server.Execute(ApplyReq("s1", TransformKind::kCfo)).status,
+              StatusCode::kOk);
+    ASSERT_TRUE(ref1.ApplyFirst(TransformKind::kCfo).has_value());
+    ASSERT_EQ(server.Execute(Req(ServerOp::kCompact)).status, StatusCode::kOk);
+    EXPECT_EQ(server.stats().group.compactions, 2u);
+    server.Drain();
+  }
+
+  // Restart: reconciliation must accept the reclaimed (marked) prefix of
+  // each session WAL and recover every acknowledged commit.
+  PivotServer server(Opts(dir));
+  ASSERT_EQ(server.Execute(Req(ServerOp::kRecover, "s1")).status,
+            StatusCode::kOk);
+  ASSERT_EQ(server.Execute(Req(ServerOp::kRecover, "s2")).status,
+            StatusCode::kOk);
+  EXPECT_EQ(server.Execute(Req(ServerOp::kSource, "s1")).text, ref1.Source());
+  EXPECT_EQ(server.Execute(Req(ServerOp::kSource, "s2")).text, ref2.Source());
+  EXPECT_EQ(server.Execute(Req(ServerOp::kHistory, "s1")).text,
+            ref1.HistoryToString());
+  EXPECT_EQ(server.Execute(Req(ServerOp::kHistory, "s2")).text,
+            ref2.HistoryToString());
+}
+
+TEST_F(ServerTest, AutoCompactionBoundsTheGroupLog) {
+  const std::string dir = FreshDir("gwal_auto");
+  Session ref(Parse(kSource));
+  std::uint64_t peak = 0;
+  {
+    ServerOptions options = Opts(dir);
+    options.gwal_compact_bytes = 2048;
+    PivotServer server(std::move(options));
+    Request open = Req(ServerOp::kOpen, "s1");
+    open.source = kSource;
+    ASSERT_EQ(server.Execute(open).status, StatusCode::kOk);
+    for (int i = 0; i < 40; ++i) {
+      const bool undo = i % 2 == 1;
+      const Response r =
+          undo ? server.Execute(Req(ServerOp::kUndoLast, "s1"))
+               : server.Execute(ApplyReq("s1", TransformKind::kCfo));
+      ASSERT_EQ(r.status, StatusCode::kOk) << "step " << i << ": " << r.error;
+      if (undo) {
+        ref.UndoLast();
+      } else {
+        ASSERT_TRUE(ref.ApplyFirst(TransformKind::kCfo).has_value());
+      }
+      peak = std::max(peak,
+                      std::filesystem::file_size(server.GroupWalPath()));
+    }
+    EXPECT_GE(server.stats().group.compactions, 1u);
+    // Threshold + one envelope bounds the log; without retention these 40
+    // commits would pile up far beyond it.
+    EXPECT_LT(peak, 3072u);
+    server.Drain();
+  }
+
+  PivotServer server(Opts(dir));
+  ASSERT_EQ(server.Execute(Req(ServerOp::kRecover, "s1")).status,
+            StatusCode::kOk);
+  EXPECT_EQ(server.Execute(Req(ServerOp::kSource, "s1")).text, ref.Source());
+  EXPECT_EQ(server.Execute(Req(ServerOp::kHistory, "s1")).text,
+            ref.HistoryToString());
 }
 
 TEST_F(ServerTest, FailedOpenLeavesNoStaleJournal) {
