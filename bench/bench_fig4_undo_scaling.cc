@@ -263,12 +263,14 @@ void PrintAblationTable() {
 // Returns false when the two engines diverge or (outside smoke mode)
 // the 200+-record speedup falls below the 3x acceptance floor.
 //
-// The clusters are nested (one loop per cluster) rather than flat: a
-// restored top-level statement's affected region names its parent block,
-// and at top level that block is the whole program — a region no index
-// can prune. Loop-nested clusters keep each undo's region (and thus the
-// planner's bucket hits) cluster-local, which is the regime the index
-// targets.
+// The A/B runs twice, over nested clusters (one loop per cluster) and
+// over the flat top-level ClusterSource. The flat rows regression-pin
+// the top-level-Delete region fix: restored top-level statements used to
+// derive their region from the parent block — at top level the whole
+// program, which no index can prune — so the planner degenerated to a
+// linear scan exactly on flat programs. Regions of top-level sites are
+// now anchored to the touched statement's predecessor/successor
+// neighborhood instead, keeping flat undos cluster-local too.
 std::string NestedClusterSource(int clusters) {
   std::ostringstream os;
   for (int k = 0; k < clusters; ++k) {
@@ -281,7 +283,7 @@ std::string NestedClusterSource(int clusters) {
   return os.str();
 }
 
-bool PrintPlannerTable(BenchJson& json) {
+bool PrintPlannerTable(BenchJson& json, bool flat) {
   const int kRepeats = BenchSmokeMode() ? 1 : 5;
   const std::vector<int> sizes =
       BenchSmokeMode() ? std::vector<int>{8} : std::vector<int>{16, 32, 70};
@@ -291,7 +293,8 @@ bool PrintPlannerTable(BenchJson& json) {
                    "candidates (lin/plan)", "rebuilds (lin/plan)",
                    "identical"});
   for (int clusters : sizes) {
-    const std::string src = NestedClusterSource(clusters);
+    const std::string src =
+        flat ? ClusterSource(clusters) : NestedClusterSource(clusters);
     const int num_chains = clusters < 8 ? clusters : 8;
     const int num_targets = 3 * num_chains;
     const auto chain_stamps = [num_chains](const Applied& applied) {
@@ -370,7 +373,7 @@ bool PrintPlannerTable(BenchJson& json) {
                       std::to_string(planner_stats.analysis_rebuilds),
                   identical ? "yes" : "NO"});
     json.Row()
-        .Str("experiment", "planner_ab")
+        .Str("experiment", flat ? "planner_ab_flat" : "planner_ab")
         .Int("clusters", static_cast<std::uint64_t>(clusters))
         .Int("records", static_cast<std::uint64_t>(3 * clusters))
         .Int("targets", static_cast<std::uint64_t>(num_targets))
@@ -388,7 +391,8 @@ bool PrintPlannerTable(BenchJson& json) {
         .Int("planner_rebuilds", planner_stats.analysis_rebuilds / kRepeats)
         .Str("identical", identical ? "yes" : "no");
   }
-  std::cout << "== planner A/B: revert the 8 earliest chains, indexed batch "
+  std::cout << "== planner A/B (" << (flat ? "flat top-level" : "nested")
+            << " clusters): revert the 8 earliest chains, indexed batch "
                "vs seed linear (mean of " << kRepeats << " runs) ==\n"
             << table.Render() << '\n';
   return ok;
@@ -490,7 +494,8 @@ int main(int argc, char** argv) {
   pivot::PrintScalingTable(json);
   pivot::PrintIncrementalTable(json);
   pivot::PrintAblationTable();
-  const bool planner_ok = pivot::PrintPlannerTable(json);
+  const bool planner_ok = pivot::PrintPlannerTable(json, /*flat=*/false) &&
+                          pivot::PrintPlannerTable(json, /*flat=*/true);
   const std::string path = json.WriteFile();
   if (!path.empty()) std::cout << "wrote " << path << '\n';
   if (pivot::BenchSmokeMode()) return planner_ok ? 0 : 1;

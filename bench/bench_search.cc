@@ -1,0 +1,299 @@
+// Search workload benchmark: undo as the backtracking path of a
+// STOKE-style auto-parallelizer (DESIGN.md §14).
+//
+// Three experiments, all over seeded random programs:
+//
+//   * trajectory  — greedy vs anneal cost trajectories: proposals/sec,
+//                   accept rate, parallel loops exposed, apply:undo ratio.
+//   * reject A/B  — the same deterministic anneal run against a session
+//                   with the region index on (default) vs off (seed
+//                   linear scans). The searcher rejects most proposals,
+//                   so the reject path *is* the workload; outside smoke
+//                   mode the run fails unless indexed rejects stay >= 3x
+//                   cheaper per reject than linear ones.
+//   * soak        — many seeded programs, 100k proposals total (smoke: a
+//                   token sweep), each run checked against the
+//                   accepted-prefix oracle (structural + semantic
+//                   equivalence to replaying only the surviving accepted
+//                   steps). Any deviation fails the binary.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "pivot/core/session.h"
+#include "pivot/ir/parser.h"
+#include "pivot/ir/printer.h"
+#include "pivot/ir/random_program.h"
+#include "pivot/search/searcher.h"
+#include "pivot/support/benchjson.h"
+#include "pivot/support/table.h"
+
+namespace pivot {
+namespace {
+
+// `name_pools` widens the scalar/array name universe. The region index
+// prunes candidates through per-name buckets, so a program written with
+// six scalars total degenerates every bucket to ~the whole history and
+// the index decays to a (slower) linear scan. The default pools stay
+// small for the trajectory/soak experiments (harder programs for the
+// searcher); the reject A/B uses diverse names — the regime the index
+// exists for, and the honest analogue of real code.
+std::string SearchProgram(std::uint64_t seed, int target_stmts,
+                          int name_pools = 0) {
+  RandomProgramOptions gen;
+  gen.seed = seed;
+  gen.target_stmts = target_stmts;
+  if (name_pools > 0) {
+    gen.num_scalars = name_pools;
+    gen.num_arrays = name_pools / 3;
+  }
+  return ToSource(GenerateRandomProgram(gen));
+}
+
+struct TimedRun {
+  SearchResult result;
+  double wall_ms = 0;
+};
+
+TimedRun RunSearch(Session& session, const SearchOptions& options) {
+  TimedRun run;
+  Searcher searcher(session, options);
+  const auto t0 = std::chrono::steady_clock::now();
+  run.result = searcher.Run();
+  const auto t1 = std::chrono::steady_clock::now();
+  run.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  return run;
+}
+
+double PerRejectNs(const SearchStats& st) {
+  return st.rejected > 0
+             ? static_cast<double>(st.undo_ns) / static_cast<double>(st.rejected)
+             : 0.0;
+}
+
+std::string Fmt(double value, int precision = 2) {
+  std::ostringstream os;
+  os.precision(precision);
+  os << std::fixed << value;
+  return os.str();
+}
+
+// --- greedy vs anneal trajectories ----------------------------------------
+
+void PrintTrajectoryTable(BenchJson& json) {
+  const int budget = BenchSmokeMode() ? 150 : 2000;
+  const int stmts = BenchSmokeMode() ? 40 : 80;
+  TextTable table({"seed", "mode", "proposals", "accepted", "score0",
+                   "score", "par0", "par", "proposals/s", "apply:undo"});
+  for (std::uint64_t seed : {7u, 21u}) {
+    const std::string src = SearchProgram(seed, stmts);
+    for (SearchMode mode : {SearchMode::kGreedy, SearchMode::kAnneal}) {
+      SearchOptions options;
+      options.mode = mode;
+      options.budget = budget;
+      options.seed = seed;
+      Session session(Parse(src));
+      const TimedRun run = RunSearch(session, options);
+      const SearchStats& st = run.result.stats;
+      const double per_sec =
+          run.wall_ms > 0 ? 1000.0 * static_cast<double>(st.proposals) /
+                                run.wall_ms
+                          : 0;
+      const double ratio =
+          st.undo_ns > 0 ? static_cast<double>(st.apply_ns) /
+                               static_cast<double>(st.undo_ns)
+                         : 0;
+      table.AddRow(
+          {std::to_string(seed), SearchModeName(mode),
+           std::to_string(st.proposals), std::to_string(st.accepted),
+           Fmt(run.result.initial_cost.score, 1),
+           Fmt(run.result.final_cost.score, 1),
+           std::to_string(run.result.initial_cost.parallel_loops) + "/" +
+               std::to_string(run.result.initial_cost.total_loops),
+           std::to_string(run.result.final_cost.parallel_loops) + "/" +
+               std::to_string(run.result.final_cost.total_loops),
+           Fmt(per_sec, 0), Fmt(ratio)});
+      json.Row()
+          .Str("experiment", "trajectory")
+          .Int("seed", seed)
+          .Str("mode", SearchModeName(mode))
+          .Int("proposals", st.proposals)
+          .Int("accepted", st.accepted)
+          .Int("rejected", st.rejected)
+          .Num("initial_score", run.result.initial_cost.score)
+          .Num("final_score", run.result.final_cost.score)
+          .Int("initial_parallel",
+               static_cast<std::uint64_t>(
+                   run.result.initial_cost.parallel_loops))
+          .Int("final_parallel",
+               static_cast<std::uint64_t>(run.result.final_cost.parallel_loops))
+          .Num("proposals_per_sec", per_sec)
+          .Num("apply_undo_ratio", ratio);
+    }
+  }
+  std::cout << "== search trajectories: greedy vs anneal (budget "
+            << budget << ") ==\n"
+            << table.Render() << '\n';
+}
+
+// --- reject-path A/B: region index on vs off ------------------------------
+
+// Both sessions see the identical proposal sequence (same seed, and undo
+// semantics do not depend on the planner), so per-reject undo cost is
+// directly comparable. Returns false when the runs diverge or the indexed
+// reject path loses its >= 3x edge (full mode only). A reject undoes the
+// newest record, so the optimized planner resolves it as LIFO rollback —
+// O(inverse actions) — while the paper-verbatim baseline pays the
+// full-history affected scan, the restored-site safety checks, and their
+// analysis windows on every reject; the gap is the price of using undo
+// as a backtracking primitive at all.
+bool PrintRejectAb(BenchJson& json) {
+  const int budget = BenchSmokeMode() ? 100 : 3000;
+  const int stmts = BenchSmokeMode() ? 60 : 150;
+  bool ok = true;
+  TextTable table({"seed", "rejects", "history", "linear: us/reject",
+                   "indexed: us/reject", "speedup", "identical"});
+  for (std::uint64_t seed : {7u, 21u}) {
+    SearchOptions options;
+    options.mode = SearchMode::kAnneal;
+    options.budget = budget;
+    options.seed = seed;
+    const std::string src = SearchProgram(seed, stmts, /*name_pools=*/48);
+
+    UndoOptions linear;
+    linear.indexed = false;
+    Session linear_session(Parse(src), linear);
+    const TimedRun linear_run = RunSearch(linear_session, options);
+
+    Session indexed_session(Parse(src));  // indexed planner is the default
+    const TimedRun indexed_run = RunSearch(indexed_session, options);
+
+    const bool identical =
+        linear_session.Source() == indexed_session.Source() &&
+        linear_run.result.steps.size() == indexed_run.result.steps.size();
+    ok = ok && identical;
+    const double linear_ns = PerRejectNs(linear_run.result.stats);
+    const double indexed_ns = PerRejectNs(indexed_run.result.stats);
+    const double speedup = indexed_ns > 0 ? linear_ns / indexed_ns : 0;
+    if (!BenchSmokeMode() && speedup < 3.0) {
+      std::cerr << "FAIL: indexed reject path speedup " << speedup
+                << "x on seed " << seed << " is below the 3x floor\n";
+      ok = false;
+    }
+    const std::size_t history = indexed_session.history().records().size();
+    table.AddRow({std::to_string(seed),
+                  std::to_string(indexed_run.result.stats.rejected),
+                  std::to_string(history), Fmt(linear_ns / 1000.0),
+                  Fmt(indexed_ns / 1000.0), Fmt(speedup),
+                  identical ? "yes" : "NO"});
+    json.Row()
+        .Str("experiment", "reject_ab")
+        .Int("seed", seed)
+        .Int("rejects", indexed_run.result.stats.rejected)
+        .Int("history_records", static_cast<std::uint64_t>(history))
+        .Num("linear_ns_per_reject", linear_ns)
+        .Num("indexed_ns_per_reject", indexed_ns)
+        .Num("speedup", speedup)
+        .Str("identical", identical ? "yes" : "no");
+  }
+  std::cout << "== reject-path A/B: anneal with region index off vs on "
+               "(budget " << budget << ") ==\n"
+            << table.Render() << '\n';
+  return ok;
+}
+
+// --- oracle soak ----------------------------------------------------------
+
+// Accumulates proposals across seeded programs until the target is hit;
+// every program's run must pass the accepted-prefix oracle. The full run
+// is the acceptance soak: 100k proposals, zero deviations.
+bool PrintSoakTable(BenchJson& json) {
+  const std::uint64_t target = BenchSmokeMode() ? 200 : 100'000;
+  const int per_program_budget = BenchSmokeMode() ? 100 : 5000;
+  const int stmts = BenchSmokeMode() ? 40 : 60;
+  std::uint64_t proposals = 0, accepted = 0, rejected = 0, cascaded = 0;
+  int programs = 0, deviations = 0;
+  double wall_ms = 0;
+  std::uint64_t seed = 1;
+  while (proposals < target) {
+    const std::string src = SearchProgram(seed, stmts);
+    SearchOptions options;
+    options.mode = SearchMode::kAnneal;
+    options.budget = per_program_budget;
+    options.seed = seed;
+    Session session(Parse(src));
+    const Program original = session.program().Clone();
+    const TimedRun run = RunSearch(session, options);
+    const std::string deviation =
+        VerifyAcceptedPrefix(original, run.result.steps, session);
+    if (!deviation.empty()) {
+      ++deviations;
+      std::cerr << "SOAK DEVIATION (seed " << seed << "):\n"
+                << deviation << "\n";
+    }
+    proposals += run.result.stats.proposals;
+    accepted += run.result.stats.accepted;
+    rejected += run.result.stats.rejected;
+    cascaded += run.result.stats.cascaded_records;
+    wall_ms += run.wall_ms;
+    ++programs;
+    ++seed;
+  }
+  std::cout << "== oracle soak: " << proposals << " proposals over "
+            << programs << " programs ==\n"
+            << "accepted=" << accepted << " rejected=" << rejected
+            << " cascaded=" << cascaded << " deviations=" << deviations
+            << " wall=" << Fmt(wall_ms / 1000.0) << "s\n\n";
+  json.Row()
+      .Str("experiment", "soak")
+      .Int("proposals", proposals)
+      .Int("programs", static_cast<std::uint64_t>(programs))
+      .Int("accepted", accepted)
+      .Int("rejected", rejected)
+      .Int("cascaded", cascaded)
+      .Int("deviations", static_cast<std::uint64_t>(deviations))
+      .Num("wall_ms", wall_ms);
+  if (deviations != 0) {
+    std::cerr << "FAIL: " << deviations
+              << " oracle deviations in the search soak\n";
+    return false;
+  }
+  return true;
+}
+
+// Timed proposal loop for google-benchmark runs (full mode only).
+void BM_ProposalLoop(benchmark::State& state) {
+  const std::string src = SearchProgram(7, 60);
+  SearchOptions options;
+  options.mode = state.range(0) != 0 ? SearchMode::kAnneal
+                                     : SearchMode::kGreedy;
+  options.budget = 500;
+  for (auto _ : state) {
+    Session session(Parse(src));
+    Searcher searcher(session, options);
+    benchmark::DoNotOptimize(searcher.Run().stats.proposals);
+  }
+  state.SetLabel(SearchModeName(options.mode));
+}
+BENCHMARK(BM_ProposalLoop)->Arg(0)->Arg(1)
+    ->Iterations(3)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pivot
+
+int main(int argc, char** argv) {
+  pivot::BenchJson json("search");
+  pivot::PrintTrajectoryTable(json);
+  const bool ab_ok = pivot::PrintRejectAb(json);
+  const bool soak_ok = pivot::PrintSoakTable(json);
+  const std::string path = json.WriteFile();
+  if (!path.empty()) std::cout << "wrote " << path << '\n';
+  if (pivot::BenchSmokeMode()) return ab_ok && soak_ok ? 0 : 1;
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return ab_ok && soak_ok ? 0 : 1;
+}

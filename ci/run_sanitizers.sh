@@ -44,6 +44,11 @@ ci/run_server_soak.sh "$BUILD_DIR"
 # ci/run_growth_soak.sh).
 ci/run_growth_soak.sh "$BUILD_DIR"
 
+# Search soak: seeded backtracking-search schedules whose accepted-prefix
+# oracle must hold under ASan — thousands of reject-by-undo rollbacks per
+# schedule, plus a trace replay per run (see ci/run_search_soak.sh).
+ci/run_search_soak.sh "$BUILD_DIR"
+
 echo "ASan+UBSan run complete"
 
 # ThreadSanitizer job: rebuild with -fsanitize=thread (ASan and TSan cannot

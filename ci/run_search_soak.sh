@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Search soak: long seeded pivot_search schedules under ASan+UBSan. Each
+# run drives the searcher (apply / score / reject-by-undo, DESIGN.md §14)
+# over a fuzz-generated program and then verifies the accepted-prefix
+# oracle: replaying only the accepted proposals on a fresh session must
+# reproduce the searched program byte-for-byte and semantically (the
+# paper's claim that an undone transformation is equivalent to never
+# applied — here exercised by thousands of backtracking rejects per
+# schedule, with the sanitizer watching the rollback path). Every run
+# also writes a trace and replays it, so the trace/replay/shrink triad
+# stays honest.
+#
+# Tuning knobs: PIVOT_SEARCH_SEEDS (count, default 6),
+# PIVOT_SEARCH_BUDGET (proposals per run, default 2000),
+# PIVOT_FUZZ_SEED (base seed, default 1).
+#
+# Meant to run inside the sanitizer job (ci/run_sanitizers.sh), reusing
+# its ASan build tree.
+#
+# Usage: ci/run_search_soak.sh [build-dir]    (default: build-asan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+
+export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1:strict_string_checks=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+
+cmake -B "$BUILD_DIR" -S . -DPIVOT_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target pivot_search_tool
+
+SEEDS="${PIVOT_SEARCH_SEEDS:-6}"
+BUDGET="${PIVOT_SEARCH_BUDGET:-2000}"
+BASE="${PIVOT_FUZZ_SEED:-1}"
+TRACE_DIR="$(mktemp -d)"
+trap 'rm -rf "$TRACE_DIR"' EXIT
+
+for ((i = 0; i < SEEDS; ++i)); do
+  seed=$((BASE + i))
+  for mode in greedy anneal; do
+    trace="$TRACE_DIR/search_${mode}_${seed}.trace"
+    echo "== search soak: seed $seed mode $mode budget $BUDGET =="
+    "$BUILD_DIR"/tools/pivot_search run --random "$seed" --mode "$mode" \
+        --budget "$BUDGET" --seed "$seed" --trace "$trace"
+    "$BUILD_DIR"/tools/pivot_search replay "$trace"
+  done
+done
+
+echo "search soak complete: $((SEEDS * 2)) schedules, accepted-prefix oracle clean"

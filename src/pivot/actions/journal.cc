@@ -299,7 +299,8 @@ bool Journal::TargetsInside(const ActionRecord& other,
 const ActionRecord* Journal::FindLaterTouch(const ActionRecord& rec,
                                             const Stmt& root) const {
   const ActionRecord* found = nullptr;
-  for (const ActionRecord& other : records_) {
+  for (auto it = LaterBegin(rec); it != records_.end(); ++it) {
+    const ActionRecord& other = *it;
     if (!IsLaterLive(rec, other)) continue;
     if (TargetsInside(other, root)) found = &other;  // keep the latest
   }
@@ -313,7 +314,8 @@ const ActionRecord* Journal::FindLocationClobber(const ActionRecord& rec,
   if (parent == nullptr) return nullptr;
 
   const ActionRecord* found = nullptr;
-  for (const ActionRecord& other : records_) {
+  for (auto it = LaterBegin(rec); it != records_.end(); ++it) {
+    const ActionRecord& other = *it;
     if (!IsLaterLive(rec, other)) continue;
     switch (other.kind) {
       case ActionKind::kDelete: {
@@ -354,7 +356,8 @@ InvertCheck Journal::CanInvert(ActionId action) const {
   auto find_live_detacher = [&](StmtId id) -> const ActionRecord* {
     const ActionRecord* found = nullptr;
     const Stmt* target = program_.FindStmt(id);
-    for (const ActionRecord& other : records_) {
+    for (auto it = LaterBegin(rec); it != records_.end(); ++it) {
+      const ActionRecord& other = *it;
       if (!IsLaterLive(rec, other)) continue;
       if (other.kind != ActionKind::kDelete || other.detached == nullptr) {
         continue;
@@ -417,7 +420,8 @@ InvertCheck Journal::CanInvert(ActionId action) const {
       // Relocated again, or duplicated, by a later transformation? Moving
       // the original back while clones remain (e.g. LUR copied the fused
       // body) would leave the copies inconsistent.
-      for (const ActionRecord& other : records_) {
+      for (auto it = LaterBegin(rec); it != records_.end(); ++it) {
+        const ActionRecord& other = *it;
         if (!IsLaterLive(rec, other)) continue;
         if (other.kind == ActionKind::kMove && other.stmt == rec.stmt) {
           return InvertCheck::Blocked(&other,
@@ -471,7 +475,8 @@ InvertCheck Journal::CanInvert(ActionId action) const {
             return InvertCheck::Blocked(holder, "the loop was deleted");
           }
         }
-        for (const ActionRecord& other : records_) {
+        for (auto it = LaterBegin(rec); it != records_.end(); ++it) {
+          const ActionRecord& other = *it;
           if (!IsLaterLive(rec, other)) continue;
           if (other.kind == ActionKind::kModify &&
               other.saved_header != nullptr && other.stmt == rec.stmt) {
@@ -493,7 +498,8 @@ InvertCheck Journal::CanInvert(ActionId action) const {
       if (node->owner == nullptr) {
         // Our replacement subtree was itself replaced by a later Modify.
         const ActionRecord* found = nullptr;
-        for (const ActionRecord& other : records_) {
+        for (auto it = LaterBegin(rec); it != records_.end(); ++it) {
+          const ActionRecord& other = *it;
           if (!IsLaterLive(rec, other)) continue;
           if (other.kind != ActionKind::kModify || other.replaced == nullptr) {
             continue;
@@ -516,7 +522,8 @@ InvertCheck Journal::CanInvert(ActionId action) const {
       }
       // A later copy of the owning statement duplicated the modified code;
       // inverting only the original would leave the clone transformed.
-      for (const ActionRecord& other : records_) {
+      for (auto it = LaterBegin(rec); it != records_.end(); ++it) {
+        const ActionRecord& other = *it;
         if (!IsLaterLive(rec, other)) continue;
         if (other.kind != ActionKind::kCopy) continue;
         const Stmt* src = program_.FindStmt(other.stmt);

@@ -192,6 +192,15 @@ class Journal {
   // Re-adds the annotations `rec` originally carried (rollback of Invert).
   void ReAnnotate(ActionRecord& rec);
   bool IsLaterLive(const ActionRecord& rec, const ActionRecord& other) const;
+  // First record strictly after `rec` in journal order — the only
+  // candidates IsLaterLive can accept. Ids are positional (records_[id-1]
+  // is the record itself), so the reversibility scans need never walk the
+  // prefix; for the newest transformation the later-suffix is empty and
+  // CanInvert is O(1), which is what keeps a search-style reject cheap.
+  std::deque<ActionRecord>::const_iterator LaterBegin(
+      const ActionRecord& rec) const {
+    return records_.begin() + static_cast<std::ptrdiff_t>(rec.id.value());
+  }
   // Target statement inside subtree test (by current tree shape).
   bool TargetsInside(const ActionRecord& other, const Stmt& root) const;
 

@@ -77,11 +77,30 @@ AffectedRegion AffectedRegion::FromInvertedActions(
     for (const Stmt* up = stmt->parent; up != nullptr; up = up->parent) {
       region.stmts_.insert(up->id);
     }
-    // Siblings in the touched body list (code positions shifted).
+    // Siblings in the touched body list (code positions shifted). Inside a
+    // nested body the whole list joins the region: bodies are small, and an
+    // enclosing loop's legality conditions read its body wholesale. The
+    // top-level body is different — it IS the program, so the blanket rule
+    // degenerated any top-level deletion's region to (essentially) the
+    // whole program and defeated the region index. The only positional
+    // facts a top-level slot change can disturb live in the slot's
+    // immediate neighbourhood (adjacency pre-patterns, restore anchors);
+    // statements further away keep their relative order, and any data-flow
+    // or dependence change necessarily involves a touched name, which the
+    // name set above already covers. So the top-level body contributes only
+    // the predecessor/successor neighbourhood of each touched statement.
     if (stmt->attached) {
-      for (const auto& sib :
-           program.BodyListOf(stmt->parent, stmt->parent_body)) {
-        region.stmts_.insert(sib->id);
+      const auto& body =
+          program.BodyListOf(stmt->parent, stmt->parent_body);
+      if (stmt->parent != nullptr) {
+        for (const auto& sib : body) region.stmts_.insert(sib->id);
+      } else {
+        for (std::size_t i = 0; i < body.size(); ++i) {
+          if (body[i].get() != stmt) continue;
+          if (i > 0) region.stmts_.insert(body[i - 1]->id);
+          if (i + 1 < body.size()) region.stmts_.insert(body[i + 1]->id);
+          break;
+        }
       }
     }
   }

@@ -47,15 +47,32 @@ void RegionIndex::OnProgramMutation(StmtId stmt, bool structural) {
 void RegionIndex::OnHistoryAdd(TransformRecord& rec) {
   Entry entry;
   entry.rec = &rec;
-  entry.dirty = true;  // footprint computed at first Sync, post-population
   entries_.push_back(std::move(entry));
+  // Footprint computed at first sync, post-population.
+  fresh_.push_back(static_cast<std::uint32_t>(entries_.size() - 1));
 }
 
 void RegionIndex::OnHistoryRewind(std::size_t new_size) {
+  const auto beyond = [new_size](std::uint32_t index) {
+    return index >= new_size;
+  };
+  fresh_.erase(std::remove_if(fresh_.begin(), fresh_.end(), beyond),
+               fresh_.end());
   while (entries_.size() > new_size) {
-    RemoveFromBuckets(static_cast<std::uint32_t>(entries_.size() - 1));
+    const std::uint32_t index =
+        static_cast<std::uint32_t>(entries_.size() - 1);
+    RemoveFromBuckets(index);
+    stale_names_.erase(index);
+    parked_.erase(index);
     entries_.pop_back();
   }
+  // A rewind is the tail end of a transaction rollback, which restores the
+  // undone flags of pre-existing records *before* this callback fires — the
+  // only way a parked record can come back to life. Send every parked entry
+  // back through the fresh list; the next sync re-indexes the resurrected
+  // ones and re-parks the rest.
+  fresh_.insert(fresh_.end(), parked_.begin(), parked_.end());
+  parked_.clear();
 }
 
 void RegionIndex::RemoveFromBuckets(std::uint32_t index) {
@@ -72,12 +89,19 @@ void RegionIndex::RemoveFromBuckets(std::uint32_t index) {
   entry.names.clear();
 }
 
-void RegionIndex::RefreshEntry(std::uint32_t index) {
+void RegionIndex::Park(std::uint32_t index) {
   RemoveFromBuckets(index);
+  stale_names_.erase(index);
+  parked_.insert(index);
+}
+
+void RegionIndex::ComputeRefs(std::uint32_t index) {
   Entry& entry = entries_[index];
   const TransformRecord& rec = *entry.rec;
 
   // Exactly the ids ContainsRecord / the restored-anchor check consult.
+  // All of them are frozen at record creation, so this runs once per
+  // entry lifetime (resurrection re-runs it on cleared vectors).
   std::unordered_set<StmtId> ids;
   auto add = [&ids](StmtId id) {
     if (id.valid()) ids.insert(id);
@@ -91,12 +115,23 @@ void RegionIndex::RefreshEntry(std::uint32_t index) {
     add(action.copy);
     add(action.expr_owner);
   }
-
-  std::unordered_set<std::string> names;
   entry.ref_ids.reserve(ids.size());
   for (const StmtId id : ids) {
     entry.ref_ids.push_back(id);
     by_ref_[id].push_back(index);
+  }
+}
+
+void RegionIndex::RefreshNames(std::uint32_t index) {
+  Entry& entry = entries_[index];
+  for (const std::string& name : entry.names) {
+    auto it = by_name_.find(name);
+    if (it != by_name_.end()) EraseFromBucket(it->second, index);
+  }
+  entry.names.clear();
+
+  std::unordered_set<std::string> names;
+  for (const StmtId id : entry.ref_ids) {
     // Detached statements resolve too (the registry keeps journal-owned
     // subtrees), mirroring the shared-name matching of detached payloads.
     const Stmt* stmt = program_.FindStmt(id);
@@ -107,12 +142,28 @@ void RegionIndex::RefreshEntry(std::uint32_t index) {
     entry.names.push_back(name);
     by_name_[name].push_back(index);
   }
-  entry.dirty = false;
+}
+
+void RegionIndex::SyncRefs() {
+  for (const std::uint32_t index : fresh_) {
+    if (entries_[index].rec->undone) {
+      // Dead on arrival — a proposal rejected before any query ran. Park
+      // without ever bucketing it; a rewind is the only path back.
+      parked_.insert(index);
+    } else {
+      ComputeRefs(index);
+      stale_names_.insert(index);
+    }
+  }
+  fresh_.clear();
 }
 
 void RegionIndex::Sync() {
+  SyncRefs();
   if (all_dirty_) {
-    for (Entry& entry : entries_) entry.dirty = true;
+    for (std::uint32_t i = 0; i < entries_.size(); ++i) {
+      if (parked_.count(i) == 0) stale_names_.insert(i);
+    }
     all_dirty_ = false;
   } else {
     // A mutation under a statement can grow the names of every indexed
@@ -124,15 +175,23 @@ void RegionIndex::Sync() {
       for (const Stmt* up = stmt; up != nullptr; up = up->parent) {
         auto it = by_ref_.find(up->id);
         if (it == by_ref_.end()) continue;
-        for (const std::uint32_t index : it->second) {
-          entries_[index].dirty = true;
-        }
+        stale_names_.insert(it->second.begin(), it->second.end());
       }
     }
   }
   dirty_stmts_.clear();
-  for (std::uint32_t i = 0; i < entries_.size(); ++i) {
-    if (entries_[i].dirty) RefreshEntry(i);
+  for (auto it = stale_names_.begin(); it != stale_names_.end();) {
+    const std::uint32_t index = *it;
+    it = stale_names_.erase(it);
+    if (entries_[index].rec->undone) {
+      // A dead record is filtered out of every consumer's scan, so keeping
+      // it bucketed (and re-footprinting it on every nearby mutation,
+      // forever) is pure waste. Its own undo dirtied it, which is how it
+      // reliably arrives here.
+      Park(index);
+    } else {
+      RefreshNames(index);
+    }
   }
 }
 
@@ -144,6 +203,9 @@ std::vector<TransformRecord*> RegionIndex::CollectSorted(
   std::vector<TransformRecord*> records;
   records.reserve(sorted.size());
   for (const std::uint32_t index : sorted) {
+    // Undone-but-not-yet-parked entries (possible between a reject and the
+    // next name sync) stay invisible to consumers.
+    if (entries_[index].rec->undone) continue;
     records.push_back(entries_[index].rec);
   }
   return records;
@@ -170,7 +232,7 @@ std::vector<TransformRecord*> RegionIndex::Candidates(
 
 std::vector<TransformRecord*> RegionIndex::AnchoredIn(
     const std::vector<StmtId>& roots) {
-  Sync();
+  SyncRefs();
   std::unordered_set<std::uint32_t> hits;
   for (const StmtId root_id : roots) {
     const Stmt* root = program_.FindStmt(root_id);

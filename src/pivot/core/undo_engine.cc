@@ -332,8 +332,27 @@ UndoStats UndoEngine::UndoSet(const std::vector<OrderStamp>& stamps,
   // a time in inversion order. The first analysis query re-derives once
   // for the whole wave-1 mutation burst; later records re-derive only
   // when a cascade in between actually mutated the program again.
+  // Same LIFO fast path as UndoRec, but the proof must cover the *whole*
+  // plan: probing per record would accept a mixed plan (oldest target
+  // inverted, a live interloper in between, newest target probing clean)
+  // whose wave-1 burst did not restore a previously-extant state. Probing
+  // from the oldest planned record decides suffix purity for everyone.
+  const TransformRecord* oldest_planned = nullptr;
+  for (const PlannedInversion& inversion : plan) {
+    if (oldest_planned == nullptr ||
+        inversion.rec->stamp < oldest_planned->stamp) {
+      oldest_planned = inversion.rec;
+    }
+  }
+  const bool suffix_revert =
+      oldest_planned != nullptr && ProvablyNoLiveLaterThan(*oldest_planned);
+
   for (const PlannedInversion& inversion : plan) {
     PIVOT_FAULT_POINT("undo.region.pre");
+    if (suffix_revert) {
+      Trace(MakeEvent(UndoTraceEvent::Kind::kDone, *inversion.rec, 0));
+      continue;
+    }
     const AffectedRegion region =
         options_.regional
             ? AffectedRegion::FromInvertedActions(analyses_, journal_,
@@ -380,7 +399,13 @@ void UndoEngine::ResolveAndInvert(TransformRecord& rec, UndoStats& stats,
 
   // Figure-4 lines 4-11, with the blocker's own affected-scan deferred to
   // wave 2 (it joins the plan like any other inversion).
-  while (true) {
+  //
+  // LIFO fast path, front half (§10): a reversibility blocker is always a
+  // *later live* action, so when nothing live is later than `rec` the
+  // blocker loop is vacuous. Journal::Invert still re-checks CanInvert for
+  // every action it inverts, so the proof is enforced below, not assumed.
+  // Re-probing per round lets a resolved blocker cascade end the loop.
+  while (!ProvablyNoLiveLaterThan(rec)) {
     ++stats.reversibility_checks;
     const Reversibility rev =
         transformation.CheckReversibility(analyses_, journal_, rec);
@@ -442,7 +467,12 @@ void UndoEngine::UndoRec(TransformRecord& rec, UndoStats& stats, int depth) {
 
   // Lines 4-11: undo affecting transformations until the post-pattern of
   // t_i validates.
-  while (true) {
+  //
+  // LIFO fast path, front half (§10): a reversibility blocker is always a
+  // *later live* action, so when nothing live is later than `rec` the
+  // blocker loop is vacuous. Journal::Invert still re-checks CanInvert for
+  // every action it inverts, so the proof is enforced below, not assumed.
+  while (!ProvablyNoLiveLaterThan(rec)) {
     ++stats.reversibility_checks;
     const Reversibility rev =
         transformation.CheckReversibility(analyses_, journal_, rec);
@@ -494,8 +524,23 @@ void UndoEngine::UndoRec(TransformRecord& rec, UndoStats& stats, int depth) {
   // Line 13: dependence and data-flow update — analyses are re-derived
   // lazily from the bumped program epoch.
 
-  // Line 15: determine the affected region.
+  // LIFO fast path (optimized planner only): when nothing live is later
+  // than `rec`, this undo is classical reverse-order rollback — the
+  // trivial case the paper's independent-order machinery generalizes.
+  // Inverting the actions restores a previously-extant program state
+  // byte-for-byte, so there is nothing to adjudicate: the affected set is
+  // vacuously empty, and every earlier record anchored in a restored site
+  // carries exactly the safety status it already had in that state.
+  // Skipping the scans also skips the region derivation and the safety
+  // checks' analysis windows — which is what keeps a search-style
+  // reject O(inverse actions) instead of O(live history).
   PIVOT_FAULT_POINT("undo.region.pre");
+  if (ProvablyNoLiveLaterThan(rec)) {
+    Trace(MakeEvent(UndoTraceEvent::Kind::kDone, rec, depth));
+    return;
+  }
+
+  // Line 15: determine the affected region.
   const AffectedRegion region =
       options_.regional
           ? AffectedRegion::FromInvertedActions(analyses_, journal_,
@@ -556,6 +601,26 @@ std::vector<char> UndoEngine::PrefetchSafety(
     verdicts[i] = t.CheckSafety(analyses_, journal_, *candidates[i]) ? 1 : 0;
   });
   return verdicts;
+}
+
+bool UndoEngine::ProvablyNoLiveLaterThan(const TransformRecord& undone) const {
+  if (index_ == nullptr || trace_ != nullptr) return false;
+  // History order is stamp order, so a backwards probe decides the
+  // property. Later *undone* transform records contribute nothing (their
+  // actions are already inverted); a later live record or a later user
+  // edit defeats the proof — the first is a real affected-scan candidate,
+  // the second means the post-undo state is not a previously-extant one.
+  // The probe is capped: a batch revert of a long suffix would otherwise
+  // re-walk the freshly-undone tail once per planned record. Past the cap
+  // the regular machinery answers (it tolerates a non-empty set anyway).
+  int probes = 64;
+  for (auto it = history_.records().rbegin(); it != history_.records().rend();
+       ++it) {
+    if (it->stamp <= undone.stamp) return true;
+    if (it->is_edit || !it->undone) return false;
+    if (--probes == 0) return false;  // unproven
+  }
+  return true;
 }
 
 void UndoEngine::ScanAffected(TransformRecord& undone,

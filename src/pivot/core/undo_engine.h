@@ -184,6 +184,15 @@ class UndoEngine {
   };
   void ResolveAndInvert(TransformRecord& rec, UndoStats& stats, int depth,
                         std::vector<PlannedInversion>& plan);
+  // Optimized-planner fast path (active with the region index, without an
+  // attached trace): proves "no live record has a later stamp than
+  // `undone`" with a capped backwards probe of the stamp-ordered history.
+  // When it holds, the affected-scan is vacuously empty and the affected
+  // *region* — whose computation re-derives analyses after the inversion
+  // burst — is never needed; the caller skips both. A reject-style undo
+  // (newest record) resolves in O(1). Returns false when unproven,
+  // including past the probe cap.
+  bool ProvablyNoLiveLaterThan(const TransformRecord& undone) const;
   void ScanAffected(TransformRecord& undone, const AffectedRegion& region,
                     UndoStats& stats, int depth);
   void ScanAffectedLinear(TransformRecord& undone,

@@ -1,0 +1,49 @@
+#include "pivot/search/cost.h"
+
+#include <unordered_set>
+
+namespace pivot {
+
+CostSnapshot ScoreProgram(AnalysisCache& analyses,
+                          const CostWeights& weights) {
+  CostSnapshot snapshot;
+
+  // Which loops carry a dependence? A dependence is carried by the loop at
+  // its first non-'=' direction; '*' means the tests could not decide, so
+  // it may be carried there *or* at any deeper common loop — mark them
+  // all. All-'=' (loop-independent) dependences order statements within
+  // one iteration and do not serialize any loop.
+  const std::vector<Dependence>& deps = analyses.deps();
+  std::unordered_set<StmtId> carrying;
+  for (const Dependence& dep : deps) {
+    for (std::size_t i = 0; i < dep.dirs.size(); ++i) {
+      const DepDir dir = dep.dirs[i];
+      if (dir == DepDir::kEq) continue;
+      if (dir == DepDir::kStar) {
+        for (std::size_t j = i; j < dep.loops.size(); ++j) {
+          carrying.insert(dep.loops[j]->id);
+        }
+      } else {
+        carrying.insert(dep.loops[i]->id);
+      }
+      break;
+    }
+  }
+
+  const LoopTree& loops = analyses.loops();
+  snapshot.total_loops = static_cast<int>(loops.loops().size());
+  for (const LoopInfo& info : loops.loops()) {
+    if (carrying.count(info.loop->id) == 0) ++snapshot.parallel_loops;
+  }
+
+  analyses.program().ForEachAttached(
+      [&snapshot](const Stmt&) { ++snapshot.statements; });
+  snapshot.dependences = static_cast<int>(deps.size());
+
+  snapshot.score = weights.parallel_loop * snapshot.parallel_loops -
+                   weights.statement * snapshot.statements -
+                   weights.dependence * snapshot.dependences;
+  return snapshot;
+}
+
+}  // namespace pivot

@@ -1,0 +1,45 @@
+// Cost model for the transformation-schedule search.
+//
+// A schedule is scored on the program state it produced, using only facts
+// the analysis cache already derives: how many loops carry no dependence
+// (parallelizable), how many statements remain, and how many dependences
+// the program has overall. The score is a single double — higher is
+// better — so both drivers (greedy hill-climb, simulated annealing)
+// compare states with one subtraction.
+#ifndef PIVOT_SEARCH_COST_H_
+#define PIVOT_SEARCH_COST_H_
+
+#include "pivot/analysis/analyses.h"
+
+namespace pivot {
+
+struct CostWeights {
+  // A loop that carries no dependence is the searcher's jackpot: it can
+  // run as a parallel (DOALL) loop, which is what the transformation
+  // catalog is ultimately for.
+  double parallel_loop = 100.0;
+  // Dead/duplicate statements eliminated (DCE, CSE after propagation).
+  double statement = 1.0;
+  // Fewer dependences = more freedom for later transformations.
+  double dependence = 0.25;
+};
+
+struct CostSnapshot {
+  int total_loops = 0;
+  int parallel_loops = 0;  // loops carrying no dependence
+  int statements = 0;      // attached statements (all kinds)
+  int dependences = 0;
+  double score = 0.0;      // higher is better
+};
+
+// Scores the cache's current program. Forces the loop tree and dependence
+// families; a dependence is *carried* by the loop at its first non-'='
+// direction position ('*' is conservatively treated as carried there and
+// at every deeper common loop), and loop-independent dependences carry
+// nowhere.
+CostSnapshot ScoreProgram(AnalysisCache& analyses,
+                          const CostWeights& weights = {});
+
+}  // namespace pivot
+
+#endif  // PIVOT_SEARCH_COST_H_

@@ -1,0 +1,493 @@
+#include "pivot/search/searcher.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "pivot/ir/diff.h"
+#include "pivot/ir/parser.h"
+#include "pivot/oracle/oracle.h"
+#include "pivot/support/fault_injector.h"
+#include "pivot/transform/catalog.h"
+
+namespace pivot {
+namespace {
+
+std::uint64_t ElapsedNs(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+bool KindFromName(const std::string& name, TransformKind* out) {
+  for (const TransformKind kind : AllTransformKinds()) {
+    if (name == TransformKindName(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* SearchModeName(SearchMode mode) {
+  return mode == SearchMode::kGreedy ? "greedy" : "anneal";
+}
+
+bool ParseSearchMode(const std::string& text, SearchMode* out) {
+  if (text == "greedy") {
+    *out = SearchMode::kGreedy;
+    return true;
+  }
+  if (text == "anneal") {
+    *out = SearchMode::kAnneal;
+    return true;
+  }
+  return false;
+}
+
+Searcher::Searcher(Session& session, SearchOptions options)
+    : session_(session), options_(std::move(options)), rng_(options_.seed) {}
+
+bool Searcher::Propose(Proposal* out) {
+  // A random kind order, then the first kind with any opportunity: one
+  // uniform draw over that kind's candidates. Cheaper than enumerating all
+  // ten catalogs per step, and every draw comes from the seeded Rng, so
+  // the proposal stream is a pure function of (seed, program trajectory).
+  std::vector<TransformKind> kinds = AllTransformKinds();
+  rng_.Shuffle(kinds);
+  for (const TransformKind kind : kinds) {
+    std::vector<Opportunity> ops;
+    try {
+      ops = session_.FindOpportunities(kind);
+    } catch (const ProgramError&) {
+      // Opportunity matching rebuilds analyses; an injected fault there
+      // mutated nothing. Treat the kind as empty this round.
+      continue;
+    }
+    if (ops.empty()) continue;
+    const std::size_t index = rng_.Index(ops.size());
+    out->kind = kind;
+    out->op_index = static_cast<int>(index);
+    out->op = ops[index];
+    return true;
+  }
+  return false;
+}
+
+bool Searcher::AcceptRegression(double delta, int step) {
+  if (options_.mode == SearchMode::kGreedy) return false;
+  const double t0 = options_.initial_temperature;
+  if (t0 <= 0.0) return false;
+  const double tf = std::max(options_.final_temperature, 1e-12);
+  const double frac =
+      options_.budget > 1
+          ? static_cast<double>(step) / (options_.budget - 1)
+          : 1.0;
+  const double temp = t0 * std::pow(tf / t0, frac);
+  return rng_.Chance(std::exp(delta / temp));
+}
+
+namespace {
+
+// Scoring triggers analysis re-derivation, whose fault points are armed in
+// the injection campaigns right along with the journal's. A fault there is
+// outside any transaction — nothing to roll back — but it must not abort
+// the whole search, so scoring failures degrade instead of propagating.
+bool TryScore(AnalysisCache& analyses, const CostWeights& weights,
+              CostSnapshot* out) {
+  try {
+    *out = ScoreProgram(analyses, weights);
+    return true;
+  } catch (const ProgramError&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+SearchResult Searcher::Run() {
+  SearchResult result;
+  TryScore(session_.analyses(), options_.weights, &result.initial_cost);
+  double current = result.initial_cost.score;
+
+  // Stamps of live accepted records — the cascade bookkeeping. Kept here
+  // (not read back from history each step) so a reject only pays for a
+  // full history walk when its UndoSet actually cascaded.
+  std::unordered_set<OrderStamp> accepted_live;
+
+  for (int i = 0; i < options_.budget; ++i) {
+    Proposal proposal;
+    if (!Propose(&proposal)) {
+      result.stats.exhausted = true;
+      break;
+    }
+    ++result.stats.proposals;
+
+    SearchStep step;
+    step.kind = proposal.kind;
+    step.op_index = proposal.op_index;
+
+    OrderStamp stamp = kNoStamp;
+    bool apply_ok = true;
+    const auto apply_start = std::chrono::steady_clock::now();
+    try {
+      stamp = session_.Apply(proposal.op);
+    } catch (const ProgramError&) {
+      // Injected fault or a pre-condition gone stale mid-apply: the
+      // session's transaction already rolled everything back, so the
+      // search simply moves on — nothing was committed, nothing to undo.
+      apply_ok = false;
+    }
+    result.stats.apply_ns += ElapsedNs(apply_start);
+    if (!apply_ok) {
+      step.outcome = SearchStep::Outcome::kApplyFailed;
+      ++result.stats.apply_failures;
+      result.steps.push_back(std::move(step));
+      continue;
+    }
+    step.stamp = stamp;
+
+    // An unscorable proposal (injected analysis fault) is rejected
+    // outright: with no delta there is no basis to keep it.
+    CostSnapshot after;
+    const bool scored =
+        TryScore(session_.analyses(), options_.weights, &after);
+    step.score_after = scored ? after.score : current;
+    const double delta = scored ? after.score - current : -1.0;
+    const bool accept =
+        scored && (options_.mode == SearchMode::kGreedy
+                       ? delta > 0.0
+                       : (delta >= 0.0 || AcceptRegression(delta, i)));
+
+    if (accept) {
+      step.outcome = SearchStep::Outcome::kAccepted;
+      ++result.stats.accepted;
+      current = after.score;
+      accepted_live.insert(stamp);
+      result.steps.push_back(std::move(step));
+      continue;
+    }
+
+    // Reject: the backtracking path. One UndoSet of the just-applied
+    // record, planned through the engine (region-indexed when enabled).
+    bool reject_ok = true;
+    UndoStats undo_stats;
+    const auto undo_start = std::chrono::steady_clock::now();
+    try {
+      undo_stats = session_.UndoSet({stamp}, nullptr);
+    } catch (const ProgramError&) {
+      // The undo's transaction rolled back, which *restores* the applied
+      // record; the proposal stays, involuntarily accepted.
+      reject_ok = false;
+    }
+    result.stats.undo_ns += ElapsedNs(undo_start);
+
+    if (!reject_ok) {
+      step.outcome = SearchStep::Outcome::kRejectFailed;
+      ++result.stats.reject_failures;
+      current = step.score_after;
+      accepted_live.insert(stamp);
+      result.steps.push_back(std::move(step));
+      continue;
+    }
+
+    step.outcome = SearchStep::Outcome::kRejected;
+    ++result.stats.rejected;
+    result.stats.undo += undo_stats;
+    if (undo_stats.transforms_undone > 1) {
+      // The reject cascaded into earlier accepted work (an affecting
+      // blocker or a revived safety obligation). Record which accepted
+      // stamps died so the accepted-prefix replay can mirror it.
+      for (auto it = accepted_live.begin(); it != accepted_live.end();) {
+        const TransformRecord* rec = session_.history().FindByStamp(*it);
+        if (rec == nullptr || rec->undone) {
+          step.cascades.push_back(*it);
+          ++result.stats.cascaded_records;
+          it = accepted_live.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      std::sort(step.cascades.begin(), step.cascades.end());
+      // The cascade changed the program beyond restoring the pre-proposal
+      // state; re-anchor the current score.
+      CostSnapshot rescored;
+      if (TryScore(session_.analyses(), options_.weights, &rescored)) {
+        current = rescored.score;
+      }
+    }
+    result.steps.push_back(std::move(step));
+  }
+
+  TryScore(session_.analyses(), options_.weights, &result.final_cost);
+  return result;
+}
+
+// --- accepted-prefix oracle -------------------------------------------------
+
+std::string VerifyAcceptedPrefix(
+    const Program& original, const std::vector<SearchStep>& steps,
+    Session& searched, const SessionOptions& session_options,
+    const std::vector<std::vector<double>>& inputs) {
+  Session replay(original.Clone(), session_options);
+  std::unordered_map<OrderStamp, OrderStamp> stamp_map;  // searched→replay
+
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const SearchStep& step = steps[i];
+    std::ostringstream at;
+    at << "step " << i << " (" << TransformKindName(step.kind) << " #"
+       << step.op_index << "): ";
+    switch (step.outcome) {
+      case SearchStep::Outcome::kApplyFailed:
+        break;  // never committed in the searched session
+      case SearchStep::Outcome::kAccepted:
+      case SearchStep::Outcome::kRejectFailed: {
+        // If every reject before this step restored the program exactly,
+        // the replay session is in the searched session's proposal-time
+        // state and the index resolves to the same opportunity.
+        std::vector<Opportunity> ops = replay.FindOpportunities(step.kind);
+        if (step.op_index < 0 ||
+            static_cast<std::size_t>(step.op_index) >= ops.size()) {
+          return at.str() + "opportunity index out of range in replay (" +
+                 std::to_string(ops.size()) + " found) — a prior reject " +
+                 "did not restore the program";
+        }
+        try {
+          stamp_map[step.stamp] =
+              replay.Apply(ops[static_cast<std::size_t>(step.op_index)]);
+        } catch (const ProgramError& e) {
+          return at.str() + "accepted step failed to re-apply: " + e.what();
+        }
+        break;
+      }
+      case SearchStep::Outcome::kRejected: {
+        if (step.cascades.empty()) break;  // exact reject: a pure no-op here
+        std::vector<OrderStamp> mapped;
+        mapped.reserve(step.cascades.size());
+        for (const OrderStamp c : step.cascades) {
+          auto it = stamp_map.find(c);
+          if (it == stamp_map.end()) {
+            return at.str() + "cascaded stamp t" + std::to_string(c) +
+                   " is not an accepted record in the replay";
+          }
+          mapped.push_back(it->second);
+          stamp_map.erase(it);
+        }
+        try {
+          replay.UndoSet(mapped);
+        } catch (const ProgramError& e) {
+          return at.str() + "cascade mirror failed to undo: " + e.what();
+        }
+        break;
+      }
+    }
+  }
+
+  const std::string diff = DiffToString(searched.program(), replay.program());
+  if (!diff.empty()) {
+    return "final program diverges structurally from the accepted-prefix "
+           "replay (searched=left, replay=right):\n" +
+           diff;
+  }
+  SemanticsOracle oracle(replay.program(),
+                         inputs.empty() ? DefaultOracleInputs() : inputs);
+  const std::string finding = oracle.Check(searched.program());
+  if (!finding.empty()) {
+    return "final program diverges semantically from the accepted-prefix "
+           "replay: " +
+           finding;
+  }
+  return "";
+}
+
+// --- traces -----------------------------------------------------------------
+
+namespace {
+
+const char* OutcomeToken(SearchStep::Outcome outcome) {
+  switch (outcome) {
+    case SearchStep::Outcome::kAccepted:
+      return "accept";
+    case SearchStep::Outcome::kRejected:
+      return "reject";
+    case SearchStep::Outcome::kApplyFailed:
+      return "apply-fail";
+    case SearchStep::Outcome::kRejectFailed:
+      return "reject-fail";
+  }
+  return "?";
+}
+
+bool OutcomeFromToken(const std::string& token, SearchStep::Outcome* out) {
+  if (token == "accept") {
+    *out = SearchStep::Outcome::kAccepted;
+  } else if (token == "reject") {
+    *out = SearchStep::Outcome::kRejected;
+  } else if (token == "apply-fail") {
+    *out = SearchStep::Outcome::kApplyFailed;
+  } else if (token == "reject-fail") {
+    *out = SearchStep::Outcome::kRejectFailed;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string SerializeSearchTrace(const SearchTrace& trace) {
+  std::ostringstream os;
+  os << "# pivot_search trace\n";
+  os << "mode " << SearchModeName(trace.mode) << '\n';
+  os << "seed " << trace.seed << '\n';
+  os << "budget " << trace.budget << '\n';
+  for (const SearchStep& step : trace.steps) {
+    os << "step " << TransformKindName(step.kind) << ' ' << step.op_index
+       << ' ' << OutcomeToken(step.outcome) << '\n';
+  }
+  os << "source\n" << trace.source;
+  return os.str();
+}
+
+bool DeserializeSearchTrace(const std::string& text, SearchTrace* out,
+                            std::string* error) {
+  SearchTrace trace;
+  std::istringstream is(text);
+  std::string line;
+  bool have_source = false;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string directive;
+    ls >> directive;
+    if (directive == "mode") {
+      std::string mode;
+      ls >> mode;
+      if (!ParseSearchMode(mode, &trace.mode)) {
+        if (error != nullptr) *error = "unknown mode '" + mode + "'";
+        return false;
+      }
+    } else if (directive == "seed") {
+      if (!(ls >> trace.seed)) {
+        if (error != nullptr) *error = "bad seed line";
+        return false;
+      }
+    } else if (directive == "budget") {
+      if (!(ls >> trace.budget)) {
+        if (error != nullptr) *error = "bad budget line";
+        return false;
+      }
+    } else if (directive == "step") {
+      std::string kind_name;
+      std::string outcome_token;
+      SearchStep step;
+      if (!(ls >> kind_name >> step.op_index >> outcome_token) ||
+          !KindFromName(kind_name, &step.kind) ||
+          !OutcomeFromToken(outcome_token, &step.outcome)) {
+        if (error != nullptr) *error = "bad step line: " + line;
+        return false;
+      }
+      trace.steps.push_back(std::move(step));
+    } else if (directive == "source") {
+      std::ostringstream src;
+      while (std::getline(is, line)) src << line << '\n';
+      trace.source = src.str();
+      have_source = true;
+    } else {
+      if (error != nullptr) *error = "unknown directive '" + directive + "'";
+      return false;
+    }
+  }
+  if (!have_source || trace.source.empty()) {
+    if (error != nullptr) *error = "missing source section";
+    return false;
+  }
+  *out = std::move(trace);
+  return true;
+}
+
+TraceReplayResult ReplaySearchTrace(const SearchTrace& trace,
+                                    const SessionOptions& options) {
+  TraceReplayResult result;
+  Program original = Parse(trace.source);
+  Session session(original.Clone(), options);
+  std::vector<SearchStep> executed;
+  executed.reserve(trace.steps.size());
+
+  for (const SearchStep& step : trace.steps) {
+    if (step.outcome == SearchStep::Outcome::kApplyFailed) continue;
+    std::vector<Opportunity> ops = session.FindOpportunities(step.kind);
+    if (step.op_index < 0 ||
+        static_cast<std::size_t>(step.op_index) >= ops.size()) {
+      // Shrinking removed a predecessor this step depended on; skip.
+      ++result.skipped;
+      continue;
+    }
+    SearchStep done = step;
+    done.cascades.clear();
+    OrderStamp stamp = kNoStamp;
+    try {
+      stamp = session.Apply(ops[static_cast<std::size_t>(step.op_index)]);
+    } catch (const ProgramError&) {
+      ++result.skipped;
+      continue;
+    }
+    done.stamp = stamp;
+    if (step.outcome == SearchStep::Outcome::kRejected) {
+      std::vector<OrderStamp> undone;
+      try {
+        session.UndoSet({stamp}, &undone);
+      } catch (const ProgramError&) {
+        done.outcome = SearchStep::Outcome::kRejectFailed;
+        ++result.applied;
+        executed.push_back(std::move(done));
+        continue;
+      }
+      for (const OrderStamp u : undone) {
+        if (u != stamp) done.cascades.push_back(u);
+      }
+      ++result.rejected;
+    } else {
+      // kAccepted / kRejectFailed both left the record live.
+      done.outcome = SearchStep::Outcome::kAccepted;
+      ++result.applied;
+    }
+    executed.push_back(std::move(done));
+  }
+
+  result.failure =
+      VerifyAcceptedPrefix(original, executed, session, options);
+  result.ok = result.failure.empty();
+  result.final_source = session.Source();
+  return result;
+}
+
+SearchTrace ShrinkSearchTrace(const SearchTrace& trace,
+                              const SessionOptions& options) {
+  // Greedy delta-debugging on the step list: drop a step, keep the drop if
+  // the replay still fails, repeat until a fixed point.
+  SearchTrace best = trace;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t i = 0; i < best.steps.size(); ++i) {
+      SearchTrace candidate = best;
+      candidate.steps.erase(candidate.steps.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+      if (!ReplaySearchTrace(candidate, options).ok) {
+        best = std::move(candidate);
+        progress = true;
+        break;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace pivot

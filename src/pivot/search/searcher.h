@@ -1,0 +1,192 @@
+// Search-driven auto-parallelization: undo as the backtracking path.
+//
+// The Searcher walks transformation schedules over a live Session in the
+// STOKE style: each iteration proposes one applicable (transformation,
+// opportunity) pair, applies it, scores the result with the cost model,
+// and either keeps it or *rejects* it — and a rejection is exactly one
+// Session::UndoSet of the just-applied record, planned through the
+// region-indexed undo engine. This is the paper's claim turned into a
+// workload: independent-order undo makes rejected work cheap, so a search
+// that rejects most proposals spends its time searching, not unwinding.
+//
+// Two drivers share the proposal loop:
+//   * greedy  — accept iff the score strictly improves;
+//   * anneal  — accept improvements always, regressions with probability
+//               exp(delta / T) under a geometrically cooling temperature
+//               (classic simulated annealing / MCMC-flavoured search).
+// Both draw every random decision from one seeded Rng, so a (seed, budget,
+// mode) triple reproduces the identical trace and final program.
+//
+// Opportunities are referenced *by index into the deterministic
+// FindOpportunities order* (the fuzzcase convention), never by statement
+// id — that is what lets a trace replay in a fresh session, and what the
+// accepted-prefix oracle leans on: if every reject truly restored the
+// pre-proposal program, then replaying only the surviving accepted steps
+// resolves the same indices to the same sites and converges on the same
+// program. Any undo inexactness surfaces as an index that resolves
+// differently, a failed pre-condition, or a diverging final program.
+#ifndef PIVOT_SEARCH_SEARCHER_H_
+#define PIVOT_SEARCH_SEARCHER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pivot/core/session.h"
+#include "pivot/search/cost.h"
+#include "pivot/support/rng.h"
+
+namespace pivot {
+
+enum class SearchMode { kGreedy, kAnneal };
+
+const char* SearchModeName(SearchMode mode);
+bool ParseSearchMode(const std::string& text, SearchMode* out);
+
+struct SearchOptions {
+  SearchMode mode = SearchMode::kAnneal;
+  int budget = 1000;  // proposals to evaluate
+  std::uint64_t seed = 1;
+  CostWeights weights;
+  // Annealing schedule: T cools geometrically from initial to final over
+  // the budget. Ignored by greedy.
+  double initial_temperature = 8.0;
+  double final_temperature = 0.05;
+};
+
+// One proposal's fate. `stamp` is the applied record's stamp in the
+// *searched* session (meaningless across processes; replay re-derives it).
+struct SearchStep {
+  enum class Outcome {
+    kAccepted,      // applied, kept
+    kRejected,      // applied, undone via UndoSet
+    kApplyFailed,   // Apply threw (injected fault / stale pre-condition);
+                    // the transaction rolled back, nothing to undo
+    kRejectFailed,  // the reject's UndoSet threw; its rollback restored
+                    // the applied record, which therefore stays live
+  };
+  TransformKind kind = TransformKind::kDce;
+  int op_index = 0;  // into FindOpportunities(kind) at proposal time
+  Outcome outcome = Outcome::kAccepted;
+  OrderStamp stamp = kNoStamp;
+  double score_after = 0.0;  // post-apply score (kAccepted/kRejected)
+  // Stamps of *other* records the reject's undo cascaded away (previously
+  // accepted work invalidated by unwinding this proposal). Empty for the
+  // overwhelmingly common exact single-record reject.
+  std::vector<OrderStamp> cascades;
+};
+
+struct SearchStats {
+  std::uint64_t proposals = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t apply_failures = 0;
+  std::uint64_t reject_failures = 0;
+  std::uint64_t cascaded_records = 0;  // accepted records lost to rejects
+  bool exhausted = false;  // stopped early: no opportunity of any kind
+  // Wall-clock spent inside Apply vs inside the reject-path UndoSet — the
+  // apply:undo ratio the bench gates on.
+  std::uint64_t apply_ns = 0;
+  std::uint64_t undo_ns = 0;
+  UndoStats undo;  // summed over all rejects
+};
+
+struct SearchResult {
+  std::vector<SearchStep> steps;
+  SearchStats stats;
+  CostSnapshot initial_cost;
+  CostSnapshot final_cost;
+};
+
+class Searcher {
+ public:
+  Searcher(Session& session, SearchOptions options);
+
+  // Runs the proposal loop for options.budget proposals (or until no
+  // transformation has any opportunity left). The session is left at the
+  // best-effort final state; every rejected proposal has been undone.
+  SearchResult Run();
+
+ private:
+  struct Proposal {
+    TransformKind kind;
+    int op_index;
+    Opportunity op;
+  };
+  bool Propose(Proposal* out);
+  bool AcceptRegression(double delta, int step);
+
+  Session& session_;
+  SearchOptions options_;
+  Rng rng_;
+};
+
+// --- accepted-prefix oracle -----------------------------------------------
+//
+// Replays only the steps that survived (kAccepted / kRejectFailed, minus
+// records later cascaded away) into a fresh session built from `original`,
+// resolving each by (kind, op_index) and mirroring reject-cascades with an
+// explicit UndoSet of the mapped stamps. Returns "" when the searched
+// session is structurally identical AND semantically equivalent
+// (SemanticsOracle over `inputs`, DefaultOracleInputs when empty) to that
+// replay; otherwise a description of the first deviation.
+std::string VerifyAcceptedPrefix(
+    const Program& original, const std::vector<SearchStep>& steps,
+    Session& searched, const SessionOptions& session_options = {},
+    const std::vector<std::vector<double>>& inputs = {});
+
+// --- traces ---------------------------------------------------------------
+//
+// A serialized search: enough to re-execute the recorded decisions in a
+// fresh process (shrinking a failure) or to re-run the searcher
+// deterministically. Stamps and cascades are not serialized — a replay
+// re-derives them.
+//
+//   # pivot_search trace
+//   mode anneal
+//   seed 42
+//   budget 500
+//   step CSE 3 accept
+//   step DCE 0 reject
+//   step ICM 1 apply-fail
+//   step FUS 0 reject-fail
+//   source
+//   <program text to end of file>
+struct SearchTrace {
+  SearchMode mode = SearchMode::kAnneal;
+  std::uint64_t seed = 1;
+  int budget = 0;
+  std::string source;
+  std::vector<SearchStep> steps;
+};
+
+std::string SerializeSearchTrace(const SearchTrace& trace);
+bool DeserializeSearchTrace(const std::string& text, SearchTrace* out,
+                            std::string* error);
+
+struct TraceReplayResult {
+  bool ok = true;
+  std::string failure;  // first oracle deviation (empty when ok)
+  int applied = 0;
+  int rejected = 0;
+  int skipped = 0;  // steps whose opportunity no longer resolves
+  std::string final_source;
+};
+
+// Re-executes the trace's recorded decisions (accept = keep, reject =
+// apply + UndoSet) on a fresh session, then runs the accepted-prefix
+// oracle against the result. Steps that no longer resolve (after
+// shrinking removed their predecessors) are skipped, so a shrunk trace
+// stays replayable.
+TraceReplayResult ReplaySearchTrace(const SearchTrace& trace,
+                                    const SessionOptions& options = {});
+
+// Greedily drops steps while `still_failing` keeps returning true for the
+// shrunk trace's replay, and returns the smaller trace. Used by the CLI's
+// `shrink` command on a trace whose replay fails the oracle.
+SearchTrace ShrinkSearchTrace(const SearchTrace& trace,
+                              const SessionOptions& options = {});
+
+}  // namespace pivot
+
+#endif  // PIVOT_SEARCH_SEARCHER_H_

@@ -1,0 +1,60 @@
+#include "pivot/support/argparse.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace pivot {
+
+bool ParseInt64(const char* text, long long min, long long max,
+                long long* out) {
+  if (text == nullptr || *text == '\0') return false;
+  // Reject the leading-whitespace and '+' forms strtoll would accept; a
+  // flag value is either "-?[0-9]+" or a usage error.
+  const char* p = text;
+  if (*p == '-') ++p;
+  if (*p < '0' || *p > '9') return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text, &end, 10);
+  if (errno == ERANGE || end == nullptr || *end != '\0') return false;
+  if (value < min || value > max) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseUint64(const char* text, std::uint64_t* out) {
+  if (text == nullptr || *text == '\0') return false;
+  if (*text < '0' || *text > '9') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (errno == ERANGE || end == nullptr || *end != '\0') return false;
+  *out = static_cast<std::uint64_t>(value);
+  return true;
+}
+
+bool ParseIntFlag(const char* flag, const char* text, long long min,
+                  long long max, long long* out) {
+  if (ParseInt64(text, min, max, out)) return true;
+  std::fprintf(stderr, "%s: expected integer in [%lld, %lld], got '%s'\n",
+               flag, min, max, text != nullptr ? text : "");
+  return false;
+}
+
+bool ParseIntFlag(const char* flag, const char* text, long long min,
+                  long long max, int* out) {
+  long long wide = 0;
+  if (!ParseIntFlag(flag, text, min, max, &wide)) return false;
+  *out = static_cast<int>(wide);
+  return true;
+}
+
+bool ParseUint64Flag(const char* flag, const char* text, std::uint64_t* out) {
+  if (ParseUint64(text, out)) return true;
+  std::fprintf(stderr, "%s: expected unsigned integer, got '%s'\n", flag,
+               text != nullptr ? text : "");
+  return false;
+}
+
+}  // namespace pivot

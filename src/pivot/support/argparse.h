@@ -1,0 +1,36 @@
+// Checked numeric CLI parsing.
+//
+// The tools used to parse numbers with std::atoi, which turns
+// `--retries banana` silently into 0 and lets a negative `--deadline`
+// wrap through unsigned casts. These helpers reject non-numeric,
+// trailing-garbage and out-of-range input instead, so a typo becomes a
+// usage error rather than a silently different workload.
+#ifndef PIVOT_SUPPORT_ARGPARSE_H_
+#define PIVOT_SUPPORT_ARGPARSE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pivot {
+
+// Parses `text` as a base-10 integer in [min, max]. Returns false (leaving
+// *out untouched) when `text` is null, empty, not wholly numeric, or out of
+// range. Accepts a leading '-'; no whitespace, no '+', no hex.
+bool ParseInt64(const char* text, long long min, long long max,
+                long long* out);
+
+// Unsigned variant covering the full uint64 range (seeds).
+bool ParseUint64(const char* text, std::uint64_t* out);
+
+// Convenience wrappers for the common tool-flag shapes. On failure they
+// print "<flag>: expected integer in [min, max], got '<text>'" to stderr
+// and return false, so call sites can `return Usage()`.
+bool ParseIntFlag(const char* flag, const char* text, long long min,
+                  long long max, long long* out);
+bool ParseIntFlag(const char* flag, const char* text, long long min,
+                  long long max, int* out);
+bool ParseUint64Flag(const char* flag, const char* text, std::uint64_t* out);
+
+}  // namespace pivot
+
+#endif  // PIVOT_SUPPORT_ARGPARSE_H_

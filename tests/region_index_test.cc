@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <set>
+#include <sstream>
 #include <vector>
 
 #include "pivot/core/region_index.h"
@@ -47,7 +48,9 @@ std::set<OrderStamp> Stamps(const std::vector<TransformRecord*>& records) {
 // For every live record, derive a region from its own action list (the
 // same constructor the engine uses post-inversion; any action-derived
 // region exercises the bucket logic) and check:
-//   * superset: every record the exact predicate accepts was enumerated,
+//   * superset: every live record the exact predicate accepts was
+//     enumerated (undone records are parked out of the index by contract —
+//     every scan that consumes it filters them),
 //   * equality: filtering the enumeration by the exact predicate yields
 //     the same set a full history scan yields.
 void CheckIndexAgainstBruteForce(Session& s) {
@@ -64,6 +67,7 @@ void CheckIndexAgainstBruteForce(Session& s) {
     const std::set<OrderStamp> indexed = Stamps(index->Candidates(region));
     std::set<OrderStamp> brute;
     for (const TransformRecord& other : s.history().records()) {
+      if (other.undone) continue;  // parked: never a scan candidate
       if (region.ContainsRecord(s.program(), s.journal(), other)) {
         brute.insert(other.stamp);
       }
@@ -97,6 +101,7 @@ void CheckAnchoredAgainstBruteForce(Session& s) {
     const std::vector<StmtId> roots{probe.site.s1};
     const std::set<OrderStamp> indexed = Stamps(index->AnchoredIn(roots));
     for (const TransformRecord& other : s.history().records()) {
+      if (other.undone) continue;  // parked: never a scan candidate
       const std::vector<StmtId> ids = ReferencedIds(s.journal(), other);
       const bool anchored =
           std::any_of(ids.begin(), ids.end(), [&](StmtId id) {
@@ -181,6 +186,53 @@ TEST_P(IndexPropertyCampaign, IndexEqualsFullScanThroughoutSchedule) {
 
 INSTANTIATE_TEST_SUITE_P(Tier1, IndexPropertyCampaign,
                          ::testing::Range<std::uint64_t>(1, 11));
+
+// Regression (top-level Delete boundary): a restored top-level statement
+// used to pull its whole body list — the entire program — into its
+// affected region, degenerating the index on flat programs. The region
+// must now anchor to the slot's predecessor/successor neighbourhood, so
+// undoing one flat cluster's chain stays local: bounded candidate
+// enumeration, records of unrelated clusters outside the region.
+TEST(AffectedRegion, TopLevelDeleteRegionStaysLocal) {
+  constexpr int kClusters = 8;
+  std::ostringstream os;
+  for (int k = 0; k < kClusters; ++k) {
+    os << "c" << k << " = 1\n";
+    os << "x" << k << " = c" << k << " + 2\n";
+  }
+  for (int k = 0; k < kClusters; ++k) os << "write x" << k << "\n";
+  Session s(Parse(os.str()));
+
+  std::vector<OrderStamp> ctps, dces;
+  for (int k = 0; k < kClusters; ++k) {
+    ctps.push_back(*s.ApplyFirst(TransformKind::kCtp));
+  }
+  for (int k = 0; k < kClusters; ++k) {
+    ASSERT_TRUE(s.ApplyFirst(TransformKind::kCfo).has_value());
+  }
+  for (int k = 0; k < kClusters; ++k) {
+    dces.push_back(*s.ApplyFirst(TransformKind::kDce));
+  }
+
+  // Undo the first cluster's DCE: its inverse re-adds `c0 = 1` at top
+  // level. Only the first cluster's records can sit in that region.
+  const UndoStats stats = s.Undo(dces[0]);
+  EXPECT_GE(stats.transforms_undone, 1);
+  EXPECT_LT(stats.candidates_in_region, kClusters)
+      << "a top-level restore pulled most of the history into its region";
+
+  const TransformRecord* undone = s.history().FindByStamp(dces[0]);
+  ASSERT_NE(undone, nullptr);
+  const AffectedRegion region = AffectedRegion::FromInvertedActions(
+      s.analyses(), s.journal(), undone->actions);
+  EXPECT_FALSE(region.whole_program());
+  // Far smaller than the program: the touched slot's neighbourhood plus
+  // the statements sharing the touched names.
+  EXPECT_LT(region.StmtCount(), static_cast<std::size_t>(kClusters));
+  const TransformRecord* far = s.history().FindByStamp(ctps[kClusters - 1]);
+  ASSERT_NE(far, nullptr);
+  EXPECT_FALSE(region.ContainsRecord(s.program(), s.journal(), *far));
+}
 
 TEST(RegionIndex, DisabledWhenIndexingIsOff) {
   UndoOptions options;

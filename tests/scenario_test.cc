@@ -297,7 +297,11 @@ TEST(Scenario, InterleavedApplyUndoApply) {
 }
 
 TEST(Scenario, StatsAccumulateAcrossRipples) {
-  Session s(Parse("c = 2\nx = c + 3\nwrite x"));
+  // Linear engine: the optimized planner's LIFO fast path elides
+  // reversibility checks it can prove vacuous, which this test counts.
+  UndoOptions linear;
+  linear.indexed = false;
+  Session s(Parse("c = 2\nx = c + 3\nwrite x"), linear);
   const OrderStamp ctp = *s.ApplyFirst(TransformKind::kCtp);
   s.ApplyFirst(TransformKind::kCfo);
   s.ApplyFirst(TransformKind::kDce);

@@ -1,0 +1,235 @@
+// Search-driver suite: the searcher must be a pure function of (seed,
+// budget, mode), and — the paper's claim under load — every rejected
+// proposal's undo must be exact: the searched session always matches a
+// replay of only the surviving accepted steps, structurally and
+// semantically, even when injected faults abort applies and rejects
+// mid-transaction.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "pivot/core/session.h"
+#include "pivot/ir/parser.h"
+#include "pivot/ir/printer.h"
+#include "pivot/ir/random_program.h"
+#include "pivot/search/searcher.h"
+#include "pivot/support/fault_injector.h"
+
+namespace pivot {
+namespace {
+
+std::string SearchProgram(std::uint64_t seed, int target_stmts = 40) {
+  RandomProgramOptions gen;
+  gen.seed = seed;
+  gen.target_stmts = target_stmts;
+  return ToSource(GenerateRandomProgram(gen));
+}
+
+bool SameSteps(const std::vector<SearchStep>& a,
+               const std::vector<SearchStep>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].kind != b[i].kind || a[i].op_index != b[i].op_index ||
+        a[i].outcome != b[i].outcome || a[i].cascades != b[i].cascades) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// --- cost model -----------------------------------------------------------
+
+TEST(CostModel, CountsParallelLoopsStatementsAndDeps) {
+  // Loop i carries nothing (distinct a0 elements per iteration); loop j
+  // carries the flow dependence of the s0 accumulation.
+  Program program = Parse(
+      "do i = 1, 4\n"
+      "  a0(i) = i + 1\n"
+      "enddo\n"
+      "do j = 1, 4\n"
+      "  s0 = s0 + j\n"
+      "enddo\n"
+      "write s0\n");
+  Session s(std::move(program));
+  const CostSnapshot cost = ScoreProgram(s.analyses());
+  EXPECT_EQ(cost.total_loops, 2);
+  EXPECT_EQ(cost.parallel_loops, 1);
+  EXPECT_EQ(cost.statements, 5);
+  EXPECT_GT(cost.dependences, 0);
+}
+
+TEST(CostModel, ScoreRewardsParallelismAndPenalizesBulk) {
+  Session parallel(Parse("do i = 1, 4\n  a0(i) = i\nenddo\n"));
+  Session serial(Parse("do i = 1, 4\n  s0 = s0 + i\nenddo\nwrite s0\n"));
+  EXPECT_GT(ScoreProgram(parallel.analyses()).score,
+            ScoreProgram(serial.analyses()).score);
+}
+
+// --- determinism ----------------------------------------------------------
+
+class SearchFixture : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Instance().Reset(); }
+  void TearDown() override { FaultInjector::Instance().Reset(); }
+};
+
+TEST_F(SearchFixture, SameSeedAndBudgetReproduceTraceAndProgram) {
+  for (const SearchMode mode : {SearchMode::kGreedy, SearchMode::kAnneal}) {
+    const std::string src = SearchProgram(11);
+    SearchOptions options;
+    options.mode = mode;
+    options.budget = 120;
+    options.seed = 99;
+
+    Session first(Parse(src));
+    const SearchResult r1 = Searcher(first, options).Run();
+    Session second(Parse(src));
+    const SearchResult r2 = Searcher(second, options).Run();
+
+    EXPECT_TRUE(SameSteps(r1.steps, r2.steps)) << SearchModeName(mode);
+    EXPECT_EQ(first.Source(), second.Source()) << SearchModeName(mode);
+    EXPECT_EQ(r1.final_cost.score, r2.final_cost.score)
+        << SearchModeName(mode);
+  }
+}
+
+TEST_F(SearchFixture, GreedyNeverAcceptsARegression) {
+  Session s(Parse(SearchProgram(5)));
+  SearchOptions options;
+  options.mode = SearchMode::kGreedy;
+  options.budget = 150;
+  const SearchResult result = Searcher(s, options).Run();
+  double best = result.initial_cost.score;
+  for (const SearchStep& step : result.steps) {
+    if (step.outcome != SearchStep::Outcome::kAccepted) continue;
+    EXPECT_GT(step.score_after, best);
+    best = step.score_after;
+  }
+  EXPECT_GT(result.stats.accepted, 0u);
+}
+
+// --- accepted-prefix oracle ----------------------------------------------
+
+// The core equivalence: across >= 12 seeded schedules, a session whose
+// rejects were all undone through the planner is indistinguishable from
+// one that never applied them.
+TEST_F(SearchFixture, RejectUndoIsEquivalentToNeverApplied) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const std::string src = SearchProgram(seed);
+    Session s(Parse(src));
+    const Program original = s.program().Clone();
+    SearchOptions options;
+    options.mode = SearchMode::kAnneal;
+    options.budget = 100;
+    options.seed = seed;
+    const SearchResult result = Searcher(s, options).Run();
+    EXPECT_GT(result.stats.rejected, 0u) << "seed " << seed;
+    const std::string deviation =
+        VerifyAcceptedPrefix(original, result.steps, s);
+    EXPECT_EQ(deviation, "") << "seed " << seed;
+  }
+}
+
+// Same equivalence with faults injected mid-proposal: aborted applies
+// commit nothing, aborted rejects leave the record live (involuntarily
+// accepted), and either way the session must still match the
+// accepted-prefix replay.
+TEST_F(SearchFixture, FaultInjectedRollbacksPreserveTheEquivalence) {
+  std::uint64_t apply_failures = 0, reject_failures = 0;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const std::string src = SearchProgram(seed);
+    Session s(Parse(src));
+    const Program original = s.program().Clone();
+    SearchOptions options;
+    options.mode = SearchMode::kAnneal;
+    options.budget = 80;
+    options.seed = seed;
+
+    FaultInjector::Instance().ArmProbabilistic(0.02, seed);
+    const SearchResult result = Searcher(s, options).Run();
+    FaultInjector::Instance().Disarm();
+
+    apply_failures += result.stats.apply_failures;
+    reject_failures += result.stats.reject_failures;
+    const std::string deviation =
+        VerifyAcceptedPrefix(original, result.steps, s);
+    EXPECT_EQ(deviation, "") << "seed " << seed;
+  }
+  // The campaign must actually have exercised the failure paths.
+  EXPECT_GT(apply_failures + reject_failures, 0u);
+}
+
+// A scripted fault aimed at the very next transaction crossing: whichever
+// path it lands on, the searcher absorbs it and the equivalence holds.
+TEST_F(SearchFixture, ScriptedFaultMidScheduleIsAbsorbed) {
+  const std::string src = SearchProgram(3);
+  for (int countdown = 1; countdown <= 40; countdown += 13) {
+    Session s(Parse(src));
+    const Program original = s.program().Clone();
+    SearchOptions options;
+    options.budget = 40;
+    options.seed = 3;
+    FaultInjector::Instance().ArmNthCrossing(countdown);
+    const SearchResult result = Searcher(s, options).Run();
+    FaultInjector::Instance().Disarm();
+    EXPECT_EQ(VerifyAcceptedPrefix(original, result.steps, s), "")
+        << "countdown " << countdown;
+  }
+}
+
+// --- traces ---------------------------------------------------------------
+
+TEST_F(SearchFixture, TraceRoundTripsAndReplaysClean) {
+  const std::string src = SearchProgram(17);
+  Session s(Parse(src));
+  SearchOptions options;
+  options.mode = SearchMode::kAnneal;
+  options.budget = 60;
+  options.seed = 17;
+  const SearchResult result = Searcher(s, options).Run();
+
+  SearchTrace trace;
+  trace.mode = options.mode;
+  trace.seed = options.seed;
+  trace.budget = options.budget;
+  trace.source = src;
+  trace.steps = result.steps;
+
+  const std::string text = SerializeSearchTrace(trace);
+  SearchTrace parsed;
+  std::string error;
+  ASSERT_TRUE(DeserializeSearchTrace(text, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.mode, trace.mode);
+  EXPECT_EQ(parsed.seed, trace.seed);
+  EXPECT_EQ(parsed.budget, trace.budget);
+  EXPECT_EQ(parsed.source, trace.source);
+  ASSERT_EQ(parsed.steps.size(), trace.steps.size());
+  for (std::size_t i = 0; i < parsed.steps.size(); ++i) {
+    EXPECT_EQ(parsed.steps[i].kind, trace.steps[i].kind);
+    EXPECT_EQ(parsed.steps[i].op_index, trace.steps[i].op_index);
+    EXPECT_EQ(parsed.steps[i].outcome, trace.steps[i].outcome);
+  }
+
+  const TraceReplayResult replay = ReplaySearchTrace(parsed);
+  EXPECT_TRUE(replay.ok) << replay.failure;
+  EXPECT_EQ(replay.skipped, 0);
+  EXPECT_EQ(replay.final_source, s.Source());
+}
+
+TEST_F(SearchFixture, MalformedTracesAreRejectedWithADiagnostic) {
+  SearchTrace out;
+  std::string error;
+  EXPECT_FALSE(DeserializeSearchTrace("", &out, &error));
+  EXPECT_FALSE(DeserializeSearchTrace("mode warp\nsource\nx = 1\n", &out,
+                                      &error));
+  EXPECT_NE(error.find("warp"), std::string::npos);
+  EXPECT_FALSE(DeserializeSearchTrace(
+      "mode greedy\nstep DCE zero accept\nsource\nx = 1\n", &out, &error));
+  EXPECT_FALSE(
+      DeserializeSearchTrace("mode greedy\nbudget 5\n", &out, &error));
+  EXPECT_NE(error.find("source"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pivot

@@ -37,14 +37,20 @@
 #include "pivot/persist/durable.h"
 #include "pivot/server/protocol.h"
 #include "pivot/server/server.h"
+#include "pivot/support/argparse.h"
 #include "pivot/transform/transform.h"
 
 namespace pivot {
 namespace {
 
+// A malformed tuning knob must abort the soak loudly, not silently run
+// the default (or zero) workload and "pass".
 int EnvInt(const char* name, int fallback) {
   const char* value = std::getenv(name);
-  return value && *value ? std::atoi(value) : fallback;
+  if (value == nullptr || *value == '\0') return fallback;
+  int parsed = 0;
+  if (!ParseIntFlag(name, value, 1, 100'000'000, &parsed)) std::exit(2);
+  return parsed;
 }
 
 const char kSource[] =

@@ -37,6 +37,7 @@
 #include <unistd.h>
 
 #include "pivot/server/protocol.h"
+#include "pivot/support/argparse.h"
 #include "pivot/transform/transform.h"
 
 namespace {
@@ -97,9 +98,17 @@ int main(int argc, char** argv) {
     if (arg == "--socket" && i + 1 < argc) {
       socket_path = argv[++i];
     } else if (arg == "--deadline" && i + 1 < argc) {
-      deadline_ms = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+      long long ms = 0;
+      if (!pivot::ParseIntFlag("--deadline", argv[++i], 0, UINT32_MAX,
+                               &ms)) {
+        return Usage();
+      }
+      deadline_ms = static_cast<std::uint32_t>(ms);
     } else if (arg == "--retries" && i + 1 < argc) {
-      retries = std::atoi(argv[++i]);
+      if (!pivot::ParseIntFlag("--retries", argv[++i], 0, 1'000'000,
+                               &retries)) {
+        return Usage();
+      }
     } else {
       break;
     }
@@ -138,21 +147,34 @@ int main(int argc, char** argv) {
         std::cerr << "unknown transform '" << cmd[2] << "'\n";
         return 2;
       }
-      req.op_index = static_cast<std::uint32_t>(std::atoi(cmd[3].c_str()));
+      long long op_index = 0;
+      if (!pivot::ParseIntFlag("INDEX", cmd[3].c_str(), 0, UINT32_MAX,
+                               &op_index)) {
+        return 2;
+      }
+      req.op_index = static_cast<std::uint32_t>(op_index);
     } else if (verb == "undo" || verb == "canundo") {
       need(2);
       req.op = verb == "undo" ? pivot::ServerOp::kUndo
                               : pivot::ServerOp::kCanUndo;
       req.session = cmd[1];
-      req.stamps.push_back(
-          static_cast<pivot::OrderStamp>(std::atoi(cmd[2].c_str())));
+      long long stamp = 0;
+      if (!pivot::ParseIntFlag("STAMP", cmd[2].c_str(), 1, UINT32_MAX,
+                               &stamp)) {
+        return 2;
+      }
+      req.stamps.push_back(static_cast<pivot::OrderStamp>(stamp));
     } else if (verb == "undoset") {
       if (cmd.size() < 3) throw pivot::ProgramError("bad arity");
       req.op = pivot::ServerOp::kUndoSet;
       req.session = cmd[1];
       for (std::size_t j = 2; j < cmd.size(); ++j) {
-        req.stamps.push_back(
-            static_cast<pivot::OrderStamp>(std::atoi(cmd[j].c_str())));
+        long long stamp = 0;
+        if (!pivot::ParseIntFlag("STAMP", cmd[j].c_str(), 1, UINT32_MAX,
+                                 &stamp)) {
+          return 2;
+        }
+        req.stamps.push_back(static_cast<pivot::OrderStamp>(stamp));
       }
     } else if (verb == "undolast") {
       need(1);

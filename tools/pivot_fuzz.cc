@@ -29,6 +29,7 @@
 #include "pivot/oracle/fuzzcase.h"
 #include "pivot/oracle/shrinker.h"
 #include "pivot/persist/durable.h"
+#include "pivot/support/argparse.h"
 #include "pivot/support/diagnostics.h"
 
 namespace {
@@ -81,16 +82,19 @@ int RunSweep(int argc, char** argv) {
     };
     if (arg == "--seeds") {
       const char* v = next();
-      if (!v) return Usage();
-      seeds = std::atoi(v);
+      if (!v || !pivot::ParseIntFlag("--seeds", v, 1, 1'000'000, &seeds)) {
+        return Usage();
+      }
     } else if (arg == "--steps") {
       const char* v = next();
-      if (!v) return Usage();
-      steps = std::atoi(v);
+      if (!v || !pivot::ParseIntFlag("--steps", v, 1, 1'000'000, &steps)) {
+        return Usage();
+      }
     } else if (arg == "--start") {
       const char* v = next();
-      if (!v) return Usage();
-      start = std::strtoull(v, nullptr, 10);
+      if (!v || !pivot::ParseUint64Flag("--start", v, &start)) {
+        return Usage();
+      }
     } else if (arg == "--corpus") {
       const char* v = next();
       if (!v) return Usage();
@@ -192,9 +196,13 @@ int Shrink(int argc, char** argv) {
 int Show(int argc, char** argv) {
   if (argc < 1 || argc > 2) return Usage();
   FuzzGenOptions gen;
-  if (argc == 2) gen.num_steps = std::atoi(argv[1]);
-  const FuzzCase c =
-      pivot::GenerateFuzzCase(std::strtoull(argv[0], nullptr, 10), gen);
+  if (argc == 2 &&
+      !pivot::ParseIntFlag("STEPS", argv[1], 1, 1'000'000, &gen.num_steps)) {
+    return Usage();
+  }
+  std::uint64_t seed = 0;
+  if (!pivot::ParseUint64Flag("SEED", argv[0], &seed)) return Usage();
+  const FuzzCase c = pivot::GenerateFuzzCase(seed, gen);
   std::printf("%s", pivot::SerializeFuzzCase(c).c_str());
   return 0;
 }

@@ -1,0 +1,263 @@
+// pivot_search — search-driven auto-parallelizer over the undo stack.
+//
+// Modes:
+//   pivot_search run [--source FILE | --random SEED] [--mode greedy|anneal]
+//                    [--budget N] [--seed N] [--trace FILE] [--no-oracle]
+//                    [--print-source]
+//       Run the searcher on a program (a file, - = stdin, or a generated
+//       random program), print the cost trajectory + stats, check the
+//       accepted-prefix oracle, and optionally persist the trace. Exit 1
+//       when the oracle reports a deviation.
+//   pivot_search replay FILE
+//       Re-execute a trace's recorded decisions in a fresh session and
+//       re-check the oracle. Exit 1 on any deviation.
+//   pivot_search shrink FILE
+//       Delta-debug a failing trace down to a minimal reproducer and print
+//       it (redirect to a file to keep it).
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "pivot/ir/parser.h"
+#include "pivot/ir/printer.h"
+#include "pivot/ir/random_program.h"
+#include "pivot/search/searcher.h"
+#include "pivot/support/argparse.h"
+#include "pivot/support/diagnostics.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: pivot_search run [--source FILE | --random SEED]\n"
+      "         [--stmts N] [--name-pools N]\n"
+      "         [--mode greedy|anneal] [--budget N] [--seed N]\n"
+      "         [--trace FILE] [--no-oracle] [--print-source]\n"
+      "       pivot_search replay FILE\n"
+      "       pivot_search shrink FILE\n");
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  if (path == "-") {
+    std::ostringstream buf;
+    buf << std::cin.rdbuf();
+    *out = buf.str();
+    return true;
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+void PrintCost(const char* label, const pivot::CostSnapshot& c) {
+  std::printf("%-8s score=%.2f parallel=%d/%d stmts=%d deps=%d\n", label,
+              c.score, c.parallel_loops, c.total_loops, c.statements,
+              c.dependences);
+}
+
+int RunSearch(int argc, char** argv) {
+  std::string source_file;
+  std::uint64_t random_seed = 0;
+  bool use_random = false;
+  int random_stmts = 60;
+  int random_pools = 0;
+  std::string trace_file;
+  bool oracle = true;
+  bool print_source = false;
+  pivot::SearchOptions options;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--source") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      source_file = v;
+    } else if (arg == "--random") {
+      const char* v = next();
+      if (v == nullptr || !pivot::ParseUint64Flag("--random", v, &random_seed))
+        return Usage();
+      use_random = true;
+    } else if (arg == "--stmts") {
+      const char* v = next();
+      if (v == nullptr ||
+          !pivot::ParseIntFlag("--stmts", v, 1, 1'000'000, &random_stmts))
+        return Usage();
+    } else if (arg == "--name-pools") {
+      const char* v = next();
+      if (v == nullptr ||
+          !pivot::ParseIntFlag("--name-pools", v, 0, 1'000'000, &random_pools))
+        return Usage();
+    } else if (arg == "--mode") {
+      const char* v = next();
+      if (v == nullptr || !pivot::ParseSearchMode(v, &options.mode)) {
+        std::fprintf(stderr, "--mode: expected greedy|anneal\n");
+        return Usage();
+      }
+    } else if (arg == "--budget") {
+      const char* v = next();
+      if (v == nullptr ||
+          !pivot::ParseIntFlag("--budget", v, 1, 10'000'000, &options.budget))
+        return Usage();
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr || !pivot::ParseUint64Flag("--seed", v, &options.seed))
+        return Usage();
+    } else if (arg == "--trace") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      trace_file = v;
+    } else if (arg == "--no-oracle") {
+      oracle = false;
+    } else if (arg == "--print-source") {
+      print_source = true;
+    } else {
+      return Usage();
+    }
+  }
+  if (source_file.empty() == !use_random) {
+    std::fprintf(stderr, "pick exactly one of --source FILE / --random SEED\n");
+    return Usage();
+  }
+
+  std::string source;
+  try {
+    if (use_random) {
+      pivot::RandomProgramOptions gen;
+      gen.seed = random_seed;
+      gen.target_stmts = random_stmts;
+      if (random_pools > 0) {
+        // Same shape bench_search uses for its reject A/B: a widened
+        // name universe keeps the region index's per-name buckets sparse.
+        gen.num_scalars = random_pools;
+        gen.num_arrays = random_pools / 3;
+      }
+      source = pivot::ToSource(pivot::GenerateRandomProgram(gen));
+    } else if (!ReadFile(source_file, &source)) {
+      std::fprintf(stderr, "cannot read %s\n", source_file.c_str());
+      return 2;
+    }
+
+    pivot::Session session(pivot::Parse(source));
+    const pivot::Program original = session.program().Clone();
+    pivot::Searcher searcher(session, options);
+    const pivot::SearchResult result = searcher.Run();
+
+    PrintCost("initial", result.initial_cost);
+    PrintCost("final", result.final_cost);
+    const pivot::SearchStats& st = result.stats;
+    std::printf(
+        "proposals=%llu accepted=%llu rejected=%llu apply-fail=%llu "
+        "reject-fail=%llu cascaded=%llu%s\n",
+        static_cast<unsigned long long>(st.proposals),
+        static_cast<unsigned long long>(st.accepted),
+        static_cast<unsigned long long>(st.rejected),
+        static_cast<unsigned long long>(st.apply_failures),
+        static_cast<unsigned long long>(st.reject_failures),
+        static_cast<unsigned long long>(st.cascaded_records),
+        st.exhausted ? " (exhausted)" : "");
+    if (st.rejected > 0 && st.undo_ns > 0) {
+      std::printf("apply=%.1fms undo=%.1fms apply:undo=%.2f\n",
+                  static_cast<double>(st.apply_ns) / 1e6,
+                  static_cast<double>(st.undo_ns) / 1e6,
+                  static_cast<double>(st.apply_ns) /
+                      static_cast<double>(st.undo_ns));
+    }
+    if (print_source) {
+      std::printf("--- final program ---\n%s", session.Source().c_str());
+    }
+
+    if (!trace_file.empty()) {
+      pivot::SearchTrace trace;
+      trace.mode = options.mode;
+      trace.seed = options.seed;
+      trace.budget = options.budget;
+      trace.source = source;
+      trace.steps = result.steps;
+      std::ofstream out(trace_file, std::ios::binary);
+      out << pivot::SerializeSearchTrace(trace);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", trace_file.c_str());
+        return 2;
+      }
+      std::printf("trace written to %s\n", trace_file.c_str());
+    }
+
+    if (oracle) {
+      const std::string deviation =
+          pivot::VerifyAcceptedPrefix(original, result.steps, session);
+      if (!deviation.empty()) {
+        std::printf("ORACLE DEVIATION:\n%s\n", deviation.c_str());
+        return 1;
+      }
+      std::printf("oracle ok: session == accepted-prefix replay\n");
+    }
+    return 0;
+  } catch (const pivot::ProgramError& e) {
+    std::fprintf(stderr, "pivot_search: %s\n", e.what());
+    return 1;
+  }
+}
+
+bool LoadTrace(const char* path, pivot::SearchTrace* trace) {
+  std::string text;
+  if (!ReadFile(path, &text)) {
+    std::fprintf(stderr, "cannot read %s\n", path);
+    return false;
+  }
+  std::string error;
+  if (!pivot::DeserializeSearchTrace(text, trace, &error)) {
+    std::fprintf(stderr, "%s: %s\n", path, error.c_str());
+    return false;
+  }
+  return true;
+}
+
+int Replay(int argc, char** argv) {
+  if (argc != 1) return Usage();
+  pivot::SearchTrace trace;
+  if (!LoadTrace(argv[0], &trace)) return 2;
+  const pivot::TraceReplayResult r = pivot::ReplaySearchTrace(trace);
+  std::printf("applied=%d rejected=%d skipped=%d\n", r.applied, r.rejected,
+              r.skipped);
+  if (!r.ok) {
+    std::printf("ORACLE DEVIATION:\n%s\n", r.failure.c_str());
+    return 1;
+  }
+  std::printf("oracle ok\n");
+  return 0;
+}
+
+int Shrink(int argc, char** argv) {
+  if (argc != 1) return Usage();
+  pivot::SearchTrace trace;
+  if (!LoadTrace(argv[0], &trace)) return 2;
+  if (pivot::ReplaySearchTrace(trace).ok) {
+    std::fprintf(stderr, "trace replays clean; nothing to shrink\n");
+    return 1;
+  }
+  const pivot::SearchTrace small = pivot::ShrinkSearchTrace(trace);
+  std::printf("%s", pivot::SerializeSearchTrace(small).c_str());
+  std::fprintf(stderr, "shrunk %zu -> %zu steps\n", trace.steps.size(),
+               small.steps.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string mode = argv[1];
+  if (mode == "run") return RunSearch(argc - 2, argv + 2);
+  if (mode == "replay") return Replay(argc - 2, argv + 2);
+  if (mode == "shrink") return Shrink(argc - 2, argv + 2);
+  return Usage();
+}

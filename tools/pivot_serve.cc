@@ -27,6 +27,7 @@
 #include <unistd.h>
 
 #include "pivot/server/server.h"
+#include "pivot/support/argparse.h"
 
 namespace {
 
@@ -73,20 +74,32 @@ int main(int argc, char** argv) {
       socket_path = v;
     } else if (arg == "--snapshot-interval") {
       const char* v = next();
-      if (v == nullptr) return Usage();
-      options.snapshot_interval = std::atoi(v);
+      if (v == nullptr ||
+          !pivot::ParseIntFlag("--snapshot-interval", v, 1, 1'000'000,
+                               &options.snapshot_interval)) {
+        return Usage();
+      }
     } else if (arg == "--max-inflight") {
       const char* v = next();
-      if (v == nullptr) return Usage();
-      options.max_inflight = std::atoi(v);
+      if (v == nullptr ||
+          !pivot::ParseIntFlag("--max-inflight", v, 1, 1'000'000,
+                               &options.max_inflight)) {
+        return Usage();
+      }
     } else if (arg == "--session-inflight") {
       const char* v = next();
-      if (v == nullptr) return Usage();
-      options.session_inflight = std::atoi(v);
+      if (v == nullptr ||
+          !pivot::ParseIntFlag("--session-inflight", v, 1, 1'000'000,
+                               &options.session_inflight)) {
+        return Usage();
+      }
     } else if (arg == "--group-queue") {
       const char* v = next();
-      if (v == nullptr) return Usage();
-      options.commit.max_queue = std::atoi(v);
+      if (v == nullptr ||
+          !pivot::ParseIntFlag("--group-queue", v, 1, 1'000'000,
+                               &options.commit.max_queue)) {
+        return Usage();
+      }
     } else if (arg == "--no-group-fsync") {
       options.commit.group_fsync = false;
     } else if (arg == "--no-fsync") {
