@@ -49,6 +49,12 @@ ci/run_growth_soak.sh "$BUILD_DIR"
 # schedule, plus a trace replay per run (see ci/run_search_soak.sh).
 ci/run_search_soak.sh "$BUILD_DIR"
 
+# Swarm soak: multi-process network chaos (torn frames, stalls, client
+# and server SIGKILLs) against the TCP/unix listeners under aggressive
+# session passivation; no acked commit may be lost across restarts (see
+# ci/run_swarm_soak.sh).
+ci/run_swarm_soak.sh "$BUILD_DIR"
+
 echo "ASan+UBSan run complete"
 
 # ThreadSanitizer job: rebuild with -fsanitize=thread (ASan and TSan cannot

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Network chaos soak: tools/pivot_swarm forks one server and a swarm of
+# client processes, injects the network faults a WAN deployment actually
+# sees (torn frames, vanishing peers, slowloris stalls, client SIGKILLs)
+# and SIGKILLs + restarts the server itself mid-flight, all while the
+# server runs under aggressive session-lifecycle pressure (tiny resident
+# cap + fast idle reaper, so commits constantly cross passivation and
+# reactivation). The oracle is the crash sweep's acked-or-acked+1 rule:
+# after the chaos window the data directory is recovered fresh and every
+# session must match its client's recorded acked prefix (or prefix+1 for
+# the one possibly-in-flight request). Any lost acked commit fails.
+#
+# Two runs: >= 64 clients over TCP, then a smaller run over the unix
+# socket so both transports see the fault mix. Meant to run inside the
+# sanitizer job (ci/run_sanitizers.sh) so ASan watches the server side.
+#
+# Tuning: PIVOT_SWARM_CLIENTS / _OPS / _SECONDS / _SERVER_KILLS /
+# _CLIENT_KILLS / _SEED (see tools/pivot_swarm.cc).
+#
+# Usage: ci/run_swarm_soak.sh [build-dir]    (default: build-asan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+
+export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1:strict_string_checks=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+
+cmake -B "$BUILD_DIR" -S . -DPIVOT_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target pivot_swarm
+
+# TCP, the full swarm: >= 64 client processes, several server crashes.
+PIVOT_SWARM_CLIENTS="${PIVOT_SWARM_CLIENTS:-64}" \
+PIVOT_SWARM_OPS="${PIVOT_SWARM_OPS:-32}" \
+PIVOT_SWARM_SECONDS="${PIVOT_SWARM_SECONDS:-120}" \
+PIVOT_SWARM_SERVER_KILLS="${PIVOT_SWARM_SERVER_KILLS:-5}" \
+PIVOT_SWARM_CLIENT_KILLS="${PIVOT_SWARM_CLIENT_KILLS:-8}" \
+PIVOT_SWARM_TRANSPORT=tcp \
+  "$BUILD_DIR"/tools/pivot_swarm
+
+# Unix socket, same fault mix at a smaller scale.
+PIVOT_SWARM_CLIENTS=16 PIVOT_SWARM_OPS=24 PIVOT_SWARM_SECONDS=60 \
+PIVOT_SWARM_SERVER_KILLS=2 PIVOT_SWARM_CLIENT_KILLS=4 \
+PIVOT_SWARM_TRANSPORT=unix \
+  "$BUILD_DIR"/tools/pivot_swarm
+
+echo "swarm soak complete: no acked commit lost across network faults, kills and restarts"

@@ -134,10 +134,10 @@ std::unique_ptr<DurableJournal> DurableJournal::Reattach(
   FileLock lock = FileLock::Acquire(path);
   RemoveStaleCompactTmp(path);
   const WalScanResult scan = ScanWal(path);
-  if (!scan.header_ok || scan.version != kJournalFormatVersion ||
+  if (!scan.header_ok || scan.version > kJournalFormatVersion ||
       scan.frames.empty()) {
     throw ProgramError("durable journal: " + path +
-                       " is not a journal of this format version");
+                       " is not a journal this build can append to");
   }
   if (scan.valid_bytes != scan.file_bytes) {
     throw ProgramError("durable journal: " + path +
@@ -300,11 +300,15 @@ void DurableJournal::Compact() {
         out.AppendFrame(FrameType::kTxn, frame.body, false,
                         "persist.compact.txn");
       } else if (IsSnapshotFrame(frame.type)) {
+        // Covered counts are file-relative: rebase them by the dropped
+        // prefix, and push the drop into the cumulative base so absolute
+        // txn indices stay recoverable (see persist/wire.h).
         SnapshotBody body = DecodeSnapshotBody(frame.body);
         body.txns = body.txns >= dropped ? body.txns - dropped : 0;
-        out.AppendFrame(frame.type,
-                        EncodeSnapshotBody(body.txns, body.payload), false,
-                        "persist.compact.snapshot");
+        out.AppendFrame(
+            frame.type,
+            EncodeSnapshotBody(body.txns, body.payload, body.base + dropped),
+            false, "persist.compact.snapshot");
       }
     }
     out.Sync("persist.compact.tmp.synced");

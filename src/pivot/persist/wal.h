@@ -40,8 +40,14 @@ namespace pivot {
 //   1 — genesis/txn/snapshot/group frames;
 //   2 — adds kDeltaSnapshot (a version-1 reader would mis-scan a delta
 //       frame as an unknown type and silently truncate the tail there,
-//       hence the bump: old readers refuse loudly instead).
-inline constexpr std::uint32_t kJournalFormatVersion = 2;
+//       hence the bump: old readers refuse loudly instead);
+//   3 — snapshot bodies may carry a "base <n>" clause (cumulative txn
+//       frames dropped from beneath the file by compaction; see
+//       persist/wire.h). A version-2 reader would parse the covered count
+//       and silently IGNORE the base, mis-aligning the server's gwal
+//       reconciliation — hence the bump. Version-3 readers accept older
+//       files unchanged (base defaults to 0).
+inline constexpr std::uint32_t kJournalFormatVersion = 3;
 
 inline constexpr char kWalMagic[8] = {'P', 'I', 'V', 'O',
                                       'T', 'W', 'A', 'L'};

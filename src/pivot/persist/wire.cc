@@ -115,21 +115,35 @@ GenesisInfo DecodeGenesis(const std::string& body) {
   return info;
 }
 
-std::string EncodeSnapshotBody(std::uint64_t txns,
-                               const std::string& payload) {
-  return "txns " + std::to_string(txns) + "\n" + payload;
+std::string EncodeSnapshotBody(std::uint64_t txns, const std::string& payload,
+                               std::uint64_t base) {
+  std::string prefix = "txns " + std::to_string(txns);
+  // Omitted when zero: an uncompacted file stays byte-identical to the
+  // version-2 encoding.
+  if (base > 0) prefix += " base " + std::to_string(base);
+  return prefix + "\n" + payload;
 }
 
 SnapshotBody DecodeSnapshotBody(const std::string& body) {
-  std::istringstream is(body);
+  const std::size_t newline = body.find('\n');
+  if (newline == std::string::npos) Malformed("bad snapshot prefix");
+  std::istringstream is(body.substr(0, newline));
   std::string tag;
   std::uint64_t txns = 0;
   is >> tag >> txns;
-  const std::size_t newline = body.find('\n');
-  if (!is || tag != "txns" || newline == std::string::npos) {
-    Malformed("bad snapshot prefix");
+  if (!is || tag != "txns") Malformed("bad snapshot prefix");
+  SnapshotBody out;
+  out.txns = txns;
+  std::string base_tag;
+  if (is >> base_tag) {
+    std::uint64_t base = 0;
+    if (base_tag != "base" || !(is >> base)) {
+      Malformed("bad snapshot base clause");
+    }
+    out.base = base;
   }
-  return {txns, body.substr(newline + 1)};
+  out.payload = body.substr(newline + 1);
+  return out;
 }
 
 std::string EncodeTxn(const TxnDescriptor& desc, const SessionDigest& digest) {

@@ -163,6 +163,12 @@ GroupCommitStats GroupCommitLog::stats() const {
 
 void GroupCommitLog::FailAll(Failure failure, std::exception_ptr error,
                              std::deque<std::shared_ptr<Ticket>>& batch) {
+  // Report the failure upward BEFORE any waiter can observe it: a committer
+  // woken below returns kDegraded to its client, and by then the server's
+  // mode must already say so — callers legitimately read mode() right after
+  // a degraded response. The callback is idempotent (mode CAS), so racing
+  // FailAll calls are harmless.
+  if (on_failure_) on_failure_(failure);
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (failure_ == Failure::kNone) {
@@ -191,7 +197,6 @@ void GroupCommitLog::FailAll(Failure failure, std::exception_ptr error,
     }
   }
   done_cv_.notify_all();
-  if (on_failure_) on_failure_(failure);
 }
 
 void GroupCommitLog::WorkerLoop() {

@@ -1,0 +1,54 @@
+#include "pivot/server/lifecycle.h"
+
+#include "pivot/core/session.h"
+
+namespace pivot {
+
+void SessionLru::Touch(const std::string& name, std::uint64_t bytes,
+                       Clock::time_point now) {
+  auto it = index_.find(name);
+  if (it != index_.end()) {
+    total_bytes_ -= it->second->bytes;
+    order_.erase(it->second);
+    index_.erase(it);
+  }
+  order_.push_back(Entry{name, bytes, now});
+  index_.emplace(name, std::prev(order_.end()));
+  total_bytes_ += bytes;
+}
+
+void SessionLru::Remove(const std::string& name) {
+  auto it = index_.find(name);
+  if (it == index_.end()) return;
+  total_bytes_ -= it->second->bytes;
+  order_.erase(it->second);
+  index_.erase(it);
+}
+
+std::vector<std::string> SessionLru::Victims(Clock::time_point idle_cutoff,
+                                             std::size_t limit) const {
+  std::vector<std::string> out;
+  for (const Entry& entry : order_) {
+    if (out.size() >= limit) break;
+    if (entry.touched > idle_cutoff) break;  // order_ is touch-sorted
+    out.push_back(entry.name);
+  }
+  return out;
+}
+
+std::uint64_t EstimateSessionBytes(Session& session) {
+  // Flat per-record costs, sized generously: a statement is an expression
+  // tree plus bookkeeping, a journal record may hold a detached payload
+  // tree, a history record is mostly ids. The estimate only has to scale
+  // with the session, not match the allocator.
+  constexpr std::uint64_t kPerStmt = 256;
+  constexpr std::uint64_t kPerJournalRecord = 512;
+  constexpr std::uint64_t kPerHistoryRecord = 128;
+  constexpr std::uint64_t kSessionOverhead = 8 * 1024;
+  return kSessionOverhead +
+         kPerStmt * session.program().AttachedStmtCount() +
+         kPerJournalRecord * session.journal().records().size() +
+         kPerHistoryRecord * session.history().records().size();
+}
+
+}  // namespace pivot

@@ -1,0 +1,272 @@
+#include "pivot/server/listener.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "pivot/support/diagnostics.h"
+
+namespace pivot {
+namespace {
+
+[[noreturn]] void BindError(const std::string& what) {
+  throw ProgramError("listener: " + what + ": " + std::strerror(errno));
+}
+
+int ListenUnix(const std::string& path, int backlog) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    throw ProgramError("listener: unix socket path too long: " + path);
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  ::unlink(path.c_str());
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) BindError("cannot create unix socket");
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, backlog) != 0) {
+    ::close(fd);
+    BindError("cannot listen on " + path);
+  }
+  return fd;
+}
+
+int ListenTcp(const std::string& host, int port, int backlog,
+              int* bound_port) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE | AI_NUMERICSERV;
+  addrinfo* res = nullptr;
+  const std::string service = std::to_string(port);
+  const int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &res);
+  if (rc != 0) {
+    throw ProgramError("listener: cannot resolve " + host + ": " +
+                       ::gai_strerror(rc));
+  }
+  int fd = -1;
+  int saved_errno = 0;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      saved_errno = errno;
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 &&
+        ::listen(fd, backlog) == 0) {
+      break;
+    }
+    saved_errno = errno;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) {
+    errno = saved_errno;
+    BindError("cannot listen on " + host + ":" + std::to_string(port));
+  }
+  // Resolve an ephemeral port request to the port the kernel picked.
+  sockaddr_storage bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    if (bound.ss_family == AF_INET) {
+      *bound_port =
+          ntohs(reinterpret_cast<sockaddr_in*>(&bound)->sin_port);
+    } else if (bound.ss_family == AF_INET6) {
+      *bound_port =
+          ntohs(reinterpret_cast<sockaddr_in6*>(&bound)->sin6_port);
+    }
+  }
+  return fd;
+}
+
+}  // namespace
+
+ServerListener::ServerListener(PivotServer& server, ListenerOptions options)
+    : server_(server), options_(std::move(options)) {
+  PIVOT_CHECK_MSG(!options_.unix_path.empty() || !options_.tcp_host.empty(),
+                  "listener needs a unix path or a TCP host");
+  if (!options_.unix_path.empty()) {
+    unix_fd_ = ListenUnix(options_.unix_path, options_.backlog);
+  }
+  if (!options_.tcp_host.empty()) {
+    tcp_port_ = options_.tcp_port;
+    try {
+      tcp_fd_ = ListenTcp(options_.tcp_host, options_.tcp_port,
+                          options_.backlog, &tcp_port_);
+    } catch (...) {
+      if (unix_fd_ >= 0) {
+        ::close(unix_fd_);
+        ::unlink(options_.unix_path.c_str());
+        unix_fd_ = -1;
+      }
+      throw;
+    }
+  }
+}
+
+ServerListener::~ServerListener() {
+  Shutdown();
+  // If Run() never ran (or already returned), the join loop below is what
+  // reaps any threads it left behind; Run() itself joins on exit, so this
+  // is a no-op after a clean Run().
+  for (std::thread& t : connections_) {
+    if (t.joinable()) t.join();
+  }
+  if (unix_fd_ >= 0) {
+    ::close(unix_fd_);
+    ::unlink(options_.unix_path.c_str());
+  }
+  if (tcp_fd_ >= 0) ::close(tcp_fd_);
+}
+
+void ServerListener::Shutdown() {
+  stop_.store(true, std::memory_order_release);
+  // shutdown(2), not close(2): the fds stay valid (no reuse race with a
+  // concurrent poll) but every blocked accept/poll wakes with the socket
+  // readable-and-dead. Async-signal-safe.
+  if (unix_fd_ >= 0) ::shutdown(unix_fd_, SHUT_RDWR);
+  if (tcp_fd_ >= 0) ::shutdown(tcp_fd_, SHUT_RDWR);
+}
+
+void ServerListener::AcceptOne(int listen_fd) {
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd < 0) return;  // raced Shutdown(), or a transient accept failure
+  if (listen_fd == tcp_fd_) {
+    // The protocol writes header then payload as two send()s; without
+    // TCP_NODELAY, Nagle holds the second behind the peer's delayed ACK
+    // and every request eats a ~40ms stall.
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  }
+  {
+    std::lock_guard<std::mutex> lock(fds_mu_);
+    live_fds_.insert(fd);
+  }
+  connections_.emplace_back([this, fd] {
+    try {
+      server_.ServeConnection(fd, options_.limits);
+    } catch (...) {
+      // FaultInjectedError (crash harness) or transport surprise: this
+      // connection dies, the listener keeps serving the rest.
+    }
+    {
+      std::lock_guard<std::mutex> lock(fds_mu_);
+      live_fds_.erase(fd);
+    }
+    ::close(fd);
+  });
+}
+
+void ServerListener::Run() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfds[2];
+    nfds_t n = 0;
+    if (unix_fd_ >= 0) pfds[n++] = pollfd{unix_fd_, POLLIN, 0};
+    if (tcp_fd_ >= 0) pfds[n++] = pollfd{tcp_fd_, POLLIN, 0};
+    // Bounded poll so a client-initiated drain (server kStopped, no
+    // further connection ever arrives) still ends the loop.
+    const int ready = ::poll(pfds, n, 200);
+    if (server_.mode() == ServerMode::kStopped) break;
+    if (stop_.load(std::memory_order_acquire)) break;
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    for (nfds_t i = 0; i < n; ++i) {
+      if (pfds[i].revents != 0) AcceptOne(pfds[i].fd);
+    }
+  }
+  // Kick idle connections off their blocking reads, then reap the threads.
+  {
+    std::lock_guard<std::mutex> lock(fds_mu_);
+    for (int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& t : connections_) {
+    if (t.joinable()) t.join();
+  }
+  connections_.clear();
+}
+
+int DialUnix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    errno = ENAMETOOLONG;
+    return -1;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    return -1;
+  }
+  return fd;
+}
+
+int DialTcp(const std::string& host, int port) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICSERV;
+  addrinfo* res = nullptr;
+  const std::string service = std::to_string(port);
+  if (::getaddrinfo(host.c_str(), service.c_str(), &hints, &res) != 0) {
+    errno = EHOSTUNREACH;
+    return -1;
+  }
+  int fd = -1;
+  int saved_errno = ECONNREFUSED;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      saved_errno = errno;
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      // Mirror of the listener's accept-side setting (see AcceptOne).
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      break;
+    }
+    saved_errno = errno;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) errno = saved_errno;
+  return fd;
+}
+
+bool ParseHostPort(const std::string& spec, std::string* host, int* port) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= spec.size()) {
+    return false;
+  }
+  char* end = nullptr;
+  const long value = std::strtol(spec.c_str() + colon + 1, &end, 10);
+  // Port 0 is allowed: for a listener it requests an ephemeral port.
+  if (end == nullptr || *end != '\0' || value < 0 || value > 65535) {
+    return false;
+  }
+  *host = spec.substr(0, colon);
+  *port = static_cast<int>(value);
+  return true;
+}
+
+}  // namespace pivot

@@ -1,0 +1,87 @@
+// Socket front-ends for PivotServer: unix-domain and TCP listeners
+// sharing the framed protocol (server/protocol.h), one thread per
+// connection, with per-connection read deadlines so an idle or slowloris
+// peer cannot pin a thread forever.
+//
+// The listener owns the accept loop and the connection threads; the
+// PivotServer it fronts outlives it. Shutdown() is safe to call from a
+// signal handler (it only stores an atomic flag and shutdown(2)s the
+// listening sockets); Run() then falls out of its poll, disconnects the
+// live connections and joins their threads before returning.
+#ifndef PIVOT_SERVER_LISTENER_H_
+#define PIVOT_SERVER_LISTENER_H_
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pivot/server/server.h"
+
+namespace pivot {
+
+struct ListenerOptions {
+  // Unix-domain socket path; empty = no unix listener. An existing socket
+  // file is unlinked before binding (stale from a previous run).
+  std::string unix_path;
+  // TCP host to bind; empty = no TCP listener. Numeric or resolvable;
+  // port 0 picks an ephemeral port (read it back via tcp_port()).
+  std::string tcp_host;
+  int tcp_port = 0;
+  int backlog = 64;
+  // Read deadlines applied to every accepted connection (see
+  // ConnectionLimits); zeros = unbounded, the classic unix-socket trust
+  // model. TCP deployments should set both.
+  ConnectionLimits limits;
+};
+
+class ServerListener {
+ public:
+  // Binds every configured listener; throws ProgramError when a socket
+  // cannot be bound. At least one of unix_path/tcp_host must be set.
+  ServerListener(PivotServer& server, ListenerOptions options);
+  ~ServerListener();
+  ServerListener(const ServerListener&) = delete;
+  ServerListener& operator=(const ServerListener&) = delete;
+
+  // Accept loop: serves connections until Shutdown() is called or the
+  // server reaches kStopped (a client-initiated drain). On exit every
+  // live connection is shut down and every connection thread joined.
+  void Run();
+
+  // Ends Run() from another thread or a signal handler: flags the stop
+  // and shutdown(2)s the listening sockets to break the poll/accept.
+  // Idempotent.
+  void Shutdown();
+
+  // The TCP port actually bound (resolves port 0), 0 when no TCP listener.
+  int tcp_port() const { return tcp_port_; }
+
+ private:
+  void AcceptOne(int listen_fd);
+
+  PivotServer& server_;
+  const ListenerOptions options_;
+  int unix_fd_ = -1;
+  int tcp_fd_ = -1;
+  int tcp_port_ = 0;
+  std::atomic<bool> stop_{false};
+
+  std::mutex fds_mu_;
+  std::set<int> live_fds_;  // guarded by fds_mu_
+  std::vector<std::thread> connections_;  // only touched by Run()
+};
+
+// Client-side dials, shared by the tools (pivot_client, pivot_swarm).
+// Return the connected fd or -1 with errno describing the failure.
+int DialUnix(const std::string& path);
+int DialTcp(const std::string& host, int port);
+// Parses "HOST:PORT" (the --tcp flag syntax; the last ':' splits, so
+// numeric IPv6 works as e.g. ::1:9000). Returns false on malformed input.
+bool ParseHostPort(const std::string& spec, std::string* host, int* port);
+
+}  // namespace pivot
+
+#endif  // PIVOT_SERVER_LISTENER_H_

@@ -1,7 +1,10 @@
 #include "pivot/server/protocol.h"
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
+
+#include <chrono>
 
 #include <cerrno>
 #include <cstring>
@@ -86,6 +89,54 @@ void SendAll(int fd, const void* buf, std::size_t len) {
     p += n;
     len -= static_cast<std::size_t>(n);
   }
+}
+
+// Like ReadAll but with an absolute deadline: each read(2) is preceded by
+// a poll(2) bounded by the time remaining. kNoReadDeadline disables the
+// bound (plain blocking reads). Throws ReadTimeoutError on expiry.
+using ReadClock = std::chrono::steady_clock;
+constexpr ReadClock::time_point kNoReadDeadline = ReadClock::time_point::max();
+
+bool ReadAllUntil(int fd, void* buf, std::size_t len, bool eof_ok,
+                  ReadClock::time_point deadline) {
+  char* p = static_cast<char*>(buf);
+  std::size_t got = 0;
+  while (got < len) {
+    if (deadline != kNoReadDeadline) {
+      const auto now = ReadClock::now();
+      if (now >= deadline) {
+        throw ReadTimeoutError(got == 0 ? "waiting for a request"
+                                        : "mid-message");
+      }
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            deadline - now)
+                            .count();
+      struct pollfd pfd;
+      pfd.fd = fd;
+      pfd.events = POLLIN;
+      pfd.revents = 0;
+      const int ready =
+          ::poll(&pfd, 1, static_cast<int>(left > 0 ? left : 1));
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        IoError("poll failed");
+      }
+      if (ready == 0) continue;  // loop re-checks the deadline
+      // POLLHUP/POLLERR fall through to read(2), which reports EOF or the
+      // error with the usual semantics.
+    }
+    const ssize_t n = ::read(fd, p + got, len - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      IoError("read failed");
+    }
+    if (n == 0) {
+      if (got == 0 && eof_ok) return false;
+      throw ProgramError("server transport: connection closed mid-message");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
 }
 
 }  // namespace
@@ -227,6 +278,38 @@ bool ReadMessage(int fd, std::string* payload) {
   }
   payload->resize(len);
   ReadAll(fd, payload->data(), len, /*eof_ok=*/false);
+  if (Crc32c(payload->data(), len) != crc) {
+    throw ProgramError("server transport: message checksum mismatch");
+  }
+  return true;
+}
+
+bool ReadMessage(int fd, std::string* payload, int idle_ms, int frame_ms) {
+  if (idle_ms <= 0 && frame_ms <= 0) return ReadMessage(fd, payload);
+  // The idle bound covers the wait for the message's first byte only; a
+  // connection with no request in flight is allowed that much silence.
+  unsigned char header[8];
+  const ReadClock::time_point idle_deadline =
+      idle_ms > 0 ? ReadClock::now() + std::chrono::milliseconds(idle_ms)
+                  : kNoReadDeadline;
+  if (!ReadAllUntil(fd, header, 1, /*eof_ok=*/true, idle_deadline)) {
+    return false;
+  }
+  // First byte in hand: the whole remainder must arrive under the frame
+  // bound, however slowly the peer dribbles it.
+  const ReadClock::time_point frame_deadline =
+      frame_ms > 0 ? ReadClock::now() + std::chrono::milliseconds(frame_ms)
+                   : kNoReadDeadline;
+  ReadAllUntil(fd, header + 1, sizeof header - 1, /*eof_ok=*/false,
+               frame_deadline);
+  const std::uint32_t len = GetU32(header);
+  const std::uint32_t crc = GetU32(header + 4);
+  if (len == 0 || len > kMaxMessageBytes) {
+    throw ProgramError("server transport: implausible message length " +
+                       std::to_string(len));
+  }
+  payload->resize(len);
+  ReadAllUntil(fd, payload->data(), len, /*eof_ok=*/false, frame_deadline);
   if (Crc32c(payload->data(), len) != crc) {
     throw ProgramError("server transport: message checksum mismatch");
   }

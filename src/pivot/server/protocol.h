@@ -112,6 +112,25 @@ Response DecodeResponse(const std::string& payload);
 bool ReadMessage(int fd, std::string* payload);
 void WriteMessage(int fd, const std::string& payload);
 
+// A read deadline expired (see the timed ReadMessage overload). Distinct
+// from ProgramError so the server can count slow-client disconnections
+// separately from transport garbage.
+class ReadTimeoutError : public ProgramError {
+ public:
+  explicit ReadTimeoutError(const std::string& what)
+      : ProgramError("read timeout: " + what) {}
+};
+
+// ReadMessage with per-message deadlines, for network transports where a
+// peer may stall indefinitely. `idle_ms` bounds the wait for a message's
+// FIRST byte (an idle but healthy connection); `frame_ms` bounds the time
+// from that first byte until the complete message has arrived — the
+// slowloris guard: a client dribbling one byte per poll interval cannot
+// pin a server thread forever. Either 0 disables that bound. Throws
+// ReadTimeoutError when a deadline expires (possibly mid-message — the
+// connection is no longer framable and must be dropped).
+bool ReadMessage(int fd, std::string* payload, int idle_ms, int frame_ms);
+
 // Typed failures of the server's commit path; Execute maps them to the
 // matching status codes.
 class ServerOverloadedError : public ProgramError {

@@ -5,6 +5,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <sstream>
 #include <thread>
@@ -155,6 +156,11 @@ class PivotServer::ServerJournal final : public CommitListener {
         ++journal->since_snapshot_;
       } else if (frame.type == FrameType::kSnapshot) {
         journal->since_snapshot_ = 0;
+        // Compaction (at passivation) pushes dropped txn frames into the
+        // snapshot's base clause; the largest one is the file's cumulative
+        // offset into the session's absolute history.
+        const std::uint64_t base = DecodeSnapshotBody(frame.body).base;
+        if (base > journal->base_) journal->base_ = base;
       }
     }
     session.set_commit_listener(journal.get());
@@ -228,7 +234,9 @@ class PivotServer::ServerJournal final : public CommitListener {
     }
     const std::uint64_t covered = txns_.load(std::memory_order_acquire);
     writer_.Sync();
-    return covered;
+    // Watermarks count from the group log's logical start, so a file that
+    // was compacted while passivated reports its base plus what it holds.
+    return base_ + covered;
   }
 
   bool broken() const { return broken_; }
@@ -240,7 +248,7 @@ class PivotServer::ServerJournal final : public CommitListener {
       return;
     }
     const std::string body =
-        EncodeSnapshotBody(txns_, EncodeSessionImage(session_));
+        EncodeSnapshotBody(txns_, EncodeSessionImage(session_), base_);
     const std::uint64_t pre = writer_.offset();
     try {
       writer_.AppendFrame(FrameType::kSnapshot, body, /*fsync=*/false,
@@ -255,6 +263,41 @@ class PivotServer::ServerJournal final : public CommitListener {
       Poison(pre);
       if (degrade_) degrade_();
     }
+  }
+
+  // Passivation: one final durable snapshot (or a bare fsync when the last
+  // interval snapshot already covers everything), making the file the sole
+  // authority for this session's state. Returns the absolute acked-txn
+  // watermark the stub carries — the count this fsync provably covers, so
+  // it may keep feeding gwal retention while the session is passivated.
+  // Throws ServerWriteFaultError on a permanent fault (the torn frame is
+  // rolled off and the session must stay resident) and FaultInjectedError
+  // for the crash harness.
+  std::uint64_t PassivateToDisk() {
+    if (broken_.load(std::memory_order_acquire)) {
+      throw ServerWriteFaultError(
+          "session journal poisoned by an earlier write fault");
+    }
+    const std::uint64_t pre = writer_.offset();
+    try {
+      if (since_snapshot_ > 0) {
+        const std::string body =
+            EncodeSnapshotBody(txns_, EncodeSessionImage(session_), base_);
+        writer_.AppendFrame(FrameType::kSnapshot, body, /*fsync=*/true,
+                            "server.evict.snapshot");
+        since_snapshot_ = 0;
+      } else {
+        writer_.Sync();
+      }
+    } catch (const FaultInjectedError&) {
+      broken_ = true;
+      throw;
+    } catch (const ProgramError& e) {
+      Poison(pre);
+      throw ServerWriteFaultError(std::string("passivation snapshot: ") +
+                                  e.what());
+    }
+    return base_ + txns_.load(std::memory_order_acquire);
   }
 
  private:
@@ -289,6 +332,11 @@ class PivotServer::ServerJournal final : public CommitListener {
   // Atomic so the retention pass can read a durable-coverage watermark
   // without taking the session lock (see SyncWalForRetention).
   std::atomic<std::uint64_t> txns_{0};
+  // Cumulative txn frames compaction dropped from beneath this file (the
+  // largest snapshot base at attach time); txns_ stays file-relative, so
+  // the absolute acked count is base_ + txns_. Immutable after attach —
+  // the file is only ever compacted while no journal owns it.
+  std::uint64_t base_ = 0;
   std::uint64_t since_snapshot_ = 0;
   std::atomic<bool> broken_{false};
 };
@@ -311,9 +359,88 @@ struct PivotServer::Hosted {
   std::mutex retention_mu;
   std::atomic<int> inflight{0};
   bool closed = false;  // guarded by mu
+  // Passivated stub state. Written under mu; atomic because the gwal
+  // retention pass reads both under retention_mu alone. The watermark is
+  // the absolute acked-txn count the passivation fsync made durable in the
+  // session file — while the stub stands, it keeps vouching for the
+  // session's group-log envelopes (see DoCompactGwal).
+  std::atomic<bool> passivated{false};
+  std::atomic<std::uint64_t> acked_watermark{0};
 };
 
 namespace {
+
+// Rewrites a clean, unowned session WAL down to genesis + the newest full
+// snapshot + the frames after it, mirroring persist's compaction: the
+// rewrite goes to `<path>.compact`, is fsynced, and renamed over the
+// journal atomically, so a crash at any byte leaves the complete old file
+// or the complete new one. Dropped txn frames are pushed into the
+// snapshots' `base` clause so gwal reconciliation can still align the file
+// by absolute transaction index. The caller holds the journal's flock (no
+// live writer may race the rename) and runs this only at passivation —
+// after the final snapshot is durable, which is what licenses dropping
+// the covered prefix. Stale tmp files are removed by RecoverSession at
+// reactivation, exactly like persist compaction crashes.
+void CompactSessionWalFile(const std::string& path) {
+  PIVOT_FAULT_POINT("server.evict.compact.pre");
+  const WalScanResult scan = ScanWal(path);
+  if (!scan.header_ok || scan.frames.empty() ||
+      scan.valid_bytes != scan.file_bytes) {
+    return;  // not a clean journal; leave it to recovery
+  }
+  std::size_t full = 0;
+  for (std::size_t i = scan.frames.size(); i-- > 1;) {
+    if (scan.frames[i].type == FrameType::kSnapshot) {
+      full = i;
+      break;
+    }
+  }
+  if (full == 0) return;
+  const SnapshotBody anchor = DecodeSnapshotBody(scan.frames[full].body);
+  const std::uint64_t dropped = anchor.txns;
+  if (dropped == 0) return;
+  // Same inconsistency guard as persist's Compact: the anchor's covered
+  // count must equal the txn frames actually preceding it, or nothing is
+  // dropped on untrustworthy evidence.
+  std::uint64_t preceding = 0;
+  for (std::size_t i = 1; i < full; ++i) {
+    if (scan.frames[i].type == FrameType::kTxn) ++preceding;
+  }
+  if (preceding != dropped) return;
+
+  const std::string tmp = path + ".compact";
+  try {
+    WalWriter out = WalWriter::Create(tmp);
+    out.AppendFrame(FrameType::kGenesis, scan.frames[0].body, false,
+                    "server.evict.compact.frame");
+    for (std::size_t i = full; i < scan.frames.size(); ++i) {
+      const WalFrame& frame = scan.frames[i];
+      if (frame.type == FrameType::kTxn) {
+        out.AppendFrame(FrameType::kTxn, frame.body, false,
+                        "server.evict.compact.frame");
+      } else if (frame.type == FrameType::kSnapshot) {
+        SnapshotBody body = DecodeSnapshotBody(frame.body);
+        body.txns = body.txns >= dropped ? body.txns - dropped : 0;
+        out.AppendFrame(
+            FrameType::kSnapshot,
+            EncodeSnapshotBody(body.txns, body.payload, body.base + dropped),
+            false, "server.evict.compact.frame");
+      }
+    }
+    out.Sync("server.evict.compact.tmp.synced");
+    PIVOT_FAULT_POINT("server.evict.compact.rename.pre");
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+      throw ProgramError("session wal compaction rename failed: " +
+                         std::string(std::strerror(errno)));
+    }
+    PIVOT_FAULT_POINT("server.evict.compact.rename.post");
+  } catch (const FaultInjectedError&) {
+    throw;  // crash harness: leave everything as the crash left it
+  } catch (...) {
+    std::remove(tmp.c_str());
+    throw;
+  }
+}
 
 // Releases an admission slot (global or per-session) on scope exit.
 struct SlotGuard {
@@ -373,9 +500,13 @@ PivotServer::PivotServer(ServerOptions options)
           Degrade("group-commit log write fault");
         }
       });
+  if (options_.lifecycle.idle_passivate_ms > 0) {
+    reaper_ = std::thread([this] { ReaperLoop(); });
+  }
 }
 
 PivotServer::~PivotServer() {
+  StopReaper();
   const ServerMode m = mode();
   if (m != ServerMode::kCrashed && m != ServerMode::kStopped) {
     try {
@@ -409,6 +540,11 @@ ServerStats PivotServer::stats() const {
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     out = stats_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    out.resident_sessions = lru_.size();
+    out.resident_bytes = lru_.total_bytes();
   }
   out.mode = mode();
   out.group = group_->stats();
@@ -458,7 +594,12 @@ Response PivotServer::Execute(const Request& req) {
        << " rejected_overload=" << s.rejected_overload
        << " rejected_deadline=" << s.rejected_deadline
        << " rejected_degraded=" << s.rejected_degraded
-       << " transient_absorbed=" << s.transient_absorbed;
+       << " transient_absorbed=" << s.transient_absorbed
+       << " passivations=" << s.passivations
+       << " reactivations=" << s.reactivations
+       << " resident=" << s.resident_sessions
+       << " resident_bytes=" << s.resident_bytes
+       << " read_timeouts=" << s.read_timeouts;
     Response resp;
     resp.value = s.commits;
     resp.text = os.str();
@@ -495,8 +636,9 @@ Response PivotServer::Execute(const Request& req) {
     CheckDeadline("at admission");
     Response resp = Dispatch(req, deadline);
     // No session lock is held here (Dispatch released everything), which
-    // is what the retention pass requires.
+    // is what the retention pass and budget enforcement require.
     MaybeAutoCompact();
+    MaybePassivate();
     return resp;
   } catch (const FaultInjectedError&) {
     mode_.store(ServerMode::kCrashed, std::memory_order_release);
@@ -534,6 +676,18 @@ Response PivotServer::Execute(const Request& req) {
 
 Response PivotServer::Dispatch(const Request& req,
                                Clock::time_point deadline) {
+  // Hostile session names (empty, oversized, path separators, "..") are
+  // rejected at admission, before any code path could turn them into a
+  // filesystem path. kPrecondition, not kBadRequest: the request itself is
+  // well-formed, the name just cannot ever denote a session.
+  const bool takes_session = req.op != ServerOp::kCompact &&
+                             !(req.op == ServerOp::kSleep &&
+                               req.session.empty());
+  if (takes_session && !ValidSessionName(req.session)) {
+    return Fail(StatusCode::kPrecondition,
+                "invalid session name '" + req.session + "'");
+  }
+
   switch (req.op) {
     case ServerOp::kOpen:
       return DoOpen(req);
@@ -586,22 +740,32 @@ Response PivotServer::Dispatch(const Request& req,
   }
   CheckDeadline("after acquiring the session");
 
-  Session& session = *hosted->session;
+  // A passivated stub: the Session lives only in its WAL. Closing needs no
+  // reactivation (the file IS the state); everything else recovers it
+  // transparently before proceeding.
+  if (hosted->session == nullptr && req.op != ServerOp::kClose) {
+    ReactivateLocked(hosted);  // throws on failure; the stub survives
+  }
+
   Response resp;
-  switch (req.op) {
-    case ServerOp::kClose: {
-      hosted->closed = true;
-      {
-        // Fenced against a concurrent retention pass fsyncing this WAL.
-        std::lock_guard<std::mutex> retention(hosted->retention_mu);
-        hosted->journal.reset();  // detaches the listener, releases the flock
-      }
-      hosted->session.reset();
-      std::lock_guard<std::mutex> sessions_lock(sessions_mu_);
-      sessions_.erase(req.session);
-      resp.text = "closed";
-      return resp;
+  if (req.op == ServerOp::kClose) {
+    hosted->closed = true;
+    hosted->passivated.store(false, std::memory_order_release);
+    {
+      // Fenced against a concurrent retention pass fsyncing this WAL.
+      std::lock_guard<std::mutex> retention(hosted->retention_mu);
+      hosted->journal.reset();  // detaches the listener, releases the flock
     }
+    hosted->session.reset();
+    std::lock_guard<std::mutex> sessions_lock(sessions_mu_);
+    sessions_.erase(req.session);
+    lru_.Remove(req.session);
+    resp.text = "closed";
+    return resp;
+  }
+
+  Session& session = *hosted->session;
+  switch (req.op) {
     case ServerOp::kApply: {
       if (req.kind < 0 || req.kind >= kNumTransformKinds) {
         return Fail(StatusCode::kBadRequest,
@@ -684,6 +848,9 @@ Response PivotServer::Dispatch(const Request& req,
     std::lock_guard<std::mutex> stats_lock(stats_mu_);
     ++stats_.commits;
   }
+  // Any use — reads included — refreshes the session's recency and byte
+  // estimate for the eviction policy.
+  TouchLru(req.session, session);
   return resp;
 }
 
@@ -714,10 +881,7 @@ void PivotServer::Unpublish(const std::shared_ptr<Hosted>& hosted) {
 }
 
 Response PivotServer::DoOpen(const Request& req) {
-  if (!ValidSessionName(req.session)) {
-    return Fail(StatusCode::kBadRequest,
-                "bad session name '" + req.session + "'");
-  }
+  // Dispatch already rejected hostile names at admission.
   auto hosted = std::make_shared<Hosted>();
   hosted->name = req.session;
   // Parse before touching any shared state: a bad program never reserves
@@ -752,16 +916,13 @@ Response PivotServer::DoOpen(const Request& req) {
     std::lock_guard<std::mutex> lock(sessions_mu_);
     reconciled_.insert(req.session);
   }
+  TouchLru(req.session, *hosted->session);
   Response resp;
   resp.text = "open";
   return resp;
 }
 
 Response PivotServer::DoRecover(const Request& req) {
-  if (!ValidSessionName(req.session)) {
-    return Fail(StatusCode::kBadRequest,
-                "bad session name '" + req.session + "'");
-  }
   auto hosted = std::make_shared<Hosted>();
   hosted->name = req.session;
   std::unique_lock<std::timed_mutex> init;
@@ -803,6 +964,7 @@ Response PivotServer::DoRecover(const Request& req) {
     Unpublish(hosted);
     throw;
   }
+  TouchLru(req.session, *hosted->session);
   return resp;
 }
 
@@ -828,7 +990,18 @@ Response PivotServer::DoCompactGwal() {
   std::size_t skipped = 0;
   for (const auto& hosted : hosted_snapshot) {
     std::lock_guard<std::mutex> lock(hosted->retention_mu);
-    if (hosted->journal == nullptr) continue;
+    if (hosted->journal == nullptr) {
+      // A passivated stub has no journal, but its eviction fsync already
+      // made the acked prefix durable in the session file — the stored
+      // watermark keeps vouching for its group-log envelopes. (A stub
+      // mid-close or mid-initialization is not passivated and vouches for
+      // nothing.)
+      if (hosted->passivated.load(std::memory_order_acquire)) {
+        watermarks[hosted->name] =
+            hosted->acked_watermark.load(std::memory_order_acquire);
+      }
+      continue;
+    }
     try {
       watermarks[hosted->name] = hosted->journal->SyncWalForRetention();
     } catch (const FaultInjectedError&) {
@@ -952,22 +1125,41 @@ void PivotServer::ReconcileSessionWal(const std::string& name) {
     if (entry.type == FrameType::kTxn) gwal_txns.push_back(&entry);
   }
 
+  // Txn frames dropped from beneath the FILE by passivation compaction,
+  // recorded in the snapshots' base clause: the file's t-th txn frame
+  // (0-based) is transaction sbase + t of the session's absolute history.
+  // Compaction only ever drops frames covered by a durable snapshot, so
+  // the missing prefix needs no content check — the snapshot IS its
+  // digest-verified summary.
+  std::uint64_t sbase = 0;
+  for (const WalFrame& frame : scan.frames) {
+    if (frame.type == FrameType::kSnapshot) {
+      const std::uint64_t base = DecodeSnapshotBody(frame.body).base;
+      if (base > sbase) sbase = base;
+    }
+  }
+
   // Longest prefix of the session file whose txn frames byte-match the
-  // acked sequence. Snapshot frames interleave freely — a snapshot is
+  // acked sequence, aligned by ABSOLUTE transaction index: both the gwal
+  // (retention marks, `dropped`) and the session file (snapshot bases,
+  // `sbase`) may have reclaimed a prefix, and the two counts move
+  // independently. Snapshot frames interleave freely — a snapshot is
   // written only after its txns were acked, so one encountered before any
-  // divergence describes matched state and stays. The first `dropped` txn
-  // frames have no group counterpart (reclaimed by compaction after being
-  // verified durable here) and are accepted without a content check; txn
-  // t (1-based) past that prefix compares against gwal_txns[t - dropped -
-  // 1]. The first txn that disagrees with (or overshoots) the acked
-  // sequence starts the unacknowledged tail.
-  std::uint64_t matched = 0;  // session-file txns accepted so far
+  // divergence describes matched state and stays. A file txn whose
+  // absolute index precedes `dropped` has no group counterpart left
+  // (reclaimed after compaction verified it durable here) and is accepted
+  // without a content check; from `dropped` on, absolute transaction a
+  // compares against gwal_txns[a - dropped]. The first txn that disagrees
+  // with (or overshoots) the acked sequence starts the unacknowledged
+  // tail.
+  std::uint64_t matched = 0;  // session-file txn frames accepted so far
   std::uint64_t keep_bytes = sizeof kWalMagic + 4;  // file header
   bool diverged = false;
   for (const WalFrame& frame : scan.frames) {
     if (frame.type == FrameType::kTxn) {
-      if (matched >= dropped) {
-        const std::uint64_t idx = matched - dropped;
+      const std::uint64_t abs = sbase + matched;
+      if (abs >= dropped) {
+        const std::uint64_t idx = abs - dropped;
         if (idx >= gwal_txns.size() ||
             frame.body != gwal_txns[idx]->body) {
           diverged = true;
@@ -978,35 +1170,269 @@ void PivotServer::ReconcileSessionWal(const std::string& name) {
     }
     keep_bytes = frame.end_offset;
   }
-  if (matched < dropped) {
-    // The file holds fewer txn frames than compaction verified durable in
-    // it: a durable prefix was destroyed, and the group log no longer has
-    // those frames to rebuild from.
+  if (sbase + matched < dropped) {
+    // The file accounts for fewer transactions (compacted-away plus
+    // present) than gwal compaction verified durable in it: a durable
+    // prefix was destroyed, and the group log no longer has those frames
+    // to rebuild from.
     throw ProgramError(
-        "session '" + name + "' journal holds " + std::to_string(matched) +
+        "session '" + name + "' journal accounts for " +
+        std::to_string(sbase + matched) +
         " transactions but gwal compaction recorded " +
         std::to_string(dropped) + " durable ones; the reclaimed frames "
         "cannot be rebuilt from the group log");
   }
-  if (!diverged && matched == dropped + gwal_txns.size()) {
-    return;  // exact replica
+  if (!diverged && sbase + matched == dropped + gwal_txns.size()) {
+    return;  // exact replica of the acked history
   }
 
   FileLock lock = FileLock::Acquire(path);
   if (diverged) TruncateWal(path, keep_bytes);
   WalWriter writer = WalWriter::Append(path);
-  for (std::size_t i = matched - dropped; i < gwal_txns.size(); ++i) {
+  for (std::size_t i = sbase + matched - dropped; i < gwal_txns.size(); ++i) {
     writer.AppendFrame(FrameType::kTxn, gwal_txns[i]->body, /*fsync=*/false,
                        "server.swal.txn");
   }
   writer.Sync();
 }
 
+// ---------------------------------------------------------------------------
+// Session lifecycle: passivation, reactivation, budget enforcement
+// ---------------------------------------------------------------------------
+
+// The eviction sequence, under hosted->mu:
+//   1. final durable snapshot (or bare fsync) — the file becomes the sole
+//      authority for the session's state;
+//   2. publish the stub (acked watermark first, then the passivated flag):
+//      from here the gwal retention pass vouches for the session's
+//      envelopes via the stub instead of the live journal;
+//   3. release the journal (under retention_mu, fencing a concurrent
+//      retention pass) and the Session;
+//   4. optionally rewrite the WAL down to genesis + snapshot + tail.
+// A crash between any two steps is covered: the snapshot of step 1 is
+// durable before anything is released, and the compaction of step 4 is
+// atomic (tmp + rename) with stale tmps cleaned at reactivation.
+bool PivotServer::PassivateLocked(const std::shared_ptr<Hosted>& hosted) {
+  PIVOT_FAULT_POINT("server.evict.pre");
+  std::uint64_t watermark = 0;
+  try {
+    watermark = hosted->journal->PassivateToDisk();
+  } catch (const FaultInjectedError&) {
+    throw;  // crash harness (callers flip kCrashed)
+  } catch (const ServerWriteFaultError&) {
+    // The WAL could not be made durable, so the Session must stay
+    // resident — it is the only correct copy. The disk is failing;
+    // degrade the server rather than retrying evictions forever.
+    Degrade("passivation write fault");
+    return false;
+  }
+  PIVOT_FAULT_POINT("server.evict.release.pre");
+  // Watermark before flag: a retention pass that observes passivated==true
+  // must never read a stale watermark of 0 and offer it for this session
+  // (Compact treats watermarks cumulatively, so 0 would merely retain
+  // everything — but the stub should vouch for exactly what the fsync
+  // covered).
+  hosted->acked_watermark.store(watermark, std::memory_order_release);
+  hosted->passivated.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> retention(hosted->retention_mu);
+    hosted->journal.reset();  // detaches the listener, releases the flock
+  }
+  hosted->session.reset();
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    lru_.Remove(hosted->name);
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.passivations;
+  }
+  if (options_.lifecycle.compact_on_passivate) {
+    try {
+      // The journal's flock was just released; re-acquire it for the
+      // rewrite so no other process can race the rename.
+      FileLock lock = FileLock::Acquire(SessionWalPath(hosted->name));
+      CompactSessionWalFile(SessionWalPath(hosted->name));
+    } catch (const FaultInjectedError&) {
+      throw;  // crash harness
+    } catch (...) {
+      // Compaction is an optimization — the uncompacted file is valid and
+      // reactivation does not depend on it.
+    }
+  }
+  PIVOT_FAULT_POINT("server.evict.stub.post");
+  return true;
+}
+
+// In-process reactivation never re-reconciles against the startup group
+// index: every frame this process appended after startup was group-acked
+// before OnCommit returned (and eviction rolls rejected frames off), so
+// the file holds exactly the acked prefix — re-aligning against the
+// startup-frozen index would mistake post-startup commits for unacked
+// leftovers.
+void PivotServer::ReactivateLocked(const std::shared_ptr<Hosted>& hosted) {
+  PIVOT_FAULT_POINT("server.evict.reactivate.pre");
+  const std::string path = SessionWalPath(hosted->name);
+  RecoverResult recovered = RecoverSession(path);  // throws on failure
+  hosted->session = std::move(recovered.session);
+  try {
+    auto journal = ServerJournal::Attach(
+        *hosted->session, hosted->name, path, *group_,
+        options_.snapshot_interval,
+        [this] { Degrade("session journal write fault"); });
+    std::lock_guard<std::mutex> retention(hosted->retention_mu);
+    hosted->journal = std::move(journal);
+  } catch (...) {
+    // Back to a stub: the watermark is still valid (nothing was written)
+    // and the next request retries the recovery.
+    hosted->session.reset();
+    throw;
+  }
+  hosted->passivated.store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.reactivations;
+  }
+  TouchLru(hosted->name, *hosted->session);
+  PIVOT_FAULT_POINT("server.evict.reactivate.post");
+}
+
+void PivotServer::TouchLru(const std::string& name, Session& session) {
+  const std::uint64_t bytes = EstimateSessionBytes(session);
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  lru_.Touch(name, bytes, SessionLru::Clock::now());
+}
+
+void PivotServer::MaybePassivate() {
+  const LifecycleOptions& lc = options_.lifecycle;
+  if (lc.memory_budget_bytes == 0 && lc.max_resident == 0) return;
+  if (mode() != ServerMode::kServing) return;
+  // One enforcement pass at a time; concurrent requests simply skip (the
+  // next request past the budget retries).
+  bool expected = false;
+  if (!passivating_.compare_exchange_strong(expected, true,
+                                            std::memory_order_acq_rel)) {
+    return;
+  }
+  struct Reset {
+    std::atomic<bool>* flag;
+    ~Reset() { flag->store(false, std::memory_order_release); }
+  } reset{&passivating_};
+  for (;;) {
+    std::vector<std::string> victims;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      const bool over_bytes = lc.memory_budget_bytes > 0 &&
+                              lru_.total_bytes() > lc.memory_budget_bytes;
+      const bool over_count =
+          lc.max_resident > 0 &&
+          lru_.size() > static_cast<std::size_t>(lc.max_resident);
+      if (!over_bytes && !over_count) return;
+      victims = lru_.Victims(SessionLru::Clock::time_point::max(), 8);
+    }
+    if (victims.empty()) return;
+    bool progressed = false;
+    for (const std::string& name : victims) {
+      std::shared_ptr<Hosted> hosted = FindSession(name);
+      if (hosted == nullptr) {
+        // Closed since the candidate list was taken; kClose already
+        // removed it from the LRU.
+        progressed = true;
+        continue;
+      }
+      // try_lock, never block: a busy session is by definition not a good
+      // eviction victim, and a committer parked on the group ticket holds
+      // its lock for the whole fsync wait.
+      std::unique_lock<std::timed_mutex> lock(hosted->mu, std::try_to_lock);
+      if (!lock.owns_lock()) continue;
+      if (hosted->closed || hosted->session == nullptr) {
+        std::lock_guard<std::mutex> sessions_lock(sessions_mu_);
+        lru_.Remove(name);
+        progressed = true;
+        continue;
+      }
+      if (!PassivateLocked(hosted)) return;  // degraded; stop evicting
+      progressed = true;
+      // Re-check the budget before taking another victim: the batch was
+      // sized for the worst case, not a license to drain it past the cap.
+      break;
+    }
+    if (!progressed) return;  // every candidate busy; next request retries
+  }
+}
+
+void PivotServer::ReaperLoop() {
+  const auto interval = std::chrono::milliseconds(
+      options_.lifecycle.reaper_interval_ms > 0
+          ? options_.lifecycle.reaper_interval_ms
+          : 100);
+  std::unique_lock<std::mutex> lock(reaper_mu_);
+  while (!reaper_stop_) {
+    reaper_cv_.wait_for(lock, interval, [this] { return reaper_stop_; });
+    if (reaper_stop_) break;
+    lock.unlock();
+    try {
+      if (mode() == ServerMode::kServing) {
+        const auto cutoff =
+            SessionLru::Clock::now() -
+            std::chrono::milliseconds(options_.lifecycle.idle_passivate_ms);
+        std::vector<std::string> victims;
+        {
+          std::lock_guard<std::mutex> sessions_lock(sessions_mu_);
+          victims = lru_.Victims(cutoff, 16);
+        }
+        for (const std::string& name : victims) {
+          std::shared_ptr<Hosted> hosted = FindSession(name);
+          if (hosted == nullptr) continue;
+          std::unique_lock<std::timed_mutex> session_lock(hosted->mu,
+                                                          std::try_to_lock);
+          if (!session_lock.owns_lock()) continue;  // busy = not idle
+          if (hosted->closed || hosted->session == nullptr) {
+            std::lock_guard<std::mutex> sessions_lock(sessions_mu_);
+            lru_.Remove(name);
+            continue;
+          }
+          if (!PassivateLocked(hosted)) break;  // degraded; stop sweeping
+        }
+      }
+    } catch (const FaultInjectedError&) {
+      // Crash harness fired on the reaper thread: flip the server into
+      // kCrashed (as Execute would) and let the thread die — the harness
+      // restarts the whole process.
+      mode_.store(ServerMode::kCrashed, std::memory_order_release);
+      lock.lock();
+      break;
+    }
+    lock.lock();
+  }
+}
+
+void PivotServer::StopReaper() {
+  {
+    std::lock_guard<std::mutex> lock(reaper_mu_);
+    reaper_stop_ = true;
+  }
+  reaper_cv_.notify_all();
+  if (reaper_.joinable()) reaper_.join();
+}
+
 void PivotServer::ServeConnection(int fd) {
+  ServeConnection(fd, ConnectionLimits{});
+}
+
+void PivotServer::ServeConnection(int fd, const ConnectionLimits& limits) {
   std::string payload;
   for (;;) {
     try {
-      if (!ReadMessage(fd, &payload)) break;  // clean EOF
+      if (!ReadMessage(fd, &payload, limits.idle_timeout_ms,
+                       limits.frame_timeout_ms)) {
+        break;  // clean EOF
+      }
+    } catch (const ReadTimeoutError&) {
+      // An idle or slowloris peer: cut the connection and account for it.
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.read_timeouts;
+      break;
     } catch (const ProgramError&) {
       break;  // torn message / transport garbage: drop the connection
     }
@@ -1032,6 +1458,9 @@ void PivotServer::ServeConnection(int fd) {
 }
 
 void PivotServer::Drain() {
+  // Quiesce the idle reaper first: a passivation mid-drain would race the
+  // group log's shutdown for no benefit.
+  StopReaper();
   ServerMode expected = ServerMode::kServing;
   if (!mode_.compare_exchange_strong(expected, ServerMode::kDraining,
                                      std::memory_order_acq_rel)) {

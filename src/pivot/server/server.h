@@ -18,7 +18,13 @@
 //     commit is refused with kDegraded and a typed error. Nothing crashes;
 //   * graceful drain — Drain() stops admissions (kShuttingDown,
 //     retryable), waits for in-flight requests, flushes and fsyncs the
-//     group log. The SIGTERM half of tools/pivot_serve.
+//     group log. The SIGTERM half of tools/pivot_serve;
+//   * session lifecycle — a byte-accounted LRU of resident sessions with
+//     a configurable memory budget and idle-age passivation: eviction
+//     appends one final durable snapshot and releases the Session and its
+//     journal, keeping only a stub with the acked-txn watermark; the next
+//     request reactivates the session transparently through
+//     Session::Recover (see server/lifecycle.h).
 //
 // Durability contract (crash-swept in tests/server_crash_test.cc): per-
 // session WALs are appended WITHOUT fsync; the single group-log fsync is
@@ -33,18 +39,21 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <set>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "pivot/core/session.h"
 #include "pivot/persist/durable.h"
 #include "pivot/server/group_commit.h"
+#include "pivot/server/lifecycle.h"
 #include "pivot/server/protocol.h"
 
 namespace pivot {
@@ -70,6 +79,9 @@ struct ServerOptions {
   // frames those WALs already hold durably — see GroupCommitLog::
   // Compact). 0 = only on explicit ServerOp::kCompact.
   std::uint64_t gwal_compact_bytes = 0;
+  // Session lifecycle: memory budget, idle passivation, reactivation (see
+  // server/lifecycle.h). Default: everything resident forever.
+  LifecycleOptions lifecycle;
 };
 
 enum class ServerMode {
@@ -89,8 +101,21 @@ struct ServerStats {
   std::uint64_t rejected_deadline = 0;
   std::uint64_t rejected_degraded = 0;
   std::uint64_t transient_absorbed = 0;  // FaultInjector transient count
+  std::uint64_t passivations = 0;        // sessions evicted to their WAL
+  std::uint64_t reactivations = 0;       // passivated sessions recovered
+  std::uint64_t read_timeouts = 0;       // connections cut for slow reads
+  std::uint64_t resident_sessions = 0;   // sessions currently in memory
+  std::uint64_t resident_bytes = 0;      // their estimated footprint
   ServerMode mode = ServerMode::kServing;
   GroupCommitStats group;
+};
+
+// Per-connection read deadlines for ServeConnection (network transports).
+// idle bounds the wait for a request's first byte; frame bounds the time
+// from first byte to complete message — the slowloris guard. 0 = no bound.
+struct ConnectionLimits {
+  int idle_timeout_ms = 0;
+  int frame_timeout_ms = 0;
 };
 
 class PivotServer {
@@ -110,8 +135,11 @@ class PivotServer {
   Response Execute(const Request& req);
 
   // Serves length-prefixed request/response messages on `fd` until EOF or
-  // a transport error. Does not close the fd.
+  // a transport error. Does not close the fd. With limits, a client that
+  // idles past idle_timeout_ms or dribbles a message slower than
+  // frame_timeout_ms is disconnected (counted in stats().read_timeouts).
   void ServeConnection(int fd);
+  void ServeConnection(int fd, const ConnectionLimits& limits);
 
   // Stops admissions, waits for in-flight requests, flushes the group log.
   // Idempotent.
@@ -138,6 +166,26 @@ class PivotServer {
                                             deadline);
   Response DoOpen(const Request& req);
   Response DoRecover(const Request& req);
+  // Passivation: final durable snapshot, release Session + journal, keep a
+  // stub with the acked-txn watermark. Caller holds hosted->mu and has
+  // verified the session is live. Returns false when the WAL could not be
+  // made durable (the session stays resident; the server degrades).
+  bool PassivateLocked(const std::shared_ptr<Hosted>& hosted);
+  // Reactivation through Session::Recover + journal reattach. Caller holds
+  // hosted->mu on a passivated stub; throws on failure (the stub survives
+  // for a later retry).
+  void ReactivateLocked(const std::shared_ptr<Hosted>& hosted);
+  // Budget enforcement: passivate LRU sessions until resident bytes/count
+  // fit the lifecycle options. Called with no session lock held; at most
+  // one enforcement pass runs at a time.
+  void MaybePassivate();
+  // Refreshes the LRU entry (and byte estimate) for a live session the
+  // current request just used. Caller holds hosted->mu.
+  void TouchLru(const std::string& name, Session& session);
+  // Idle sweep (LifecycleOptions::idle_passivate_ms): passivates sessions
+  // untouched past the cutoff until asked to stop.
+  void ReaperLoop();
+  void StopReaper();
   // The gwal retention pass: sync every open session's WAL (one session
   // locked at a time, none held while blocking on the group worker),
   // collect watermarks, and ask the group log to drop covered frames.
@@ -171,6 +219,16 @@ class PivotServer {
   // startup was group-acked before OnCommit returned, and the index knows
   // nothing about it. Guarded by sessions_mu_.
   std::set<std::string> reconciled_;
+  // Resident sessions by recency, with byte estimates (guarded by
+  // sessions_mu_). Passivated stubs and closed sessions are not in it.
+  SessionLru lru_;
+  std::atomic<bool> passivating_{false};
+
+  // Idle reaper (started only when idle_passivate_ms > 0).
+  std::mutex reaper_mu_;
+  std::condition_variable reaper_cv_;
+  bool reaper_stop_ = false;  // guarded by reaper_mu_
+  std::thread reaper_;
 
   std::atomic<int> inflight_{0};
   mutable std::mutex stats_mu_;

@@ -156,6 +156,28 @@ const std::vector<std::string>& FaultInjector::KnownPoints() {
       "server.gwal.compact.tmp.synced",
       "server.gwal.compact.rename.pre",
       "server.gwal.compact.rename.post",
+      // Session eviction (passivation/reactivation) crash points. The
+      // .snapshot.* quadruple tears the final durable snapshot; release.pre
+      // sits between that fsync and the stub publication; the compact.*
+      // family mirrors persist.compact.* for the passivated-WAL rewrite;
+      // stub.post is the fully passivated state; reactivate.pre/.post
+      // straddle the Session::Recover + reattach of the next request.
+      "server.evict.pre",
+      "server.evict.snapshot.header.post",
+      "server.evict.snapshot.mid",
+      "server.evict.snapshot.post",
+      "server.evict.snapshot.fsync.post",
+      "server.evict.release.pre",
+      "server.evict.compact.pre",
+      "server.evict.compact.frame.header.post",
+      "server.evict.compact.frame.mid",
+      "server.evict.compact.frame.post",
+      "server.evict.compact.tmp.synced",
+      "server.evict.compact.rename.pre",
+      "server.evict.compact.rename.post",
+      "server.evict.stub.post",
+      "server.evict.reactivate.pre",
+      "server.evict.reactivate.post",
   };
   return points;
 }

@@ -51,11 +51,19 @@ std::string FreshDir(const std::string& name) {
 }
 
 ServerOptions Opts(const std::string& dir,
-                   std::uint64_t gwal_compact_bytes = 0) {
+                   std::uint64_t gwal_compact_bytes = 0,
+                   bool evict = false) {
   ServerOptions o;
   o.data_dir = dir;
   o.snapshot_interval = 2;  // cross the snapshot fault points mid-schedule
   o.gwal_compact_bytes = gwal_compact_bytes;
+  if (evict) {
+    // One resident session max: with the two-session interleaved schedule,
+    // nearly every request passivates the other session and reactivates
+    // its own, so the server.evict.* points are crossed continuously.
+    o.lifecycle.max_resident = 1;
+    o.lifecycle.compact_on_passivate = true;
+  }
   return o;
 }
 
@@ -189,7 +197,8 @@ void CheckRecoveredSession(PivotServer& server, int session,
 // the triggering operation was internally acknowledged, so the acked+1
 // allowance below covers it like any other post-commit point.
 bool CrashRecoverCheck(const std::string& point, int countdown,
-                       std::uint64_t gwal_compact_bytes = 0) {
+                       std::uint64_t gwal_compact_bytes = 0,
+                       bool evict = false) {
   const std::string label = point + " #" + std::to_string(countdown);
   // Per-point directory: ctest runs the sweep's points as parallel
   // processes, and a shared directory races on remove_all.
@@ -203,7 +212,7 @@ bool CrashRecoverCheck(const std::string& point, int countdown,
   std::size_t steps_done = 0;
   bool crashed = false;
   {
-    PivotServer server(Opts(dir, gwal_compact_bytes));
+    PivotServer server(Opts(dir, gwal_compact_bytes, evict));
     injector.Arm(point, countdown);
     try {
       for (const auto& [session, what] : schedule) {
@@ -237,7 +246,7 @@ bool CrashRecoverCheck(const std::string& point, int countdown,
         << label << ": hybrid group log (" << scan.truncation_reason << ")";
   }
 
-  PivotServer server(Opts(dir, gwal_compact_bytes));
+  PivotServer server(Opts(dir, gwal_compact_bytes, evict));
   for (int session = 0; session < 2; ++session) {
     CheckRecoveredSession(server, session,
                           acked[static_cast<std::size_t>(session)],
@@ -326,6 +335,63 @@ INSTANTIATE_TEST_SUITE_P(
                       "server.gwal.compact.tmp.synced",
                       "server.gwal.compact.rename.pre",
                       "server.gwal.compact.rename.post"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '.') c = '_';
+      }
+      return name;
+    });
+
+// The eviction sweep: max_resident=1 forces the two-session schedule to
+// passivate one session and reactivate the other on nearly every request,
+// so the server.evict.* points — the final durable snapshot, the window
+// between that fsync and the stub publication, the passivated-WAL rewrite,
+// the reactivation replay — are crossed continuously. The gwal retention
+// pass also runs after every request (threshold 1 byte), so retention
+// regularly consumes a passivated STUB's watermark rather than a live
+// journal's: a crash must never lose a commit whose group-log envelope was
+// dropped on the strength of a stub. The oracle is the same acked /
+// acked+1 contract as the main sweep.
+class EvictionCrashSweep : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override { FaultInjector::Instance().Reset(); }
+  void TearDown() override { FaultInjector::Instance().Reset(); }
+};
+
+TEST_P(EvictionCrashSweep, EveryCrossingKeepsEveryAckedCommit) {
+  const std::string point = GetParam();
+  int crossings = 0;
+  for (int countdown = 1; countdown < 200; ++countdown) {
+    if (!CrashRecoverCheck(point, countdown, /*gwal_compact_bytes=*/1,
+                           /*evict=*/true)) {
+      break;
+    }
+    ++crossings;
+    if (HasFatalFailure()) return;
+  }
+  EXPECT_GT(crossings, 0) << "fault point " << point
+                          << " was never crossed by the schedule";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EvictionPoints, EvictionCrashSweep,
+    ::testing::Values("server.evict.pre",
+                      "server.evict.snapshot.header.post",
+                      "server.evict.snapshot.mid",
+                      "server.evict.snapshot.post",
+                      "server.evict.snapshot.fsync.post",
+                      "server.evict.release.pre",
+                      "server.evict.compact.pre",
+                      "server.evict.compact.frame.header.post",
+                      "server.evict.compact.frame.mid",
+                      "server.evict.compact.frame.post",
+                      "server.evict.compact.tmp.synced",
+                      "server.evict.compact.rename.pre",
+                      "server.evict.compact.rename.post",
+                      "server.evict.stub.post",
+                      "server.evict.reactivate.pre",
+                      "server.evict.reactivate.post"),
     [](const ::testing::TestParamInfo<const char*>& info) {
       std::string name = info.param;
       for (char& c : name) {

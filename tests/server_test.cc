@@ -10,8 +10,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <memory>
 #include <string>
@@ -25,6 +27,7 @@
 #include "pivot/persist/wal.h"
 #include "pivot/persist/wire.h"
 #include "pivot/server/group_commit.h"
+#include "pivot/server/listener.h"
 #include "pivot/server/protocol.h"
 #include "pivot/server/server.h"
 #include "pivot/support/fault_injector.h"
@@ -210,11 +213,26 @@ TEST_F(ServerTest, OpenApplyUndoCloseRecover) {
 TEST_F(ServerTest, OpenValidatesNamesAndSources) {
   const std::string dir = FreshDir("validate");
   PivotServer server(Opts(dir));
-  for (const char* bad : {"", "a/b", "..", "x y"}) {
+  // Hostile names are rejected at admission (kPrecondition: the request
+  // is well-formed, the name can never denote a session), before any code
+  // path could turn them into a filesystem path — on every session op,
+  // not just open.
+  for (const char* bad :
+       {"", "a/b", "..", ".", "x y", "../../etc/passwd", "a\\b", "a\nb"}) {
     Request open = Req(ServerOp::kOpen, bad);
     open.source = kSource;
-    EXPECT_EQ(server.Execute(open).status, StatusCode::kBadRequest) << bad;
+    EXPECT_EQ(server.Execute(open).status, StatusCode::kPrecondition) << bad;
+    EXPECT_EQ(server.Execute(Req(ServerOp::kRecover, bad)).status,
+              StatusCode::kPrecondition)
+        << bad;
+    EXPECT_EQ(server.Execute(Req(ServerOp::kSource, bad)).status,
+              StatusCode::kPrecondition)
+        << bad;
   }
+  // An oversized name is hostile too (and never reaches the filesystem).
+  Request big = Req(ServerOp::kOpen, std::string(200, 'a'));
+  big.source = kSource;
+  EXPECT_EQ(server.Execute(big).status, StatusCode::kPrecondition);
   Request open = Req(ServerOp::kOpen, "ok");
   open.source = "not a ( program";
   EXPECT_EQ(server.Execute(open).status, StatusCode::kPrecondition);
@@ -944,6 +962,352 @@ TEST_F(ServerTest, MalformedRequestGetsABadRequestResponse) {
   ::close(fds[1]);
   conn.join();
   ::close(fds[0]);
+}
+
+// ---------------------------------------------------------------------------
+// Session lifecycle: passivation and reactivation
+// ---------------------------------------------------------------------------
+
+ServerOptions EvictOpts(const std::string& dir, int max_resident) {
+  ServerOptions o = Opts(dir);
+  o.lifecycle.max_resident = max_resident;
+  return o;
+}
+
+TEST_F(ServerTest, BudgetPressurePassivatesTheLruSessionTransparently) {
+  const std::string dir = FreshDir("evict_lru");
+  PivotServer server(EvictOpts(dir, 1));
+
+  Request open1 = Req(ServerOp::kOpen, "s1");
+  open1.source = kSource;
+  ASSERT_EQ(server.Execute(open1).status, StatusCode::kOk);
+  ASSERT_EQ(server.Execute(ApplyReq("s1", TransformKind::kCfo)).status,
+            StatusCode::kOk);
+
+  // Opening a second session pushes the resident count past max_resident;
+  // the LRU victim (s1) is passivated out to its WAL.
+  Request open2 = Req(ServerOp::kOpen, "s2");
+  open2.source = kSource;
+  ASSERT_EQ(server.Execute(open2).status, StatusCode::kOk);
+  ServerStats s = server.stats();
+  EXPECT_EQ(s.passivations, 1u);
+  EXPECT_EQ(s.resident_sessions, 1u);
+
+  // Touching s1 reactivates it transparently: same state, same undo
+  // history, and s2 becomes the next LRU victim.
+  Session reference{Parse(kSource)};
+  ASSERT_TRUE(reference.ApplyFirst(TransformKind::kCfo).has_value());
+  EXPECT_EQ(server.Execute(Req(ServerOp::kSource, "s1")).text,
+            reference.Source());
+  s = server.stats();
+  EXPECT_EQ(s.reactivations, 1u);
+  EXPECT_GE(s.passivations, 2u);
+  EXPECT_EQ(s.resident_sessions, 1u);
+
+  // The undo history survived the round trip through the WAL.
+  reference.UndoLast();
+  const Response undone = server.Execute(Req(ServerOp::kUndoLast, "s1"));
+  ASSERT_EQ(undone.status, StatusCode::kOk) << undone.error;
+  EXPECT_EQ(server.Execute(Req(ServerOp::kSource, "s1")).text,
+            reference.Source());
+  EXPECT_EQ(server.Execute(Req(ServerOp::kHistory, "s1")).text,
+            reference.HistoryToString());
+}
+
+TEST_F(ServerTest, ATinyByteBudgetPassivatesConstantlyWithoutLosingState) {
+  const std::string dir = FreshDir("evict_bytes");
+  ServerOptions o = Opts(dir);
+  o.lifecycle.memory_budget_bytes = 1;  // every idle session is over budget
+  PivotServer server(o);
+
+  Session ref1{Parse(kSource)};
+  Session ref2{Parse(kSource)};
+  for (const char* name : {"s1", "s2"}) {
+    Request open = Req(ServerOp::kOpen, name);
+    open.source = kSource;
+    ASSERT_EQ(server.Execute(open).status, StatusCode::kOk);
+  }
+  // Interleaved commits: nearly every request finds its session passivated
+  // and has to reactivate it first.
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_EQ(server.Execute(ApplyReq("s1", TransformKind::kCfo)).status,
+              StatusCode::kOk);
+    ASSERT_TRUE(ref1.ApplyFirst(TransformKind::kCfo).has_value());
+    ASSERT_EQ(server.Execute(ApplyReq("s2", TransformKind::kCfo)).status,
+              StatusCode::kOk);
+    ASSERT_TRUE(ref2.ApplyFirst(TransformKind::kCfo).has_value());
+    ASSERT_EQ(server.Execute(Req(ServerOp::kUndoLast, "s1")).status,
+              StatusCode::kOk);
+    ref1.UndoLast();
+    ASSERT_EQ(server.Execute(Req(ServerOp::kUndoLast, "s2")).status,
+              StatusCode::kOk);
+    ref2.UndoLast();
+  }
+  EXPECT_EQ(server.Execute(Req(ServerOp::kSource, "s1")).text,
+            ref1.Source());
+  EXPECT_EQ(server.Execute(Req(ServerOp::kSource, "s2")).text,
+            ref2.Source());
+  const ServerStats s = server.stats();
+  EXPECT_GT(s.passivations, 0u);
+  EXPECT_GT(s.reactivations, 0u);
+  EXPECT_EQ(s.resident_sessions, 0u);  // both passivated after the last op
+}
+
+TEST_F(ServerTest, PassivationCompactsTheWalAndRecoveryStillReconciles) {
+  const std::string dir = FreshDir("evict_compact");
+  Session reference{Parse(kSource)};
+  {
+    PivotServer server(EvictOpts(dir, 1));  // compact_on_passivate default
+
+    Request open = Req(ServerOp::kOpen, "s1");
+    open.source = kSource;
+    ASSERT_EQ(server.Execute(open).status, StatusCode::kOk);
+    ASSERT_EQ(server.Execute(ApplyReq("s1", TransformKind::kCfo)).status,
+              StatusCode::kOk);
+    ASSERT_TRUE(reference.ApplyFirst(TransformKind::kCfo).has_value());
+    ASSERT_EQ(server.Execute(ApplyReq("s1", TransformKind::kCfo)).status,
+              StatusCode::kOk);
+    ASSERT_TRUE(reference.ApplyFirst(TransformKind::kCfo).has_value());
+    ASSERT_EQ(server.Execute(Req(ServerOp::kUndoLast, "s1")).status,
+              StatusCode::kOk);
+    reference.UndoLast();
+
+    // Evict s1. Its WAL is rewritten down to genesis + snapshot: the three
+    // committed txn frames move beneath the snapshot's `base` clause.
+    Request open2 = Req(ServerOp::kOpen, "s2");
+    open2.source = kSource;
+    ASSERT_EQ(server.Execute(open2).status, StatusCode::kOk);
+    ASSERT_EQ(server.stats().passivations, 1u);
+
+    const WalScanResult scan = ScanWal(server.SessionWalPath("s1"));
+    ASSERT_TRUE(scan.truncation_reason.empty()) << scan.truncation_reason;
+    std::size_t txn_frames = 0;
+    std::uint64_t base = 0;
+    for (const WalFrame& f : scan.frames) {
+      if (f.type == FrameType::kTxn) ++txn_frames;
+      if (f.type == FrameType::kSnapshot) {
+        base = DecodeSnapshotBody(f.body).base;
+      }
+    }
+    EXPECT_EQ(txn_frames, 0u);  // all three were folded into the snapshot
+    EXPECT_EQ(base, 3u);
+
+    // Reactivation recovers the compacted file transparently.
+    EXPECT_EQ(server.Execute(Req(ServerOp::kSource, "s1")).text,
+              reference.Source());
+    EXPECT_EQ(server.stats().reactivations, 1u);
+    server.Drain();
+  }
+
+  // A fresh server reconciles the compacted WAL against the group log by
+  // absolute txn index (the base clause) and recovers the same state.
+  PivotServer server(Opts(dir));
+  const Response recovered = server.Execute(Req(ServerOp::kRecover, "s1"));
+  ASSERT_EQ(recovered.status, StatusCode::kOk) << recovered.error;
+  EXPECT_EQ(server.Execute(Req(ServerOp::kSource, "s1")).text,
+            reference.Source());
+  EXPECT_EQ(server.Execute(Req(ServerOp::kHistory, "s1")).text,
+            reference.HistoryToString());
+}
+
+TEST_F(ServerTest, ReactivationRefusesAFlockedJournalButTheStubSurvives) {
+  const std::string dir = FreshDir("evict_flock");
+  PivotServer server(EvictOpts(dir, 1));
+
+  Request open = Req(ServerOp::kOpen, "s1");
+  open.source = kSource;
+  ASSERT_EQ(server.Execute(open).status, StatusCode::kOk);
+  Request open2 = Req(ServerOp::kOpen, "s2");
+  open2.source = kSource;
+  ASSERT_EQ(server.Execute(open2).status, StatusCode::kOk);
+  ASSERT_EQ(server.stats().passivations, 1u);  // s1 is on disk, unlocked
+
+  {
+    // Another process grabbed the journal (say, an offline inspector).
+    // Reactivation must refuse cleanly instead of racing the lock holder.
+    FileLock lock = FileLock::Acquire(server.SessionWalPath("s1"));
+    const Response refused = server.Execute(Req(ServerOp::kSource, "s1"));
+    EXPECT_EQ(refused.status, StatusCode::kPrecondition) << refused.error;
+  }
+
+  // The stub survived the failed reactivation: once the lock is released
+  // the same request succeeds.
+  Session reference{Parse(kSource)};
+  const Response retried = server.Execute(Req(ServerOp::kSource, "s1"));
+  ASSERT_EQ(retried.status, StatusCode::kOk) << retried.error;
+  EXPECT_EQ(retried.text, reference.Source());
+}
+
+TEST_F(ServerTest, TheIdleReaperPassivatesAndDrainRacesItSafely) {
+  const std::string dir = FreshDir("evict_reaper");
+  ServerOptions o = Opts(dir);
+  o.lifecycle.idle_passivate_ms = 1;
+  o.lifecycle.reaper_interval_ms = 1;
+  auto server = std::make_unique<PivotServer>(o);
+
+  for (const char* name : {"s1", "s2", "s3", "s4"}) {
+    Request open = Req(ServerOp::kOpen, name);
+    open.source = kSource;
+    ASSERT_EQ(server->Execute(open).status, StatusCode::kOk);
+    ASSERT_EQ(server->Execute(ApplyReq(name, TransformKind::kCfo)).status,
+              StatusCode::kOk);
+  }
+  // Give the reaper a few intervals to sweep everything idle.
+  for (int i = 0; i < 100 && server->stats().resident_sessions != 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(server->stats().resident_sessions, 0u);
+  EXPECT_GE(server->stats().passivations, 4u);
+
+  // Drain while a client keeps reactivating sessions: every request lands
+  // either before the drain (kOk) or after (kShuttingDown) — never in a
+  // torn state, and the drain itself must not deadlock with the reaper.
+  std::thread traffic([&server] {
+    for (int i = 0; i < 200; ++i) {
+      const Response r =
+          server->Execute(Req(ServerOp::kSource, i % 2 ? "s1" : "s2"));
+      if (r.status == StatusCode::kShuttingDown) return;
+      ASSERT_EQ(r.status, StatusCode::kOk) << r.error;
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  server->Drain();
+  traffic.join();
+  server.reset();
+
+  // Nothing was lost: every session recovers with its committed state.
+  Session reference{Parse(kSource)};
+  ASSERT_TRUE(reference.ApplyFirst(TransformKind::kCfo).has_value());
+  PivotServer recovered(Opts(dir));
+  for (const char* name : {"s1", "s2", "s3", "s4"}) {
+    ASSERT_EQ(recovered.Execute(Req(ServerOp::kRecover, name)).status,
+              StatusCode::kOk);
+    EXPECT_EQ(recovered.Execute(Req(ServerOp::kSource, name)).text,
+              reference.Source());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Listeners and read deadlines
+// ---------------------------------------------------------------------------
+
+TEST_F(ServerTest, TcpListenerServesTheFramedProtocol) {
+  const std::string dir = FreshDir("tcp");
+  PivotServer server(Opts(dir));
+  ListenerOptions lo;
+  lo.tcp_host = "127.0.0.1";
+  lo.tcp_port = 0;  // ephemeral
+  ServerListener listener(server, lo);
+  ASSERT_GT(listener.tcp_port(), 0);
+  std::thread accept_loop([&listener] { listener.Run(); });
+
+  const int fd = DialTcp("127.0.0.1", listener.tcp_port());
+  ASSERT_GE(fd, 0) << std::strerror(errno);
+  Request open = Req(ServerOp::kOpen, "s1");
+  open.source = kSource;
+  WriteMessage(fd, EncodeRequest(open));
+  std::string payload;
+  ASSERT_TRUE(ReadMessage(fd, &payload));
+  EXPECT_EQ(DecodeResponse(payload).status, StatusCode::kOk);
+
+  // The connection is persistent: a second request on the same socket.
+  WriteMessage(fd, EncodeRequest(ApplyReq("s1", TransformKind::kCfo)));
+  ASSERT_TRUE(ReadMessage(fd, &payload));
+  const Response applied = DecodeResponse(payload);
+  EXPECT_EQ(applied.status, StatusCode::kOk) << applied.error;
+  ::close(fd);
+
+  listener.Shutdown();
+  accept_loop.join();
+  EXPECT_EQ(server.Execute(Req(ServerOp::kPing)).status, StatusCode::kOk);
+}
+
+TEST_F(ServerTest, UnixAndTcpListenersShareOneServer) {
+  const std::string dir = FreshDir("dual_listen");
+  PivotServer server(Opts(dir));
+  ListenerOptions lo;
+  lo.unix_path = ::testing::TempDir() + "pivot_dual_listen.sock";
+  lo.tcp_host = "127.0.0.1";
+  ServerListener listener(server, lo);
+  std::thread accept_loop([&listener] { listener.Run(); });
+
+  // Open over TCP, read it back over the unix socket: one session space.
+  const int tcp = DialTcp("127.0.0.1", listener.tcp_port());
+  ASSERT_GE(tcp, 0);
+  Request open = Req(ServerOp::kOpen, "shared");
+  open.source = kSource;
+  WriteMessage(tcp, EncodeRequest(open));
+  std::string payload;
+  ASSERT_TRUE(ReadMessage(tcp, &payload));
+  ASSERT_EQ(DecodeResponse(payload).status, StatusCode::kOk);
+  ::close(tcp);
+
+  const int unix_fd = DialUnix(lo.unix_path);
+  ASSERT_GE(unix_fd, 0);
+  WriteMessage(unix_fd, EncodeRequest(Req(ServerOp::kSource, "shared")));
+  ASSERT_TRUE(ReadMessage(unix_fd, &payload));
+  EXPECT_EQ(DecodeResponse(payload).text, Session{Parse(kSource)}.Source());
+  ::close(unix_fd);
+
+  listener.Shutdown();
+  accept_loop.join();
+}
+
+TEST_F(ServerTest, SlowClientsAreCutByTheReadDeadlines) {
+  const std::string dir = FreshDir("slowloris");
+  PivotServer server(Opts(dir));
+
+  // Slowloris: a header byte arrives, then the peer stalls. The frame
+  // deadline cuts the connection instead of pinning the thread forever.
+  {
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    ConnectionLimits limits;
+    limits.frame_timeout_ms = 50;
+    std::thread conn([&server, fd = fds[0], limits] {
+      server.ServeConnection(fd, limits);
+    });
+    ASSERT_EQ(::write(fds[1], "x", 1), 1);  // partial header, then silence
+    conn.join();  // returns once the frame deadline fires
+    ::close(fds[0]);
+    ::close(fds[1]);
+    EXPECT_EQ(server.stats().read_timeouts, 1u);
+  }
+
+  // Idle timeout: a connection that never sends anything is reaped too.
+  {
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    ConnectionLimits limits;
+    limits.idle_timeout_ms = 50;
+    std::thread conn([&server, fd = fds[0], limits] {
+      server.ServeConnection(fd, limits);
+    });
+    conn.join();
+    ::close(fds[0]);
+    ::close(fds[1]);
+    EXPECT_EQ(server.stats().read_timeouts, 2u);
+  }
+
+  // A fast client under the same limits is unaffected.
+  {
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    ConnectionLimits limits;
+    limits.idle_timeout_ms = 1000;
+    limits.frame_timeout_ms = 1000;
+    std::thread conn([&server, fd = fds[0], limits] {
+      server.ServeConnection(fd, limits);
+    });
+    WriteMessage(fds[1], EncodeRequest(Req(ServerOp::kPing)));
+    std::string payload;
+    ASSERT_TRUE(ReadMessage(fds[1], &payload));
+    EXPECT_EQ(DecodeResponse(payload).status, StatusCode::kOk);
+    ::close(fds[1]);
+    conn.join();
+    ::close(fds[0]);
+    EXPECT_EQ(server.stats().read_timeouts, 2u);  // unchanged
+  }
 }
 
 }  // namespace

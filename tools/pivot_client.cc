@@ -1,6 +1,7 @@
 // pivot_client: one-shot command-line client for pivot_serve.
 //
-//   pivot_client --socket PATH [--deadline MS] [--retries N] COMMAND ...
+//   pivot_client (--socket PATH | --tcp HOST:PORT)
+//                [--deadline MS] [--retries N] COMMAND ...
 //
 // Commands:
 //   ping                        server mode probe
@@ -19,8 +20,8 @@
 //   shutdown                    drain the server
 //
 // Retryable rejections (overloaded / shutting-down) are retried with
-// exponential backoff up to --retries times; everything else is final.
-// Exit status: 0 ok, 1 request failed, 2 usage/transport error.
+// jittered exponential backoff up to --retries times; everything else is
+// final. Exit status: 0 ok, 1 request failed, 2 usage/transport error.
 
 #include <chrono>
 #include <cstdlib>
@@ -32,35 +33,21 @@
 #include <thread>
 #include <vector>
 
-#include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
+#include "pivot/server/listener.h"
 #include "pivot/server/protocol.h"
 #include "pivot/support/argparse.h"
+#include "pivot/support/rng.h"
 #include "pivot/transform/transform.h"
 
 namespace {
 
 int Usage() {
-  std::cerr << "usage: pivot_client --socket PATH [--deadline MS] "
-               "[--retries N] COMMAND ...\n"
+  std::cerr << "usage: pivot_client (--socket PATH | --tcp HOST:PORT) "
+               "[--deadline MS] [--retries N] COMMAND ...\n"
                "see the header of tools/pivot_client.cc for commands\n";
   return 2;
-}
-
-int Connect(const std::string& path) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (path.size() >= sizeof addr.sun_path) return -1;
-  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) return -1;
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-    ::close(fd);
-    return -1;
-  }
-  return fd;
 }
 
 bool ParseKind(const std::string& name, int* out) {
@@ -90,6 +77,8 @@ std::string ReadSource(const std::string& file) {
 
 int main(int argc, char** argv) {
   std::string socket_path;
+  std::string tcp_host;
+  int tcp_port = 0;
   std::uint32_t deadline_ms = 0;
   int retries = 0;
   int i = 1;
@@ -97,6 +86,11 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--socket" && i + 1 < argc) {
       socket_path = argv[++i];
+    } else if (arg == "--tcp" && i + 1 < argc) {
+      if (!pivot::ParseHostPort(argv[++i], &tcp_host, &tcp_port)) {
+        std::cerr << "pivot_client: bad --tcp spec (want HOST:PORT)\n";
+        return 2;
+      }
     } else if (arg == "--deadline" && i + 1 < argc) {
       long long ms = 0;
       if (!pivot::ParseIntFlag("--deadline", argv[++i], 0, UINT32_MAX,
@@ -113,7 +107,9 @@ int main(int argc, char** argv) {
       break;
     }
   }
-  if (socket_path.empty() || i >= argc) return Usage();
+  if ((socket_path.empty() == tcp_host.empty()) || i >= argc) {
+    return Usage();  // exactly one transport
+  }
 
   std::vector<std::string> cmd(argv + i, argv + argc);
   pivot::Request req;
@@ -206,10 +202,22 @@ int main(int argc, char** argv) {
     return Usage();
   }
 
+  // Seed per process so a herd of clients retrying the same overloaded
+  // server jitters apart instead of re-colliding in lockstep.
+  pivot::Rng rng(static_cast<std::uint64_t>(::getpid()) * 0x9e3779b9u +
+                 static_cast<std::uint64_t>(
+                     std::chrono::steady_clock::now().time_since_epoch()
+                         .count()));
   for (int attempt = 0;; ++attempt) {
-    const int fd = Connect(socket_path);
+    const int fd = socket_path.empty()
+                       ? pivot::DialTcp(tcp_host, tcp_port)
+                       : pivot::DialUnix(socket_path);
     if (fd < 0) {
-      std::cerr << "pivot_client: cannot connect to " << socket_path << "\n";
+      std::cerr << "pivot_client: cannot connect to "
+                << (socket_path.empty()
+                        ? tcp_host + ":" + std::to_string(tcp_port)
+                        : socket_path)
+                << "\n";
       return 2;
     }
     pivot::Response resp;
@@ -228,9 +236,14 @@ int main(int argc, char** argv) {
     ::close(fd);
 
     if (resp.retryable && attempt < retries) {
-      // Exponential backoff, capped: 10ms, 20ms, ... 640ms.
+      // Capped exponential backoff with full jitter: the sleep is uniform
+      // in [1, 10·2^min(attempt,6)] ms, so clients rejected by the same
+      // overloaded server spread out instead of retrying in a synchronized
+      // wave that re-creates the overload.
       const int exp = attempt > 6 ? 6 : attempt;
-      std::this_thread::sleep_for(std::chrono::milliseconds(10 << exp));
+      const int cap_ms = 10 << exp;
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(rng.UniformInt(1, cap_ms)));
       continue;
     }
 

@@ -1,56 +1,67 @@
-// pivot_serve: hosts PIVOT sessions over a unix-domain socket.
+// pivot_serve: hosts PIVOT sessions over a unix-domain socket and/or TCP.
 //
-//   pivot_serve --data DIR --socket PATH [--snapshot-interval N]
-//               [--max-inflight N] [--session-inflight N]
-//               [--group-queue N] [--no-group-fsync] [--no-fsync]
-//               [--test-ops]
+//   pivot_serve --data DIR [--socket PATH] [--tcp HOST:PORT]
+//               [--snapshot-interval N] [--max-inflight N]
+//               [--session-inflight N] [--group-queue N]
+//               [--no-group-fsync] [--no-fsync] [--test-ops]
+//               [--mem-budget BYTES] [--max-resident N]
+//               [--idle-passivate MS] [--idle-timeout MS]
+//               [--read-deadline MS]
 //
 // One thread per connection; length-prefixed binary protocol (see
-// src/pivot/server/protocol.h). SIGTERM/SIGINT drain gracefully: the
-// listener stops accepting, in-flight requests finish, the group-commit
-// log flushes and fsyncs, then the process exits 0. A second signal exits
-// immediately.
+// src/pivot/server/protocol.h). At least one of --socket/--tcp is
+// required; both may be given (the listeners share the server). TCP
+// connections default to read deadlines (--idle-timeout/--read-deadline)
+// since a WAN peer can stall forever; pass 0 to disable.
+// SIGTERM/SIGINT drain gracefully: the listeners stop accepting,
+// in-flight requests finish, the group-commit log flushes and fsyncs,
+// then the process exits 0. A second signal exits immediately.
 
 #include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
-#include <mutex>
-#include <set>
 #include <string>
-#include <thread>
-#include <vector>
 
-#include <poll.h>
-#include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
+#include "pivot/server/listener.h"
 #include "pivot/server/server.h"
 #include "pivot/support/argparse.h"
 
 namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
-int g_listen_fd = -1;
+pivot::ServerListener* g_listener = nullptr;
 
 void OnSignal(int) {
   if (g_stop != 0) std::_Exit(1);  // second signal: give up on draining
   g_stop = 1;
-  // Break the accept loop; drain happens on the main thread.
-  if (g_listen_fd >= 0) ::shutdown(g_listen_fd, SHUT_RDWR);
+  // Break the accept loop; drain happens on the main thread. Shutdown()
+  // only flips an atomic and shutdown(2)s the listen fds — signal-safe.
+  if (g_listener != nullptr) g_listener->Shutdown();
 }
 
 int Usage() {
   std::cerr
-      << "usage: pivot_serve --data DIR --socket PATH\n"
+      << "usage: pivot_serve --data DIR [--socket PATH] [--tcp HOST:PORT]\n"
       << "  [--snapshot-interval N]   snapshot every N txns (default 64)\n"
       << "  [--max-inflight N]        global admission bound (default 256)\n"
       << "  [--session-inflight N]    per-session bound (default 8)\n"
       << "  [--group-queue N]         group-commit queue bound (default 256)\n"
       << "  [--no-group-fsync]        one fsync per commit (baseline mode)\n"
       << "  [--no-fsync]              no fsync at all (bench mode)\n"
-      << "  [--test-ops]              admit test-only ops (sleep)\n";
+      << "  [--test-ops]              admit test-only ops (sleep)\n"
+      << "  [--mem-budget BYTES]      resident-session byte budget "
+         "(0 = unlimited)\n"
+      << "  [--max-resident N]        resident-session count cap "
+         "(0 = unlimited)\n"
+      << "  [--idle-passivate MS]     passivate sessions idle past MS "
+         "(0 = never)\n"
+      << "  [--idle-timeout MS]       disconnect connections idle past MS "
+         "(default 0 unix / 60000 tcp)\n"
+      << "  [--read-deadline MS]      max time for one message to arrive "
+         "(default 0 unix / 5000 tcp; slowloris guard)\n";
   return 2;
 }
 
@@ -58,7 +69,10 @@ int Usage() {
 
 int main(int argc, char** argv) {
   pivot::ServerOptions options;
-  std::string socket_path;
+  pivot::ListenerOptions listen;
+  std::string tcp_spec;
+  int idle_timeout_ms = -1;   // -1 = by transport
+  int read_deadline_ms = -1;  // -1 = by transport
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -71,7 +85,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--socket") {
       const char* v = next();
       if (v == nullptr) return Usage();
-      socket_path = v;
+      listen.unix_path = v;
+    } else if (arg == "--tcp") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      tcp_spec = v;
     } else if (arg == "--snapshot-interval") {
       const char* v = next();
       if (v == nullptr ||
@@ -100,6 +118,44 @@ int main(int argc, char** argv) {
                                &options.commit.max_queue)) {
         return Usage();
       }
+    } else if (arg == "--mem-budget") {
+      long long bytes = 0;
+      const char* v = next();
+      if (v == nullptr ||
+          !pivot::ParseIntFlag("--mem-budget", v, 0, (1LL << 40), &bytes)) {
+        return Usage();
+      }
+      options.lifecycle.memory_budget_bytes =
+          static_cast<std::uint64_t>(bytes);
+    } else if (arg == "--max-resident") {
+      const char* v = next();
+      if (v == nullptr ||
+          !pivot::ParseIntFlag("--max-resident", v, 0, 1'000'000,
+                               &options.lifecycle.max_resident)) {
+        return Usage();
+      }
+    } else if (arg == "--idle-passivate") {
+      long long ms = 0;
+      const char* v = next();
+      if (v == nullptr ||
+          !pivot::ParseIntFlag("--idle-passivate", v, 0, 86'400'000, &ms)) {
+        return Usage();
+      }
+      options.lifecycle.idle_passivate_ms = static_cast<std::uint64_t>(ms);
+    } else if (arg == "--idle-timeout") {
+      const char* v = next();
+      if (v == nullptr ||
+          !pivot::ParseIntFlag("--idle-timeout", v, 0, 86'400'000,
+                               &idle_timeout_ms)) {
+        return Usage();
+      }
+    } else if (arg == "--read-deadline") {
+      const char* v = next();
+      if (v == nullptr ||
+          !pivot::ParseIntFlag("--read-deadline", v, 0, 86'400'000,
+                               &read_deadline_ms)) {
+        return Usage();
+      }
     } else if (arg == "--no-group-fsync") {
       options.commit.group_fsync = false;
     } else if (arg == "--no-fsync") {
@@ -110,88 +166,48 @@ int main(int argc, char** argv) {
       return Usage();
     }
   }
-  if (options.data_dir.empty() || socket_path.empty()) return Usage();
-
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (socket_path.size() >= sizeof addr.sun_path) {
-    std::cerr << "pivot_serve: socket path too long\n";
+  if (!tcp_spec.empty() &&
+      !pivot::ParseHostPort(tcp_spec, &listen.tcp_host, &listen.tcp_port)) {
+    std::cerr << "pivot_serve: bad --tcp spec '" << tcp_spec
+              << "' (want HOST:PORT)\n";
     return 2;
   }
-  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof addr.sun_path - 1);
-  ::unlink(socket_path.c_str());
-
-  g_listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (g_listen_fd < 0 ||
-      ::bind(g_listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
-          0 ||
-      ::listen(g_listen_fd, 64) != 0) {
-    std::cerr << "pivot_serve: cannot listen on " << socket_path << ": "
-              << std::strerror(errno) << "\n";
-    return 1;
+  if (options.data_dir.empty() ||
+      (listen.unix_path.empty() && listen.tcp_host.empty())) {
+    return Usage();
   }
+  // Unix sockets keep the historical trust model (no deadlines) unless
+  // asked; TCP defaults to bounded reads — a WAN peer can stall forever.
+  const bool tcp = !listen.tcp_host.empty();
+  listen.limits.idle_timeout_ms =
+      idle_timeout_ms >= 0 ? idle_timeout_ms : (tcp ? 60'000 : 0);
+  listen.limits.frame_timeout_ms =
+      read_deadline_ms >= 0 ? read_deadline_ms : (tcp ? 5'000 : 0);
 
-  std::signal(SIGTERM, OnSignal);
-  std::signal(SIGINT, OnSignal);
   std::signal(SIGPIPE, SIG_IGN);
 
   try {
     pivot::PivotServer server(std::move(options));
-    std::cerr << "pivot_serve: listening on " << socket_path << "\n";
-
-    std::mutex fds_mu;
-    std::set<int> live_fds;
-    std::vector<std::thread> connections;
-    while (g_stop == 0) {
-      // Poll so a client-initiated shutdown (server drained, no further
-      // connection ever arrives) still ends the accept loop.
-      pollfd pfd{g_listen_fd, POLLIN, 0};
-      const int ready = ::poll(&pfd, 1, 200);
-      if (server.mode() == pivot::ServerMode::kStopped) break;
-      if (ready < 0 && errno != EINTR) break;
-      if (ready <= 0) continue;
-      const int fd = ::accept(g_listen_fd, nullptr, nullptr);
-      if (fd < 0) {
-        if (errno == EINTR && g_stop == 0) continue;
-        break;  // listener shut down (signal) or failed
-      }
-      {
-        std::lock_guard<std::mutex> lock(fds_mu);
-        live_fds.insert(fd);
-      }
-      connections.emplace_back([&server, &fds_mu, &live_fds, fd] {
-        try {
-          server.ServeConnection(fd);
-        } catch (const std::exception& e) {
-          std::cerr << "pivot_serve: connection error: " << e.what() << "\n";
-        }
-        {
-          std::lock_guard<std::mutex> lock(fds_mu);
-          live_fds.erase(fd);
-        }
-        ::close(fd);
-      });
-      // A server drained by a client's shutdown request also stops
-      // accepting.
-      if (server.mode() == pivot::ServerMode::kStopped) break;
+    pivot::ServerListener listener(server, std::move(listen));
+    g_listener = &listener;
+    std::signal(SIGTERM, OnSignal);
+    std::signal(SIGINT, OnSignal);
+    if (!listener.tcp_port()) {
+      std::cerr << "pivot_serve: listening\n";
+    } else {
+      // The resolved port on its own line so scripts binding port 0 can
+      // scrape it.
+      std::cerr << "pivot_serve: listening tcp port " << listener.tcp_port()
+                << "\n";
     }
-
+    listener.Run();
     std::cerr << "pivot_serve: draining\n";
     server.Drain();
-    // Kick idle connections off their blocking read so their threads end.
-    {
-      std::lock_guard<std::mutex> lock(fds_mu);
-      for (int fd : live_fds) ::shutdown(fd, SHUT_RDWR);
-    }
-    for (std::thread& t : connections) t.join();
+    g_listener = nullptr;
     std::cerr << "pivot_serve: drained, exiting\n";
   } catch (const std::exception& e) {
     std::cerr << "pivot_serve: " << e.what() << "\n";
-    ::close(g_listen_fd);
-    ::unlink(socket_path.c_str());
     return 1;
   }
-  ::close(g_listen_fd);
-  ::unlink(socket_path.c_str());
   return 0;
 }

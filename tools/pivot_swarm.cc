@@ -1,0 +1,642 @@
+// pivot_swarm: multi-process chaos harness for the hosted-session server.
+//
+// The parent forks one server process (PivotServer + ServerListener over
+// TCP or a unix socket) and N client processes. Each client drives a
+// deterministic apply/undo schedule against its own session while
+// randomly injecting the network faults a WAN deployment actually sees:
+//
+//   * torn frames      — half a request, then the connection closes
+//   * vanishing peers  — a full request, gone before reading the ack
+//   * slowloris stalls — a few header bytes, then silence past the
+//                        server's frame deadline
+//   * client kills     — SIGKILL from the parent at a random moment
+//
+// Meanwhile the parent SIGKILLs the server itself a configurable number
+// of times and restarts it on the same address, so clients ride through
+// crashes with recover-and-resync. The server runs with an aggressive
+// session-lifecycle config (tiny resident cap + fast idle reaper), so
+// every commit also crosses passivation/reactivation constantly.
+//
+// The oracle is the same acked-or-acked+1 rule as the crash sweep: each
+// client records its acked-commit count f in a file (tmp+rename after
+// every ack, never before), so with one request in flight the true
+// committed count is f or f+1. A client resyncs after every reconnect by
+// comparing the server's source text against the reference schedule at f
+// and f+1. After the chaos window the parent SIGKILLs everything, opens
+// the data directory itself, recovers every session and requires source
+// AND history to match Reference(f) or Reference(f+1). Any mismatch, or
+// a client that detected divergence live, exits non-zero.
+//
+// Tuning (environment):
+//   PIVOT_SWARM_CLIENTS       client processes            (default 8)
+//   PIVOT_SWARM_OPS           acked commits per client    (default 32)
+//   PIVOT_SWARM_SECONDS       chaos window cap            (default 20)
+//   PIVOT_SWARM_TRANSPORT     tcp | unix                  (default tcp)
+//   PIVOT_SWARM_SERVER_KILLS  server SIGKILL/restarts     (default 2)
+//   PIVOT_SWARM_CLIENT_KILLS  client SIGKILLs             (default 2)
+//   PIVOT_SWARM_SEED          RNG seed                    (default pid^time)
+//   PIVOT_SWARM_DIR           scratch directory           (default /tmp)
+
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "pivot/core/session.h"
+#include "pivot/ir/parser.h"
+#include "pivot/server/listener.h"
+#include "pivot/server/protocol.h"
+#include "pivot/server/server.h"
+#include "pivot/support/argparse.h"
+#include "pivot/support/rng.h"
+#include "pivot/transform/transform.h"
+
+namespace pivot {
+namespace {
+
+const char kSource[] =
+    "y = 3 * 4\n"
+    "z = 5 * 6\n"
+    "write y\n"
+    "write z\n";
+
+// Client exit codes the parent interprets. Chaos SIGKILLs show up as
+// signals, not exit codes.
+constexpr int kClientDone = 0;
+constexpr int kClientDiverged = 3;   // server state matched neither f nor f+1
+constexpr int kClientDegraded = 4;   // server answered kDegraded
+constexpr int kClientNoSession = 5;  // never established a session (f == 0)
+
+int EnvInt(const char* name, int fallback, int lo, int hi) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  int parsed = 0;
+  if (!ParseIntFlag(name, value, lo, hi, &parsed)) std::exit(2);
+  return parsed;
+}
+
+std::string SessionName(int client) { return "w" + std::to_string(client); }
+
+// The deterministic schedule every client follows and every checker
+// replays: fold the first constant on even steps, undo it on odd steps.
+// The program never runs out of opportunities.
+std::unique_ptr<Session> Reference(std::size_t k) {
+  auto s = std::make_unique<Session>(Parse(kSource));
+  for (std::size_t i = 0; i < k; ++i) {
+    if (i % 2 == 0) {
+      if (!s->ApplyFirst(TransformKind::kCfo).has_value()) return nullptr;
+    } else {
+      s->UndoLast();
+    }
+  }
+  return s;
+}
+
+Request StepRequest(const std::string& session, std::size_t k) {
+  Request r;
+  r.session = session;
+  if (k % 2 == 0) {
+    r.op = ServerOp::kApply;
+    r.kind = TransformKindIndex(TransformKind::kCfo);
+    r.op_index = 0;
+  } else {
+    r.op = ServerOp::kUndoLast;
+  }
+  return r;
+}
+
+struct Config {
+  int clients = 8;
+  int ops = 32;
+  int seconds = 20;
+  bool tcp = true;
+  int server_kills = 2;
+  int client_kills = 2;
+  std::uint64_t seed = 0;
+  std::string dir;
+  int port = 0;  // resolved TCP port, fixed after the first server spawn
+
+  std::string data_dir() const { return dir + "/data"; }
+  std::string ack_path(int client) const {
+    return dir + "/ack." + std::to_string(client);
+  }
+  std::string unix_path() const { return dir + "/sock"; }
+};
+
+// --- the server child -----------------------------------------------------
+
+ServerOptions ChaosServerOptions(const Config& cfg) {
+  ServerOptions o;
+  o.data_dir = cfg.data_dir();
+  // Aggressive lifecycle pressure: a handful of resident sessions at most
+  // and a reaper that passivates anything idle for a few milliseconds, so
+  // commits constantly cross passivation/reactivation.
+  o.lifecycle.max_resident = cfg.clients / 4 + 1;
+  o.lifecycle.idle_passivate_ms = 25;
+  o.lifecycle.reaper_interval_ms = 10;
+  return o;
+}
+
+// Forks a server bound to cfg's transport. `port` is 0 for the first
+// spawn (ephemeral) and the established port for restarts. The child
+// reports the bound port (or 0 on bind failure) over a pipe, so the
+// parent can also use the report as a liveness barrier.
+pid_t SpawnServer(const Config& cfg, int* port) {
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    std::perror("pivot_swarm: pipe");
+    std::exit(2);
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    std::perror("pivot_swarm: fork");
+    std::exit(2);
+  }
+  if (pid == 0) {
+    ::close(pipe_fds[0]);
+    std::signal(SIGPIPE, SIG_IGN);
+    int bound = 0;
+    try {
+      PivotServer server(ChaosServerOptions(cfg));
+      ListenerOptions lo;
+      if (cfg.tcp) {
+        lo.tcp_host = "127.0.0.1";
+        lo.tcp_port = *port;
+      } else {
+        lo.unix_path = cfg.unix_path();
+      }
+      // Tight read deadlines so the slowloris fault actually gets cut.
+      lo.limits.idle_timeout_ms = 2'000;
+      lo.limits.frame_timeout_ms = 200;
+      ServerListener listener(server, lo);
+      bound = cfg.tcp ? listener.tcp_port() : 1;
+      if (::write(pipe_fds[1], &bound, sizeof bound) != sizeof bound) {
+        ::_exit(1);
+      }
+      ::close(pipe_fds[1]);
+      listener.Run();  // until SIGKILL; a clean return drains below
+      server.Drain();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "pivot_swarm: server: %s\n", e.what());
+      if (bound == 0) {
+        const int fail = 0;
+        (void)!::write(pipe_fds[1], &fail, sizeof fail);
+      }
+      ::_exit(1);
+    }
+    ::_exit(0);
+  }
+  ::close(pipe_fds[1]);
+  int bound = 0;
+  const ssize_t got = ::read(pipe_fds[0], &bound, sizeof bound);
+  ::close(pipe_fds[0]);
+  if (got != sizeof bound || bound == 0) {
+    // Bind failure (e.g. the killed predecessor's port not yet released).
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    return -1;
+  }
+  if (cfg.tcp) *port = bound;
+  return pid;
+}
+
+pid_t SpawnServerWithRetry(const Config& cfg, int* port) {
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    const pid_t pid = SpawnServer(cfg, port);
+    if (pid > 0) return pid;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::fprintf(stderr, "pivot_swarm: cannot (re)start the server\n");
+  std::exit(2);
+}
+
+// --- the client children --------------------------------------------------
+
+// Records the acked count so it survives this process being SIGKILLed:
+// tmp + rename is atomic, and the parent only reads after the child is
+// dead, so page-cache visibility is all that is needed (no fsync).
+void WriteAckFile(const std::string& path, std::size_t acked) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    out << acked << "\n";
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) ::_exit(2);
+}
+
+std::size_t ReadAckFile(const std::string& path) {
+  std::ifstream in(path);
+  std::size_t acked = 0;
+  in >> acked;
+  return acked;
+}
+
+class SwarmClient {
+ public:
+  SwarmClient(const Config& cfg, int index)
+      : cfg_(cfg),
+        index_(index),
+        name_(SessionName(index)),
+        rng_(cfg.seed * 1'000'003 + static_cast<std::uint64_t>(index) + 1) {}
+
+  [[noreturn]] void Run() {
+    std::signal(SIGPIPE, SIG_IGN);
+    WriteAckFile(cfg_.ack_path(index_), 0);
+    Reconnect();
+    while (acked_ < static_cast<std::size_t>(cfg_.ops)) {
+      const int dice = rng_.UniformInt(1, 100);
+      if (dice <= 5) {
+        TornFrame();
+      } else if (dice <= 10) {
+        VanishAfterSend();
+      } else if (dice <= 13) {
+        Stall();
+      } else {
+        NormalStep();
+      }
+      // Occasional think time so the idle reaper passivates this session
+      // under us and the next request exercises reactivation.
+      if (rng_.UniformInt(1, 10) == 1) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(rng_.UniformInt(5, 40)));
+      }
+    }
+    if (fd_ >= 0) ::close(fd_);
+    ::_exit(kClientDone);
+  }
+
+ private:
+  int Dial() {
+    return cfg_.tcp ? DialTcp("127.0.0.1", cfg_.port)
+                    : DialUnix(cfg_.unix_path());
+  }
+
+  // Connect + ensure the session is hosted + resync the acked count.
+  // Loops until it succeeds: the server may be down for a restart window.
+  void Reconnect() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+    for (int attempt = 0;; ++attempt) {
+      if (attempt > 2'000) ::_exit(kClientNoSession);
+      fd_ = Dial();
+      if (fd_ < 0) {
+        Backoff(attempt);
+        continue;
+      }
+      if (EnsureSession() && Resync()) return;
+      ::close(fd_);
+      fd_ = -1;
+      Backoff(attempt);
+    }
+  }
+
+  void Backoff(int attempt) {
+    const int exp = attempt > 5 ? 5 : attempt;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(rng_.UniformInt(1, 5 << exp)));
+  }
+
+  bool Exchange(const Request& req, Response* resp) {
+    try {
+      WriteMessage(fd_, EncodeRequest(req));
+      std::string payload;
+      if (!ReadMessage(fd_, &payload)) return false;
+      *resp = DecodeResponse(payload);
+      return true;
+    } catch (const ProgramError&) {
+      return false;
+    }
+  }
+
+  // Hosts the session on the (possibly freshly restarted) server: recover
+  // if a journal exists, open otherwise. kSessionExists means another
+  // request of ours already hosted it — success.
+  bool EnsureSession() {
+    for (int attempt = 0; attempt < 10; ++attempt) {
+      Response resp;
+      if (!Exchange(Req(ServerOp::kRecover), &resp)) return false;
+      if (resp.status == StatusCode::kOk ||
+          resp.status == StatusCode::kSessionExists) {
+        return true;
+      }
+      Request open = Req(ServerOp::kOpen);
+      open.source = kSource;
+      if (!Exchange(open, &resp)) return false;
+      if (resp.status == StatusCode::kOk ||
+          resp.status == StatusCode::kSessionExists) {
+        return true;
+      }
+      if (resp.status == StatusCode::kDegraded) ::_exit(kClientDegraded);
+      Backoff(attempt);
+    }
+    return false;
+  }
+
+  // After any reconnect exactly one request may be in doubt, so the
+  // server's state is Reference(acked) or Reference(acked + 1) — and the
+  // two differ (the schedule alternates), so the source text resolves
+  // the doubt. Anything else is divergence: scream and exit.
+  bool Resync() {
+    Response resp;
+    if (!Exchange(Req(ServerOp::kSource), &resp)) return false;
+    if (resp.status != StatusCode::kOk) return false;
+    const std::unique_ptr<Session> at = Reference(acked_);
+    const std::unique_ptr<Session> next = Reference(acked_ + 1);
+    if (at != nullptr && resp.text == at->Source()) return true;
+    if (next != nullptr && resp.text == next->Source()) {
+      ++acked_;  // the in-doubt request had committed
+      WriteAckFile(cfg_.ack_path(index_), acked_);
+      return true;
+    }
+    std::fprintf(stderr,
+                 "pivot_swarm: client %d DIVERGED at acked=%zu:\n%s\n",
+                 index_, acked_, resp.text.c_str());
+    ::_exit(kClientDiverged);
+  }
+
+  Request Req(ServerOp op) const {
+    Request r;
+    r.op = op;
+    r.session = name_;
+    return r;
+  }
+
+  void NormalStep() {
+    Response resp;
+    if (!Exchange(StepRequest(name_, acked_), &resp)) {
+      Reconnect();  // server died or cut us; resync resolves the doubt
+      return;
+    }
+    switch (resp.status) {
+      case StatusCode::kOk:
+        ++acked_;
+        WriteAckFile(cfg_.ack_path(index_), acked_);
+        return;
+      case StatusCode::kOverloaded:
+      case StatusCode::kShuttingDown:
+        Backoff(rng_.UniformInt(0, 3));
+        return;  // same op retries next loop iteration
+      case StatusCode::kDegraded:
+        ::_exit(kClientDegraded);
+      default:
+        // kNoSuchSession after a restart, or a precondition because our
+        // acked count drifted: re-host and resync, then continue.
+        Reconnect();
+        return;
+    }
+  }
+
+  // Write only half of a valid frame, then close: the server must treat
+  // it as a torn connection, never as a commit.
+  void TornFrame() {
+    const std::string frame = EncodeRequest(StepRequest(name_, acked_));
+    // ReadMessage frames are [len][crc][payload]; sending the 8-byte
+    // header plus half the payload tears mid-message.
+    std::string framed;
+    framed.reserve(8 + frame.size() / 2);
+    const std::uint32_t len = static_cast<std::uint32_t>(frame.size());
+    framed.append(reinterpret_cast<const char*>(&len), 4);
+    framed.append(4, '\0');  // garbage CRC: the tail never arrives anyway
+    framed.append(frame.data(), frame.size() / 2);
+    (void)!::write(fd_, framed.data(), framed.size());
+    Reconnect();
+  }
+
+  // A full request with the response never read: the canonical in-doubt
+  // commit. Resync() decides whether it landed.
+  void VanishAfterSend() {
+    try {
+      WriteMessage(fd_, EncodeRequest(StepRequest(name_, acked_)));
+    } catch (const ProgramError&) {
+    }
+    Reconnect();
+  }
+
+  // A few bytes, then silence past the server's frame deadline: the
+  // server must cut us off rather than pin the connection thread.
+  void Stall() {
+    (void)!::write(fd_, "\x08\x00", 2);
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    Reconnect();
+  }
+
+  const Config& cfg_;
+  const int index_;
+  const std::string name_;
+  Rng rng_;
+  int fd_ = -1;
+  std::size_t acked_ = 0;
+};
+
+// --- the parent: chaos, then verification ---------------------------------
+
+struct ClientProc {
+  pid_t pid = -1;
+  bool alive = false;
+  int exit_code = kClientDone;  // meaningful when !alive and !killed
+  bool killed = false;          // by chaos, not by its own logic
+};
+
+bool VerifyClient(PivotServer& server, const Config& cfg, int client) {
+  const std::size_t acked = ReadAckFile(cfg.ack_path(client));
+  const std::string name = SessionName(client);
+  Request recover;
+  recover.op = ServerOp::kRecover;
+  recover.session = name;
+  const Response rec = server.Execute(recover);
+  if (rec.status != StatusCode::kOk) {
+    if (acked == 0) return true;  // never got an ack; nothing to prove
+    std::fprintf(stderr, "pivot_swarm: FAIL %s: %zu acked but recovery said: %s\n",
+                 name.c_str(), acked, rec.error.c_str());
+    return false;
+  }
+  Request source_req;
+  source_req.op = ServerOp::kSource;
+  source_req.session = name;
+  Request history_req = source_req;
+  history_req.op = ServerOp::kHistory;
+  const std::string source = server.Execute(source_req).text;
+  const std::string history = server.Execute(history_req).text;
+  for (const std::size_t k : {acked, acked + 1}) {
+    const std::unique_ptr<Session> ref = Reference(k);
+    if (ref != nullptr && source == ref->Source() &&
+        history == ref->HistoryToString()) {
+      return true;
+    }
+  }
+  std::fprintf(stderr,
+               "pivot_swarm: FAIL %s: state matches neither acked=%zu nor "
+               "acked+1\nsource:\n%s\n",
+               name.c_str(), acked, source.c_str());
+  return false;
+}
+
+int ParentMain(Config cfg) {
+  std::signal(SIGPIPE, SIG_IGN);
+  std::filesystem::remove_all(cfg.dir);
+  std::filesystem::create_directories(cfg.data_dir());
+
+  int port = 0;
+  pid_t server_pid = SpawnServerWithRetry(cfg, &port);
+  cfg.port = port;
+
+  Rng rng(cfg.seed);
+  std::vector<ClientProc> clients(static_cast<std::size_t>(cfg.clients));
+  for (int i = 0; i < cfg.clients; ++i) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::perror("pivot_swarm: fork");
+      return 2;
+    }
+    if (pid == 0) {
+      SwarmClient(cfg, i).Run();  // never returns
+    }
+    clients[static_cast<std::size_t>(i)] = ClientProc{pid, true, 0, false};
+  }
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(cfg.seconds);
+  int server_kills = cfg.server_kills;
+  int client_kills = cfg.client_kills;
+  int restarts = 0;
+  auto live_count = [&clients] {
+    int n = 0;
+    for (const ClientProc& c : clients) n += c.alive ? 1 : 0;
+    return n;
+  };
+
+  while (live_count() > 0 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(rng.UniformInt(50, 200)));
+    // Reap finished clients.
+    for (ClientProc& c : clients) {
+      if (!c.alive) continue;
+      int status = 0;
+      if (::waitpid(c.pid, &status, WNOHANG) == c.pid) {
+        c.alive = false;
+        if (WIFEXITED(status)) c.exit_code = WEXITSTATUS(status);
+      }
+    }
+    // Chaos: kill a random live client.
+    if (client_kills > 0 && rng.UniformInt(1, 4) == 1) {
+      std::vector<std::size_t> live;
+      for (std::size_t i = 0; i < clients.size(); ++i) {
+        if (clients[i].alive) live.push_back(i);
+      }
+      if (!live.empty()) {
+        ClientProc& victim = clients[live[static_cast<std::size_t>(
+            rng.UniformInt(0, static_cast<int>(live.size()) - 1))]];
+        ::kill(victim.pid, SIGKILL);
+        ::waitpid(victim.pid, nullptr, 0);
+        victim.alive = false;
+        victim.killed = true;
+        --client_kills;
+      }
+    }
+    // Chaos: SIGKILL the server mid-flight and restart it on the same
+    // address. Every acked commit must ride through.
+    if (server_kills > 0 && rng.UniformInt(1, 5) == 1) {
+      ::kill(server_pid, SIGKILL);
+      ::waitpid(server_pid, nullptr, 0);
+      server_pid = SpawnServerWithRetry(cfg, &port);
+      --server_kills;
+      ++restarts;
+    }
+  }
+
+  // Window over: anything still running dies where it stands (its ack
+  // file stands for it), including the server.
+  for (ClientProc& c : clients) {
+    if (!c.alive) continue;
+    ::kill(c.pid, SIGKILL);
+    ::waitpid(c.pid, nullptr, 0);
+    c.alive = false;
+    c.killed = true;
+  }
+  ::kill(server_pid, SIGKILL);
+  ::waitpid(server_pid, nullptr, 0);
+
+  // Verification: open the data directory in-process and hold every
+  // session to the acked-or-acked+1 oracle.
+  bool ok = true;
+  std::size_t total_acked = 0;
+  int done = 0, chaos_killed = 0;
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    const ClientProc& c = clients[i];
+    if (c.killed) {
+      ++chaos_killed;
+    } else if (c.exit_code == kClientDone) {
+      ++done;
+    } else if (c.exit_code != kClientNoSession) {
+      std::fprintf(stderr, "pivot_swarm: FAIL client %zu exited %d\n", i,
+                   c.exit_code);
+      ok = false;
+    }
+    total_acked += ReadAckFile(cfg.ack_path(static_cast<int>(i)));
+  }
+  try {
+    ServerOptions vo;
+    vo.data_dir = cfg.data_dir();
+    PivotServer verifier(vo);
+    for (int i = 0; i < cfg.clients; ++i) {
+      if (!VerifyClient(verifier, cfg, i)) ok = false;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pivot_swarm: FAIL verifier: %s\n", e.what());
+    ok = false;
+  }
+
+  std::printf(
+      "pivot_swarm: %s  clients=%d done=%d chaos_killed=%d "
+      "server_restarts=%d acked_commits=%zu transport=%s seed=%llu\n",
+      ok ? "PASS" : "FAIL", cfg.clients, done, chaos_killed, restarts,
+      total_acked, cfg.tcp ? "tcp" : "unix",
+      static_cast<unsigned long long>(cfg.seed));
+  if (ok) std::filesystem::remove_all(cfg.dir);
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace pivot
+
+int main() {
+  pivot::Config cfg;
+  cfg.clients = pivot::EnvInt("PIVOT_SWARM_CLIENTS", 8, 1, 1024);
+  cfg.ops = pivot::EnvInt("PIVOT_SWARM_OPS", 32, 1, 1'000'000);
+  cfg.seconds = pivot::EnvInt("PIVOT_SWARM_SECONDS", 20, 1, 86'400);
+  cfg.server_kills = pivot::EnvInt("PIVOT_SWARM_SERVER_KILLS", 2, 0, 1'000);
+  cfg.client_kills = pivot::EnvInt("PIVOT_SWARM_CLIENT_KILLS", 2, 0, 1'000'000);
+  const char* transport = std::getenv("PIVOT_SWARM_TRANSPORT");
+  if (transport != nullptr && std::string(transport) == "unix") {
+    cfg.tcp = false;
+  } else if (transport != nullptr && std::string(transport) != "tcp" &&
+             *transport != '\0') {
+    std::fprintf(stderr, "pivot_swarm: bad PIVOT_SWARM_TRANSPORT '%s'\n",
+                 transport);
+    return 2;
+  }
+  cfg.seed = static_cast<std::uint64_t>(
+      pivot::EnvInt("PIVOT_SWARM_SEED", 0, 0, 1'000'000'000));
+  if (cfg.seed == 0) {
+    cfg.seed = static_cast<std::uint64_t>(::getpid()) * 0x9e3779b9u ^
+               static_cast<std::uint64_t>(std::time(nullptr));
+  }
+  const char* dir = std::getenv("PIVOT_SWARM_DIR");
+  cfg.dir = (dir != nullptr && *dir != '\0')
+                ? std::string(dir)
+                : "/tmp/pivot_swarm." + std::to_string(::getpid());
+  return pivot::ParentMain(std::move(cfg));
+}
